@@ -1,0 +1,322 @@
+(* detmt-cli: command-line driver for the deterministic-multithreading
+   experiments.
+
+   Every figure of the paper is a subcommand; [run] executes a single
+   configuration with full control over the parameters, and [schedulers]
+   lists the available decision modules. *)
+
+open Cmdliner
+
+let print_table t = Format.printf "%a@." Detmt.Table.pp t
+
+let csv_flag =
+  let doc = "Emit the table as CSV instead of aligned text." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let emit csv t =
+  if csv then print_string (Detmt.Table.to_csv t) else print_table t
+
+(* ------------------------------ run --------------------------------- *)
+
+let scheduler_arg =
+  let names = List.map (fun s -> s.Detmt.Registry.name) Detmt.Registry.all in
+  let doc =
+    "Scheduler to use: " ^ String.concat ", " names ^ "."
+  in
+  Arg.(value & opt string "mat" & info [ "s"; "scheduler" ] ~docv:"NAME" ~doc)
+
+let clients_arg =
+  Arg.(value & opt int 8 & info [ "c"; "clients" ] ~docv:"N"
+         ~doc:"Number of closed-loop clients.")
+
+let requests_arg =
+  Arg.(value & opt int 10 & info [ "n"; "requests" ] ~docv:"N"
+         ~doc:"Requests per client.")
+
+let replicas_arg =
+  Arg.(value & opt int 3 & info [ "r"; "replicas" ] ~docv:"N"
+         ~doc:"Replica-group size.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Master random seed for the client decision streams.")
+
+let workload_arg =
+  let doc =
+    "Workload: figure1 (the paper's benchmark), compute-heavy, disjoint, \
+     tail, prodcons."
+  in
+  Arg.(value & opt string "figure1" & info [ "w"; "workload" ] ~docv:"NAME"
+         ~doc)
+
+let latency_arg =
+  Arg.(value & opt float 0.5 & info [ "latency" ] ~docv:"MS"
+         ~doc:"One-way network latency between replicas, in virtual ms.")
+
+let file_arg =
+  Arg.(value & opt (some file) None
+       & info [ "f"; "file" ] ~docv:"PATH"
+           ~doc:"Load the replicated class from a DML source file instead \
+                 of a built-in workload (see examples/counter.dml).")
+
+let load_dml path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  match Detmt.Dml.parse src with
+  | Ok cls -> cls
+  | Error msg ->
+    Format.eprintf "%s: %s@." path msg;
+    exit 2
+
+let resolve_workload = function
+  | "figure1" ->
+    ( Detmt.Figure1.cls Detmt.Figure1.default,
+      Detmt.Figure1.gen Detmt.Figure1.default )
+  | "compute-heavy" ->
+    ( Detmt.Figure1.cls Detmt.Figure1.compute_heavy,
+      Detmt.Figure1.gen Detmt.Figure1.compute_heavy )
+  | "disjoint" ->
+    (Detmt.Disjoint.cls Detmt.Disjoint.default, Detmt.Disjoint.gen)
+  | "tail" ->
+    ( Detmt.Tail_compute.cls Detmt.Tail_compute.default,
+      Detmt.Tail_compute.gen Detmt.Tail_compute.default )
+  | "prodcons" ->
+    (Detmt.Prodcons.cls Detmt.Prodcons.default, Detmt.Prodcons.gen)
+  | other -> failwith (Printf.sprintf "unknown workload %S" other)
+
+let histogram_flag =
+  Arg.(value & flag
+       & info [ "histogram" ]
+           ~doc:"Also print a response-time histogram.")
+
+let run_cmd =
+  let run scheduler clients requests replicas seed workload latency histogram =
+    let cls, gen = resolve_workload workload in
+    let params =
+      { Detmt.Active.default_params with
+        scheduler; replicas; net_latency_ms = latency }
+    in
+    let result =
+      Detmt.Experiment.run_workload ~seed:(Int64.of_int seed) ~params
+        ~requests_per_client:requests ~scheduler ~clients ~cls ~gen ()
+    in
+    Format.printf "scheduler:    %s@." result.Detmt.Experiment.scheduler;
+    Format.printf "workload:     %s@." workload;
+    Format.printf "clients:      %d x %d requests@." clients requests;
+    Format.printf "replies:      %d@." result.replies;
+    Format.printf "mean:         %.2f ms@." result.mean_response_ms;
+    Format.printf "p95:          %.2f ms@." result.p95_response_ms;
+    Format.printf "throughput:   %.1f req/s@." result.throughput_per_s;
+    Format.printf "makespan:     %.1f virtual ms@." result.duration_ms;
+    Format.printf "broadcasts:   %d (%s)@." result.broadcasts
+      (String.concat ", "
+         (List.map
+            (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+            result.message_kinds));
+    Format.printf "cpu busy:     %.1f ms (replica 0)@." result.cpu_busy_ms;
+    Format.printf "consistent:   %b@." result.consistent;
+    if histogram then begin
+      (* Re-run with the same seed to collect the samples (run_workload
+         reports a summary only); identical by determinism. *)
+      let engine = Detmt.Engine.create () in
+      let system = Detmt.Active.create ~engine ~cls ~params () in
+      Detmt.Client.run_clients ~engine ~system ~clients
+        ~requests_per_client:requests ~gen ~seed:(Int64.of_int seed) ();
+      let times = Detmt.Active.response_times system in
+      let hi = Detmt.Summary.max times +. 1e-6 in
+      let h = Detmt.Histogram.create ~lo:0.0 ~hi ~buckets:16 in
+      List.iter
+        (fun t -> Detmt.Histogram.add h t)
+        (List.init (Detmt.Summary.count times) (fun i ->
+             Detmt.Summary.quantile times
+               (float_of_int i /. float_of_int (Detmt.Summary.count times))));
+      Format.printf "@.response-time histogram (ms):@.%a" Detmt.Histogram.pp h
+    end
+  in
+  let term =
+    Term.(
+      const run $ scheduler_arg $ clients_arg $ requests_arg $ replicas_arg
+      $ seed_arg $ workload_arg $ latency_arg $ histogram_flag)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload under one scheduler and report.")
+    term
+
+(* --------------------------- experiments ---------------------------- *)
+
+let table_cmd name doc make =
+  let term = Term.(const (fun csv -> emit csv (make ())) $ csv_flag) in
+  Cmd.v (Cmd.info name ~doc) term
+
+let fig1_cmd =
+  let run csv chart =
+    let table, series = Detmt.Experiment.figure1 () in
+    emit csv table;
+    if chart then Detmt.Series.chart Format.std_formatter series
+  in
+  let chart_flag =
+    Arg.(value & flag & info [ "chart" ] ~doc:"Also draw the ASCII chart.")
+  in
+  Cmd.v
+    (Cmd.info "fig1"
+       ~doc:"Figure 1: response time vs clients for all five algorithms.")
+    Term.(const run $ csv_flag $ chart_flag)
+
+let fig4_cmd =
+  Cmd.v
+    (Cmd.info "fig4" ~doc:"Figure 4: the code transformation example.")
+    Term.(const (fun () -> print_string (Detmt.Experiment.figure4 ())) $ const ())
+
+let schedulers_cmd =
+  let show () =
+    List.iter
+      (fun s ->
+        Format.printf "%-9s %s%s@." s.Detmt.Registry.name
+          s.Detmt.Registry.description
+          (if s.Detmt.Registry.needs_prediction then
+             "  [needs predictive transform]"
+           else ""))
+      Detmt.Registry.all
+  in
+  Cmd.v
+    (Cmd.info "schedulers" ~doc:"List the available decision modules.")
+    Term.(const show $ const ())
+
+let transform_cmd =
+  let show workload file predictive =
+    let cls =
+      match file with
+      | Some path -> load_dml path
+      | None -> fst (resolve_workload workload)
+    in
+    let transformed =
+      if predictive then fst (Detmt.Transform.predictive cls)
+      else Detmt.Transform.basic cls
+    in
+    Format.printf "%a@." Detmt.Pretty.class_def transformed
+  in
+  let predictive_flag =
+    Arg.(value & flag
+         & info [ "predictive" ]
+             ~doc:"Apply the predictive transformation (with lock \
+                   announcements) instead of the basic one.")
+  in
+  Cmd.v
+    (Cmd.info "transform"
+       ~doc:"Print a workload class after the scheduler-call transformation.")
+    Term.(const show $ workload_arg $ file_arg $ predictive_flag)
+
+let timeline_cmd =
+  let show scheduler workload clients =
+    let workload_tag =
+      match workload with
+      | "disjoint" -> `Disjoint
+      | "tail" | _ -> `Tail
+    in
+    let tl =
+      Detmt.Experiment.timeline ~scheduler ~workload:workload_tag ~clients ()
+    in
+    Detmt.Timeline.render Format.std_formatter tl
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Draw the per-thread schedule of a small run (the visual form of \
+          figures 2 and 3).")
+    Term.(const show $ scheduler_arg $ workload_arg $ clients_arg)
+
+let analyse_cmd =
+  let show workload file =
+    let cls =
+      match file with
+      | Some path -> load_dml path
+      | None -> fst (resolve_workload workload)
+    in
+    let _, summary = Detmt.Transform.predictive cls in
+    Format.printf "prediction summary of %s:@."
+      summary.Detmt.Predict.class_name;
+    List.iter
+      (fun (m : Detmt.Predict.method_summary) ->
+        Format.printf "  %s:%s@." m.mname
+          (if m.fallback then
+             Printf.sprintf " FALLBACK (%s)"
+               (Option.value ~default:"?" m.fallback_reason)
+           else "");
+        List.iter
+          (fun (i : Detmt.Predict.sid_info) ->
+            Format.printf "    sid %-3d %-18s %s%s@." i.sid
+              (Format.asprintf "%a" Detmt.Pretty.sync_param i.param)
+              (Detmt.Param_class.show i.classification)
+              (match i.in_loops with
+              | [] -> ""
+              | l ->
+                "  [in loops "
+                ^ String.concat "," (List.map string_of_int l)
+                ^ "]"))
+          m.sids;
+        List.iter
+          (fun (l : Detmt.Predict.loop_info) ->
+            Format.printf "    loop %-2d sids={%s} %s%s@." l.lid
+              (String.concat "," (List.map string_of_int l.sids))
+              (if l.changing then "changing" else "fixed")
+              (if l.opaque then " (opaque call)" else ""))
+          m.loops)
+      summary.Detmt.Predict.methods;
+    Detmt.Interference.pp_report Format.std_formatter
+      (Detmt.Interference.analyse cls)
+  in
+  Cmd.v
+    (Cmd.info "analyse"
+       ~doc:
+         "Print the static lock analysis of a workload: prediction summary \
+          and interference report.")
+    Term.(const show $ workload_arg $ file_arg)
+
+let default =
+  Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
+
+let () =
+  let info =
+    Cmd.info "detmt-cli" ~version:"1.0.0"
+      ~doc:
+        "Deterministic multithreading strategies for replicated objects — \
+         experiment driver."
+  in
+  let cmds =
+    [ run_cmd; fig1_cmd;
+      table_cmd "fig1b" "Figure 1 ablation: compute-heavy variant."
+        Detmt.Experiment.figure1b;
+      table_cmd "fig2" "Figure 2: last-lock hand-off." (fun () ->
+          Detmt.Experiment.figure2 ());
+      table_cmd "fig3" "Figure 3: non-conflicting mutexes." (fun () ->
+          Detmt.Experiment.figure3 ());
+      fig4_cmd;
+      table_cmd "wan" "LSA vs MAT under growing network latency." (fun () ->
+          Detmt.Experiment.wan ());
+      table_cmd "failover" "Leader-failure take-over time." (fun () ->
+          Detmt.Experiment.failover ());
+      table_cmd "pds" "PDS batch-size and dummy-message sweep." (fun () ->
+          Detmt.Experiment.pds_batch ());
+      table_cmd "overhead" "Bookkeeping-overhead crossover (section 5)."
+        (fun () -> Detmt.Experiment.overhead ());
+      table_cmd "prodcons" "Producer/consumer over condition variables."
+        (fun () -> Detmt.Experiment.prodcons ());
+      table_cmd "determinism" "Replica-consistency matrix." (fun () ->
+          Detmt.Experiment.determinism ());
+      table_cmd "model" "Analytic model vs simulator (section 5)." (fun () ->
+          Detmt.Experiment.model ());
+      Cmd.v
+        (Cmd.info "interference"
+           ~doc:"Static interference analysis (section 5).")
+        Term.(
+          const (fun () ->
+              Detmt.Interference.pp_report Format.std_formatter
+                (Detmt.Experiment.interference ()))
+          $ const ());
+      table_cmd "saturation" "Open-loop load sweep (saturation points)."
+        (fun () -> Detmt.Experiment.saturation ());
+      timeline_cmd; analyse_cmd; schedulers_cmd; transform_cmd ]
+  in
+  exit (Cmd.eval (Cmd.group ~default info cmds))

@@ -1,0 +1,1 @@
+examples/bank.ml: Active Ast Builder Client Consistency Detmt Engine Format List Printf Replica Rng Summary

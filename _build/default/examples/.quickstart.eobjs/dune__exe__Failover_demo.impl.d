@@ -1,0 +1,1 @@
+examples/failover_demo.ml: Active Array Char Client Consistency Detmt Disjoint Engine Failover Format List

@@ -1,0 +1,1 @@
+examples/hand_over_hand.ml: Active Ast Builder Class_def Client Consistency Detmt Engine Format List Pretty Summary Transform

@@ -1,0 +1,1 @@
+examples/passive_backup.ml: Ast Builder Detmt Engine Format List Passive Printf Replica Rng String

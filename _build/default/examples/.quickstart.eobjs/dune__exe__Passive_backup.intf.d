@@ -1,0 +1,1 @@
+examples/passive_backup.mli:

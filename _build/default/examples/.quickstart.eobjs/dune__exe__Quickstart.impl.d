@@ -1,0 +1,1 @@
+examples/quickstart.ml: Active Builder Client Consistency Detmt Engine Format List Replica Summary Trace

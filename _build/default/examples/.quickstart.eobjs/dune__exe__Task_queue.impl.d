@@ -1,0 +1,1 @@
+examples/task_queue.ml: Active Builder Client Consistency Detmt Engine Format List Replica Summary

@@ -1,0 +1,102 @@
+(* A replicated bank with fine-grained, per-account locking — the situation
+   the paper's lock prediction is made for: most transfers touch disjoint
+   account pairs, so a predicting scheduler can run them concurrently while
+   pessimistic MAT serialises everything through the primary token.
+
+   The example also shows a classic hazard disarmed by deterministic
+   scheduling: [transfer] locks two accounts in argument order, so two
+   opposite transfers could deadlock under free-running threads; under the
+   queue disciplines here, lock acquisition order is a deterministic
+   function of the request order and the cycle cannot form.
+
+   Run with:  dune exec examples/bank.exe *)
+
+open Detmt
+
+let accounts = 16
+
+let balance i = Printf.sprintf "balance%d" i
+
+(* The mini language addresses state fields statically, so we generate one
+   method per account (deposits) and per account pair (transfers) — exactly
+   what a stub compiler would emit.  Mutex i guards account i and arrives as
+   a request argument, which makes every lock announceable at method entry
+   (section 4.2). *)
+let bank_class =
+  let open Builder in
+  let deposit i =
+    meth
+      (Printf.sprintf "deposit%d" i)
+      ~params:1
+      [ sync (arg 0) [ compute 0.4; state_incr (balance i) 1 ];
+        compute 0.2;
+      ]
+  in
+  let transfer i j =
+    meth
+      (Printf.sprintf "transfer%d_%d" i j)
+      ~params:2
+      [ sync (arg 0)
+          [ compute 0.2;
+            sync (arg 1)
+              [ compute 0.4; state_incr (balance i) (-1);
+                state_incr (balance j) 1 ];
+          ];
+        compute 0.2;
+      ]
+  in
+  let deposits = List.init accounts deposit in
+  let transfers =
+    List.concat
+      (List.init (accounts / 2) (fun k ->
+           [ transfer (2 * k) ((2 * k) + 1); transfer ((2 * k) + 1) (2 * k) ]))
+  in
+  cls ~cname:"Bank" ~state_fields:(List.init accounts balance)
+    (deposits @ transfers)
+
+(* Clients: each owns an account pair (2k, 2k+1); a request is a deposit or
+   a transfer inside the pair, with all randomness drawn client-side. *)
+let gen ~client ~seq:_ rng =
+  let k = client mod (accounts / 2) in
+  let a = 2 * k and b = (2 * k) + 1 in
+  if Rng.bool rng 0.5 then (Printf.sprintf "deposit%d" a, [| Ast.Vmutex a |])
+  else if Rng.bool rng 0.5 then
+    (Printf.sprintf "transfer%d_%d" a b, [| Ast.Vmutex a; Ast.Vmutex b |])
+  else (Printf.sprintf "transfer%d_%d" b a, [| Ast.Vmutex b; Ast.Vmutex a |])
+
+let run scheduler =
+  let engine = Engine.create () in
+  let system =
+    Active.create ~engine ~cls:bank_class
+      ~params:{ Active.default_params with scheduler }
+      ()
+  in
+  Client.run_clients ~engine ~system ~clients:8 ~requests_per_client:20 ~gen
+    ();
+  let report = Consistency.check (Active.live_replicas system) in
+  let total_balance =
+    match Active.replicas system with
+    | r :: _ ->
+      List.fold_left (fun acc (_, v) -> acc + v) 0 (Replica.state_snapshot r)
+    | [] -> 0
+  in
+  Format.printf
+    "%-7s mean=%6.2f ms  p95=%6.2f ms  makespan=%7.1f ms  total balance=%d  \
+     consistent=%b@."
+    scheduler
+    (Summary.mean (Active.response_times system))
+    (Summary.quantile (Active.response_times system) 0.95)
+    (Engine.now engine) total_balance
+    (report.Consistency.states_agree && report.Consistency.acquisitions_agree)
+
+let () =
+  Format.printf
+    "Replicated bank: %d accounts, per-account locks, 8 clients x 20 \
+     requests@.(deposits and two-account transfers)@.@."
+    accounts;
+  List.iter run [ "seq"; "sat"; "pds"; "mat"; "mat-ll"; "pmat"; "lsa"; "adaptive" ];
+  Format.printf
+    "@.Lock prediction (pmat) approaches LSA without extra network traffic: \
+     every@.transfer announces both account locks at method entry, so \
+     disjoint pairs are@.granted concurrently (Figure 3's ideal), while \
+     plain MAT funnels every@.acquisition through the primary token.@."

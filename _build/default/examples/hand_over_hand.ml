@@ -1,0 +1,71 @@
+(* Hand-over-hand (lock-coupling) traversal with explicit
+   java.util.concurrent-style locks — the section 5 extension.
+
+   A request walks a chain of segments, always holding the current
+   segment's lock while acquiring the next one and releasing the previous
+   one behind it.  This access pattern cannot be written with lexical
+   [synchronized] blocks; with explicit locks the transformation still
+   assigns each acquisition site a syncid, announces both locks at method
+   entry (they arrive as request arguments) and verifies per-path balance.
+
+   Requests over disjoint chain segments are independent; watch predicted
+   MAT pipeline them while plain MAT serialises everything.
+
+   Run with:  dune exec examples/hand_over_hand.exe *)
+
+open Detmt
+
+let segments = 9
+
+(* walk(a, b): couple locks over segments a -> b. *)
+let chain_class =
+  let open Builder in
+  cls ~cname:"Chain" ~state_fields:[ "visited" ]
+    [ meth "walk" ~params:2
+        [ lock_acquire (arg 0);
+          compute 1.0 (* inspect segment a *);
+          lock_acquire (arg 1);
+          lock_release (arg 0);
+          compute 1.0 (* inspect segment b *);
+          state_incr "visited" 1;
+          lock_release (arg 1);
+          compute 0.5 (* build the reply *);
+        ];
+    ]
+
+let gen ~client ~seq:_ _rng =
+  (* Client k walks the segment pair (2k, 2k+1): pairs are disjoint across
+     clients, but the coupling pattern makes that invisible to pessimistic
+     schedulers. *)
+  let a = 2 * client mod segments in
+  ("walk", [| Ast.Vmutex a; Ast.Vmutex (a + 1) |])
+
+let run scheduler =
+  let engine = Engine.create () in
+  let system =
+    Active.create ~engine ~cls:chain_class
+      ~params:{ Active.default_params with scheduler }
+      ()
+  in
+  Client.run_clients ~engine ~system ~clients:4 ~requests_per_client:20 ~gen
+    ();
+  let report = Consistency.check (Active.live_replicas system) in
+  Format.printf "%-7s mean=%6.2f ms  makespan=%7.1f ms  consistent=%b@."
+    scheduler
+    (Summary.mean (Active.response_times system))
+    (Engine.now engine)
+    (report.Consistency.states_agree && report.Consistency.acquisitions_agree)
+
+let () =
+  Format.printf
+    "Hand-over-hand locking over a %d-segment chain (explicit \
+     java.util.concurrent@.locks, the section 5 extension): 4 clients x 20 \
+     walks over disjoint pairs.@.@."
+    segments;
+  (* Show the transformed method once: two acquisition sites, two
+     announcements, path-balanced releases. *)
+  let transformed, _ = Transform.predictive chain_class in
+  Format.printf "%a@.@."
+    Pretty.method_def
+    (Class_def.find_method_exn transformed "walk");
+  List.iter run [ "seq"; "sat"; "pds"; "mat"; "mat-ll"; "pmat"; "lsa" ]

@@ -1,0 +1,52 @@
+(* Quickstart: replicate a counter object across three replicas and watch a
+   deterministic scheduler keep them consistent.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Detmt
+
+(* 1. Describe the remote object in the mini object language.  This is the
+   Java the paper's middleware would transform: a counter whose [bump]
+   method locks the object's monitor, updates shared state and does a bit of
+   computation. *)
+let counter_class =
+  let open Builder in
+  cls ~cname:"Counter" ~state_fields:[ "count" ]
+    [ meth "bump"
+        [ compute 1.0 (* demarshal *);
+          sync this [ state_incr "count" 1 ];
+          compute 0.5 (* build reply *);
+        ];
+    ]
+
+let () =
+  (* 2. Build a replicated deployment: three replicas running the MAT
+     scheduler on a simulated network.  The constructor transforms the class
+     (synchronized blocks become scheduler calls) exactly like the FTflex
+     deployment step. *)
+  let engine = Engine.create () in
+  let system =
+    Active.create ~engine ~cls:counter_class
+      ~params:{ Active.default_params with scheduler = "mat" }
+      ()
+  in
+
+  (* 3. A few closed-loop clients hammer the object. *)
+  let gen ~client:_ ~seq:_ _rng = ("bump", [||]) in
+  Client.run_clients ~engine ~system ~clients:4 ~requests_per_client:25 ~gen
+    ();
+
+  (* 4. Observe: all requests answered, every replica has the same state,
+     and the scheduling traces are bit-identical. *)
+  Format.printf "virtual time: %.1f ms@." (Engine.now engine);
+  Format.printf "replies:      %d@." (Active.replies_received system);
+  Format.printf "response:     %a@." Summary.pp (Active.response_times system);
+  List.iter
+    (fun replica ->
+      Format.printf "replica %d:    count=%d trace=%Lx@." (Replica.id replica)
+        (List.assoc "count" (Replica.state_snapshot replica))
+        (Trace.fingerprint (Replica.trace replica)))
+    (Active.replicas system);
+  let report = Consistency.check (Active.live_replicas system) in
+  Format.printf "consistency:  %a@." Consistency.pp report;
+  if not (Consistency.consistent report) then exit 1

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.pp.ml: Ast Class_def Detmt_lang Hashtbl List String

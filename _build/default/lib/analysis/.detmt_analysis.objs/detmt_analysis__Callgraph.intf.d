@@ -1,0 +1,1 @@
+lib/analysis/callgraph.pp.mli: Detmt_lang

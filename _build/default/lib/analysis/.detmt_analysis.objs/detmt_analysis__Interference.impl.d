@@ -1,0 +1,1 @@
+lib/analysis/interference.pp.ml: Ast Class_def Detmt_lang Format Hashtbl List Option Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/analysis/interference.pp.mli: Detmt_lang Format Ppx_deriving_runtime

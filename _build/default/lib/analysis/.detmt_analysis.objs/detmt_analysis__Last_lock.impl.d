@@ -1,0 +1,1 @@
+lib/analysis/last_lock.pp.ml: Ast Class_def Detmt_lang List Paths Ppx_deriving_runtime

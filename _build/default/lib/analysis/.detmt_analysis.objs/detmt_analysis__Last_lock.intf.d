@@ -1,0 +1,1 @@
+lib/analysis/last_lock.pp.mli: Detmt_lang Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/analysis/loops.pp.ml: Ast Detmt_lang List Param_class Ppx_deriving_runtime

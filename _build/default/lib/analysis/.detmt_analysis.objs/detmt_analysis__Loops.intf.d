@@ -1,0 +1,1 @@
+lib/analysis/loops.pp.mli: Detmt_lang Param_class Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/analysis/param_class.pp.ml: Ast Detmt_lang Hashtbl List Ppx_deriving_runtime

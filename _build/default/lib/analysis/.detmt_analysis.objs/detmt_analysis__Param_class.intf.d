@@ -1,0 +1,1 @@
+lib/analysis/param_class.pp.mli: Detmt_lang Ppx_deriving_runtime

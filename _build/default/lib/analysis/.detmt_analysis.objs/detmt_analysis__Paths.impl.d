@@ -1,0 +1,1 @@
+lib/analysis/paths.pp.ml: Ast Detmt_lang List Ppx_deriving_runtime

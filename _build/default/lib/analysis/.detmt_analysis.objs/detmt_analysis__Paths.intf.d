@@ -1,0 +1,1 @@
+lib/analysis/paths.pp.mli: Ast Detmt_lang Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/analysis/predict.pp.ml: Detmt_lang List Param_class Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/analysis/predict.pp.mli: Detmt_lang Param_class Ppx_deriving_runtime

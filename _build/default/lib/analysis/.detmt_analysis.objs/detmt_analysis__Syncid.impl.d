@@ -1,0 +1,1 @@
+lib/analysis/syncid.pp.ml:

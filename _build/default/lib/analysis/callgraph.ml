@@ -1,0 +1,88 @@
+open Detmt_lang
+
+type edge_kind = Static | Virtual
+
+type t = {
+  cls : Class_def.t;
+  edges : (string * string * edge_kind) list; (* caller, callee, kind *)
+}
+
+let rec stmt_callees acc = function
+  | Ast.Call m -> (m, Static) :: acc
+  | Ast.Virtual_call { candidates; selector = _ } ->
+    List.fold_left (fun acc m -> (m, Virtual) :: acc) acc candidates
+  | Ast.Sync (_, body) -> block_callees acc body
+  | Ast.If (_, a, b) -> block_callees (block_callees acc a) b
+  | Ast.Loop { body; _ } -> block_callees acc body
+  | Ast.Compute _ | Ast.Assign _ | Ast.Assign_field _ | Ast.Lock_acquire _
+  | Ast.Lock_release _ | Ast.Wait _ | Ast.Wait_until _ | Ast.Notify _
+  | Ast.Nested _ | Ast.State_update _ | Ast.Sched_lock _ | Ast.Sched_unlock _
+  | Ast.Lockinfo _ | Ast.Ignore_sync _ | Ast.Loop_enter _ | Ast.Loop_exit _ ->
+    acc
+
+and block_callees acc body = List.fold_left stmt_callees acc body
+
+let build cls =
+  let edges =
+    List.concat_map
+      (fun (m : Class_def.method_def) ->
+        block_callees [] m.body
+        |> List.rev_map (fun (callee, kind) -> (m.name, callee, kind)))
+      cls.Class_def.methods
+  in
+  { cls; edges }
+
+let callees t name =
+  let direct =
+    List.filter_map
+      (fun (caller, callee, _) ->
+        if String.equal caller name then Some callee else None)
+      t.edges
+  in
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun c ->
+      if Hashtbl.mem seen c then false
+      else begin
+        Hashtbl.add seen c ();
+        true
+      end)
+    direct
+
+let reachable t name =
+  let visited = Hashtbl.create 8 in
+  let order = ref [] in
+  let rec visit m =
+    if not (Hashtbl.mem visited m) then begin
+      Hashtbl.add visited m ();
+      order := m :: !order;
+      List.iter visit (callees t m)
+    end
+  in
+  visit name;
+  List.rev !order
+
+let recursive_methods t =
+  (* A method is recursive iff it can reach itself through at least one call
+     edge. *)
+  let can_reach_self m =
+    List.exists (fun callee -> List.mem m (reachable t callee)) (callees t m)
+  in
+  List.filter can_reach_self (Class_def.method_names t.cls)
+
+let in_recursion t name =
+  let cyclic = recursive_methods t in
+  List.exists (fun m -> List.mem m cyclic) (reachable t name)
+
+let non_final_calls t start =
+  let methods_from = reachable t start in
+  List.filter_map
+    (fun (caller, callee, kind) ->
+      if not (List.mem caller methods_from) then None
+      else
+        match Class_def.find_method t.cls callee with
+        | None -> Some (caller, callee) (* undefined: treat as unanalysable *)
+        | Some def ->
+          if (not def.final) || kind = Virtual then Some (caller, callee)
+          else None)
+    t.edges

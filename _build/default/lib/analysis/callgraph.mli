@@ -1,0 +1,29 @@
+(** Call graph of a class: static calls, virtual dispatch candidates,
+    recursion detection and finality audit.
+
+    Section 4 restricts prediction to programs where "all methods that are
+    called are final" and "there is no recursion"; section 4.4 relaxes both.
+    This module supplies the facts those decisions need. *)
+
+type t
+
+val build : Detmt_lang.Class_def.t -> t
+
+val callees : t -> string -> string list
+(** Direct callees (static and virtual candidates), duplicates removed,
+    in first-occurrence order. *)
+
+val reachable : t -> string -> string list
+(** All methods reachable from the given method, including itself. *)
+
+val recursive_methods : t -> string list
+(** Methods that participate in a call cycle (including self-recursion). *)
+
+val in_recursion : t -> string -> bool
+(** Whether the method can reach a call cycle (so path-based prediction must
+    fall back, section 4.4 third restriction). *)
+
+val non_final_calls : t -> string -> (string * string) list
+(** [(caller, callee)] pairs reachable from the given start method where the
+    callee is not final — the section 4.4 second restriction.  Virtual
+    dispatch candidates are always included here. *)

@@ -1,0 +1,185 @@
+open Detmt_lang
+
+type mutex_set = Top | Known of int list
+[@@deriving show { with_path = false }, eq]
+
+let this_mutex = -1
+
+let union a b =
+  match (a, b) with
+  | Top, _ | _, Top -> Top
+  | Known xs, Known ys -> Known (List.sort_uniq compare (xs @ ys))
+
+let empty = Known []
+
+let may_interfere a b =
+  match (a, b) with
+  | Top, _ | _, Top -> true
+  | Known xs, Known ys -> List.exists (fun x -> List.mem x ys) xs
+
+(* Abstract value of a mutex expression, given the abstract environment of
+   locals and fields. *)
+let abstract_mexpr ~fields ~locals = function
+  | Ast.Mconst m -> Known [ m ]
+  | Ast.Marg _ -> Top (* request-supplied *)
+  | Ast.Mlocal v -> (
+    match Hashtbl.find_opt locals v with Some s -> s | None -> Top)
+  | Ast.Mfield f -> (
+    match Hashtbl.find_opt fields f with Some s -> s | None -> Top)
+  | Ast.Mglobal _ -> assert false (* handled via class globals below *)
+  | Ast.Mcall _ -> Top
+
+let abstract_param cls ~fields ~locals = function
+  | Ast.Sp_this -> Known [ this_mutex ]
+  | Ast.Sp_arg _ -> Top
+  | Ast.Sp_local v -> (
+    match Hashtbl.find_opt locals v with Some s -> s | None -> Top)
+  | Ast.Sp_field f -> (
+    match Hashtbl.find_opt fields f with Some s -> s | None -> Top)
+  | Ast.Sp_global g -> (
+    match List.assoc_opt g cls.Class_def.globals with
+    | Some id -> Known [ id ]
+    | None -> Top)
+  | Ast.Sp_call _ -> Top
+
+(* Flow-insensitive abstract values of the class's mutex fields: the initial
+   value joined with every assignment anywhere in the class. *)
+let field_env cls =
+  let fields = Hashtbl.create 8 in
+  List.iter
+    (fun (f, init) -> Hashtbl.replace fields f (Known [ init ]))
+    cls.Class_def.mutex_fields;
+  let locals = Hashtbl.create 8 in
+  let rec scan_stmt = function
+    | Ast.Assign_field (f, e) ->
+      let prev =
+        Option.value ~default:empty (Hashtbl.find_opt fields f)
+      in
+      Hashtbl.replace fields f (union prev (abstract_mexpr ~fields ~locals e))
+    | Ast.Sync (_, b) | Ast.Loop { body = b; _ } -> List.iter scan_stmt b
+    | Ast.If (_, a, b) ->
+      List.iter scan_stmt a;
+      List.iter scan_stmt b
+    | Ast.Compute _ | Ast.Assign _ | Ast.Lock_acquire _ | Ast.Lock_release _
+    | Ast.Wait _ | Ast.Wait_until _ | Ast.Notify _ | Ast.Nested _
+    | Ast.State_update _ | Ast.Call _ | Ast.Virtual_call _ | Ast.Sched_lock _
+    | Ast.Sched_unlock _ | Ast.Lockinfo _ | Ast.Ignore_sync _
+    | Ast.Loop_enter _ | Ast.Loop_exit _
+      ->
+      ()
+  in
+  List.iter
+    (fun (m : Class_def.method_def) -> List.iter scan_stmt m.body)
+    cls.Class_def.methods;
+  (* A field assigned a request-dependent value is conservatively re-scanned
+     once: assignments reading other fields pick up their final abstraction.
+     One extra pass reaches the fixpoint because the lattice has height 2
+     per field (Known -> Top). *)
+  List.iter
+    (fun (m : Class_def.method_def) -> List.iter scan_stmt m.body)
+    cls.Class_def.methods;
+  fields
+
+(* One pass over a method body given the current per-method sets (for call
+   edges); flow-insensitive local environment built on the fly. *)
+let method_pass cls ~fields ~method_sets (m : Class_def.method_def) =
+  let locals = Hashtbl.create 8 in
+  let acc = ref empty in
+  let add s = acc := union !acc s in
+  let callee name =
+    match Hashtbl.find_opt method_sets name with
+    | Some s -> s
+    | None -> Top (* undefined method: opaque *)
+  in
+  let rec scan_stmt = function
+    | Ast.Assign (v, e) ->
+      let prev = Option.value ~default:empty (Hashtbl.find_opt locals v) in
+      Hashtbl.replace locals v (union prev (abstract_mexpr ~fields ~locals e))
+    | Ast.Sync (p, b) ->
+      add (abstract_param cls ~fields ~locals p);
+      List.iter scan_stmt b
+    | Ast.Sched_lock (_, p) | Ast.Lock_acquire p ->
+      add (abstract_param cls ~fields ~locals p)
+    | Ast.Lock_release _ -> ()
+    | Ast.Loop { body = b; _ } -> List.iter scan_stmt b
+    | Ast.If (_, a, b) ->
+      List.iter scan_stmt a;
+      List.iter scan_stmt b
+    | Ast.Call name -> add (callee name)
+    | Ast.Virtual_call { candidates; _ } ->
+      List.iter (fun c -> add (callee c)) candidates
+    | Ast.Compute _ | Ast.Assign_field _ | Ast.Wait _ | Ast.Wait_until _
+    | Ast.Notify _ | Ast.Nested _ | Ast.State_update _ | Ast.Sched_unlock _
+    | Ast.Lockinfo _ | Ast.Ignore_sync _ | Ast.Loop_enter _ | Ast.Loop_exit _
+      ->
+      ()
+  in
+  List.iter scan_stmt m.body;
+  !acc
+
+let all_method_sets cls =
+  let fields = field_env cls in
+  let method_sets = Hashtbl.create 8 in
+  List.iter
+    (fun (m : Class_def.method_def) ->
+      Hashtbl.replace method_sets m.Class_def.name empty)
+    cls.Class_def.methods;
+  (* Fixpoint over the call graph: sets only grow, and the lattice height is
+     bounded, so iteration terminates (recursion included). *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (m : Class_def.method_def) ->
+        let s = method_pass cls ~fields ~method_sets m in
+        if not (equal_mutex_set s (Hashtbl.find method_sets m.name)) then begin
+          Hashtbl.replace method_sets m.name s;
+          changed := true
+        end)
+      cls.Class_def.methods
+  done;
+  method_sets
+
+let method_mutexes cls ~meth =
+  match Hashtbl.find_opt (all_method_sets cls) meth with
+  | Some s -> s
+  | None -> invalid_arg ("Interference.method_mutexes: no method " ^ meth)
+
+type report = {
+  class_name : string;
+  sets : (string * mutex_set) list;
+  independent_pairs : (string * string) list;
+}
+
+let analyse cls =
+  let method_sets = all_method_sets cls in
+  let starts = Class_def.start_methods cls in
+  let sets =
+    List.map
+      (fun (m : Class_def.method_def) ->
+        (m.name, Hashtbl.find method_sets m.name))
+      starts
+  in
+  let independent_pairs =
+    List.concat_map
+      (fun (a, sa) ->
+        List.filter_map
+          (fun (b, sb) ->
+            if a < b && not (may_interfere sa sb) then Some (a, b) else None)
+          sets)
+      sets
+  in
+  { class_name = cls.cname; sets; independent_pairs }
+
+let pp_report ppf r =
+  Format.fprintf ppf "interference analysis of %s:@." r.class_name;
+  List.iter
+    (fun (name, s) ->
+      Format.fprintf ppf "  %-20s %s@." name (show_mutex_set s))
+    r.sets;
+  match r.independent_pairs with
+  | [] -> Format.fprintf ppf "  (no provably independent method pairs)@."
+  | pairs ->
+    List.iter
+      (fun (a, b) -> Format.fprintf ppf "  %s and %s never interfere@." a b)
+      pairs

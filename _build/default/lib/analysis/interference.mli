@@ -1,0 +1,44 @@
+(** Static interference analysis (section 5 future work: "sophisticated data
+    flow analysis that may help to statically determine which threads will
+    never interfere at all").
+
+    For every start method the analysis computes an over-approximation of the
+    mutexes its threads can ever lock.  Two methods {e may interfere} when
+    those sets can overlap; methods whose sets are provably disjoint can be
+    scheduled without any mutual conflict checks, whatever their requests
+    carry.
+
+    Abstraction of a synchronisation parameter:
+    - [this] — the object's own monitor (one known id per object);
+    - a constant, instance field or global — the statically known initial id
+      (fields are tracked only when never reassigned);
+    - a method parameter, a local fed from a parameter, or a call result —
+      {e any} mutex ([Top]): requests choose it at run time.
+
+    The result is sound for the transformed program: a [Top] set interferes
+    with everything, so prediction never under-approximates. *)
+
+type mutex_set =
+  | Top  (** may lock anything (a request-supplied or opaque mutex) *)
+  | Known of int list  (** locks only these ids (sorted); [this] = -1 *)
+[@@deriving show, eq]
+
+val this_mutex : int
+(** The abstract id used for the object's own monitor. *)
+
+val method_mutexes : Detmt_lang.Class_def.t -> meth:string -> mutex_set
+(** Over-approximate the mutexes reachable from a start method, following
+    calls (virtual candidates included); recursion is handled by fixpoint. *)
+
+val may_interfere : mutex_set -> mutex_set -> bool
+
+type report = {
+  class_name : string;
+  sets : (string * mutex_set) list;  (** per start method *)
+  independent_pairs : (string * string) list;
+      (** start-method pairs that can never interfere *)
+}
+
+val analyse : Detmt_lang.Class_def.t -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,56 @@
+open Detmt_lang
+
+type path_report = {
+  locks : int list;
+  last : int option;
+  tail_compute_ms : float;
+  tail_has_unknown : bool;
+}
+[@@deriving show { with_path = false }, eq]
+
+type report = {
+  mname : string;
+  all_sids : int list;
+  final_sids : int list;
+  paths : path_report list;
+  max_tail_compute_ms : float;
+}
+[@@deriving show { with_path = false }, eq]
+
+let path_report path =
+  let locks = Paths.locks_of_path path in
+  let last = match List.rev locks with [] -> None | sid :: _ -> Some sid in
+  (* Events after the final unlock form the tail computation. *)
+  let tail =
+    let rec strip_to_last_unlock acc = function
+      | [] -> acc
+      | Paths.E_unlock _ :: rest -> strip_to_last_unlock rest rest
+      | _ :: rest -> strip_to_last_unlock acc rest
+    in
+    strip_to_last_unlock path path
+  in
+  let tail_compute_ms, tail_has_unknown =
+    List.fold_left
+      (fun (ms, unknown) ev ->
+        match ev with
+        | Paths.E_compute (Ast.Fixed d) -> (ms +. d, unknown)
+        | Paths.E_compute (Ast.Arg_dur _) -> (ms, true)
+        | _ -> (ms, unknown))
+      (0.0, false) tail
+  in
+  let tail_compute_ms = if last = None then 0.0 else tail_compute_ms in
+  { locks; last; tail_compute_ms; tail_has_unknown }
+
+let analyse ?max_paths ?resolve cls ~meth =
+  let m = Class_def.find_method_exn cls meth in
+  let paths = Paths.enumerate ?max_paths ?resolve m.body in
+  let reports = List.map path_report paths in
+  let all_sids = Paths.sids_of paths in
+  let final_sids =
+    List.filter_map (fun r -> r.last) reports |> List.sort_uniq compare
+  in
+  let max_tail =
+    List.fold_left (fun acc r -> max acc r.tail_compute_ms) 0.0 reports
+  in
+  { mname = meth; all_sids; final_sids; paths = reports;
+    max_tail_compute_ms = max_tail }

@@ -1,0 +1,41 @@
+(** Last-lock analysis (section 4.1, Figure 2).
+
+    "Usually, the last unlock is followed by a final computation. ...
+    Providing the scheduler with information about when a thread's last lock
+    has been released enables to change the primary even before thread
+    termination."
+
+    The static part of the optimisation is simply the per-start-method list of
+    syncids plus [ignore] coverage of untaken paths (done by the transformer);
+    the bookkeeping module then detects at run time that the list is
+    exhausted.  This module reports the facts the optimisation exploits: which
+    syncids can be a path's final lock and how much computation typically
+    follows it. *)
+
+type path_report = {
+  locks : int list;  (** syncids locked along the path, in order *)
+  last : int option;  (** final lock of the path, if any *)
+  tail_compute_ms : float;
+      (** fixed computation time after the path's last unlock *)
+  tail_has_unknown : bool;
+      (** an argument-valued duration follows the last unlock *)
+}
+[@@deriving show, eq]
+
+type report = {
+  mname : string;
+  all_sids : int list;  (** every syncid on some path, sorted *)
+  final_sids : int list;  (** syncids that are last on at least one path *)
+  paths : path_report list;
+  max_tail_compute_ms : float;
+}
+[@@deriving show, eq]
+
+val analyse :
+  ?max_paths:int ->
+  ?resolve:(string -> Detmt_lang.Ast.block option) ->
+  Detmt_lang.Class_def.t ->
+  meth:string ->
+  report
+(** Analyse one (instrumented or raw) start method.
+    @raise Invalid_argument when the method does not exist. *)

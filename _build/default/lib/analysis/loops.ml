@@ -1,0 +1,37 @@
+open Detmt_lang
+
+type kind = Fixed_mutexes | Changing
+[@@deriving show { with_path = false }, eq]
+
+let rec params_of_stmt acc = function
+  | Ast.Sync (p, body) -> params_of_block (p :: acc) body
+  | Ast.Sched_lock (_, p) -> p :: acc
+  | Ast.Lock_acquire p -> p :: acc
+  | Ast.Lock_release _ -> acc
+  | Ast.If (_, a, b) -> params_of_block (params_of_block acc a) b
+  | Ast.Loop { body; _ } -> params_of_block acc body
+  | Ast.Compute _ | Ast.Assign _ | Ast.Assign_field _ | Ast.Wait _
+  | Ast.Wait_until _ | Ast.Notify _ | Ast.Nested _ | Ast.State_update _
+  | Ast.Call _ | Ast.Virtual_call _ | Ast.Sched_unlock _ | Ast.Lockinfo _
+  | Ast.Ignore_sync _ | Ast.Loop_enter _ | Ast.Loop_exit _ ->
+    acc
+
+and params_of_block acc body = List.fold_left params_of_stmt acc body
+
+let sync_params_in body = List.rev (params_of_block [] body)
+
+let contains_sync body = sync_params_in body <> []
+
+let classify_loop prof ~body =
+  let announceable p =
+    not (Param_class.is_spontaneous (Param_class.classify prof p))
+  in
+  if List.for_all announceable (sync_params_in body) then Fixed_mutexes
+  else Changing
+
+(* Section 5: "this can also help to determine upper bounds for loops" —
+   a constant count is its own bound; request-supplied counts are unknown
+   statically. *)
+let static_bound = function
+  | Ast.Cfixed n -> Some (max 0 n)
+  | Ast.Carg _ -> None

@@ -1,0 +1,26 @@
+(** Classification of locking inside loops (section 4.4, first relaxation).
+
+    A loop is {e fixed} when every synchronized block it (transitively)
+    contains locks a parameter that is non-spontaneous and not assigned within
+    the loop — the set of mutexes is known before the loop starts, only the
+    locking quantity is unknown.  Otherwise the loop is {e changing}: the
+    thread can only be considered predicted after the loop has finished. *)
+
+type kind = Fixed_mutexes | Changing [@@deriving show, eq]
+
+val sync_params_in : Detmt_lang.Ast.block -> Detmt_lang.Ast.sync_param list
+(** All synchronisation parameters of sync blocks in the given block,
+    transitively (including nested loops), in pre-order. *)
+
+val contains_sync : Detmt_lang.Ast.block -> bool
+
+val classify_loop :
+  Param_class.profile -> body:Detmt_lang.Ast.block -> kind
+(** Classify a loop given the assignment profile of the enclosing method.
+    [Param_class.classify] already demotes locals assigned inside any loop to
+    spontaneous, so a loop is [Fixed_mutexes] iff every contained sync
+    parameter classifies as announceable. *)
+
+val static_bound : Detmt_lang.Ast.count -> int option
+(** The statically known iteration upper bound of a loop count (section 5);
+    [None] when the count travels in the request. *)

@@ -1,0 +1,63 @@
+open Detmt_lang
+
+type spontaneous_reason =
+  | Field
+  | Global
+  | Call_result
+  | Multi_assigned
+  | Assigned_in_loop
+  | Unassigned
+[@@deriving show { with_path = false }, eq]
+
+type t =
+  | Announce_at_entry
+  | Announce_after_assign of string
+  | Spontaneous of spontaneous_reason
+[@@deriving show { with_path = false }, eq]
+
+type profile = (string, int * bool) Hashtbl.t
+(* local name -> (assignment count, any assignment inside a loop) *)
+
+let record tbl ~in_loop v =
+  let count, looped =
+    match Hashtbl.find_opt tbl v with Some p -> p | None -> (0, false)
+  in
+  Hashtbl.replace tbl v (count + 1, looped || in_loop)
+
+let rec scan_stmt tbl ~in_loop = function
+  | Ast.Assign (v, _) -> record tbl ~in_loop v
+  | Ast.Sync (_, body) -> scan_block tbl ~in_loop body
+  | Ast.If (_, a, b) ->
+    scan_block tbl ~in_loop a;
+    scan_block tbl ~in_loop b
+  | Ast.Loop { body; _ } -> scan_block tbl ~in_loop:true body
+  | Ast.Compute _ | Ast.Assign_field _ | Ast.Lock_acquire _
+  | Ast.Lock_release _ | Ast.Wait _ | Ast.Wait_until _ | Ast.Notify _
+  | Ast.Nested _ | Ast.State_update _ | Ast.Call _ | Ast.Virtual_call _
+  | Ast.Sched_lock _ | Ast.Sched_unlock _ | Ast.Lockinfo _ | Ast.Ignore_sync _
+  | Ast.Loop_enter _ | Ast.Loop_exit _ ->
+    ()
+
+and scan_block tbl ~in_loop body = List.iter (scan_stmt tbl ~in_loop) body
+
+let profile body =
+  let tbl = Hashtbl.create 16 in
+  scan_block tbl ~in_loop:false body;
+  tbl
+
+let classify prof = function
+  | Ast.Sp_this -> Announce_at_entry
+  | Ast.Sp_arg _ -> Announce_at_entry
+  | Ast.Sp_field _ -> Spontaneous Field
+  | Ast.Sp_global _ -> Spontaneous Global
+  | Ast.Sp_call _ -> Spontaneous Call_result
+  | Ast.Sp_local v -> (
+    match Hashtbl.find_opt prof v with
+    | None -> Spontaneous Unassigned
+    | Some (1, false) -> Announce_after_assign v
+    | Some (1, true) -> Spontaneous Assigned_in_loop
+    | Some (_, _) -> Spontaneous Multi_assigned)
+
+let is_spontaneous = function
+  | Spontaneous _ -> true
+  | Announce_at_entry | Announce_after_assign _ -> false

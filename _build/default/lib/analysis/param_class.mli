@@ -1,0 +1,38 @@
+(** Classification of synchronisation parameters (section 4.2).
+
+    [this], method parameters, and method-local variables whose last
+    assignment is statically known are {e announceable}: the transformer can
+    emit [scheduler.lockInfo] ahead of the lock.  Instance variables, globals
+    and call results are {e spontaneous}: "the parameter is unknown until the
+    locking happens."
+
+    A local counts as announceable only when it has exactly one assignment in
+    the (inlined) method body and that assignment is not inside a loop — then
+    that assignment is provably the last one before any subsequent lock. *)
+
+type spontaneous_reason =
+  | Field  (** instance variable *)
+  | Global  (** globally accessible object *)
+  | Call_result  (** return value of a method call *)
+  | Multi_assigned  (** local with several assignments: last one unknown *)
+  | Assigned_in_loop  (** local assigned inside a loop: value may change *)
+  | Unassigned  (** local never assigned (ill-formed program) *)
+[@@deriving show, eq]
+
+type t =
+  | Announce_at_entry  (** [this] or a method parameter *)
+  | Announce_after_assign of string
+      (** after the unique assignment to this local *)
+  | Spontaneous of spontaneous_reason
+[@@deriving show, eq]
+
+type profile
+(** Assignment profile of one method body. *)
+
+val profile : Detmt_lang.Ast.block -> profile
+(** Scan a body for assignments to locals, recording multiplicity and whether
+    any assignment occurs inside a loop. *)
+
+val classify : profile -> Detmt_lang.Ast.sync_param -> t
+
+val is_spontaneous : t -> bool

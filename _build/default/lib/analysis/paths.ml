@@ -1,0 +1,80 @@
+open Detmt_lang
+
+type event =
+  | E_lock of int * Ast.sync_param
+  | E_unlock of int * Ast.sync_param
+  | E_lockinfo of int * Ast.sync_param
+  | E_ignore of int
+  | E_loop_enter of int
+  | E_loop_exit of int
+  | E_wait of Ast.sync_param
+  | E_notify of Ast.sync_param
+  | E_nested of int
+  | E_compute of Ast.dur
+  | E_call of string
+  | E_state of string
+[@@deriving show { with_path = false }, eq]
+
+exception Too_many_paths of int
+
+(* Paths are built as a cross product over statements: [stmt_paths] returns
+   the event-sequence alternatives of one statement, [block_paths] the
+   alternatives of a sequence.  The [budget] guards combinatorial blow-up. *)
+
+let check_budget budget n = if n > budget then raise (Too_many_paths n)
+
+let cross budget prefixes suffixes =
+  check_budget budget (List.length prefixes * List.length suffixes);
+  List.concat_map (fun p -> List.map (fun s -> p @ s) suffixes) prefixes
+
+let rec stmt_paths budget resolve stmt : event list list =
+  match stmt with
+  | Ast.Compute d -> [ [ E_compute d ] ]
+  | Ast.Assign _ | Ast.Assign_field _ -> [ [] ]
+  | Ast.Sync (p, body) ->
+    let inner = block_paths budget resolve body in
+    List.map (fun path -> (E_lock (-1, p) :: path) @ [ E_unlock (-1, p) ])
+      inner
+  | Ast.Lock_acquire p -> [ [ E_lock (-1, p) ] ]
+  | Ast.Lock_release p -> [ [ E_unlock (-1, p) ] ]
+  | Ast.Wait p -> [ [ E_wait p ] ]
+  | Ast.Wait_until { param; field = _; min = _ } -> [ [ E_wait param ] ]
+  | Ast.Notify { param; all = _ } -> [ [ E_notify param ] ]
+  | Ast.Nested { service; duration = _ } -> [ [ E_nested service ] ]
+  | Ast.State_update (f, _) -> [ [ E_state f ] ]
+  | Ast.If (_, a, b) ->
+    let pa = block_paths budget resolve a in
+    let pb = block_paths budget resolve b in
+    check_budget budget (List.length pa + List.length pb);
+    pa @ pb
+  | Ast.Loop { body; _ } ->
+    (* zero iterations, or one symbolic iteration *)
+    let once = block_paths budget resolve body in
+    check_budget budget (List.length once + 1);
+    [] :: once
+  | Ast.Call m -> (
+    match resolve m with
+    | Some body -> block_paths budget resolve body
+    | None -> [ [ E_call m ] ])
+  | Ast.Virtual_call { candidates; selector = _ } ->
+    List.map (fun m -> [ E_call m ]) candidates
+  | Ast.Sched_lock (sid, p) -> [ [ E_lock (sid, p) ] ]
+  | Ast.Sched_unlock (sid, p) -> [ [ E_unlock (sid, p) ] ]
+  | Ast.Lockinfo (sid, p) -> [ [ E_lockinfo (sid, p) ] ]
+  | Ast.Ignore_sync sid -> [ [ E_ignore sid ] ]
+  | Ast.Loop_enter lid -> [ [ E_loop_enter lid ] ]
+  | Ast.Loop_exit lid -> [ [ E_loop_exit lid ] ]
+
+and block_paths budget resolve body =
+  List.fold_left
+    (fun acc stmt -> cross budget acc (stmt_paths budget resolve stmt))
+    [ [] ] body
+
+let enumerate ?(max_paths = 10_000) ?(resolve = fun _ -> None) body =
+  block_paths max_paths resolve body
+
+let locks_of_path path =
+  List.filter_map (function E_lock (sid, _) -> Some sid | _ -> None) path
+
+let sids_of paths =
+  List.concat_map locks_of_path paths |> List.sort_uniq compare

@@ -1,0 +1,45 @@
+(** Execution-path enumeration.
+
+    Section 4.1: "by code analysis, we can figure out all execution paths for
+    all start methods and the syncids of the synchronized blocks on the
+    paths."  A path is the sequence of synchronisation-relevant events along
+    one resolution of every conditional.  Loops are not unrolled: each loop
+    contributes a zero-iteration and a one-iteration variant, which is enough
+    to check instrumentation coverage (per-iteration behaviour is handled by
+    the loop markers at run time). *)
+
+open Detmt_lang
+
+type event =
+  | E_lock of int * Ast.sync_param
+  | E_unlock of int * Ast.sync_param
+  | E_lockinfo of int * Ast.sync_param
+  | E_ignore of int
+  | E_loop_enter of int
+  | E_loop_exit of int
+  | E_wait of Ast.sync_param
+  | E_notify of Ast.sync_param
+  | E_nested of int
+  | E_compute of Ast.dur
+  | E_call of string  (** unresolved dynamic call *)
+  | E_state of string
+[@@deriving show, eq]
+
+exception Too_many_paths of int
+
+val enumerate :
+  ?max_paths:int ->
+  ?resolve:(string -> Ast.block option) ->
+  Ast.block ->
+  event list list
+(** [enumerate body] returns every execution path.  Raw [Sync] blocks produce
+    [E_lock]/[E_unlock] with syncid [-1]; instrumented programs produce the
+    injected ids.  [resolve] inlines static calls (virtual calls always
+    surface as [E_call]).  Raises {!Too_many_paths} beyond [max_paths]
+    (default 10_000). *)
+
+val locks_of_path : event list -> int list
+(** Syncids of [E_lock] events, in order. *)
+
+val sids_of : event list list -> int list
+(** Sorted, de-duplicated syncids locked on at least one path. *)

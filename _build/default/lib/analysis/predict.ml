@@ -1,0 +1,54 @@
+type sid_info = {
+  sid : int;
+  param : Detmt_lang.Ast.sync_param;
+  classification : Param_class.t;
+  in_loops : int list;
+}
+[@@deriving show { with_path = false }, eq]
+
+type loop_info = {
+  lid : int;
+  sids : int list;
+  changing : bool;
+  opaque : bool;
+  bound : int option; (* statically known iteration upper bound, section 5 *)
+}
+[@@deriving show { with_path = false }, eq]
+
+type method_summary = {
+  mname : string;
+  fallback : bool;
+  fallback_reason : string option;
+  sids : sid_info list;
+  loops : loop_info list;
+}
+[@@deriving show { with_path = false }, eq]
+
+type class_summary = {
+  class_name : string;
+  methods : method_summary list;
+}
+[@@deriving show { with_path = false }, eq]
+
+let find_method cs name =
+  List.find_opt (fun m -> String.equal m.mname name) cs.methods
+
+let sid_info ms sid = List.find_opt (fun i -> i.sid = sid) ms.sids
+
+let loop_info ms lid = List.find_opt (fun l -> l.lid = lid) ms.loops
+
+let spontaneous_sids ms =
+  List.filter_map
+    (fun i ->
+      if Param_class.is_spontaneous i.classification then Some i.sid else None)
+    ms.sids
+
+let announceable_sids ms =
+  List.filter_map
+    (fun i ->
+      if Param_class.is_spontaneous i.classification then None else Some i.sid)
+    ms.sids
+
+let fallback_summary ~mname ~reason =
+  { mname; fallback = true; fallback_reason = Some reason; sids = [];
+    loops = [] }

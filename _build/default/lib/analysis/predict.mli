@@ -1,0 +1,57 @@
+(** Static prediction summaries.
+
+    This is the "static information that is used to initialise the scheduler"
+    (section 4): for every start method, the list of syncids the programme
+    flow can pass, the classification of each lock parameter, and the loop
+    scopes.  The scheduler's bookkeeping module keeps a per-thread copy of
+    this table and updates it from the injected [lockInfo] / [ignore] /
+    loop-marker calls. *)
+
+type sid_info = {
+  sid : int;
+  param : Detmt_lang.Ast.sync_param;
+  classification : Param_class.t;
+  in_loops : int list;  (** enclosing loop scopes, outermost first *)
+}
+[@@deriving show, eq]
+
+type loop_info = {
+  lid : int;
+  sids : int list;  (** syncids transitively inside the scope *)
+  changing : bool;
+      (** kind-B loop or opaque-call region: mutexes unknown until exit *)
+  opaque : bool;  (** scope wraps a non-analysable call, not a real loop *)
+  bound : int option;
+      (** statically known iteration upper bound (section 5: "determine
+          upper bounds for loops"); [None] for request-dependent counts and
+          opaque regions *)
+}
+[@@deriving show, eq]
+
+type method_summary = {
+  mname : string;
+  fallback : bool;
+      (** prediction disabled for this start method (e.g. recursion) *)
+  fallback_reason : string option;
+  sids : sid_info list;
+  loops : loop_info list;
+}
+[@@deriving show, eq]
+
+type class_summary = {
+  class_name : string;
+  methods : method_summary list;  (** one summary per start method *)
+}
+[@@deriving show, eq]
+
+val find_method : class_summary -> string -> method_summary option
+
+val sid_info : method_summary -> int -> sid_info option
+
+val loop_info : method_summary -> int -> loop_info option
+
+val spontaneous_sids : method_summary -> int list
+
+val announceable_sids : method_summary -> int list
+
+val fallback_summary : mname:string -> reason:string -> method_summary

@@ -1,0 +1,17 @@
+type t = { mutable next_sync : int; mutable next_loop : int }
+
+let create () = { next_sync = 1; next_loop = 1 }
+
+let fresh_sync t =
+  let id = t.next_sync in
+  t.next_sync <- id + 1;
+  id
+
+let fresh_loop t =
+  let id = t.next_loop in
+  t.next_loop <- id + 1;
+  id
+
+let sync_count t = t.next_sync - 1
+
+let loop_count t = t.next_loop - 1

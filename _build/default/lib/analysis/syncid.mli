@@ -1,0 +1,20 @@
+(** Allocation of globally unique sync and loop identifiers.
+
+    Section 4.1: "a list of all synchronized blocks the programme flow can
+    pass is necessary.  Each of them gets a globally unique syncid."  The
+    allocator hands out syncids (for synchronized blocks) and loopids (for
+    loops and opaque-call regions) from independent counters, both starting at
+    1 to match the paper's examples. *)
+
+type t
+
+val create : unit -> t
+
+val fresh_sync : t -> int
+
+val fresh_loop : t -> int
+
+val sync_count : t -> int
+(** Number of syncids allocated so far. *)
+
+val loop_count : t -> int

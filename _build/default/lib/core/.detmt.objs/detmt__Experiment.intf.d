@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Detmt_analysis Detmt_lang Detmt_replication Detmt_sim Detmt_stats Detmt_workload

@@ -1,0 +1,1 @@
+lib/core/model.ml: Detmt_runtime Detmt_workload Float

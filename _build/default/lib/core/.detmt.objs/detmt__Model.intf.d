@@ -1,0 +1,1 @@
+lib/core/model.mli: Detmt_runtime Detmt_workload

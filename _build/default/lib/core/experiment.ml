@@ -1,0 +1,593 @@
+open Detmt_sim
+open Detmt_stats
+open Detmt_replication
+
+type run_result = {
+  scheduler : string;
+  clients : int;
+  replies : int;
+  mean_response_ms : float;
+  p95_response_ms : float;
+  throughput_per_s : float;
+  broadcasts : int;
+  message_kinds : (string * int) list;
+  consistent : bool;
+  cpu_busy_ms : float;
+  duration_ms : float;
+}
+
+let run_workload ?(seed = 42L) ?(params = Active.default_params)
+    ?(requests_per_client = 10) ~scheduler ~clients ~cls ~gen () =
+  let engine = Engine.create () in
+  let params = { params with Active.scheduler } in
+  let system = Active.create ~engine ~cls ~params () in
+  Client.run_clients ~engine ~system ~clients ~requests_per_client ~gen ~seed
+    ();
+  let times = Active.response_times system in
+  let duration_ms = Engine.now engine in
+  let report = Consistency.check (Active.live_replicas system) in
+  (* Observable consistency: states and per-mutex acquisition orders.  Full
+     trace identity additionally holds for all schedulers except LSA (the
+     determinism matrix shows the fine-grained picture). *)
+  let observably_consistent =
+    report.Consistency.states_agree && report.Consistency.acquisitions_agree
+  in
+  let replies = Active.replies_received system in
+  { scheduler; clients; replies;
+    mean_response_ms = Summary.mean times;
+    p95_response_ms = Summary.quantile times 0.95;
+    throughput_per_s =
+      (if duration_ms > 0.0 then 1000.0 *. float_of_int replies /. duration_ms
+       else 0.0);
+    broadcasts = Active.broadcasts system;
+    message_kinds = Active.message_stats system;
+    consistent = observably_consistent;
+    cpu_busy_ms =
+      (match Active.replicas system with
+      | r :: _ -> Detmt_runtime.Replica.cpu_busy_ms r
+      | [] -> 0.0);
+    duration_ms }
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Figure 1                                                       *)
+
+let default_clients = [ 1; 2; 4; 8; 16; 32 ]
+
+let figure1 ?(clients_list = default_clients)
+    ?(schedulers = Detmt_sched.Registry.paper_figure1)
+    ?(requests_per_client = 10) ?(workload = Detmt_workload.Figure1.default)
+    () =
+  let cls = Detmt_workload.Figure1.cls workload in
+  let gen = Detmt_workload.Figure1.gen workload in
+  let table =
+    Table.create
+      ~title:
+        "Figure 1: mean response time (ms) vs #clients, 3 replicas \
+         (10-iteration method; p=0.2 nested 12ms; p=0.2 compute 10ms; 100 \
+         mutexes)"
+      ~columns:("clients" :: schedulers)
+  in
+  let series =
+    List.map (fun s -> Series.create ~name:s) schedulers
+  in
+  List.iter
+    (fun clients ->
+      let row =
+        List.map
+          (fun scheduler ->
+            let r =
+              run_workload ~scheduler ~clients ~requests_per_client ~cls ~gen
+                ()
+            in
+            r.mean_response_ms)
+          schedulers
+      in
+      List.iter2
+        (fun s y -> Series.add s ~x:(float_of_int clients) ~y)
+        series row;
+      Table.add_float_row table ~label:(string_of_int clients) row)
+    clients_list;
+  (table, series)
+
+let figure1b ?(clients_list = default_clients)
+    ?(schedulers = Detmt_sched.Registry.paper_figure1 @ [ "pmat" ]) () =
+  let workload = Detmt_workload.Figure1.compute_heavy in
+  let cls = Detmt_workload.Figure1.cls workload in
+  let gen = Detmt_workload.Figure1.gen workload in
+  let table =
+    Table.create
+      ~title:
+        "Figure 1 ablation (compute-heavy): 20ms lock-free front \
+         computation per request — mean response time (ms) vs #clients"
+      ~columns:("clients" :: schedulers)
+  in
+  List.iter
+    (fun clients ->
+      let row =
+        List.map
+          (fun scheduler ->
+            (run_workload ~scheduler ~clients ~cls ~gen ()).mean_response_ms)
+          schedulers
+      in
+      Table.add_float_row table ~label:(string_of_int clients) row)
+    clients_list;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E2 — Figure 2: last-lock hand-off                                   *)
+
+let figure2 ?(clients_list = [ 2; 4; 8; 16 ]) () =
+  let wl = Detmt_workload.Tail_compute.default in
+  let cls = Detmt_workload.Tail_compute.cls wl in
+  let gen = Detmt_workload.Tail_compute.gen wl in
+  let schedulers = [ "mat"; "mat-ll"; "pmat" ] in
+  let table =
+    Table.create
+      ~title:
+        "Figure 2: locking pattern after the last lock — mean response (ms); \
+         1ms critical section, 20ms tail computation, shared mutex"
+      ~columns:("clients" :: schedulers)
+  in
+  List.iter
+    (fun clients ->
+      let row =
+        List.map
+          (fun scheduler ->
+            (run_workload ~scheduler ~clients ~cls ~gen ()).mean_response_ms)
+          schedulers
+      in
+      Table.add_float_row table ~label:(string_of_int clients) row)
+    clients_list;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E3 — Figure 3: non-conflicting mutexes                              *)
+
+let figure3 ?(clients_list = [ 2; 4; 8; 16 ]) () =
+  let wl = Detmt_workload.Disjoint.default in
+  let cls = Detmt_workload.Disjoint.cls wl in
+  let gen = Detmt_workload.Disjoint.gen in
+  let schedulers = [ "seq"; "mat"; "mat-ll"; "pmat" ] in
+  let table =
+    Table.create
+      ~title:
+        "Figure 3: non-conflicting mutexes — mean response (ms); each client \
+         locks a private mutex (5ms critical section, 2ms tail)"
+      ~columns:("clients" :: schedulers)
+  in
+  List.iter
+    (fun clients ->
+      let row =
+        List.map
+          (fun scheduler ->
+            (run_workload ~scheduler ~clients ~cls ~gen ()).mean_response_ms)
+          schedulers
+      in
+      Table.add_float_row table ~label:(string_of_int clients) row)
+    clients_list;
+  table
+
+(* Render a small run's per-thread schedule — the visual form of the
+   paper's Figures 2 and 3. *)
+let timeline ?(scheduler = "mat") ?(workload = `Tail) ?(clients = 3)
+    ?(requests = 2) () =
+  let cls, gen =
+    match workload with
+    | `Tail ->
+      let wl =
+        { Detmt_workload.Tail_compute.default with
+          Detmt_workload.Tail_compute.tail_ms = 10.0 }
+      in
+      (Detmt_workload.Tail_compute.cls wl, Detmt_workload.Tail_compute.gen wl)
+    | `Disjoint ->
+      ( Detmt_workload.Disjoint.cls Detmt_workload.Disjoint.default,
+        Detmt_workload.Disjoint.gen )
+  in
+  let engine = Engine.create () in
+  let system =
+    Active.create ~engine ~cls
+      ~params:{ Active.default_params with scheduler } ()
+  in
+  Client.run_clients ~engine ~system ~clients ~requests_per_client:requests
+    ~gen ();
+  match Active.replicas system with
+  | r :: _ ->
+    Detmt_sim.Timeline.of_trace
+      (Detmt_sim.Trace.timed_events (Detmt_runtime.Replica.trace r))
+  | [] -> Detmt_sim.Timeline.of_trace []
+
+(* ------------------------------------------------------------------ *)
+(* E4 — Figure 4: the transformation example                           *)
+
+let figure4 () =
+  let open Detmt_lang in
+  let source =
+    let open Builder in
+    cls ~cname:"Figure4" ~mutex_fields:[ ("myo", 7) ] ~state_fields:[ "st" ]
+      [ meth "foo" ~params:1
+          [ if_
+              (field_eq_arg "myo" 0)
+              [ sync (arg 0) [ state_incr "st" 1 ] ]
+              [ sync (field "myo") [ state_incr "st" 1 ] ];
+          ];
+      ]
+  in
+  let transformed, _summary = Detmt_transform.Transform.predictive source in
+  Format.asprintf
+    "--- source ---------------------------------------------------@.%a@.@.--- \
+     after code analysis and injection ----------------------------@.%a@."
+    Pretty.method_def
+    (Class_def.find_method_exn source "foo")
+    Pretty.method_def
+    (Class_def.find_method_exn transformed "foo")
+
+(* ------------------------------------------------------------------ *)
+(* E5 — WAN: LSA's broadcast dependence                                *)
+
+let wan
+    ?(latencies_ms = [ 0.1; 0.5; 2.0; 8.0; 20.0; 50.0; 100.0; 200.0 ])
+    ?(clients = 8) () =
+  let wl = Detmt_workload.Figure1.default in
+  let cls = Detmt_workload.Figure1.cls wl in
+  let gen = Detmt_workload.Figure1.gen wl in
+  let schedulers = [ "lsa"; "mat" ] in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "WAN sweep (%d clients): mean response (ms) and broadcasts vs \
+            one-way network latency"
+           clients)
+      ~columns:
+        [ "latency_ms"; "lsa"; "mat"; "lsa_broadcasts"; "mat_broadcasts" ]
+  in
+  List.iter
+    (fun latency ->
+      let results =
+        List.map
+          (fun scheduler ->
+            let params =
+              { Active.default_params with net_latency_ms = latency }
+            in
+            run_workload ~params ~scheduler ~clients ~cls ~gen ())
+          schedulers
+      in
+      match results with
+      | [ lsa; mat ] ->
+        Table.add_row table
+          [ Printf.sprintf "%.1f" latency;
+            Printf.sprintf "%.2f" lsa.mean_response_ms;
+            Printf.sprintf "%.2f" mat.mean_response_ms;
+            string_of_int lsa.broadcasts;
+            string_of_int mat.broadcasts ]
+      | _ -> assert false)
+    latencies_ms;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E6 — leader failover                                                *)
+
+type failover_row = {
+  f_scheduler : string;
+  f_takeover_ms : float;
+  f_replies_after : int;
+  f_consistent_after : bool;
+}
+
+let failover_run ~scheduler =
+  (* The disjoint workload has no nested invocations, so killing replica 0
+     does not disturb the external-call invoker role: any take-over delay is
+     purely the scheduler's.  LSA stalls until the failure is detected and a
+     new leader decides; the symmetric algorithms continue seamlessly. *)
+  let wl = Detmt_workload.Disjoint.default in
+  let cls = Detmt_workload.Disjoint.cls wl in
+  let gen = Detmt_workload.Disjoint.gen in
+  let engine = Engine.create () in
+  let system =
+    Active.create ~engine ~cls ~params:{ Active.default_params with scheduler }
+      ()
+  in
+  let kill_at = 150.0 in
+  (* Replica 0 is the initial leader for LSA. *)
+  Failover.kill_and_measure ~system ~replica:0 ~at:kill_at;
+  Client.run_clients ~engine ~system ~clients:8 ~requests_per_client:30 ~gen
+    ~until_ms:60_000.0 ();
+  let a = Failover.analyze ~system ~kill_at in
+  let report = Consistency.check (Active.live_replicas system) in
+  { f_scheduler = scheduler; f_takeover_ms = a.takeover_ms;
+    f_replies_after = a.replies_after;
+    f_consistent_after =
+      report.Consistency.states_agree
+      && report.Consistency.acquisitions_agree }
+
+let failover ?(schedulers = [ "lsa"; "mat"; "sat" ]) () =
+  let table =
+    Table.create
+      ~title:
+        "Leader failover at t=150ms (detection timeout 50ms): extra reply \
+         gap caused by the failure"
+      ~columns:[ "scheduler"; "takeover_ms"; "replies_after"; "consistent" ]
+  in
+  List.iter
+    (fun scheduler ->
+      let r = failover_run ~scheduler in
+      Table.add_row table
+        [ r.f_scheduler;
+          Printf.sprintf "%.2f" r.f_takeover_ms;
+          string_of_int r.f_replies_after;
+          string_of_bool r.f_consistent_after ])
+    schedulers;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E7 — PDS batching                                                   *)
+
+let pds_batch ?(batches = [ 1; 2; 4; 8; 16 ]) ?(clients_list = [ 2; 8; 32 ])
+    () =
+  let wl = Detmt_workload.Figure1.default in
+  let cls = Detmt_workload.Figure1.cls wl in
+  let gen = Detmt_workload.Figure1.gen wl in
+  let table =
+    Table.create
+      ~title:
+        "PDS batch-size sweep: mean response (ms) / dummy broadcasts, per \
+         #clients"
+      ~columns:
+        ("batch"
+        :: List.map (fun c -> Printf.sprintf "%dc resp" c) clients_list
+        @ List.map (fun c -> Printf.sprintf "%dc dummies" c) clients_list)
+  in
+  List.iter
+    (fun batch ->
+      let results =
+        List.map
+          (fun clients ->
+            let config =
+              { Detmt_runtime.Config.default with pds_batch = batch }
+            in
+            let params = { Active.default_params with config } in
+            run_workload ~params ~scheduler:"pds" ~clients ~cls ~gen ())
+          clients_list
+      in
+      let dummy_count r =
+        match List.assoc_opt "pds-dummy" r.message_kinds with
+        | Some n -> n
+        | None -> 0
+      in
+      Table.add_row table
+        (string_of_int batch
+        :: List.map (fun r -> Printf.sprintf "%.2f" r.mean_response_ms)
+             results
+        @ List.map (fun r -> string_of_int (dummy_count r)) results))
+    batches;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E8 — bookkeeping overhead crossover                                 *)
+
+let overhead
+    ?(bookkeeping_ms = [ 0.0; 0.01; 0.1; 0.5; 1.0; 2.0; 5.0; 10.0 ])
+    ?(clients = 8) () =
+  (* Two extremes: disjoint locks, where prediction buys full concurrency
+     (a large gain the bookkeeping cost merely erodes), and a single shared
+     mutex, where prediction cannot reorder anything — there the injected
+     calls are pure overhead and PMAT crosses below MAT.  This is the
+     section 5 question: "at which point performance decreases again due to
+     runtime overhead". *)
+  let disjoint = Detmt_workload.Disjoint.default in
+  let contended =
+    { Detmt_workload.Tail_compute.lock_ms = 5.0; tail_ms = 2.0;
+      shared_mutex = true }
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Bookkeeping-overhead sweep (%d clients): mean response (ms); \
+            disjoint locks (prediction pays) vs one shared mutex \
+            (prediction cannot help)"
+           clients)
+      ~columns:
+        [ "bookkeeping_ms"; "mat/disj"; "pmat/disj"; "mat/shared";
+          "pmat/shared"; "mat/fig1"; "pmat/fig1" ]
+  in
+  List.iter
+    (fun bk ->
+      let run scheduler ~cls ~gen =
+        let config =
+          { Detmt_runtime.Config.default with bookkeeping_overhead_ms = bk }
+        in
+        let params = { Active.default_params with config } in
+        (run_workload ~params ~scheduler ~clients ~cls ~gen ())
+          .mean_response_ms
+      in
+      let d_cls = Detmt_workload.Disjoint.cls disjoint in
+      let d_gen = Detmt_workload.Disjoint.gen in
+      let c_cls = Detmt_workload.Tail_compute.cls contended in
+      let c_gen = Detmt_workload.Tail_compute.gen contended in
+      let f_wl = Detmt_workload.Figure1.default in
+      let f_cls = Detmt_workload.Figure1.cls f_wl in
+      let f_gen = Detmt_workload.Figure1.gen f_wl in
+      Table.add_row table
+        [ Printf.sprintf "%.3f" bk;
+          Printf.sprintf "%.2f" (run "mat" ~cls:d_cls ~gen:d_gen);
+          Printf.sprintf "%.2f" (run "pmat" ~cls:d_cls ~gen:d_gen);
+          Printf.sprintf "%.2f" (run "mat" ~cls:c_cls ~gen:c_gen);
+          Printf.sprintf "%.2f" (run "pmat" ~cls:c_cls ~gen:c_gen);
+          Printf.sprintf "%.2f" (run "mat" ~cls:f_cls ~gen:f_gen);
+          Printf.sprintf "%.2f" (run "pmat" ~cls:f_cls ~gen:f_gen) ])
+    bookkeeping_ms;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E13 — open-loop saturation: throughput limits per scheduler          *)
+
+let saturation ?(rates = [ 10.0; 25.0; 50.0; 100.0; 200.0 ])
+    ?(schedulers = [ "seq"; "sat"; "mat"; "lsa"; "pmat" ]) ?(requests = 150)
+    () =
+  let wl = Detmt_workload.Figure1.default in
+  let cls = Detmt_workload.Figure1.cls wl in
+  let gen = Detmt_workload.Figure1.gen wl in
+  let table =
+    Table.create
+      ~title:
+        "Open-loop saturation (Poisson arrivals, Figure-1 workload): mean \
+         response (ms) vs offered load; '-' = backlog still growing at the \
+         measurement horizon"
+      ~columns:("req/s" :: schedulers)
+  in
+  List.iter
+    (fun rate ->
+      let row =
+        List.map
+          (fun scheduler ->
+            let engine = Engine.create () in
+            let system =
+              Active.create ~engine ~cls
+                ~params:{ Active.default_params with scheduler }
+                ()
+            in
+            let horizon =
+              (* generous: 10x the time the load would need at capacity *)
+              10.0 *. (float_of_int requests *. 1000.0 /. rate)
+            in
+            Client.run_open_loop ~engine ~system ~rate_per_s:rate ~requests
+              ~gen ~until_ms:horizon ();
+            if Active.replies_received system < requests then "-"
+            else
+              Printf.sprintf "%.1f"
+                (Summary.mean (Active.response_times system)))
+          schedulers
+      in
+      Table.add_row table (Printf.sprintf "%.0f" rate :: row))
+    rates;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E11 — the section-5 analytic model vs the simulator                 *)
+
+let model ?(clients_list = [ 4; 8; 16; 32 ])
+    ?(schedulers = [ "seq"; "sat"; "mat"; "lsa" ]) () =
+  (* Use the compute-heavy Figure-1 variant: the model's MAT/SAT distinction
+     is the pre-lock computation, which the paper's base workload barely
+     has. *)
+  let wl = Detmt_workload.Figure1.compute_heavy in
+  let cls = Detmt_workload.Figure1.cls wl in
+  let gen = Detmt_workload.Figure1.gen wl in
+  let table =
+    Table.create
+      ~title:
+        "Analytic model vs simulation (compute-heavy Figure-1 workload): \
+         mean response (ms), model / measured / error"
+      ~columns:
+        ("clients"
+        :: List.concat_map
+             (fun s -> [ s ^ " model"; s ^ " sim"; s ^ " err%" ])
+             schedulers)
+  in
+  List.iter
+    (fun clients ->
+      let cells =
+        List.concat_map
+          (fun scheduler ->
+            let w = Model.of_figure1 ~clients wl in
+            let predicted = Model.predict_response_ms w ~scheduler in
+            let measured =
+              (run_workload ~scheduler ~clients ~cls ~gen ())
+                .mean_response_ms
+            in
+            let err = 100.0 *. (predicted -. measured) /. measured in
+            [ Printf.sprintf "%.1f" predicted;
+              Printf.sprintf "%.1f" measured;
+              Printf.sprintf "%+.0f" err ])
+          schedulers
+      in
+      Table.add_row table (string_of_int clients :: cells))
+    clients_list;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E12 — static interference analysis (section 5)                      *)
+
+let interference () =
+  (* The bank from examples/bank.ml in miniature: methods over disjoint
+     account groups never interfere; a method on a request-supplied mutex
+     interferes with everything. *)
+  let open Detmt_lang.Builder in
+  let cls =
+    Detmt_lang.Class_def.make ~cname:"Audit"
+      ~mutex_fields:[ ("ledger", 100); ("journal", 101) ]
+      ~state_fields:[ "st" ]
+      [ meth "post_ledger" [ sync (field "ledger") [ state_incr "st" 1 ] ];
+        meth "post_journal" [ sync (field "journal") [ state_incr "st" 1 ] ];
+        meth "audit_self" [ sync this [ state_incr "st" 1 ] ];
+        meth "touch_any" ~params:1 [ sync (arg 0) [ state_incr "st" 1 ] ];
+      ]
+  in
+  Detmt_analysis.Interference.analyse cls
+
+(* ------------------------------------------------------------------ *)
+(* E9 — producer/consumer                                              *)
+
+let prodcons ?(schedulers = [ "sat"; "lsa"; "pds"; "mat"; "mat-ll"; "pmat" ])
+    ?(clients = 8) () =
+  let wl = Detmt_workload.Prodcons.default in
+  let cls = Detmt_workload.Prodcons.cls wl in
+  let gen = Detmt_workload.Prodcons.gen in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Producer/consumer over condition variables (%d clients; SEQ \
+            excluded: it deadlocks, see section 1)"
+           clients)
+      ~columns:[ "scheduler"; "mean_ms"; "p95_ms"; "replies"; "consistent" ]
+  in
+  List.iter
+    (fun scheduler ->
+      let r = run_workload ~scheduler ~clients ~cls ~gen () in
+      Table.add_row table
+        [ scheduler;
+          Printf.sprintf "%.2f" r.mean_response_ms;
+          Printf.sprintf "%.2f" r.p95_response_ms;
+          string_of_int r.replies;
+          string_of_bool r.consistent ])
+    schedulers;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E10 — determinism matrix                                            *)
+
+let determinism
+    ?(schedulers = [ "seq"; "sat"; "lsa"; "pds"; "mat"; "mat-ll"; "pmat";
+                     "freefall" ]) () =
+  (* High contention (one shared mutex) so that nondeterminism has room to
+     show: freefall must diverge here; LSA agrees on state and per-mutex
+     acquisition order but not on full traces (followers replay the
+     leader's decisions with a different event interleaving). *)
+  let wl = Detmt_workload.Tail_compute.default in
+  let cls = Detmt_workload.Tail_compute.cls wl in
+  let gen = Detmt_workload.Tail_compute.gen wl in
+  let table =
+    Table.create
+      ~title:
+        "Determinism matrix (shared-mutex workload, 8 clients): do the \
+         three replicas agree?"
+      ~columns:[ "scheduler"; "state"; "acquisitions"; "traces" ]
+  in
+  List.iter
+    (fun scheduler ->
+      let engine = Engine.create () in
+      let system =
+        Active.create ~engine ~cls
+          ~params:{ Active.default_params with scheduler } ()
+      in
+      Client.run_clients ~engine ~system ~clients:8 ~requests_per_client:5
+        ~gen ();
+      let r = Consistency.check (Active.live_replicas system) in
+      let mark b = if b then "agree" else "DIVERGE" in
+      Table.add_row table
+        [ scheduler; mark r.states_agree; mark r.acquisitions_agree;
+          mark r.traces_agree ])
+    schedulers;
+  table

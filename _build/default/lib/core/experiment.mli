@@ -1,0 +1,119 @@
+(** One-call experiment runners.
+
+    Each paper artefact (figures 1–4, the section 3.5 comparison claims, and
+    the section 5 overhead question) has a function here that builds the
+    whole simulated system, runs it, and returns printable tables — the same
+    rows/series the paper reports.  The benchmark harness and the CLI are
+    thin wrappers over this module. *)
+
+type run_result = {
+  scheduler : string;
+  clients : int;
+  replies : int;
+  mean_response_ms : float;
+  p95_response_ms : float;
+  throughput_per_s : float;
+  broadcasts : int;
+  message_kinds : (string * int) list;
+  consistent : bool;
+  cpu_busy_ms : float;  (** replica 0 *)
+  duration_ms : float;  (** virtual makespan *)
+}
+
+val run_workload :
+  ?seed:int64 ->
+  ?params:Detmt_replication.Active.params ->
+  ?requests_per_client:int ->
+  scheduler:string ->
+  clients:int ->
+  cls:Detmt_lang.Class_def.t ->
+  gen:Detmt_replication.Client.request_gen ->
+  unit ->
+  run_result
+(** Run one configuration to completion and summarise it.
+    @raise Failure if the simulation deadlocks. *)
+
+val figure1 :
+  ?clients_list:int list ->
+  ?schedulers:string list ->
+  ?requests_per_client:int ->
+  ?workload:Detmt_workload.Figure1.params ->
+  unit ->
+  Detmt_stats.Table.t * Detmt_stats.Series.t list
+(** E1: mean response time vs number of clients, 3 replicas. *)
+
+val figure1b :
+  ?clients_list:int list -> ?schedulers:string list -> unit ->
+  Detmt_stats.Table.t
+(** E1b ablation: the compute-heavy variant — a lock-free front computation
+    per request, where MAT's concurrent secondaries beat SAT clearly. *)
+
+val figure2 :
+  ?clients_list:int list -> unit -> Detmt_stats.Table.t
+(** E2: the last-lock hand-off — MAT vs MAT+LL vs PMAT on the tail-compute
+    workload. *)
+
+val figure3 :
+  ?clients_list:int list -> unit -> Detmt_stats.Table.t
+(** E3: disjoint mutex sets — pessimistic MAT vs predicted MAT. *)
+
+val timeline :
+  ?scheduler:string ->
+  ?workload:[ `Tail | `Disjoint ] ->
+  ?clients:int ->
+  ?requests:int ->
+  unit ->
+  Detmt_sim.Timeline.t
+(** Per-thread schedule of a small run — the visual form of Figures 2/3;
+    render with {!Detmt_sim.Timeline.render}. *)
+
+val figure4 : unit -> string
+(** E4: the code transformation of the paper's [foo] example, rendered
+    before and after. *)
+
+val wan :
+  ?latencies_ms:float list -> ?clients:int -> unit -> Detmt_stats.Table.t
+(** E5: LSA vs MAT under growing network latency. *)
+
+type failover_row = {
+  f_scheduler : string;
+  f_takeover_ms : float;
+  f_replies_after : int;
+  f_consistent_after : bool;
+}
+
+val failover : ?schedulers:string list -> unit -> Detmt_stats.Table.t
+(** E6: leader-failure take-over time. *)
+
+val pds_batch :
+  ?batches:int list -> ?clients_list:int list -> unit -> Detmt_stats.Table.t
+(** E7: PDS batch-size sensitivity and dummy-message overhead. *)
+
+val overhead :
+  ?bookkeeping_ms:float list -> ?clients:int -> unit -> Detmt_stats.Table.t
+(** E8: prediction gain vs bookkeeping cost — the section 5 crossover. *)
+
+val saturation :
+  ?rates:float list ->
+  ?schedulers:string list ->
+  ?requests:int ->
+  unit ->
+  Detmt_stats.Table.t
+(** E13: open-loop (Poisson) load sweep — where each scheduler saturates. *)
+
+val model :
+  ?clients_list:int list -> ?schedulers:string list -> unit ->
+  Detmt_stats.Table.t
+(** E11: the section-5 analytic model against the simulator, per scheduler
+    and client count. *)
+
+val interference : unit -> Detmt_analysis.Interference.report
+(** E12: the section-5 interference analysis on a four-method example. *)
+
+val prodcons :
+  ?schedulers:string list -> ?clients:int -> unit -> Detmt_stats.Table.t
+(** E9: condition-variable workload across schedulers. *)
+
+val determinism :
+  ?schedulers:string list -> unit -> Detmt_stats.Table.t
+(** E10: replica-consistency matrix; the freefall baseline must diverge. *)

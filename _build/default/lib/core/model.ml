@@ -1,0 +1,52 @@
+type workload = {
+  clients : int;
+  cores : int;
+  solo_ms : float;
+  cpu_ms : float;
+  prelock_cpu_ms : float;
+  idle_ms : float;
+}
+
+let of_figure1 ?(config = Detmt_runtime.Config.default) ~clients
+    (p : Detmt_workload.Figure1.params) =
+  let iters = float_of_int p.iterations in
+  let compute = iters *. p.p_compute *. p.compute_ms in
+  let idle = iters *. p.p_nested *. p.nested_ms in
+  (* Every iteration pays one lock and one unlock interception. *)
+  let lock_cost = 2.0 *. iters *. config.Detmt_runtime.Config.lock_overhead_ms in
+  let cpu =
+    p.front_compute_ms +. compute +. lock_cost
+    +. config.Detmt_runtime.Config.reply_build_ms
+  in
+  (* Before its first lock a thread runs the front computation plus, in
+     expectation, the first iteration's optional computation. *)
+  let prelock = p.front_compute_ms +. (p.p_compute *. p.compute_ms) in
+  { clients; cores = config.Detmt_runtime.Config.cores;
+    solo_ms = cpu +. idle; cpu_ms = cpu; prelock_cpu_ms = prelock;
+    idle_ms = idle }
+
+let serialised_demand_ms w ~scheduler =
+  match scheduler with
+  | "seq" ->
+    (* One request start-to-finish at a time, idle time included. *)
+    w.cpu_ms +. w.idle_ms
+  | "sat" | "pds" ->
+    (* A single thread is active; nested idle overlaps with other requests,
+       every computation serialises.  (PDS additionally pays round barriers
+       the first-order model ignores.) *)
+    w.cpu_ms
+  | "mat" | "mat-ll" ->
+    (* Secondaries compute freely until their first lock; from then on the
+       primary token serialises the rest. *)
+    Float.max 0.0 (w.cpu_ms -. w.prelock_cpu_ms)
+  | "lsa" | "pmat" ->
+    (* Only genuine conflicts serialise; with mostly-disjoint locks the
+       bottleneck is the CPU pool. *)
+    w.cpu_ms /. float_of_int w.cores
+  | other -> invalid_arg ("Model: no formula for scheduler " ^ other)
+
+let predict_response_ms w ~scheduler =
+  let demand = serialised_demand_ms w ~scheduler in
+  Float.max w.solo_ms (float_of_int w.clients *. demand)
+
+let covered_schedulers = [ "seq"; "sat"; "pds"; "mat"; "lsa"; "pmat" ]

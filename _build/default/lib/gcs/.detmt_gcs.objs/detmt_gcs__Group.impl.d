@@ -1,0 +1,1 @@
+lib/gcs/group.ml: Detmt_sim Engine List

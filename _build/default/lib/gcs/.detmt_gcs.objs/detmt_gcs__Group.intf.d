@@ -1,0 +1,1 @@
+lib/gcs/group.mli: Detmt_sim

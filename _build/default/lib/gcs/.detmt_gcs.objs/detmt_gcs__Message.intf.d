@@ -1,0 +1,1 @@
+lib/gcs/message.mli: Format

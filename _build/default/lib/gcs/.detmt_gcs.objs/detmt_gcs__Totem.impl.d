@@ -1,0 +1,1 @@
+lib/gcs/totem.ml: Detmt_sim Engine Float Hashtbl List Message Option Printf

@@ -1,0 +1,1 @@
+lib/gcs/totem.mli: Detmt_sim Message

@@ -1,0 +1,22 @@
+type t = {
+  table : (int * int, unit) Hashtbl.t;
+  mutable duplicates : int;
+}
+
+let create () = { table = Hashtbl.create 64; duplicates = 0 }
+
+let seen t ~client ~request = Hashtbl.mem t.table (client, request)
+
+let mark t ~client ~request =
+  if seen t ~client ~request then begin
+    t.duplicates <- t.duplicates + 1;
+    true
+  end
+  else begin
+    Hashtbl.add t.table (client, request) ();
+    false
+  end
+
+let count t = Hashtbl.length t.table
+
+let duplicates t = t.duplicates

@@ -1,0 +1,22 @@
+(** Duplicate-request suppression.
+
+    "Additional replication logic that is transparent to the client ensures a
+    unique message identifier for each client request enabling replicas to
+    ignore duplicated requests."  Identifiers are [(client_id, request_no)]
+    pairs. *)
+
+type t
+
+val create : unit -> t
+
+val mark : t -> client:int -> request:int -> bool
+(** [mark t ~client ~request] returns [true] if the identifier was already
+    seen (a duplicate) and records it otherwise. *)
+
+val seen : t -> client:int -> request:int -> bool
+
+val count : t -> int
+(** Distinct identifiers recorded. *)
+
+val duplicates : t -> int
+(** Number of duplicate deliveries suppressed. *)

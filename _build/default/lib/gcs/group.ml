@@ -1,0 +1,49 @@
+open Detmt_sim
+
+type view = { number : int; members : int list; leader : int }
+
+type t = {
+  engine : Engine.t;
+  detection_timeout_ms : float;
+  mutable view : view;
+  mutable dead : int list;
+  mutable callbacks : (view -> unit) list; (* reverse registration order *)
+}
+
+let make_view number members =
+  match members with
+  | [] -> invalid_arg "Group: view with no members"
+  | _ -> { number; members; leader = List.fold_left min max_int members }
+
+let create engine ~members ~detection_timeout_ms =
+  if members = [] then invalid_arg "Group.create: empty member list";
+  { engine; detection_timeout_ms; view = make_view 0 (List.sort compare members);
+    dead = []; callbacks = [] }
+
+let current_view t = t.view
+
+let alive t id = not (List.mem id t.dead)
+
+let leader t = t.view.leader
+
+let on_view_change t f = t.callbacks <- f :: t.callbacks
+
+let install_view t members =
+  t.view <- make_view (t.view.number + 1) members;
+  List.iter (fun f -> f t.view) (List.rev t.callbacks)
+
+let kill t id =
+  if not (List.mem id t.dead) then begin
+    t.dead <- id :: t.dead;
+    Engine.schedule t.engine ~delay:t.detection_timeout_ms (fun () ->
+        (* Recompute survivors at detection time: several members may have
+           failed while the timeout was running. *)
+        let survivors =
+          List.filter (fun m -> not (List.mem m t.dead)) t.view.members
+        in
+        if List.mem id t.view.members && survivors <> [] then
+          install_view t survivors)
+  end
+
+let kill_at t id ~time =
+  Engine.schedule_at t.engine ~time (fun () -> kill t id)

@@ -1,0 +1,32 @@
+(** Group membership with failure detection and view changes.
+
+    A killed member stops participating immediately; the surviving members
+    detect the failure after [detection_timeout_ms] and install a new view.
+    The leader of a view is its lowest-numbered member — the take-over-time
+    experiment (section 3.5: LSA "depends on the leader replica ... in case of
+    a failure this might lead to a high take-over time") is built on this. *)
+
+type view = { number : int; members : int list; leader : int }
+
+type t
+
+val create :
+  Detmt_sim.Engine.t -> members:int list -> detection_timeout_ms:float -> t
+(** @raise Invalid_argument on an empty member list. *)
+
+val current_view : t -> view
+
+val alive : t -> int -> bool
+
+val leader : t -> int
+
+val on_view_change : t -> (view -> unit) -> unit
+(** Register a callback run when a new view is installed (after failure
+    detection). Callbacks run in registration order. *)
+
+val kill : t -> int -> unit
+(** Mark a member failed now; the view change fires after the detection
+    timeout.  Killing a dead member is a no-op. *)
+
+val kill_at : t -> int -> time:float -> unit
+(** Schedule a failure at an absolute virtual time. *)

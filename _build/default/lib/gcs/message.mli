@@ -1,0 +1,11 @@
+(** Message envelopes delivered by the total-order broadcast. *)
+
+type 'a t = {
+  seq : int;  (** global total-order sequence number *)
+  sender : int;
+  sent_at : float;  (** virtual send time *)
+  payload : 'a;
+}
+
+val pp :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

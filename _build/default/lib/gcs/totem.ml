@@ -1,0 +1,73 @@
+open Detmt_sim
+
+type 'a subscriber = {
+  id : int;
+  handler : 'a Message.t -> unit;
+  mutable alive : bool;
+  mutable last_delivery : float;
+      (* FIFO floor: deliveries to one subscriber never reorder even if the
+         latency function is not monotone *)
+}
+
+type 'a t = {
+  engine : Engine.t;
+  latency : sender:int -> dest:int -> float;
+  mutable subscribers : 'a subscriber list; (* in subscription order *)
+  mutable next_seq : int;
+  mutable broadcasts : int;
+  mutable deliveries : int;
+  kinds : (string, int) Hashtbl.t;
+}
+
+let default_latency ~sender:_ ~dest:_ = 0.5
+
+let create ?(latency = default_latency) engine =
+  { engine; latency; subscribers = []; next_seq = 0; broadcasts = 0;
+    deliveries = 0; kinds = Hashtbl.create 8 }
+
+let find t id = List.find_opt (fun s -> s.id = id) t.subscribers
+
+let subscribe t ~id handler =
+  if find t id <> None then
+    invalid_arg (Printf.sprintf "Totem.subscribe: duplicate id %d" id);
+  t.subscribers <-
+    t.subscribers @ [ { id; handler; alive = true; last_delivery = 0.0 } ]
+
+let broadcast t ~sender payload =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.broadcasts <- t.broadcasts + 1;
+  let now = Engine.now t.engine in
+  let msg = { Message.seq; sender; sent_at = now; payload } in
+  let deliver_to sub =
+    if sub.alive then begin
+      t.deliveries <- t.deliveries + 1;
+      let arrival = now +. t.latency ~sender ~dest:sub.id in
+      let time = Float.max arrival sub.last_delivery in
+      sub.last_delivery <- time;
+      Engine.schedule_at t.engine ~time (fun () ->
+          if sub.alive then sub.handler msg)
+    end
+  in
+  List.iter deliver_to t.subscribers;
+  seq
+
+let set_alive t id alive =
+  match find t id with
+  | Some s -> s.alive <- alive
+  | None -> invalid_arg (Printf.sprintf "Totem.set_alive: unknown id %d" id)
+
+let is_alive t id =
+  match find t id with Some s -> s.alive | None -> false
+
+let broadcasts t = t.broadcasts
+
+let deliveries t = t.deliveries
+
+let count_kind t kind =
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.kinds kind) in
+  Hashtbl.replace t.kinds kind (n + 1)
+
+let kind_counts t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.kinds []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

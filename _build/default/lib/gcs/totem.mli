@@ -1,0 +1,45 @@
+(** Total-order broadcast over the simulated network.
+
+    Models the consensus-based group communication system the paper relies on
+    ("FTflex uses a group communication system to guarantee that each replica
+    receives all messages in a total order"): every broadcast is stamped with
+    a global sequence number and delivered to every live subscriber in
+    sequence order, after a per-destination latency.  Messages to a dead
+    subscriber are dropped.
+
+    The per-broadcast cost (number of point-to-point deliveries) is counted so
+    experiments can report the network load of chatty algorithms such as
+    LSA. *)
+
+type 'a t
+
+val create :
+  ?latency:(sender:int -> dest:int -> float) -> Detmt_sim.Engine.t -> 'a t
+(** Default latency: 0.5 ms for every pair. *)
+
+val subscribe : 'a t -> id:int -> ('a Message.t -> unit) -> unit
+(** Register a destination.  Ids must be unique.
+    @raise Invalid_argument on duplicate id. *)
+
+val broadcast : 'a t -> sender:int -> 'a -> int
+(** Stamp and enqueue a message to all live subscribers; returns the sequence
+    number.  The sender also receives its own message (self-delivery), as in
+    closed-group total-order protocols. *)
+
+val set_alive : 'a t -> int -> bool -> unit
+(** Failure injection: a dead subscriber receives nothing until revived. *)
+
+val is_alive : 'a t -> int -> bool
+
+val broadcasts : 'a t -> int
+(** Number of [broadcast] calls so far. *)
+
+val deliveries : 'a t -> int
+(** Number of point-to-point deliveries performed. *)
+
+val count_kind : 'a t -> string -> unit
+(** Attribute the current broadcast to a named category (e.g. ["lsa-order"],
+    ["pds-dummy"]) for the network-load reports. *)
+
+val kind_counts : 'a t -> (string * int) list
+(** Category counts, sorted by name. *)

@@ -1,0 +1,1 @@
+lib/lang/class_def.pp.ml: Ast List Ppx_deriving_runtime Printf

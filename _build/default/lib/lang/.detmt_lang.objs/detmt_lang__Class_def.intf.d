@@ -1,0 +1,1 @@
+lib/lang/class_def.pp.mli: Ast Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/lang/dml.pp.ml: Ast Buffer Class_def Format List Printf Result String

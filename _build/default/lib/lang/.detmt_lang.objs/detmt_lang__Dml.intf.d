@@ -1,0 +1,1 @@
+lib/lang/dml.pp.mli: Class_def

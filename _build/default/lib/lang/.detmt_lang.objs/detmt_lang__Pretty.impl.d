@@ -1,0 +1,1 @@
+lib/lang/pretty.pp.ml: Ast Class_def Format List Printf String

@@ -1,0 +1,1 @@
+lib/lang/wellformed.pp.ml: Ast Class_def Format List Pretty Printf String

@@ -1,0 +1,1 @@
+lib/lang/wellformed.pp.mli: Ast Class_def

@@ -1,0 +1,104 @@
+(* Abstract syntax of the mini object language.
+
+   The language models exactly the synchronisation-relevant fragment of Java
+   that the paper's static analysis (section 4) inspects: synchronized blocks
+   with a classified synchronisation parameter, condition-variable wait/notify
+   (1:1 with mutexes, as in Java), nested invocations to external services,
+   local computations, loops, conditionals, assignments to locals and fields,
+   and calls to final or virtual methods.
+
+   A program is written by a user *without* scheduler calls; the transformer
+   ({!Detmt_transform.Transform}) rewrites [Sync] into explicit [Sched_lock] /
+   [Sched_unlock] pairs and injects [Lockinfo] / [Ignore_sync] / loop markers,
+   mirroring the paper's source-code transformation (Figure 4). *)
+
+(* The synchronisation parameter of a synchronized block, classified by the
+   syntactic categories of section 4.2.  [This], [Arg] and [Local] can be
+   announced ahead of the lock by code analysis; [Field], [Global] and
+   [Call_result] are "spontaneous": their value is unknown until the locking
+   happens. *)
+type sync_param =
+  | Sp_this
+  | Sp_arg of int (* method parameter, by position *)
+  | Sp_local of string (* method-local variable *)
+  | Sp_field of string (* instance variable -> spontaneous *)
+  | Sp_global of string (* globally accessible object -> spontaneous *)
+  | Sp_call of string (* return value of a method call -> spontaneous *)
+[@@deriving show { with_path = false }, eq]
+
+(* Mutex-valued expressions, used on the right-hand side of assignments. *)
+type mexpr =
+  | Mconst of int (* a fixed mutex id *)
+  | Marg of int (* mutex id carried in a request argument *)
+  | Mlocal of string
+  | Mfield of string
+  | Mglobal of string
+  | Mcall of string (* opaque call result -> unanalysable *)
+[@@deriving show { with_path = false }, eq]
+
+(* Durations of computations and nested invocations: fixed, or taken from a
+   request argument (the paper's benchmark ships all random decisions in the
+   request so that replicas behave identically). *)
+type dur =
+  | Fixed of float (* virtual milliseconds *)
+  | Arg_dur of int (* request argument, interpreted as ms *)
+[@@deriving show { with_path = false }, eq]
+
+type cond =
+  | Cconst of bool
+  | Carg_bool of int (* boolean request argument *)
+  | Carg_int_eq of int * int (* integer request argument equals a constant;
+                                emitted by the transformer when it expands a
+                                virtual dispatch into an if-chain *)
+  | Cfield_eq_arg of string * int (* field value equals argument value *)
+  | Cnot of cond
+[@@deriving show { with_path = false }, eq]
+
+type loop_kind = For | While | Do_while
+[@@deriving show { with_path = false }, eq]
+
+type count =
+  | Cfixed of int
+  | Carg of int (* iteration count carried in a request argument *)
+[@@deriving show { with_path = false }, eq]
+
+type stmt =
+  | Compute of dur (* a local computation *)
+  | Assign of string * mexpr (* local := expr *)
+  | Assign_field of string * mexpr (* this.field := expr *)
+  | Sync of sync_param * stmt list (* synchronized (param) { body } *)
+  | Lock_acquire of sync_param
+    (* java.util.concurrent explicit lock: param.lock().  Unlike [Sync],
+       acquisition and release need not nest lexically (hand-over-hand
+       locking etc.); balance is checked per execution path by the
+       transformer's verifier and enforced at run time. *)
+  | Lock_release of sync_param (* param.unlock() *)
+  | Wait of sync_param (* param.wait(); must hold the monitor *)
+  | Wait_until of { param : sync_param; field : string; min : int }
+    (* Java guarded-wait idiom: while (field < min) param.wait();
+       must hold the monitor of [param] *)
+  | Notify of { param : sync_param; all : bool } (* param.notify[All]() *)
+  | Nested of { service : int; duration : dur } (* nested remote invocation *)
+  | State_update of string * int (* shared integer state: field += k *)
+  | If of cond * stmt list * stmt list
+  | Loop of { kind : loop_kind; count : count; body : stmt list }
+  | Call of string (* call to a method of the same class *)
+  | Virtual_call of { candidates : string list; selector : int }
+    (* dynamic dispatch: the runtime type (candidate index) is carried in
+       request argument [selector] *)
+  (* -- statements below are emitted by the transformer only ------------- *)
+  | Sched_lock of int * sync_param (* scheduler.lock(syncid, m) *)
+  | Sched_unlock of int * sync_param (* scheduler.unlock(syncid, m) *)
+  | Lockinfo of int * sync_param (* scheduler.lockInfo(syncid, m) *)
+  | Ignore_sync of int (* scheduler.ignore(syncid) *)
+  | Loop_enter of int (* scheduler.loopEnter(loopid) *)
+  | Loop_exit of int (* scheduler.loopExit(loopid) *)
+[@@deriving show { with_path = false }, eq]
+
+type block = stmt list [@@deriving show { with_path = false }, eq]
+
+(* Request argument values.  [Vmutex] designates a mutex id; [Vint] doubles as
+   duration (ms), loop count or virtual-dispatch selector; [Vbool] is a
+   client-drawn decision. *)
+type value = Vmutex of int | Vint of int | Vbool of bool
+[@@deriving show { with_path = false }, eq]

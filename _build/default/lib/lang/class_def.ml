@@ -1,0 +1,40 @@
+(* Method and class definitions.
+
+   A class bundles the methods of one replicated remote object.  Methods
+   flagged [exported] are the object's public interface — the paper's "start
+   methods": the only entry points a remote request can trigger. *)
+
+type method_def = {
+  name : string;
+  final : bool; (* final methods can be analysed across calls (section 4) *)
+  exported : bool; (* a start method, reachable by remote invocation *)
+  params : int; (* number of request arguments the method consumes *)
+  body : Ast.block;
+}
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  cname : string;
+  methods : method_def list;
+  mutex_fields : (string * int) list; (* instance fields holding mutex refs *)
+  state_fields : string list; (* shared integer state, initialised to 0 *)
+  globals : (string * int) list; (* globally accessible mutex objects *)
+}
+[@@deriving show { with_path = false }, eq]
+
+let make ?(mutex_fields = []) ?(state_fields = []) ?(globals = []) ~cname
+    methods =
+  { cname; methods; mutex_fields; state_fields; globals }
+
+let find_method t name = List.find_opt (fun m -> m.name = name) t.methods
+
+let find_method_exn t name =
+  match find_method t name with
+  | Some m -> m
+  | None ->
+    invalid_arg (Printf.sprintf "Class_def: no method %S in class %S" name
+                   t.cname)
+
+let start_methods t = List.filter (fun m -> m.exported) t.methods
+
+let method_names t = List.map (fun m -> m.name) t.methods

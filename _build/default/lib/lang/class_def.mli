@@ -1,0 +1,41 @@
+(** Method and class definitions for the mini object language.
+
+    A class bundles the methods of one replicated remote object.  Methods
+    flagged [exported] are the paper's "start methods": the only entry points a
+    remote request can trigger. *)
+
+type method_def = {
+  name : string;
+  final : bool;  (** final methods can be analysed across calls (section 4) *)
+  exported : bool;  (** a start method, reachable by remote invocation *)
+  params : int;  (** number of request arguments the method consumes *)
+  body : Ast.block;
+}
+[@@deriving show, eq]
+
+type t = {
+  cname : string;
+  methods : method_def list;
+  mutex_fields : (string * int) list;
+      (** instance fields holding mutex references, with initial values *)
+  state_fields : string list;  (** shared integer state, initialised to 0 *)
+  globals : (string * int) list;  (** globally accessible mutex objects *)
+}
+[@@deriving show, eq]
+
+val make :
+  ?mutex_fields:(string * int) list ->
+  ?state_fields:string list ->
+  ?globals:(string * int) list ->
+  cname:string ->
+  method_def list ->
+  t
+
+val find_method : t -> string -> method_def option
+
+val find_method_exn : t -> string -> method_def
+(** @raise Invalid_argument when the method does not exist. *)
+
+val start_methods : t -> method_def list
+
+val method_names : t -> string list

@@ -1,0 +1,215 @@
+open Ast
+
+let is_instrumented_stmt = function
+  | Sched_lock _ | Sched_unlock _ | Lockinfo _ | Ignore_sync _ | Loop_enter _
+  | Loop_exit _ ->
+    true
+  | Compute _ | Assign _ | Assign_field _ | Sync _ | Lock_acquire _
+  | Lock_release _ | Wait _ | Wait_until _ | Notify _ | Nested _
+  | State_update _ | If _ | Loop _ | Call _ | Virtual_call _ ->
+    false
+
+type ctx = {
+  cls : Class_def.t;
+  meth : Class_def.method_def;
+  mutable diags : string list;
+}
+
+(* Does the body use explicit (non-lexical) java.util.concurrent locks? *)
+let rec uses_explicit_locks body = List.exists explicit_stmt body
+
+and explicit_stmt = function
+  | Lock_acquire _ | Lock_release _ -> true
+  | Sync (_, b) | Loop { body = b; _ } -> uses_explicit_locks b
+  | If (_, a, b) -> uses_explicit_locks a || uses_explicit_locks b
+  | Compute _ | Assign _ | Assign_field _ | Wait _ | Wait_until _ | Notify _
+  | Nested _ | State_update _ | Call _ | Virtual_call _ | Sched_lock _
+  | Sched_unlock _ | Lockinfo _ | Ignore_sync _ | Loop_enter _ | Loop_exit _
+    ->
+    false
+
+let report ctx fmt =
+  Format.kasprintf
+    (fun msg ->
+      ctx.diags <-
+        Printf.sprintf "%s.%s: %s" ctx.cls.cname ctx.meth.name msg
+        :: ctx.diags)
+    fmt
+
+let check_arg ctx what i =
+  if i < 0 || i >= ctx.meth.params then
+    report ctx "%s refers to arg%d but the method has %d parameter(s)" what i
+      ctx.meth.params
+
+let check_field ctx what f =
+  if not (List.mem_assoc f ctx.cls.mutex_fields) then
+    report ctx "%s refers to undeclared mutex field %S" what f
+
+let check_state_field ctx f =
+  if not (List.mem f ctx.cls.state_fields) then
+    report ctx "state update targets undeclared state field %S" f
+
+let check_global ctx what g =
+  if not (List.mem_assoc g ctx.cls.globals) then
+    report ctx "%s refers to undeclared global %S" what g
+
+let check_sync_param ctx assigned what = function
+  | Sp_this -> ()
+  | Sp_arg i -> check_arg ctx what i
+  | Sp_local v ->
+    if not (List.mem v assigned) then
+      report ctx "%s uses local %S before any assignment on this path" what v
+  | Sp_field f -> check_field ctx what f
+  | Sp_global g -> check_global ctx what g
+  | Sp_call _ -> ()
+
+let check_mexpr ctx assigned what = function
+  | Mconst _ -> ()
+  | Marg i -> check_arg ctx what i
+  | Mlocal v ->
+    if not (List.mem v assigned) then
+      report ctx "%s reads local %S before any assignment on this path" what v
+  | Mfield f -> check_field ctx what f
+  | Mglobal g -> check_global ctx what g
+  | Mcall _ -> ()
+
+let rec check_cond ctx = function
+  | Cconst _ -> ()
+  | Carg_bool i -> check_arg ctx "condition" i
+  | Carg_int_eq (i, _) -> check_arg ctx "condition" i
+  | Cfield_eq_arg (f, i) ->
+    check_field ctx "condition" f;
+    check_arg ctx "condition" i
+  | Cnot c -> check_cond ctx c
+
+let check_count ctx = function
+  | Cfixed n -> if n < 0 then report ctx "negative loop count %d" n
+  | Carg i -> check_arg ctx "loop count" i
+
+let check_dur ctx = function
+  | Fixed ms -> if ms < 0.0 then report ctx "negative duration %g" ms
+  | Arg_dur i -> check_arg ctx "duration" i
+
+(* [held] is the stack of lexically enclosing sync parameters; [assigned] the
+   locals assigned on every path reaching this point. Returns the updated
+   assigned set. *)
+let rec check_stmt ctx ~held ~assigned stmt =
+  if is_instrumented_stmt stmt then begin
+    report ctx "scheduler instrumentation in source program: %s"
+      (Ast.show_stmt stmt);
+    assigned
+  end
+  else
+    match stmt with
+    | Compute d ->
+      check_dur ctx d;
+      assigned
+    | Assign (v, e) ->
+      check_mexpr ctx assigned "assignment" e;
+      if List.mem v assigned then assigned else v :: assigned
+    | Assign_field (f, e) ->
+      check_field ctx "field assignment" f;
+      check_mexpr ctx assigned "field assignment" e;
+      assigned
+    | Sync (p, body) ->
+      check_sync_param ctx assigned "synchronized" p;
+      ignore (check_block ctx ~held:(p :: held) ~assigned body);
+      assigned
+    | Lock_acquire p ->
+      check_sync_param ctx assigned "explicit lock" p;
+      assigned
+    | Lock_release p ->
+      check_sync_param ctx assigned "explicit unlock" p;
+      assigned
+    | Wait p ->
+      check_sync_param ctx assigned "wait" p;
+      if not (List.exists (Ast.equal_sync_param p) held) then
+        report ctx "wait on %s outside its synchronized block"
+          (Format.asprintf "%a" Pretty.sync_param p);
+      assigned
+    | Wait_until { param; field; min = _ } ->
+      check_sync_param ctx assigned "guarded wait" param;
+      check_state_field ctx field;
+      if not (List.exists (Ast.equal_sync_param param) held) then
+        report ctx "guarded wait on %s outside its synchronized block"
+          (Format.asprintf "%a" Pretty.sync_param param);
+      assigned
+    | Notify { param; all = _ } ->
+      check_sync_param ctx assigned "notify" param;
+      if not (List.exists (Ast.equal_sync_param param) held) then
+        report ctx "notify on %s outside its synchronized block"
+          (Format.asprintf "%a" Pretty.sync_param param);
+      assigned
+    | Nested { service; duration } ->
+      if service < 0 then report ctx "negative service id %d" service;
+      check_dur ctx duration;
+      assigned
+    | State_update (f, _) ->
+      check_state_field ctx f;
+      (* With explicit java.util.concurrent locks the critical section is
+         not lexical; the replica still enforces lock possession at run
+         time. *)
+      if held = [] && not (uses_explicit_locks ctx.meth.body) then
+        report ctx "state update of %S outside any synchronized block" f;
+      assigned
+    | If (c, a, b) ->
+      check_cond ctx c;
+      let in_a = check_block ctx ~held ~assigned a in
+      let in_b = check_block ctx ~held ~assigned b in
+      (* Only locals assigned on both branches are definitely assigned. *)
+      List.filter (fun v -> List.mem v in_b) in_a
+    | Loop { kind = _; count; body } ->
+      check_count ctx count;
+      ignore (check_block ctx ~held ~assigned body);
+      assigned
+    | Call m ->
+      (match Class_def.find_method ctx.cls m with
+      | None -> report ctx "call to undefined method %S" m
+      | Some callee ->
+        if callee.params > ctx.meth.params then
+          report ctx
+            "call to %S forwards %d argument(s) but only %d are available" m
+            callee.params ctx.meth.params);
+      assigned
+    | Virtual_call { candidates; selector } ->
+      check_arg ctx "virtual dispatch selector" selector;
+      if candidates = [] then report ctx "virtual call with no candidates";
+      List.iter
+        (fun m ->
+          if Class_def.find_method ctx.cls m = None then
+            report ctx "virtual candidate %S is undefined" m)
+        candidates;
+      assigned
+    | Sched_lock _ | Sched_unlock _ | Lockinfo _ | Ignore_sync _
+    | Loop_enter _ | Loop_exit _ ->
+      assigned (* unreachable: filtered above *)
+
+and check_block ctx ~held ~assigned body =
+  List.fold_left
+    (fun assigned stmt -> check_stmt ctx ~held ~assigned stmt)
+    assigned body
+
+let errors cls =
+  let diags =
+    List.concat_map
+      (fun meth ->
+        let ctx = { cls; meth; diags = [] } in
+        ignore (check_block ctx ~held:[] ~assigned:[] meth.body);
+        List.rev ctx.diags)
+      cls.methods
+  in
+  let dups =
+    let names = Class_def.method_names cls in
+    List.filter
+      (fun n -> List.length (List.filter (String.equal n) names) > 1)
+      (List.sort_uniq compare names)
+  in
+  diags
+  @ List.map
+      (fun n -> Printf.sprintf "%s: duplicate method name %S" cls.cname n)
+      dups
+
+let check_exn cls =
+  match errors cls with
+  | [] -> ()
+  | diags -> invalid_arg (String.concat "\n" diags)

@@ -1,0 +1,17 @@
+(** Structural validity checks on user programs.
+
+    [errors] returns human-readable diagnostics; a program with no diagnostics
+    satisfies the system model of section 2: wait/notify happen under the
+    monitor they target, shared state is accessed under a lock, and no
+    scheduler instrumentation appears in source programs (only the transformer
+    may emit it). *)
+
+val errors : Class_def.t -> string list
+(** All diagnostics for the class, empty when well-formed. *)
+
+val check_exn : Class_def.t -> unit
+(** @raise Invalid_argument listing all diagnostics when the class is not
+    well-formed. *)
+
+val is_instrumented_stmt : Ast.stmt -> bool
+(** True for transformer-emitted statements ([Sched_lock], [Lockinfo], ...). *)

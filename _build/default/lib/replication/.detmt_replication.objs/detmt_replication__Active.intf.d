@@ -1,0 +1,1 @@
+lib/replication/active.mli: Detmt_analysis Detmt_gcs Detmt_lang Detmt_runtime Detmt_sim Detmt_stats

@@ -1,0 +1,1 @@
+lib/replication/client.ml: Active Detmt_lang Detmt_sim Engine List Printf Rng

@@ -1,0 +1,1 @@
+lib/replication/client.mli: Active Detmt_lang Detmt_sim

@@ -1,0 +1,1 @@
+lib/replication/consistency.ml: Detmt_runtime Detmt_sim Format Int64 List Replica String

@@ -1,0 +1,1 @@
+lib/replication/consistency.mli: Detmt_runtime Format

@@ -1,0 +1,1 @@
+lib/replication/failover.ml: Active Detmt_sim Engine Float Format List

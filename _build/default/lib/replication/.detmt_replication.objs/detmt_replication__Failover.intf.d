@@ -1,0 +1,1 @@
+lib/replication/failover.mli: Active Format

@@ -1,0 +1,1 @@
+lib/replication/passive.ml: Active Config Detmt_lang Detmt_runtime Detmt_sim Engine List Object_state Replica

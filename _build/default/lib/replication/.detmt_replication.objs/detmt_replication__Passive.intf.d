@@ -1,0 +1,1 @@
+lib/replication/passive.mli: Detmt_lang Detmt_runtime Detmt_sim

@@ -1,0 +1,237 @@
+open Detmt_sim
+open Detmt_gcs
+open Detmt_runtime
+
+type payload =
+  | P_request of {
+      client : int;
+      client_req : int;
+      meth : string;
+      args : Detmt_lang.Ast.value array;
+      sent_at : float;
+      dummy : bool;
+    }
+  | P_nested_reply of { tid : int; call_index : int }
+  | P_control of Sched_iface.control
+
+type params = {
+  replicas : int;
+  scheduler : string;
+  config : Config.t;
+  net_latency_ms : float;
+  client_latency_ms : float;
+  detection_timeout_ms : float;
+}
+
+let default_params =
+  { replicas = 3; scheduler = "mat"; config = Config.default;
+    net_latency_ms = 0.5; client_latency_ms = 0.5;
+    detection_timeout_ms = 50.0 }
+
+type t = {
+  engine : Engine.t;
+  params : params;
+  bus : payload Totem.t;
+  grp : Group.t;
+  mutable members : Replica.t list;
+  dedups : Dedup.t array;
+  summary : Detmt_analysis.Predict.class_summary option;
+  scheduler : Detmt_sched.Registry.spec;
+  (* client-side bookkeeping *)
+  reply_waiters : (int * int, float * (response_ms:float -> unit)) Hashtbl.t;
+      (* (client, client_req) -> (sent_at, callback) *)
+  response_times : Detmt_stats.Summary.t;
+  mutable replies : int;
+  mutable reply_times : float list; (* arrival times at clients, reversed *)
+  (* nested invocations outstanding: (tid, call_index) -> (service, dur) *)
+  outstanding_nested : (int * int, int * float) Hashtbl.t;
+  mutable dummy_seq : int;
+}
+
+let leader_id t = Group.leader t.grp
+
+let is_leader t id = leader_id t = id
+
+(* Every replica registers the outstanding call (so a view change can
+   re-issue calls the dead invoker never completed); only the invoker
+   schedules the external service. *)
+let register_nested t ~tid ~call_index ~service ~duration =
+  if not (Hashtbl.mem t.outstanding_nested (tid, call_index)) then
+    Hashtbl.replace t.outstanding_nested (tid, call_index) (service, duration)
+
+let perform_nested t ~by ~tid ~call_index ~service ~duration =
+  register_nested t ~tid ~call_index ~service ~duration;
+  Engine.schedule t.engine ~delay:duration (fun () ->
+      (* Do not answer twice, and a replica that died while the external call
+         was in flight cannot spread the reply (the new leader re-issues). *)
+      if
+        Hashtbl.mem t.outstanding_nested (tid, call_index)
+        && Group.alive t.grp by
+      then begin
+        Totem.count_kind t.bus "nested-reply";
+        ignore
+          (Totem.broadcast t.bus ~sender:(-2)
+             (P_nested_reply { tid; call_index }))
+      end)
+
+let inject_dummy t ~from_replica =
+  (* Every replica's PDS timer fires; only the leader broadcasts so the
+     group sees each filler exactly once. *)
+  if is_leader t from_replica then begin
+    t.dummy_seq <- t.dummy_seq + 1;
+    Totem.count_kind t.bus "pds-dummy";
+    ignore
+      (Totem.broadcast t.bus ~sender:(-1)
+         (P_request
+            { client = -1; client_req = t.dummy_seq; meth = "__dummy";
+              args = [||]; sent_at = Engine.now t.engine; dummy = true }))
+  end
+
+let on_first_reply t (req : Request.t) =
+  let key = (req.client, req.client_req) in
+  match Hashtbl.find_opt t.reply_waiters key with
+  | None -> () (* later replicas' replies for an already-answered request *)
+  | Some (sent_at, callback) ->
+    Hashtbl.remove t.reply_waiters key;
+    let response_ms =
+      Engine.now t.engine +. t.params.client_latency_ms -. sent_at
+    in
+    Detmt_stats.Summary.add t.response_times response_ms;
+    t.replies <- t.replies + 1;
+    t.reply_times <-
+      (Engine.now t.engine +. t.params.client_latency_ms) :: t.reply_times;
+    callback ~response_ms
+
+let make_replica t ~engine ~cls ~id =
+  let callbacks =
+    { Replica.send_reply =
+        (fun req ->
+          Engine.schedule engine ~delay:t.params.client_latency_ms (fun () ->
+              on_first_reply t req));
+      do_nested =
+        (fun ~tid ~call_index ~service ~duration ->
+          register_nested t ~tid ~call_index ~service ~duration;
+          if is_leader t id then
+            perform_nested t ~by:id ~tid ~call_index ~service ~duration);
+      broadcast_control =
+        (fun control ->
+          Totem.count_kind t.bus "control";
+          ignore (Totem.broadcast t.bus ~sender:id (P_control control)));
+      inject_dummy = (fun () -> inject_dummy t ~from_replica:id);
+      is_leader = (fun () -> is_leader t id) }
+  in
+  let make_sched actions =
+    t.scheduler.make ~config:t.params.config ~summary:t.summary actions
+  in
+  Replica.create ~engine ~id ~cls ~config:t.params.config ~callbacks
+    ~make_sched ()
+
+let deliver t replica (msg : payload Message.t) =
+  let id = Replica.id replica in
+  match msg.payload with
+  | P_request { client; client_req; meth; args; sent_at; dummy } ->
+    if not (Dedup.mark t.dedups.(id) ~client ~request:client_req) then begin
+      let req =
+        { Request.uid = msg.seq; client; client_req; meth; args; sent_at;
+          dummy }
+      in
+      Replica.deliver_request replica req
+    end
+  | P_nested_reply { tid; call_index } ->
+    Hashtbl.remove t.outstanding_nested (tid, call_index);
+    Replica.nested_reply replica ~tid ~call_index
+  | P_control control -> Replica.deliver_control replica ~sender:msg.sender control
+
+let create ~engine ~cls ~(params : params) () =
+  let scheduler = Detmt_sched.Registry.find_exn params.scheduler in
+  let cls', summary =
+    if scheduler.needs_prediction then
+      let c, s = Detmt_transform.Transform.predictive cls in
+      (c, Some s)
+    else (Detmt_transform.Transform.basic cls, None)
+  in
+  let latency ~sender:_ ~dest:_ = params.net_latency_ms in
+  let bus = Totem.create ~latency engine in
+  let members = List.init params.replicas (fun i -> i) in
+  let grp =
+    Group.create engine ~members
+      ~detection_timeout_ms:params.detection_timeout_ms
+  in
+  let t =
+    { engine; params; bus; grp; members = []; summary; scheduler;
+      dedups = Array.init params.replicas (fun _ -> Dedup.create ());
+      reply_waiters = Hashtbl.create 256;
+      response_times = Detmt_stats.Summary.create (); replies = 0;
+      reply_times = [];
+      outstanding_nested = Hashtbl.create 64; dummy_seq = 0 }
+  in
+  let replicas =
+    List.map (fun id -> make_replica t ~engine ~cls:cls' ~id) members
+  in
+  t.members <- replicas;
+  List.iter
+    (fun r ->
+      Totem.subscribe bus ~id:(Replica.id r) (fun msg -> deliver t r msg))
+    replicas;
+  (* On a view change the new leader re-issues outstanding nested calls the
+     dead leader may never have completed. *)
+  Group.on_view_change grp (fun view ->
+      (* Tell every surviving scheduler about the new view (a promoted LSA
+         leader must drain the old leader's published decisions and take
+         over); then re-issue nested calls the dead invoker left behind. *)
+      List.iter
+        (fun r ->
+          if Replica.alive r then
+            Replica.deliver_control r ~sender:(-1)
+              (Detmt_runtime.Sched_iface.Custom "view-change"))
+        t.members;
+      let pending =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.outstanding_nested []
+        |> List.sort compare
+      in
+      List.iter
+        (fun ((tid, call_index), (service, duration)) ->
+          perform_nested t ~by:view.Group.leader ~tid ~call_index ~service
+            ~duration)
+        pending);
+  t
+
+let submit t ~client ~client_req ~meth ~args ~on_reply =
+  let sent_at = Engine.now t.engine in
+  Hashtbl.replace t.reply_waiters (client, client_req) (sent_at, on_reply);
+  (* client -> sequencer latency before the totally-ordered broadcast *)
+  Engine.schedule t.engine ~delay:t.params.client_latency_ms (fun () ->
+      Totem.count_kind t.bus "request";
+      ignore
+        (Totem.broadcast t.bus ~sender:(1000 + client)
+           (P_request { client; client_req; meth; args; sent_at;
+                        dummy = false })))
+
+let engine t = t.engine
+
+let replicas t = t.members
+
+let live_replicas t = List.filter Replica.alive t.members
+
+let group t = t.grp
+
+let kill_replica t id =
+  List.iter
+    (fun r -> if Replica.id r = id then Replica.set_alive r false)
+    t.members;
+  Totem.set_alive t.bus id false;
+  Group.kill t.grp id
+
+let response_times t = t.response_times
+
+let replies_received t = t.replies
+
+let reply_times t = List.rev t.reply_times
+
+let message_stats t = Totem.kind_counts t.bus
+
+let broadcasts t = Totem.broadcasts t.bus
+
+let summary t = t.summary
+
+let scheduler_name t = t.scheduler.name

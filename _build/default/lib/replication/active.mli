@@ -1,0 +1,76 @@
+(** Active replication of one object group.
+
+    Wires the whole system together: a total-order bus carrying client
+    requests, nested-invocation replies and scheduler control messages; [n]
+    replicas each running the same instrumented class under the same
+    deterministic scheduler; simulated external services for nested
+    invocations; and duplicate suppression.
+
+    Nested invocations follow section 2: only one replica (the current
+    leader) performs the external call, and the reply is spread to all
+    replicas through the bus, so every replica resumes the thread at the same
+    total-order position. *)
+
+type t
+
+type params = {
+  replicas : int;
+  scheduler : string;  (** a {!Detmt_sched.Registry} name *)
+  config : Detmt_runtime.Config.t;
+  net_latency_ms : float;  (** replica <-> replica one-way latency *)
+  client_latency_ms : float;  (** client <-> replica one-way latency *)
+  detection_timeout_ms : float;  (** failure-detection delay *)
+}
+
+val default_params : params
+
+val create :
+  engine:Detmt_sim.Engine.t ->
+  cls:Detmt_lang.Class_def.t ->
+  params:params ->
+  unit ->
+  t
+(** [cls] is the {e source} class: the constructor applies the transformation
+    the chosen scheduler needs (basic or predictive). *)
+
+val submit :
+  t ->
+  client:int ->
+  client_req:int ->
+  meth:string ->
+  args:Detmt_lang.Ast.value array ->
+  on_reply:(response_ms:float -> unit) ->
+  unit
+(** Broadcast one request; [on_reply] fires at the client when the first
+    replica reply arrives, with the end-to-end response time. *)
+
+val engine : t -> Detmt_sim.Engine.t
+
+val replicas : t -> Detmt_runtime.Replica.t list
+
+val live_replicas : t -> Detmt_runtime.Replica.t list
+
+val group : t -> Detmt_gcs.Group.t
+
+val kill_replica : t -> int -> unit
+(** Fail a replica now: it stops executing and receiving. *)
+
+val response_times : t -> Detmt_stats.Summary.t
+
+val replies_received : t -> int
+
+val reply_times : t -> float list
+(** Client-side reply arrival times, in order — input to the take-over-time
+    analysis. *)
+
+val message_stats : t -> (string * int) list
+(** Broadcast counts by category (requests, nested replies, control,
+    dummies). *)
+
+val broadcasts : t -> int
+
+val summary : t -> Detmt_analysis.Predict.class_summary option
+(** The prediction summary, when the scheduler required the predictive
+    transformation. *)
+
+val scheduler_name : t -> string

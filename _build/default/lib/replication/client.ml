@@ -1,0 +1,90 @@
+open Detmt_sim
+
+type request_gen =
+  client:int -> seq:int -> Rng.t -> string * Detmt_lang.Ast.value array
+
+type t = {
+  system : Active.t;
+  id : int;
+  rng : Rng.t;
+  gen : request_gen;
+  think_time_ms : float;
+  max_requests : int;
+  mutable sent : int;
+  mutable completed : int;
+  mutable waiting : bool;
+}
+
+let create system ~id ~rng ~gen ?(think_time_ms = 0.0) ?(max_requests = 10)
+    () =
+  { system; id; rng; gen; think_time_ms; max_requests; sent = 0;
+    completed = 0; waiting = false }
+
+let rec send_next t =
+  if t.sent < t.max_requests then begin
+    let seq = t.sent in
+    t.sent <- seq + 1;
+    t.waiting <- true;
+    let meth, args = t.gen ~client:t.id ~seq t.rng in
+    Active.submit t.system ~client:t.id ~client_req:seq ~meth ~args
+      ~on_reply:(fun ~response_ms:_ ->
+        t.waiting <- false;
+        t.completed <- t.completed + 1;
+        on_reply t)
+  end
+
+and on_reply t =
+  if t.sent < t.max_requests then
+    if t.think_time_ms > 0.0 then
+      (* Think times are drawn exponentially around the configured mean,
+         from the client's own stream. *)
+      let think = Rng.exponential t.rng t.think_time_ms in
+      Engine.schedule (Active.engine t.system) ~delay:think (fun () ->
+          send_next t)
+    else send_next t
+
+and start t = send_next t
+
+let completed t = t.completed
+
+let in_flight t = t.waiting
+
+let run_open_loop ~engine ~system ~rate_per_s ~requests ~gen ?(seed = 42L)
+    ?until_ms () =
+  if rate_per_s <= 0.0 then invalid_arg "Client.run_open_loop: rate <= 0";
+  let rng = Rng.create seed in
+  let mean_gap_ms = 1000.0 /. rate_per_s in
+  let completed = ref 0 in
+  (* Arrival times are pre-drawn so the schedule is independent of service
+     completions (open loop). *)
+  let rec arrive seq at =
+    if seq < requests then
+      Engine.schedule_at engine ~time:at (fun () ->
+          let meth, args = gen ~client:0 ~seq rng in
+          Active.submit system ~client:0 ~client_req:seq ~meth ~args
+            ~on_reply:(fun ~response_ms:_ -> incr completed);
+          arrive (seq + 1) (at +. Rng.exponential rng mean_gap_ms))
+  in
+  arrive 0 (Rng.exponential rng mean_gap_ms);
+  Engine.run ?until:until_ms engine;
+  if !completed < requests && until_ms = None then
+    failwith
+      (Printf.sprintf "open-loop run drained with %d of %d requests answered"
+         !completed requests)
+
+let run_clients ~engine ~system ~clients ~requests_per_client ~gen
+    ?(think_time_ms = 0.0) ?(seed = 42L) ?until_ms () =
+  let master = Rng.create seed in
+  let all =
+    List.init clients (fun id ->
+        create system ~id ~rng:(Rng.split master) ~gen ~think_time_ms
+          ~max_requests:requests_per_client ())
+  in
+  List.iter start all;
+  Engine.run ?until:until_ms engine;
+  let outstanding = List.filter in_flight all in
+  if outstanding <> [] && until_ms = None then
+    failwith
+      (Printf.sprintf
+         "simulation drained with %d client(s) still waiting (deadlock?)"
+         (List.length outstanding))

@@ -1,0 +1,58 @@
+(** Closed-loop clients, as in the Figure 1 benchmark: each client sends one
+    request, waits for the (first) reply, optionally thinks, and repeats.
+    All random decisions a request needs are pre-drawn from the client's own
+    seeded stream and shipped in the request arguments, so replicas never
+    draw randomness themselves. *)
+
+type request_gen =
+  client:int -> seq:int -> Detmt_sim.Rng.t -> string * Detmt_lang.Ast.value array
+(** Produce (start method, arguments) for a client's [seq]-th request. *)
+
+type t
+
+val create :
+  Active.t ->
+  id:int ->
+  rng:Detmt_sim.Rng.t ->
+  gen:request_gen ->
+  ?think_time_ms:float ->
+  ?max_requests:int ->
+  unit ->
+  t
+
+val start : t -> unit
+(** Send the first request. *)
+
+val completed : t -> int
+
+val in_flight : t -> bool
+
+val run_clients :
+  engine:Detmt_sim.Engine.t ->
+  system:Active.t ->
+  clients:int ->
+  requests_per_client:int ->
+  gen:request_gen ->
+  ?think_time_ms:float ->
+  ?seed:int64 ->
+  ?until_ms:float ->
+  unit ->
+  unit
+(** Create [clients] closed-loop clients, run the simulation until every
+    client finished its quota (or [until_ms] virtual time elapsed), raising
+    [Failure] if the simulation deadlocks with requests outstanding. *)
+
+val run_open_loop :
+  engine:Detmt_sim.Engine.t ->
+  system:Active.t ->
+  rate_per_s:float ->
+  requests:int ->
+  gen:request_gen ->
+  ?seed:int64 ->
+  ?until_ms:float ->
+  unit ->
+  unit
+(** Open-loop (Poisson) arrivals at [rate_per_s], [requests] in total, from a
+    single logical client population — for throughput/saturation studies: an
+    overloaded scheduler builds an unbounded backlog instead of throttling
+    the clients.  Runs to completion (or [until_ms]). *)

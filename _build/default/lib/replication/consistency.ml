@@ -1,0 +1,47 @@
+open Detmt_runtime
+
+type report = {
+  replicas : int list;
+  state_hashes : (int * int64) list;
+  acquisition_hashes : (int * int64) list;
+  trace_hashes : (int * int64) list;
+  states_agree : bool;
+  acquisitions_agree : bool;
+  traces_agree : bool;
+  completed : (int * int) list;
+}
+
+let all_equal = function
+  | [] | [ _ ] -> true
+  | (_, h) :: rest -> List.for_all (fun (_, h') -> Int64.equal h h') rest
+
+let check rs =
+  let state_hashes =
+    List.map (fun r -> (Replica.id r, Replica.state_fingerprint r)) rs
+  in
+  let acquisition_hashes =
+    List.map
+      (fun r -> (Replica.id r, Replica.mutex_acquisition_fingerprint r))
+      rs
+  in
+  let trace_hashes =
+    List.map
+      (fun r -> (Replica.id r, Detmt_sim.Trace.fingerprint (Replica.trace r)))
+      rs
+  in
+  { replicas = List.map Replica.id rs;
+    state_hashes; acquisition_hashes; trace_hashes;
+    states_agree = all_equal state_hashes;
+    acquisitions_agree = all_equal acquisition_hashes;
+    traces_agree = all_equal trace_hashes;
+    completed = List.map (fun r -> (Replica.id r, Replica.completed_requests r)) rs }
+
+let consistent r = r.states_agree && r.acquisitions_agree && r.traces_agree
+
+let pp ppf r =
+  let verdict b = if b then "agree" else "DIVERGE" in
+  Format.fprintf ppf "replicas %s: state %s, acquisitions %s, traces %s"
+    (String.concat "," (List.map string_of_int r.replicas))
+    (verdict r.states_agree)
+    (verdict r.acquisitions_agree)
+    (verdict r.traces_agree)

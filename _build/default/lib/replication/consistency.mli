@@ -1,0 +1,32 @@
+(** Replica-consistency checking.
+
+    The whole point of deterministic multithreading: after processing the
+    same request sequence, all replicas must agree.  Three fingerprints of
+    increasing strictness are compared across live replicas:
+
+    - state: the object's field values (what clients observe),
+    - acquisitions: the per-mutex lock-acquisition order,
+    - trace: the full scheduling event sequence.
+
+    A deterministic scheduler must pass all three; the freefall baseline is
+    expected to fail. *)
+
+type report = {
+  replicas : int list;
+  state_hashes : (int * int64) list;
+  acquisition_hashes : (int * int64) list;
+  trace_hashes : (int * int64) list;
+  states_agree : bool;
+  acquisitions_agree : bool;
+  traces_agree : bool;
+  completed : (int * int) list;  (** completed request counts per replica *)
+}
+
+val check : Detmt_runtime.Replica.t list -> report
+(** Compare the given (live) replicas.  A singleton or empty list is trivially
+    consistent. *)
+
+val consistent : report -> bool
+(** All three fingerprints agree. *)
+
+val pp : Format.formatter -> report -> unit

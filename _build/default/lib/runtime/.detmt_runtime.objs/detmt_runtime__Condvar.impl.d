@@ -1,0 +1,1 @@
+lib/runtime/condvar.pp.ml: Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/runtime/condvar.pp.mli:

@@ -1,0 +1,1 @@
+lib/runtime/interp.pp.ml: Array Ast Class_def Detmt_lang Format Hashtbl List Object_state Op Pretty Request

@@ -1,0 +1,1 @@
+lib/runtime/interp.pp.mli: Detmt_lang Object_state Op Request

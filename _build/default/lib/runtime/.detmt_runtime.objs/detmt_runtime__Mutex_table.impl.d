@@ -1,0 +1,1 @@
+lib/runtime/mutex_table.pp.ml: Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/runtime/object_state.pp.ml: Char Detmt_lang Format Hashtbl Int64 List Printf String

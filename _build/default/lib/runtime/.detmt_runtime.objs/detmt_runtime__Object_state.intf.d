@@ -1,0 +1,1 @@
+lib/runtime/object_state.pp.mli: Detmt_lang Format

@@ -1,0 +1,1 @@
+lib/runtime/op.pp.ml: Ppx_deriving_runtime

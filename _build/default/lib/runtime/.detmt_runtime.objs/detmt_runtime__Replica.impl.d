@@ -1,0 +1,1 @@
+lib/runtime/replica.pp.ml: Condvar Config Cpu Detmt_lang Detmt_sim Engine Hashtbl Int64 Interp List Mutex_table Object_state Op Option Printf Request Sched_iface Trace

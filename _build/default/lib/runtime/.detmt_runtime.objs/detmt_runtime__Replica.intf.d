@@ -1,0 +1,1 @@
+lib/runtime/replica.pp.mli: Config Detmt_lang Detmt_sim Interp Object_state Request Sched_iface

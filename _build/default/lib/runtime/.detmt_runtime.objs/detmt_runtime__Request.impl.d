@@ -1,0 +1,1 @@
+lib/runtime/request.pp.ml: Detmt_lang Format

@@ -1,0 +1,1 @@
+lib/runtime/request.pp.mli: Detmt_lang Format

@@ -1,0 +1,1 @@
+lib/runtime/sched_iface.pp.ml:

@@ -1,0 +1,43 @@
+type t = (int, int list ref) Hashtbl.t
+(* mutex -> waiters in FIFO order (head = longest waiting) *)
+
+let create () : t = Hashtbl.create 16
+
+let waiters t mutex =
+  match Hashtbl.find_opt t mutex with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.add t mutex l;
+    l
+
+let park t ~mutex ~tid =
+  let l = waiters t mutex in
+  if List.mem tid !l then
+    invalid_arg
+      (Printf.sprintf "Condvar.park: t%d already waiting on %d" tid mutex);
+  l := !l @ [ tid ]
+
+let notify_one t ~mutex =
+  let l = waiters t mutex in
+  match !l with
+  | [] -> None
+  | tid :: rest ->
+    l := rest;
+    Some tid
+
+let notify_all t ~mutex =
+  let l = waiters t mutex in
+  let all = !l in
+  l := [];
+  all
+
+let waiting t ~mutex = !(waiters t mutex)
+
+let remove t ~mutex ~tid =
+  let l = waiters t mutex in
+  if List.mem tid !l then begin
+    l := List.filter (fun w -> w <> tid) !l;
+    true
+  end
+  else false

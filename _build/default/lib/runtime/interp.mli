@@ -1,0 +1,35 @@
+(** Small-step interpreter for transformed method bodies.
+
+    A thread is a continuation producing an {!outcome}: either the method has
+    finished, or it yields a synchronisation-relevant {!Op.t} together with
+    the continuation to run once the replica engine has completed that
+    operation.  The interpreter itself is pure control flow — all policy
+    (granting locks, charging time) lives in the replica and the scheduler.
+
+    Programs must be instrumented ({!Detmt_transform.Transform}); a raw
+    [Sync] statement is a hard error. *)
+
+type outcome = Done | Yield of Op.t * (unit -> outcome)
+
+type oracle = string -> Request.t -> int
+(** Resolution of spontaneous [Sp_call] parameters: must be a deterministic
+    function of the call name and the request. *)
+
+val default_oracle : oracle
+(** Hashes the call name and request uid into a small mutex-id range —
+    deterministic across replicas but unpredictable to the analysis, exactly
+    like a real opaque call. *)
+
+exception Runtime_error of string
+
+val start :
+  cls:Detmt_lang.Class_def.t ->
+  obj:Object_state.t ->
+  ?oracle:oracle ->
+  req:Request.t ->
+  unit ->
+  outcome
+(** [start ~cls ~obj ~req ()] begins interpreting the request's start method.
+    Dummy requests complete immediately.
+    @raise Runtime_error on ill-typed programs (bad argument index, raw
+    [Sync], undefined method, ...). *)

@@ -1,0 +1,19 @@
+(* Synchronisation-relevant operations surfaced by the interpreter.
+
+   Each op corresponds to one intercepted call in the transformed source: the
+   replica engine consults the scheduler, charges overhead and resumes the
+   thread's continuation. *)
+
+type t =
+  | Lock of { syncid : int; mutex : int }
+  | Unlock of { syncid : int; mutex : int }
+  | Wait of { mutex : int }
+  | Notify of { mutex : int; all : bool }
+  | Nested of { service : int; duration : float }
+  | Compute of { duration : float }
+  | Lockinfo of { syncid : int; mutex : int }
+  | Ignore of { syncid : int }
+  | Loop_enter of { loopid : int }
+  | Loop_exit of { loopid : int }
+  | State_update of { field : string; delta : int }
+[@@deriving show { with_path = false }, eq]

@@ -1,0 +1,348 @@
+open Detmt_sim
+
+type thread_status =
+  | Created
+  | Running
+  | Lock_blocked of { syncid : int; mutex : int }
+  | Wait_parked of { mutex : int; count : int }
+  | Reacquire_blocked of { mutex : int; count : int }
+  | Nested_blocked of { call_index : int }
+  | Nested_ready of { call_index : int }
+  | Terminated
+
+type callbacks = {
+  send_reply : Request.t -> unit;
+  do_nested :
+    tid:int -> call_index:int -> service:int -> duration:float -> unit;
+  broadcast_control : Sched_iface.control -> unit;
+  inject_dummy : unit -> unit;
+  is_leader : unit -> bool;
+}
+
+type thread = {
+  tid : int;
+  req : Request.t;
+  mutable cont : (unit -> Interp.outcome) option;
+  mutable status : thread_status;
+  mutable nested_count : int; (* nested invocations issued so far *)
+  mutable buffered_replies : int list; (* call indices answered early *)
+}
+
+type t = {
+  id : int;
+  engine : Engine.t;
+  cpu : Cpu.t;
+  config : Config.t;
+  cls : Detmt_lang.Class_def.t;
+  obj : Object_state.t;
+  mutexes : Mutex_table.t;
+  condvars : Condvar.t;
+  trace_rec : Trace.t;
+  threads : (int, thread) Hashtbl.t;
+  mutable sched : Sched_iface.sched option;
+  callbacks : callbacks;
+  oracle : Interp.oracle;
+  mutable live : bool;
+  mutable completed : int;
+  mutable acquisitions : int;
+  acq_hashes : (int, int64) Hashtbl.t; (* per-mutex acquisition-order hash *)
+}
+
+let sched t =
+  match t.sched with
+  | Some s -> s
+  | None -> invalid_arg "Replica: scheduler not attached"
+
+let thread t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some th -> th
+  | None -> invalid_arg (Printf.sprintf "Replica %d: unknown thread %d" t.id tid)
+
+let record t ev =
+  if t.config.Config.trace then
+    Trace.record_at t.trace_rec ~time:(Engine.now t.engine) ev
+
+(* Per-mutex ordering is the determinism property the schedulers guarantee:
+   LSA's leader/follower pair legitimately interleaves acquisitions of
+   *different* mutexes differently, but the sequence of owners of each single
+   mutex must match on every replica. *)
+let record_acquisition t ~mutex ~tid =
+  t.acquisitions <- t.acquisitions + 1;
+  let mix h x =
+    Int64.mul (Int64.logxor h (Int64.of_int x)) 0x100000001B3L
+  in
+  let prev =
+    Option.value ~default:0xCBF29CE484222325L
+      (Hashtbl.find_opt t.acq_hashes mutex)
+  in
+  Hashtbl.replace t.acq_hashes mutex (mix prev tid)
+
+(* Charge CPU time and continue; zero-cost steps continue synchronously. *)
+let after_cost t duration k =
+  if duration <= 0.0 then k () else Cpu.exec t.cpu ~duration k
+
+let rec advance t th =
+  if t.live then
+    match th.cont with
+    | None ->
+      invalid_arg (Printf.sprintf "Replica %d: t%d has no continuation" t.id
+                     th.tid)
+    | Some k ->
+      th.cont <- None;
+      th.status <- Running;
+      step t th (k ())
+
+and step t th outcome =
+  match outcome with
+  | Interp.Done ->
+    (* Final computation: build the reply message (section 4.1). *)
+    let cost = if th.req.Request.dummy then 0.0 else t.config.reply_build_ms in
+    after_cost t cost (fun () -> finish t th)
+  | Interp.Yield (op, k) ->
+    th.cont <- Some k;
+    handle_op t th op
+
+and finish t th =
+  if t.live then begin
+    th.status <- Terminated;
+    record t (Trace.Thread_end { tid = th.tid });
+    t.completed <- t.completed + 1;
+    (sched t).on_terminate th.tid;
+    if not th.req.Request.dummy then t.callbacks.send_reply th.req
+  end
+
+and handle_op t th op =
+  let s = sched t in
+  match op with
+  | Op.Compute { duration } -> Cpu.exec t.cpu ~duration (fun () -> advance t th)
+  | Op.Lock { syncid; mutex } ->
+    if Mutex_table.owner t.mutexes ~mutex = Some th.tid then begin
+      (* Re-entrant entry: no scheduling decision needed (section 2: binary,
+         re-entrant mutexes). *)
+      Mutex_table.acquire t.mutexes ~mutex ~tid:th.tid;
+      record t (Trace.Lock_granted { tid = th.tid; syncid; mutex });
+      record_acquisition t ~mutex ~tid:th.tid;
+      s.on_acquired th.tid ~syncid ~mutex;
+      after_cost t t.config.lock_overhead_ms (fun () -> advance t th)
+    end
+    else begin
+      th.status <- Lock_blocked { syncid; mutex };
+      record t (Trace.Lock_requested { tid = th.tid; syncid; mutex });
+      s.on_lock th.tid ~syncid ~mutex
+    end
+  | Op.Unlock { syncid; mutex } ->
+    let freed = Mutex_table.release t.mutexes ~mutex ~tid:th.tid in
+    record t (Trace.Unlocked { tid = th.tid; syncid; mutex });
+    s.on_unlock th.tid ~syncid ~mutex ~freed;
+    after_cost t t.config.lock_overhead_ms (fun () -> advance t th)
+  | Op.Wait { mutex } ->
+    let count = Mutex_table.release_all t.mutexes ~mutex ~tid:th.tid in
+    th.status <- Wait_parked { mutex; count };
+    Condvar.park t.condvars ~mutex ~tid:th.tid;
+    record t (Trace.Wait_begin { tid = th.tid; mutex });
+    s.on_wait th.tid ~mutex
+  | Op.Notify { mutex; all } ->
+    record t (Trace.Notify { tid = th.tid; mutex; all });
+    let woken =
+      if all then Condvar.notify_all t.condvars ~mutex
+      else Option.to_list (Condvar.notify_one t.condvars ~mutex)
+    in
+    List.iter
+      (fun wtid ->
+        let w = thread t wtid in
+        match w.status with
+        | Wait_parked { mutex = m; count } when m = mutex ->
+          w.status <- Reacquire_blocked { mutex; count };
+          s.on_wakeup wtid ~mutex
+        | _ ->
+          invalid_arg
+            (Printf.sprintf "Replica %d: notified t%d is not waiting" t.id
+               wtid))
+      woken;
+    after_cost t t.config.lock_overhead_ms (fun () -> advance t th)
+  | Op.Nested { service; duration } ->
+    let call_index = th.nested_count in
+    th.nested_count <- call_index + 1;
+    record t (Trace.Nested_begin { tid = th.tid; service });
+    if List.mem call_index th.buffered_replies then begin
+      (* The reply (broadcast by the invoking replica) overtook us. *)
+      th.buffered_replies <-
+        List.filter (fun i -> i <> call_index) th.buffered_replies;
+      th.status <- Nested_ready { call_index };
+      s.on_nested_begin th.tid;
+      record t (Trace.Nested_end { tid = th.tid; service = 0 });
+      s.on_nested_reply th.tid
+    end
+    else begin
+      th.status <- Nested_blocked { call_index };
+      s.on_nested_begin th.tid;
+      t.callbacks.do_nested ~tid:th.tid ~call_index ~service ~duration
+    end
+  | Op.Lockinfo { syncid; mutex } ->
+    s.on_lockinfo th.tid ~syncid ~mutex;
+    after_cost t t.config.bookkeeping_overhead_ms (fun () -> advance t th)
+  | Op.Ignore { syncid } ->
+    s.on_ignore th.tid ~syncid;
+    after_cost t t.config.bookkeeping_overhead_ms (fun () -> advance t th)
+  | Op.Loop_enter { loopid } ->
+    s.on_loop_enter th.tid ~loopid;
+    after_cost t t.config.bookkeeping_overhead_ms (fun () -> advance t th)
+  | Op.Loop_exit { loopid } ->
+    s.on_loop_exit th.tid ~loopid;
+    after_cost t t.config.bookkeeping_overhead_ms (fun () -> advance t th)
+  | Op.State_update { field; delta } ->
+    (* System model (section 2): shared state is accessed under a lock. *)
+    if not (Mutex_table.holds_any t.mutexes ~tid:th.tid) then
+      invalid_arg
+        (Printf.sprintf "Replica %d: t%d updates %S without holding a lock"
+           t.id th.tid field);
+    Object_state.update_state t.obj field delta;
+    advance t th
+
+(* ------------------------------------------------------------------ *)
+(* Actions offered to the scheduler.                                   *)
+
+let do_start_thread t tid =
+  let th = thread t tid in
+  (match th.status with
+  | Created -> ()
+  | _ -> invalid_arg (Printf.sprintf "Replica %d: t%d started twice" t.id tid));
+  record t (Trace.Thread_start { tid; method_name = th.req.Request.meth });
+  th.cont <-
+    Some (Interp.start ~cls:t.cls ~obj:t.obj ~oracle:t.oracle ~req:th.req);
+  advance t th
+
+let do_grant_lock t tid =
+  let th = thread t tid in
+  match th.status with
+  | Lock_blocked { syncid; mutex } ->
+    Mutex_table.acquire t.mutexes ~mutex ~tid;
+    record t (Trace.Lock_granted { tid; syncid; mutex });
+    record_acquisition t ~mutex ~tid;
+    (sched t).on_acquired tid ~syncid ~mutex;
+    after_cost t t.config.lock_overhead_ms (fun () -> advance t th)
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Replica %d: grant_lock for t%d not lock-blocked" t.id
+         tid)
+
+let do_grant_reacquire t tid =
+  let th = thread t tid in
+  match th.status with
+  | Reacquire_blocked { mutex; count } ->
+    Mutex_table.restore t.mutexes ~mutex ~tid ~count;
+    record t (Trace.Wait_end { tid; mutex });
+    record_acquisition t ~mutex ~tid;
+    (sched t).on_reacquired tid ~mutex;
+    after_cost t t.config.lock_overhead_ms (fun () -> advance t th)
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Replica %d: grant_reacquire for t%d not waiting" t.id
+         tid)
+
+let do_resume_nested t tid =
+  let th = thread t tid in
+  match th.status with
+  | Nested_ready _ -> advance t th
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Replica %d: resume_nested for t%d with no reply" t.id
+         tid)
+
+(* ------------------------------------------------------------------ *)
+
+let create ~engine ~id ~cls ~config ?(oracle = Interp.default_oracle)
+    ~callbacks ~make_sched () =
+  Config.validate config;
+  let t =
+    { id; engine; cpu = Cpu.create engine ~cores:config.Config.cores; config;
+      cls; obj = Object_state.create cls; mutexes = Mutex_table.create ();
+      condvars = Condvar.create (); trace_rec = Trace.create ();
+      threads = Hashtbl.create 64; sched = None; callbacks; oracle;
+      live = true; completed = 0; acquisitions = 0;
+      acq_hashes = Hashtbl.create 64 }
+  in
+  let actions =
+    { Sched_iface.replica_id = id;
+      start_thread = (fun tid -> do_start_thread t tid);
+      grant_lock = (fun tid -> do_grant_lock t tid);
+      grant_reacquire = (fun tid -> do_grant_reacquire t tid);
+      resume_nested = (fun tid -> do_resume_nested t tid);
+      mutex_owner = (fun mutex -> Mutex_table.owner t.mutexes ~mutex);
+      mutex_free_for =
+        (fun ~tid ~mutex -> Mutex_table.is_free_for t.mutexes ~mutex ~tid);
+      holds_any_mutex = (fun tid -> Mutex_table.holds_any t.mutexes ~tid);
+      request_method = (fun tid -> (thread t tid).req.Request.meth);
+      broadcast_control = (fun c -> callbacks.broadcast_control c);
+      inject_dummy = (fun () -> callbacks.inject_dummy ());
+      schedule = (fun ~delay f -> Engine.schedule engine ~delay f);
+      now = (fun () -> Engine.now engine);
+      is_leader = (fun () -> callbacks.is_leader ()) }
+  in
+  t.sched <- Some (make_sched actions);
+  t
+
+let id t = t.id
+
+let deliver_request t req =
+  if t.live then begin
+    let tid = req.Request.uid in
+    if Hashtbl.mem t.threads tid then
+      invalid_arg (Printf.sprintf "Replica %d: duplicate request %d" t.id tid);
+    Hashtbl.add t.threads tid
+      { tid; req; cont = None; status = Created; nested_count = 0;
+        buffered_replies = [] };
+    (sched t).on_request tid
+  end
+
+let nested_reply t ~tid ~call_index =
+  if t.live then begin
+    let th = thread t tid in
+    match th.status with
+    | Nested_blocked { call_index = pending } when pending = call_index ->
+      th.status <- Nested_ready { call_index };
+      record t (Trace.Nested_end { tid; service = 0 });
+      (sched t).on_nested_reply tid
+    | _ -> th.buffered_replies <- call_index :: th.buffered_replies
+  end
+
+let deliver_control t ~sender control =
+  if t.live then (sched t).on_control ~sender control
+
+let set_alive t b = t.live <- b
+
+let alive t = t.live
+
+let scheduler_name t = (sched t).name
+
+let state_fingerprint t = Object_state.fingerprint t.obj
+
+let state_snapshot t = Object_state.state_snapshot t.obj
+
+let trace t = t.trace_rec
+
+let object_state t = t.obj
+
+let completed_requests t = t.completed
+
+let active_threads t =
+  Hashtbl.fold
+    (fun _ th n -> match th.status with Terminated -> n | _ -> n + 1)
+    t.threads 0
+
+let thread_status t tid =
+  Option.map (fun th -> th.status) (Hashtbl.find_opt t.threads tid)
+
+let cpu_busy_ms t = Cpu.busy_time t.cpu
+
+let lock_acquisitions t = t.acquisitions
+
+let mutex_acquisition_fingerprint t =
+  let entries =
+    Hashtbl.fold (fun m h acc -> (m, h) :: acc) t.acq_hashes []
+    |> List.sort compare
+  in
+  let mix h x = Int64.mul (Int64.logxor h x) 0x100000001B3L in
+  List.fold_left
+    (fun acc (m, h) -> mix (mix acc (Int64.of_int m)) h)
+    0xCBF29CE484222325L entries

@@ -1,0 +1,86 @@
+(** The per-replica execution engine.
+
+    Owns the object state, the mutex table, the condition variables, the
+    simulated CPU cores and one interpreter thread per delivered request.
+    Every synchronisation-relevant operation is routed through the attached
+    scheduler exactly as the FTflex source transformation routes every
+    [synchronized] statement through the scheduling module. *)
+
+type thread_status =
+  | Created  (** delivered, not yet started by the scheduler *)
+  | Running  (** executing (or computing on a CPU) *)
+  | Lock_blocked of { syncid : int; mutex : int }
+  | Wait_parked of { mutex : int; count : int }
+  | Reacquire_blocked of { mutex : int; count : int }
+  | Nested_blocked of { call_index : int }
+  | Nested_ready of { call_index : int }
+  | Terminated
+
+type callbacks = {
+  send_reply : Request.t -> unit;
+  do_nested :
+    tid:int -> call_index:int -> service:int -> duration:float -> unit;
+      (** perform the nested invocation; the replication layer answers every
+          replica through {!nested_reply} *)
+  broadcast_control : Sched_iface.control -> unit;
+  inject_dummy : unit -> unit;
+  is_leader : unit -> bool;
+}
+
+type t
+
+val create :
+  engine:Detmt_sim.Engine.t ->
+  id:int ->
+  cls:Detmt_lang.Class_def.t ->
+  config:Config.t ->
+  ?oracle:Interp.oracle ->
+  callbacks:callbacks ->
+  make_sched:(Sched_iface.actions -> Sched_iface.sched) ->
+  unit ->
+  t
+(** [cls] must be an instrumented class ({!Detmt_transform.Transform}). *)
+
+val id : t -> int
+
+val deliver_request : t -> Request.t -> unit
+(** Called by the replication layer in total order. *)
+
+val nested_reply : t -> tid:int -> call_index:int -> unit
+(** Deliver a nested-invocation reply.  Replies arriving before the thread
+    reaches the call are buffered. *)
+
+val deliver_control : t -> sender:int -> Sched_iface.control -> unit
+
+val set_alive : t -> bool -> unit
+(** Failure injection: a dead replica silently drops everything. *)
+
+val alive : t -> bool
+
+val scheduler_name : t -> string
+
+val state_fingerprint : t -> int64
+
+val state_snapshot : t -> (string * int) list
+
+val trace : t -> Detmt_sim.Trace.t
+
+val object_state : t -> Object_state.t
+
+val completed_requests : t -> int
+
+val active_threads : t -> int
+(** Threads delivered but not yet terminated. *)
+
+val thread_status : t -> int -> thread_status option
+
+val cpu_busy_ms : t -> float
+
+val lock_acquisitions : t -> int
+
+val mutex_acquisition_fingerprint : t -> int64
+(** Hash of the per-mutex acquisition order (the sequence of owners of every
+    mutex, combined across mutexes) — replicas running the same deterministic
+    scheduler must agree.  Deliberately insensitive to the global interleaving
+    of acquisitions of different mutexes, which LSA's leader/follower pair is
+    allowed to differ on. *)

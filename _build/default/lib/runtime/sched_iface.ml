@@ -1,0 +1,83 @@
+(* The replica <-> scheduler contract.
+
+   The replica engine intercepts every synchronisation-relevant operation and
+   reports it to the scheduler (a "decision module", section 4.3) through the
+   [sched] callbacks; the scheduler answers asynchronously through [actions].
+   A scheduler must eventually grant every blocked operation it was told
+   about, choosing the moment (and hence the deterministic order).
+
+   Contract, per operation:
+   - [on_request tid]: a new thread was delivered in total order.  The
+     scheduler starts it (now or later) with [actions.start_thread].
+   - [on_lock tid ~syncid ~mutex]: the thread is blocked wanting [mutex].
+     Grant with [actions.grant_lock] — only when the mutex is free for the
+     thread ([actions.mutex_free_for]), otherwise the replica raises.
+     Re-entrant acquisitions are short-circuited by the replica and surface
+     only as [on_acquired].
+   - [on_wakeup tid ~mutex]: a wait was notified; the thread needs to
+     re-acquire the monitor.  Grant with [actions.grant_reacquire].
+   - [on_nested_reply tid]: the nested-invocation reply arrived; resume the
+     thread with [actions.resume_nested].
+
+   Purely informational callbacks: [on_acquired], [on_unlock], [on_wait],
+   [on_terminate], and the bookkeeping stream [on_lockinfo] / [on_ignore] /
+   [on_loop_enter] / [on_loop_exit]. *)
+
+type control =
+  | Lsa_grant of { grant_seq : int; mutex : int; tid : int }
+      (* the LSA leader's lock-acquisition decision, enforced by followers *)
+  | Custom of string (* extension point, used by tests *)
+
+type actions = {
+  replica_id : int;
+  start_thread : int -> unit;
+  grant_lock : int -> unit;
+  grant_reacquire : int -> unit;
+  resume_nested : int -> unit;
+  mutex_owner : int -> int option;
+  mutex_free_for : tid:int -> mutex:int -> bool;
+  holds_any_mutex : int -> bool;
+  request_method : int -> string;
+      (* start method of a delivered request, for bookkeeping registration *)
+  broadcast_control : control -> unit;
+      (* routed via the total-order broadcast to every replica's scheduler *)
+  inject_dummy : unit -> unit; (* PDS: ask for a filler request *)
+  schedule : delay:float -> (unit -> unit) -> unit; (* local timers *)
+  now : unit -> float;
+  is_leader : unit -> bool;
+}
+
+type sched = {
+  name : string;
+  on_request : int -> unit;
+  on_lock : int -> syncid:int -> mutex:int -> unit;
+  on_acquired : int -> syncid:int -> mutex:int -> unit;
+  on_unlock : int -> syncid:int -> mutex:int -> freed:bool -> unit;
+  on_wait : int -> mutex:int -> unit;
+  on_wakeup : int -> mutex:int -> unit;
+  on_reacquired : int -> mutex:int -> unit;
+  on_nested_begin : int -> unit;
+  on_nested_reply : int -> unit;
+  on_terminate : int -> unit;
+  on_lockinfo : int -> syncid:int -> mutex:int -> unit;
+  on_ignore : int -> syncid:int -> unit;
+  on_loop_enter : int -> loopid:int -> unit;
+  on_loop_exit : int -> loopid:int -> unit;
+  on_control : sender:int -> control -> unit;
+}
+
+(* A scheduler skeleton whose informational callbacks do nothing — decision
+   modules override what they need. *)
+let no_op_sched ~name ~on_request ~on_lock ~on_wakeup ~on_nested_reply =
+  { name; on_request; on_lock; on_wakeup; on_nested_reply;
+    on_acquired = (fun _ ~syncid:_ ~mutex:_ -> ());
+    on_unlock = (fun _ ~syncid:_ ~mutex:_ ~freed:_ -> ());
+    on_wait = (fun _ ~mutex:_ -> ());
+    on_reacquired = (fun _ ~mutex:_ -> ());
+    on_nested_begin = (fun _ -> ());
+    on_terminate = (fun _ -> ());
+    on_lockinfo = (fun _ ~syncid:_ ~mutex:_ -> ());
+    on_ignore = (fun _ ~syncid:_ -> ());
+    on_loop_enter = (fun _ ~loopid:_ -> ());
+    on_loop_exit = (fun _ ~loopid:_ -> ());
+    on_control = (fun ~sender:_ _ -> ()) }

@@ -1,0 +1,1 @@
+lib/sched/adaptive.ml: Config Detmt_analysis Detmt_runtime List Mat Pmat Sched_iface Seq_sched String

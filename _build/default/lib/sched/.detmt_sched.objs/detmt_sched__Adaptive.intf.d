@@ -1,0 +1,1 @@
+lib/sched/adaptive.mli: Detmt_analysis Detmt_runtime

@@ -1,0 +1,1 @@
+lib/sched/bookkeeping.ml: Detmt_analysis Hashtbl List Predict

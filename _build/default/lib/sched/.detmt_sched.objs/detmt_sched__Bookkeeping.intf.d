@@ -1,0 +1,1 @@
+lib/sched/bookkeeping.mli: Detmt_analysis

@@ -1,0 +1,1 @@
+lib/sched/freefall.ml: Detmt_runtime Detmt_sim Hashtbl Int64 List Rng Sched_iface

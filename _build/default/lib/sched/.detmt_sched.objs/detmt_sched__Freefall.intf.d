@@ -1,0 +1,1 @@
+lib/sched/freefall.mli: Detmt_runtime

@@ -1,0 +1,1 @@
+lib/sched/lsa.ml: Detmt_runtime Hashtbl List Printf Sched_iface Waitq

@@ -1,0 +1,1 @@
+lib/sched/lsa.mli: Detmt_runtime

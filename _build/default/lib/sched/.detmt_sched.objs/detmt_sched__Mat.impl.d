@@ -1,0 +1,1 @@
+lib/sched/mat.ml: Bookkeeping Detmt_runtime List Option Sched_iface

@@ -1,0 +1,1 @@
+lib/sched/mat.mli: Detmt_analysis Detmt_runtime

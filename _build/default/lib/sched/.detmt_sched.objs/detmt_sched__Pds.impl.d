@@ -1,0 +1,1 @@
+lib/sched/pds.ml: Config Detmt_runtime Hashtbl List Option Sched_iface

@@ -1,0 +1,1 @@
+lib/sched/pds.mli: Detmt_runtime

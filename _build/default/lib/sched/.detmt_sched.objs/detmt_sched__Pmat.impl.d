@@ -1,0 +1,1 @@
+lib/sched/pmat.ml: Bookkeeping Detmt_runtime List Sched_iface

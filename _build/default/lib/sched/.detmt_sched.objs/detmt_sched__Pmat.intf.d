@@ -1,0 +1,1 @@
+lib/sched/pmat.mli: Detmt_analysis Detmt_runtime

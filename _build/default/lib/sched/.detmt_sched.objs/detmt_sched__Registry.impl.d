@@ -1,0 +1,1 @@
+lib/sched/registry.ml: Adaptive Config Detmt_analysis Detmt_runtime Freefall List Lsa Mat Pds Pmat Printf Sat Sched_iface Seq_sched String

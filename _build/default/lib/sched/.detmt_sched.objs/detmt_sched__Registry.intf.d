@@ -1,0 +1,1 @@
+lib/sched/registry.mli: Detmt_analysis Detmt_runtime

@@ -1,0 +1,1 @@
+lib/sched/sat.ml: Detmt_runtime List Sched_iface

@@ -1,0 +1,1 @@
+lib/sched/sat.mli: Detmt_runtime

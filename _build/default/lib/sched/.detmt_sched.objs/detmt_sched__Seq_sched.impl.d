@@ -1,0 +1,1 @@
+lib/sched/seq_sched.ml: Detmt_runtime Queue Sched_iface

@@ -1,0 +1,1 @@
+lib/sched/seq_sched.mli: Detmt_runtime

@@ -1,0 +1,105 @@
+open Detmt_runtime
+
+let fully_predictable = function
+  | None -> false
+  | Some (cs : Detmt_analysis.Predict.class_summary) ->
+    cs.methods <> []
+    && List.for_all
+         (fun (m : Detmt_analysis.Predict.method_summary) -> not m.fallback)
+         cs.methods
+
+let recommend ~summary ~avg_concurrency =
+  if avg_concurrency <= 1.05 then "seq"
+  else if fully_predictable summary then "pmat"
+  else "mat"
+
+(* The children the analyser can pick.  (Not routed through {!Registry} to
+   keep the module dependency one-way.) *)
+let make_child name ~config ~summary actions =
+  ignore config;
+  match name with
+  | "seq" -> Seq_sched.make actions
+  | "mat" -> Mat.make actions
+  | "pmat" -> (
+    match summary with
+    | Some s -> Pmat.make ~summary:s actions
+    | None -> Mat.make actions)
+  | other -> invalid_arg ("Adaptive: unknown child scheduler " ^ other)
+
+type t = {
+  actions : Sched_iface.actions;
+  config : Config.t;
+  summary : Detmt_analysis.Predict.class_summary option;
+  window : int;
+  on_switch : string -> unit;
+  mutable child : Sched_iface.sched;
+  mutable child_name : string;
+  mutable alive_threads : int;
+  (* interaction-pattern statistics for the current window *)
+  mutable window_requests : int;
+  mutable concurrency_sum : int; (* alive threads observed at each delivery *)
+}
+
+let switch t name =
+  if not (String.equal name t.child_name) then begin
+    (* Only legal at quiescence: the fresh child starts with no thread
+       state, which is exactly the replica's situation. *)
+    assert (t.alive_threads = 0);
+    t.child <-
+      make_child name ~config:t.config ~summary:t.summary t.actions;
+    t.child_name <- name;
+    t.on_switch name
+  end
+
+(* Quiescent point: re-evaluate once enough of the stream has been seen. *)
+let reconsider t =
+  if t.alive_threads = 0 && t.window_requests >= t.window then begin
+    let avg_concurrency =
+      float_of_int t.concurrency_sum /. float_of_int t.window_requests
+    in
+    t.window_requests <- 0;
+    t.concurrency_sum <- 0;
+    switch t (recommend ~summary:t.summary ~avg_concurrency)
+  end
+
+let on_request t tid =
+  t.window_requests <- t.window_requests + 1;
+  t.alive_threads <- t.alive_threads + 1;
+  t.concurrency_sum <- t.concurrency_sum + t.alive_threads;
+  t.child.on_request tid
+
+let on_terminate t tid =
+  t.alive_threads <- t.alive_threads - 1;
+  t.child.on_terminate tid;
+  reconsider t
+
+let make ?(window = 20) ?(on_switch = fun _ -> ()) ~config ~summary actions :
+    Sched_iface.sched =
+  let initial = recommend ~summary ~avg_concurrency:infinity in
+  let t =
+    { actions; config; summary; window; on_switch;
+      child = make_child initial ~config ~summary actions;
+      child_name = initial; alive_threads = 0; window_requests = 0;
+      concurrency_sum = 0 }
+  in
+  t.on_switch initial;
+  { Sched_iface.name = "adaptive";
+    on_request = on_request t;
+    on_lock = (fun tid ~syncid ~mutex -> t.child.on_lock tid ~syncid ~mutex);
+    on_acquired =
+      (fun tid ~syncid ~mutex -> t.child.on_acquired tid ~syncid ~mutex);
+    on_unlock =
+      (fun tid ~syncid ~mutex ~freed ->
+        t.child.on_unlock tid ~syncid ~mutex ~freed);
+    on_wait = (fun tid ~mutex -> t.child.on_wait tid ~mutex);
+    on_wakeup = (fun tid ~mutex -> t.child.on_wakeup tid ~mutex);
+    on_reacquired = (fun tid ~mutex -> t.child.on_reacquired tid ~mutex);
+    on_nested_begin = (fun tid -> t.child.on_nested_begin tid);
+    on_nested_reply = (fun tid -> t.child.on_nested_reply tid);
+    on_terminate = on_terminate t;
+    on_lockinfo =
+      (fun tid ~syncid ~mutex -> t.child.on_lockinfo tid ~syncid ~mutex);
+    on_ignore = (fun tid ~syncid -> t.child.on_ignore tid ~syncid);
+    on_loop_enter = (fun tid ~loopid -> t.child.on_loop_enter tid ~loopid);
+    on_loop_exit = (fun tid ~loopid -> t.child.on_loop_exit tid ~loopid);
+    on_control = (fun ~sender c -> t.child.on_control ~sender c) }

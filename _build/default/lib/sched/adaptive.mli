@@ -1,0 +1,36 @@
+(** Adaptive scheduler selection (section 5 future work: "a request analyser
+    that chooses the appropriate scheduler at runtime depending on the client
+    interaction patterns and the methods lock pattern").
+
+    A meta decision module that delegates to a child scheduler and, at
+    quiescent points (no thread alive) after every [window] delivered
+    requests, re-evaluates which child fits the observed interaction
+    pattern:
+
+    - effectively sequential clients (observed concurrency ≈ 1): SEQ — no
+      parallelism to exploit, and the simplest discipline has the lowest
+      overhead;
+    - a fully predictable lock pattern (every start method analysable, no
+      fallback): predicted MAT — concurrency without broadcast traffic;
+    - otherwise: MAT, the most flexible pessimistic algorithm.
+
+    Every input to the decision (delivery and termination order, the static
+    summary) is identical on all replicas, and switches happen only when no
+    thread exists, so the hand-over is trivially deterministic. *)
+
+val recommend :
+  summary:Detmt_analysis.Predict.class_summary option ->
+  avg_concurrency:float ->
+  string
+(** The pure decision function, exposed for tests. *)
+
+val make :
+  ?window:int ->
+  ?on_switch:(string -> unit) ->
+  config:Detmt_runtime.Config.t ->
+  summary:Detmt_analysis.Predict.class_summary option ->
+  Detmt_runtime.Sched_iface.actions ->
+  Detmt_runtime.Sched_iface.sched
+(** [window] (default 20) is the number of requests observed between
+    re-evaluations; [on_switch] fires with the new child's name whenever the
+    delegate changes (including the initial choice). *)

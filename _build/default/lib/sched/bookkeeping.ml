@@ -1,0 +1,159 @@
+open Detmt_analysis
+
+type entry_state = Pending | Announced of int | Passed | Ignored
+
+type table = {
+  ms : Predict.method_summary;
+  entries : (int, entry_state) Hashtbl.t; (* syncid -> state *)
+  mutable active_loops : int list; (* innermost first *)
+  mutable exited_loops : int list;
+}
+
+type thread_info =
+  | Pessimistic (* no summary, or fallback method: everything unknown *)
+  | Tracked of table
+
+type t = {
+  summary : Predict.class_summary option;
+  threads : (int, thread_info) Hashtbl.t;
+}
+
+let create ~summary () = { summary; threads = Hashtbl.create 64 }
+
+let register t ~tid ~meth =
+  let info =
+    match t.summary with
+    | None -> Pessimistic
+    | Some cs -> (
+      match Predict.find_method cs meth with
+      | None -> Pessimistic
+      | Some ms when ms.fallback -> Pessimistic
+      | Some ms ->
+        let entries = Hashtbl.create 16 in
+        List.iter
+          (fun (i : Predict.sid_info) -> Hashtbl.replace entries i.sid Pending)
+          ms.sids;
+        Tracked { ms; entries; active_loops = []; exited_loops = [] })
+  in
+  Hashtbl.replace t.threads tid info
+
+let release t ~tid = Hashtbl.remove t.threads tid
+
+let tracked t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some (Tracked tab) -> Some tab
+  | Some Pessimistic | None -> None
+
+let set_entry tab sid state =
+  if Hashtbl.mem tab.entries sid then Hashtbl.replace tab.entries sid state
+
+let on_lockinfo t ~tid ~syncid ~mutex =
+  match tracked t tid with
+  | None -> ()
+  | Some tab -> (
+    (* An already-resolved entry is never un-resolved by a late
+       announcement (can only happen with unsound instrumentation). *)
+    match Hashtbl.find_opt tab.entries syncid with
+    | Some Pending | Some (Announced _) ->
+      set_entry tab syncid (Announced mutex)
+    | Some Passed | Some Ignored | None -> ())
+
+let on_ignore t ~tid ~syncid =
+  match tracked t tid with
+  | None -> ()
+  | Some tab -> set_entry tab syncid Ignored
+
+let loop_still_active tab (info : Predict.sid_info) =
+  List.exists (fun lid -> List.mem lid tab.active_loops) info.in_loops
+
+let on_acquired t ~tid ~syncid ~mutex =
+  match tracked t tid with
+  | None -> ()
+  | Some tab -> (
+    match Predict.sid_info tab.ms syncid with
+    | None -> () (* a helper-method sid inside an opaque region *)
+    | Some info ->
+      if loop_still_active tab info then
+        (* May be requested again on the next iteration: the mutex stays in
+           the future set until the loop is left. *)
+        set_entry tab syncid (Announced mutex)
+      else set_entry tab syncid Passed)
+
+let on_loop_enter t ~tid ~loopid =
+  match tracked t tid with
+  | None -> ()
+  | Some tab ->
+    tab.active_loops <- loopid :: tab.active_loops;
+    tab.exited_loops <- List.filter (fun l -> l <> loopid) tab.exited_loops
+
+let on_loop_exit t ~tid ~loopid =
+  match tracked t tid with
+  | None -> ()
+  | Some tab ->
+    (match tab.active_loops with
+    | l :: rest when l = loopid -> tab.active_loops <- rest
+    | _ ->
+      tab.active_loops <- List.filter (fun l -> l <> loopid) tab.active_loops);
+    tab.exited_loops <- loopid :: tab.exited_loops;
+    (* Every sid of the scope that cannot run again (no other enclosing
+       scope still active) is resolved. *)
+    (match Predict.loop_info tab.ms loopid with
+    | None -> ()
+    | Some linfo ->
+      List.iter
+        (fun sid ->
+          match Predict.sid_info tab.ms sid with
+          | Some info when not (loop_still_active tab info) -> (
+            match Hashtbl.find_opt tab.entries sid with
+            | Some Pending | Some (Announced _) -> set_entry tab sid Ignored
+            | Some Passed | Some Ignored | None -> ())
+          | Some _ | None -> ())
+        linfo.sids)
+
+let changing tab lid =
+  match Predict.loop_info tab.ms lid with
+  | Some l -> l.changing
+  | None -> true (* unknown scope: be pessimistic *)
+
+let predicted_tab tab =
+  (* 1. no changing scope is currently active *)
+  (not (List.exists (changing tab) tab.active_loops))
+  (* 2. no changing scope lies ahead (neither active nor already exited) *)
+  && List.for_all
+       (fun (l : Predict.loop_info) ->
+         (not l.changing)
+         || List.mem l.lid tab.exited_loops
+         || List.mem l.lid tab.active_loops (* excluded by 1 if changing *))
+       tab.ms.loops
+  (* 3. every entry is resolved *)
+  && Hashtbl.fold
+       (fun _ state acc ->
+         acc && match state with Pending -> false | _ -> true)
+       tab.entries true
+
+let predicted t ~tid =
+  match tracked t tid with None -> false | Some tab -> predicted_tab tab
+
+let future_of_tab tab =
+  Hashtbl.fold
+    (fun _ state acc ->
+      match state with
+      | Announced m -> m :: acc
+      | Pending | Passed | Ignored -> acc)
+    tab.entries []
+  |> List.sort_uniq compare
+
+let future_mutexes t ~tid =
+  match tracked t tid with
+  | None -> None
+  | Some tab -> if predicted_tab tab then Some (future_of_tab tab) else None
+
+let future_may_lock t ~tid ~mutex =
+  match future_mutexes t ~tid with
+  | None -> true
+  | Some future -> List.mem mutex future
+
+let no_future_locks t ~tid =
+  match future_mutexes t ~tid with
+  | None -> false
+  | Some future -> future = []

@@ -1,0 +1,65 @@
+(* Freefall — a deliberately NON-deterministic baseline.
+
+   Models what an unmodified JVM does: locks are granted first-come
+   first-served, but ties and wake-ups are broken by a per-replica random
+   generator, the way OS scheduling jitter would.  Replicas diverge — the
+   consistency checker must catch it.  This is the motivation experiment
+   (E10): why deterministic multithreading is needed at all. *)
+
+open Detmt_sim
+open Detmt_runtime
+
+type pending = Plock | Preacquire
+
+type t = {
+  actions : Sched_iface.actions;
+  rng : Rng.t;
+  waiting : (int, int * pending) Hashtbl.t; (* tid -> (mutex, kind) *)
+}
+
+let grant t tid kind =
+  Hashtbl.remove t.waiting tid;
+  match kind with
+  | Plock -> t.actions.grant_lock tid
+  | Preacquire -> t.actions.grant_reacquire tid
+
+let candidates t ~mutex =
+  Hashtbl.fold
+    (fun tid (m, kind) acc -> if m = mutex then (tid, kind) :: acc else acc)
+    t.waiting []
+  |> List.sort compare
+
+let wake_random t ~mutex =
+  match candidates t ~mutex with
+  | [] -> ()
+  | cands ->
+    (* Random pick: the per-replica divergence source. *)
+    let tid, kind = List.nth cands (Rng.int t.rng (List.length cands)) in
+    grant t tid kind
+
+let on_lock t tid ~syncid:_ ~mutex =
+  if t.actions.mutex_free_for ~tid ~mutex then t.actions.grant_lock tid
+  else Hashtbl.replace t.waiting tid (mutex, Plock)
+
+let on_wakeup t tid ~mutex =
+  if t.actions.mutex_free_for ~tid ~mutex then t.actions.grant_reacquire tid
+  else Hashtbl.replace t.waiting tid (mutex, Preacquire)
+
+let make (actions : Sched_iface.actions) : Sched_iface.sched =
+  let t =
+    { actions;
+      rng = Rng.create (Int64.of_int (0x5EED + actions.replica_id));
+      waiting = Hashtbl.create 32 }
+  in
+  let base =
+    Sched_iface.no_op_sched ~name:"freefall"
+      ~on_request:(fun tid -> t.actions.start_thread tid)
+      ~on_lock:(on_lock t)
+      ~on_wakeup:(on_wakeup t)
+      ~on_nested_reply:(fun tid -> t.actions.resume_nested tid)
+  in
+  { base with
+    on_unlock =
+      (fun _tid ~syncid:_ ~mutex ~freed ->
+        if freed then wake_random t ~mutex);
+    on_wait = (fun _tid ~mutex -> wake_random t ~mutex) }

@@ -1,0 +1,9 @@
+(** Freefall — the deliberately NON-deterministic baseline.
+
+    Locks are granted first-come first-served with wake-ups randomised per
+    replica, the way free-running JVM threads would behave.  Exists so the
+    consistency checker has something to catch (experiment E10): replicas
+    diverge in acquisition order, which is the paper's motivation in one
+    module. *)
+
+val make : Detmt_runtime.Sched_iface.actions -> Detmt_runtime.Sched_iface.sched

@@ -1,0 +1,173 @@
+(* LSA — loose synchronisation algorithm (Basile et al. [2]).
+
+   Leader/follower scheme, the only algorithm needing frequent inter-replica
+   communication.  The leader schedules without restrictions (greedy, fully
+   concurrent) and broadcasts every lock-acquisition decision; followers
+   enforce the leader's per-mutex grant order.  The client only waits for the
+   leader's reply, which is why LSA scales best in Figure 1 — at the price of
+   broadcast load (bad on WANs) and a take-over delay when the leader fails.
+
+   Condition variables (added in the FTflex variant): a monitor
+   re-acquisition after notify is just another acquisition decision, so the
+   same grant messages cover it. *)
+
+open Detmt_runtime
+
+type pending = Plock of int (* tid *) | Preacquire of int
+
+type t = {
+  actions : Sched_iface.actions;
+  (* --- leader state --- *)
+  waitq : Waitq.t; (* admitted, waiting for the mutex, FIFO *)
+  kinds : (int, pending) Hashtbl.t; (* tid -> kind of pending operation *)
+  mutable grant_seq : int;
+  (* --- follower state --- *)
+  enforced : Waitq.t; (* per mutex: leader-ordered tids *)
+  requested : (int, int) Hashtbl.t; (* tid -> mutex it locally requested *)
+  mutable draining : bool;
+      (* a promoted leader first drains already-received decisions *)
+}
+
+let is_leader t = t.actions.is_leader ()
+
+let perform t tid =
+  match Hashtbl.find_opt t.kinds tid with
+  | Some (Plock _) ->
+    Hashtbl.remove t.kinds tid;
+    t.actions.grant_lock tid
+  | Some (Preacquire _) ->
+    Hashtbl.remove t.kinds tid;
+    t.actions.grant_reacquire tid
+  | None -> invalid_arg (Printf.sprintf "Lsa: no pending op for t%d" tid)
+
+(* Leader: grant greedily, broadcasting each decision. *)
+let leader_grant t tid ~mutex =
+  t.grant_seq <- t.grant_seq + 1;
+  t.actions.broadcast_control
+    (Sched_iface.Lsa_grant { grant_seq = t.grant_seq; mutex; tid });
+  perform t tid
+
+let leader_request t tid ~mutex pending =
+  Hashtbl.replace t.kinds tid pending;
+  if t.actions.mutex_free_for ~tid ~mutex && Waitq.is_empty t.waitq ~mutex
+  then leader_grant t tid ~mutex
+  else Waitq.push t.waitq ~mutex tid
+
+let leader_on_unlock t ~mutex =
+  match Waitq.head t.waitq ~mutex with
+  | Some tid when t.actions.mutex_free_for ~tid ~mutex ->
+    ignore (Waitq.pop t.waitq ~mutex);
+    leader_grant t tid ~mutex
+  | Some _ | None -> ()
+
+(* Follower: grant only when the local request matches the head of the
+   leader's enforced order and the mutex is free. *)
+let follower_try t ~mutex =
+  match Waitq.head t.enforced ~mutex with
+  | Some tid
+    when Hashtbl.find_opt t.requested tid = Some mutex
+         && t.actions.mutex_free_for ~tid ~mutex ->
+    ignore (Waitq.pop t.enforced ~mutex);
+    Hashtbl.remove t.requested tid;
+    perform t tid
+  | Some _ | None -> ()
+
+let follower_request t tid ~mutex pending =
+  Hashtbl.replace t.kinds tid pending;
+  Hashtbl.replace t.requested tid mutex;
+  follower_try t ~mutex
+
+(* A follower promoted to leader finishes the dead leader's published
+   decisions first (all survivors received the same prefix, in total order),
+   then switches to greedy mode. *)
+let drain_done t =
+  Hashtbl.fold (fun tid mutex acc -> (tid, mutex) :: acc) t.requested []
+  |> List.sort compare
+  |> List.iter (fun (tid, mutex) ->
+         Hashtbl.remove t.requested tid;
+         match Hashtbl.find_opt t.kinds tid with
+         | Some (Plock _) -> leader_request t tid ~mutex (Plock tid)
+         | Some (Preacquire _) -> leader_request t tid ~mutex (Preacquire tid)
+         | None -> ())
+
+let check_promotion t =
+  if is_leader t && t.draining then begin
+    let any_enforced = Hashtbl.length t.requested > 0 in
+    ignore any_enforced;
+    (* Drained when no enforced decisions remain unconsumed. *)
+    let remaining =
+      Hashtbl.fold
+        (fun tid mutex acc ->
+          if Waitq.mem t.enforced ~mutex ~tid then acc + 1 else acc)
+        t.requested 0
+    in
+    if remaining = 0 then begin
+      t.draining <- false;
+      drain_done t
+    end
+  end
+
+let on_request t tid =
+  ignore tid;
+  t.actions.start_thread tid
+
+let on_lock t tid ~syncid:_ ~mutex =
+  if is_leader t && not t.draining then leader_request t tid ~mutex (Plock tid)
+  else begin
+    follower_request t tid ~mutex (Plock tid);
+    check_promotion t
+  end
+
+let on_wakeup t tid ~mutex =
+  if is_leader t && not t.draining then
+    leader_request t tid ~mutex (Preacquire tid)
+  else begin
+    follower_request t tid ~mutex (Preacquire tid);
+    check_promotion t
+  end
+
+let on_unlock t _tid ~syncid:_ ~mutex ~freed =
+  if freed then
+    if is_leader t && not t.draining then leader_on_unlock t ~mutex
+    else follower_try t ~mutex
+
+let on_wait t tid ~mutex =
+  ignore tid;
+  if is_leader t && not t.draining then leader_on_unlock t ~mutex
+  else follower_try t ~mutex
+
+let on_nested_reply t tid = t.actions.resume_nested tid
+
+let on_control t ~sender:_ control =
+  match control with
+  | Sched_iface.Lsa_grant { grant_seq = _; mutex; tid } ->
+    if not (is_leader t) || t.draining then begin
+      (* Our own broadcasts also self-deliver on the leader; ignore them
+         there — decisions were applied synchronously. *)
+      Waitq.push t.enforced ~mutex tid;
+      follower_try t ~mutex;
+      check_promotion t
+    end
+  | Sched_iface.Custom _ ->
+    (* View change: a freshly promoted leader drains the dead leader's
+       published decisions and then schedules greedily. *)
+    check_promotion t
+
+let make (actions : Sched_iface.actions) : Sched_iface.sched =
+  let t =
+    { actions; waitq = Waitq.create (); kinds = Hashtbl.create 64;
+      grant_seq = 0; enforced = Waitq.create (); requested = Hashtbl.create 64;
+      draining = not (actions.is_leader ()) }
+  in
+  let base =
+    Sched_iface.no_op_sched ~name:"lsa"
+      ~on_request:(on_request t)
+      ~on_lock:(on_lock t)
+      ~on_wakeup:(on_wakeup t)
+      ~on_nested_reply:(on_nested_reply t)
+  in
+  { base with
+    on_unlock = (fun tid ~syncid ~mutex ~freed ->
+        on_unlock t tid ~syncid ~mutex ~freed);
+    on_wait = (fun tid ~mutex -> on_wait t tid ~mutex);
+    on_control = (fun ~sender c -> on_control t ~sender c) }

@@ -1,0 +1,248 @@
+(* MAT — multiple active threads (Reiser et al. [11]).
+
+   One primary and any number of secondary active threads.  Only the primary
+   may acquire locks; a secondary requesting a lock blocks until it becomes
+   primary.  The oldest secondary becomes primary when the current primary
+   suspends (wait or nested invocation) or terminates — unless a blocked
+   ex-primary can continue, which takes priority.  Determinism follows
+   because the lock-acquisition sequence is a function of program order and
+   these deterministic promotion points only.
+
+   The paper's criticism, reproduced here deliberately: a secondary blocks on
+   its lock no matter whether it conflicts with the primary, and a primary
+   that has released its last lock keeps delaying everybody until it
+   terminates.
+
+   [~bookkeeping] turns this module into the Figure 2 variant (MAT+LL): when
+   the bookkeeping proves the primary will never lock again, primacy is
+   handed over immediately, and lock-free threads are skipped during
+   promotion. *)
+
+open Detmt_runtime
+
+type thread = {
+  tid : int;
+  mutable is_primary : bool;
+  mutable ex_primary : bool; (* suspended while primary; resumes as primary *)
+  mutable suspended : bool;
+  mutable pending : pending option;
+}
+
+and pending =
+  | Plock of int (* mutex *)
+  | Preacquire of int
+  | Presume (* nested reply waiting for primacy (ex-primaries only) *)
+
+type t = {
+  actions : Sched_iface.actions;
+  bookkeeping : Bookkeeping.t option;
+  mutable order : thread list; (* arrival order, non-terminated *)
+  mutable primary : int option;
+  mutable primary_wants : int option; (* mutex the primary waits on *)
+}
+
+let find t tid = List.find (fun th -> th.tid = tid) t.order
+
+let never_locks_again t tid =
+  match t.bookkeeping with
+  | None -> false
+  | Some bk -> Bookkeeping.no_future_locks bk ~tid
+
+(* Execute the primary's pending operation, waiting for the mutex via
+   [primary_wants] when it is still held (necessarily by a suspended
+   thread or a running secondary that acquired it earlier as primary). *)
+let rec run_primary t th =
+  match th.pending with
+  | None -> ()
+  | Some Presume ->
+    th.pending <- None;
+    t.actions.resume_nested th.tid
+  | Some (Plock mutex) ->
+    if t.actions.mutex_free_for ~tid:th.tid ~mutex then begin
+      th.pending <- None;
+      t.primary_wants <- None;
+      t.actions.grant_lock th.tid
+    end
+    else t.primary_wants <- Some mutex
+  | Some (Preacquire mutex) ->
+    if t.actions.mutex_free_for ~tid:th.tid ~mutex then begin
+      th.pending <- None;
+      t.primary_wants <- None;
+      t.actions.grant_reacquire th.tid
+    end
+    else t.primary_wants <- Some mutex
+
+and promote t =
+  if t.primary = None then begin
+    (* 1. A blocked (ex-)primary that can continue takes priority. *)
+    let ready_ex =
+      List.find_opt
+        (fun th -> th.ex_primary && not th.suspended)
+        t.order
+    in
+    let candidate =
+      match ready_ex with
+      | Some th -> Some th
+      | None ->
+        (* 2. The oldest secondary — skipping, in the bookkeeping variant,
+           threads that provably never lock again. *)
+        List.find_opt
+          (fun th ->
+            (not th.suspended) && (not th.ex_primary)
+            && not (never_locks_again t th.tid))
+          t.order
+    in
+    match candidate with
+    | None -> ()
+    | Some th ->
+      th.is_primary <- true;
+      th.ex_primary <- false;
+      t.primary <- Some th.tid;
+      run_primary t th
+  end
+
+let demote t th =
+  if th.is_primary then begin
+    th.is_primary <- false;
+    t.primary <- None;
+    t.primary_wants <- None;
+    promote t
+  end
+
+(* MAT+LL (Figure 2(b)): hand primacy over as soon as the primary's last
+   lock has been released.  The trigger is always an event of the primary
+   itself (its unlock or one of its bookkeeping calls) — a deterministic
+   point — never another thread's progress, whose interleaving with the
+   primary would be timing-dependent on real hardware. *)
+let check_last_lock t ~tid =
+  match t.primary with
+  | Some p
+    when p = tid && never_locks_again t tid
+         && not (t.actions.holds_any_mutex tid) ->
+    let th = find t tid in
+    if th.pending = None then demote t th
+  | Some _ | None -> ()
+
+let register_bk t tid =
+  Option.iter
+    (fun bk ->
+      Bookkeeping.register bk ~tid ~meth:(t.actions.request_method tid))
+    t.bookkeeping
+
+let on_request t tid =
+  register_bk t tid;
+  t.order <-
+    t.order
+    @ [ { tid; is_primary = false; ex_primary = false; suspended = false;
+          pending = None } ];
+  t.actions.start_thread tid;
+  promote t
+
+let on_lock t tid ~syncid:_ ~mutex =
+  let th = find t tid in
+  th.pending <- Some (Plock mutex);
+  if th.is_primary then run_primary t th else promote t
+
+let on_unlock t tid ~syncid:_ ~mutex ~freed =
+  if freed then begin
+    (match (t.primary, t.primary_wants) with
+    | Some ptid, Some m when m = mutex -> run_primary t (find t ptid)
+    | _ -> ());
+    check_last_lock t ~tid
+  end
+
+let on_wait t tid ~mutex =
+  (* Suspension: the primary loses primacy.  The wait also released the
+     monitor, which the primary-in-waiting may need. *)
+  let th = find t tid in
+  th.suspended <- true;
+  if th.is_primary then begin
+    th.ex_primary <- true;
+    demote t th
+  end;
+  match (t.primary, t.primary_wants) with
+  | Some ptid, Some m when m = mutex -> run_primary t (find t ptid)
+  | _ -> ()
+
+let on_wakeup t tid ~mutex =
+  let th = find t tid in
+  th.suspended <- false;
+  th.pending <- Some (Preacquire mutex);
+  (* Every waiter once held the monitor, so it was primary when it locked and
+     suspended as primary: resume with ex-primary priority. *)
+  th.ex_primary <- true;
+  promote t
+
+let on_nested_begin t tid =
+  let th = find t tid in
+  th.suspended <- true;
+  if th.is_primary then begin
+    th.ex_primary <- true;
+    th.pending <- Some Presume;
+    demote t th
+  end
+
+let on_nested_reply t tid =
+  let th = find t tid in
+  th.suspended <- false;
+  if th.ex_primary then
+    (* A blocked primary that can continue running: waits for promotion. *)
+    promote t
+  else
+    (* A secondary may run without restrictions. *)
+    t.actions.resume_nested tid
+
+let on_terminate t tid =
+  let th = find t tid in
+  t.order <- List.filter (fun o -> o.tid <> tid) t.order;
+  Option.iter (fun bk -> Bookkeeping.release bk ~tid) t.bookkeeping;
+  if th.is_primary then begin
+    t.primary <- None;
+    t.primary_wants <- None
+  end;
+  promote t
+
+let make_with ?bookkeeping ~name (actions : Sched_iface.actions) :
+    Sched_iface.sched =
+  let t =
+    { actions; bookkeeping; order = []; primary = None; primary_wants = None }
+  in
+  let bk f = Option.iter f t.bookkeeping in
+  let base =
+    Sched_iface.no_op_sched ~name
+      ~on_request:(on_request t)
+      ~on_lock:(on_lock t)
+      ~on_wakeup:(on_wakeup t)
+      ~on_nested_reply:(on_nested_reply t)
+  in
+  { base with
+    on_unlock =
+      (fun tid ~syncid ~mutex ~freed ->
+        on_unlock t tid ~syncid ~mutex ~freed);
+    on_wait = (fun tid ~mutex -> on_wait t tid ~mutex);
+    on_nested_begin = on_nested_begin t;
+    on_terminate = on_terminate t;
+    on_acquired =
+      (fun tid ~syncid ~mutex ->
+        bk (fun b -> Bookkeeping.on_acquired b ~tid ~syncid ~mutex));
+    on_lockinfo =
+      (fun tid ~syncid ~mutex ->
+        bk (fun b -> Bookkeeping.on_lockinfo b ~tid ~syncid ~mutex);
+        check_last_lock t ~tid);
+    on_ignore =
+      (fun tid ~syncid ->
+        bk (fun b -> Bookkeeping.on_ignore b ~tid ~syncid);
+        check_last_lock t ~tid);
+    on_loop_enter =
+      (fun tid ~loopid ->
+        bk (fun b -> Bookkeeping.on_loop_enter b ~tid ~loopid));
+    on_loop_exit =
+      (fun tid ~loopid ->
+        bk (fun b -> Bookkeeping.on_loop_exit b ~tid ~loopid);
+        check_last_lock t ~tid) }
+
+let make actions = make_with ~name:"mat" actions
+
+let make_last_lock ~summary actions =
+  let bookkeeping = Bookkeeping.create ~summary:(Some summary) () in
+  make_with ~bookkeeping ~name:"mat-ll" actions

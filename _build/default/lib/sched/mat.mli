@@ -1,0 +1,20 @@
+(** MAT — multiple active threads (Reiser et al. [11], section 3.4).
+
+    One primary thread (the only one allowed to acquire locks) plus any
+    number of secondary threads that may compute and issue nested
+    invocations freely.  The oldest secondary becomes primary when the
+    current primary suspends or terminates; resumable ex-primaries take
+    priority.  [make_last_lock] is the Figure 2 variant: with a bookkeeping
+    module attached, primacy is handed over as soon as the primary has
+    provably released its last lock, and lock-free threads are skipped at
+    promotion. *)
+
+val make : Detmt_runtime.Sched_iface.actions -> Detmt_runtime.Sched_iface.sched
+(** Plain pessimistic MAT. *)
+
+val make_last_lock :
+  summary:Detmt_analysis.Predict.class_summary ->
+  Detmt_runtime.Sched_iface.actions ->
+  Detmt_runtime.Sched_iface.sched
+(** MAT + last-lock analysis ("mat-ll"): requires the predictive
+    transformation's summary. *)

@@ -1,0 +1,274 @@
+(* PDS — preemptive deterministic scheduling (Basile et al. [1]).
+
+   A pool of [pds_batch] worker slots executes requests concurrently; each
+   thread runs until it requests its first lock.  Locks are granted only when
+   every busy slot has "arrived" (reached a lock request, terminated or
+   suspended): then the round is decided — requests are granted in thread-age
+   order, conflicting ones serialised within the round — and the round ends
+   once every granted lock has been released.  When the batch cannot fill,
+   dummy messages are injected after a timeout so that requests are
+   eventually processed; the price is additional group-communication load.
+
+   The paper's "optimised version [in which] each thread is allowed to
+   request two locks" is implemented too: a round member that requests a
+   second lock while still holding its round grant (nested synchronized
+   blocks, hand-over-hand locking) joins the open round instead of stalling
+   until the next one — without this, any nested acquisition would deadlock
+   the round.
+
+   Condition variables (the FTflex addition the paper calls "even more
+   complicated"): a wait counts as a suspension for round accounting, and the
+   re-acquisition after notify competes like a normal lock request in a later
+   round. *)
+
+open Detmt_runtime
+
+type arrival =
+  | A_lock of int (* mutex; includes monitor re-acquisitions *)
+  | A_suspended (* waits and nested invocations count as arrived *)
+
+type t = {
+  actions : Sched_iface.actions;
+  batch : int;
+  dummy_timeout_ms : float;
+  mutable backlog : int list; (* delivered, not yet started, FIFO *)
+  mutable slots : int list; (* started, not terminated, age order *)
+  mutable phantoms : int;
+      (* slots whose thread already terminated (dummies, lock-free
+         requests): they count as "arrived" towards the batch until the next
+         round decision *)
+  arrived : (int, arrival) Hashtbl.t;
+  reacquire : (int, unit) Hashtbl.t; (* pending op is a re-acquisition *)
+  mutable round_open : bool;
+  mutable round_members : int list; (* threads whose lock this round decides *)
+  round_grants : (int, int) Hashtbl.t; (* grants per member this round *)
+  mutable round_waiting : (int * int) list; (* (tid, mutex), age order *)
+  mutable round_unreleased : (int * int) list; (* granted, not yet released *)
+  mutable timer_armed : bool;
+  mutable dummies_requested : int;
+}
+
+let fill_slots t =
+  while List.length t.slots < t.batch && t.backlog <> [] do
+    match t.backlog with
+    | [] -> ()
+    | tid :: rest ->
+      t.backlog <- rest;
+      t.slots <- t.slots @ [ tid ];
+      t.actions.start_thread tid
+  done
+
+let grant t tid =
+  if Hashtbl.mem t.reacquire tid then begin
+    Hashtbl.remove t.reacquire tid;
+    t.actions.grant_reacquire tid
+  end
+  else t.actions.grant_lock tid
+
+(* Grant every still-waiting round member whose mutex is currently free, in
+   age order. *)
+let grant_eligible t =
+  let rec go () =
+    let eligible =
+      List.find_opt
+        (fun (tid, mutex) -> t.actions.mutex_free_for ~tid ~mutex)
+        t.round_waiting
+    in
+    match eligible with
+    | None -> ()
+    | Some (tid, mutex) ->
+      t.round_waiting <- List.filter (fun (w, _) -> w <> tid) t.round_waiting;
+      t.round_unreleased <- t.round_unreleased @ [ (tid, mutex) ];
+      Hashtbl.replace t.round_grants tid
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.round_grants tid));
+      grant t tid;
+      go ()
+  in
+  go ()
+
+let rec end_round_if_done t =
+  if t.round_open && t.round_waiting = [] && t.round_unreleased = [] then begin
+    t.round_open <- false;
+    (* Member arrivals were consumed when the round was decided; records
+       that appeared while the round was open (members reaching their next
+       lock, threads suspending) survive into the next round. *)
+    t.round_members <- [];
+    fill_slots t;
+    check_round t
+  end
+
+and check_round t =
+  if (not t.round_open) && t.slots <> [] then begin
+    let all_arrived = List.for_all (Hashtbl.mem t.arrived) t.slots in
+    let batch_full = List.length t.slots + t.phantoms >= t.batch in
+    if all_arrived && batch_full then begin
+      (* Decision point: the batch is complete (possibly padded by dummy
+         phantoms) and every member is at a deterministic stop. *)
+      t.phantoms <- 0;
+      Hashtbl.reset t.round_grants;
+      let requests =
+        List.filter_map
+          (fun tid ->
+            match Hashtbl.find_opt t.arrived tid with
+            | Some (A_lock mutex) -> Some (tid, mutex)
+            | Some A_suspended | None -> None)
+          t.slots
+      in
+      if requests = [] then fill_slots t
+      else begin
+        t.round_open <- true;
+        t.round_members <- List.map fst requests;
+        t.round_waiting <- requests;
+        List.iter (fun tid -> Hashtbl.remove t.arrived tid) t.round_members;
+        grant_eligible t;
+        end_round_if_done t
+      end
+    end
+    else arm_timer t
+  end
+
+(* The batch cannot decide while slots are missing; after the timeout the
+   scheduler asks for dummy messages so that all requests are eventually
+   processed even if no new external messages arrive. *)
+and arm_timer t =
+  let missing = t.batch - List.length t.slots - t.phantoms in
+  let stalled_on_arrivals =
+    missing > 0 && t.backlog = [] && Hashtbl.length t.arrived > 0
+  in
+  if stalled_on_arrivals && not t.timer_armed then begin
+    t.timer_armed <- true;
+    t.actions.schedule ~delay:t.dummy_timeout_ms (fun () ->
+        t.timer_armed <- false;
+        let missing_now = t.batch - List.length t.slots - t.phantoms in
+        if
+          (not t.round_open) && missing_now > 0 && t.backlog = []
+          && Hashtbl.length t.arrived > 0
+        then begin
+          t.dummies_requested <- t.dummies_requested + missing_now;
+          for _ = 1 to missing_now do
+            t.actions.inject_dummy ()
+          done
+        end)
+  end
+
+let on_request t tid =
+  t.backlog <- t.backlog @ [ tid ];
+  fill_slots t;
+  check_round t
+
+let on_lock t tid ~syncid:_ ~mutex =
+  let second_in_round =
+    t.round_open
+    && List.exists (fun (w, _) -> w = tid) t.round_unreleased
+    && Option.value ~default:0 (Hashtbl.find_opt t.round_grants tid) < 2
+  in
+  if second_in_round then begin
+    (* The optimised variant: a member still holding its round grant may
+       request one more lock within the same round (nested synchronized
+       blocks would otherwise deadlock the round). *)
+    t.round_waiting <-
+      List.sort compare (t.round_waiting @ [ (tid, mutex) ]);
+    grant_eligible t;
+    end_round_if_done t
+  end
+  else begin
+    Hashtbl.replace t.arrived tid (A_lock mutex);
+    if t.round_open then
+      (* Arrived after the round was decided: wait for the next one. *)
+      ()
+    else check_round t
+  end
+
+let on_wakeup t tid ~mutex =
+  Hashtbl.replace t.reacquire tid ();
+  Hashtbl.replace t.arrived tid (A_lock mutex);
+  if not t.round_open then check_round t
+
+let on_unlock t tid ~syncid:_ ~mutex ~freed =
+  if freed && t.round_open then begin
+    (match
+       List.find_opt
+         (fun (w, m) -> w = tid && m = mutex)
+         t.round_unreleased
+     with
+    | Some entry ->
+      t.round_unreleased <-
+        List.filter (fun e -> e != entry) t.round_unreleased
+    | None -> ());
+    grant_eligible t;
+    end_round_if_done t
+  end
+
+let on_wait t tid ~mutex =
+  ignore mutex;
+  Hashtbl.replace t.arrived tid A_suspended;
+  (* The wait may have released a mutex a round member needs. *)
+  if t.round_open then begin
+    (* A waiting round member cannot release its round lock anymore;
+       treat its grant as released if it was granted this round. *)
+    t.round_unreleased <-
+      List.filter (fun (w, _) -> w <> tid) t.round_unreleased;
+    grant_eligible t;
+    end_round_if_done t
+  end
+  else check_round t
+
+let on_nested_begin t tid =
+  Hashtbl.replace t.arrived tid A_suspended;
+  if not t.round_open then check_round t
+
+let on_nested_reply t tid =
+  (* Resume immediately: the thread free-runs to its next lock request. *)
+  Hashtbl.remove t.arrived tid;
+  t.actions.resume_nested tid;
+  if not t.round_open then check_round t
+
+let on_terminate t tid =
+  if List.mem tid t.slots then begin
+    t.slots <- List.filter (fun s -> s <> tid) t.slots;
+    (* The emptied slot counts towards the current batch until the next
+       round decision — this is how dummy messages complete a batch. *)
+    t.phantoms <- t.phantoms + 1
+  end;
+  Hashtbl.remove t.arrived tid;
+  if t.round_open then begin
+    t.round_unreleased <-
+      List.filter (fun (w, _) -> w <> tid) t.round_unreleased;
+    t.round_waiting <- List.filter (fun (w, _) -> w <> tid) t.round_waiting;
+    grant_eligible t;
+    end_round_if_done t
+  end;
+  fill_slots t;
+  check_round t
+
+let dummies_requested t = t.dummies_requested
+
+let make_with ~batch ~dummy_timeout_ms (actions : Sched_iface.actions) :
+    Sched_iface.sched * t =
+  let t =
+    { actions; batch; dummy_timeout_ms; backlog = []; slots = [];
+      phantoms = 0;
+      arrived = Hashtbl.create 64; reacquire = Hashtbl.create 16;
+      round_open = false; round_members = [];
+      round_grants = Hashtbl.create 16; round_waiting = [];
+      round_unreleased = []; timer_armed = false; dummies_requested = 0 }
+  in
+  let base =
+    Sched_iface.no_op_sched ~name:"pds"
+      ~on_request:(on_request t)
+      ~on_lock:(on_lock t)
+      ~on_wakeup:(on_wakeup t)
+      ~on_nested_reply:(on_nested_reply t)
+  in
+  ( { base with
+      on_unlock = (fun tid ~syncid ~mutex ~freed ->
+          on_unlock t tid ~syncid ~mutex ~freed);
+      on_wait = (fun tid ~mutex -> on_wait t tid ~mutex);
+      on_nested_begin = on_nested_begin t;
+      on_terminate = on_terminate t },
+    t )
+
+let make ~config (actions : Sched_iface.actions) : Sched_iface.sched =
+  fst
+    (make_with ~batch:config.Config.pds_batch
+       ~dummy_timeout_ms:config.Config.pds_dummy_timeout_ms actions)

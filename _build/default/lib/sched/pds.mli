@@ -1,0 +1,25 @@
+(** PDS — preemptive deterministic scheduling (Basile et al. [1]).
+
+    A pool of [Config.pds_batch] worker slots; threads run to their next
+    lock request and locks are only granted in rounds, once every busy slot
+    has arrived at a deterministic stop.  Includes the paper's optimised
+    variant (up to two lock requests per round, which keeps nested
+    synchronized blocks and lock coupling live) and the FTflex dummy-message
+    mechanism that unblocks incomplete batches at the price of extra
+    group-communication traffic (section 3.3). *)
+
+type t
+(** Scheduler state, exposed for white-box tests. *)
+
+val dummies_requested : t -> int
+
+val make_with :
+  batch:int ->
+  dummy_timeout_ms:float ->
+  Detmt_runtime.Sched_iface.actions ->
+  Detmt_runtime.Sched_iface.sched * t
+
+val make :
+  config:Detmt_runtime.Config.t ->
+  Detmt_runtime.Sched_iface.actions ->
+  Detmt_runtime.Sched_iface.sched

@@ -1,0 +1,153 @@
+(* PMAT — predicted MAT, the extension sketched in section 4.3.
+
+   "Instead of only using one active primary thread, we aim at a queue of
+   active threads that are in principle equal.  A thread t only gets a lock
+   when all threads preceding it in the queue are already predicted and none
+   of them conflicts with the lock requested by t."
+
+   The queue is the arrival order.  A pending lock request of thread t on
+   mutex m is granted when:
+   - m is free (or t already owns it — handled by the replica), and
+   - every thread before t in the queue is predicted, and its future lock
+     set (from the bookkeeping module) does not contain m.
+
+   Pending requests are re-examined exactly at the paper's wake-up events:
+   a conflicting mutex is released, a thread is removed from the list, or a
+   preceding thread becomes predicted (lockInfo / ignore / loopExit).
+
+   The paper leaves open "how the algorithm should proceed when a thread
+   calls wait or does a nested invocation".  Our resolution (see DESIGN.md):
+   a thread suspended in [wait] leaves the queue — otherwise the thread that
+   should notify it could be blocked behind it, a guaranteed deadlock — and
+   re-enters at the tail on its (deterministically ordered) notification; a
+   thread suspended in a nested invocation keeps its place, which is
+   conservative and deadlock-free because its reply always arrives.  Both
+   rules only ever delay grants relative to an oracle, never reorder
+   per-mutex acquisitions nondeterministically. *)
+
+open Detmt_runtime
+
+type pending = Plock of int | Preacquire of int
+
+type thread = { tid : int; mutable pending : pending option }
+
+type t = {
+  actions : Sched_iface.actions;
+  bookkeeping : Bookkeeping.t;
+  mutable order : thread list; (* the queue: arrival order *)
+}
+
+let find t tid = List.find (fun th -> th.tid = tid) t.order
+
+let predicted t tid = Bookkeeping.predicted t.bookkeeping ~tid
+
+let may_conflict t tid ~mutex =
+  Bookkeeping.future_may_lock t.bookkeeping ~tid ~mutex
+
+(* Is the pending request of [th] grantable given all queue predecessors? *)
+let eligible t ~preceding th =
+  match th.pending with
+  | None -> false
+  | Some (Plock mutex | Preacquire mutex) ->
+    t.actions.mutex_free_for ~tid:th.tid ~mutex
+    && List.for_all
+         (fun u ->
+           predicted t u.tid && not (may_conflict t u.tid ~mutex))
+         preceding
+
+let grant t th =
+  match th.pending with
+  | Some (Plock _) ->
+    th.pending <- None;
+    t.actions.grant_lock th.tid
+  | Some (Preacquire _) ->
+    th.pending <- None;
+    t.actions.grant_reacquire th.tid
+  | None -> assert false
+
+(* Scan the queue in order and grant every request that has become
+   grantable; granting can cascade (the resumed thread may unlock, announce,
+   terminate, ...), so restart until a fixpoint. *)
+let rec rescan t =
+  let rec scan preceding = function
+    | [] -> false
+    | th :: rest ->
+      if eligible t ~preceding th then begin
+        grant t th;
+        true
+      end
+      else scan (preceding @ [ th ]) rest
+  in
+  if scan [] t.order then rescan t
+
+let on_request t tid =
+  Bookkeeping.register t.bookkeeping ~tid
+    ~meth:(t.actions.request_method tid);
+  t.order <- t.order @ [ { tid; pending = None } ];
+  t.actions.start_thread tid
+
+let on_lock t tid ~syncid:_ ~mutex =
+  (find t tid).pending <- Some (Plock mutex);
+  rescan t
+
+let on_unlock t _tid ~syncid:_ ~mutex:_ ~freed = if freed then rescan t
+
+let on_wait t tid ~mutex:_ =
+  (* Leave the queue; the monitor was released by the wait. *)
+  t.order <- List.filter (fun th -> th.tid <> tid) t.order;
+  rescan t
+
+let on_wakeup t tid ~mutex =
+  (* Re-enter at the tail, pending the monitor re-acquisition.  The position
+     is deterministic: notifications are ordered by the deterministic
+     execution. *)
+  t.order <- t.order @ [ { tid; pending = Some (Preacquire mutex) } ];
+  rescan t
+
+let on_nested_reply t tid =
+  (* The thread kept its queue position; it resumes freely (only lock
+     acquisitions are gated). *)
+  t.actions.resume_nested tid
+
+let on_terminate t tid =
+  t.order <- List.filter (fun th -> th.tid <> tid) t.order;
+  Bookkeeping.release t.bookkeeping ~tid;
+  rescan t
+
+let make ~summary (actions : Sched_iface.actions) : Sched_iface.sched =
+  let t =
+    { actions; bookkeeping = Bookkeeping.create ~summary:(Some summary) ();
+      order = [] }
+  in
+  let bk = t.bookkeeping in
+  let base =
+    Sched_iface.no_op_sched ~name:"pmat"
+      ~on_request:(on_request t)
+      ~on_lock:(on_lock t)
+      ~on_wakeup:(on_wakeup t)
+      ~on_nested_reply:(on_nested_reply t)
+  in
+  { base with
+    on_unlock =
+      (fun tid ~syncid ~mutex ~freed ->
+        on_unlock t tid ~syncid ~mutex ~freed);
+    on_wait = (fun tid ~mutex -> on_wait t tid ~mutex);
+    on_terminate = on_terminate t;
+    on_acquired =
+      (fun tid ~syncid ~mutex ->
+        Bookkeeping.on_acquired bk ~tid ~syncid ~mutex;
+        rescan t);
+    on_lockinfo =
+      (fun tid ~syncid ~mutex ->
+        Bookkeeping.on_lockinfo bk ~tid ~syncid ~mutex;
+        rescan t);
+    on_ignore =
+      (fun tid ~syncid ->
+        Bookkeeping.on_ignore bk ~tid ~syncid;
+        rescan t);
+    on_loop_enter =
+      (fun tid ~loopid -> Bookkeeping.on_loop_enter bk ~tid ~loopid);
+    on_loop_exit =
+      (fun tid ~loopid ->
+        Bookkeeping.on_loop_exit bk ~tid ~loopid;
+        rescan t) }

@@ -1,0 +1,67 @@
+open Detmt_runtime
+
+type spec = {
+  name : string;
+  needs_prediction : bool;
+  deterministic : bool;
+  description : string;
+  make :
+    config:Config.t ->
+    summary:Detmt_analysis.Predict.class_summary option ->
+    Sched_iface.actions ->
+    Sched_iface.sched;
+}
+
+let require_summary name = function
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "%s needs a prediction summary (run Transform.predictive)" name)
+
+let all =
+  [ { name = "seq"; needs_prediction = false; deterministic = true;
+      description = "sequential request execution in total order";
+      make = (fun ~config:_ ~summary:_ a -> Seq_sched.make a) };
+    { name = "sat"; needs_prediction = false; deterministic = true;
+      description = "single active thread [Jimenez-Peris et al.]";
+      make = (fun ~config:_ ~summary:_ a -> Sat.make a) };
+    { name = "lsa"; needs_prediction = false; deterministic = true;
+      description = "loose synchronisation, leader/follower [Basile et al.]";
+      make = (fun ~config:_ ~summary:_ a -> Lsa.make a) };
+    { name = "pds"; needs_prediction = false; deterministic = true;
+      description = "preemptive deterministic scheduling [Basile et al.]";
+      make = (fun ~config ~summary:_ a -> Pds.make ~config a) };
+    { name = "mat"; needs_prediction = false; deterministic = true;
+      description = "multiple active threads [Reiser et al.]";
+      make = (fun ~config:_ ~summary:_ a -> Mat.make a) };
+    { name = "mat-ll"; needs_prediction = true; deterministic = true;
+      description = "MAT + last-lock analysis (Figure 2)";
+      make =
+        (fun ~config:_ ~summary a ->
+          Mat.make_last_lock ~summary:(require_summary "mat-ll" summary) a) };
+    { name = "pmat"; needs_prediction = true; deterministic = true;
+      description = "predicted MAT: lock prediction by code analysis (4.3)";
+      make =
+        (fun ~config:_ ~summary a ->
+          Pmat.make ~summary:(require_summary "pmat" summary) a) };
+    { name = "adaptive"; needs_prediction = true; deterministic = true;
+      description =
+        "request analyser choosing seq/mat/pmat at run time (section 5)";
+      make = (fun ~config ~summary a -> Adaptive.make ~config ~summary a) };
+    { name = "freefall"; needs_prediction = false; deterministic = false;
+      description = "non-deterministic baseline (native JVM behaviour)";
+      make = (fun ~config:_ ~summary:_ a -> Freefall.make a) };
+  ]
+
+let paper_figure1 = [ "seq"; "sat"; "lsa"; "pds"; "mat" ]
+
+let find name = List.find_opt (fun s -> String.equal s.name name) all
+
+let find_exn name =
+  match find name with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown scheduler %S (valid: %s)" name
+         (String.concat ", " (List.map (fun s -> s.name) all)))

@@ -1,0 +1,29 @@
+(** Name-based construction of decision modules.
+
+    [needs_prediction] tells the replication layer which transformation the
+    scheduler requires: predictive schedulers must run code produced by
+    [Transform.predictive] (announcements, ignores, loop markers), the others
+    run [Transform.basic] output. *)
+
+type spec = {
+  name : string;
+  needs_prediction : bool;
+  deterministic : bool;  (** [false] only for the freefall baseline *)
+  description : string;
+  make :
+    config:Detmt_runtime.Config.t ->
+    summary:Detmt_analysis.Predict.class_summary option ->
+    Detmt_runtime.Sched_iface.actions ->
+    Detmt_runtime.Sched_iface.sched;
+}
+
+val all : spec list
+(** seq, sat, lsa, pds, mat, mat-ll, pmat, freefall. *)
+
+val paper_figure1 : string list
+(** The five algorithms of Figure 1: seq, sat, lsa, pds, mat. *)
+
+val find : string -> spec option
+
+val find_exn : string -> spec
+(** @raise Invalid_argument on unknown names, listing the valid ones. *)

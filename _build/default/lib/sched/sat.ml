@@ -1,0 +1,131 @@
+(* SAT — single active thread (Jiménez-Peris et al. [6], Zhao et al. [13],
+   FTflex variant [3]).
+
+   Not concurrency: a new thread may start or resume only when the previously
+   active thread suspends (wait, nested invocation, or a lock held by a
+   suspended thread) or terminates.  Threads whose suspension reason has
+   resolved are inserted into one FIFO queue; the queue head is activated at
+   the next suspension point.  Uses the idle time of nested invocations,
+   supports condition variables, but never keeps more than one CPU busy. *)
+
+open Detmt_runtime
+
+type item =
+  | Start of int
+  | Grant of int * int (* tid, mutex *)
+  | Reacquire of int * int
+  | Resume of int
+
+type t = {
+  actions : Sched_iface.actions;
+  mutable queue : item list; (* FIFO: head activates first *)
+  mutable blocked_locks : (int * int) list; (* (tid, mutex), block order *)
+  mutable blocked_reacquires : (int * int) list;
+  mutable active : int option;
+}
+
+let enqueue t item = t.queue <- t.queue @ [ item ]
+
+let rec activate_next t =
+  match t.queue with
+  | [] -> t.active <- None
+  | item :: rest -> (
+    t.queue <- rest;
+    match item with
+    | Start tid ->
+      t.active <- Some tid;
+      t.actions.start_thread tid
+    | Grant (tid, mutex) ->
+      if t.actions.mutex_free_for ~tid ~mutex then begin
+        t.active <- Some tid;
+        t.actions.grant_lock tid
+      end
+      else begin
+        (* The mutex was re-taken since this thread was queued: block again
+           until the next release. *)
+        t.blocked_locks <- t.blocked_locks @ [ (tid, mutex) ];
+        activate_next t
+      end
+    | Reacquire (tid, mutex) ->
+      if t.actions.mutex_free_for ~tid ~mutex then begin
+        t.active <- Some tid;
+        t.actions.grant_reacquire tid
+      end
+      else begin
+        t.blocked_reacquires <- t.blocked_reacquires @ [ (tid, mutex) ];
+        activate_next t
+      end
+    | Resume tid ->
+      t.active <- Some tid;
+      t.actions.resume_nested tid)
+
+let suspend_active t tid =
+  if t.active = Some tid then begin
+    t.active <- None;
+    activate_next t
+  end
+
+let on_request t tid =
+  enqueue t (Start tid);
+  if t.active = None then activate_next t
+
+let on_lock t tid ~syncid:_ ~mutex =
+  if t.actions.mutex_free_for ~tid ~mutex then t.actions.grant_lock tid
+  else begin
+    (* The holder must be a suspended thread; block until it releases. *)
+    t.blocked_locks <- t.blocked_locks @ [ (tid, mutex) ];
+    suspend_active t tid
+  end
+
+let on_unlock t _tid ~syncid:_ ~mutex ~freed =
+  if freed then begin
+    (* The suspension reason of threads blocked on this mutex has resolved:
+       insert them into the queue, preserving block order. *)
+    let ready, rest =
+      List.partition (fun (_, m) -> m = mutex) t.blocked_locks
+    in
+    t.blocked_locks <- rest;
+    List.iter (fun (tid, m) -> enqueue t (Grant (tid, m))) ready;
+    let ready_r, rest_r =
+      List.partition (fun (_, m) -> m = mutex) t.blocked_reacquires
+    in
+    t.blocked_reacquires <- rest_r;
+    List.iter (fun (tid, m) -> enqueue t (Reacquire (tid, m))) ready_r;
+    if t.active = None then activate_next t
+  end
+
+let on_wait t tid ~mutex =
+  (* The wait released the mutex: blocked threads become resumable. *)
+  on_unlock t tid ~syncid:(-1) ~mutex ~freed:true;
+  suspend_active t tid
+
+let on_wakeup t tid ~mutex =
+  enqueue t (Reacquire (tid, mutex));
+  if t.active = None then activate_next t
+
+let on_nested_begin t tid = suspend_active t tid
+
+let on_nested_reply t tid =
+  enqueue t (Resume tid);
+  if t.active = None then activate_next t
+
+let on_terminate t tid = suspend_active t tid
+
+let make (actions : Sched_iface.actions) : Sched_iface.sched =
+  let t =
+    { actions; queue = []; blocked_locks = []; blocked_reacquires = [];
+      active = None }
+  in
+  let base =
+    Sched_iface.no_op_sched ~name:"sat"
+      ~on_request:(on_request t)
+      ~on_lock:(on_lock t)
+      ~on_wakeup:(on_wakeup t)
+      ~on_nested_reply:(on_nested_reply t)
+  in
+  { base with
+    on_unlock = (fun tid ~syncid ~mutex ~freed ->
+        on_unlock t tid ~syncid ~mutex ~freed);
+    on_wait = (fun tid ~mutex -> on_wait t tid ~mutex);
+    on_nested_begin = on_nested_begin t;
+    on_terminate = on_terminate t }

@@ -1,0 +1,12 @@
+(** SAT — single active thread (Jiménez-Peris et al. [6] for transactional
+    replicas, adapted by Zhao et al. [13] for object replication; the FTflex
+    variant [3] adds condition variables).
+
+    Not concurrency: a new thread may start or resume only when the
+    previously active thread suspends (wait, nested invocation, or a lock
+    held by a suspended thread) or terminates.  Threads whose suspension
+    reason has resolved queue FIFO and are activated one at a time.  Uses
+    the idle time of nested invocations but never keeps more than one CPU
+    busy (section 3.1). *)
+
+val make : Detmt_runtime.Sched_iface.actions -> Detmt_runtime.Sched_iface.sched

@@ -1,0 +1,57 @@
+(* SEQ — strictly sequential request execution in total order.
+
+   The baseline most object replication systems use: one request runs from
+   start to finish (nested invocations included) before the next starts.
+   Trivially deterministic; never uses more than one CPU; does not use the
+   idle time during nested invocations; deadlocks on re-entrant nested
+   invocation chains and on any condition-variable wait. *)
+
+open Detmt_runtime
+
+type t = {
+  actions : Sched_iface.actions;
+  pending : int Queue.t; (* delivered, not yet started *)
+  mutable active : int option;
+}
+
+let activate_next t =
+  match Queue.take_opt t.pending with
+  | None -> t.active <- None
+  | Some tid ->
+    t.active <- Some tid;
+    t.actions.start_thread tid
+
+let on_request t tid =
+  Queue.add tid t.pending;
+  if t.active = None then activate_next t
+
+let on_lock t tid ~syncid:_ ~mutex =
+  (* Only one thread ever runs, so every mutex is free (re-entrant entries
+     are short-circuited by the replica). *)
+  assert (t.active = Some tid);
+  assert (t.actions.mutex_free_for ~tid ~mutex);
+  t.actions.grant_lock tid
+
+let on_wakeup t tid ~mutex:_ =
+  (* A wait under SEQ can only be woken by the same request chain; resume
+     immediately.  (In practice waits deadlock under SEQ — see the paper's
+     argument for multithreading.) *)
+  t.actions.grant_reacquire tid
+
+let on_nested_reply t tid =
+  (* SEQ does not use the idle time: the active thread simply continues. *)
+  t.actions.resume_nested tid
+
+let make (actions : Sched_iface.actions) : Sched_iface.sched =
+  let t = { actions; pending = Queue.create (); active = None } in
+  let base =
+    Sched_iface.no_op_sched ~name:"seq"
+      ~on_request:(on_request t)
+      ~on_lock:(on_lock t)
+      ~on_wakeup:(on_wakeup t)
+      ~on_nested_reply:(on_nested_reply t)
+  in
+  { base with
+    on_terminate =
+      (fun tid ->
+        if t.active = Some tid then activate_next t) }

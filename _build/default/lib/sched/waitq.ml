@@ -1,0 +1,40 @@
+type t = (int, int list ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let queue t mutex =
+  match Hashtbl.find_opt t mutex with
+  | Some q -> q
+  | None ->
+    let q = ref [] in
+    Hashtbl.add t mutex q;
+    q
+
+let push t ~mutex tid =
+  let q = queue t mutex in
+  q := !q @ [ tid ]
+
+let head t ~mutex =
+  match !(queue t mutex) with [] -> None | tid :: _ -> Some tid
+
+let pop t ~mutex =
+  let q = queue t mutex in
+  match !q with
+  | [] -> None
+  | tid :: rest ->
+    q := rest;
+    Some tid
+
+let remove t ~mutex ~tid =
+  let q = queue t mutex in
+  if List.mem tid !q then begin
+    q := List.filter (fun w -> w <> tid) !q;
+    true
+  end
+  else false
+
+let mem t ~mutex ~tid = List.mem tid !(queue t mutex)
+
+let is_empty t ~mutex = !(queue t mutex) = []
+
+let waiting t ~mutex = !(queue t mutex)

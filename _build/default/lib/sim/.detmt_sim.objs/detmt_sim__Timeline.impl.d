@@ -1,0 +1,1 @@
+lib/sim/timeline.ml: Format Hashtbl List String Trace

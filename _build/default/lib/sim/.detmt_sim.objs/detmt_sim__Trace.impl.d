@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Bool Char Format Int64 List String

@@ -1,0 +1,40 @@
+type segment = { duration : float; k : unit -> unit }
+
+type t = {
+  engine : Engine.t;
+  cores : int;
+  mutable busy : int;
+  waiting : segment Queue.t;
+  mutable busy_time : float;
+}
+
+let create engine ~cores =
+  if cores < 1 then invalid_arg "Cpu.create: cores must be >= 1";
+  { engine; cores; busy = 0; waiting = Queue.create (); busy_time = 0.0 }
+
+let cores t = t.cores
+
+let busy t = t.busy
+
+let queued t = Queue.length t.waiting
+
+let rec start t seg =
+  t.busy <- t.busy + 1;
+  t.busy_time <- t.busy_time +. seg.duration;
+  Engine.schedule t.engine ~delay:seg.duration (fun () -> finish t seg)
+
+and finish t seg =
+  t.busy <- t.busy - 1;
+  (* Hand the freed core to the oldest waiter before running the
+     continuation, so FIFO order is independent of what [seg.k] schedules. *)
+  (match Queue.take_opt t.waiting with
+  | Some next -> start t next
+  | None -> ());
+  seg.k ()
+
+let exec t ~duration k =
+  if duration < 0.0 then invalid_arg "Cpu.exec: negative duration";
+  let seg = { duration; k } in
+  if t.busy < t.cores then start t seg else Queue.add seg t.waiting
+
+let busy_time t = t.busy_time

@@ -1,0 +1,52 @@
+type t = {
+  queue : (unit -> unit) Pqueue.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable executed : int;
+}
+
+let create () =
+  { queue = Pqueue.create (); clock = 0.0; next_seq = 0; executed = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time
+         t.clock);
+  Pqueue.push t.queue ~time ~seq:t.next_seq f;
+  t.next_seq <- t.next_seq + 1
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let step t =
+  match Pqueue.pop t.queue with
+  | None -> false
+  | Some (time, _seq, f) ->
+    t.clock <- time;
+    t.executed <- t.executed + 1;
+    f ();
+    true
+
+let run ?until t =
+  let continue () =
+    match until with
+    | None -> not (Pqueue.is_empty t.queue)
+    | Some limit -> (
+      match Pqueue.peek t.queue with
+      | None -> false
+      | Some (time, _, _) -> time <= limit)
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some limit when t.clock < limit && Pqueue.is_empty t.queue -> ()
+  | _ -> ()
+
+let pending t = Pqueue.length t.queue
+
+let events_executed t = t.executed

@@ -1,0 +1,36 @@
+(** Discrete-event simulation engine with a virtual clock.
+
+    Time is a [float] in virtual milliseconds.  Events are thunks executed at
+    their scheduled time; simultaneous events run in scheduling order (stable
+    tie-break on a global sequence number), which together with the seeded
+    {!Rng} makes every run bit-reproducible. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in milliseconds. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t +. delay].  [delay] must be
+    non-negative; a zero delay runs [f] after all callbacks already queued for
+    the current instant. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** [schedule_at t ~time f] runs [f] at absolute virtual time [time], which
+    must not lie in the past. *)
+
+val run : ?until:float -> t -> unit
+(** Execute events until the queue drains, or until the clock would pass
+    [until] if given (events strictly after [until] remain queued). *)
+
+val step : t -> bool
+(** Execute the single next event.  Returns [false] when the queue is empty. *)
+
+val pending : t -> int
+(** Number of events currently queued. *)
+
+val events_executed : t -> int
+(** Total number of events executed since creation (a determinism probe:
+    identical runs execute identical event counts). *)

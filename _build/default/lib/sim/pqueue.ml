@@ -1,0 +1,68 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let is_empty q = q.size = 0
+
+let length q = q.size
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q =
+  let cap = max 16 (2 * Array.length q.data) in
+  let data = Array.make cap q.data.(0) in
+  Array.blit q.data 0 data 0 q.size;
+  q.data <- data
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less q.data.(i) q.data.(parent) then begin
+      let tmp = q.data.(i) in
+      q.data.(i) <- q.data.(parent);
+      q.data.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && less q.data.(l) q.data.(!smallest) then smallest := l;
+  if r < q.size && less q.data.(r) q.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.data.(i) in
+    q.data.(i) <- q.data.(!smallest);
+    q.data.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let push q ~time ~seq value =
+  let entry = { time; seq; value } in
+  if q.size = Array.length q.data then
+    if q.size = 0 then q.data <- Array.make 16 entry else grow q;
+  q.data.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.data.(0) <- q.data.(q.size);
+      sift_down q 0
+    end;
+    Some (top.time, top.seq, top.value)
+  end
+
+let peek q =
+  if q.size = 0 then None
+  else
+    let top = q.data.(0) in
+    Some (top.time, top.seq, top.value)
+
+let clear q = q.size <- 0

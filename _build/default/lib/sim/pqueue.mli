@@ -1,0 +1,25 @@
+(** Binary min-heap priority queue with stable tie-breaking.
+
+    Keys are [(time, seq)] pairs compared lexicographically; the event engine
+    allocates monotonically increasing sequence numbers, so two events scheduled
+    for the same virtual time are delivered in scheduling order.  This stability
+    is what makes the whole simulation deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+(** [push q ~time ~seq v] inserts [v] with priority [(time, seq)]. *)
+
+val pop : 'a t -> (float * int * 'a) option
+(** Remove and return the minimum element, or [None] when empty. *)
+
+val peek : 'a t -> (float * int * 'a) option
+(** Return the minimum element without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,94 @@
+type event =
+  | Lock_requested of { tid : int; syncid : int; mutex : int }
+  | Lock_granted of { tid : int; syncid : int; mutex : int }
+  | Unlocked of { tid : int; syncid : int; mutex : int }
+  | Wait_begin of { tid : int; mutex : int }
+  | Wait_end of { tid : int; mutex : int }
+  | Notify of { tid : int; mutex : int; all : bool }
+  | Nested_begin of { tid : int; service : int }
+  | Nested_end of { tid : int; service : int }
+  | Thread_start of { tid : int; method_name : string }
+  | Thread_end of { tid : int }
+  | Custom of string
+
+type t = {
+  mutable events : (float * event) list; (* reverse order *)
+  mutable length : int;
+  mutable enabled : bool;
+  mutable hash : int64;
+}
+
+let create () = { events = []; length = 0; enabled = true; hash = 0L }
+
+let enabled t = t.enabled
+
+let set_enabled t b = t.enabled <- b
+
+(* FNV-1a style folding over a small integer encoding of the event. *)
+let fnv_prime = 0x100000001B3L
+
+let mix h x =
+  Int64.mul (Int64.logxor h (Int64.of_int x)) fnv_prime
+
+let hash_string h s =
+  let acc = ref h in
+  String.iter (fun c -> acc := mix !acc (Char.code c)) s;
+  !acc
+
+let hash_event h = function
+  | Lock_requested { tid; syncid; mutex } ->
+    mix (mix (mix (mix h 11) tid) syncid) mutex
+  | Lock_granted { tid; syncid; mutex } ->
+    mix (mix (mix (mix h 1) tid) syncid) mutex
+  | Unlocked { tid; syncid; mutex } ->
+    mix (mix (mix (mix h 2) tid) syncid) mutex
+  | Wait_begin { tid; mutex } -> mix (mix (mix h 3) tid) mutex
+  | Wait_end { tid; mutex } -> mix (mix (mix h 4) tid) mutex
+  | Notify { tid; mutex; all } ->
+    mix (mix (mix (mix h 5) tid) mutex) (Bool.to_int all)
+  | Nested_begin { tid; service } -> mix (mix (mix h 6) tid) service
+  | Nested_end { tid; service } -> mix (mix (mix h 7) tid) service
+  | Thread_start { tid; method_name } ->
+    hash_string (mix (mix h 8) tid) method_name
+  | Thread_end { tid } -> mix (mix h 9) tid
+  | Custom s -> hash_string (mix h 10) s
+
+let record_at t ~time e =
+  if t.enabled then begin
+    t.events <- (time, e) :: t.events;
+    t.length <- t.length + 1;
+    t.hash <- hash_event t.hash e
+  end
+
+let record t e = record_at t ~time:0.0 e
+
+let length t = t.length
+
+let events t = List.rev_map snd t.events
+
+let timed_events t = List.rev t.events
+
+let fingerprint t = t.hash
+
+let pp_event ppf = function
+  | Lock_requested { tid; syncid; mutex } ->
+    Format.fprintf ppf "want    t%d sync%d m%d" tid syncid mutex
+  | Lock_granted { tid; syncid; mutex } ->
+    Format.fprintf ppf "lock    t%d sync%d m%d" tid syncid mutex
+  | Unlocked { tid; syncid; mutex } ->
+    Format.fprintf ppf "unlock  t%d sync%d m%d" tid syncid mutex
+  | Wait_begin { tid; mutex } -> Format.fprintf ppf "wait    t%d m%d" tid mutex
+  | Wait_end { tid; mutex } -> Format.fprintf ppf "awake   t%d m%d" tid mutex
+  | Notify { tid; mutex; all } ->
+    Format.fprintf ppf "notify%s t%d m%d" (if all then "A" else " ") tid mutex
+  | Nested_begin { tid; service } ->
+    Format.fprintf ppf "nest>   t%d s%d" tid service
+  | Nested_end { tid; service } ->
+    Format.fprintf ppf "nest<   t%d s%d" tid service
+  | Thread_start { tid; method_name } ->
+    Format.fprintf ppf "start   t%d %s" tid method_name
+  | Thread_end { tid } -> Format.fprintf ppf "end     t%d" tid
+  | Custom s -> Format.fprintf ppf "note    %s" s
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t)

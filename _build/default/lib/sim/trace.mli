@@ -1,0 +1,49 @@
+(** Append-only trace of scheduling-relevant events.
+
+    Each replica records the sequence of lock grants, releases, waits and
+    notifications it performed.  Two replicas executed deterministically must
+    produce byte-identical traces; {!fingerprint} folds a trace into a single
+    64-bit hash used by the consistency checker. *)
+
+type event =
+  | Lock_requested of { tid : int; syncid : int; mutex : int }
+  | Lock_granted of { tid : int; syncid : int; mutex : int }
+  | Unlocked of { tid : int; syncid : int; mutex : int }
+  | Wait_begin of { tid : int; mutex : int }
+  | Wait_end of { tid : int; mutex : int }
+  | Notify of { tid : int; mutex : int; all : bool }
+  | Nested_begin of { tid : int; service : int }
+  | Nested_end of { tid : int; service : int }
+  | Thread_start of { tid : int; method_name : string }
+  | Thread_end of { tid : int }
+  | Custom of string
+
+type t
+
+val create : unit -> t
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+
+val record : t -> event -> unit
+(** Record with timestamp 0 (unit tests). *)
+
+val record_at : t -> time:float -> event -> unit
+(** Record with the current virtual time; the timestamp feeds the timeline
+    renderer and is excluded from {!fingerprint}. *)
+
+val length : t -> int
+
+val events : t -> event list
+(** Events in recording order. *)
+
+val timed_events : t -> (float * event) list
+(** Events with their virtual timestamps, in recording order. *)
+
+val fingerprint : t -> int64
+(** Order-sensitive hash of all recorded events. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp : Format.formatter -> t -> unit

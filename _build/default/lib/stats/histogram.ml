@@ -1,0 +1,50 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~buckets =
+  if buckets < 1 then invalid_arg "Histogram.create: buckets < 1";
+  if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+  { lo; hi; counts = Array.make buckets 0; underflow = 0; overflow = 0;
+    total = 0 }
+
+let width t = (t.hi -. t.lo) /. float_of_int (Array.length t.counts)
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let i = int_of_float ((x -. t.lo) /. width t) in
+    let i = min i (Array.length t.counts - 1) in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let count t = t.total
+
+let bucket_count t i = t.counts.(i)
+
+let underflow t = t.underflow
+
+let overflow t = t.overflow
+
+let bucket_bounds t i =
+  let w = width t in
+  (t.lo +. (float_of_int i *. w), t.lo +. (float_of_int (i + 1) *. w))
+
+let pp ppf t =
+  let max_count = Array.fold_left max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bucket_bounds t i in
+      let bar = 40 * c / max_count in
+      Format.fprintf ppf "[%8.2f, %8.2f) %6d %s@." lo hi c
+        (String.make bar '#'))
+    t.counts;
+  if t.underflow > 0 then Format.fprintf ppf "underflow %d@." t.underflow;
+  if t.overflow > 0 then Format.fprintf ppf "overflow %d@." t.overflow

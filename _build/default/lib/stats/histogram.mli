@@ -1,0 +1,24 @@
+(** Fixed-width-bucket histogram with an ASCII renderer. *)
+
+type t
+
+val create : lo:float -> hi:float -> buckets:int -> t
+(** [create ~lo ~hi ~buckets] covers [\[lo, hi)] with equal buckets; samples
+    outside the range land in underflow/overflow counters. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+(** Total samples including under/overflow. *)
+
+val bucket_count : t -> int -> int
+(** Samples in bucket [i]. *)
+
+val underflow : t -> int
+
+val overflow : t -> int
+
+val bucket_bounds : t -> int -> float * float
+
+val pp : Format.formatter -> t -> unit
+(** Render as bucket ranges with proportional hash bars. *)

@@ -1,0 +1,89 @@
+type t = {
+  mutable samples : float array;
+  mutable count : int;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable sorted : bool;
+}
+
+let create () =
+  { samples = [||]; count = 0; sum = 0.0; sum_sq = 0.0; sorted = true }
+
+let add t x =
+  if t.count = Array.length t.samples then begin
+    let cap = Stdlib.max 16 (2 * Array.length t.samples) in
+    let samples = Array.make cap 0.0 in
+    Array.blit t.samples 0 samples 0 t.count;
+    t.samples <- samples
+  end;
+  t.samples.(t.count) <- x;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. x;
+  t.sum_sq <- t.sum_sq +. (x *. x);
+  t.sorted <- false
+
+let count t = t.count
+
+let mean t = if t.count = 0 then nan else t.sum /. float_of_int t.count
+
+let variance t =
+  if t.count < 2 then nan
+  else
+    let n = float_of_int t.count in
+    let m = t.sum /. n in
+    Stdlib.max 0.0 ((t.sum_sq -. (n *. m *. m)) /. (n -. 1.0))
+
+let stddev t = sqrt (variance t)
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.samples 0 t.count in
+    Array.sort compare live;
+    Array.blit live 0 t.samples 0 t.count;
+    t.sorted <- true
+  end
+
+let min t =
+  if t.count = 0 then nan
+  else begin
+    ensure_sorted t;
+    t.samples.(0)
+  end
+
+let max t =
+  if t.count = 0 then nan
+  else begin
+    ensure_sorted t;
+    t.samples.(t.count - 1)
+  end
+
+let total t = t.sum
+
+let quantile t q =
+  if t.count = 0 then nan
+  else begin
+    if q < 0.0 || q > 1.0 then invalid_arg "Summary.quantile";
+    ensure_sorted t;
+    let rank = int_of_float (ceil (q *. float_of_int t.count)) - 1 in
+    let rank = Stdlib.max 0 (Stdlib.min (t.count - 1) rank) in
+    t.samples.(rank)
+  end
+
+let median t = quantile t 0.5
+
+let merge a b =
+  let t = create () in
+  for i = 0 to a.count - 1 do
+    add t a.samples.(i)
+  done;
+  for i = 0 to b.count - 1 do
+    add t b.samples.(i)
+  done;
+  t
+
+let pp ppf t =
+  if t.count = 0 then Format.fprintf ppf "(empty)"
+  else
+    Format.fprintf ppf
+      "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p95=%.3f max=%.3f" t.count
+      (mean t) (stddev t) (min t) (median t) (quantile t 0.95) (max t)

@@ -1,0 +1,1 @@
+lib/transform/inject.pp.ml: Ast Class_def Detmt_analysis Detmt_lang Inline List Loops Param_class Predict Printf String Syncid Wellformed

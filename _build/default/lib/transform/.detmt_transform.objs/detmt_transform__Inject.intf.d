@@ -1,0 +1,1 @@
+lib/transform/inject.pp.mli: Detmt_analysis Detmt_lang

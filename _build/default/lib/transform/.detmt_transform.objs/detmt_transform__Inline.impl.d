@@ -1,0 +1,1 @@
+lib/transform/inline.pp.ml: Ast Class_def Detmt_lang List Printf

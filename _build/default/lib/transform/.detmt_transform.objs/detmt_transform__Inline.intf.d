@@ -1,0 +1,1 @@
+lib/transform/inline.pp.mli: Detmt_lang

@@ -1,0 +1,1 @@
+lib/transform/transform.pp.ml: Callgraph Class_def Detmt_analysis Detmt_lang Inject Inline List Predict Syncid Wellformed

@@ -1,0 +1,1 @@
+lib/transform/transform.pp.mli: Detmt_analysis Detmt_lang

@@ -1,0 +1,1 @@
+lib/transform/verify.pp.ml: Ast Class_def Detmt_analysis Detmt_lang Format Hashtbl Inject List Option Param_class Paths Predict Pretty Printf

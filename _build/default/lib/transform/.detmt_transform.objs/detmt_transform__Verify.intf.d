@@ -1,0 +1,1 @@
+lib/transform/verify.pp.mli: Detmt_analysis Detmt_lang

@@ -1,0 +1,251 @@
+open Detmt_lang
+open Detmt_analysis
+
+type result = {
+  body : Ast.block;
+  sids : Predict.sid_info list;
+  loops : Predict.loop_info list;
+}
+
+type ctx = {
+  ids : Syncid.t;
+  prof : Param_class.profile;
+  repository : bool;
+  cls : Class_def.t;
+  mutable sids : Predict.sid_info list; (* reverse order *)
+  mutable loops : Predict.loop_info list; (* reverse order *)
+}
+
+let reject_instrumented stmt =
+  if Wellformed.is_instrumented_stmt stmt then
+    invalid_arg
+      ("Inject: input already contains instrumentation: " ^ Ast.show_stmt stmt)
+
+(* Does the block contain a call the analysis cannot see through?  Such a
+   call may lock unknown mutexes, so an enclosing loop must be classified as
+   changing. *)
+let rec contains_opaque ctx = function
+  | [] -> false
+  | stmt :: rest -> opaque_stmt ctx stmt || contains_opaque ctx rest
+
+and opaque_stmt ctx = function
+  | Ast.Call m -> (
+    match Class_def.find_method ctx.cls m with
+    | None -> true
+    | Some def -> not (def.final || ctx.repository))
+  | Ast.Virtual_call _ -> not ctx.repository
+  | Ast.Sync (_, body) | Ast.Loop { body; _ } -> contains_opaque ctx body
+  | Ast.If (_, a, b) -> contains_opaque ctx a || contains_opaque ctx b
+  | Ast.Compute _ | Ast.Assign _ | Ast.Assign_field _ | Ast.Lock_acquire _
+  | Ast.Lock_release _ | Ast.Wait _ | Ast.Wait_until _ | Ast.Notify _
+  | Ast.Nested _ | Ast.State_update _ | Ast.Sched_lock _ | Ast.Sched_unlock _
+  | Ast.Lockinfo _ | Ast.Ignore_sync _ | Ast.Loop_enter _ | Ast.Loop_exit _ ->
+    false
+
+(* The pseudo-syncid carried by the unlock of an explicit
+   java.util.concurrent lock: release sites do not correspond to a single
+   acquisition site, so they carry this marker instead. *)
+let release_site = -2
+
+let ignores sids = List.map (fun sid -> Ast.Ignore_sync sid) sids
+
+(* A skipped branch must neutralise the other branch's scopes too: an
+   enter/exit pair tells the bookkeeping the scope ran zero iterations,
+   which is exactly what "branch not taken" means. *)
+let skip_scopes lids =
+  List.concat_map (fun lid -> [ Ast.Loop_enter lid; Ast.Loop_exit lid ]) lids
+
+let branch_prefix ~other_sids ~other_lids =
+  ignores other_sids @ skip_scopes other_lids
+
+let opaque_region ctx stmt =
+  let lid = Syncid.fresh_loop ctx.ids in
+  ctx.loops <-
+    { Predict.lid; sids = []; changing = true; opaque = true; bound = None }
+    :: ctx.loops;
+  ([ Ast.Loop_enter lid; stmt; Ast.Loop_exit lid ], [], [ lid ])
+
+(* [walk] returns the rewritten statement sequence together with the syncids
+   and loopids allocated within the subtree (needed for branch coverage and
+   loop sets). *)
+let rec walk ctx loop_stack stmt : Ast.stmt list * int list * int list =
+  reject_instrumented stmt;
+  match stmt with
+  | Ast.Sync (p, body) ->
+    let sid = Syncid.fresh_sync ctx.ids in
+    let classification = Param_class.classify ctx.prof p in
+    ctx.sids <-
+      { Predict.sid; param = p; classification;
+        in_loops = List.rev loop_stack }
+      :: ctx.sids;
+    let body', inner, lids = walk_block ctx loop_stack body in
+    ( (Ast.Sched_lock (sid, p) :: body') @ [ Ast.Sched_unlock (sid, p) ],
+      sid :: inner, lids )
+  | Ast.If (c, a, b) ->
+    let a', sa, la = walk_block ctx loop_stack a in
+    let b', sb, lb = walk_block ctx loop_stack b in
+    ( [ Ast.If
+          ( c,
+            branch_prefix ~other_sids:sb ~other_lids:lb @ a',
+            branch_prefix ~other_sids:sa ~other_lids:la @ b' ) ],
+      sa @ sb, la @ lb )
+  | Ast.Loop { kind; count; body } ->
+    if not (Loops.contains_sync body || contains_opaque ctx body) then begin
+      let body', inner, lids = walk_block ctx loop_stack body in
+      ([ Ast.Loop { kind; count; body = body' } ], inner, lids)
+    end
+    else begin
+      let lid = Syncid.fresh_loop ctx.ids in
+      let changing =
+        contains_opaque ctx body
+        || Loops.(equal_kind (classify_loop ctx.prof ~body) Changing)
+      in
+      let body', inner, inner_lids = walk_block ctx (lid :: loop_stack) body in
+      ctx.loops <-
+        { Predict.lid; sids = inner; changing; opaque = false;
+          bound = Loops.static_bound count }
+        :: ctx.loops;
+      ( [ Ast.Loop_enter lid; Ast.Loop { kind; count; body = body' };
+          Ast.Loop_exit lid ],
+        inner, lid :: inner_lids )
+    end
+  | Ast.Call m as s ->
+    (* Final calls were spliced by {!Inline}; anything left is opaque. *)
+    if opaque_stmt ctx s then opaque_region ctx s
+    else (
+      match Class_def.find_method ctx.cls m with
+      | None -> opaque_region ctx s
+      | Some _ ->
+        (* A resolvable call surviving inlining would be a bug upstream. *)
+        invalid_arg ("Inject: unexpected resolvable call to " ^ m))
+  | Ast.Virtual_call { candidates; selector } as s ->
+    if not ctx.repository then opaque_region ctx s
+    else begin
+      (* Repository mode: expand dispatch into an if-chain on the runtime
+         type (carried in the selector argument), inlining each candidate. *)
+      let expand k name =
+        match Class_def.find_method ctx.cls name with
+        | None -> invalid_arg ("Inject: undefined virtual candidate " ^ name)
+        | Some def ->
+          let body =
+            Inline.rename_locals
+              ~prefix:(Printf.sprintf "%s$v%d$" name k)
+              def.body
+            |> Inline.inline_block ~repository:true ctx.cls
+          in
+          walk_block ctx loop_stack body
+      in
+      let branches = List.mapi expand candidates in
+      let all_sids = List.concat_map (fun (_, s, _) -> s) branches in
+      let all_lids = List.concat_map (fun (_, _, l) -> l) branches in
+      let branch_with_prefix k (body, own_sids, own_lids) =
+        let other_sids =
+          List.filter (fun s -> not (List.mem s own_sids)) all_sids
+        in
+        let other_lids =
+          List.filter (fun l -> not (List.mem l own_lids)) all_lids
+        in
+        (k, branch_prefix ~other_sids ~other_lids @ body)
+      in
+      let branches = List.mapi branch_with_prefix branches in
+      let rec chain = function
+        | [] -> []
+        | [ (_, body) ] -> body
+        | (k, body) :: rest ->
+          [ Ast.If (Ast.Carg_int_eq (selector, k), body, chain rest) ]
+      in
+      (chain branches, all_sids, all_lids)
+    end
+  | Ast.Lock_acquire p ->
+    (* java.util.concurrent explicit lock (section 5): one acquisition
+       site, one syncid, announced like a synchronized block's. *)
+    let sid = Syncid.fresh_sync ctx.ids in
+    ctx.sids <-
+      { Predict.sid; param = p;
+        classification = Param_class.classify ctx.prof p;
+        in_loops = List.rev loop_stack }
+      :: ctx.sids;
+    ([ Ast.Sched_lock (sid, p) ], [ sid ], [])
+  | Ast.Lock_release p ->
+    (* Release sites have no acquisition identity of their own; the
+       bookkeeping only consumes the unlock's mutex. *)
+    ([ Ast.Sched_unlock (release_site, p) ], [], [])
+  | (Ast.Compute _ | Ast.Assign _ | Ast.Assign_field _ | Ast.Wait _
+    | Ast.Wait_until _ | Ast.Notify _ | Ast.Nested _ | Ast.State_update _)
+    as s ->
+    ([ s ], [], [])
+  | Ast.Sched_lock _ | Ast.Sched_unlock _ | Ast.Lockinfo _ | Ast.Ignore_sync _
+  | Ast.Loop_enter _ | Ast.Loop_exit _ ->
+    assert false (* rejected above *)
+
+and walk_block ctx loop_stack body =
+  List.fold_left
+    (fun (stmts, sids, lids) stmt ->
+      let stmts', sids', lids' = walk ctx loop_stack stmt in
+      (stmts @ stmts', sids @ sids', lids @ lids'))
+    ([], [], []) body
+
+(* Insert [Lockinfo] right after the unique assignment to each local that an
+   announceable sync block locks.  Classification guarantees the assignment
+   is unique and outside loops, so a structural traversal suffices. *)
+let insert_after_assigns inserts body =
+  let rec map_block body = List.concat_map map_stmt body
+  and map_stmt = function
+    | Ast.Assign (v, e) ->
+      let infos =
+        List.filter_map
+          (fun (var, sid, param) ->
+            if String.equal var v then Some (Ast.Lockinfo (sid, param))
+            else None)
+          inserts
+      in
+      Ast.Assign (v, e) :: infos
+    | Ast.If (c, a, b) -> [ Ast.If (c, map_block a, map_block b) ]
+    | Ast.Loop l -> [ Ast.Loop { l with body = map_block l.body } ]
+    | s -> [ s ]
+  in
+  map_block body
+
+let instrument_method ~ids ~repository ~cls body =
+  let prof = Param_class.profile body in
+  let ctx = { ids; prof; repository; cls; sids = []; loops = [] } in
+  let body', _, _ = walk_block ctx [] body in
+  let sids = List.rev ctx.sids in
+  let loops = List.rev ctx.loops in
+  let at_entry =
+    List.filter_map
+      (fun (i : Predict.sid_info) ->
+        match i.classification with
+        | Param_class.Announce_at_entry -> Some (Ast.Lockinfo (i.sid, i.param))
+        | Param_class.Announce_after_assign _ | Param_class.Spontaneous _ ->
+          None)
+      sids
+  in
+  let after_assign =
+    List.filter_map
+      (fun (i : Predict.sid_info) ->
+        match i.classification with
+        | Param_class.Announce_after_assign v -> Some (v, i.sid, i.param)
+        | Param_class.Announce_at_entry | Param_class.Spontaneous _ -> None)
+      sids
+  in
+  let body' = at_entry @ insert_after_assigns after_assign body' in
+  { body = body'; sids; loops }
+
+let basic_body ~ids body =
+  let rec go stmt =
+    match stmt with
+    | Ast.Sync (p, inner) ->
+      let sid = Syncid.fresh_sync ids in
+      (Ast.Sched_lock (sid, p) :: List.concat_map go inner)
+      @ [ Ast.Sched_unlock (sid, p) ]
+    | Ast.Lock_acquire p -> [ Ast.Sched_lock (Syncid.fresh_sync ids, p) ]
+    | Ast.Lock_release p -> [ Ast.Sched_unlock (release_site, p) ]
+    | Ast.If (c, a, b) ->
+      [ Ast.If (c, List.concat_map go a, List.concat_map go b) ]
+    | Ast.Loop l -> [ Ast.Loop { l with body = List.concat_map go l.body } ]
+    | s ->
+      reject_instrumented s;
+      [ s ]
+  in
+  List.concat_map go body

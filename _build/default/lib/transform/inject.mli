@@ -1,0 +1,46 @@
+(** Scheduler-call injection (sections 4.1–4.2, Figure 4).
+
+    Rewrites one (already inlined) start-method body:
+    - [synchronized (p) { ... }] becomes [scheduler.lock(sid, p); ...;
+      scheduler.unlock(sid, p)] with a globally unique syncid;
+    - each branch of a conditional starts with [scheduler.ignore(sid)] for
+      every syncid of the {e other} branch, "on all paths without a lock call
+      for syncid";
+    - [scheduler.lockInfo(sid, p)] is emitted at method entry for [this] and
+      parameter-valued locks, and right after the last assignment for
+      local-valued locks; spontaneous parameters get no announcement;
+    - loops containing locks are bracketed with [loopEnter]/[loopExit]
+      markers; remaining dynamic calls and non-repository virtual calls are
+      bracketed the same way as {e opaque} regions;
+    - repository-mode virtual calls are expanded into an if-chain over the
+      runtime type with per-branch ignore coverage.
+
+    The pass simultaneously accumulates the static information
+    ({!Detmt_analysis.Predict.sid_info} / [loop_info]) that initialises the
+    scheduler's bookkeeping module. *)
+
+type result = {
+  body : Detmt_lang.Ast.block;
+  sids : Detmt_analysis.Predict.sid_info list;
+  loops : Detmt_analysis.Predict.loop_info list;
+}
+
+val release_site : int
+(** The pseudo-syncid carried by the unlock of an explicit
+    java.util.concurrent lock ([Lock_release]): release sites do not
+    correspond to a single acquisition site. *)
+
+val instrument_method :
+  ids:Detmt_analysis.Syncid.t ->
+  repository:bool ->
+  cls:Detmt_lang.Class_def.t ->
+  Detmt_lang.Ast.block ->
+  result
+(** Instrument an inlined start-method body.  The body must not already
+    contain scheduler instrumentation.
+    @raise Invalid_argument on already-instrumented input. *)
+
+val basic_body :
+  ids:Detmt_analysis.Syncid.t -> Detmt_lang.Ast.block -> Detmt_lang.Ast.block
+(** Traditional FTflex transformation: only [Sync] -> [lock]/[unlock], no
+    announcements, no ignores, no loop markers. *)

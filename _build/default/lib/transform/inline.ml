@@ -1,0 +1,75 @@
+open Detmt_lang
+
+exception Recursive of string
+
+let rename_local prefix v = prefix ^ v
+
+let rename_mexpr prefix = function
+  | Ast.Mlocal v -> Ast.Mlocal (rename_local prefix v)
+  | (Ast.Mconst _ | Ast.Marg _ | Ast.Mfield _ | Ast.Mglobal _ | Ast.Mcall _)
+    as e ->
+    e
+
+let rename_sync_param prefix = function
+  | Ast.Sp_local v -> Ast.Sp_local (rename_local prefix v)
+  | (Ast.Sp_this | Ast.Sp_arg _ | Ast.Sp_field _ | Ast.Sp_global _
+    | Ast.Sp_call _) as p ->
+    p
+
+let rec rename_stmt prefix = function
+  | Ast.Assign (v, e) ->
+    Ast.Assign (rename_local prefix v, rename_mexpr prefix e)
+  | Ast.Assign_field (f, e) -> Ast.Assign_field (f, rename_mexpr prefix e)
+  | Ast.Sync (p, body) ->
+    Ast.Sync (rename_sync_param prefix p, rename_block prefix body)
+  | Ast.Lock_acquire p -> Ast.Lock_acquire (rename_sync_param prefix p)
+  | Ast.Lock_release p -> Ast.Lock_release (rename_sync_param prefix p)
+  | Ast.Wait p -> Ast.Wait (rename_sync_param prefix p)
+  | Ast.Wait_until { param; field; min } ->
+    Ast.Wait_until { param = rename_sync_param prefix param; field; min }
+  | Ast.Notify { param; all } ->
+    Ast.Notify { param = rename_sync_param prefix param; all }
+  | Ast.If (c, a, b) -> Ast.If (c, rename_block prefix a, rename_block prefix b)
+  | Ast.Loop l -> Ast.Loop { l with body = rename_block prefix l.body }
+  | Ast.Sched_lock (sid, p) -> Ast.Sched_lock (sid, rename_sync_param prefix p)
+  | Ast.Sched_unlock (sid, p) ->
+    Ast.Sched_unlock (sid, rename_sync_param prefix p)
+  | Ast.Lockinfo (sid, p) -> Ast.Lockinfo (sid, rename_sync_param prefix p)
+  | (Ast.Compute _ | Ast.Nested _ | Ast.State_update _ | Ast.Call _
+    | Ast.Virtual_call _ | Ast.Ignore_sync _ | Ast.Loop_enter _
+    | Ast.Loop_exit _) as s ->
+    s
+
+and rename_block prefix body = List.map (rename_stmt prefix) body
+
+let rename_locals ~prefix body = rename_block prefix body
+
+let inline_block ?(repository = false) cls body =
+  let counter = ref 0 in
+  let spliceable name =
+    match Class_def.find_method cls name with
+    | None -> None
+    | Some def -> if def.final || repository then Some def else None
+  in
+  let rec go stack stmts = List.concat_map (go_stmt stack) stmts
+  and go_stmt stack = function
+    | Ast.Call m as s -> (
+      match spliceable m with
+      | None -> [ s ]
+      | Some def ->
+        if List.mem m stack then raise (Recursive m);
+        incr counter;
+        let prefix = Printf.sprintf "%s$%d$" m !counter in
+        go (m :: stack) (rename_block prefix def.body))
+    | Ast.Sync (p, b) -> [ Ast.Sync (p, go stack b) ]
+    | Ast.If (c, a, b) -> [ Ast.If (c, go stack a, go stack b) ]
+    | Ast.Loop l -> [ Ast.Loop { l with body = go stack l.body } ]
+    | (Ast.Compute _ | Ast.Assign _ | Ast.Assign_field _
+      | Ast.Lock_acquire _ | Ast.Lock_release _ | Ast.Wait _
+      | Ast.Wait_until _ | Ast.Notify _ | Ast.Nested _ | Ast.State_update _
+      | Ast.Virtual_call _ | Ast.Sched_lock _ | Ast.Sched_unlock _
+      | Ast.Lockinfo _ | Ast.Ignore_sync _ | Ast.Loop_enter _
+      | Ast.Loop_exit _) as s ->
+      [ s ]
+  in
+  go [] body

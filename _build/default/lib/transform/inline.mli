@@ -1,0 +1,28 @@
+(** Inlining of method calls prior to analysis.
+
+    Prediction needs every synchronized block the programme flow can pass to
+    be a distinct site.  Splicing callee bodies into the caller achieves that:
+    two calls to the same method become two sets of syncids.  Callee locals
+    are renamed apart.
+
+    Only final methods are spliced by default ("all methods that are called
+    are final", section 4); with [~repository:true] non-final callees are
+    spliced as well, modelling the class repository of section 4.4 that
+    guarantees static type = runtime type.  Virtual calls are never spliced
+    here — the injector expands them into an if-chain (repository mode) or an
+    opaque region. *)
+
+exception Recursive of string
+(** Raised when splicing encounters a call cycle. *)
+
+val inline_block :
+  ?repository:bool ->
+  Detmt_lang.Class_def.t ->
+  Detmt_lang.Ast.block ->
+  Detmt_lang.Ast.block
+(** Splice resolvable calls, recursively.  Calls left in place: virtual calls,
+    calls to undefined methods, and non-final calls when [repository] is
+    [false] (the default).  @raise Recursive on call cycles. *)
+
+val rename_locals : prefix:string -> Detmt_lang.Ast.block -> Detmt_lang.Ast.block
+(** Prefix every local-variable name in the block — exposed for tests. *)

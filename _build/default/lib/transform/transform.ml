@@ -1,0 +1,53 @@
+open Detmt_lang
+open Detmt_analysis
+
+let basic cls =
+  Wellformed.check_exn cls;
+  let ids = Syncid.create () in
+  let methods =
+    List.map
+      (fun (m : Class_def.method_def) ->
+        { m with body = Inject.basic_body ~ids m.body })
+      cls.Class_def.methods
+  in
+  { cls with methods }
+
+let predictive ?(repository = false) cls =
+  Wellformed.check_exn cls;
+  let ids = Syncid.create () in
+  let cg = Callgraph.build cls in
+  let summaries = ref [] in
+  let instrument_start (m : Class_def.method_def) =
+    if Callgraph.in_recursion cg m.name then begin
+      summaries :=
+        Predict.fallback_summary ~mname:m.name ~reason:"recursive call graph"
+        :: !summaries;
+      { m with body = Inject.basic_body ~ids m.body }
+    end
+    else
+      match Inline.inline_block ~repository cls m.body with
+      | exception Inline.Recursive cycle ->
+        summaries :=
+          Predict.fallback_summary ~mname:m.name
+            ~reason:("recursion through " ^ cycle)
+          :: !summaries;
+        { m with body = Inject.basic_body ~ids m.body }
+      | inlined ->
+        let { Inject.body; sids; loops } =
+          Inject.instrument_method ~ids ~repository ~cls inlined
+        in
+        summaries :=
+          { Predict.mname = m.name; fallback = false; fallback_reason = None;
+            sids; loops }
+          :: !summaries;
+        { m with body }
+  in
+  let methods =
+    List.map
+      (fun (m : Class_def.method_def) ->
+        if m.exported then instrument_start m
+        else { m with body = Inject.basic_body ~ids m.body })
+      cls.Class_def.methods
+  in
+  ( { cls with methods },
+    { Predict.class_name = cls.cname; methods = List.rev !summaries } )

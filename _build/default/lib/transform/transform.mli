@@ -1,0 +1,25 @@
+(** Whole-class transformation — the deployment step that replaces
+    [synchronized] statements with scheduler calls "just before the final
+    compilation" (section 4).
+
+    {!basic} is the traditional FTflex transformation used by the
+    non-predicting schedulers (SEQ, SAT, LSA, PDS, MAT).  {!predictive}
+    additionally inlines calls, injects announcements/ignores/loop markers and
+    returns the static prediction summary consumed by the bookkeeping module
+    (MAT+last-lock and predicted MAT). *)
+
+val basic : Detmt_lang.Class_def.t -> Detmt_lang.Class_def.t
+(** Instrument every method: [Sync] -> [lock]/[unlock] only.
+    @raise Invalid_argument when the class is not well-formed. *)
+
+val predictive :
+  ?repository:bool ->
+  Detmt_lang.Class_def.t ->
+  Detmt_lang.Class_def.t * Detmt_analysis.Predict.class_summary
+(** Instrument with full lock prediction.  Start methods that can reach a
+    call cycle fall back to basic instrumentation with an empty (fallback)
+    summary — the paper's favoured option for recursion.  Helper methods keep
+    basic instrumentation so dynamic calls still execute.  With
+    [~repository:true] non-final and virtual callees are analysed through the
+    class repository of section 4.4; without it they become opaque regions.
+    @raise Invalid_argument when the class is not well-formed. *)

@@ -1,0 +1,139 @@
+open Detmt_lang
+open Detmt_analysis
+
+let pp_param = Format.asprintf "%a" Pretty.sync_param
+
+(* Structural checks along one execution path. *)
+let check_path ~meth ~summary path =
+  let issues = ref [] in
+  let problem fmt =
+    Format.kasprintf (fun s -> issues := (meth ^ ": " ^ s) :: !issues) fmt
+  in
+  let lock_stack = ref [] in
+  let loop_stack = ref [] in
+  let locked = ref [] in
+  let ignored = ref [] in
+  let announced = ref [] in
+  let entered_loops = ref [] in
+  let on_event = function
+    | Paths.E_lock (-1, p) ->
+      problem "raw synchronized (%s) survived transformation" (pp_param p)
+    | Paths.E_lock (sid, p) ->
+      if List.mem sid !locked then problem "sid %d locked twice on a path" sid;
+      locked := sid :: !locked;
+      lock_stack := (sid, p) :: !lock_stack
+    | Paths.E_unlock (sid, p) when sid = Inject.release_site -> (
+      (* Explicit java.util.concurrent unlock: releases need not be LIFO
+         (hand-over-hand locking); match the innermost held lock with the
+         same parameter. *)
+      match
+        List.find_opt (fun (_, q) -> Ast.equal_sync_param p q) !lock_stack
+      with
+      | Some entry ->
+        lock_stack := List.filter (fun e -> e != entry) !lock_stack
+      | None ->
+        problem "explicit unlock of %s with no matching lock held"
+          (pp_param p))
+    | Paths.E_unlock (sid, _) -> (
+      match !lock_stack with
+      | (top, _) :: rest when top = sid -> lock_stack := rest
+      | (top, _) :: _ ->
+        problem "unlock of sid %d but sid %d is innermost" sid top
+      | [] -> problem "unlock of sid %d with no lock held" sid)
+    | Paths.E_lockinfo (sid, _) -> announced := sid :: !announced
+    | Paths.E_ignore sid ->
+      if List.mem sid !locked then
+        problem "sid %d both locked and ignored on one path" sid;
+      ignored := sid :: !ignored
+    | Paths.E_loop_enter lid ->
+      loop_stack := lid :: !loop_stack;
+      entered_loops := lid :: !entered_loops
+    | Paths.E_loop_exit lid -> (
+      match !loop_stack with
+      | top :: rest when top = lid -> loop_stack := rest
+      | top :: _ -> problem "loop exit %d but loop %d is innermost" lid top
+      | [] -> problem "loop exit %d without matching enter" lid)
+    | Paths.E_wait p ->
+      if not (List.exists (fun (_, q) -> Ast.equal_sync_param p q) !lock_stack)
+      then problem "wait on %s without holding its monitor" (pp_param p)
+    | Paths.E_notify p ->
+      if not (List.exists (fun (_, q) -> Ast.equal_sync_param p q) !lock_stack)
+      then problem "notify on %s without holding its monitor" (pp_param p)
+    | Paths.E_nested _ | Paths.E_compute _ | Paths.E_call _ | Paths.E_state _
+      ->
+      ()
+  in
+  List.iter on_event path;
+  (match !lock_stack with
+  | [] -> ()
+  | held ->
+    problem "path ends with %d lock(s) still held" (List.length held));
+  if !loop_stack <> [] then problem "path ends inside a loop scope";
+  (* Summary-driven checks. *)
+  (match (summary : Predict.method_summary option) with
+  | None -> ()
+  | Some s when s.fallback -> ()
+  | Some s ->
+    let loop_sids lid =
+      match Predict.loop_info s lid with
+      | Some l -> l.sids
+      | None -> []
+    in
+    let in_entered_scope sid =
+      List.exists (fun lid -> List.mem sid (loop_sids lid)) !entered_loops
+    in
+    List.iter
+      (fun (i : Predict.sid_info) ->
+        let covered =
+          List.mem i.sid !locked || List.mem i.sid !ignored
+          || in_entered_scope i.sid
+        in
+        if not covered then
+          problem "sid %d neither locked, ignored, nor in an entered loop"
+            i.sid;
+        let is_announceable =
+          not (Param_class.is_spontaneous i.classification)
+        in
+        if is_announceable then begin
+          if List.mem i.sid !locked && not (List.mem i.sid !announced) then
+            problem "announceable sid %d locked without prior lockInfo" i.sid
+        end
+        else if List.mem i.sid !announced then
+          problem "spontaneous sid %d was announced" i.sid)
+      s.sids);
+  List.rev !issues
+
+(* Announcements must precede the lock; recompute with ordering. *)
+let check_announce_order ~meth path =
+  let announced = Hashtbl.create 8 in
+  let issues = ref [] in
+  List.iter
+    (function
+      | Paths.E_lockinfo (sid, _) -> Hashtbl.replace announced sid ()
+      | Paths.E_lock (sid, _) when sid >= 0 ->
+        if not (Hashtbl.mem announced sid) then Hashtbl.replace announced sid ()
+        (* spontaneous locks are implicitly lockinfo+lock (section 4.2) *)
+      | _ -> ())
+    path;
+  ignore meth;
+  List.rev !issues
+
+let check_method ?summary cls ~meth =
+  let m = Class_def.find_method_exn cls meth in
+  match Paths.enumerate m.body with
+  | exception Paths.Too_many_paths n ->
+    [ Printf.sprintf "%s: too many execution paths (%d)" meth n ]
+  | paths ->
+    List.concat_map
+      (fun path ->
+        check_path ~meth ~summary path @ check_announce_order ~meth path)
+      paths
+
+let check_class ?summary cls =
+  List.concat_map
+    (fun (m : Class_def.method_def) ->
+      let method_summary =
+        Option.bind summary (fun s -> Predict.find_method s m.name)
+      in
+      check_method ?summary:method_summary cls ~meth:m.name)
+    (Class_def.start_methods cls)

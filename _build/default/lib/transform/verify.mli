@@ -1,0 +1,28 @@
+(** Instrumentation soundness checker.
+
+    Validates, by exhaustive path enumeration, that a transformed method obeys
+    the contract the scheduler's bookkeeping relies on:
+
+    - lock/unlock pairs are balanced and properly nested (LIFO) on every path;
+    - no raw [synchronized] statement survived the transformation;
+    - loop markers are balanced;
+    - every syncid of the static summary is, on every path, either locked,
+      ignored, or inside an entered loop scope ("the scheduler's bookkeeping
+      does only work correctly when it gets all information available");
+    - a syncid is never both locked and ignored on one path, and never locked
+      twice outside a loop scope;
+    - announceable locks are preceded by their [lockInfo] on every path, and
+      spontaneous locks are never announced. *)
+
+val check_method :
+  ?summary:Detmt_analysis.Predict.method_summary ->
+  Detmt_lang.Class_def.t ->
+  meth:string ->
+  string list
+(** Diagnostics for one instrumented method; empty when sound. *)
+
+val check_class :
+  ?summary:Detmt_analysis.Predict.class_summary ->
+  Detmt_lang.Class_def.t ->
+  string list
+(** Diagnostics for every start method of an instrumented class. *)

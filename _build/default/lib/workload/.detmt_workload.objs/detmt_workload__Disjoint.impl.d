@@ -1,0 +1,1 @@
+lib/workload/disjoint.ml: Ast Builder Detmt_lang

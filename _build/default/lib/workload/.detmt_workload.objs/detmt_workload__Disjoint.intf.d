@@ -1,0 +1,1 @@
+lib/workload/disjoint.mli: Detmt_lang Detmt_replication

@@ -1,0 +1,1 @@
+lib/workload/figure1.ml: Array Ast Builder Detmt_lang Detmt_sim List

@@ -1,0 +1,1 @@
+lib/workload/prodcons.ml: Builder Detmt_lang

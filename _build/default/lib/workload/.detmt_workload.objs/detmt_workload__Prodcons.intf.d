@@ -1,0 +1,1 @@
+lib/workload/prodcons.mli: Detmt_lang Detmt_replication

@@ -1,0 +1,1 @@
+lib/workload/tail_compute.ml: Ast Builder Detmt_lang

@@ -1,0 +1,1 @@
+lib/workload/tail_compute.mli: Detmt_lang Detmt_replication

@@ -1,0 +1,28 @@
+(* Figure 3 workload: requests with non-overlapping mutex sets.
+
+   Each client owns a private mutex (client i locks mutex i only).
+   A pessimistic scheduler (MAT) still serialises the lock acquisitions
+   through primacy; predicted MAT recognises that the future lock sets are
+   disjoint and grants them concurrently — Figure 3(b)'s ideal. *)
+
+open Detmt_lang
+
+type params = {
+  hold_ms : float; (* computation inside the critical section *)
+  tail_ms : float; (* computation after the unlock *)
+}
+
+let default = { hold_ms = 5.0; tail_ms = 2.0 }
+
+let method_name = "update"
+
+let cls p =
+  let open Builder in
+  cls ~cname:"Disjoint" ~state_fields:[ "state" ]
+    [ meth method_name ~params:1
+        [ sync (arg 0) [ compute p.hold_ms; state_incr "state" 1 ];
+          compute p.tail_ms;
+        ];
+    ]
+
+let gen ~client ~seq:_ _rng = (method_name, [| Ast.Vmutex client |])

@@ -1,0 +1,19 @@
+(** Figure 3 workload: requests with non-overlapping mutex sets.
+
+    Each client locks a private mutex (client [i] locks mutex [i]).  A
+    pessimistic scheduler still serialises the acquisitions through the
+    primary token; predicted MAT recognises the disjoint future lock sets
+    and grants them concurrently — Figure 3(b)'s ideal. *)
+
+type params = {
+  hold_ms : float;  (** computation inside the critical section *)
+  tail_ms : float;  (** computation after the unlock *)
+}
+
+val default : params
+
+val method_name : string
+
+val cls : params -> Detmt_lang.Class_def.t
+
+val gen : Detmt_replication.Client.request_gen

@@ -1,0 +1,40 @@
+(* Producer/consumer over a condition variable (experiment E9).
+
+   Exercises the condition-variable support the FTflex variants added to the
+   published algorithms (sections 3.1-3.4): consumers block in a guarded
+   wait on the object's monitor; producers increment the item count and
+   notify.  Even-numbered clients produce, odd-numbered clients consume.
+
+   SEQ cannot run this workload: a consumer that arrives before its producer
+   waits forever because no other thread is ever scheduled — the paper's
+   deadlock argument for multithreading. *)
+
+open Detmt_lang
+
+type params = { produce_ms : float; consume_ms : float }
+
+let default = { produce_ms = 1.0; consume_ms = 1.0 }
+
+let produce_method = "produce"
+
+let consume_method = "consume"
+
+let cls p =
+  let open Builder in
+  cls ~cname:"ProdCons" ~state_fields:[ "items"; "produced"; "consumed" ]
+    [ meth produce_method
+        [ compute p.produce_ms;
+          sync this
+            [ state_incr "items" 1; state_incr "produced" 1;
+              notify_all this ];
+        ];
+      meth consume_method
+        [ sync this
+            [ wait_until this ~field:"items" ~min:1;
+              state_incr "items" (-1); state_incr "consumed" 1 ];
+          compute p.consume_ms;
+        ];
+    ]
+
+let gen ~client ~seq:_ _rng =
+  if client mod 2 = 0 then (produce_method, [||]) else (consume_method, [||])

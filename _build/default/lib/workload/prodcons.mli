@@ -1,0 +1,19 @@
+(** Producer/consumer over a condition variable (experiment E9).
+
+    Consumers block in a Java-style guarded wait on the object's monitor;
+    producers increment the item count and notify.  Even-numbered clients
+    produce, odd-numbered clients consume.  SEQ cannot run this workload: a
+    consumer arriving before its producer waits forever on the only thread
+    — the paper's deadlock argument for multithreading. *)
+
+type params = { produce_ms : float; consume_ms : float }
+
+val default : params
+
+val produce_method : string
+
+val consume_method : string
+
+val cls : params -> Detmt_lang.Class_def.t
+
+val gen : Detmt_replication.Client.request_gen

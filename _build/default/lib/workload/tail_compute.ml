@@ -1,0 +1,33 @@
+(* Figure 2 workload: a short critical section followed by a long final
+   computation.
+
+   Plain MAT keeps the primary role through the whole tail, so the next
+   thread's lock waits although no lock will ever be requested again;
+   MAT+last-lock hands the primary role over right after the unlock
+   (Figure 2(b)), and predicted MAT never blocks at all when the mutexes
+   are disjoint. *)
+
+open Detmt_lang
+
+type params = {
+  lock_ms : float; (* critical-section computation *)
+  tail_ms : float; (* final computation after the last unlock *)
+  shared_mutex : bool; (* all requests use the same mutex? *)
+}
+
+let default = { lock_ms = 1.0; tail_ms = 20.0; shared_mutex = true }
+
+let method_name = "serve"
+
+let cls p =
+  let open Builder in
+  cls ~cname:"TailCompute" ~state_fields:[ "state" ]
+    [ meth method_name ~params:1
+        [ sync (arg 0) [ compute p.lock_ms; state_incr "state" 1 ];
+          compute p.tail_ms;
+        ];
+    ]
+
+let gen p ~client ~seq:_ _rng =
+  let mutex = if p.shared_mutex then 0 else client in
+  (method_name, [| Ast.Vmutex mutex |])

@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Active Alcotest Client Consistency Detmt_analysis Detmt_replication Detmt_runtime Detmt_sched Detmt_sim Detmt_transform Detmt_workload Engine List Rng Trace

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Ast Builder Callgraph Class_def Detmt_analysis Detmt_lang Detmt_transform Last_lock List Loops Option Param_class Paths QCheck QCheck_alcotest Syncid

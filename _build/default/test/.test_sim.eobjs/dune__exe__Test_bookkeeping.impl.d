@@ -1,0 +1,1 @@
+test/test_bookkeeping.ml: Alcotest Bookkeeping Builder Detmt_lang Detmt_sched Detmt_transform

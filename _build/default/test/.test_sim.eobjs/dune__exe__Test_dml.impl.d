@@ -1,0 +1,1 @@
+test/test_dml.ml: Alcotest Ast Class_def Detmt_lang Detmt_replication Detmt_sim Detmt_workload Dml List QCheck QCheck_alcotest String Testgen

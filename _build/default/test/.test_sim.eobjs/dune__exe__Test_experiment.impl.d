@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Detmt Detmt_stats Detmt_workload List Printf String Table

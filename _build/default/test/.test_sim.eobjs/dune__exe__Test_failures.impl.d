@@ -1,0 +1,1 @@
+test/test_failures.ml: Active Alcotest Client Consistency Detmt_replication Detmt_runtime Detmt_sim Detmt_workload Engine Failover List Printf Rng

@@ -1,0 +1,1 @@
+test/test_gcs.ml: Alcotest Dedup Detmt_gcs Detmt_sim Engine Group List Message Totem

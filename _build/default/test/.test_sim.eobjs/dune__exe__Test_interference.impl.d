@@ -1,0 +1,1 @@
+test/test_interference.ml: Alcotest Builder Class_def Detmt_analysis Detmt_lang Interference List

@@ -1,0 +1,1 @@
+test/test_juc.ml: Active Alcotest Ast Builder Client Consistency Detmt_analysis Detmt_lang Detmt_replication Detmt_sched Detmt_sim Detmt_transform List Option Wellformed

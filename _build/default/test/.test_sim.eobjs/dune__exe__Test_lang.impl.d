@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Builder Class_def Detmt_lang Detmt_workload Format List Pretty String Wellformed

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Ast Class_def Detmt_lang Detmt_replication Detmt_runtime Detmt_sim Detmt_transform List QCheck QCheck_alcotest Testgen Wellformed

@@ -1,0 +1,1 @@
+test/test_replication.ml: Active Alcotest Client Consistency Detmt_replication Detmt_runtime Detmt_sim Detmt_stats Detmt_workload Engine Failover Format List Passive Printf Rng String Trace

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Active Alcotest Ast Builder Client Consistency Detmt_lang Detmt_replication Detmt_runtime Detmt_sched Detmt_sim Detmt_transform Detmt_workload List

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Ast Builder Condvar Detmt_lang Detmt_runtime Detmt_transform Interp List Mutex_table Object_state Op Request String

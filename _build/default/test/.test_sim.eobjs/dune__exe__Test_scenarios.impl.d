@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Active Alcotest Ast Builder Client Detmt_analysis Detmt_lang Detmt_replication Detmt_runtime Detmt_sched Detmt_sim Detmt_transform Detmt_workload Engine List Option Rng Trace

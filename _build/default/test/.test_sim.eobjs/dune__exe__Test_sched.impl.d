@@ -1,0 +1,1 @@
+test/test_sched.ml: Active Alcotest Ast Builder Detmt_lang Detmt_replication Detmt_runtime Detmt_sched Detmt_sim Engine Float List Trace

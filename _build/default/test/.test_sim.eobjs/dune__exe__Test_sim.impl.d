@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cpu Detmt_sim Engine Fun List Pqueue QCheck QCheck_alcotest Rng Trace

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Detmt_stats Float Format Gen Histogram List QCheck QCheck_alcotest Series String Summary Table

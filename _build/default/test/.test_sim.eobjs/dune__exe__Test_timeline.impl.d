@@ -1,0 +1,1 @@
+test/test_timeline.ml: Alcotest Detmt Detmt_sim Format Fun List String Timeline Trace

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Ast Builder Class_def Detmt_analysis Detmt_lang Detmt_transform List Option Predict Pretty Printf String Transform Verify

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Ast Class_def Detmt_analysis Detmt_lang Detmt_sim Detmt_transform Detmt_workload List Option Wellformed

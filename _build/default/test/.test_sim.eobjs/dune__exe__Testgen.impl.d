@@ -1,0 +1,1 @@
+test/testgen.ml: Ast Class_def Detmt_lang QCheck

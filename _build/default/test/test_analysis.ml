@@ -1,0 +1,269 @@
+(* Unit tests for the static analysis: call graph, parameter classification,
+   loop classification, path enumeration and last-lock analysis. *)
+
+open Detmt_lang
+open Detmt_analysis
+
+let b = Alcotest.bool
+
+(* ---------------------------- Syncid ------------------------------- *)
+
+let test_syncid_counters () =
+  let ids = Syncid.create () in
+  Alcotest.(check int) "first sync id" 1 (Syncid.fresh_sync ids);
+  Alcotest.(check int) "second sync id" 2 (Syncid.fresh_sync ids);
+  Alcotest.(check int) "first loop id" 1 (Syncid.fresh_loop ids);
+  Alcotest.(check int) "sync count" 2 (Syncid.sync_count ids);
+  Alcotest.(check int) "loop count" 1 (Syncid.loop_count ids)
+
+(* --------------------------- Callgraph ----------------------------- *)
+
+let diamond =
+  let open Builder in
+  Builder.cls ~cname:"D" ~state_fields:[ "st" ]
+    [ meth "top" [ call "left"; call "right" ];
+      helper "left" [ call "bottom" ];
+      helper "right" [ call "bottom" ];
+      helper ~final:false "bottom" [ sync this [ state_incr "st" 1 ] ];
+      meth "selfrec" [ call "selfrec" ];
+      meth "mutual_a" [ call "mutual_b" ];
+      helper "mutual_b" [ call "mutual_a" ];
+      meth "leaf" [ compute 1.0 ];
+    ]
+
+let test_callees () =
+  let cg = Callgraph.build diamond in
+  Alcotest.(check (list string)) "direct" [ "left"; "right" ]
+    (Callgraph.callees cg "top")
+
+let test_reachable () =
+  let cg = Callgraph.build diamond in
+  Alcotest.(check (list string)) "dfs order"
+    [ "top"; "left"; "bottom"; "right" ]
+    (Callgraph.reachable cg "top")
+
+let test_recursion_detection () =
+  let cg = Callgraph.build diamond in
+  let rec_methods = Callgraph.recursive_methods cg in
+  Alcotest.check b "self recursion" true (List.mem "selfrec" rec_methods);
+  Alcotest.check b "mutual recursion" true (List.mem "mutual_a" rec_methods);
+  Alcotest.check b "dag not recursive" false (List.mem "top" rec_methods);
+  Alcotest.check b "top reaches no cycle" false
+    (Callgraph.in_recursion cg "top");
+  Alcotest.check b "mutual_a in recursion" true
+    (Callgraph.in_recursion cg "mutual_a");
+  Alcotest.check b "leaf clean" false (Callgraph.in_recursion cg "leaf")
+
+let test_non_final_calls () =
+  let cg = Callgraph.build diamond in
+  let nf = Callgraph.non_final_calls cg "top" in
+  Alcotest.check b "bottom flagged from both callers" true
+    (List.mem ("left", "bottom") nf && List.mem ("right", "bottom") nf)
+
+(* -------------------------- Param_class ---------------------------- *)
+
+let classify_in body p = Param_class.classify (Param_class.profile body) p
+
+let test_classify_this_and_arg () =
+  Alcotest.check b "this at entry" true
+    (classify_in [] Ast.Sp_this = Param_class.Announce_at_entry);
+  Alcotest.check b "arg at entry" true
+    (classify_in [] (Ast.Sp_arg 0) = Param_class.Announce_at_entry)
+
+let test_classify_spontaneous_kinds () =
+  let open Param_class in
+  Alcotest.check b "field" true
+    (classify_in [] (Ast.Sp_field "f") = Spontaneous Field);
+  Alcotest.check b "global" true
+    (classify_in [] (Ast.Sp_global "g") = Spontaneous Global);
+  Alcotest.check b "call result" true
+    (classify_in [] (Ast.Sp_call "m") = Spontaneous Call_result);
+  Alcotest.check b "unassigned local" true
+    (classify_in [] (Ast.Sp_local "v") = Spontaneous Unassigned)
+
+let test_classify_local_single_assign () =
+  let open Builder in
+  let body = [ assign "v" (marg 0) ] in
+  Alcotest.check b "announce after assign" true
+    (classify_in body (Ast.Sp_local "v")
+    = Param_class.Announce_after_assign "v")
+
+let test_classify_local_multi_assign () =
+  let open Builder in
+  let body = [ assign "v" (marg 0); assign "v" (mconst 3) ] in
+  Alcotest.check b "multi-assigned is spontaneous" true
+    (classify_in body (Ast.Sp_local "v")
+    = Param_class.Spontaneous Param_class.Multi_assigned)
+
+let test_classify_local_assigned_in_loop () =
+  let open Builder in
+  let body = [ for_ 3 [ assign "v" (marg 0) ] ] in
+  Alcotest.check b "loop-assigned is spontaneous" true
+    (classify_in body (Ast.Sp_local "v")
+    = Param_class.Spontaneous Param_class.Assigned_in_loop)
+
+(* ----------------------------- Loops ------------------------------- *)
+
+let test_loop_fixed_kind () =
+  let open Builder in
+  let body = [ assign "m" (marg 0) ] in
+  let loop_body = [ sync (local "m") [ state_incr "st" 1 ] ] in
+  let prof = Param_class.profile (body @ [ for_ 3 loop_body ]) in
+  Alcotest.check b "fixed" true
+    (Loops.classify_loop prof ~body:loop_body = Loops.Fixed_mutexes)
+
+let test_loop_changing_kind () =
+  let open Builder in
+  let loop_body = [ sync (field "f") [ state_incr "st" 1 ] ] in
+  let prof = Param_class.profile [ for_ 3 loop_body ] in
+  Alcotest.check b "changing" true
+    (Loops.classify_loop prof ~body:loop_body = Loops.Changing)
+
+let test_loop_no_sync () =
+  let open Builder in
+  Alcotest.check b "no sync params" true
+    (Loops.sync_params_in [ compute 1.0; nested ~service:0 1.0 ] = []);
+  Alcotest.check b "contains_sync false" false
+    (Loops.contains_sync [ compute 1.0 ])
+
+(* ----------------------------- Paths ------------------------------- *)
+
+let test_paths_if_doubles () =
+  let open Builder in
+  let body =
+    [ if_ (arg_bool 0) [ compute 1.0 ] [ compute 2.0 ];
+      if_ (arg_bool 1) [ compute 3.0 ] [] ]
+  in
+  Alcotest.(check int) "2 * 2 paths" 4 (List.length (Paths.enumerate body))
+
+let test_paths_loop_two_variants () =
+  let open Builder in
+  let body = [ for_ 5 [ compute 1.0 ] ] in
+  Alcotest.(check int) "zero or one iteration" 2
+    (List.length (Paths.enumerate body))
+
+let test_paths_budget () =
+  let open Builder in
+  let body =
+    List.init 20 (fun i -> if_ (arg_bool i) [ compute 1.0 ] [])
+  in
+  Alcotest.check b "budget exceeded raises" true
+    (try
+       ignore (Paths.enumerate ~max_paths:100 body);
+       false
+     with Paths.Too_many_paths _ -> true)
+
+let test_paths_resolve_inlines () =
+  let open Builder in
+  let cls =
+    Builder.cls ~cname:"C" ~state_fields:[ "st" ]
+      [ meth "m" [ call "h" ];
+        helper "h" [ sync this [ state_incr "st" 1 ] ] ]
+  in
+  let resolve name =
+    Option.map
+      (fun (d : Class_def.method_def) -> d.body)
+      (Class_def.find_method cls name)
+  in
+  let paths =
+    Paths.enumerate ~resolve (Class_def.find_method_exn cls "m").body
+  in
+  Alcotest.check b "lock event visible through the call" true
+    (List.exists
+       (List.exists (function Paths.E_lock _ -> true | _ -> false))
+       paths)
+
+let test_paths_lock_sequences () =
+  let open Builder in
+  let body =
+    [ sync (arg 0) [ state_incr "st" 1 ]; sync (arg 1) [ state_incr "st" 1 ] ]
+  in
+  let instrumented =
+    Detmt_transform.Inject.basic_body ~ids:(Syncid.create ()) body
+  in
+  let paths = Paths.enumerate instrumented in
+  Alcotest.(check int) "single path" 1 (List.length paths);
+  Alcotest.(check (list int)) "lock order" [ 1; 2 ]
+    (Paths.locks_of_path (List.hd paths));
+  Alcotest.(check (list int)) "sids" [ 1; 2 ] (Paths.sids_of paths)
+
+(* --------------------------- Last_lock ----------------------------- *)
+
+let test_last_lock_tail () =
+  let open Builder in
+  let cls =
+    Builder.cls ~cname:"C" ~state_fields:[ "st" ]
+      [ meth "m" ~params:1
+          [ sync (arg 0) [ state_incr "st" 1 ];
+            compute 20.0;
+          ];
+      ]
+  in
+  let instrumented = Detmt_transform.Transform.basic cls in
+  let report = Last_lock.analyse instrumented ~meth:"m" in
+  Alcotest.(check (list int)) "all sids" [ 1 ] report.Last_lock.all_sids;
+  Alcotest.(check (list int)) "final sids" [ 1 ] report.Last_lock.final_sids;
+  Alcotest.(check (float 1e-9)) "tail computation" 20.0
+    report.Last_lock.max_tail_compute_ms
+
+let test_last_lock_branches () =
+  let open Builder in
+  let cls =
+    Builder.cls ~cname:"C" ~state_fields:[ "st" ]
+      [ meth "m" ~params:2
+          [ sync (arg 0) [ state_incr "st" 1 ];
+            if_ (arg_bool 1) [ sync (arg 0) [ state_incr "st" 1 ] ] [];
+          ];
+      ]
+  in
+  let instrumented = Detmt_transform.Transform.basic cls in
+  let report = Last_lock.analyse instrumented ~meth:"m" in
+  Alcotest.(check (list int)) "sids on any path" [ 1; 2 ]
+    report.Last_lock.all_sids;
+  (* sid 1 is last on the else path, sid 2 on the then path *)
+  Alcotest.(check (list int)) "both can be final" [ 1; 2 ]
+    report.Last_lock.final_sids
+
+(* --------------------------- properties ---------------------------- *)
+
+let prop_profile_counts_every_assign =
+  QCheck.Test.make ~count:200 ~name:"profile counts assignments"
+    QCheck.(int_range 0 20)
+    (fun n ->
+      let body =
+        List.init n (fun _ -> Ast.Assign ("v", Ast.Mconst 0))
+      in
+      let c = Param_class.classify (Param_class.profile body) (Ast.Sp_local "v") in
+      match (n, c) with
+      | 0, Param_class.Spontaneous Param_class.Unassigned -> true
+      | 1, Param_class.Announce_after_assign "v" -> true
+      | _, Param_class.Spontaneous Param_class.Multi_assigned -> n > 1
+      | _ -> false)
+
+let suite =
+  [ ("syncid counters", `Quick, test_syncid_counters);
+    ("callgraph callees", `Quick, test_callees);
+    ("callgraph reachable", `Quick, test_reachable);
+    ("recursion detection", `Quick, test_recursion_detection);
+    ("non-final call audit", `Quick, test_non_final_calls);
+    ("classify this/arg", `Quick, test_classify_this_and_arg);
+    ("classify spontaneous kinds", `Quick, test_classify_spontaneous_kinds);
+    ("classify single-assign local", `Quick,
+     test_classify_local_single_assign);
+    ("classify multi-assign local", `Quick, test_classify_local_multi_assign);
+    ("classify loop-assigned local", `Quick,
+     test_classify_local_assigned_in_loop);
+    ("loop fixed kind", `Quick, test_loop_fixed_kind);
+    ("loop changing kind", `Quick, test_loop_changing_kind);
+    ("loop without sync", `Quick, test_loop_no_sync);
+    ("paths: if doubles", `Quick, test_paths_if_doubles);
+    ("paths: loop variants", `Quick, test_paths_loop_two_variants);
+    ("paths: budget", `Quick, test_paths_budget);
+    ("paths: resolve inlines", `Quick, test_paths_resolve_inlines);
+    ("paths: lock sequences", `Quick, test_paths_lock_sequences);
+    ("last lock: tail computation", `Quick, test_last_lock_tail);
+    ("last lock: branches", `Quick, test_last_lock_branches);
+    QCheck_alcotest.to_alcotest prop_profile_counts_every_assign;
+  ]
+
+let () = Alcotest.run "analysis" [ ("analysis", suite) ]

@@ -1,0 +1,195 @@
+(* Unit tests for the group communication substrate: total-order broadcast,
+   duplicate suppression and membership. *)
+
+open Detmt_sim
+open Detmt_gcs
+
+let b = Alcotest.bool
+
+let setup ?latency () =
+  let engine = Engine.create () in
+  let bus = Totem.create ?latency engine in
+  (engine, bus)
+
+let collector bus ~id =
+  let received = ref [] in
+  Totem.subscribe bus ~id (fun m -> received := m :: !received);
+  fun () -> List.rev !received
+
+let payloads msgs = List.map (fun m -> m.Message.payload) msgs
+
+let seqs msgs = List.map (fun m -> m.Message.seq) msgs
+
+let test_total_order () =
+  let engine, bus = setup () in
+  let got0 = collector bus ~id:0 in
+  let got1 = collector bus ~id:1 in
+  List.iter (fun p -> ignore (Totem.broadcast bus ~sender:9 p))
+    [ "a"; "b"; "c" ];
+  Engine.run engine;
+  Alcotest.(check (list string)) "subscriber 0 order" [ "a"; "b"; "c" ]
+    (payloads (got0 ()));
+  Alcotest.(check (list string)) "subscriber 1 order" [ "a"; "b"; "c" ]
+    (payloads (got1 ()));
+  Alcotest.(check (list int)) "sequence numbers" [ 0; 1; 2 ] (seqs (got0 ()))
+
+let test_latency_applied () =
+  let engine, bus = setup ~latency:(fun ~sender:_ ~dest:_ -> 7.0) () in
+  let arrival = ref 0.0 in
+  Totem.subscribe bus ~id:0 (fun _ -> arrival := Engine.now engine);
+  ignore (Totem.broadcast bus ~sender:1 "x");
+  Engine.run engine;
+  Alcotest.(check (float 1e-9)) "one-way latency" 7.0 !arrival
+
+let test_per_destination_latency () =
+  let latency ~sender:_ ~dest = if dest = 0 then 1.0 else 10.0 in
+  let engine, bus = setup ~latency () in
+  let t0 = ref 0.0 and t1 = ref 0.0 in
+  Totem.subscribe bus ~id:0 (fun _ -> t0 := Engine.now engine);
+  Totem.subscribe bus ~id:1 (fun _ -> t1 := Engine.now engine);
+  ignore (Totem.broadcast bus ~sender:9 "x");
+  Engine.run engine;
+  Alcotest.(check (float 1e-9)) "near destination" 1.0 !t0;
+  Alcotest.(check (float 1e-9)) "far destination" 10.0 !t1
+
+let test_fifo_even_with_shrinking_latency () =
+  (* Second message has lower latency but must not overtake the first. *)
+  let count = ref 0 in
+  let latency ~sender:_ ~dest:_ =
+    incr count;
+    if !count = 1 then 10.0 else 1.0
+  in
+  let engine, bus = setup ~latency () in
+  let got = collector bus ~id:0 in
+  ignore (Totem.broadcast bus ~sender:1 "slow");
+  ignore (Totem.broadcast bus ~sender:1 "fast");
+  Engine.run engine;
+  Alcotest.(check (list string)) "sequence order preserved"
+    [ "slow"; "fast" ]
+    (payloads (got ()))
+
+let test_dead_subscriber_drops () =
+  let engine, bus = setup () in
+  let got = collector bus ~id:0 in
+  ignore (Totem.broadcast bus ~sender:1 "before");
+  Engine.run engine;
+  Totem.set_alive bus 0 false;
+  ignore (Totem.broadcast bus ~sender:1 "while-dead");
+  Engine.run engine;
+  Totem.set_alive bus 0 true;
+  ignore (Totem.broadcast bus ~sender:1 "after");
+  Engine.run engine;
+  Alcotest.(check (list string)) "dead period dropped" [ "before"; "after" ]
+    (payloads (got ()))
+
+let test_kill_drops_in_flight () =
+  (* A message already on the wire is not delivered to a replica that died
+     before its arrival. *)
+  let engine, bus = setup ~latency:(fun ~sender:_ ~dest:_ -> 5.0) () in
+  let got = collector bus ~id:0 in
+  ignore (Totem.broadcast bus ~sender:1 "in-flight");
+  Engine.schedule engine ~delay:1.0 (fun () -> Totem.set_alive bus 0 false);
+  Engine.run engine;
+  Alcotest.(check int) "nothing delivered" 0 (List.length (got ()))
+
+let test_counters_and_kinds () =
+  let engine, bus = setup () in
+  let (_ : unit -> string Message.t list) = collector bus ~id:0 in
+  let (_ : unit -> string Message.t list) = collector bus ~id:1 in
+  Totem.count_kind bus "request";
+  ignore (Totem.broadcast bus ~sender:1 "x");
+  Totem.count_kind bus "request";
+  ignore (Totem.broadcast bus ~sender:1 "y");
+  Engine.run engine;
+  Alcotest.(check int) "broadcasts" 2 (Totem.broadcasts bus);
+  Alcotest.(check int) "deliveries" 4 (Totem.deliveries bus);
+  Alcotest.(check (list (pair string int))) "kinds" [ ("request", 2) ]
+    (Totem.kind_counts bus)
+
+let test_duplicate_subscriber_rejected () =
+  let _, bus = setup () in
+  Totem.subscribe bus ~id:0 (fun _ -> ());
+  Alcotest.check b "duplicate id rejected" true
+    (try
+       Totem.subscribe bus ~id:0 (fun _ -> ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------ Dedup ------------------------------ *)
+
+let test_dedup () =
+  let d = Dedup.create () in
+  Alcotest.check b "first is new" false (Dedup.mark d ~client:1 ~request:1);
+  Alcotest.check b "second is duplicate" true
+    (Dedup.mark d ~client:1 ~request:1);
+  Alcotest.check b "other client distinct" false
+    (Dedup.mark d ~client:2 ~request:1);
+  Alcotest.(check int) "distinct count" 2 (Dedup.count d);
+  Alcotest.(check int) "duplicates suppressed" 1 (Dedup.duplicates d);
+  Alcotest.check b "seen query" true (Dedup.seen d ~client:1 ~request:1)
+
+(* ------------------------------ Group ------------------------------ *)
+
+let test_group_initial_view () =
+  let engine = Engine.create () in
+  let g = Group.create engine ~members:[ 2; 0; 1 ] ~detection_timeout_ms:10.0 in
+  let v = Group.current_view g in
+  Alcotest.(check int) "view number" 0 v.Group.number;
+  Alcotest.(check (list int)) "sorted members" [ 0; 1; 2 ] v.Group.members;
+  Alcotest.(check int) "leader is lowest id" 0 (Group.leader g)
+
+let test_group_failure_detection_delay () =
+  let engine = Engine.create () in
+  let g = Group.create engine ~members:[ 0; 1; 2 ] ~detection_timeout_ms:10.0 in
+  let changed_at = ref (-1.0) in
+  Group.on_view_change g (fun _ -> changed_at := Engine.now engine);
+  Engine.schedule engine ~delay:5.0 (fun () -> Group.kill g 0);
+  Engine.run engine;
+  Alcotest.(check (float 1e-9)) "view change after timeout" 15.0 !changed_at;
+  Alcotest.(check int) "new leader" 1 (Group.leader g);
+  Alcotest.check b "dead not alive" false (Group.alive g 0);
+  Alcotest.(check (list int)) "survivors" [ 1; 2 ]
+    (Group.current_view g).Group.members
+
+let test_group_double_failure () =
+  let engine = Engine.create () in
+  let g = Group.create engine ~members:[ 0; 1; 2 ] ~detection_timeout_ms:10.0 in
+  let views = ref [] in
+  Group.on_view_change g (fun v -> views := v.Group.members :: !views);
+  Engine.schedule engine ~delay:1.0 (fun () -> Group.kill g 0);
+  Engine.schedule engine ~delay:2.0 (fun () -> Group.kill g 1);
+  Engine.run engine;
+  Alcotest.(check int) "final leader" 2 (Group.leader g);
+  Alcotest.check b "last view is the singleton" true
+    (match !views with [ 2 ] :: _ -> true | _ -> false)
+
+let test_group_kill_idempotent () =
+  let engine = Engine.create () in
+  let g = Group.create engine ~members:[ 0; 1 ] ~detection_timeout_ms:5.0 in
+  let changes = ref 0 in
+  Group.on_view_change g (fun _ -> incr changes);
+  Group.kill g 0;
+  Group.kill g 0;
+  Engine.run engine;
+  Alcotest.(check int) "one view change" 1 !changes
+
+let suite =
+  [ ("total order", `Quick, test_total_order);
+    ("latency applied", `Quick, test_latency_applied);
+    ("per-destination latency", `Quick, test_per_destination_latency);
+    ("fifo under shrinking latency", `Quick,
+     test_fifo_even_with_shrinking_latency);
+    ("dead subscriber drops", `Quick, test_dead_subscriber_drops);
+    ("kill drops in-flight", `Quick, test_kill_drops_in_flight);
+    ("counters and kinds", `Quick, test_counters_and_kinds);
+    ("duplicate subscriber rejected", `Quick,
+     test_duplicate_subscriber_rejected);
+    ("dedup", `Quick, test_dedup);
+    ("group initial view", `Quick, test_group_initial_view);
+    ("group failure detection delay", `Quick,
+     test_group_failure_detection_delay);
+    ("group double failure", `Quick, test_group_double_failure);
+    ("group kill idempotent", `Quick, test_group_kill_idempotent);
+  ]
+
+let () = Alcotest.run "gcs" [ ("gcs", suite) ]

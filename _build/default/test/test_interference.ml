@@ -1,0 +1,133 @@
+(* Tests for the static interference analysis (section 5). *)
+
+open Detmt_lang
+open Detmt_analysis
+
+let b = Alcotest.bool
+
+let mk methods =
+  Class_def.make ~cname:"I"
+    ~mutex_fields:[ ("f", 10); ("g", 11) ]
+    ~globals:[ ("G", 50) ] ~state_fields:[ "st" ] methods
+
+let set cls meth = Interference.method_mutexes cls ~meth
+
+let known xs = Interference.Known (List.sort compare xs)
+
+let test_constant_sets () =
+  let open Builder in
+  let cls =
+    mk
+      [ meth "on_f" [ sync (field "f") [ state_incr "st" 1 ] ];
+        meth "on_g" [ sync (field "g") [ state_incr "st" 1 ] ];
+        meth "on_this" [ sync this [ state_incr "st" 1 ] ];
+        meth "on_global" [ sync (global "G") [ state_incr "st" 1 ] ];
+      ]
+  in
+  Alcotest.check b "field f" true (set cls "on_f" = known [ 10 ]);
+  Alcotest.check b "field g" true (set cls "on_g" = known [ 11 ]);
+  Alcotest.check b "this" true
+    (set cls "on_this" = known [ Interference.this_mutex ]);
+  Alcotest.check b "global" true (set cls "on_global" = known [ 50 ])
+
+let test_request_supplied_is_top () =
+  let open Builder in
+  let cls = mk [ meth "m" ~params:1 [ sync (arg 0) [ state_incr "st" 1 ] ] ] in
+  Alcotest.check b "arg lock is Top" true (set cls "m" = Interference.Top)
+
+let test_local_from_const_tracked () =
+  let open Builder in
+  let cls =
+    mk
+      [ meth "m"
+          [ assign "v" (mfield "f"); sync (local "v") [ state_incr "st" 1 ] ];
+      ]
+  in
+  Alcotest.check b "local fed from field" true (set cls "m" = known [ 10 ])
+
+let test_local_from_arg_is_top () =
+  let open Builder in
+  let cls =
+    mk
+      [ meth "m" ~params:1
+          [ assign "v" (marg 0); sync (local "v") [ state_incr "st" 1 ] ];
+      ]
+  in
+  Alcotest.check b "local fed from arg" true (set cls "m" = Interference.Top)
+
+let test_field_reassignment_poisons () =
+  let open Builder in
+  let cls =
+    mk
+      [ meth "m" [ sync (field "f") [ state_incr "st" 1 ] ];
+        meth "poison" ~params:1 [ assign_field "f" (marg 0); compute 1.0 ];
+      ]
+  in
+  Alcotest.check b "reassigned field is Top" true
+    (set cls "m" = Interference.Top)
+
+let test_calls_followed () =
+  let open Builder in
+  let cls =
+    mk
+      [ meth "m" [ call "h" ];
+        helper "h" [ sync (field "g") [ state_incr "st" 1 ] ];
+      ]
+  in
+  Alcotest.check b "callee set propagates" true (set cls "m" = known [ 11 ])
+
+let test_recursion_fixpoint () =
+  let open Builder in
+  let cls =
+    mk
+      [ meth "m" [ sync (field "f") [ state_incr "st" 1 ]; call "m" ] ]
+  in
+  Alcotest.check b "recursive fixpoint terminates" true
+    (set cls "m" = known [ 10 ])
+
+let test_independent_pairs () =
+  let open Builder in
+  let cls =
+    mk
+      [ meth "a" [ sync (field "f") [ state_incr "st" 1 ] ];
+        meth "b" [ sync (field "g") [ state_incr "st" 1 ] ];
+        meth "c" ~params:1 [ sync (arg 0) [ state_incr "st" 1 ] ];
+      ]
+  in
+  let r = Interference.analyse cls in
+  Alcotest.check b "a and b independent" true
+    (List.mem ("a", "b") r.Interference.independent_pairs);
+  Alcotest.check b "c (Top) pairs with nothing" true
+    (List.for_all
+       (fun (x, y) -> x <> "c" && y <> "c")
+       r.Interference.independent_pairs)
+
+let test_may_interfere () =
+  Alcotest.check b "overlap" true
+    (Interference.may_interfere (known [ 1; 2 ]) (known [ 2; 3 ]));
+  Alcotest.check b "disjoint" false
+    (Interference.may_interfere (known [ 1 ]) (known [ 2 ]));
+  Alcotest.check b "top vs anything" true
+    (Interference.may_interfere Interference.Top (known []))
+
+let test_explicit_locks_counted () =
+  let open Builder in
+  let cls =
+    mk [ meth "m" [ lock_acquire (field "f"); lock_release (field "f") ] ]
+  in
+  Alcotest.check b "explicit lock contributes" true (set cls "m" = known [ 10 ])
+
+let suite =
+  [ ("constant sets", `Quick, test_constant_sets);
+    ("request-supplied is Top", `Quick, test_request_supplied_is_top);
+    ("local from constant tracked", `Quick, test_local_from_const_tracked);
+    ("local from arg is Top", `Quick, test_local_from_arg_is_top);
+    ("field reassignment poisons", `Quick, test_field_reassignment_poisons);
+    ("calls followed", `Quick, test_calls_followed);
+    ("recursion fixpoint", `Quick, test_recursion_fixpoint);
+    ("independent pairs", `Quick, test_independent_pairs);
+    ("may_interfere", `Quick, test_may_interfere);
+    ("explicit locks counted", `Quick, test_explicit_locks_counted);
+  ]
+
+let () = Alcotest.run "interference" [ ("interference", suite) ]

@@ -1,0 +1,124 @@
+(* Tests for the java.util.concurrent extension (section 5): explicit,
+   non-lexically-scoped locks. *)
+
+open Detmt_lang
+open Detmt_replication
+
+let b = Alcotest.bool
+
+(* Hand-over-hand (lock-coupling) traversal over two locks: acquire A,
+   acquire B, release A, work, release B — impossible to express with
+   synchronized blocks. *)
+let hoh_class =
+  let open Builder in
+  Builder.cls ~cname:"HandOverHand" ~state_fields:[ "st" ]
+    [ meth "traverse" ~params:2
+        [ lock_acquire (arg 0);
+          compute 1.0;
+          lock_acquire (arg 1);
+          lock_release (arg 0);
+          compute 1.0;
+          state_incr "st" 1;
+          lock_release (arg 1);
+          compute 0.5;
+        ];
+    ]
+
+let test_wellformed () =
+  Alcotest.(check (list string)) "accepted" [] (Wellformed.errors hoh_class)
+
+let test_transforms_and_verifies () =
+  let instrumented, summary = Detmt_transform.Transform.predictive hoh_class in
+  Alcotest.(check (list string)) "verifies" []
+    (Detmt_transform.Verify.check_class ~summary instrumented);
+  let ms =
+    Option.get (Detmt_analysis.Predict.find_method summary "traverse")
+  in
+  Alcotest.(check int) "two acquisition sites, two sids" 2
+    (List.length ms.Detmt_analysis.Predict.sids);
+  Alcotest.(check (list int)) "both announceable" [ 1; 2 ]
+    (Detmt_analysis.Predict.announceable_sids ms)
+
+let test_verifier_rejects_leak () =
+  (* A path that ends still holding the explicit lock must be flagged. *)
+  let open Builder in
+  let leaky =
+    Builder.cls ~cname:"Leaky" ~state_fields:[ "st" ]
+      [ meth "m" ~params:1 [ lock_acquire (arg 0); compute 1.0 ] ]
+  in
+  let instrumented, summary = Detmt_transform.Transform.predictive leaky in
+  Alcotest.check b "leak detected" true
+    (Detmt_transform.Verify.check_class ~summary instrumented <> [])
+
+let test_verifier_rejects_unmatched_release () =
+  let open Builder in
+  let stray =
+    Builder.cls ~cname:"Stray" ~state_fields:[ "st" ]
+      [ meth "m" ~params:1 [ lock_release (arg 0) ] ]
+  in
+  let instrumented, summary = Detmt_transform.Transform.predictive stray in
+  Alcotest.check b "stray release detected" true
+    (Detmt_transform.Verify.check_class ~summary instrumented <> [])
+
+let run ~scheduler ~clients =
+  let engine = Detmt_sim.Engine.create () in
+  let system =
+    Active.create ~engine ~cls:hoh_class
+      ~params:{ Active.default_params with scheduler }
+      ()
+  in
+  let gen ~client ~seq:_ _rng =
+    (* chained segments: client k couples locks (k, k+1) *)
+    ("traverse", [| Ast.Vmutex client; Ast.Vmutex (client + 1) |])
+  in
+  Client.run_clients ~engine ~system ~clients ~requests_per_client:5 ~gen ();
+  system
+
+let test_runs_under_every_scheduler () =
+  List.iter
+    (fun scheduler ->
+      let system = run ~scheduler ~clients:4 in
+      Alcotest.(check int)
+        (scheduler ^ " replies")
+        20
+        (Active.replies_received system);
+      let r = Consistency.check (Active.live_replicas system) in
+      Alcotest.check b (scheduler ^ " consistent") true
+        (r.Consistency.states_agree && r.Consistency.acquisitions_agree))
+    [ "seq"; "sat"; "mat"; "mat-ll"; "pmat"; "lsa"; "pds" ]
+
+let test_no_deadlock_on_chained_locks () =
+  (* Adjacent clients contend on the shared middle lock; the deterministic
+     disciplines order the acquisitions and the run completes. *)
+  let system = run ~scheduler:"pmat" ~clients:8 in
+  Alcotest.(check int) "all replies" 40 (Active.replies_received system)
+
+let test_bookkeeping_releases_on_acquire () =
+  (* The acquisition (not the release) resolves the prediction entry, so a
+     thread holding B with A released is already lock-free for prediction. *)
+  let _, summary = Detmt_transform.Transform.predictive hoh_class in
+  let bk = Detmt_sched.Bookkeeping.create ~summary:(Some summary) () in
+  Detmt_sched.Bookkeeping.register bk ~tid:1 ~meth:"traverse";
+  Detmt_sched.Bookkeeping.on_lockinfo bk ~tid:1 ~syncid:1 ~mutex:5;
+  Detmt_sched.Bookkeeping.on_lockinfo bk ~tid:1 ~syncid:2 ~mutex:6;
+  Alcotest.check b "predicted after announcements" true
+    (Detmt_sched.Bookkeeping.predicted bk ~tid:1);
+  Detmt_sched.Bookkeeping.on_acquired bk ~tid:1 ~syncid:1 ~mutex:5;
+  Detmt_sched.Bookkeeping.on_acquired bk ~tid:1 ~syncid:2 ~mutex:6;
+  Alcotest.check b "no future locks after both acquisitions" true
+    (Detmt_sched.Bookkeeping.no_future_locks bk ~tid:1)
+
+let suite =
+  [ ("wellformed", `Quick, test_wellformed);
+    ("transforms and verifies", `Quick, test_transforms_and_verifies);
+    ("verifier rejects leak", `Quick, test_verifier_rejects_leak);
+    ("verifier rejects stray release", `Quick,
+     test_verifier_rejects_unmatched_release);
+    ("runs under every scheduler", `Quick, test_runs_under_every_scheduler);
+    ("no deadlock on chained locks", `Quick,
+     test_no_deadlock_on_chained_locks);
+    ("bookkeeping on explicit locks", `Quick,
+     test_bookkeeping_releases_on_acquire);
+  ]
+
+let () = Alcotest.run "juc" [ ("juc", suite) ]

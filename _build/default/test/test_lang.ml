@@ -1,0 +1,202 @@
+(* Unit tests for the mini object language: builder, well-formedness and the
+   pretty printer. *)
+
+open Detmt_lang
+
+let b = Alcotest.bool
+
+let one_method ?(params = 1) ?(mutex_fields = []) ?(state_fields = [ "st" ])
+    ?(globals = []) body =
+  Builder.cls ~cname:"C" ~mutex_fields ~state_fields ~globals
+    [ Builder.meth "m" ~params body ]
+
+let has_error fragment cls =
+  List.exists
+    (fun e ->
+      let n = String.length fragment and h = String.length e in
+      let rec go i = i + n <= h && (String.sub e i n = fragment || go (i + 1)) in
+      go 0)
+    (Wellformed.errors cls)
+
+let test_wellformed_ok () =
+  let open Builder in
+  let cls =
+    one_method
+      [ compute 1.0;
+        sync (arg 0) [ state_incr "st" 1; notify (arg 0) ];
+        nested ~service:0 5.0;
+      ]
+  in
+  Alcotest.(check (list string)) "no diagnostics" [] (Wellformed.errors cls)
+
+let test_wait_outside_sync () =
+  let open Builder in
+  let cls = one_method [ wait (arg 0) ] in
+  Alcotest.check b "flagged" true (has_error "outside its synchronized" cls)
+
+let test_wait_under_wrong_monitor () =
+  let open Builder in
+  let cls = one_method [ sync this [ wait (arg 0) ] ] in
+  Alcotest.check b "flagged" true (has_error "outside its synchronized" cls)
+
+let test_state_update_outside_lock () =
+  let open Builder in
+  let cls = one_method [ state_incr "st" 1 ] in
+  Alcotest.check b "flagged" true
+    (has_error "outside any synchronized" cls)
+
+let test_undeclared_field () =
+  let open Builder in
+  let cls = one_method [ sync (field "nope") [ state_incr "st" 1 ] ] in
+  Alcotest.check b "flagged" true (has_error "undeclared mutex field" cls)
+
+let test_undeclared_state_field () =
+  let open Builder in
+  let cls = one_method [ sync this [ state_incr "nope" 1 ] ] in
+  Alcotest.check b "flagged" true (has_error "undeclared state field" cls)
+
+let test_undeclared_global () =
+  let open Builder in
+  let cls = one_method [ sync (global "g") [ state_incr "st" 1 ] ] in
+  Alcotest.check b "flagged" true (has_error "undeclared global" cls)
+
+let test_arg_out_of_range () =
+  let open Builder in
+  let cls = one_method ~params:1 [ sync (arg 3) [ state_incr "st" 1 ] ] in
+  Alcotest.check b "flagged" true (has_error "parameter(s)" cls)
+
+let test_local_use_before_assign () =
+  let open Builder in
+  let cls = one_method [ sync (local "v") [ state_incr "st" 1 ] ] in
+  Alcotest.check b "flagged" true (has_error "before any assignment" cls)
+
+let test_local_assigned_in_one_branch_only () =
+  let open Builder in
+  let cls =
+    one_method
+      [ if_ (arg_bool 0) [ assign "v" (mconst 1) ] [];
+        sync (local "v") [ state_incr "st" 1 ];
+      ]
+  in
+  Alcotest.check b "one-branch assignment is not definite" true
+    (has_error "before any assignment" cls)
+
+let test_local_assigned_in_both_branches () =
+  let open Builder in
+  let cls =
+    one_method
+      [ if_ (arg_bool 0) [ assign "v" (mconst 1) ] [ assign "v" (mconst 2) ];
+        sync (local "v") [ state_incr "st" 1 ];
+      ]
+  in
+  Alcotest.(check (list string)) "accepted" [] (Wellformed.errors cls)
+
+let test_instrumentation_rejected_in_source () =
+  let cls =
+    one_method [ Ast.Sched_lock (1, Ast.Sp_this) ]
+  in
+  Alcotest.check b "flagged" true
+    (has_error "scheduler instrumentation in source" cls)
+
+let test_call_undefined () =
+  let open Builder in
+  let cls = one_method [ call "nope" ] in
+  Alcotest.check b "flagged" true (has_error "undefined method" cls)
+
+let test_virtual_candidate_undefined () =
+  let open Builder in
+  let cls = one_method [ virtual_call ~selector:0 [ "nope" ] ] in
+  Alcotest.check b "flagged" true (has_error "is undefined" cls)
+
+let test_duplicate_methods () =
+  let open Builder in
+  let cls =
+    Builder.cls ~cname:"C" ~state_fields:[ "st" ]
+      [ meth "m" [ compute 1.0 ]; meth "m" [ compute 2.0 ] ]
+  in
+  Alcotest.check b "flagged" true (has_error "duplicate method" cls)
+
+let test_negative_duration () =
+  let open Builder in
+  let cls = one_method [ compute (-5.0) ] in
+  Alcotest.check b "flagged" true (has_error "negative duration" cls)
+
+let test_check_exn_raises () =
+  let open Builder in
+  let cls = one_method [ wait (arg 0) ] in
+  Alcotest.check b "check_exn raises" true
+    (try
+       Wellformed.check_exn cls;
+       false
+     with Invalid_argument _ -> true)
+
+let test_class_def_lookup () =
+  let open Builder in
+  let cls =
+    Builder.cls ~cname:"C" ~state_fields:[ "st" ]
+      [ meth "pub" [ compute 1.0 ]; helper "priv" [ compute 1.0 ] ]
+  in
+  Alcotest.check b "find pub" true (Class_def.find_method cls "pub" <> None);
+  Alcotest.check b "find missing" true
+    (Class_def.find_method cls "nope" = None);
+  Alcotest.(check (list string)) "start methods" [ "pub" ]
+    (List.map
+       (fun (m : Class_def.method_def) -> m.name)
+       (Class_def.start_methods cls));
+  Alcotest.check b "find_exn raises" true
+    (try
+       ignore (Class_def.find_method_exn cls "nope");
+       false
+     with Invalid_argument _ -> true)
+
+let test_pretty_sync () =
+  let open Builder in
+  let text =
+    Pretty.block_to_string [ sync (arg 0) [ state_incr "st" 2 ] ]
+  in
+  Alcotest.(check string) "java-like rendering"
+    "synchronized (arg0) {\n  this.st += 2;\n}" text
+
+let test_pretty_guarded_wait () =
+  let open Builder in
+  let text =
+    Pretty.block_to_string [ wait_until this ~field:"items" ~min:1 ]
+  in
+  Alcotest.(check string) "guarded wait rendering"
+    "while (this.items < 1) this.wait();" text
+
+let test_pretty_roundtrip_stability () =
+  (* Pretty-printing must be deterministic. *)
+  let cls = Detmt_workload.Figure1.cls Detmt_workload.Figure1.default in
+  let s1 = Format.asprintf "%a" Pretty.class_def cls in
+  let s2 = Format.asprintf "%a" Pretty.class_def cls in
+  Alcotest.(check string) "stable output" s1 s2
+
+let suite =
+  [ ("wellformed accepts valid class", `Quick, test_wellformed_ok);
+    ("wait outside sync", `Quick, test_wait_outside_sync);
+    ("wait under wrong monitor", `Quick, test_wait_under_wrong_monitor);
+    ("state update outside lock", `Quick, test_state_update_outside_lock);
+    ("undeclared field", `Quick, test_undeclared_field);
+    ("undeclared state field", `Quick, test_undeclared_state_field);
+    ("undeclared global", `Quick, test_undeclared_global);
+    ("argument out of range", `Quick, test_arg_out_of_range);
+    ("local use before assign", `Quick, test_local_use_before_assign);
+    ("one-branch assignment rejected", `Quick,
+     test_local_assigned_in_one_branch_only);
+    ("both-branch assignment accepted", `Quick,
+     test_local_assigned_in_both_branches);
+    ("instrumentation rejected in source", `Quick,
+     test_instrumentation_rejected_in_source);
+    ("call to undefined method", `Quick, test_call_undefined);
+    ("undefined virtual candidate", `Quick, test_virtual_candidate_undefined);
+    ("duplicate methods", `Quick, test_duplicate_methods);
+    ("negative duration", `Quick, test_negative_duration);
+    ("check_exn raises", `Quick, test_check_exn_raises);
+    ("class_def lookup", `Quick, test_class_def_lookup);
+    ("pretty sync", `Quick, test_pretty_sync);
+    ("pretty guarded wait", `Quick, test_pretty_guarded_wait);
+    ("pretty stable", `Quick, test_pretty_roundtrip_stability);
+  ]
+
+let () = Alcotest.run "lang" [ ("lang", suite) ]

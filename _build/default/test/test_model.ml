@@ -1,0 +1,74 @@
+(* Tests for the analytic performance model (section 5). *)
+
+let b = Alcotest.bool
+
+let wl = Detmt_workload.Figure1.compute_heavy
+
+let measure ~scheduler ~clients =
+  let cls = Detmt_workload.Figure1.cls wl in
+  let gen = Detmt_workload.Figure1.gen wl in
+  (Detmt.Experiment.run_workload ~scheduler ~clients ~cls ~gen ())
+    .Detmt.Experiment.mean_response_ms
+
+let within ~tolerance predicted measured =
+  abs_float (predicted -. measured) <= tolerance *. measured
+
+let test_against_simulation () =
+  List.iter
+    (fun (scheduler, tolerance) ->
+      List.iter
+        (fun clients ->
+          let w = Detmt.Model.of_figure1 ~clients wl in
+          let predicted = Detmt.Model.predict_response_ms w ~scheduler in
+          let measured = measure ~scheduler ~clients in
+          if not (within ~tolerance predicted measured) then
+            Alcotest.failf "%s @ %d clients: model %.1f vs sim %.1f"
+              scheduler clients predicted measured)
+        [ 8; 16 ])
+    [ ("seq", 0.25); ("sat", 0.25); ("mat", 0.25); ("lsa", 0.25) ]
+
+let test_ordering_preserved () =
+  (* The model must reproduce the Figure-1 ordering at scale. *)
+  let w = Detmt.Model.of_figure1 ~clients:32 wl in
+  let p s = Detmt.Model.predict_response_ms w ~scheduler:s in
+  Alcotest.check b "seq > sat" true (p "seq" > p "sat");
+  Alcotest.check b "sat > mat" true (p "sat" > p "mat");
+  Alcotest.check b "mat > lsa" true (p "mat" > p "lsa")
+
+let test_solo_floor () =
+  (* With one client, every scheduler is bounded below by the solo time. *)
+  let w = Detmt.Model.of_figure1 ~clients:1 wl in
+  List.iter
+    (fun s ->
+      Alcotest.(check (float 1e-6))
+        (s ^ " solo") w.Detmt.Model.solo_ms
+        (Detmt.Model.predict_response_ms w ~scheduler:s))
+    Detmt.Model.covered_schedulers
+
+let test_mat_benefits_from_prelock () =
+  let base = Detmt.Model.of_figure1 ~clients:16 Detmt_workload.Figure1.default in
+  let heavy = Detmt.Model.of_figure1 ~clients:16 wl in
+  let gap w =
+    Detmt.Model.predict_response_ms w ~scheduler:"sat"
+    -. Detmt.Model.predict_response_ms w ~scheduler:"mat"
+  in
+  Alcotest.check b "front computation widens the SAT-MAT gap" true
+    (gap heavy > gap base)
+
+let test_unknown_scheduler_rejected () =
+  let w = Detmt.Model.of_figure1 ~clients:4 wl in
+  Alcotest.check b "raises" true
+    (try
+       ignore (Detmt.Model.predict_response_ms w ~scheduler:"nope");
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [ ("model vs simulation", `Slow, test_against_simulation);
+    ("ordering preserved", `Quick, test_ordering_preserved);
+    ("solo floor", `Quick, test_solo_floor);
+    ("prelock widens SAT-MAT gap", `Quick, test_mat_benefits_from_prelock);
+    ("unknown scheduler rejected", `Quick, test_unknown_scheduler_rejected);
+  ]
+
+let () = Alcotest.run "model" [ ("model", suite) ]

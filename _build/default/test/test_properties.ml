@@ -1,0 +1,162 @@
+(* Property-based tests over randomly generated programs.
+
+   The generator produces well-formed classes by construction: argument 0/1
+   carry mutexes, argument 2 carries a boolean decision, state updates only
+   happen under a lock, and local variables are assigned before use.  Waits
+   are excluded (a random wait has no matching notify and would deadlock —
+   the condition-variable protocols are tested deterministically in
+   test_replication). *)
+
+open Detmt_lang
+
+(* ----------------------------- properties --------------------------- *)
+
+let prop_wellformed =
+  QCheck.Test.make ~count:200 ~name:"generated classes are well-formed"
+    Testgen.arbitrary_class
+    (fun cls -> Wellformed.errors cls = [])
+
+let prop_predictive_transform_verifies =
+  QCheck.Test.make ~count:200
+    ~name:"predictive transformation passes the soundness checker"
+    Testgen.arbitrary_class
+    (fun cls ->
+      let instrumented, summary = Detmt_transform.Transform.predictive cls in
+      Detmt_transform.Verify.check_class ~summary instrumented = [])
+
+let prop_basic_transform_balanced =
+  QCheck.Test.make ~count:200
+    ~name:"basic transformation has balanced lock/unlock on every path"
+    Testgen.arbitrary_class
+    (fun cls ->
+      let instrumented = Detmt_transform.Transform.basic cls in
+      Detmt_transform.Verify.check_method instrumented ~meth:"m" = [])
+
+(* Drive the interpreter over random request arguments and check the op
+   stream discipline: every unlock matches the innermost lock, nothing is
+   left locked, and state updates only happen under a lock. *)
+let arbitrary_class_and_args =
+  QCheck.make
+    ~print:(fun (c, _) -> Class_def.show c)
+    QCheck.Gen.(pair Testgen.gen_class Testgen.gen_args)
+
+let op_stream cls args =
+  let instrumented = Detmt_transform.Transform.basic cls in
+  let obj = Detmt_runtime.Object_state.create instrumented in
+  let req =
+    Detmt_runtime.Request.make ~uid:0 ~client:0 ~client_req:0 ~meth:"m" ~args
+      ~sent_at:0.0
+  in
+  let rec collect acc = function
+    | Detmt_runtime.Interp.Done -> List.rev acc
+    | Detmt_runtime.Interp.Yield (op, k) -> collect (op :: acc) (k ())
+  in
+  collect []
+    (Detmt_runtime.Interp.start ~cls:instrumented ~obj ~req ())
+
+let prop_interp_lock_discipline =
+  QCheck.Test.make ~count:200 ~name:"interpreter op stream is lock-balanced"
+    arbitrary_class_and_args
+    (fun (cls, args) ->
+      let ops = op_stream cls args in
+      let ok = ref true in
+      let stack = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | Detmt_runtime.Op.Lock { mutex; _ } -> stack := mutex :: !stack
+          | Detmt_runtime.Op.Unlock { mutex; _ } -> (
+            match !stack with
+            | top :: rest when top = mutex -> stack := rest
+            | _ -> ok := false)
+          | Detmt_runtime.Op.State_update _ ->
+            if !stack = [] then ok := false
+          | _ -> ())
+        ops;
+      !ok && !stack = [])
+
+(* End-to-end property: for random programs and request streams, replicas
+   stay consistent under every deterministic scheduler, and — because all
+   state updates are commutative increments — every scheduler produces the
+   same final object state. *)
+let run_cls cls ~scheduler ~seed =
+  let engine = Detmt_sim.Engine.create () in
+  let params =
+    { Detmt_replication.Active.default_params with scheduler; replicas = 3 }
+  in
+  let system =
+    Detmt_replication.Active.create ~engine ~cls ~params ()
+  in
+  let gen ~client:_ ~seq:_ rng =
+    let m () = Ast.Vmutex (Detmt_sim.Rng.int rng 4) in
+    ("m", [| m (); m (); Ast.Vbool (Detmt_sim.Rng.bool rng 0.5) |])
+  in
+  Detmt_replication.Client.run_clients ~engine ~system ~clients:3
+    ~requests_per_client:2 ~gen ~seed ();
+  let replicas = Detmt_replication.Active.live_replicas system in
+  let report = Detmt_replication.Consistency.check replicas in
+  let state =
+    Detmt_runtime.Replica.state_snapshot (List.hd replicas)
+  in
+  ( report.Detmt_replication.Consistency.states_agree
+    && report.Detmt_replication.Consistency.acquisitions_agree,
+    state )
+
+let prop_random_programs_consistent =
+  QCheck.Test.make ~count:30
+    ~name:"replicas agree for random programs under every scheduler"
+    Testgen.arbitrary_class
+    (fun cls ->
+      let reference = ref None in
+      List.for_all
+        (fun scheduler ->
+          let consistent, state = run_cls cls ~scheduler ~seed:9L in
+          let same_state =
+            match !reference with
+            | None ->
+              reference := Some state;
+              true
+            | Some s -> s = state
+          in
+          consistent && same_state)
+        [ "seq"; "sat"; "lsa"; "pds"; "mat"; "mat-ll"; "pmat" ])
+
+let prop_runs_reproducible =
+  QCheck.Test.make ~count:20 ~name:"same seed, bit-identical run"
+    Testgen.arbitrary_class
+    (fun cls ->
+      let fp () =
+        let engine = Detmt_sim.Engine.create () in
+        let system =
+          Detmt_replication.Active.create ~engine ~cls
+            ~params:
+              { Detmt_replication.Active.default_params with
+                scheduler = "pmat" }
+            ()
+        in
+        let gen ~client:_ ~seq:_ rng =
+          ("m",
+           [| Ast.Vmutex (Detmt_sim.Rng.int rng 4);
+              Ast.Vmutex (Detmt_sim.Rng.int rng 4);
+              Ast.Vbool (Detmt_sim.Rng.bool rng 0.5) |])
+        in
+        Detmt_replication.Client.run_clients ~engine ~system ~clients:2
+          ~requests_per_client:2 ~gen ~seed:3L ();
+        List.map
+          (fun r ->
+            Detmt_sim.Trace.fingerprint (Detmt_runtime.Replica.trace r))
+          (Detmt_replication.Active.replicas system)
+      in
+      fp () = fp ())
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_wellformed;
+      prop_predictive_transform_verifies;
+      prop_basic_transform_balanced;
+      prop_interp_lock_discipline;
+      prop_random_programs_consistent;
+      prop_runs_reproducible;
+    ]
+
+let () = Alcotest.run "properties" [ ("properties", suite) ]

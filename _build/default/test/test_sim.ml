@@ -1,0 +1,310 @@
+(* Unit tests for the deterministic simulation substrate. *)
+
+open Detmt_sim
+
+let b = Alcotest.bool
+
+(* ------------------------------- Rng ------------------------------- *)
+
+let test_rng_reproducible () =
+  let a = Rng.create 1234L and b' = Rng.create 1234L in
+  let xs = List.init 100 (fun _ -> Rng.int64 a) in
+  let ys = List.init 100 (fun _ -> Rng.int64 b') in
+  Alcotest.check b "same seed, same stream" true (xs = ys)
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1L and b' = Rng.create 2L in
+  Alcotest.check b "different seeds differ" false
+    (Rng.int64 a = Rng.int64 b')
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 99L in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 7 in
+    if x < 0 || x >= 7 then Alcotest.failf "Rng.int out of bounds: %d" x
+  done
+
+let test_rng_int_covers_range () =
+  let rng = Rng.create 5L in
+  let seen = Array.make 7 false in
+  for _ = 1 to 10_000 do
+    seen.(Rng.int rng 7) <- true
+  done;
+  Alcotest.check b "all residues reachable" true (Array.for_all Fun.id seen)
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 77L in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng 3.5 in
+    if x < 0.0 || x >= 3.5 then Alcotest.failf "Rng.float out of bounds: %g" x
+  done
+
+let test_rng_bool_probability () =
+  let rng = Rng.create 13L in
+  let n = 100_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bool rng 0.2 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  if abs_float (p -. 0.2) > 0.02 then
+    Alcotest.failf "Rng.bool 0.2 measured %.3f" p
+
+let test_rng_split_independent () =
+  let parent = Rng.create 42L in
+  let child = Rng.split parent in
+  let xs = List.init 50 (fun _ -> Rng.int64 parent) in
+  let ys = List.init 50 (fun _ -> Rng.int64 child) in
+  Alcotest.check b "split streams differ" false (xs = ys)
+
+let test_rng_copy () =
+  let a = Rng.create 3L in
+  ignore (Rng.int64 a);
+  let c = Rng.copy a in
+  Alcotest.check b "copy continues identically" true
+    (Rng.int64 a = Rng.int64 c)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 21L in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng 5.0
+  done;
+  let mean = !sum /. float_of_int n in
+  if abs_float (mean -. 5.0) > 0.2 then
+    Alcotest.failf "exponential mean %.3f, expected 5.0" mean
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 31L in
+  let a = Array.init 20 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.check b "shuffle is a permutation" true
+    (Array.to_list sorted = List.init 20 Fun.id)
+
+(* ------------------------------ Pqueue ----------------------------- *)
+
+let test_pqueue_ordering () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:3.0 ~seq:0 "c";
+  Pqueue.push q ~time:1.0 ~seq:1 "a";
+  Pqueue.push q ~time:2.0 ~seq:2 "b";
+  let pop () =
+    match Pqueue.pop q with Some (_, _, v) -> v | None -> "?"
+  in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ]
+    [ first; second; third ]
+
+let test_pqueue_stable_ties () =
+  let q = Pqueue.create () in
+  for i = 0 to 9 do
+    Pqueue.push q ~time:5.0 ~seq:i i
+  done;
+  let order =
+    List.init 10 (fun _ ->
+        match Pqueue.pop q with Some (_, _, v) -> v | None -> -1)
+  in
+  Alcotest.(check (list int)) "ties pop in seq order" (List.init 10 Fun.id)
+    order
+
+let test_pqueue_peek () =
+  let q = Pqueue.create () in
+  Alcotest.check b "peek empty" true (Pqueue.peek q = None);
+  Pqueue.push q ~time:1.0 ~seq:0 42;
+  (match Pqueue.peek q with
+  | Some (_, _, 42) -> ()
+  | _ -> Alcotest.fail "peek returns min");
+  Alcotest.(check int) "peek does not remove" 1 (Pqueue.length q)
+
+let test_pqueue_random_drain_sorted () =
+  let rng = Rng.create 17L in
+  let q = Pqueue.create () in
+  for i = 0 to 999 do
+    Pqueue.push q ~time:(Rng.float rng 100.0) ~seq:i i
+  done;
+  let rec drain last n =
+    match Pqueue.pop q with
+    | None -> n
+    | Some (t, _, _) ->
+      if t < last then Alcotest.failf "heap violated: %g after %g" t last;
+      drain t (n + 1)
+  in
+  Alcotest.(check int) "all popped" 1000 (drain neg_infinity 0)
+
+(* ------------------------------ Engine ----------------------------- *)
+
+let test_engine_runs_in_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:2.0 (fun () -> log := 2 :: !log);
+  Engine.schedule e ~delay:1.0 (fun () -> log := 1 :: !log);
+  Engine.schedule e ~delay:3.0 (fun () -> log := 3 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "execution order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check int) "events executed" 3 (Engine.events_executed e)
+
+let test_engine_clock_advances () =
+  let e = Engine.create () in
+  let seen = ref 0.0 in
+  Engine.schedule e ~delay:5.5 (fun () -> seen := Engine.now e);
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "clock at event time" 5.5 !seen
+
+let test_engine_zero_delay_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:0.0 (fun () ->
+      log := "first" :: !log;
+      Engine.schedule e ~delay:0.0 (fun () -> log := "nested" :: !log));
+  Engine.schedule e ~delay:0.0 (fun () -> log := "second" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "same-time events keep schedule order"
+    [ "first"; "second"; "nested" ]
+    (List.rev !log)
+
+let test_engine_rejects_past () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:10.0 (fun () ->
+      Alcotest.check_raises "past time rejected"
+        (Invalid_argument "Engine.schedule_at: time 1 is before now 10")
+        (fun () -> Engine.schedule_at e ~time:1.0 (fun () -> ())));
+  Engine.run e
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let ran = ref [] in
+  List.iter
+    (fun d -> Engine.schedule e ~delay:d (fun () -> ran := d :: !ran))
+    [ 1.0; 2.0; 3.0; 4.0 ];
+  Engine.run ~until:2.5 e;
+  Alcotest.(check (list (float 1e-9))) "only events <= until" [ 1.0; 2.0 ]
+    (List.rev !ran);
+  Alcotest.(check int) "rest still pending" 2 (Engine.pending e)
+
+(* ------------------------------- Cpu ------------------------------- *)
+
+let test_cpu_parallel_cores () =
+  let e = Engine.create () in
+  let cpu = Cpu.create e ~cores:2 in
+  let done_at = ref [] in
+  for _ = 1 to 2 do
+    Cpu.exec cpu ~duration:10.0 (fun () ->
+        done_at := Engine.now e :: !done_at)
+  done;
+  Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "two cores run in parallel"
+    [ 10.0; 10.0 ] !done_at
+
+let test_cpu_queueing () =
+  let e = Engine.create () in
+  let cpu = Cpu.create e ~cores:1 in
+  let done_at = ref [] in
+  for _ = 1 to 3 do
+    Cpu.exec cpu ~duration:10.0 (fun () ->
+        done_at := Engine.now e :: !done_at)
+  done;
+  Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "single core serialises"
+    [ 10.0; 20.0; 30.0 ]
+    (List.rev !done_at);
+  Alcotest.(check (float 1e-9)) "busy time accumulates" 30.0
+    (Cpu.busy_time cpu)
+
+let test_cpu_fifo () =
+  let e = Engine.create () in
+  let cpu = Cpu.create e ~cores:1 in
+  let order = ref [] in
+  List.iter
+    (fun name ->
+      Cpu.exec cpu ~duration:1.0 (fun () -> order := name :: !order))
+    [ "a"; "b"; "c" ];
+  Engine.run e;
+  Alcotest.(check (list string)) "FIFO" [ "a"; "b"; "c" ] (List.rev !order)
+
+(* ------------------------------ Trace ------------------------------ *)
+
+let test_trace_fingerprint_order_sensitive () =
+  let t1 = Trace.create () and t2 = Trace.create () in
+  Trace.record t1 (Trace.Lock_granted { tid = 1; syncid = 1; mutex = 5 });
+  Trace.record t1 (Trace.Unlocked { tid = 1; syncid = 1; mutex = 5 });
+  Trace.record t2 (Trace.Unlocked { tid = 1; syncid = 1; mutex = 5 });
+  Trace.record t2 (Trace.Lock_granted { tid = 1; syncid = 1; mutex = 5 });
+  Alcotest.check b "order matters" false
+    (Trace.fingerprint t1 = Trace.fingerprint t2)
+
+let test_trace_fingerprint_equal_for_equal () =
+  let mk () =
+    let t = Trace.create () in
+    Trace.record t (Trace.Thread_start { tid = 3; method_name = "m" });
+    Trace.record t (Trace.Wait_begin { tid = 3; mutex = 9 });
+    Trace.record t (Trace.Thread_end { tid = 3 });
+    Trace.fingerprint t
+  in
+  Alcotest.check b "equal traces, equal fingerprints" true (mk () = mk ())
+
+let test_trace_disabled () =
+  let t = Trace.create () in
+  Trace.set_enabled t false;
+  Trace.record t (Trace.Thread_end { tid = 1 });
+  Alcotest.(check int) "nothing recorded when disabled" 0 (Trace.length t)
+
+(* ---------------------------- properties --------------------------- *)
+
+let prop_pqueue_drains_sorted =
+  QCheck.Test.make ~count:200 ~name:"pqueue drains in nondecreasing order"
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun times ->
+      let q = Pqueue.create () in
+      List.iteri (fun i t -> Pqueue.push q ~time:t ~seq:i i) times;
+      let rec drain last =
+        match Pqueue.pop q with
+        | None -> true
+        | Some (t, _, _) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~count:500 ~name:"Rng.int stays in bounds"
+    QCheck.(pair int64 (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let x = Rng.int rng bound in
+      x >= 0 && x < bound)
+
+let suite =
+  [ ("rng reproducible", `Quick, test_rng_reproducible);
+    ("rng seed sensitivity", `Quick, test_rng_seed_sensitivity);
+    ("rng int bounds", `Quick, test_rng_int_bounds);
+    ("rng int covers range", `Quick, test_rng_int_covers_range);
+    ("rng float bounds", `Quick, test_rng_float_bounds);
+    ("rng bool probability", `Quick, test_rng_bool_probability);
+    ("rng split independent", `Quick, test_rng_split_independent);
+    ("rng copy", `Quick, test_rng_copy);
+    ("rng exponential mean", `Quick, test_rng_exponential_mean);
+    ("rng shuffle permutation", `Quick, test_rng_shuffle_permutation);
+    ("pqueue ordering", `Quick, test_pqueue_ordering);
+    ("pqueue stable ties", `Quick, test_pqueue_stable_ties);
+    ("pqueue peek", `Quick, test_pqueue_peek);
+    ("pqueue random drain", `Quick, test_pqueue_random_drain_sorted);
+    ("engine order", `Quick, test_engine_runs_in_order);
+    ("engine clock", `Quick, test_engine_clock_advances);
+    ("engine zero-delay fifo", `Quick, test_engine_zero_delay_fifo);
+    ("engine rejects past", `Quick, test_engine_rejects_past);
+    ("engine until", `Quick, test_engine_until);
+    ("cpu parallel cores", `Quick, test_cpu_parallel_cores);
+    ("cpu queueing", `Quick, test_cpu_queueing);
+    ("cpu fifo", `Quick, test_cpu_fifo);
+    ("trace order-sensitive", `Quick, test_trace_fingerprint_order_sensitive);
+    ("trace equal fingerprints", `Quick,
+     test_trace_fingerprint_equal_for_equal);
+    ("trace disabled", `Quick, test_trace_disabled);
+    QCheck_alcotest.to_alcotest prop_pqueue_drains_sorted;
+    QCheck_alcotest.to_alcotest prop_rng_int_in_bounds;
+  ]
+
+let () = Alcotest.run "sim" [ ("sim", suite) ]

@@ -1,0 +1,102 @@
+(* Tests for the schedule-timeline reconstruction (the visual Figure 2/3). *)
+
+open Detmt_sim
+
+let b = Alcotest.bool
+
+let ev time e = (time, e)
+
+let simple_trace =
+  [ ev 0.0 (Trace.Thread_start { tid = 0; method_name = "m" });
+    ev 1.0 (Trace.Lock_requested { tid = 0; syncid = 1; mutex = 5 });
+    ev 2.0 (Trace.Lock_granted { tid = 0; syncid = 1; mutex = 5 });
+    ev 4.0 (Trace.Unlocked { tid = 0; syncid = 1; mutex = 5 });
+    ev 6.0 (Trace.Thread_end { tid = 0 });
+  ]
+
+let test_states_over_time () =
+  let tl = Timeline.of_trace simple_trace in
+  let at time = Timeline.state_at tl ~tid:0 ~time in
+  Alcotest.(check char) "running after start" '=' (at 0.5);
+  Alcotest.(check char) "blocked after request" '.' (at 1.5);
+  Alcotest.(check char) "holding after grant" '#' (at 3.0);
+  Alcotest.(check char) "running after unlock" '=' (at 5.0);
+  Alcotest.(check char) "absent after end" ' ' (at 7.0);
+  Alcotest.(check (list int)) "threads" [ 0 ] (Timeline.threads tl);
+  let lo, hi = Timeline.span tl in
+  Alcotest.(check (float 1e-9)) "span lo" 0.0 lo;
+  Alcotest.(check (float 1e-9)) "span hi" 6.0 hi
+
+let test_nested_and_wait_states () =
+  let tl =
+    Timeline.of_trace
+      [ ev 0.0 (Trace.Thread_start { tid = 1; method_name = "m" });
+        ev 1.0 (Trace.Nested_begin { tid = 1; service = 0 });
+        ev 3.0 (Trace.Nested_end { tid = 1; service = 0 });
+        ev 4.0 (Trace.Lock_granted { tid = 1; syncid = 1; mutex = 2 });
+        ev 5.0 (Trace.Wait_begin { tid = 1; mutex = 2 });
+        ev 7.0 (Trace.Wait_end { tid = 1; mutex = 2 });
+        ev 8.0 (Trace.Unlocked { tid = 1; syncid = 1; mutex = 2 });
+      ]
+  in
+  let at time = Timeline.state_at tl ~tid:1 ~time in
+  Alcotest.(check char) "nested" 'n' (at 2.0);
+  Alcotest.(check char) "running after reply" '=' (at 3.5);
+  Alcotest.(check char) "waiting releases the monitor" 'w' (at 6.0);
+  Alcotest.(check char) "holding again after wake-up" '#' (at 7.5);
+  Alcotest.(check char) "running after unlock" '=' (at 8.5)
+
+let test_reentrant_depth () =
+  (* Two grants, one unlock: still holding. *)
+  let tl =
+    Timeline.of_trace
+      [ ev 0.0 (Trace.Thread_start { tid = 0; method_name = "m" });
+        ev 1.0 (Trace.Lock_granted { tid = 0; syncid = 1; mutex = 2 });
+        ev 2.0 (Trace.Lock_granted { tid = 0; syncid = 2; mutex = 2 });
+        ev 3.0 (Trace.Unlocked { tid = 0; syncid = 2; mutex = 2 });
+        ev 4.0 (Trace.Unlocked { tid = 0; syncid = 1; mutex = 2 });
+      ]
+  in
+  let at time = Timeline.state_at tl ~tid:0 ~time in
+  Alcotest.(check char) "still holding after inner unlock" '#' (at 3.5);
+  Alcotest.(check char) "running after outer unlock" '=' (at 4.5)
+
+let test_render_output () =
+  let tl = Timeline.of_trace simple_trace in
+  let text = Format.asprintf "%a" (fun ppf -> Timeline.render ~width:24 ppf) tl in
+  Alcotest.check b "row for t0" true
+    (String.length text > 0 && String.sub text 0 2 = "t0");
+  Alcotest.check b "legend present" true
+    (let needle = "holding lock" in
+     let n = String.length needle and h = String.length text in
+     let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+     go 0)
+
+let test_experiment_timeline_shapes () =
+  (* The Figure-3 contrast must be visible in the reconstruction: under MAT
+     some thread is blocked while another holds a (disjoint!) lock; under
+     PMAT no thread ever blocks. *)
+  let has_blocked scheduler =
+    let tl = Detmt.Experiment.timeline ~scheduler ~workload:`Disjoint () in
+    let lo, hi = Timeline.span tl in
+    List.exists
+      (fun tid ->
+        List.exists
+          (fun i ->
+            let time = lo +. ((hi -. lo) *. float_of_int i /. 400.0) in
+            Timeline.state_at tl ~tid ~time = '.')
+          (List.init 400 Fun.id))
+      (Timeline.threads tl)
+  in
+  Alcotest.check b "mat blocks threads" true (has_blocked "mat");
+  Alcotest.check b "pmat never blocks" false (has_blocked "pmat")
+
+let suite =
+  [ ("states over time", `Quick, test_states_over_time);
+    ("nested and wait states", `Quick, test_nested_and_wait_states);
+    ("reentrant depth", `Quick, test_reentrant_depth);
+    ("render output", `Quick, test_render_output);
+    ("figure-3 shapes", `Quick, test_experiment_timeline_shapes);
+  ]
+
+let () = Alcotest.run "timeline" [ ("timeline", suite) ]

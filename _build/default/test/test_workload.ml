@@ -1,0 +1,146 @@
+(* Tests for the workload generators: well-formedness of the generated
+   classes and the deterministic client-side randomness contract. *)
+
+open Detmt_lang
+
+let b = Alcotest.bool
+
+let test_all_classes_wellformed () =
+  let classes =
+    [ Detmt_workload.Figure1.cls Detmt_workload.Figure1.default;
+      Detmt_workload.Figure1.cls Detmt_workload.Figure1.compute_heavy;
+      Detmt_workload.Disjoint.cls Detmt_workload.Disjoint.default;
+      Detmt_workload.Tail_compute.cls Detmt_workload.Tail_compute.default;
+      Detmt_workload.Prodcons.cls Detmt_workload.Prodcons.default;
+    ]
+  in
+  List.iter
+    (fun cls ->
+      Alcotest.(check (list string))
+        (cls.Class_def.cname ^ " wellformed")
+        [] (Wellformed.errors cls))
+    classes
+
+let test_all_classes_transform () =
+  (* Every workload must survive both transformations and verify.  Figure 1
+     is checked with 4 iterations: path enumeration is exponential in the
+     iteration count and 4 already covers every structural case. *)
+  let small_figure1 =
+    { Detmt_workload.Figure1.default with Detmt_workload.Figure1.iterations = 4 }
+  in
+  let classes =
+    [ Detmt_workload.Figure1.cls small_figure1;
+      Detmt_workload.Disjoint.cls Detmt_workload.Disjoint.default;
+      Detmt_workload.Tail_compute.cls Detmt_workload.Tail_compute.default;
+      Detmt_workload.Prodcons.cls Detmt_workload.Prodcons.default;
+    ]
+  in
+  List.iter
+    (fun cls ->
+      ignore (Detmt_transform.Transform.basic cls);
+      let instrumented, summary = Detmt_transform.Transform.predictive cls in
+      Alcotest.(check (list string))
+        (cls.Class_def.cname ^ " verifies")
+        []
+        (Detmt_transform.Verify.check_class ~summary instrumented))
+    classes
+
+let test_figure1_arg_shape () =
+  let p = Detmt_workload.Figure1.default in
+  let rng = Detmt_sim.Rng.create 1L in
+  let meth, args = Detmt_workload.Figure1.gen p ~client:0 ~seq:0 rng in
+  Alcotest.(check string) "method" "work" meth;
+  Alcotest.(check int) "three args per iteration" 30 (Array.length args);
+  Array.iteri
+    (fun j v ->
+      match (j mod 3, v) with
+      | 0, Ast.Vbool _ | 1, Ast.Vbool _ -> ()
+      | 2, Ast.Vmutex m ->
+        if m < 0 || m >= p.n_mutexes then
+          Alcotest.failf "mutex %d out of range" m
+      | _ -> Alcotest.failf "wrong arg kind at %d" j)
+    args
+
+let test_figure1_gen_deterministic () =
+  let p = Detmt_workload.Figure1.default in
+  let draw () =
+    let rng = Detmt_sim.Rng.create 7L in
+    snd (Detmt_workload.Figure1.gen p ~client:0 ~seq:0 rng)
+  in
+  Alcotest.check b "same seed, same decisions" true (draw () = draw ())
+
+let test_figure1_probabilities () =
+  let p = Detmt_workload.Figure1.default in
+  let rng = Detmt_sim.Rng.create 11L in
+  let nested = ref 0 and total = ref 0 in
+  for seq = 0 to 999 do
+    let _, args = Detmt_workload.Figure1.gen p ~client:0 ~seq rng in
+    Array.iteri
+      (fun j v ->
+        if j mod 3 = 0 then begin
+          incr total;
+          match v with Ast.Vbool true -> incr nested | _ -> ()
+        end)
+      args
+  done;
+  let rate = float_of_int !nested /. float_of_int !total in
+  if abs_float (rate -. p.p_nested) > 0.02 then
+    Alcotest.failf "nested rate %.3f, expected %.2f" rate p.p_nested
+
+let test_disjoint_private_mutexes () =
+  let m client =
+    match Detmt_workload.Disjoint.gen ~client ~seq:0 (Detmt_sim.Rng.create 1L)
+    with
+    | _, [| Ast.Vmutex m |] -> m
+    | _ -> Alcotest.fail "one mutex arg expected"
+  in
+  Alcotest.check b "clients use distinct mutexes" true (m 0 <> m 1)
+
+let test_tail_compute_shared_switch () =
+  let gen p client =
+    match
+      Detmt_workload.Tail_compute.gen p ~client ~seq:0
+        (Detmt_sim.Rng.create 1L)
+    with
+    | _, [| Ast.Vmutex m |] -> m
+    | _ -> Alcotest.fail "one mutex arg expected"
+  in
+  let shared = Detmt_workload.Tail_compute.default in
+  let private_ = { shared with Detmt_workload.Tail_compute.shared_mutex = false } in
+  Alcotest.check b "shared: same mutex" true (gen shared 0 = gen shared 5);
+  Alcotest.check b "private: distinct" true (gen private_ 0 <> gen private_ 5)
+
+let test_prodcons_roles () =
+  let meth client =
+    fst (Detmt_workload.Prodcons.gen ~client ~seq:0 (Detmt_sim.Rng.create 1L))
+  in
+  Alcotest.(check string) "even clients produce" "produce" (meth 0);
+  Alcotest.(check string) "odd clients consume" "consume" (meth 1)
+
+let test_figure1_prediction_quality () =
+  (* All mutexes travel as request arguments, so the whole method must be
+     announceable: prediction needs no fallback and no spontaneous sids. *)
+  let cls = Detmt_workload.Figure1.cls Detmt_workload.Figure1.default in
+  let _, summary = Detmt_transform.Transform.predictive cls in
+  let ms =
+    Option.get (Detmt_analysis.Predict.find_method summary "work")
+  in
+  Alcotest.check b "no fallback" false ms.Detmt_analysis.Predict.fallback;
+  Alcotest.(check int) "ten announceable locks" 10
+    (List.length (Detmt_analysis.Predict.announceable_sids ms));
+  Alcotest.(check (list int)) "no spontaneous locks" []
+    (Detmt_analysis.Predict.spontaneous_sids ms)
+
+let suite =
+  [ ("classes wellformed", `Quick, test_all_classes_wellformed);
+    ("classes transform and verify", `Quick, test_all_classes_transform);
+    ("figure1 arg shape", `Quick, test_figure1_arg_shape);
+    ("figure1 gen deterministic", `Quick, test_figure1_gen_deterministic);
+    ("figure1 probabilities", `Quick, test_figure1_probabilities);
+    ("disjoint private mutexes", `Quick, test_disjoint_private_mutexes);
+    ("tail compute shared switch", `Quick, test_tail_compute_shared_switch);
+    ("prodcons roles", `Quick, test_prodcons_roles);
+    ("figure1 fully announceable", `Quick, test_figure1_prediction_quality);
+  ]
+
+let () = Alcotest.run "workload" [ ("workload", suite) ]

@@ -1,0 +1,91 @@
+(* Shared random-program generator for the property-based test suites.
+
+   Generated classes are well-formed by construction: arguments 0/1 carry
+   mutexes, argument 2 carries a boolean, state updates happen under a lock
+   and the one local is assigned before use.  Waits are excluded (a random
+   wait has no matching notify). *)
+
+open Detmt_lang
+
+let gen_param : Ast.sync_param QCheck.Gen.t =
+  QCheck.Gen.oneofl
+    [ Ast.Sp_this; Ast.Sp_arg 0; Ast.Sp_arg 1; Ast.Sp_field "f0";
+      Ast.Sp_local "v0"; Ast.Sp_call "opaque" ]
+
+let gen_cond : Ast.cond QCheck.Gen.t =
+  QCheck.Gen.oneofl
+    [ Ast.Carg_bool 2; Ast.Cconst true; Ast.Cconst false;
+      Ast.Cnot (Ast.Carg_bool 2) ]
+
+let gen_duration : float QCheck.Gen.t =
+  QCheck.Gen.map
+    (fun n -> 0.1 *. float_of_int (1 + n))
+    (QCheck.Gen.int_bound 9)
+
+let rec gen_stmt depth : Ast.stmt QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf =
+    [ map (fun d -> Ast.Compute (Ast.Fixed d)) gen_duration;
+      map (fun d -> Ast.Nested { service = 0; duration = Ast.Fixed d })
+        gen_duration;
+      return (Ast.Assign ("v0", Ast.Marg 1));
+    ]
+  in
+  let compound =
+    if depth = 0 then []
+    else
+      [ (let* p = gen_param in
+         let* d = gen_duration in
+         return
+           (Ast.Sync
+              (p, [ Ast.Compute (Ast.Fixed d); Ast.State_update ("st", 1) ])));
+        (* a balanced explicit-lock episode (java.util.concurrent):
+           acquire; work; release — emitted as a statement triple folded
+           into one compound so every path stays balanced *)
+        (let* p = QCheck.Gen.oneofl
+             [ Ast.Sp_this; Ast.Sp_arg 0; Ast.Sp_arg 1; Ast.Sp_field "f0" ]
+         in
+         let* d = gen_duration in
+         return
+           (Ast.If
+              ( Ast.Cconst true,
+                [ Ast.Lock_acquire p;
+                  Ast.Compute (Ast.Fixed d);
+                  Ast.State_update ("st", 1);
+                  Ast.Lock_release p ],
+                [] )));
+        (let* c = gen_cond in
+         let* a = gen_block (depth - 1) in
+         let* b = gen_block (depth - 1) in
+         return (Ast.If (c, a, b)));
+        (let* n = int_bound 3 in
+         let* body = gen_block (depth - 1) in
+         return (Ast.Loop { kind = Ast.For; count = Ast.Cfixed n; body }));
+      ]
+  in
+  oneof (leaf @ compound)
+
+and gen_block depth : Ast.block QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n = int_range 0 4 in
+  list_repeat n (gen_stmt depth)
+
+let gen_class : Class_def.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* body = gen_block 2 in
+  (* Prelude assigns the local every program may lock on. *)
+  let body = Ast.Assign ("v0", Ast.Marg 0) :: body in
+  return
+    (Class_def.make ~cname:"Rand" ~mutex_fields:[ ("f0", 3) ]
+       ~state_fields:[ "st" ]
+       [ { Class_def.name = "m"; final = true; exported = true; params = 3;
+           body } ])
+
+let arbitrary_class = QCheck.make ~print:Class_def.show gen_class
+
+let gen_args : Ast.value array QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* m0 = int_bound 3 in
+  let* m1 = int_bound 3 in
+  let* b = bool in
+  return [| Ast.Vmutex m0; Ast.Vmutex m1; Ast.Vbool b |]
