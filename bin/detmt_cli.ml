@@ -274,6 +274,63 @@ let analyse_cmd =
           and interference report.")
     Term.(const show $ workload_arg $ file_arg)
 
+(* ------------------------------ chaos ------------------------------- *)
+
+let chaos_cmd =
+  let all_scenarios = List.map (fun s -> s.Detmt.Chaos.name) Detmt.Chaos.scenarios in
+  let scenario_arg =
+    let doc =
+      "Scenario to run (repeatable): " ^ String.concat ", " all_scenarios
+      ^ ".  Default: all."
+    in
+    Arg.(value & opt_all string [] & info [ "scenario" ] ~docv:"NAME" ~doc)
+  in
+  let chaos_scheduler_arg =
+    let doc =
+      "Scheduler to sweep (repeatable).  Default: "
+      ^ String.concat ", " Detmt.Chaos.default_schedulers ^ "."
+    in
+    Arg.(value & opt_all string [] & info [ "s"; "scheduler" ] ~docv:"NAME" ~doc)
+  in
+  let quick_flag =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"Smaller load (2 clients x 3 requests) for CI smoke runs.")
+  in
+  let run csv seed scenario_names scheduler_names quick =
+    let wl = Detmt.Figure1.default in
+    let cls = Detmt.Figure1.cls wl in
+    let gen = Detmt.Figure1.gen wl in
+    let scenario_names =
+      if scenario_names = [] then all_scenarios else scenario_names
+    in
+    let schedulers =
+      if scheduler_names = [] then Detmt.Chaos.default_schedulers
+      else scheduler_names
+    in
+    let clients, requests_per_client = if quick then (2, 3) else (4, 5) in
+    let outcomes =
+      Detmt.Chaos.sweep ~seed:(Int64.of_int seed) ~schedulers ~scenario_names
+        ~clients ~requests_per_client ~cls ~gen ()
+    in
+    emit csv (Detmt.Chaos.table outcomes);
+    let failed = List.filter (fun o -> not (Detmt.Chaos.ok o)) outcomes in
+    if failed <> [] then begin
+      Format.eprintf "%d of %d combinations violated an invariant@."
+        (List.length failed) (List.length outcomes);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Sweep fault scenarios (lossy links, duplicates, partitions, \
+          crash+recovery) across the deterministic schedulers and check the \
+          robustness invariants; exits 1 on any violation.")
+    Term.(
+      const run $ csv_flag $ seed_arg $ scenario_arg $ chaos_scheduler_arg
+      $ quick_flag)
+
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
 
@@ -317,6 +374,6 @@ let () =
           $ const ());
       table_cmd "saturation" "Open-loop load sweep (saturation points)."
         (fun () -> Detmt.Experiment.saturation ());
-      timeline_cmd; analyse_cmd; schedulers_cmd; transform_cmd ]
+      chaos_cmd; timeline_cmd; analyse_cmd; schedulers_cmd; transform_cmd ]
   in
   exit (Cmd.eval (Cmd.group ~default info cmds))

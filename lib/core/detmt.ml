@@ -59,6 +59,7 @@ module Message = Detmt_gcs.Message
 module Totem = Detmt_gcs.Totem
 module Dedup = Detmt_gcs.Dedup
 module Group = Detmt_gcs.Group
+module Faults = Detmt_gcs.Faults
 
 (* runtime *)
 module Request = Detmt_runtime.Request
@@ -89,6 +90,7 @@ module Passive = Detmt_replication.Passive
 module Client = Detmt_replication.Client
 module Consistency = Detmt_replication.Consistency
 module Failover = Detmt_replication.Failover
+module Chaos = Detmt_replication.Chaos
 
 (* workloads *)
 module Figure1 = Detmt_workload.Figure1

@@ -20,3 +20,7 @@ let mark t ~client ~request =
 let count t = Hashtbl.length t.table
 
 let duplicates t = t.duplicates
+
+(* State transfer: the rejoining replica inherits the donor's seen-set so a
+   client retry of an already-executed request stays suppressed. *)
+let copy t = { table = Hashtbl.copy t.table; duplicates = 0 }

@@ -20,3 +20,7 @@ val count : t -> int
 
 val duplicates : t -> int
 (** Number of duplicate deliveries suppressed. *)
+
+val copy : t -> t
+(** A fresh table with the same seen-set and a zeroed duplicate counter —
+    state transfer to a rejoining replica. *)

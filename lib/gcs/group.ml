@@ -1,24 +1,39 @@
 open Detmt_sim
 
-type view = { number : int; members : int list; leader : int }
+type cause = Initial | Failure of int list | Join of int
+
+type view = { number : int; members : int list; leader : int; cause : cause }
 
 type t = {
   engine : Engine.t;
   detection_timeout_ms : float;
   mutable view : view;
   mutable dead : int list;
+  mutable seniority : int list;
+      (* membership age order: the leader is the most senior live member.
+         Initially the sorted member list (leader = lowest id, as in the
+         paper's experiments); a rejoining member goes to the back so it
+         cannot snatch leadership from a replica that never failed. *)
   mutable callbacks : (view -> unit) list; (* reverse registration order *)
 }
 
-let make_view number members =
+let make_view ~seniority number members cause =
   match members with
   | [] -> invalid_arg "Group: view with no members"
-  | _ -> { number; members; leader = List.fold_left min max_int members }
+  | _ ->
+    let leader =
+      match List.find_opt (fun s -> List.mem s members) seniority with
+      | Some l -> l
+      | None -> List.fold_left min max_int members
+    in
+    { number; members; leader; cause }
 
 let create engine ~members ~detection_timeout_ms =
   if members = [] then invalid_arg "Group.create: empty member list";
-  { engine; detection_timeout_ms; view = make_view 0 (List.sort compare members);
-    dead = []; callbacks = [] }
+  let seniority = List.sort compare members in
+  { engine; detection_timeout_ms;
+    view = make_view ~seniority 0 seniority Initial;
+    dead = []; seniority; callbacks = [] }
 
 let current_view t = t.view
 
@@ -28,8 +43,8 @@ let leader t = t.view.leader
 
 let on_view_change t f = t.callbacks <- f :: t.callbacks
 
-let install_view t members =
-  t.view <- make_view (t.view.number + 1) members;
+let install_view t members cause =
+  t.view <- make_view ~seniority:t.seniority (t.view.number + 1) members cause;
   List.iter (fun f -> f t.view) (List.rev t.callbacks)
 
 let kill t id =
@@ -37,13 +52,25 @@ let kill t id =
     t.dead <- id :: t.dead;
     Engine.schedule t.engine ~delay:t.detection_timeout_ms (fun () ->
         (* Recompute survivors at detection time: several members may have
-           failed while the timeout was running. *)
-        let survivors =
-          List.filter (fun m -> not (List.mem m t.dead)) t.view.members
-        in
-        if List.mem id t.view.members && survivors <> [] then
-          install_view t survivors)
+           failed — or rejoined — while the timeout was running. *)
+        if List.mem id t.dead then begin
+          let survivors =
+            List.filter (fun m -> not (List.mem m t.dead)) t.view.members
+          in
+          let removed =
+            List.filter (fun m -> List.mem m t.dead) t.view.members
+          in
+          if List.mem id t.view.members && survivors <> [] then
+            install_view t survivors (Failure removed)
+        end)
   end
 
 let kill_at t id ~time =
   Engine.schedule_at t.engine ~time (fun () -> kill t id)
+
+let join t id =
+  t.dead <- List.filter (fun d -> d <> id) t.dead;
+  if not (List.mem id t.view.members) then begin
+    t.seniority <- List.filter (fun s -> s <> id) t.seniority @ [ id ];
+    install_view t (List.sort compare (id :: t.view.members)) (Join id)
+  end

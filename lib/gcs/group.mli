@@ -1,12 +1,20 @@
-(** Group membership with failure detection and view changes.
+(** Group membership with failure detection, view changes and rejoins.
 
     A killed member stops participating immediately; the surviving members
     detect the failure after [detection_timeout_ms] and install a new view.
-    The leader of a view is its lowest-numbered member — the take-over-time
-    experiment (section 3.5: LSA "depends on the leader replica ... in case of
-    a failure this might lead to a high take-over time") is built on this. *)
+    The leader of a view is its most senior member — initially the
+    lowest-numbered one, which is what the take-over-time experiment
+    (section 3.5: LSA "depends on the leader replica ... in case of a failure
+    this might lead to a high take-over time") is built on.  A member that
+    {!join}s after a failure re-enters at the back of the seniority order, so
+    recovery never steals leadership from a replica that stayed up. *)
 
-type view = { number : int; members : int list; leader : int }
+type cause =
+  | Initial  (** the view the group was created with *)
+  | Failure of int list  (** members removed by failure detection *)
+  | Join of int  (** a (re)joining member was added *)
+
+type view = { number : int; members : int list; leader : int; cause : cause }
 
 type t
 
@@ -22,7 +30,8 @@ val leader : t -> int
 
 val on_view_change : t -> (view -> unit) -> unit
 (** Register a callback run when a new view is installed (after failure
-    detection). Callbacks run in registration order. *)
+    detection, or immediately on a join). Callbacks run in registration
+    order. *)
 
 val kill : t -> int -> unit
 (** Mark a member failed now; the view change fires after the detection
@@ -30,3 +39,9 @@ val kill : t -> int -> unit
 
 val kill_at : t -> int -> time:float -> unit
 (** Schedule a failure at an absolute virtual time. *)
+
+val join : t -> int -> unit
+(** A recovered member rejoins now: it is removed from the dead set and a
+    [Join] view including it is installed immediately (the state-transfer
+    handshake is the replication layer's job).  Joining a member already in
+    the view only clears its dead flag. *)

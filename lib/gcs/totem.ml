@@ -2,28 +2,33 @@ open Detmt_sim
 
 type 'a subscriber = {
   id : int;
-  handler : 'a Message.t -> unit;
+  mutable handler : 'a Message.t -> unit;
   mutable alive : bool;
   mutable last_delivery : float;
       (* FIFO floor: deliveries to one subscriber never reorder even if the
          latency function is not monotone *)
+  mutable last_seq : int;
+      (* highest sequence number handed to the application: the GCS delivers
+         exactly once even when the transport duplicates a packet *)
 }
 
 type 'a t = {
   engine : Engine.t;
   latency : sender:int -> dest:int -> float;
+  faults : Faults.t option;
   mutable subscribers : 'a subscriber list; (* in subscription order *)
   mutable next_seq : int;
   mutable broadcasts : int;
   mutable deliveries : int;
+  mutable suppressed_duplicates : int;
   kinds : (string, int) Hashtbl.t;
 }
 
 let default_latency ~sender:_ ~dest:_ = 0.5
 
-let create ?(latency = default_latency) engine =
-  { engine; latency; subscribers = []; next_seq = 0; broadcasts = 0;
-    deliveries = 0; kinds = Hashtbl.create 8 }
+let create ?(latency = default_latency) ?faults engine =
+  { engine; latency; faults; subscribers = []; next_seq = 0; broadcasts = 0;
+    deliveries = 0; suppressed_duplicates = 0; kinds = Hashtbl.create 8 }
 
 let find t id = List.find_opt (fun s -> s.id = id) t.subscribers
 
@@ -31,7 +36,21 @@ let subscribe t ~id handler =
   if find t id <> None then
     invalid_arg (Printf.sprintf "Totem.subscribe: duplicate id %d" id);
   t.subscribers <-
-    t.subscribers @ [ { id; handler; alive = true; last_delivery = 0.0 } ]
+    t.subscribers
+    @ [ { id; handler; alive = true; last_delivery = 0.0; last_seq = -1 } ]
+
+(* A rejoining member takes over its old slot: fresh handler, alive again,
+   FIFO floor reset to now so stale floors cannot delay new traffic.  The
+   exactly-once watermark is kept — everything broadcast while the member was
+   dead was never scheduled for it and is the replication layer's job to
+   replay out of band. *)
+let resubscribe t ~id handler =
+  match find t id with
+  | None -> invalid_arg (Printf.sprintf "Totem.resubscribe: unknown id %d" id)
+  | Some s ->
+    s.handler <- handler;
+    s.alive <- true;
+    s.last_delivery <- Engine.now t.engine
 
 let broadcast t ~sender payload =
   let seq = t.next_seq in
@@ -42,15 +61,48 @@ let broadcast t ~sender payload =
   let deliver_to sub =
     if sub.alive then begin
       t.deliveries <- t.deliveries + 1;
-      let arrival = now +. t.latency ~sender ~dest:sub.id in
+      let base = t.latency ~sender ~dest:sub.id in
+      let arrival, dup_extra =
+        match t.faults with
+        | None -> (now +. base, None)
+        | Some f ->
+          let d =
+            Faults.plan f ~seq ~sender ~dest:sub.id ~sent_at:now
+              ~base_latency_ms:base
+          in
+          (d.Faults.arrival_ms, d.Faults.duplicate_extra_ms)
+      in
       let time = Float.max arrival sub.last_delivery in
       sub.last_delivery <- time;
-      Engine.schedule_at t.engine ~time (fun () ->
-          if sub.alive then sub.handler msg)
+      let fire () =
+        if sub.alive then
+          if msg.Message.seq > sub.last_seq then begin
+            sub.last_seq <- msg.Message.seq;
+            sub.handler msg
+          end
+          else t.suppressed_duplicates <- t.suppressed_duplicates + 1
+      in
+      Engine.schedule_at t.engine ~time fire;
+      (* The duplicate copy trails the (floored) first delivery, so it can
+         never deliver out of order; the watermark suppresses it. *)
+      Option.iter
+        (fun extra ->
+          Engine.schedule_at t.engine ~time:(time +. extra) fire)
+        dup_extra
     end
   in
   List.iter deliver_to t.subscribers;
   seq
+
+(* After an out-of-band state transfer the replication layer owns every
+   message up to [seq]; stale in-flight copies (retransmits, duplicates,
+   partition stragglers addressed to the old incarnation) must not reach the
+   new handler. *)
+let advance_watermark t ~id ~seq =
+  match find t id with
+  | Some s -> if seq > s.last_seq then s.last_seq <- seq
+  | None ->
+    invalid_arg (Printf.sprintf "Totem.advance_watermark: unknown id %d" id)
 
 let set_alive t id alive =
   match find t id with
@@ -63,6 +115,10 @@ let is_alive t id =
 let broadcasts t = t.broadcasts
 
 let deliveries t = t.deliveries
+
+let suppressed_duplicates t = t.suppressed_duplicates
+
+let faults t = t.faults
 
 let count_kind t kind =
   let n = Option.value ~default:0 (Hashtbl.find_opt t.kinds kind) in

@@ -9,22 +9,44 @@
 
     The per-broadcast cost (number of point-to-point deliveries) is counted so
     experiments can report the network load of chatty algorithms such as
-    LSA. *)
+    LSA.
+
+    An optional {!Faults} plan degrades the transport underneath: latency
+    jitter, losses repaired by retransmit timers, duplicate packets and link
+    partitions.  The GCS contract survives all of them — per-subscriber
+    deliveries stay in sequence order (a FIFO floor) and every message is
+    handed to the application exactly once (a per-subscriber sequence
+    watermark suppresses transport duplicates). *)
 
 type 'a t
 
 val create :
-  ?latency:(sender:int -> dest:int -> float) -> Detmt_sim.Engine.t -> 'a t
-(** Default latency: 0.5 ms for every pair. *)
+  ?latency:(sender:int -> dest:int -> float) ->
+  ?faults:Faults.t ->
+  Detmt_sim.Engine.t ->
+  'a t
+(** Default latency: 0.5 ms for every pair; no faults. *)
 
 val subscribe : 'a t -> id:int -> ('a Message.t -> unit) -> unit
 (** Register a destination.  Ids must be unique.
     @raise Invalid_argument on duplicate id. *)
 
+val resubscribe : 'a t -> id:int -> ('a Message.t -> unit) -> unit
+(** Rebind an existing id to a fresh handler and revive it (replica
+    rejoin).  Messages broadcast while the id was dead are {e not} replayed
+    here — state transfer is the replication layer's job.
+    @raise Invalid_argument on an unknown id. *)
+
 val broadcast : 'a t -> sender:int -> 'a -> int
 (** Stamp and enqueue a message to all live subscribers; returns the sequence
     number.  The sender also receives its own message (self-delivery), as in
     closed-group total-order protocols. *)
+
+val advance_watermark : 'a t -> id:int -> seq:int -> unit
+(** Raise the subscriber's exactly-once watermark to [seq] (no-op when
+    already past it).  Called after an out-of-band state transfer so stale
+    in-flight copies addressed to the old incarnation are suppressed.
+    @raise Invalid_argument on an unknown id. *)
 
 val set_alive : 'a t -> int -> bool -> unit
 (** Failure injection: a dead subscriber receives nothing until revived. *)
@@ -36,6 +58,12 @@ val broadcasts : 'a t -> int
 
 val deliveries : 'a t -> int
 (** Number of point-to-point deliveries performed. *)
+
+val suppressed_duplicates : 'a t -> int
+(** Transport duplicates the sequence watermark kept from the application. *)
+
+val faults : 'a t -> Faults.t option
+(** The attached fault plan, for its counters. *)
 
 val count_kind : 'a t -> string -> unit
 (** Attribute the current broadcast to a named category (e.g. ["lsa-order"],

@@ -21,36 +21,64 @@ type params = {
   net_latency_ms : float;
   client_latency_ms : float;
   detection_timeout_ms : float;
+  faults : Faults.spec option;
+  recovery_poll_ms : float;
 }
 
 let default_params =
   { replicas = 3; scheduler = "mat"; config = Config.default;
     net_latency_ms = 0.5; client_latency_ms = 0.5;
-    detection_timeout_ms = 50.0 }
+    detection_timeout_ms = 50.0; faults = None; recovery_poll_ms = 1.0 }
+
+type checkpoint_sink =
+  replica:int -> seq:int -> hash:int64 -> state:(string * int) list -> unit
 
 type t = {
   engine : Engine.t;
   params : params;
   bus : payload Totem.t;
   grp : Group.t;
+  cls_instr : Detmt_lang.Class_def.t; (* instrumented class, for recovery *)
   mutable members : Replica.t list;
-  dedups : Dedup.t array;
+  mutable dedups : Dedup.t array;
   summary : Detmt_analysis.Predict.class_summary option;
   scheduler : Detmt_sched.Registry.spec;
   (* client-side bookkeeping *)
   reply_waiters : (int * int, float * (response_ms:float -> unit)) Hashtbl.t;
       (* (client, client_req) -> (sent_at, callback) *)
+  answered : (int * int, unit) Hashtbl.t;
+      (* requests already answered at the client: with retries in play a
+         late replica reply must never fire the callback a second time *)
   response_times : Detmt_stats.Summary.t;
   mutable replies : int;
+  mutable duplicate_client_replies : int;
   mutable reply_times : float list; (* arrival times at clients, reversed *)
   (* nested invocations outstanding: (tid, call_index) -> (service, dur) *)
   outstanding_nested : (int * int, int * float) Hashtbl.t;
   mutable dummy_seq : int;
+  (* recovery bookkeeping *)
+  mutable log : payload Message.t list; (* every broadcast, newest first *)
+  last_delivered : int array; (* per-replica total-order watermark *)
+  completed_base : int array;
+      (* completed requests folded into each replica's checkpoint sequence
+         before its current incarnation started (a recovered replica's own
+         counter restarts at zero) *)
+  mutable checkpoint_sink : checkpoint_sink option;
+  mutable recoveries : int;
 }
 
 let leader_id t = Group.leader t.grp
 
 let is_leader t id = leader_id t = id
+
+(* Every broadcast goes through here so recovery can replay the suffix a
+   rejoining replica missed. *)
+let bcast t ~sender ~kind payload =
+  Totem.count_kind t.bus kind;
+  let seq = Totem.broadcast t.bus ~sender payload in
+  t.log <-
+    { Message.seq; sender; sent_at = Engine.now t.engine; payload } :: t.log;
+  seq
 
 (* Every replica registers the outstanding call (so a view change can
    re-issue calls the dead invoker never completed); only the invoker
@@ -67,21 +95,18 @@ let perform_nested t ~by ~tid ~call_index ~service ~duration =
       if
         Hashtbl.mem t.outstanding_nested (tid, call_index)
         && Group.alive t.grp by
-      then begin
-        Totem.count_kind t.bus "nested-reply";
+      then
         ignore
-          (Totem.broadcast t.bus ~sender:(-2)
-             (P_nested_reply { tid; call_index }))
-      end)
+          (bcast t ~sender:(-2) ~kind:"nested-reply"
+             (P_nested_reply { tid; call_index })))
 
 let inject_dummy t ~from_replica =
   (* Every replica's PDS timer fires; only the leader broadcasts so the
      group sees each filler exactly once. *)
   if is_leader t from_replica then begin
     t.dummy_seq <- t.dummy_seq + 1;
-    Totem.count_kind t.bus "pds-dummy";
     ignore
-      (Totem.broadcast t.bus ~sender:(-1)
+      (bcast t ~sender:(-1) ~kind:"pds-dummy"
          (P_request
             { client = -1; client_req = t.dummy_seq; meth = "__dummy";
               args = [||]; sent_at = Engine.now t.engine; dummy = true }))
@@ -93,14 +118,21 @@ let on_first_reply t (req : Request.t) =
   | None -> () (* later replicas' replies for an already-answered request *)
   | Some (sent_at, callback) ->
     Hashtbl.remove t.reply_waiters key;
-    let response_ms =
-      Engine.now t.engine +. t.params.client_latency_ms -. sent_at
-    in
-    Detmt_stats.Summary.add t.response_times response_ms;
-    t.replies <- t.replies + 1;
-    t.reply_times <-
-      (Engine.now t.engine +. t.params.client_latency_ms) :: t.reply_times;
-    callback ~response_ms
+    if Hashtbl.mem t.answered key then
+      (* A retry re-registered the waiter after the answer was delivered;
+         firing the callback again would violate exactly-once. *)
+      t.duplicate_client_replies <- t.duplicate_client_replies + 1
+    else begin
+      Hashtbl.add t.answered key ();
+      let response_ms =
+        Engine.now t.engine +. t.params.client_latency_ms -. sent_at
+      in
+      Detmt_stats.Summary.add t.response_times response_ms;
+      t.replies <- t.replies + 1;
+      t.reply_times <-
+        (Engine.now t.engine +. t.params.client_latency_ms) :: t.reply_times;
+      callback ~response_ms
+    end
 
 let make_replica t ~engine ~cls ~id =
   let callbacks =
@@ -115,19 +147,33 @@ let make_replica t ~engine ~cls ~id =
             perform_nested t ~by:id ~tid ~call_index ~service ~duration);
       broadcast_control =
         (fun control ->
-          Totem.count_kind t.bus "control";
-          ignore (Totem.broadcast t.bus ~sender:id (P_control control)));
+          ignore (bcast t ~sender:id ~kind:"control" (P_control control)));
       inject_dummy = (fun () -> inject_dummy t ~from_replica:id);
       is_leader = (fun () -> is_leader t id) }
   in
   let make_sched actions =
     t.scheduler.make ~config:t.params.config ~summary:t.summary actions
   in
-  Replica.create ~engine ~id ~cls ~config:t.params.config ~callbacks
-    ~make_sched ()
+  let r =
+    Replica.create ~engine ~id ~cls ~config:t.params.config ~callbacks
+      ~make_sched ()
+  in
+  (* Divergence checkpoints at local quiescence: the state is then a pure
+     function of the delivered request prefix, and the checkpoint sequence
+     (base + locally completed) lines up across replicas — including a
+     recovered one, whose base absorbs the donor's completed count. *)
+  Replica.set_quiescent_hook r (fun ~completed ->
+      match t.checkpoint_sink with
+      | Some sink when Replica.alive r ->
+        sink ~replica:id ~seq:(t.completed_base.(id) + completed)
+          ~hash:(Replica.state_fingerprint r)
+          ~state:(Replica.state_snapshot r)
+      | _ -> ());
+  r
 
 let deliver t replica (msg : payload Message.t) =
   let id = Replica.id replica in
+  t.last_delivered.(id) <- msg.seq;
   match msg.payload with
   | P_request { client; client_req; meth; args; sent_at; dummy } ->
     if not (Dedup.mark t.dedups.(id) ~client ~request:client_req) then begin
@@ -151,19 +197,24 @@ let create ~engine ~cls ~(params : params) () =
     else (Detmt_transform.Transform.basic cls, None)
   in
   let latency ~sender:_ ~dest:_ = params.net_latency_ms in
-  let bus = Totem.create ~latency engine in
+  let faults = Option.map Faults.create params.faults in
+  let bus = Totem.create ~latency ?faults engine in
   let members = List.init params.replicas (fun i -> i) in
   let grp =
     Group.create engine ~members
       ~detection_timeout_ms:params.detection_timeout_ms
   in
   let t =
-    { engine; params; bus; grp; members = []; summary; scheduler;
+    { engine; params; bus; grp; cls_instr = cls'; members = []; summary;
+      scheduler;
       dedups = Array.init params.replicas (fun _ -> Dedup.create ());
-      reply_waiters = Hashtbl.create 256;
+      reply_waiters = Hashtbl.create 256; answered = Hashtbl.create 256;
       response_times = Detmt_stats.Summary.create (); replies = 0;
-      reply_times = [];
-      outstanding_nested = Hashtbl.create 64; dummy_seq = 0 }
+      duplicate_client_replies = 0; reply_times = [];
+      outstanding_nested = Hashtbl.create 64; dummy_seq = 0;
+      log = []; last_delivered = Array.make params.replicas (-1);
+      completed_base = Array.make params.replicas 0;
+      checkpoint_sink = None; recoveries = 0 }
   in
   let replicas =
     List.map (fun id -> make_replica t ~engine ~cls:cls' ~id) members
@@ -173,39 +224,49 @@ let create ~engine ~cls ~(params : params) () =
     (fun r ->
       Totem.subscribe bus ~id:(Replica.id r) (fun msg -> deliver t r msg))
     replicas;
-  (* On a view change the new leader re-issues outstanding nested calls the
-     dead leader may never have completed. *)
+  (* On a failure view the new leader re-issues outstanding nested calls the
+     dead leader may never have completed.  Join views change nothing for
+     the survivors: leadership is seniority-ordered, so a rejoining replica
+     never takes over, and re-issuing nested calls would duplicate external
+     side effects. *)
   Group.on_view_change grp (fun view ->
-      (* Tell every surviving scheduler about the new view (a promoted LSA
-         leader must drain the old leader's published decisions and take
-         over); then re-issue nested calls the dead invoker left behind. *)
-      List.iter
-        (fun r ->
-          if Replica.alive r then
-            Replica.deliver_control r ~sender:(-1)
-              (Detmt_runtime.Sched_iface.Custom "view-change"))
-        t.members;
-      let pending =
-        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.outstanding_nested []
-        |> List.sort compare
-      in
-      List.iter
-        (fun ((tid, call_index), (service, duration)) ->
-          perform_nested t ~by:view.Group.leader ~tid ~call_index ~service
-            ~duration)
-        pending);
+      match view.Group.cause with
+      | Group.Initial | Group.Join _ -> ()
+      | Group.Failure _ ->
+        (* Tell every surviving scheduler about the new view (a promoted LSA
+           leader must drain the old leader's published decisions and take
+           over); then re-issue nested calls the dead invoker left behind. *)
+        List.iter
+          (fun r ->
+            if Replica.alive r then
+              Replica.deliver_control r ~sender:(-1)
+                (Detmt_runtime.Sched_iface.Custom "view-change"))
+          t.members;
+        let pending =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.outstanding_nested []
+          |> List.sort compare
+        in
+        List.iter
+          (fun ((tid, call_index), (service, duration)) ->
+            perform_nested t ~by:view.Group.leader ~tid ~call_index ~service
+              ~duration)
+          pending);
   t
 
 let submit t ~client ~client_req ~meth ~args ~on_reply =
-  let sent_at = Engine.now t.engine in
-  Hashtbl.replace t.reply_waiters (client, client_req) (sent_at, on_reply);
-  (* client -> sequencer latency before the totally-ordered broadcast *)
-  Engine.schedule t.engine ~delay:t.params.client_latency_ms (fun () ->
-      Totem.count_kind t.bus "request";
-      ignore
-        (Totem.broadcast t.bus ~sender:(1000 + client)
-           (P_request { client; client_req; meth; args; sent_at;
-                        dummy = false })))
+  let key = (client, client_req) in
+  (* A retry that raced with its own answer must not re-register a waiter:
+     the next replica reply would fire the callback a second time. *)
+  if not (Hashtbl.mem t.answered key) then begin
+    let sent_at = Engine.now t.engine in
+    Hashtbl.replace t.reply_waiters key (sent_at, on_reply);
+    (* client -> sequencer latency before the totally-ordered broadcast *)
+    Engine.schedule t.engine ~delay:t.params.client_latency_ms (fun () ->
+        ignore
+          (bcast t ~sender:(1000 + client) ~kind:"request"
+             (P_request { client; client_req; meth; args; sent_at;
+                          dummy = false })))
+  end
 
 let engine t = t.engine
 
@@ -222,9 +283,104 @@ let kill_replica t id =
   Totem.set_alive t.bus id false;
   Group.kill t.grp id
 
+(* ------------------------------------------------------------------ *)
+(* Crash recovery: rejoin through a group view change with a state
+   transfer from a live donor.
+
+   The donor is sampled at local quiescence, when its whole state — object
+   fields, mutex-reference fields, scheduler bookkeeping — is a pure
+   function of the delivered prefix of the total order (every request up to
+   its watermark has fully executed, including nested calls and, under LSA,
+   every grant at or below the watermark: per-subscriber FIFO delivery
+   makes the watermark a prefix).  The suffix (logged messages past the
+   watermark) is replayed to the new incarnation in sequence order before
+   any post-join bus delivery can arrive, so the recovered replica observes
+   exactly the donor's total order. *)
+
+let recover_replica t ?at id =
+  if not (List.exists (fun r -> Replica.id r = id) t.members) then
+    invalid_arg (Printf.sprintf "Active.recover_replica: unknown replica %d" id);
+  let begin_at = Option.value ~default:(Engine.now t.engine) at in
+  let perform donor =
+    let donor_id = Replica.id donor in
+    let watermark = t.last_delivered.(donor_id) in
+    let state = Replica.state_snapshot donor in
+    let mutex_fields =
+      Object_state.mutex_field_snapshot (Replica.object_state donor)
+    in
+    let sched_state = Replica.sched_snapshot donor in
+    let completed =
+      t.completed_base.(donor_id) + Replica.completed_requests donor
+    in
+    (* Fresh incarnation; the old Replica.t stays dead and inert. *)
+    let r' = make_replica t ~engine:t.engine ~cls:t.cls_instr ~id in
+    let obj = Replica.object_state r' in
+    List.iter (fun (f, v) -> Object_state.set_state obj f v) state;
+    List.iter (fun (f, v) -> Object_state.set_mutex_field obj f v) mutex_fields;
+    Replica.sched_restore r' sched_state;
+    t.members <-
+      List.map (fun r -> if Replica.id r = id then r' else r) t.members;
+    t.dedups.(id) <- Dedup.copy t.dedups.(donor_id);
+    t.completed_base.(id) <- completed;
+    t.last_delivered.(id) <- watermark;
+    Totem.resubscribe t.bus ~id (fun msg -> deliver t r' msg);
+    (* Everything broadcast so far is covered by snapshot + replay; stale
+       in-flight copies addressed to the old incarnation must not leak in. *)
+    (match t.log with
+    | [] -> ()
+    | newest :: _ -> Totem.advance_watermark t.bus ~id ~seq:newest.Message.seq);
+    Group.join t.grp id;
+    let suffix =
+      List.filter
+        (fun (m : payload Message.t) -> m.seq > watermark)
+        (List.rev t.log)
+    in
+    (* One network hop later, before any same-or-later bus arrival: events
+       scheduled for the same instant run in scheduling order. *)
+    Engine.schedule t.engine ~delay:t.params.net_latency_ms (fun () ->
+        List.iter (fun m -> deliver t r' m) suffix);
+    t.recoveries <- t.recoveries + 1
+  in
+  let rec attempt () =
+    if List.exists (fun r -> Replica.id r = id && Replica.alive r) t.members
+    then () (* already live *)
+    else
+      match
+        List.find_opt
+          (fun r -> Replica.alive r && Replica.id r <> id)
+          t.members
+      with
+      | None ->
+        failwith
+          (Printf.sprintf
+             "Active.recover_replica: no live donor for replica %d" id)
+      | Some donor ->
+        if Replica.active_threads donor > 0 then
+          (* Wait for donor quiescence — the only moment the snapshot is a
+             pure function of the delivered prefix. *)
+          Engine.schedule t.engine ~delay:t.params.recovery_poll_ms attempt
+        else perform donor
+  in
+  Engine.schedule_at t.engine ~time:begin_at attempt
+
+let set_checkpoint_sink t sink = t.checkpoint_sink <- Some sink
+
+let recoveries t = t.recoveries
+
+let faults t = Totem.faults t.bus
+
+let suppressed_duplicates t = Totem.suppressed_duplicates t.bus
+
 let response_times t = t.response_times
 
 let replies_received t = t.replies
+
+let outstanding_requests t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.reply_waiters []
+  |> List.filter (fun k -> not (Hashtbl.mem t.answered k))
+  |> List.sort compare
+
+let duplicate_client_replies t = t.duplicate_client_replies
 
 let reply_times t = List.rev t.reply_times
 

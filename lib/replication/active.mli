@@ -9,7 +9,12 @@
     Nested invocations follow section 2: only one replica (the current
     leader) performs the external call, and the reply is spread to all
     replicas through the bus, so every replica resumes the thread at the same
-    total-order position. *)
+    total-order position.
+
+    The bus can run over a degraded transport ({!Detmt_gcs.Faults}), and a
+    killed replica can rejoin through {!recover_replica}: a group view
+    change plus a state transfer from a live donor sampled at quiescence,
+    followed by an in-order replay of the missed message suffix. *)
 
 type t
 
@@ -20,9 +25,19 @@ type params = {
   net_latency_ms : float;  (** replica <-> replica one-way latency *)
   client_latency_ms : float;  (** client <-> replica one-way latency *)
   detection_timeout_ms : float;  (** failure-detection delay *)
+  faults : Detmt_gcs.Faults.spec option;
+      (** degrade the transport under the bus; [None] = perfect network *)
+  recovery_poll_ms : float;
+      (** how often a recovery waiting for donor quiescence re-checks *)
 }
 
 val default_params : params
+
+type checkpoint_sink =
+  replica:int -> seq:int -> hash:int64 -> state:(string * int) list -> unit
+(** A divergence-detector observer: replica [replica] reached checkpoint
+    [seq] (monotone per replica, comparable across replicas) with state
+    fingerprint [hash] and field values [state]. *)
 
 val create :
   engine:Detmt_sim.Engine.t ->
@@ -42,7 +57,9 @@ val submit :
   on_reply:(response_ms:float -> unit) ->
   unit
 (** Broadcast one request; [on_reply] fires at the client when the first
-    replica reply arrives, with the end-to-end response time. *)
+    replica reply arrives, with the end-to-end response time.  Resubmitting
+    an already-answered [(client, client_req)] is a no-op, so client-side
+    retries keep exactly-once semantics. *)
 
 val engine : t -> Detmt_sim.Engine.t
 
@@ -55,9 +72,40 @@ val group : t -> Detmt_gcs.Group.t
 val kill_replica : t -> int -> unit
 (** Fail a replica now: it stops executing and receiving. *)
 
+val recover_replica : t -> ?at:float -> int -> unit
+(** Bring a killed replica back (at [at], default now).  The recovery waits
+    for a live donor to reach quiescence, transfers its snapshot (object
+    state, mutex fields, scheduler bookkeeping, duplicate-suppression table)
+    stamped with the donor's total-order watermark, rejoins the group (a
+    [Join] view; seniority ordering means the rejoiner never becomes
+    leader), and replays the missed message suffix in sequence order.
+    No-op if the replica is already live.
+    @raise Failure when no live donor exists. *)
+
+val set_checkpoint_sink : t -> checkpoint_sink -> unit
+(** Install the divergence-detector observer; each replica reports at every
+    local quiescence point. *)
+
+val recoveries : t -> int
+(** Completed recoveries. *)
+
+val faults : t -> Detmt_gcs.Faults.t option
+(** The fault plan attached to the bus, for its counters. *)
+
+val suppressed_duplicates : t -> int
+(** Transport duplicates the bus kept from the replicas. *)
+
 val response_times : t -> Detmt_stats.Summary.t
 
 val replies_received : t -> int
+
+val outstanding_requests : t -> (int * int) list
+(** Requests submitted but not yet answered, as sorted
+    [(client, client_req)] pairs — deadlock diagnostics. *)
+
+val duplicate_client_replies : t -> int
+(** Replies that would have fired a client callback twice, suppressed by the
+    exactly-once guard.  Zero in a correct run. *)
 
 val reply_times : t -> float list
 (** Client-side reply arrival times, in order — input to the take-over-time

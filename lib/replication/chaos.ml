@@ -1,0 +1,215 @@
+open Detmt_sim
+open Detmt_gcs
+
+(* Chaos harness: sweep fault scenarios x schedulers and assert the
+   robustness invariants — every request answered exactly once, replicas
+   checkpoint-consistent throughout, no deadlock, recovery converges.
+   Everything is seeded, so a failing combination replays exactly. *)
+
+type scenario = {
+  name : string;
+  descr : string;
+  faults : seed:int64 -> Faults.spec option;
+  kill : (float * int) option; (* (time_ms, replica) *)
+  recover_at : float option;
+}
+
+let mk ?(faults = fun ~seed:_ -> None) ?kill ?recover_at name descr =
+  { name; descr; faults; kill; recover_at }
+
+(* Faults are seeded from the sweep seed so two sweeps with the same seed
+   see the same network weather, and different scenarios draw from
+   different streams. *)
+let fault_seed ~seed ~salt = Int64.logxor seed (Int64.of_int (salt * 0x9E3779B9))
+
+let scenarios =
+  [ mk "baseline" "perfect network, no failures";
+    mk "jitter" "per-hop latency jitter"
+      ~faults:(fun ~seed ->
+        Some
+          { Faults.none with seed = fault_seed ~seed ~salt:1;
+            jitter_ms = 0.4 });
+    mk "lossy" "15% loss repaired by retransmits, plus jitter"
+      ~faults:(fun ~seed ->
+        Some
+          { Faults.none with seed = fault_seed ~seed ~salt:2;
+            jitter_ms = 0.2; loss_prob = 0.15; rto_ms = 2.0;
+            max_retransmits = 4 });
+    mk "dup-storm" "half of all packets delivered twice"
+      ~faults:(fun ~seed ->
+        Some
+          { Faults.none with seed = fault_seed ~seed ~salt:3;
+            dup_prob = 0.5; dup_extra_ms = 1.5 });
+    mk "partition-heal" "replica 2 cut off for 40ms, then healed"
+      ~faults:(fun ~seed ->
+        Some
+          { Faults.none with seed = fault_seed ~seed ~salt:4;
+            jitter_ms = 0.1;
+            partitions =
+              [ { Faults.src = None; dst = Some 2; from_ms = 40.0;
+                  until_ms = 80.0 } ] });
+    mk "crash-recover" "replica 2 killed at 60ms, rejoins at 160ms"
+      ~kill:(60.0, 2) ~recover_at:160.0;
+    mk "lossy-crash-recover"
+      "10% loss and jitter, replica 2 killed at 60ms, rejoins at 180ms"
+      ~faults:(fun ~seed ->
+        Some
+          { Faults.none with seed = fault_seed ~seed ~salt:5;
+            jitter_ms = 0.2; loss_prob = 0.10; rto_ms = 2.0;
+            max_retransmits = 4 })
+      ~kill:(60.0, 2) ~recover_at:180.0;
+  ]
+
+let find_scenario name = List.find_opt (fun s -> s.name = name) scenarios
+
+(* The deterministic schedulers under test.  Freefall is excluded on
+   purpose: it is the nondeterminism baseline and fails the divergence
+   invariants by design. *)
+let default_schedulers = [ "seq"; "sat"; "lsa"; "pds"; "mat"; "pmat" ]
+
+type outcome = {
+  o_scenario : string;
+  o_scheduler : string;
+  o_expected : int; (* requests submitted *)
+  o_replies : int;
+  o_duplicate_replies : int;
+  o_retries : int;
+  o_checkpoints : int; (* cross-replica checkpoint comparisons *)
+  o_divergence : Consistency.divergence option;
+  o_recoveries : int;
+  o_recoveries_wanted : int;
+  o_states_agree : bool;
+  o_acquisitions_agree : bool;
+  o_suppressed_duplicates : int;
+  o_losses : int;
+  o_duplicates_injected : int;
+  o_partition_holds : int;
+  o_duration_ms : float;
+  o_fingerprint : int64; (* whole-run hash: determinism witness *)
+}
+
+let ok o =
+  o.o_replies = o.o_expected
+  && o.o_duplicate_replies = 0
+  && o.o_divergence = None
+  && o.o_recoveries = o.o_recoveries_wanted
+  && o.o_states_agree
+  (* A recovered replica's acquisition fingerprint only covers its second
+     incarnation, so the cross-incarnation comparison is meaningful only in
+     recovery-free runs. *)
+  && (o.o_recoveries_wanted > 0 || o.o_acquisitions_agree)
+
+let run ?(seed = 42L) ?(clients = 4) ?(requests_per_client = 5)
+    ?(timeout_ms = 60.0) ~scenario ~scheduler ~cls ~gen () =
+  let engine = Engine.create () in
+  let params =
+    { Active.default_params with
+      scheduler; faults = scenario.faults ~seed;
+      (* generous detection so a lossy transport is not mistaken for a
+         failure while retransmits are still in flight *)
+      detection_timeout_ms = 50.0 }
+  in
+  let system = Active.create ~engine ~cls ~params () in
+  let monitor = Consistency.create_monitor () in
+  Active.set_checkpoint_sink system (fun ~replica ~seq ~hash ~state ->
+      Consistency.observe monitor ~replica ~seq ~hash ~state);
+  Option.iter
+    (fun (at, id) ->
+      Engine.schedule_at engine ~time:at (fun () ->
+          Active.kill_replica system id))
+    scenario.kill;
+  (match (scenario.recover_at, scenario.kill) with
+  | Some at, Some (_, id) -> Active.recover_replica system ~at id
+  | Some _, None ->
+    invalid_arg "Chaos.run: recover_at without a kill makes no sense"
+  | None, _ -> ());
+  let stats =
+    Client.run_clients_stats ~engine ~system ~clients ~requests_per_client
+      ~gen ~seed ~timeout_ms ()
+  in
+  let report = Consistency.check (Active.live_replicas system) in
+  let fault_counters =
+    match Active.faults system with
+    | None -> (0, 0, 0)
+    | Some f ->
+      (Faults.losses f, Faults.duplicates_injected f, Faults.partition_holds f)
+  in
+  let losses, dups, holds = fault_counters in
+  (* One number that must be bit-identical across two runs with the same
+     seed: fold every replica fingerprint and the run shape together. *)
+  let fingerprint =
+    let mix h x = Int64.mul (Int64.logxor h x) 0x100000001B3L in
+    let h = ref 0xCBF29CE484222325L in
+    List.iter
+      (fun (_, x) -> h := mix !h x)
+      (report.Consistency.state_hashes @ report.Consistency.trace_hashes);
+    h := mix !h (Int64.of_int (Active.replies_received system));
+    h := mix !h (Int64.bits_of_float (Engine.now engine));
+    !h
+  in
+  { o_scenario = scenario.name; o_scheduler = scheduler;
+    o_expected = clients * requests_per_client;
+    o_replies = Active.replies_received system;
+    o_duplicate_replies = Active.duplicate_client_replies system;
+    o_retries = stats.Client.run_retries;
+    o_checkpoints = Consistency.checkpoints_compared monitor;
+    o_divergence = Consistency.first_divergence monitor;
+    o_recoveries = Active.recoveries system;
+    o_recoveries_wanted = (match scenario.recover_at with Some _ -> 1 | None -> 0);
+    o_states_agree = report.Consistency.states_agree;
+    o_acquisitions_agree = report.Consistency.acquisitions_agree;
+    o_suppressed_duplicates = Active.suppressed_duplicates system;
+    o_losses = losses; o_duplicates_injected = dups;
+    o_partition_holds = holds;
+    o_duration_ms = Engine.now engine;
+    o_fingerprint = fingerprint }
+
+let sweep ?(seed = 42L) ?(schedulers = default_schedulers)
+    ?(scenario_names = List.map (fun s -> s.name) scenarios) ?clients
+    ?requests_per_client ~cls ~gen () =
+  List.concat_map
+    (fun name ->
+      match find_scenario name with
+      | None -> invalid_arg (Printf.sprintf "Chaos.sweep: no scenario %S" name)
+      | Some scenario ->
+        List.map
+          (fun scheduler ->
+            run ~seed ?clients ?requests_per_client ~scenario ~scheduler ~cls
+              ~gen ())
+          schedulers)
+    scenario_names
+
+let table outcomes =
+  let t =
+    Detmt_stats.Table.create
+      ~title:
+        "Chaos sweep: exactly-once replies, runtime divergence detection, \
+         recovery convergence"
+      ~columns:
+        [ "scenario"; "scheduler"; "replies"; "retries"; "checkpoints";
+          "recovered"; "faults (loss/dup/cut)"; "verdict" ]
+  in
+  List.iter
+    (fun o ->
+      Detmt_stats.Table.add_row t
+        [ o.o_scenario; o.o_scheduler;
+          Printf.sprintf "%d/%d" o.o_replies o.o_expected;
+          string_of_int o.o_retries;
+          string_of_int o.o_checkpoints;
+          (if o.o_recoveries_wanted = 0 then "-"
+           else Printf.sprintf "%d/%d" o.o_recoveries o.o_recoveries_wanted);
+          Printf.sprintf "%d/%d/%d" o.o_losses o.o_duplicates_injected
+            o.o_partition_holds;
+          (if ok o then "ok"
+           else
+             match o.o_divergence with
+             | Some d -> Format.asprintf "%a" Consistency.pp_divergence d
+             | None ->
+               if o.o_replies <> o.o_expected then "missing replies"
+               else if o.o_duplicate_replies > 0 then "duplicate replies"
+               else if not o.o_states_agree then "final states diverge"
+               else if o.o_recoveries <> o.o_recoveries_wanted then
+                 "recovery did not converge"
+               else "acquisition orders diverge") ])
+    outcomes;
+  t

@@ -1,0 +1,85 @@
+(** Chaos harness: fault scenarios x deterministic schedulers.
+
+    Each run wires a workload through {!Active} on a degraded transport
+    ({!Detmt_gcs.Faults}), optionally kills and recovers a replica, and
+    checks the robustness invariants:
+
+    - every submitted request is answered exactly once (retries included),
+    - the runtime divergence detector never fires,
+    - survivors (and a recovered replica) agree on the final state,
+    - the simulation drains without deadlock,
+    - scheduled recoveries complete.
+
+    Everything is seeded — the same seed replays the same run bit for bit,
+    which {!outcome.o_fingerprint} witnesses. *)
+
+type scenario = {
+  name : string;
+  descr : string;
+  faults : seed:int64 -> Detmt_gcs.Faults.spec option;
+  kill : (float * int) option;  (** [(time_ms, replica)] *)
+  recover_at : float option;
+}
+
+val scenarios : scenario list
+(** The built-in scenarios: [baseline], [jitter], [lossy], [dup-storm],
+    [partition-heal], [crash-recover], [lossy-crash-recover]. *)
+
+val find_scenario : string -> scenario option
+
+val default_schedulers : string list
+(** The deterministic schedulers swept by default: seq, sat, lsa, pds, mat,
+    pmat.  The freefall baseline is excluded — it diverges by design. *)
+
+type outcome = {
+  o_scenario : string;
+  o_scheduler : string;
+  o_expected : int;
+  o_replies : int;
+  o_duplicate_replies : int;
+  o_retries : int;
+  o_checkpoints : int;
+  o_divergence : Consistency.divergence option;
+  o_recoveries : int;
+  o_recoveries_wanted : int;
+  o_states_agree : bool;
+  o_acquisitions_agree : bool;
+  o_suppressed_duplicates : int;
+  o_losses : int;
+  o_duplicates_injected : int;
+  o_partition_holds : int;
+  o_duration_ms : float;
+  o_fingerprint : int64;
+}
+
+val ok : outcome -> bool
+(** All invariants hold. *)
+
+val run :
+  ?seed:int64 ->
+  ?clients:int ->
+  ?requests_per_client:int ->
+  ?timeout_ms:float ->
+  scenario:scenario ->
+  scheduler:string ->
+  cls:Detmt_lang.Class_def.t ->
+  gen:Client.request_gen ->
+  unit ->
+  outcome
+(** One (scenario, scheduler) combination.  [timeout_ms] arms the clients'
+    retry timers (default 60 virtual ms).
+    @raise Failure on deadlock (with full diagnostics). *)
+
+val sweep :
+  ?seed:int64 ->
+  ?schedulers:string list ->
+  ?scenario_names:string list ->
+  ?clients:int ->
+  ?requests_per_client:int ->
+  cls:Detmt_lang.Class_def.t ->
+  gen:Client.request_gen ->
+  unit ->
+  outcome list
+(** The full cross product, scenario-major. *)
+
+val table : outcome list -> Detmt_stats.Table.t

@@ -1,4 +1,5 @@
 open Detmt_sim
+open Detmt_runtime
 
 type request_gen =
   client:int -> seq:int -> Rng.t -> string * Detmt_lang.Ast.value array
@@ -10,27 +11,62 @@ type t = {
   gen : request_gen;
   think_time_ms : float;
   max_requests : int;
+  timeout_ms : float option;
+  max_retries : int;
   mutable sent : int;
   mutable completed : int;
   mutable waiting : bool;
+  mutable current : int; (* the request seq we are waiting on *)
+  mutable retries : int;
 }
 
 let create system ~id ~rng ~gen ?(think_time_ms = 0.0) ?(max_requests = 10)
-    () =
-  { system; id; rng; gen; think_time_ms; max_requests; sent = 0;
-    completed = 0; waiting = false }
+    ?timeout_ms ?(max_retries = 5) () =
+  (match timeout_ms with
+  | Some ms when ms <= 0.0 -> invalid_arg "Client.create: timeout_ms <= 0"
+  | _ -> ());
+  if max_retries < 0 then invalid_arg "Client.create: max_retries < 0";
+  { system; id; rng; gen; think_time_ms; max_requests; timeout_ms;
+    max_retries; sent = 0; completed = 0; waiting = false; current = -1;
+    retries = 0 }
 
-let rec send_next t =
+(* Retry [attempt] of request [seq] after timeout * 2^attempt — deterministic
+   exponential backoff, no randomness, so runs replay exactly.  The
+   replication layer's duplicate suppression makes resubmission idempotent:
+   replicas that already delivered the request drop the copy, and an
+   already-answered request is not re-registered. *)
+let rec arm_timeout t ~seq ~meth ~args ~attempt =
+  match t.timeout_ms with
+  | None -> ()
+  | Some timeout ->
+    let delay = timeout *. Float.pow 2.0 (float_of_int attempt) in
+    Engine.schedule (Active.engine t.system) ~delay (fun () ->
+        if t.waiting && t.current = seq && attempt < t.max_retries then begin
+          t.retries <- t.retries + 1;
+          Active.submit t.system ~client:t.id ~client_req:seq ~meth ~args
+            ~on_reply:(reply_handler t ~seq);
+          arm_timeout t ~seq ~meth ~args ~attempt:(attempt + 1)
+        end)
+
+and reply_handler t ~seq ~response_ms:_ =
+  (* Guarded: a reply for a request we already moved past (late duplicate)
+     must not double-count or restart the send loop. *)
+  if t.waiting && t.current = seq then begin
+    t.waiting <- false;
+    t.completed <- t.completed + 1;
+    on_reply t
+  end
+
+and send_next t =
   if t.sent < t.max_requests then begin
     let seq = t.sent in
     t.sent <- seq + 1;
     t.waiting <- true;
+    t.current <- seq;
     let meth, args = t.gen ~client:t.id ~seq t.rng in
     Active.submit t.system ~client:t.id ~client_req:seq ~meth ~args
-      ~on_reply:(fun ~response_ms:_ ->
-        t.waiting <- false;
-        t.completed <- t.completed + 1;
-        on_reply t)
+      ~on_reply:(reply_handler t ~seq);
+    arm_timeout t ~seq ~meth ~args ~attempt:0
   end
 
 and on_reply t =
@@ -48,6 +84,8 @@ and start t = send_next t
 let completed t = t.completed
 
 let in_flight t = t.waiting
+
+let retries t = t.retries
 
 let run_open_loop ~engine ~system ~rate_per_s ~requests ~gen ?(seed = 42L)
     ?until_ms () =
@@ -72,19 +110,91 @@ let run_open_loop ~engine ~system ~rate_per_s ~requests ~gen ?(seed = 42L)
       (Printf.sprintf "open-loop run drained with %d of %d requests answered"
          !completed requests)
 
-let run_clients ~engine ~system ~clients ~requests_per_client ~gen
-    ?(think_time_ms = 0.0) ?(seed = 42L) ?until_ms () =
+type run_stats = {
+  run_completed : int;
+  run_retries : int;
+  run_outstanding : int;
+}
+
+let status_to_string = function
+  | Replica.Created -> "created"
+  | Running -> "running"
+  | Lock_blocked { syncid; mutex } ->
+    Printf.sprintf "lock-blocked(sync %d, mutex %d)" syncid mutex
+  | Wait_parked { mutex; _ } -> Printf.sprintf "waiting(mutex %d)" mutex
+  | Reacquire_blocked { mutex; _ } ->
+    Printf.sprintf "reacquire-blocked(mutex %d)" mutex
+  | Nested_blocked { call_index } ->
+    Printf.sprintf "nested-blocked(call %d)" call_index
+  | Nested_ready { call_index } ->
+    Printf.sprintf "nested-ready(call %d)" call_index
+  | Terminated -> "terminated"
+
+(* When the event queue drains with clients still waiting, a bare "deadlock?"
+   helps nobody: name the requests nobody answered, where every replica's
+   threads are stuck, and who holds the locks they want. *)
+let deadlock_message ~system ~stuck =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "simulation drained with %d client(s) still waiting (deadlock?)"
+       (List.length stuck));
+  Buffer.add_string buf
+    (Printf.sprintf "\n  stuck clients: %s"
+       (String.concat ", "
+          (List.map (fun c -> Printf.sprintf "client %d" c.id) stuck)));
+  let outstanding = Active.outstanding_requests system in
+  Buffer.add_string buf
+    (Printf.sprintf "\n  unanswered requests: %s"
+       (if outstanding = [] then "none registered"
+        else
+          String.concat ", "
+            (List.map
+               (fun (c, r) -> Printf.sprintf "client %d req %d" c r)
+               outstanding)));
+  List.iter
+    (fun r ->
+      let threads = Replica.threads_overview r in
+      let locks = Replica.lock_holders r in
+      Buffer.add_string buf
+        (Printf.sprintf "\n  replica %d: %s" (Replica.id r)
+           (if threads = [] then "quiescent"
+            else
+              String.concat ", "
+                (List.map
+                   (fun (tid, st) ->
+                     Printf.sprintf "t%d %s" tid (status_to_string st))
+                   threads)));
+      if locks <> [] then
+        Buffer.add_string buf
+          (Printf.sprintf "; locks held: %s"
+             (String.concat ", "
+                (List.map
+                   (fun (m, tid) -> Printf.sprintf "mutex %d by t%d" m tid)
+                   locks))))
+    (Active.live_replicas system);
+  Buffer.contents buf
+
+let run_clients_stats ~engine ~system ~clients ~requests_per_client ~gen
+    ?(think_time_ms = 0.0) ?(seed = 42L) ?until_ms ?timeout_ms ?max_retries
+    () =
   let master = Rng.create seed in
   let all =
     List.init clients (fun id ->
         create system ~id ~rng:(Rng.split master) ~gen ~think_time_ms
-          ~max_requests:requests_per_client ())
+          ~max_requests:requests_per_client ?timeout_ms ?max_retries ())
   in
   List.iter start all;
   Engine.run ?until:until_ms engine;
-  let outstanding = List.filter in_flight all in
-  if outstanding <> [] && until_ms = None then
-    failwith
-      (Printf.sprintf
-         "simulation drained with %d client(s) still waiting (deadlock?)"
-         (List.length outstanding))
+  let stuck = List.filter in_flight all in
+  if stuck <> [] && until_ms = None then
+    failwith (deadlock_message ~system ~stuck);
+  { run_completed = List.fold_left (fun n c -> n + completed c) 0 all;
+    run_retries = List.fold_left (fun n c -> n + retries c) 0 all;
+    run_outstanding = List.length stuck }
+
+let run_clients ~engine ~system ~clients ~requests_per_client ~gen
+    ?(think_time_ms = 0.0) ?(seed = 42L) ?until_ms () =
+  ignore
+    (run_clients_stats ~engine ~system ~clients ~requests_per_client ~gen
+       ~think_time_ms ~seed ?until_ms ())

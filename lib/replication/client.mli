@@ -2,7 +2,12 @@
     request, waits for the (first) reply, optionally thinks, and repeats.
     All random decisions a request needs are pre-drawn from the client's own
     seeded stream and shipped in the request arguments, so replicas never
-    draw randomness themselves. *)
+    draw randomness themselves.
+
+    With [timeout_ms] set, an unanswered request is resubmitted after a
+    deterministic exponential backoff (timeout, 2x, 4x, ...).  Resubmission
+    is idempotent end to end: replicas suppress the duplicate and the
+    replication layer never answers one request twice. *)
 
 type request_gen =
   client:int -> seq:int -> Detmt_sim.Rng.t -> string * Detmt_lang.Ast.value array
@@ -17,8 +22,12 @@ val create :
   gen:request_gen ->
   ?think_time_ms:float ->
   ?max_requests:int ->
+  ?timeout_ms:float ->
+  ?max_retries:int ->
   unit ->
   t
+(** [timeout_ms] arms the retry timer (off by default); [max_retries]
+    (default 5) caps resubmissions per request. *)
 
 val start : t -> unit
 (** Send the first request. *)
@@ -26,6 +35,34 @@ val start : t -> unit
 val completed : t -> int
 
 val in_flight : t -> bool
+
+val retries : t -> int
+(** Requests resubmitted after a timeout. *)
+
+type run_stats = {
+  run_completed : int;  (** requests answered, across all clients *)
+  run_retries : int;  (** timeout resubmissions, across all clients *)
+  run_outstanding : int;  (** clients still waiting when the run stopped *)
+}
+
+val run_clients_stats :
+  engine:Detmt_sim.Engine.t ->
+  system:Active.t ->
+  clients:int ->
+  requests_per_client:int ->
+  gen:request_gen ->
+  ?think_time_ms:float ->
+  ?seed:int64 ->
+  ?until_ms:float ->
+  ?timeout_ms:float ->
+  ?max_retries:int ->
+  unit ->
+  run_stats
+(** Create [clients] closed-loop clients, run the simulation until every
+    client finished its quota (or [until_ms] virtual time elapsed).  Raises
+    [Failure] if the simulation deadlocks with requests outstanding; the
+    message lists the unanswered requests, every live replica's blocked
+    threads and the current lock holders. *)
 
 val run_clients :
   engine:Detmt_sim.Engine.t ->
@@ -38,9 +75,7 @@ val run_clients :
   ?until_ms:float ->
   unit ->
   unit
-(** Create [clients] closed-loop clients, run the simulation until every
-    client finished its quota (or [until_ms] virtual time elapsed), raising
-    [Failure] if the simulation deadlocks with requests outstanding. *)
+(** {!run_clients_stats} without the stats (and without retries). *)
 
 val run_open_loop :
   engine:Detmt_sim.Engine.t ->

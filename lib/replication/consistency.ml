@@ -45,3 +45,89 @@ let pp ppf r =
     (verdict r.states_agree)
     (verdict r.acquisitions_agree)
     (verdict r.traces_agree)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime divergence detection.
+
+   [check] compares replicas once, after the run; the monitor compares
+   checkpoint streams *during* the run, so a divergence is pinned to the
+   first checkpoint sequence where two replicas disagree — long before the
+   damage is buried under later requests.  Replicas emit a checkpoint at
+   every local quiescence point, keyed by a sequence number comparable
+   across replicas (completed requests, offset by the recovery base). *)
+
+type divergence = {
+  seq : int;
+  replica_a : int;
+  hash_a : int64;
+  replica_b : int;
+  hash_b : int64;
+  differing_fields : (string * int * int) list;
+      (* field, value at [replica_a], value at [replica_b] *)
+}
+
+type checkpoint = { cp_replica : int; cp_hash : int64; cp_state : (string * int) list }
+
+type monitor = {
+  table : (int, checkpoint list) Hashtbl.t; (* seq -> observations *)
+  mutable compared : int;
+  mutable divergences : divergence list; (* newest first *)
+  mutable on_divergence : (divergence -> unit) option;
+}
+
+let create_monitor () =
+  { table = Hashtbl.create 256; compared = 0; divergences = [];
+    on_divergence = None }
+
+let set_on_divergence m f = m.on_divergence <- Some f
+
+let diff_fields a b =
+  (* Both snapshots come from the same class, so the sorted key sets match;
+     pair defensively anyway. *)
+  List.filter_map
+    (fun (k, va) ->
+      match List.assoc_opt k b with
+      | Some vb when vb <> va -> Some (k, va, vb)
+      | _ -> None)
+    a
+
+let observe m ~replica ~seq ~hash ~state =
+  let prior = Option.value ~default:[] (Hashtbl.find_opt m.table seq) in
+  List.iter
+    (fun cp ->
+      m.compared <- m.compared + 1;
+      if not (Int64.equal cp.cp_hash hash) then begin
+        let d =
+          { seq; replica_a = cp.cp_replica; hash_a = cp.cp_hash;
+            replica_b = replica; hash_b = hash;
+            differing_fields = diff_fields cp.cp_state state }
+        in
+        m.divergences <- d :: m.divergences;
+        Option.iter (fun f -> f d) m.on_divergence
+      end)
+    prior;
+  Hashtbl.replace m.table seq
+    ({ cp_replica = replica; cp_hash = hash; cp_state = state } :: prior)
+
+let checkpoints_compared m = m.compared
+
+let first_divergence m =
+  match m.divergences with
+  | [] -> None
+  | ds ->
+    Some
+      (List.fold_left (fun best d -> if d.seq < best.seq then d else best)
+         (List.hd ds) (List.tl ds))
+
+let pp_divergence ppf d =
+  Format.fprintf ppf
+    "divergence at checkpoint %d: replica %d (%Lx) vs replica %d (%Lx)%s"
+    d.seq d.replica_a d.hash_a d.replica_b d.hash_b
+    (match d.differing_fields with
+    | [] -> ""
+    | fs ->
+      "; fields "
+      ^ String.concat ", "
+          (List.map
+             (fun (f, va, vb) -> Printf.sprintf "%s: %d vs %d" f va vb)
+             fs))

@@ -30,3 +30,46 @@ val consistent : report -> bool
 (** All three fingerprints agree. *)
 
 val pp : Format.formatter -> report -> unit
+
+(** {2 Runtime divergence detection}
+
+    {!check} compares replicas once, after the run.  The monitor compares
+    checkpoint streams {e during} the run: replicas report a state hash at
+    every local quiescence point ({!Active.set_checkpoint_sink}), keyed by a
+    sequence number comparable across replicas, and the first disagreement
+    is pinned to its checkpoint with the differing state fields. *)
+
+type divergence = {
+  seq : int;  (** checkpoint sequence where the disagreement surfaced *)
+  replica_a : int;
+  hash_a : int64;
+  replica_b : int;
+  hash_b : int64;
+  differing_fields : (string * int * int) list;
+      (** field, value at [replica_a], value at [replica_b] *)
+}
+
+type monitor
+
+val create_monitor : unit -> monitor
+
+val observe :
+  monitor ->
+  replica:int ->
+  seq:int ->
+  hash:int64 ->
+  state:(string * int) list ->
+  unit
+(** Record one checkpoint and compare it against every other replica's
+    checkpoint at the same sequence. *)
+
+val set_on_divergence : monitor -> (divergence -> unit) -> unit
+(** Fail-fast hook, fired the moment a comparison disagrees. *)
+
+val first_divergence : monitor -> divergence option
+(** The divergence with the lowest checkpoint sequence, if any. *)
+
+val checkpoints_compared : monitor -> int
+(** Number of cross-replica checkpoint comparisons performed. *)
+
+val pp_divergence : Format.formatter -> divergence -> unit

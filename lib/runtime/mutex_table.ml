@@ -62,6 +62,12 @@ let restore t ~mutex ~tid ~count =
     e.count <- count
   | None -> Hashtbl.add t mutex { owner = tid; count }
 
+let holders t =
+  Hashtbl.fold
+    (fun mutex e acc -> if e.count > 0 then (mutex, e.owner) :: acc else acc)
+    t []
+  |> List.sort compare
+
 let held_by t ~tid =
   Hashtbl.fold
     (fun mutex e acc -> if e.count > 0 && e.owner = tid then mutex :: acc

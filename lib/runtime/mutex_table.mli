@@ -34,6 +34,10 @@ val restore : t -> mutex:int -> tid:int -> count:int -> unit
 (** Re-acquisition after [wait]: restore the saved count.
     @raise Invalid_argument when the mutex is not free. *)
 
+val holders : t -> (int * int) list
+(** All currently held mutexes as [(mutex, owner)] pairs, sorted — deadlock
+    diagnostics. *)
+
 val held_by : t -> tid:int -> int list
 (** Mutexes currently owned by the thread, sorted. *)
 

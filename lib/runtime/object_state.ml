@@ -64,6 +64,8 @@ let fingerprint t =
 
 let state_snapshot t = sorted t.state_fields
 
+let mutex_field_snapshot t = sorted t.mutex_fields
+
 let pp ppf t =
   List.iter
     (fun (k, v) -> Format.fprintf ppf "%s=%d " k v)

@@ -34,4 +34,8 @@ val fingerprint : t -> int64
 val state_snapshot : t -> (string * int) list
 (** Sorted state-field values. *)
 
+val mutex_field_snapshot : t -> (string * int) list
+(** Sorted mutex-reference-field values — part of a state-transfer snapshot
+    alongside {!state_snapshot}. *)
+
 val pp : Format.formatter -> t -> unit

@@ -46,6 +46,9 @@ type t = {
   mutable completed : int;
   mutable acquisitions : int;
   acq_hashes : (int, int64) Hashtbl.t; (* per-mutex acquisition-order hash *)
+  mutable on_quiescent : (completed:int -> unit) option;
+      (* fired whenever the last active thread terminates — the replication
+         layer hangs divergence checkpoints off this *)
 }
 
 let sched t =
@@ -76,6 +79,11 @@ let record_acquisition t ~mutex ~tid =
       (Hashtbl.find_opt t.acq_hashes mutex)
   in
   Hashtbl.replace t.acq_hashes mutex (mix prev tid)
+
+let count_active t =
+  Hashtbl.fold
+    (fun _ th n -> match th.status with Terminated -> n | _ -> n + 1)
+    t.threads 0
 
 (* Charge CPU time and continue; zero-cost steps continue synchronously. *)
 let after_cost t duration k =
@@ -108,7 +116,13 @@ and finish t th =
     record t (Trace.Thread_end { tid = th.tid });
     t.completed <- t.completed + 1;
     (sched t).on_terminate th.tid;
-    if not th.req.Request.dummy then t.callbacks.send_reply th.req
+    if not th.req.Request.dummy then t.callbacks.send_reply th.req;
+    (* Local quiescence: every delivered request has run to completion.  The
+       state is now a pure function of the delivered prefix of the total
+       order, so it is the sound moment for a divergence checkpoint. *)
+    match t.on_quiescent with
+    | Some hook when count_active t = 0 -> hook ~completed:t.completed
+    | _ -> ()
   end
 
 and handle_op t th op =
@@ -260,7 +274,7 @@ let create ~engine ~id ~cls ~config ?(oracle = Interp.default_oracle)
       condvars = Condvar.create (); trace_rec = Trace.create ();
       threads = Hashtbl.create 64; sched = None; callbacks; oracle;
       live = true; completed = 0; acquisitions = 0;
-      acq_hashes = Hashtbl.create 64 }
+      acq_hashes = Hashtbl.create 64; on_quiescent = None }
   in
   let actions =
     { Sched_iface.replica_id = id;
@@ -325,13 +339,25 @@ let object_state t = t.obj
 
 let completed_requests t = t.completed
 
-let active_threads t =
-  Hashtbl.fold
-    (fun _ th n -> match th.status with Terminated -> n | _ -> n + 1)
-    t.threads 0
+let active_threads t = count_active t
 
 let thread_status t tid =
   Option.map (fun th -> th.status) (Hashtbl.find_opt t.threads tid)
+
+let threads_overview t =
+  Hashtbl.fold
+    (fun tid th acc ->
+      match th.status with Terminated -> acc | s -> (tid, s) :: acc)
+    t.threads []
+  |> List.sort compare
+
+let lock_holders t = Mutex_table.holders t.mutexes
+
+let set_quiescent_hook t hook = t.on_quiescent <- Some hook
+
+let sched_snapshot t = (sched t).snapshot ()
+
+let sched_restore t kv = (sched t).restore kv
 
 let cpu_busy_ms t = Cpu.busy_time t.cpu
 

@@ -74,6 +74,24 @@ val active_threads : t -> int
 
 val thread_status : t -> int -> thread_status option
 
+val threads_overview : t -> (int * thread_status) list
+(** All non-terminated threads with their status, sorted by tid — deadlock
+    diagnostics. *)
+
+val lock_holders : t -> (int * int) list
+(** Currently held mutexes as [(mutex, owner)] pairs, sorted. *)
+
+val set_quiescent_hook : t -> (completed:int -> unit) -> unit
+(** Install a hook fired each time the last active thread terminates (local
+    quiescence).  The replication layer uses it to emit divergence-detector
+    checkpoints; [completed] is the number of completed requests. *)
+
+val sched_snapshot : t -> (string * int) list
+(** Scheduler bookkeeping that must survive a state transfer
+    ({!Sched_iface.sched.snapshot}). *)
+
+val sched_restore : t -> (string * int) list -> unit
+
 val cpu_busy_ms : t -> float
 
 val lock_acquisitions : t -> int

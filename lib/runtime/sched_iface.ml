@@ -64,6 +64,11 @@ type sched = {
   on_loop_enter : int -> loopid:int -> unit;
   on_loop_exit : int -> loopid:int -> unit;
   on_control : sender:int -> control -> unit;
+  snapshot : unit -> (string * int) list;
+      (* scheduler bookkeeping that outlives quiescence (counters that must
+         match across replicas), shipped in a state-transfer snapshot *)
+  restore : (string * int) list -> unit;
+      (* install a donor's [snapshot] into a freshly built scheduler *)
 }
 
 (* A scheduler skeleton whose informational callbacks do nothing — decision
@@ -80,4 +85,8 @@ let no_op_sched ~name ~on_request ~on_lock ~on_wakeup ~on_nested_reply =
     on_ignore = (fun _ ~syncid:_ -> ());
     on_loop_enter = (fun _ ~loopid:_ -> ());
     on_loop_exit = (fun _ ~loopid:_ -> ());
-    on_control = (fun ~sender:_ _ -> ()) }
+    on_control = (fun ~sender:_ _ -> ());
+    (* Most decision modules keep no state across quiescence; the ones that
+       do (LSA's grant counter, PDS's phantom slots) override these. *)
+    snapshot = (fun () -> []);
+    restore = (fun _ -> ()) }

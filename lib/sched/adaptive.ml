@@ -102,4 +102,6 @@ let make ?(window = 20) ?(on_switch = fun _ -> ()) ~config ~summary actions :
     on_ignore = (fun tid ~syncid -> t.child.on_ignore tid ~syncid);
     on_loop_enter = (fun tid ~loopid -> t.child.on_loop_enter tid ~loopid);
     on_loop_exit = (fun tid ~loopid -> t.child.on_loop_exit tid ~loopid);
-    on_control = (fun ~sender c -> t.child.on_control ~sender c) }
+    on_control = (fun ~sender c -> t.child.on_control ~sender c);
+    snapshot = (fun () -> t.child.snapshot ());
+    restore = (fun kv -> t.child.restore kv) }

@@ -170,4 +170,13 @@ let make (actions : Sched_iface.actions) : Sched_iface.sched =
     on_unlock = (fun tid ~syncid ~mutex ~freed ->
         on_unlock t tid ~syncid ~mutex ~freed);
     on_wait = (fun tid ~mutex -> on_wait t tid ~mutex);
-    on_control = (fun ~sender c -> on_control t ~sender c) }
+    on_control = (fun ~sender c -> on_control t ~sender c);
+    (* The grant counter orders every future leader grant; a recovered
+       follower must resume it at the donor's value or it would enforce
+       stale grant sequence numbers after a later promotion. *)
+    snapshot = (fun () -> [ ("grant_seq", t.grant_seq) ]);
+    restore =
+      (fun kv ->
+        List.iter
+          (fun (k, v) -> if k = "grant_seq" then t.grant_seq <- v)
+          kv) }

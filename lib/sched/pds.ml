@@ -9,6 +9,15 @@
    dummy messages are injected after a timeout so that requests are
    eventually processed; the price is additional group-communication load.
 
+   Batch membership is a pure function of the delivery order: slots are
+   filled from the totally-ordered backlog, and a member that terminates
+   before the round decision keeps occupying its slot (it counts as arrived)
+   until the decision consumes it.  This is what makes PDS replica-
+   deterministic even when the transport skews delivery *times* across
+   replicas — a local-time-based account of emptied slots would let one
+   replica's round decision see a termination another replica has not
+   witnessed yet, and batch compositions would drift apart.
+
    The paper's "optimised version [in which] each thread is allowed to
    request two locks" is implemented too: a round member that requests a
    second lock while still holding its round grant (nested synchronized
@@ -25,31 +34,41 @@ open Detmt_runtime
 
 type arrival =
   | A_lock of int (* mutex; includes monitor re-acquisitions *)
-  | A_suspended (* waits and nested invocations count as arrived *)
+  | A_suspended (* condvar waits count as arrived; see [on_nested_begin] *)
 
 type t = {
   actions : Sched_iface.actions;
   batch : int;
   dummy_timeout_ms : float;
   mutable backlog : int list; (* delivered, not yet started, FIFO *)
-  mutable slots : int list; (* started, not terminated, age order *)
-  mutable phantoms : int;
-      (* slots whose thread already terminated (dummies, lock-free
-         requests): they count as "arrived" towards the batch until the next
-         round decision *)
+  mutable slots : int list;
+      (* current batch members in age (= delivery) order, terminated members
+         included until the next round decision *)
+  terminated : (int, unit) Hashtbl.t;
+      (* batch members that finished before the decision; they count as
+         arrived and as batch occupancy *)
+  mutable ghost_slots : int;
+      (* occupied-by-terminated slots restored from a state-transfer
+         snapshot: the member identities are gone but the occupancy must
+         survive, or a recovered replica's batches would fill differently *)
   arrived : (int, arrival) Hashtbl.t;
   reacquire : (int, unit) Hashtbl.t; (* pending op is a re-acquisition *)
   mutable round_open : bool;
   mutable round_members : int list; (* threads whose lock this round decides *)
   round_grants : (int, int) Hashtbl.t; (* grants per member this round *)
   mutable round_waiting : (int * int) list; (* (tid, mutex), age order *)
+  mutable second_waiting : (int * int) list;
+      (* second-in-round requests, tid order; they yield to every decided
+         request for the same mutex (see [grant_eligible]) *)
   mutable round_unreleased : (int * int) list; (* granted, not yet released *)
   mutable timer_armed : bool;
   mutable dummies_requested : int;
 }
 
+let occupancy t = t.ghost_slots + List.length t.slots
+
 let fill_slots t =
-  while List.length t.slots < t.batch && t.backlog <> [] do
+  while occupancy t < t.batch && t.backlog <> [] do
     match t.backlog with
     | [] -> ()
     | tid :: rest ->
@@ -65,29 +84,54 @@ let grant t tid =
   end
   else t.actions.grant_lock tid
 
-(* Grant every still-waiting round member whose mutex is currently free, in
-   age order. *)
+(* Grant every still-waiting round member whose mutex is currently free.
+   Decided requests go first, in age order; a second-in-round request is
+   eligible only once no decided request for its mutex remains.  Without
+   that priority the per-mutex owner order would depend on whether the
+   second request was inserted before or after the release that freed the
+   mutex — a local-time race that delivery skew resolves differently on
+   different replicas. *)
 let grant_eligible t =
+  let issue (tid, mutex) =
+    t.round_unreleased <- t.round_unreleased @ [ (tid, mutex) ];
+    Hashtbl.replace t.round_grants tid
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.round_grants tid));
+    grant t tid
+  in
   let rec go () =
-    let eligible =
+    let decided =
       List.find_opt
         (fun (tid, mutex) -> t.actions.mutex_free_for ~tid ~mutex)
         t.round_waiting
     in
-    match eligible with
-    | None -> ()
+    match decided with
     | Some (tid, mutex) ->
       t.round_waiting <- List.filter (fun (w, _) -> w <> tid) t.round_waiting;
-      t.round_unreleased <- t.round_unreleased @ [ (tid, mutex) ];
-      Hashtbl.replace t.round_grants tid
-        (1 + Option.value ~default:0 (Hashtbl.find_opt t.round_grants tid));
-      grant t tid;
+      issue (tid, mutex);
       go ()
+    | None ->
+      let second =
+        List.find_opt
+          (fun (tid, mutex) ->
+            t.actions.mutex_free_for ~tid ~mutex
+            && not (List.exists (fun (_, m) -> m = mutex) t.round_waiting))
+          t.second_waiting
+      in
+      (match second with
+      | None -> ()
+      | Some (tid, mutex) ->
+        t.second_waiting <-
+          List.filter (fun (w, _) -> w <> tid) t.second_waiting;
+        issue (tid, mutex);
+        go ())
   in
   go ()
 
 let rec end_round_if_done t =
-  if t.round_open && t.round_waiting = [] && t.round_unreleased = [] then begin
+  if
+    t.round_open && t.round_waiting = [] && t.second_waiting = []
+    && t.round_unreleased = []
+  then begin
     t.round_open <- false;
     (* Member arrivals were consumed when the round was decided; records
        that appeared while the round was open (members reaching their next
@@ -99,12 +143,21 @@ let rec end_round_if_done t =
 
 and check_round t =
   if (not t.round_open) && t.slots <> [] then begin
-    let all_arrived = List.for_all (Hashtbl.mem t.arrived) t.slots in
-    let batch_full = List.length t.slots + t.phantoms >= t.batch in
+    let all_arrived =
+      List.for_all
+        (fun tid -> Hashtbl.mem t.arrived tid || Hashtbl.mem t.terminated tid)
+        t.slots
+    in
+    let batch_full = occupancy t >= t.batch in
     if all_arrived && batch_full then begin
-      (* Decision point: the batch is complete (possibly padded by dummy
-         phantoms) and every member is at a deterministic stop. *)
-      t.phantoms <- 0;
+      (* Decision point: the batch is complete (possibly padded by members
+         that already terminated — dummies, lock-free requests) and every
+         live member is at a deterministic stop.  The decision consumes the
+         terminated occupants and frees their slots. *)
+      t.ghost_slots <- 0;
+      t.slots <-
+        List.filter (fun tid -> not (Hashtbl.mem t.terminated tid)) t.slots;
+      Hashtbl.reset t.terminated;
       Hashtbl.reset t.round_grants;
       let requests =
         List.filter_map
@@ -119,6 +172,7 @@ and check_round t =
         t.round_open <- true;
         t.round_members <- List.map fst requests;
         t.round_waiting <- requests;
+        t.second_waiting <- [];
         List.iter (fun tid -> Hashtbl.remove t.arrived tid) t.round_members;
         grant_eligible t;
         end_round_if_done t
@@ -131,7 +185,7 @@ and check_round t =
    scheduler asks for dummy messages so that all requests are eventually
    processed even if no new external messages arrive. *)
 and arm_timer t =
-  let missing = t.batch - List.length t.slots - t.phantoms in
+  let missing = t.batch - occupancy t in
   let stalled_on_arrivals =
     missing > 0 && t.backlog = [] && Hashtbl.length t.arrived > 0
   in
@@ -139,7 +193,7 @@ and arm_timer t =
     t.timer_armed <- true;
     t.actions.schedule ~delay:t.dummy_timeout_ms (fun () ->
         t.timer_armed <- false;
-        let missing_now = t.batch - List.length t.slots - t.phantoms in
+        let missing_now = t.batch - occupancy t in
         if
           (not t.round_open) && missing_now > 0 && t.backlog = []
           && Hashtbl.length t.arrived > 0
@@ -165,9 +219,9 @@ let on_lock t tid ~syncid:_ ~mutex =
   if second_in_round then begin
     (* The optimised variant: a member still holding its round grant may
        request one more lock within the same round (nested synchronized
-       blocks would otherwise deadlock the round). *)
-    t.round_waiting <-
-      List.sort compare (t.round_waiting @ [ (tid, mutex) ]);
+       blocks would otherwise deadlock the round).  It queues behind every
+       decided request for the same mutex, in tid order among seconds. *)
+    t.second_waiting <- List.sort compare (t.second_waiting @ [ (tid, mutex) ]);
     grant_eligible t;
     end_round_if_done t
   end
@@ -214,7 +268,17 @@ let on_wait t tid ~mutex =
   else check_round t
 
 let on_nested_begin t tid =
-  Hashtbl.replace t.arrived tid A_suspended;
+  (* A member blocked on a nested invocation must NOT count as arrived: its
+     resume is triggered by the nested-reply broadcast, and treating it as a
+     deterministic stop would let the round decision race against that
+     delivery — fast-network replicas would decide with the member's next
+     lock request included, slow ones without it.  The reply has a fixed
+     position in the total order, so stalling the decision until the member
+     resumes and reaches a real stop is deterministic (and cheap: replies
+     need no round of their own).  Condvar waits are different: notifies are
+     synchronous within member executions, which all precede the decision,
+     so a parked thread's wake status at the decision is order-determined. *)
+  Hashtbl.remove t.arrived tid;
   if not t.round_open then check_round t
 
 let on_nested_reply t tid =
@@ -224,22 +288,22 @@ let on_nested_reply t tid =
   if not t.round_open then check_round t
 
 let on_terminate t tid =
-  if List.mem tid t.slots then begin
-    t.slots <- List.filter (fun s -> s <> tid) t.slots;
-    (* The emptied slot counts towards the current batch until the next
-       round decision — this is how dummy messages complete a batch. *)
-    t.phantoms <- t.phantoms + 1
-  end;
+  if List.mem tid t.slots then
+    (* The slot stays occupied (and counts as arrived) until the next round
+       decision — emptying it now would make the batch composition depend on
+       local termination timing, which delivery skew de-synchronises across
+       replicas. *)
+    Hashtbl.replace t.terminated tid ();
   Hashtbl.remove t.arrived tid;
   if t.round_open then begin
     t.round_unreleased <-
       List.filter (fun (w, _) -> w <> tid) t.round_unreleased;
     t.round_waiting <- List.filter (fun (w, _) -> w <> tid) t.round_waiting;
+    t.second_waiting <- List.filter (fun (w, _) -> w <> tid) t.second_waiting;
     grant_eligible t;
     end_round_if_done t
-  end;
-  fill_slots t;
-  check_round t
+  end
+  else check_round t
 
 let dummies_requested t = t.dummies_requested
 
@@ -247,11 +311,12 @@ let make_with ~batch ~dummy_timeout_ms (actions : Sched_iface.actions) :
     Sched_iface.sched * t =
   let t =
     { actions; batch; dummy_timeout_ms; backlog = []; slots = [];
-      phantoms = 0;
+      terminated = Hashtbl.create 16; ghost_slots = 0;
       arrived = Hashtbl.create 64; reacquire = Hashtbl.create 16;
       round_open = false; round_members = [];
       round_grants = Hashtbl.create 16; round_waiting = [];
-      round_unreleased = []; timer_armed = false; dummies_requested = 0 }
+      second_waiting = []; round_unreleased = []; timer_armed = false;
+      dummies_requested = 0 }
   in
   let base =
     Sched_iface.no_op_sched ~name:"pds"
@@ -265,7 +330,18 @@ let make_with ~batch ~dummy_timeout_ms (actions : Sched_iface.actions) :
           on_unlock t tid ~syncid ~mutex ~freed);
       on_wait = (fun tid ~mutex -> on_wait t tid ~mutex);
       on_nested_begin = on_nested_begin t;
-      on_terminate = on_terminate t },
+      on_terminate = on_terminate t;
+      (* At donor quiescence every member left in the slots has terminated;
+         their occupancy pads the next batch and must transfer, or a
+         recovered replica's rounds would open at different fill levels. *)
+      snapshot =
+        (fun () ->
+          [ ("occupied_slots", t.ghost_slots + List.length t.slots) ]);
+      restore =
+        (fun kv ->
+          List.iter
+            (fun (k, v) -> if k = "occupied_slots" then t.ghost_slots <- v)
+            kv) },
     t )
 
 let make ~config (actions : Sched_iface.actions) : Sched_iface.sched =
