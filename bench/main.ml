@@ -22,19 +22,104 @@ let heading title =
 
 let print_table t = say "%a@." Table.pp t
 
+(* --json: besides printing, dump each experiment's table (plus
+   per-column medians — the columns are schedulers) to
+   BENCH_<experiment>.json, for dashboards and regression diffing. *)
+
+let json_mode = ref false
+
+let median_of_column cells =
+  match List.sort compare (List.filter_map float_of_string_opt cells) with
+  | [] -> None
+  | vals -> Some (List.nth vals (List.length vals / 2))
+
+let table_json t =
+  let cols = Table.columns t in
+  let rows = Table.rows t in
+  let medians =
+    List.filteri (fun i _ -> i > 0) cols
+    |> List.filter_map (fun c ->
+           let i = ref (-1) in
+           let idx =
+             List.find_map
+               (fun c' -> incr i; if c' = c then Some !i else None)
+               cols
+           in
+           Option.bind idx (fun idx ->
+               median_of_column
+                 (List.filter_map (fun r -> List.nth_opt r idx) rows))
+           |> Option.map (fun m -> (c, Json.Float m)))
+  in
+  Json.Obj
+    [ ("title", Json.String (Table.title t));
+      ("columns", Json.List (List.map (fun c -> Json.String c) cols));
+      ("rows",
+       Json.List
+         (List.map
+            (fun r -> Json.List (List.map (fun c -> Json.String c) r))
+            rows));
+      ("median_by_column", Json.Obj medians) ]
+
+let emit_json name json =
+  if !json_mode then begin
+    let path = Printf.sprintf "BENCH_%s.json" name in
+    let oc = open_out path in
+    output_string oc (Json.to_string json);
+    output_char oc '\n';
+    close_out oc;
+    say "wrote %s@." path
+  end
+
+let report name t =
+  print_table t;
+  emit_json name (table_json t)
+
+(* Key per-scheduler metrics from one recorded canonical run (8 clients of
+   the Figure 1 workload): scheduler activity next to the response-time
+   medians.  LSA splits its grants between leader broadcasts and follower
+   enforcement, so the grant counter sums the three names. *)
+let scheduler_metrics scheduler =
+  let wl = Figure1.default in
+  let cls = Figure1.cls wl and gen = Figure1.gen wl in
+  let obs = Recorder.create () in
+  let r =
+    Experiment.run_workload ~obs ~scheduler ~clients:8 ~cls ~gen ()
+  in
+  let m = Recorder.metrics obs in
+  let c suffix = Metrics.counter_value m ("sched." ^ scheduler ^ "." ^ suffix) in
+  let grants = c "grants" + c "grant_broadcasts" + c "follower_grants" in
+  ( scheduler,
+    Json.Obj
+      [ ("mean_response_ms", Json.Float r.Experiment.mean_response_ms);
+        ("p95_response_ms", Json.Float r.Experiment.p95_response_ms);
+        ("throughput_per_s", Json.Float r.Experiment.throughput_per_s);
+        ("broadcasts", Json.Int r.Experiment.broadcasts);
+        ("grants", Json.Int grants);
+        ("deferrals", Json.Int (c "deferrals"));
+        ("totem_deliveries",
+         Json.Int (Metrics.counter_value m "totem.deliveries")) ] )
+
 (* ------------------------- figure experiments ---------------------- *)
 
 let fig1 () =
   heading "E1 / Figure 1 — response time vs #clients (paper's benchmark)";
   let table, series = Experiment.figure1 () in
   print_table table;
+  if !json_mode then begin
+    let metrics = List.map scheduler_metrics Registry.paper_figure1 in
+    match table_json table with
+    | Json.Obj fields ->
+      emit_json "fig1"
+        (Json.Obj (fields @ [ ("scheduler_metrics", Json.Obj metrics) ]))
+    | _ -> ()
+  end;
   Series.chart Format.std_formatter series;
   say "@.Expected shape: SEQ worst and degrading linearly; LSA best; MAT \
        ahead of SAT/PDS.@."
 
 let fig1b () =
   heading "E1b — compute-heavy ablation (front computation per request)";
-  print_table (Experiment.figure1b ());
+  report "fig1b" (Experiment.figure1b ());
   say "Expected shape: with lock-free front work, MAT clearly beats SAT and \
        PDS@.(\"threads that issue computations before changing the object \
        state\").@."
@@ -46,7 +131,7 @@ let show_timeline scheduler workload =
 
 let fig2 () =
   heading "E2 / Figure 2 — primary hand-off after the last lock";
-  print_table (Experiment.figure2 ());
+  report "fig2" (Experiment.figure2 ());
   show_timeline "mat" `Tail;
   show_timeline "mat-ll" `Tail;
   say "@.Expected shape: MAT+LL and PMAT hand the primary role over right \
@@ -55,7 +140,7 @@ let fig2 () =
 
 let fig3 () =
   heading "E3 / Figure 3 — non-conflicting mutexes";
-  print_table (Experiment.figure3 ());
+  report "fig3" (Experiment.figure3 ());
   show_timeline "mat" `Disjoint;
   show_timeline "pmat" `Disjoint;
   say "@.Expected shape: MAT degenerates to SEQ although the locks are \
@@ -67,50 +152,50 @@ let fig4 () =
 
 let wan () =
   heading "E5 — WAN sweep: LSA's broadcast dependence";
-  print_table (Experiment.wan ());
+  report "wan" (Experiment.wan ());
   say "Expected shape: LSA's advantage shrinks with latency (it broadcasts \
        every@.grant); MAT's messages are per-request only.@."
 
 let failover () =
   heading "E6 — leader failover take-over time";
-  print_table (Experiment.failover ());
+  report "failover" (Experiment.failover ());
   say "Expected shape: LSA pays roughly the failure-detection timeout; the \
        symmetric@.algorithms pay nothing.@."
 
 let pds () =
   heading "E7 — PDS batch size and dummy-message overhead";
-  print_table (Experiment.pds_batch ());
+  report "pds" (Experiment.pds_batch ());
   say "Expected shape: small batches serialise; large batches need dummy \
        traffic@.whenever the offered concurrency is below the batch size.@."
 
 let overhead () =
   heading "E8 — bookkeeping overhead vs prediction gain (section 5)";
-  print_table (Experiment.overhead ());
+  report "overhead" (Experiment.overhead ());
   say "Expected shape: on the Figure-1 workload (10 announcements per \
        request) the@.PMAT advantage erodes and crosses over around 5 ms per \
        injected call.@."
 
 let prodcons () =
   heading "E9 — condition variables: producer/consumer";
-  print_table (Experiment.prodcons ())
+  report "prodcons" (Experiment.prodcons ())
 
 let determinism () =
   heading "E10 — determinism matrix";
-  print_table (Experiment.determinism ());
+  report "determinism" (Experiment.determinism ());
   say "LSA agrees on states and per-mutex acquisition order but not on full \
        traces@.(followers replay the leader's decisions); freefall shows \
        what the checker@.catches without deterministic scheduling.@."
 
 let saturation () =
   heading "E13 — open-loop saturation: throughput limits per scheduler";
-  print_table (Experiment.saturation ());
+  report "saturation" (Experiment.saturation ());
   say "Expected shape: SEQ saturates first (~1/solo-time), SAT and MAT at \
        the@.single-active-thread bound, LSA and predicted MAT at the CPU \
        pool's capacity.@."
 
 let model () =
   heading "E11 — the section-5 analytic model vs the simulator";
-  print_table (Experiment.model ());
+  report "model" (Experiment.model ());
   say "Expected shape: within ~10%% at scale for seq/sat/mat/lsa; the model \
        captures@.SEQ's slope, the single-active-thread bound, MAT's \
        pre-lock overlap and LSA's@.core-bound plateau.@."
@@ -207,15 +292,16 @@ let experiments =
     ("interference", interference); ("micro", micro) ]
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [] | _ :: "all" :: _ ->
-    List.iter (fun (_, f) -> f ()) experiments
-  | _ :: "list" :: _ ->
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json, args = List.partition (( = ) "--json") args in
+  json_mode := json <> [];
+  match args with
+  | [] | "all" :: _ -> List.iter (fun (_, f) -> f ()) experiments
+  | "list" :: _ ->
     List.iter (fun (name, _) -> say "%s@." name) experiments
-  | _ :: name :: _ -> (
+  | name :: _ -> (
     match List.assoc_opt name experiments with
     | Some f -> f ()
     | None ->
       Format.eprintf "unknown experiment %S; try 'list'@." name;
       exit 2)
-  | [] -> assert false

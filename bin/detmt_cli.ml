@@ -274,6 +274,131 @@ let analyse_cmd =
           and interference report.")
     Term.(const show $ workload_arg $ file_arg)
 
+(* ------------------------- flight recorder -------------------------- *)
+
+let output_arg =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"PATH"
+           ~doc:"Write the export to a file instead of stdout.")
+
+let write_out out s =
+  match out with
+  | None -> print_string s
+  | Some path ->
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc;
+    Format.eprintf "wrote %s@." path
+
+(* Run one configuration with the flight recorder on.  Determinism contract:
+   this is the exact run [detmt-cli run] performs with the same flags — the
+   recorder is read-only. *)
+let record_run ~scheduler ~clients ~requests ~replicas ~seed ~workload
+    ~latency =
+  let cls, gen = resolve_workload workload in
+  let params =
+    { Detmt.Active.default_params with
+      scheduler; replicas; net_latency_ms = latency }
+  in
+  let obs = Detmt.Recorder.create () in
+  let result =
+    Detmt.Experiment.run_workload ~seed:(Int64.of_int seed) ~params
+      ~requests_per_client:requests ~obs ~scheduler ~clients ~cls ~gen ()
+  in
+  (obs, result)
+
+let trace_format_arg =
+  let doc =
+    "Export format: breakdown (per-request latency table), chrome \
+     (trace-event JSON for Perfetto / chrome://tracing), audit (scheduler \
+     decision log)."
+  in
+  Arg.(value & opt string "breakdown" & info [ "format" ] ~docv:"FMT" ~doc)
+
+let trace_cmd =
+  let run scheduler clients requests replicas seed workload latency format
+      csv out =
+    let obs, _result =
+      record_run ~scheduler ~clients ~requests ~replicas ~seed ~workload
+        ~latency
+    in
+    match format with
+    | "breakdown" ->
+      let title =
+        Printf.sprintf
+          "Per-request latency breakdown (ms): %s on %s, %d clients x %d \
+           requests"
+          scheduler workload clients requests
+      in
+      let t = Detmt.Recorder.breakdown_table ~title obs in
+      (match out with
+      | None -> emit csv t
+      | Some _ ->
+        write_out out
+          (if csv then Detmt.Table.to_csv t
+           else Format.asprintf "%a@." Detmt.Table.pp t))
+    | "chrome" -> write_out out (Detmt.Chrome.to_string obs)
+    | "audit" ->
+      let buf = Buffer.create 4096 in
+      let ppf = Format.formatter_of_buffer buf in
+      List.iter
+        (fun e -> Format.fprintf ppf "%a@." Detmt.Audit.pp_entry e)
+        (Detmt.Recorder.audit_entries obs);
+      Format.pp_print_flush ppf ();
+      write_out out (Buffer.contents buf)
+    | other ->
+      Format.eprintf "unknown trace format %S (breakdown, chrome, audit)@."
+        other;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one workload with the flight recorder on and export the \
+          request spans: a per-request latency breakdown whose columns sum \
+          to the measured response time, Chrome trace-event JSON, or the \
+          scheduler decision audit log.")
+    Term.(
+      const run $ scheduler_arg $ clients_arg $ requests_arg $ replicas_arg
+      $ seed_arg $ workload_arg $ latency_arg $ trace_format_arg $ csv_flag
+      $ output_arg)
+
+let metrics_cmd =
+  let run scheduler clients requests replicas seed workload latency csv json
+      out =
+    let obs, _result =
+      record_run ~scheduler ~clients ~requests ~replicas ~seed ~workload
+        ~latency
+    in
+    let m = Detmt.Recorder.metrics obs in
+    if json then write_out out (Detmt.Json.to_string (Detmt.Metrics.to_json m))
+    else
+      let title =
+        Printf.sprintf "Metrics: %s on %s, %d clients x %d requests"
+          scheduler workload clients requests
+      in
+      let t = Detmt.Metrics.to_table ~title m in
+      match out with
+      | None -> emit csv t
+      | Some _ ->
+        write_out out
+          (if csv then Detmt.Table.to_csv t
+           else Format.asprintf "%a@." Detmt.Table.pp t)
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the registry as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run one workload with the flight recorder on and print the \
+          metrics registry: scheduler grants/deferrals/queue depths, Totem \
+          broadcast/retransmit/dedup counters, replica request counters.")
+    Term.(
+      const run $ scheduler_arg $ clients_arg $ requests_arg $ replicas_arg
+      $ seed_arg $ workload_arg $ latency_arg $ csv_flag $ json_flag
+      $ output_arg)
+
 (* ------------------------------ chaos ------------------------------- *)
 
 let chaos_cmd =
@@ -297,10 +422,54 @@ let chaos_cmd =
          & info [ "quick" ]
              ~doc:"Smaller load (2 clients x 3 requests) for CI smoke runs.")
   in
-  let run csv seed scenario_names scheduler_names quick =
-    let wl = Detmt.Figure1.default in
-    let cls = Detmt.Figure1.cls wl in
-    let gen = Detmt.Figure1.gen wl in
+  let forensics_flag =
+    Arg.(value & flag
+         & info [ "forensics" ]
+             ~doc:
+               "On a divergence, replay the failing combination with the \
+                flight recorder on (determinism makes the replay \
+                bit-identical) and dump the scheduler decision audit window \
+                around the first divergent checkpoint.")
+  in
+  let forensics ~seed ~clients ~requests_per_client ~cls ~gen
+      (o : Detmt.Chaos.outcome) (d : Detmt.Consistency.divergence) =
+    match Detmt.Chaos.find_scenario o.Detmt.Chaos.o_scenario with
+    | None -> ()
+    | Some scenario ->
+      let obs = Detmt.Recorder.create () in
+      ignore
+        (Detmt.Chaos.run ~seed ~clients ~requests_per_client ~obs ~scenario
+           ~scheduler:o.Detmt.Chaos.o_scheduler ~cls ~gen ());
+      Format.printf
+        "@.forensics: %s/%s first divergence at checkpoint seq %d \
+         (replica %d hash %Lx vs replica %d hash %Lx)@."
+        o.Detmt.Chaos.o_scenario o.Detmt.Chaos.o_scheduler d.seq d.replica_a
+        d.hash_a d.replica_b d.hash_b;
+      List.iter
+        (fun (f, a, b) ->
+          Format.printf "  field %-12s %d vs %d@." f a b)
+        d.differing_fields;
+      (match
+         Detmt.Recorder.checkpoint_time obs ~replica:d.replica_a ~seq:d.seq
+       with
+      | None ->
+        Format.printf
+          "  (no checkpoint time recorded for replica %d seq %d)@."
+          d.replica_a d.seq
+      | Some at ->
+        let margin = 5.0 in
+        let window = Detmt.Recorder.audit_window obs ~around:at ~margin in
+        Format.printf
+          "  audit window %.2f ms around t=%.2f ms (%d of %d decisions):@."
+          margin at (List.length window)
+          (Detmt.Recorder.audit_count obs);
+        List.iter
+          (fun e -> Format.printf "  %a@." Detmt.Audit.pp_entry e)
+          window)
+  in
+  let run csv seed scenario_names scheduler_names quick with_forensics
+      workload =
+    let cls, gen = resolve_workload workload in
     let scenario_names =
       if scenario_names = [] then all_scenarios else scenario_names
     in
@@ -309,11 +478,19 @@ let chaos_cmd =
       else scheduler_names
     in
     let clients, requests_per_client = if quick then (2, 3) else (4, 5) in
+    let seed = Int64.of_int seed in
     let outcomes =
-      Detmt.Chaos.sweep ~seed:(Int64.of_int seed) ~schedulers ~scenario_names
-        ~clients ~requests_per_client ~cls ~gen ()
+      Detmt.Chaos.sweep ~seed ~schedulers ~scenario_names ~clients
+        ~requests_per_client ~cls ~gen ()
     in
     emit csv (Detmt.Chaos.table outcomes);
+    if with_forensics then
+      List.iter
+        (fun o ->
+          Option.iter
+            (forensics ~seed ~clients ~requests_per_client ~cls ~gen o)
+            o.Detmt.Chaos.o_divergence)
+        outcomes;
     let failed = List.filter (fun o -> not (Detmt.Chaos.ok o)) outcomes in
     if failed <> [] then begin
       Format.eprintf "%d of %d combinations violated an invariant@."
@@ -329,7 +506,7 @@ let chaos_cmd =
           robustness invariants; exits 1 on any violation.")
     Term.(
       const run $ csv_flag $ seed_arg $ scenario_arg $ chaos_scheduler_arg
-      $ quick_flag)
+      $ quick_flag $ forensics_flag $ workload_arg)
 
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
@@ -374,6 +551,7 @@ let () =
           $ const ());
       table_cmd "saturation" "Open-loop load sweep (saturation points)."
         (fun () -> Detmt.Experiment.saturation ());
-      chaos_cmd; timeline_cmd; analyse_cmd; schedulers_cmd; transform_cmd ]
+      trace_cmd; metrics_cmd; chaos_cmd; timeline_cmd; analyse_cmd;
+      schedulers_cmd; transform_cmd ]
   in
   exit (Cmd.eval (Cmd.group ~default info cmds))

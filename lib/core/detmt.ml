@@ -9,6 +9,7 @@
    - {!Ast}/{!Builder}/{!Class_def}: the mini object language
    - {!Callgraph}/{!Param_class}/{!Paths}/{!Predict}: static lock analysis
    - {!Transform}/{!Verify}: scheduler-call injection (the TPL substitute)
+   - {!Metrics}/{!Recorder}/{!Audit}/{!Chrome}: the flight recorder
    - {!Totem}/{!Group}/{!Dedup}: total-order group communication
    - {!Replica}/{!Interp}/{!Mutex_table}/{!Condvar}: the replica runtime
    - {!Registry}/{!Bookkeeping} and the decision modules: the schedulers
@@ -53,6 +54,13 @@ module Inline = Detmt_transform.Inline
 module Inject = Detmt_transform.Inject
 module Transform = Detmt_transform.Transform
 module Verify = Detmt_transform.Verify
+
+(* observability — the flight recorder (strictly read-only) *)
+module Json = Detmt_obs.Json
+module Metrics = Detmt_obs.Metrics
+module Audit = Detmt_obs.Audit
+module Recorder = Detmt_obs.Recorder
+module Chrome = Detmt_obs.Chrome
 
 (* group communication *)
 module Message = Detmt_gcs.Message

@@ -17,10 +17,11 @@ type run_result = {
 }
 
 let run_workload ?(seed = 42L) ?(params = Active.default_params)
-    ?(requests_per_client = 10) ~scheduler ~clients ~cls ~gen () =
+    ?(requests_per_client = 10) ?(obs = Detmt_obs.Recorder.disabled)
+    ~scheduler ~clients ~cls ~gen () =
   let engine = Engine.create () in
   let params = { params with Active.scheduler } in
-  let system = Active.create ~engine ~cls ~params () in
+  let system = Active.create ~obs ~engine ~cls ~params () in
   Client.run_clients ~engine ~system ~clients ~requests_per_client ~gen ~seed
     ();
   let times = Active.response_times system in

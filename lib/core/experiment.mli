@@ -24,13 +24,17 @@ val run_workload :
   ?seed:int64 ->
   ?params:Detmt_replication.Active.params ->
   ?requests_per_client:int ->
+  ?obs:Detmt_obs.Recorder.t ->
   scheduler:string ->
   clients:int ->
   cls:Detmt_lang.Class_def.t ->
   gen:Detmt_replication.Client.request_gen ->
   unit ->
   run_result
-(** Run one configuration to completion and summarise it.
+(** Run one configuration to completion and summarise it.  [obs] (default
+    disabled) is the flight recorder threaded through the whole system; it
+    never changes the run — reply tables and trace fingerprints are
+    bit-identical with recording on or off.
     @raise Failure if the simulation deadlocks. *)
 
 val figure1 :

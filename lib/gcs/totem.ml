@@ -1,4 +1,5 @@
 open Detmt_sim
+module Recorder = Detmt_obs.Recorder
 
 type 'a subscriber = {
   id : int;
@@ -16,6 +17,7 @@ type 'a t = {
   engine : Engine.t;
   latency : sender:int -> dest:int -> float;
   faults : Faults.t option;
+  obs : Recorder.t;
   mutable subscribers : 'a subscriber list; (* in subscription order *)
   mutable next_seq : int;
   mutable broadcasts : int;
@@ -26,9 +28,11 @@ type 'a t = {
 
 let default_latency ~sender:_ ~dest:_ = 0.5
 
-let create ?(latency = default_latency) ?faults engine =
-  { engine; latency; faults; subscribers = []; next_seq = 0; broadcasts = 0;
-    deliveries = 0; suppressed_duplicates = 0; kinds = Hashtbl.create 8 }
+let create ?(latency = default_latency) ?faults ?(obs = Recorder.disabled)
+    engine =
+  { engine; latency; faults; obs; subscribers = []; next_seq = 0;
+    broadcasts = 0; deliveries = 0; suppressed_duplicates = 0;
+    kinds = Hashtbl.create 8 }
 
 let find t id = List.find_opt (fun s -> s.id = id) t.subscribers
 
@@ -56,31 +60,48 @@ let broadcast t ~sender payload =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   t.broadcasts <- t.broadcasts + 1;
+  if Recorder.enabled t.obs then Recorder.incr t.obs "totem.broadcasts";
   let now = Engine.now t.engine in
   let msg = { Message.seq; sender; sent_at = now; payload } in
   let deliver_to sub =
     if sub.alive then begin
       t.deliveries <- t.deliveries + 1;
       let base = t.latency ~sender ~dest:sub.id in
-      let arrival, dup_extra =
+      let arrival, dup_extra, retransmits =
         match t.faults with
-        | None -> (now +. base, None)
+        | None -> (now +. base, None, 0)
         | Some f ->
           let d =
             Faults.plan f ~seq ~sender ~dest:sub.id ~sent_at:now
               ~base_latency_ms:base
           in
-          (d.Faults.arrival_ms, d.Faults.duplicate_extra_ms)
+          (d.Faults.arrival_ms, d.Faults.duplicate_extra_ms, d.Faults.retransmits)
       in
+      if Recorder.enabled t.obs then begin
+        Recorder.incr t.obs "totem.transmissions";
+        if retransmits > 0 then
+          Recorder.incr t.obs ~by:retransmits "totem.retransmits"
+      end;
       let time = Float.max arrival sub.last_delivery in
       sub.last_delivery <- time;
       let fire () =
         if sub.alive then
           if msg.Message.seq > sub.last_seq then begin
+            if Recorder.enabled t.obs then begin
+              Recorder.incr t.obs "totem.deliveries";
+              (* How far behind the newest broadcast this subscriber was
+                 just before the delivery closed the gap. *)
+              Recorder.observe t.obs "totem.watermark_lag"
+                (float_of_int (t.next_seq - 1 - sub.last_seq))
+            end;
             sub.last_seq <- msg.Message.seq;
             sub.handler msg
           end
-          else t.suppressed_duplicates <- t.suppressed_duplicates + 1
+          else begin
+            t.suppressed_duplicates <- t.suppressed_duplicates + 1;
+            if Recorder.enabled t.obs then
+              Recorder.incr t.obs "totem.dedup_hits"
+          end
       in
       Engine.schedule_at t.engine ~time fire;
       (* The duplicate copy trails the (floored) first delivery, so it can
@@ -122,7 +143,8 @@ let faults t = t.faults
 
 let count_kind t kind =
   let n = Option.value ~default:0 (Hashtbl.find_opt t.kinds kind) in
-  Hashtbl.replace t.kinds kind (n + 1)
+  Hashtbl.replace t.kinds kind (n + 1);
+  if Recorder.enabled t.obs then Recorder.incr t.obs ("totem.msg." ^ kind)
 
 let kind_counts t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.kinds []

@@ -23,9 +23,12 @@ type 'a t
 val create :
   ?latency:(sender:int -> dest:int -> float) ->
   ?faults:Faults.t ->
+  ?obs:Detmt_obs.Recorder.t ->
   Detmt_sim.Engine.t ->
   'a t
-(** Default latency: 0.5 ms for every pair; no faults. *)
+(** Default latency: 0.5 ms for every pair; no faults.  [obs] (default
+    {!Detmt_obs.Recorder.disabled}) receives broadcast/delivery/dedup
+    counters and the per-delivery watermark lag. *)
 
 val subscribe : 'a t -> id:int -> ('a Message.t -> unit) -> unit
 (** Register a destination.  Ids must be unique.

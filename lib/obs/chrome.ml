@@ -1,0 +1,134 @@
+(* Chrome trace-event exporter (loadable in chrome://tracing and Perfetto).
+
+   Mapping:
+   - process  = replica  (pid = replica id, named via "M" metadata events)
+   - thread   = request  (tid = request uid, named after the method)
+   - "X" complete events: the request span from delivery to completion,
+     with nested "X" events for each wait interval and the pre-start
+     scheduler delay
+   - "i" instant events: scheduler audit entries
+   - "C" counter events: recorder time series (queue depths, occupancy)
+
+   Timestamps are microseconds; the simulation's virtual milliseconds are
+   multiplied by 1000.  Events are sorted by (ts, pid, tid, name) so the
+   output is deterministic. *)
+
+let us ms = int_of_float (Float.round (ms *. 1000.0))
+
+let base_fields ~name ~cat ~ph ~ts ~pid ~tid =
+  [ ("name", Json.String name);
+    ("cat", Json.String cat);
+    ("ph", Json.String ph);
+    ("ts", Json.Int ts);
+    ("pid", Json.Int pid);
+    ("tid", Json.Int tid) ]
+
+let complete ~name ~cat ~ts ~dur ~pid ~tid ~args =
+  Json.Obj
+    (base_fields ~name ~cat ~ph:"X" ~ts ~pid ~tid
+    @ [ ("dur", Json.Int dur) ]
+    @ if args = [] then [] else [ ("args", Json.Obj args) ])
+
+let metadata ~name ~pid ~tid ~value =
+  Json.Obj
+    [ ("name", Json.String name);
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.String value) ]) ]
+
+let span_events (v : Recorder.span_view) =
+  let pid = v.v_replica and tid = v.v_uid in
+  let name_meta =
+    metadata ~name:"thread_name" ~pid ~tid
+      ~value:(Printf.sprintf "req %d %s" v.v_uid v.v_meth)
+  in
+  match v.v_ended_at with
+  | None -> [ name_meta ] (* request still in flight at end of run *)
+  | Some ended ->
+    let top =
+      complete ~name:v.v_meth ~cat:"request" ~ts:(us v.v_delivered_at)
+        ~dur:(us (ended -. v.v_delivered_at)) ~pid ~tid
+        ~args:
+          [ ("uid", Json.Int v.v_uid); ("client", Json.Int v.v_client) ]
+    in
+    let sched_start =
+      match v.v_started_at with
+      | Some started when started > v.v_delivered_at ->
+        [ complete ~name:"sched-start" ~cat:"wait" ~ts:(us v.v_delivered_at)
+            ~dur:(us (started -. v.v_delivered_at)) ~pid ~tid ~args:[] ]
+      | _ -> []
+    in
+    let waits =
+      List.map
+        (fun (kind, from, upto) ->
+          complete
+            ~name:(Recorder.wait_kind_name kind)
+            ~cat:"wait" ~ts:(us from) ~dur:(us (upto -. from)) ~pid ~tid
+            ~args:[])
+        v.v_waits
+    in
+    (name_meta :: top :: sched_start) @ waits
+
+let audit_event (e : Audit.entry) =
+  let args =
+    [ ("scheduler", Json.String e.scheduler);
+      ("rule", Json.String (Audit.rule_name e.rule)) ]
+    @ (match e.mutex with
+      | Some m -> [ ("mutex", Json.Int m) ]
+      | None -> [])
+    @
+    match e.candidates with
+    | [] -> []
+    | tids -> [ ("candidates", Json.List (List.map (fun t -> Json.Int t) tids)) ]
+  in
+  Json.Obj
+    (base_fields
+       ~name:(Audit.action_name e.action)
+       ~cat:"audit" ~ph:"i" ~ts:(us e.at) ~pid:e.replica ~tid:e.tid
+    @ [ ("s", Json.String "t"); ("args", Json.Obj args) ])
+
+let counter_event (name, at, value) =
+  Json.Obj
+    [ ("name", Json.String name);
+      ("ph", Json.String "C");
+      ("ts", Json.Int (us at));
+      ("pid", Json.Int 0);
+      ("args", Json.Obj [ ("value", Json.Float value) ]) ]
+
+let event_key ev =
+  let get k d =
+    match Json.member k ev with Some (Json.Int i) -> i | _ -> d
+  in
+  let name =
+    match Json.member "name" ev with Some (Json.String s) -> s | _ -> ""
+  in
+  let ph =
+    match Json.member "ph" ev with Some (Json.String s) -> s | _ -> ""
+  in
+  (* metadata first so viewers name processes before events reference them *)
+  let rank = if ph = "M" then 0 else 1 in
+  (rank, get "ts" 0, get "pid" 0, get "tid" 0, name)
+
+let export recorder =
+  let spans = Recorder.spans recorder in
+  let process_meta =
+    List.sort_uniq compare (List.map (fun v -> v.Recorder.v_replica) spans)
+    |> List.map (fun pid ->
+           metadata ~name:"process_name" ~pid ~tid:0
+             ~value:(Printf.sprintf "replica %d" pid))
+  in
+  let events =
+    process_meta
+    @ List.concat_map span_events spans
+    @ List.map audit_event (Recorder.audit_entries recorder)
+    @ List.map counter_event (Recorder.series_samples recorder)
+  in
+  let events =
+    List.stable_sort (fun a b -> compare (event_key a) (event_key b)) events
+  in
+  Json.Obj
+    [ ("traceEvents", Json.List events);
+      ("displayTimeUnit", Json.String "ms") ]
+
+let to_string recorder = Json.to_string (export recorder)

@@ -1,0 +1,26 @@
+(** Minimal JSON values: deterministic printer plus a validating parser.
+
+    Used by the Chrome-trace and benchmark exporters; the parser exists so
+    tests and CI can check that exported files are well-formed without an
+    external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering; object fields keep the order given. *)
+
+val pp : Format.formatter -> t -> unit
+
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+(** [member key v] is the field [key] when [v] is an object. *)
+
+val to_list : t -> t list option

@@ -1,0 +1,108 @@
+(* Metrics registry: named counters, gauges and histograms.
+
+   Metric names are dotted paths ("sched.pds.rounds", "totem.dedup_hits").
+   The registry is a plain hashtable; rendering sorts by name so the output
+   is independent of insertion order.  Histograms reuse [Detmt_stats.Summary]
+   so quantiles match the rest of the repository. *)
+
+module Summary = Detmt_stats.Summary
+module Table = Detmt_stats.Table
+
+type metric =
+  | Counter of int ref
+  | Gauge of { mutable last : float; mutable peak : float; mutable set : bool }
+  | Hist of Summary.t
+
+type t = { metrics : (string, metric) Hashtbl.t }
+
+let create () = { metrics = Hashtbl.create 64 }
+
+let find_or_add t name make =
+  match Hashtbl.find_opt t.metrics name with
+  | Some m -> m
+  | None ->
+    let m = make () in
+    Hashtbl.add t.metrics name m;
+    m
+
+let incr ?(by = 1) t name =
+  match find_or_add t name (fun () -> Counter (ref 0)) with
+  | Counter r -> r := !r + by
+  | Gauge _ | Hist _ -> invalid_arg ("Metrics.incr: " ^ name ^ " is not a counter")
+
+let set_gauge t name v =
+  match
+    find_or_add t name (fun () -> Gauge { last = 0.; peak = 0.; set = false })
+  with
+  | Gauge g ->
+    g.last <- v;
+    if (not g.set) || v > g.peak then g.peak <- v;
+    g.set <- true
+  | Counter _ | Hist _ ->
+    invalid_arg ("Metrics.set_gauge: " ^ name ^ " is not a gauge")
+
+let observe t name v =
+  match find_or_add t name (fun () -> Hist (Summary.create ())) with
+  | Hist s -> Summary.add s v
+  | Counter _ | Gauge _ ->
+    invalid_arg ("Metrics.observe: " ^ name ^ " is not a histogram")
+
+let counter_value t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Counter r) -> !r
+  | _ -> 0
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.metrics []
+  |> List.sort String.compare
+
+let fmt_num v =
+  if Float.is_nan v then "-"
+  else if Float.is_integer v && Float.abs v < 1e12 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.3f" v
+
+let to_table ?(title = "metrics") t =
+  let table =
+    Table.create ~title
+      ~columns:[ "metric"; "kind"; "n"; "value"; "mean"; "p95"; "max" ]
+  in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.metrics name with
+      | None -> ()
+      | Some (Counter r) ->
+        Table.add_row table
+          [ name; "counter"; "1"; string_of_int !r; "-"; "-"; "-" ]
+      | Some (Gauge g) ->
+        Table.add_row table
+          [ name; "gauge"; "1"; fmt_num g.last; "-"; "-"; fmt_num g.peak ]
+      | Some (Hist s) ->
+        Table.add_row table
+          [ name;
+            "hist";
+            string_of_int (Summary.count s);
+            fmt_num (Summary.total s);
+            fmt_num (Summary.mean s);
+            fmt_num (Summary.quantile s 0.95);
+            fmt_num (Summary.max s) ])
+    (names t);
+  table
+
+let to_json t =
+  let field name =
+    match Hashtbl.find_opt t.metrics name with
+    | None -> Json.Null
+    | Some (Counter r) -> Json.Int !r
+    | Some (Gauge g) ->
+      Json.Obj [ ("last", Json.Float g.last); ("peak", Json.Float g.peak) ]
+    | Some (Hist s) ->
+      let f v = if Float.is_nan v then Json.Null else Json.Float v in
+      Json.Obj
+        [ ("count", Json.Int (Summary.count s));
+          ("total", f (Summary.total s));
+          ("mean", f (Summary.mean s));
+          ("p95", f (Summary.quantile s 0.95));
+          ("max", f (Summary.max s)) ]
+  in
+  Json.Obj (List.map (fun name -> (name, field name)) (names t))

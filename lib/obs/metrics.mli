@@ -1,0 +1,28 @@
+(** Metrics registry: named counters, gauges and histograms.
+
+    Names are dotted paths such as ["sched.pds.rounds"].  Metrics are
+    created on first use; using a name with the wrong operation (e.g.
+    [observe] on a counter) raises [Invalid_argument].  Rendering sorts by
+    name, so output never depends on insertion order. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+
+val set_gauge : t -> string -> float -> unit
+(** Records the last value and the peak. *)
+
+val observe : t -> string -> float -> unit
+(** Adds a sample to a histogram (a [Detmt_stats.Summary]). *)
+
+val counter_value : t -> string -> int
+(** Current value of a counter; [0] when absent. *)
+
+val names : t -> string list
+(** All registered names, sorted. *)
+
+val to_table : ?title:string -> t -> Detmt_stats.Table.t
+
+val to_json : t -> Json.t

@@ -1,6 +1,7 @@
 open Detmt_sim
 open Detmt_gcs
 open Detmt_runtime
+module Recorder = Detmt_obs.Recorder
 
 type payload =
   | P_request of {
@@ -36,6 +37,7 @@ type checkpoint_sink =
 type t = {
   engine : Engine.t;
   params : params;
+  obs : Recorder.t;
   bus : payload Totem.t;
   grp : Group.t;
   cls_instr : Detmt_lang.Class_def.t; (* instrumented class, for recovery *)
@@ -112,7 +114,7 @@ let inject_dummy t ~from_replica =
               args = [||]; sent_at = Engine.now t.engine; dummy = true }))
   end
 
-let on_first_reply t (req : Request.t) =
+let on_first_reply t ~from_replica (req : Request.t) =
   let key = (req.client, req.client_req) in
   match Hashtbl.find_opt t.reply_waiters key with
   | None -> () (* later replicas' replies for an already-answered request *)
@@ -131,6 +133,13 @@ let on_first_reply t (req : Request.t) =
       t.replies <- t.replies + 1;
       t.reply_times <-
         (Engine.now t.engine +. t.params.client_latency_ms) :: t.reply_times;
+      if Recorder.enabled t.obs then begin
+        Recorder.reply_observed t.obs ~replica:from_replica
+          ~uid:req.Request.uid ~client:req.client ~client_req:req.client_req
+          ~response_ms;
+        Recorder.incr t.obs "active.replies";
+        Recorder.observe t.obs "active.response_ms" response_ms
+      end;
       callback ~response_ms
     end
 
@@ -139,7 +148,7 @@ let make_replica t ~engine ~cls ~id =
     { Replica.send_reply =
         (fun req ->
           Engine.schedule engine ~delay:t.params.client_latency_ms (fun () ->
-              on_first_reply t req));
+              on_first_reply t ~from_replica:id req));
       do_nested =
         (fun ~tid ~call_index ~service ~duration ->
           register_nested t ~tid ~call_index ~service ~duration;
@@ -156,19 +165,25 @@ let make_replica t ~engine ~cls ~id =
   in
   let r =
     Replica.create ~engine ~id ~cls ~config:t.params.config ~callbacks
-      ~make_sched ()
+      ~make_sched ~obs:t.obs ()
   in
   (* Divergence checkpoints at local quiescence: the state is then a pure
      function of the delivered request prefix, and the checkpoint sequence
      (base + locally completed) lines up across replicas — including a
      recovered one, whose base absorbs the donor's completed count. *)
   Replica.set_quiescent_hook r (fun ~completed ->
-      match t.checkpoint_sink with
-      | Some sink when Replica.alive r ->
-        sink ~replica:id ~seq:(t.completed_base.(id) + completed)
-          ~hash:(Replica.state_fingerprint r)
-          ~state:(Replica.state_snapshot r)
-      | _ -> ());
+      if Replica.alive r then begin
+        let seq = t.completed_base.(id) + completed in
+        if Recorder.enabled t.obs then
+          Recorder.checkpoint t.obs ~replica:id ~seq
+            ~at:(Engine.now t.engine);
+        match t.checkpoint_sink with
+        | Some sink ->
+          sink ~replica:id ~seq
+            ~hash:(Replica.state_fingerprint r)
+            ~state:(Replica.state_snapshot r)
+        | None -> ()
+      end);
   r
 
 let deliver t replica (msg : payload Message.t) =
@@ -188,7 +203,7 @@ let deliver t replica (msg : payload Message.t) =
     Replica.nested_reply replica ~tid ~call_index
   | P_control control -> Replica.deliver_control replica ~sender:msg.sender control
 
-let create ~engine ~cls ~(params : params) () =
+let create ?(obs = Recorder.disabled) ~engine ~cls ~(params : params) () =
   let scheduler = Detmt_sched.Registry.find_exn params.scheduler in
   let cls', summary =
     if scheduler.needs_prediction then
@@ -198,14 +213,14 @@ let create ~engine ~cls ~(params : params) () =
   in
   let latency ~sender:_ ~dest:_ = params.net_latency_ms in
   let faults = Option.map Faults.create params.faults in
-  let bus = Totem.create ~latency ?faults engine in
+  let bus = Totem.create ~latency ?faults ~obs engine in
   let members = List.init params.replicas (fun i -> i) in
   let grp =
     Group.create engine ~members
       ~detection_timeout_ms:params.detection_timeout_ms
   in
   let t =
-    { engine; params; bus; grp; cls_instr = cls'; members = []; summary;
+    { engine; params; obs; bus; grp; cls_instr = cls'; members = []; summary;
       scheduler;
       dedups = Array.init params.replicas (fun _ -> Dedup.create ());
       reply_waiters = Hashtbl.create 256; answered = Hashtbl.create 256;
@@ -240,7 +255,7 @@ let create ~engine ~cls ~(params : params) () =
           (fun r ->
             if Replica.alive r then
               Replica.deliver_control r ~sender:(-1)
-                (Detmt_runtime.Sched_iface.Custom "view-change"))
+                Detmt_runtime.Sched_iface.View_change)
           t.members;
         let pending =
           Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.outstanding_nested []
@@ -262,6 +277,9 @@ let submit t ~client ~client_req ~meth ~args ~on_reply =
     Hashtbl.replace t.reply_waiters key (sent_at, on_reply);
     (* client -> sequencer latency before the totally-ordered broadcast *)
     Engine.schedule t.engine ~delay:t.params.client_latency_ms (fun () ->
+        if Recorder.enabled t.obs then
+          Recorder.request_broadcast t.obs ~client ~client_req
+            ~at:(Engine.now t.engine);
         ignore
           (bcast t ~sender:(1000 + client) ~kind:"request"
              (P_request { client; client_req; meth; args; sent_at;
@@ -339,7 +357,14 @@ let recover_replica t ?at id =
        scheduled for the same instant run in scheduling order. *)
     Engine.schedule t.engine ~delay:t.params.net_latency_ms (fun () ->
         List.iter (fun m -> deliver t r' m) suffix);
-    t.recoveries <- t.recoveries + 1
+    t.recoveries <- t.recoveries + 1;
+    if Recorder.enabled t.obs then begin
+      Recorder.incr t.obs "active.recoveries";
+      Recorder.observe t.obs "active.recovery.donor_wait_ms"
+        (Engine.now t.engine -. begin_at);
+      Recorder.observe t.obs "active.recovery.replayed_msgs"
+        (float_of_int (List.length suffix))
+    end
   in
   let rec attempt () =
     if List.exists (fun r -> Replica.id r = id && Replica.alive r) t.members

@@ -40,13 +40,16 @@ type checkpoint_sink =
     fingerprint [hash] and field values [state]. *)
 
 val create :
+  ?obs:Detmt_obs.Recorder.t ->
   engine:Detmt_sim.Engine.t ->
   cls:Detmt_lang.Class_def.t ->
   params:params ->
   unit ->
   t
 (** [cls] is the {e source} class: the constructor applies the transformation
-    the chosen scheduler needs (basic or predictive). *)
+    the chosen scheduler needs (basic or predictive).  [obs] (default
+    {!Detmt_obs.Recorder.disabled}) is threaded through the bus, every
+    replica and every scheduler; recording is strictly read-only. *)
 
 val submit :
   t ->

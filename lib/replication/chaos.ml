@@ -100,7 +100,9 @@ let ok o =
   && (o.o_recoveries_wanted > 0 || o.o_acquisitions_agree)
 
 let run ?(seed = 42L) ?(clients = 4) ?(requests_per_client = 5)
-    ?(timeout_ms = 60.0) ~scenario ~scheduler ~cls ~gen () =
+    ?(timeout_ms = 60.0) ?(obs = Detmt_obs.Recorder.disabled) ~scenario
+    ~scheduler ~cls ~gen () =
+  let module Recorder = Detmt_obs.Recorder in
   let engine = Engine.create () in
   let params =
     { Active.default_params with
@@ -109,7 +111,7 @@ let run ?(seed = 42L) ?(clients = 4) ?(requests_per_client = 5)
          failure while retransmits are still in flight *)
       detection_timeout_ms = 50.0 }
   in
-  let system = Active.create ~engine ~cls ~params () in
+  let system = Active.create ~obs ~engine ~cls ~params () in
   let monitor = Consistency.create_monitor () in
   Active.set_checkpoint_sink system (fun ~replica ~seq ~hash ~state ->
       Consistency.observe monitor ~replica ~seq ~hash ~state);
@@ -135,6 +137,20 @@ let run ?(seed = 42L) ?(clients = 4) ?(requests_per_client = 5)
       (Faults.losses f, Faults.duplicates_injected f, Faults.partition_holds f)
   in
   let losses, dups, holds = fault_counters in
+  (* Fold the transport's fault counters into the metrics registry so a
+     post-mortem sees injected faults next to scheduler behaviour. *)
+  if Recorder.enabled obs then begin
+    Option.iter
+      (fun f ->
+        Recorder.incr obs ~by:(Faults.transmissions f) "faults.transmissions";
+        Recorder.incr obs ~by:(Faults.losses f) "faults.losses";
+        Recorder.incr obs ~by:(Faults.duplicates_injected f)
+          "faults.duplicates_injected";
+        Recorder.incr obs ~by:(Faults.partition_holds f)
+          "faults.partition_holds")
+      (Active.faults system);
+    Recorder.incr obs ~by:stats.Client.run_retries "chaos.client_retries"
+  end;
   (* One number that must be bit-identical across two runs with the same
      seed: fold every replica fingerprint and the run shape together. *)
   let fingerprint =

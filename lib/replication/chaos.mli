@@ -60,6 +60,7 @@ val run :
   ?clients:int ->
   ?requests_per_client:int ->
   ?timeout_ms:float ->
+  ?obs:Detmt_obs.Recorder.t ->
   scenario:scenario ->
   scheduler:string ->
   cls:Detmt_lang.Class_def.t ->
@@ -67,7 +68,12 @@ val run :
   unit ->
   outcome
 (** One (scenario, scheduler) combination.  [timeout_ms] arms the clients'
-    retry timers (default 60 virtual ms).
+    retry timers (default 60 virtual ms).  [obs] (default disabled) records
+    the run; the transport's fault counters are folded into its metrics,
+    and its checkpoint times and audit log support the forensics mode
+    ([detmt-cli chaos --forensics]): {!outcome.o_divergence} names the first
+    divergent checkpoint sequence, whose recording time keys the audit
+    window.
     @raise Failure on deadlock (with full diagnostics). *)
 
 val sweep :

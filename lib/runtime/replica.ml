@@ -1,4 +1,5 @@
 open Detmt_sim
+module Recorder = Detmt_obs.Recorder
 
 type thread_status =
   | Created
@@ -40,6 +41,7 @@ type t = {
   trace_rec : Trace.t;
   threads : (int, thread) Hashtbl.t;
   mutable sched : Sched_iface.sched option;
+  obs : Recorder.t;
   callbacks : callbacks;
   oracle : Interp.oracle;
   mutable live : bool;
@@ -61,9 +63,23 @@ let thread t tid =
   | Some th -> th
   | None -> invalid_arg (Printf.sprintf "Replica %d: unknown thread %d" t.id tid)
 
-let record t ev =
-  if t.config.Config.trace then
-    Trace.record_at t.trace_rec ~time:(Engine.now t.engine) ev
+(* Call sites guard with [tracing] *before* constructing the event, so a
+   disabled trace allocates nothing. *)
+let tracing t = t.config.Config.trace
+
+let record t ev = Trace.record_at t.trace_rec ~time:(Engine.now t.engine) ev
+
+(* Observability (the flight recorder) is likewise guarded at every call
+   site: [t.obs] defaults to [Recorder.disabled] and must never affect the
+   simulation — it only ever reads the clock. *)
+let observing t = Recorder.enabled t.obs
+
+let rec_wait_begin t th kind =
+  Recorder.wait_begin t.obs ~replica:t.id ~uid:th.tid ~kind
+    ~at:(Engine.now t.engine)
+
+let rec_wait_end t th =
+  Recorder.wait_end t.obs ~replica:t.id ~uid:th.tid ~at:(Engine.now t.engine)
 
 (* Per-mutex ordering is the determinism property the schedulers guarantee:
    LSA's leader/follower pair legitimately interleaves acquisitions of
@@ -113,7 +129,12 @@ and step t th outcome =
 and finish t th =
   if t.live then begin
     th.status <- Terminated;
-    record t (Trace.Thread_end { tid = th.tid });
+    if tracing t then record t (Trace.Thread_end { tid = th.tid });
+    if observing t then begin
+      Recorder.request_ended t.obs ~replica:t.id ~uid:th.tid
+        ~at:(Engine.now t.engine);
+      Recorder.incr t.obs "replica.requests_completed"
+    end;
     t.completed <- t.completed + 1;
     (sched t).on_terminate th.tid;
     if not th.req.Request.dummy then t.callbacks.send_reply th.req;
@@ -134,29 +155,39 @@ and handle_op t th op =
       (* Re-entrant entry: no scheduling decision needed (section 2: binary,
          re-entrant mutexes). *)
       Mutex_table.acquire t.mutexes ~mutex ~tid:th.tid;
-      record t (Trace.Lock_granted { tid = th.tid; syncid; mutex });
+      if tracing t then
+        record t (Trace.Lock_granted { tid = th.tid; syncid; mutex });
       record_acquisition t ~mutex ~tid:th.tid;
       s.on_acquired th.tid ~syncid ~mutex;
       after_cost t t.config.lock_overhead_ms (fun () -> advance t th)
     end
     else begin
       th.status <- Lock_blocked { syncid; mutex };
-      record t (Trace.Lock_requested { tid = th.tid; syncid; mutex });
+      if tracing t then
+        record t (Trace.Lock_requested { tid = th.tid; syncid; mutex });
+      if observing t then
+        (* The scheduler may defer the grant even when the mutex is free;
+           attribute that stall to policy, not contention. *)
+        rec_wait_begin t th
+          (if Mutex_table.is_free_for t.mutexes ~mutex ~tid:th.tid then
+             Recorder.Lock_policy
+           else Recorder.Lock_contention);
       s.on_lock th.tid ~syncid ~mutex
     end
   | Op.Unlock { syncid; mutex } ->
     let freed = Mutex_table.release t.mutexes ~mutex ~tid:th.tid in
-    record t (Trace.Unlocked { tid = th.tid; syncid; mutex });
+    if tracing t then record t (Trace.Unlocked { tid = th.tid; syncid; mutex });
     s.on_unlock th.tid ~syncid ~mutex ~freed;
     after_cost t t.config.lock_overhead_ms (fun () -> advance t th)
   | Op.Wait { mutex } ->
     let count = Mutex_table.release_all t.mutexes ~mutex ~tid:th.tid in
     th.status <- Wait_parked { mutex; count };
     Condvar.park t.condvars ~mutex ~tid:th.tid;
-    record t (Trace.Wait_begin { tid = th.tid; mutex });
+    if tracing t then record t (Trace.Wait_begin { tid = th.tid; mutex });
+    if observing t then rec_wait_begin t th Recorder.Condvar;
     s.on_wait th.tid ~mutex
   | Op.Notify { mutex; all } ->
-    record t (Trace.Notify { tid = th.tid; mutex; all });
+    if tracing t then record t (Trace.Notify { tid = th.tid; mutex; all });
     let woken =
       if all then Condvar.notify_all t.condvars ~mutex
       else Option.to_list (Condvar.notify_one t.condvars ~mutex)
@@ -167,6 +198,10 @@ and handle_op t th op =
         match w.status with
         | Wait_parked { mutex = m; count } when m = mutex ->
           w.status <- Reacquire_blocked { mutex; count };
+          if observing t then begin
+            rec_wait_end t w;
+            rec_wait_begin t w Recorder.Reacquire
+          end;
           s.on_wakeup wtid ~mutex
         | _ ->
           invalid_arg
@@ -177,18 +212,20 @@ and handle_op t th op =
   | Op.Nested { service; duration } ->
     let call_index = th.nested_count in
     th.nested_count <- call_index + 1;
-    record t (Trace.Nested_begin { tid = th.tid; service });
+    if tracing t then record t (Trace.Nested_begin { tid = th.tid; service });
     if List.mem call_index th.buffered_replies then begin
       (* The reply (broadcast by the invoking replica) overtook us. *)
       th.buffered_replies <-
         List.filter (fun i -> i <> call_index) th.buffered_replies;
       th.status <- Nested_ready { call_index };
+      if observing t then rec_wait_begin t th Recorder.Resume_hold;
       s.on_nested_begin th.tid;
-      record t (Trace.Nested_end { tid = th.tid; service = 0 });
+      if tracing t then record t (Trace.Nested_end { tid = th.tid; service = 0 });
       s.on_nested_reply th.tid
     end
     else begin
       th.status <- Nested_blocked { call_index };
+      if observing t then rec_wait_begin t th Recorder.Nested;
       s.on_nested_begin th.tid;
       t.callbacks.do_nested ~tid:th.tid ~call_index ~service ~duration
     end
@@ -221,7 +258,11 @@ let do_start_thread t tid =
   (match th.status with
   | Created -> ()
   | _ -> invalid_arg (Printf.sprintf "Replica %d: t%d started twice" t.id tid));
-  record t (Trace.Thread_start { tid; method_name = th.req.Request.meth });
+  if tracing t then
+    record t (Trace.Thread_start { tid; method_name = th.req.Request.meth });
+  if observing t then
+    Recorder.request_started t.obs ~replica:t.id ~uid:tid
+      ~at:(Engine.now t.engine);
   th.cont <-
     Some (Interp.start ~cls:t.cls ~obj:t.obj ~oracle:t.oracle ~req:th.req);
   advance t th
@@ -231,7 +272,8 @@ let do_grant_lock t tid =
   match th.status with
   | Lock_blocked { syncid; mutex } ->
     Mutex_table.acquire t.mutexes ~mutex ~tid;
-    record t (Trace.Lock_granted { tid; syncid; mutex });
+    if tracing t then record t (Trace.Lock_granted { tid; syncid; mutex });
+    if observing t then rec_wait_end t th;
     record_acquisition t ~mutex ~tid;
     (sched t).on_acquired tid ~syncid ~mutex;
     after_cost t t.config.lock_overhead_ms (fun () -> advance t th)
@@ -245,7 +287,8 @@ let do_grant_reacquire t tid =
   match th.status with
   | Reacquire_blocked { mutex; count } ->
     Mutex_table.restore t.mutexes ~mutex ~tid ~count;
-    record t (Trace.Wait_end { tid; mutex });
+    if tracing t then record t (Trace.Wait_end { tid; mutex });
+    if observing t then rec_wait_end t th;
     record_acquisition t ~mutex ~tid;
     (sched t).on_reacquired tid ~mutex;
     after_cost t t.config.lock_overhead_ms (fun () -> advance t th)
@@ -257,7 +300,9 @@ let do_grant_reacquire t tid =
 let do_resume_nested t tid =
   let th = thread t tid in
   match th.status with
-  | Nested_ready _ -> advance t th
+  | Nested_ready _ ->
+    if observing t then rec_wait_end t th;
+    advance t th
   | _ ->
     invalid_arg
       (Printf.sprintf "Replica %d: resume_nested for t%d with no reply" t.id
@@ -266,13 +311,13 @@ let do_resume_nested t tid =
 (* ------------------------------------------------------------------ *)
 
 let create ~engine ~id ~cls ~config ?(oracle = Interp.default_oracle)
-    ~callbacks ~make_sched () =
+    ?(obs = Recorder.disabled) ~callbacks ~make_sched () =
   Config.validate config;
   let t =
     { id; engine; cpu = Cpu.create engine ~cores:config.Config.cores; config;
       cls; obj = Object_state.create cls; mutexes = Mutex_table.create ();
       condvars = Condvar.create (); trace_rec = Trace.create ();
-      threads = Hashtbl.create 64; sched = None; callbacks; oracle;
+      threads = Hashtbl.create 64; sched = None; obs; callbacks; oracle;
       live = true; completed = 0; acquisitions = 0;
       acq_hashes = Hashtbl.create 64; on_quiescent = None }
   in
@@ -291,7 +336,8 @@ let create ~engine ~id ~cls ~config ?(oracle = Interp.default_oracle)
       inject_dummy = (fun () -> callbacks.inject_dummy ());
       schedule = (fun ~delay f -> Engine.schedule engine ~delay f);
       now = (fun () -> Engine.now engine);
-      is_leader = (fun () -> callbacks.is_leader ()) }
+      is_leader = (fun () -> callbacks.is_leader ());
+      obs }
   in
   t.sched <- Some (make_sched actions);
   t
@@ -306,6 +352,13 @@ let deliver_request t req =
     Hashtbl.add t.threads tid
       { tid; req; cont = None; status = Created; nested_count = 0;
         buffered_replies = [] };
+    if observing t then begin
+      Recorder.request_delivered t.obs ~replica:t.id ~uid:tid
+        ~meth:req.Request.meth ~client:req.Request.client
+        ~client_req:req.Request.client_req ~sent_at:req.Request.sent_at
+        ~at:(Engine.now t.engine);
+      Recorder.incr t.obs "replica.requests_delivered"
+    end;
     (sched t).on_request tid
   end
 
@@ -315,13 +368,25 @@ let nested_reply t ~tid ~call_index =
     match th.status with
     | Nested_blocked { call_index = pending } when pending = call_index ->
       th.status <- Nested_ready { call_index };
-      record t (Trace.Nested_end { tid; service = 0 });
+      if observing t then begin
+        rec_wait_end t th;
+        rec_wait_begin t th Recorder.Resume_hold
+      end;
+      if tracing t then record t (Trace.Nested_end { tid; service = 0 });
       (sched t).on_nested_reply tid
     | _ -> th.buffered_replies <- call_index :: th.buffered_replies
   end
 
 let deliver_control t ~sender control =
-  if t.live then (sched t).on_control ~sender control
+  if t.live then begin
+    if tracing t then
+      record t
+        (match control with
+        | Sched_iface.Lsa_grant { grant_seq; mutex; tid } ->
+          Trace.Control_delivered { sender; grant_seq; mutex; tid }
+        | Sched_iface.View_change -> Trace.View_change { sender });
+    (sched t).on_control ~sender control
+  end
 
 let set_alive t b = t.live <- b
 

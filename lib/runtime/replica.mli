@@ -35,11 +35,14 @@ val create :
   cls:Detmt_lang.Class_def.t ->
   config:Config.t ->
   ?oracle:Interp.oracle ->
+  ?obs:Detmt_obs.Recorder.t ->
   callbacks:callbacks ->
   make_sched:(Sched_iface.actions -> Sched_iface.sched) ->
   unit ->
   t
-(** [cls] must be an instrumented class ({!Detmt_transform.Transform}). *)
+(** [cls] must be an instrumented class ({!Detmt_transform.Transform}).
+    [obs] is the flight recorder (default {!Detmt_obs.Recorder.disabled});
+    it is strictly read-only with respect to the execution. *)
 
 val id : t -> int
 

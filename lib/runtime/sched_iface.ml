@@ -26,7 +26,9 @@
 type control =
   | Lsa_grant of { grant_seq : int; mutex : int; tid : int }
       (* the LSA leader's lock-acquisition decision, enforced by followers *)
-  | Custom of string (* extension point, used by tests *)
+  | View_change
+      (* membership changed; a promoted LSA leader drains the dead leader's
+         published decisions before scheduling greedily *)
 
 type actions = {
   replica_id : int;
@@ -45,6 +47,10 @@ type actions = {
   schedule : delay:float -> (unit -> unit) -> unit; (* local timers *)
   now : unit -> float;
   is_leader : unit -> bool;
+  obs : Detmt_obs.Recorder.t;
+      (* flight recorder; [Recorder.disabled] unless observability is on.
+         Schedulers must guard calls with [Recorder.enabled] so a disabled
+         recorder costs nothing. *)
 }
 
 type sched = {

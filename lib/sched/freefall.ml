@@ -19,6 +19,8 @@ type t = {
 
 let grant t tid kind =
   Hashtbl.remove t.waiting tid;
+  if Detmt_obs.Recorder.enabled t.actions.obs then
+    Detmt_obs.Recorder.incr t.actions.obs "sched.freefall.grants";
   match kind with
   | Plock -> t.actions.grant_lock tid
   | Preacquire -> t.actions.grant_reacquire tid

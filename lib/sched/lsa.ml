@@ -12,6 +12,8 @@
    same grant messages cover it. *)
 
 open Detmt_runtime
+module Recorder = Detmt_obs.Recorder
+module Audit = Detmt_obs.Audit
 
 type pending = Plock of int (* tid *) | Preacquire of int
 
@@ -30,6 +32,19 @@ type t = {
 
 let is_leader t = t.actions.is_leader ()
 
+let audit t ~tid ~action ?mutex ~rule ?candidates () =
+  Recorder.decision t.actions.obs ~at:(t.actions.now ())
+    ~replica:t.actions.replica_id ~scheduler:"lsa" ~tid ~action ?mutex ~rule
+    ?candidates ()
+
+let observing t = Recorder.enabled t.actions.obs
+
+(* The action a grant of [tid] will perform, for the audit log. *)
+let pending_action t tid =
+  match Hashtbl.find_opt t.kinds tid with
+  | Some (Preacquire _) -> Audit.Grant_reacquire
+  | Some (Plock _) | None -> Audit.Grant_lock
+
 let perform t tid =
   match Hashtbl.find_opt t.kinds tid with
   | Some (Plock _) ->
@@ -43,6 +58,12 @@ let perform t tid =
 (* Leader: grant greedily, broadcasting each decision. *)
 let leader_grant t tid ~mutex =
   t.grant_seq <- t.grant_seq + 1;
+  if observing t then begin
+    Recorder.incr t.actions.obs "sched.lsa.grant_broadcasts";
+    audit t ~tid ~action:(pending_action t tid) ~mutex ~rule:Audit.Leader_greedy
+      ~candidates:(Waitq.waiting t.waitq ~mutex)
+      ()
+  end;
   t.actions.broadcast_control
     (Sched_iface.Lsa_grant { grant_seq = t.grant_seq; mutex; tid });
   perform t tid
@@ -51,7 +72,18 @@ let leader_request t tid ~mutex pending =
   Hashtbl.replace t.kinds tid pending;
   if t.actions.mutex_free_for ~tid ~mutex && Waitq.is_empty t.waitq ~mutex
   then leader_grant t tid ~mutex
-  else Waitq.push t.waitq ~mutex tid
+  else begin
+    if observing t then begin
+      Recorder.incr t.actions.obs "sched.lsa.deferrals";
+      audit t ~tid ~action:Audit.Defer ~mutex
+        ~rule:
+          (if t.actions.mutex_free_for ~tid ~mutex then Audit.Queue_wait
+           else Audit.Mutex_held)
+        ~candidates:(Waitq.waiting t.waitq ~mutex)
+        ()
+    end;
+    Waitq.push t.waitq ~mutex tid
+  end
 
 let leader_on_unlock t ~mutex =
   match Waitq.head t.waitq ~mutex with
@@ -69,12 +101,25 @@ let follower_try t ~mutex =
          && t.actions.mutex_free_for ~tid ~mutex ->
     ignore (Waitq.pop t.enforced ~mutex);
     Hashtbl.remove t.requested tid;
+    if observing t then begin
+      Recorder.incr t.actions.obs "sched.lsa.follower_grants";
+      audit t ~tid ~action:(pending_action t tid) ~mutex
+        ~rule:Audit.Follower_enforced
+        ~candidates:(Waitq.waiting t.enforced ~mutex)
+        ()
+    end;
     perform t tid
   | Some _ | None -> ()
 
 let follower_request t tid ~mutex pending =
   Hashtbl.replace t.kinds tid pending;
   Hashtbl.replace t.requested tid mutex;
+  (if observing t && Waitq.head t.enforced ~mutex <> Some tid then begin
+     Recorder.incr t.actions.obs "sched.lsa.deferrals";
+     audit t ~tid ~action:Audit.Defer ~mutex ~rule:Audit.Enforced_order_wait
+       ~candidates:(Waitq.waiting t.enforced ~mutex)
+       ()
+   end);
   follower_try t ~mutex
 
 (* A follower promoted to leader finishes the dead leader's published
@@ -148,7 +193,7 @@ let on_control t ~sender:_ control =
       follower_try t ~mutex;
       check_promotion t
     end
-  | Sched_iface.Custom _ ->
+  | Sched_iface.View_change ->
     (* View change: a freshly promoted leader drains the dead leader's
        published decisions and then schedules greedily. *)
     check_promotion t

@@ -19,6 +19,8 @@
    promotion. *)
 
 open Detmt_runtime
+module Recorder = Detmt_obs.Recorder
+module Audit = Detmt_obs.Audit
 
 type thread = {
   tid : int;
@@ -35,6 +37,7 @@ and pending =
 
 type t = {
   actions : Sched_iface.actions;
+  name : string; (* "mat" or "mat-ll", for metrics and the audit log *)
   bookkeeping : Bookkeeping.t option;
   mutable order : thread list; (* arrival order, non-terminated *)
   mutable primary : int option;
@@ -42,6 +45,15 @@ type t = {
 }
 
 let find t tid = List.find (fun th -> th.tid = tid) t.order
+
+let audit t ~tid ~action ?mutex ~rule ?candidates () =
+  Recorder.decision t.actions.obs ~at:(t.actions.now ())
+    ~replica:t.actions.replica_id ~scheduler:t.name ~tid ~action ?mutex ~rule
+    ?candidates ()
+
+let observing t = Recorder.enabled t.actions.obs
+
+let metric t suffix = "sched." ^ t.name ^ "." ^ suffix
 
 let never_locks_again t tid =
   match t.bookkeeping with
@@ -61,16 +73,42 @@ let rec run_primary t th =
     if t.actions.mutex_free_for ~tid:th.tid ~mutex then begin
       th.pending <- None;
       t.primary_wants <- None;
+      if observing t then begin
+        Recorder.incr t.actions.obs (metric t "grants");
+        audit t ~tid:th.tid ~action:Audit.Grant_lock ~mutex
+          ~rule:Audit.Primary_continue ()
+      end;
       t.actions.grant_lock th.tid
     end
-    else t.primary_wants <- Some mutex
+    else begin
+      if observing t then begin
+        Recorder.incr t.actions.obs (metric t "deferrals");
+        audit t ~tid:th.tid ~action:Audit.Defer ~mutex ~rule:Audit.Mutex_held
+          ~candidates:(Option.to_list (t.actions.mutex_owner mutex))
+          ()
+      end;
+      t.primary_wants <- Some mutex
+    end
   | Some (Preacquire mutex) ->
     if t.actions.mutex_free_for ~tid:th.tid ~mutex then begin
       th.pending <- None;
       t.primary_wants <- None;
+      if observing t then begin
+        Recorder.incr t.actions.obs (metric t "grants");
+        audit t ~tid:th.tid ~action:Audit.Grant_reacquire ~mutex
+          ~rule:Audit.Primary_continue ()
+      end;
       t.actions.grant_reacquire th.tid
     end
-    else t.primary_wants <- Some mutex
+    else begin
+      if observing t then begin
+        Recorder.incr t.actions.obs (metric t "deferrals");
+        audit t ~tid:th.tid ~action:Audit.Defer ~mutex ~rule:Audit.Mutex_held
+          ~candidates:(Option.to_list (t.actions.mutex_owner mutex))
+          ()
+      end;
+      t.primary_wants <- Some mutex
+    end
 
 and promote t =
   if t.primary = None then begin
@@ -95,6 +133,20 @@ and promote t =
     match candidate with
     | None -> ()
     | Some th ->
+      if observing t then begin
+        Recorder.incr t.actions.obs (metric t "promotions");
+        audit t ~tid:th.tid ~action:Audit.Promote
+          ~rule:
+            (if th.ex_primary then Audit.Promote_ex_primary
+             else Audit.Promote_oldest)
+          ~candidates:
+            (List.filter_map
+               (fun o ->
+                 if o.tid <> th.tid && not o.suspended then Some o.tid
+                 else None)
+               t.order)
+          ()
+      end;
       th.is_primary <- true;
       th.ex_primary <- false;
       t.primary <- Some th.tid;
@@ -120,7 +172,13 @@ let check_last_lock t ~tid =
     when p = tid && never_locks_again t tid
          && not (t.actions.holds_any_mutex tid) ->
     let th = find t tid in
-    if th.pending = None then demote t th
+    if th.pending = None then begin
+      if observing t then begin
+        Recorder.incr t.actions.obs (metric t "handoffs");
+        audit t ~tid ~action:Audit.Handoff ~rule:Audit.Last_lock_handoff ()
+      end;
+      demote t th
+    end
   | Some _ | None -> ()
 
 let register_bk t tid =
@@ -141,7 +199,18 @@ let on_request t tid =
 let on_lock t tid ~syncid:_ ~mutex =
   let th = find t tid in
   th.pending <- Some (Plock mutex);
-  if th.is_primary then run_primary t th else promote t
+  if th.is_primary then run_primary t th
+  else begin
+    (* A secondary blocks on its lock no matter whether it conflicts with
+       the primary — the paper's criticism, visible in the audit log. *)
+    if observing t then begin
+      Recorder.incr t.actions.obs (metric t "deferrals");
+      audit t ~tid ~action:Audit.Defer ~mutex ~rule:Audit.Not_primary
+        ~candidates:(Option.to_list t.primary)
+        ()
+    end;
+    promote t
+  end
 
 let on_unlock t tid ~syncid:_ ~mutex ~freed =
   if freed then begin
@@ -205,7 +274,8 @@ let on_terminate t tid =
 let make_with ?bookkeeping ~name (actions : Sched_iface.actions) :
     Sched_iface.sched =
   let t =
-    { actions; bookkeeping; order = []; primary = None; primary_wants = None }
+    { actions; name; bookkeeping; order = []; primary = None;
+      primary_wants = None }
   in
   let bk f = Option.iter f t.bookkeeping in
   let base =

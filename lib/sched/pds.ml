@@ -31,6 +31,8 @@
    round. *)
 
 open Detmt_runtime
+module Recorder = Detmt_obs.Recorder
+module Audit = Detmt_obs.Audit
 
 type arrival =
   | A_lock of int (* mutex; includes monitor re-acquisitions *)
@@ -67,6 +69,13 @@ type t = {
 
 let occupancy t = t.ghost_slots + List.length t.slots
 
+let audit t ~tid ~action ?mutex ~rule ?candidates () =
+  Recorder.decision t.actions.obs ~at:(t.actions.now ())
+    ~replica:t.actions.replica_id ~scheduler:"pds" ~tid ~action ?mutex ~rule
+    ?candidates ()
+
+let observing t = Recorder.enabled t.actions.obs
+
 let fill_slots t =
   while occupancy t < t.batch && t.backlog <> [] do
     match t.backlog with
@@ -74,6 +83,11 @@ let fill_slots t =
     | tid :: rest ->
       t.backlog <- rest;
       t.slots <- t.slots @ [ tid ];
+      if observing t then begin
+        Recorder.incr t.actions.obs "sched.pds.starts";
+        audit t ~tid ~action:Audit.Start_thread ~rule:Audit.Fifo_head
+          ~candidates:rest ()
+      end;
       t.actions.start_thread tid
   done
 
@@ -92,10 +106,20 @@ let grant t tid =
    mutex — a local-time race that delivery skew resolves differently on
    different replicas. *)
 let grant_eligible t =
-  let issue (tid, mutex) =
+  let issue rule (tid, mutex) =
     t.round_unreleased <- t.round_unreleased @ [ (tid, mutex) ];
     Hashtbl.replace t.round_grants tid
       (1 + Option.value ~default:0 (Hashtbl.find_opt t.round_grants tid));
+    if observing t then begin
+      Recorder.incr t.actions.obs "sched.pds.grants";
+      audit t ~tid
+        ~action:
+          (if Hashtbl.mem t.reacquire tid then Audit.Grant_reacquire
+           else Audit.Grant_lock)
+        ~mutex ~rule
+        ~candidates:(List.map fst t.round_waiting)
+        ()
+    end;
     grant t tid
   in
   let rec go () =
@@ -107,7 +131,7 @@ let grant_eligible t =
     match decided with
     | Some (tid, mutex) ->
       t.round_waiting <- List.filter (fun (w, _) -> w <> tid) t.round_waiting;
-      issue (tid, mutex);
+      issue Audit.Round_decided (tid, mutex);
       go ()
     | None ->
       let second =
@@ -122,7 +146,7 @@ let grant_eligible t =
       | Some (tid, mutex) ->
         t.second_waiting <-
           List.filter (fun (w, _) -> w <> tid) t.second_waiting;
-        issue (tid, mutex);
+        issue Audit.Round_second (tid, mutex);
         go ())
   in
   go ()
@@ -154,6 +178,11 @@ and check_round t =
          that already terminated — dummies, lock-free requests) and every
          live member is at a deterministic stop.  The decision consumes the
          terminated occupants and frees their slots. *)
+      if observing t then begin
+        Recorder.incr t.actions.obs "sched.pds.rounds";
+        Recorder.observe t.actions.obs "sched.pds.occupancy"
+          (float_of_int (occupancy t))
+      end;
       t.ghost_slots <- 0;
       t.slots <-
         List.filter (fun tid -> not (Hashtbl.mem t.terminated tid)) t.slots;
@@ -199,6 +228,8 @@ and arm_timer t =
           && Hashtbl.length t.arrived > 0
         then begin
           t.dummies_requested <- t.dummies_requested + missing_now;
+          if observing t then
+            Recorder.incr t.actions.obs ~by:missing_now "sched.pds.dummies";
           for _ = 1 to missing_now do
             t.actions.inject_dummy ()
           done
@@ -227,10 +258,23 @@ let on_lock t tid ~syncid:_ ~mutex =
   end
   else begin
     Hashtbl.replace t.arrived tid (A_lock mutex);
-    if t.round_open then
+    if t.round_open then begin
       (* Arrived after the round was decided: wait for the next one. *)
-      ()
-    else check_round t
+      if observing t then begin
+        Recorder.incr t.actions.obs "sched.pds.deferrals";
+        audit t ~tid ~action:Audit.Defer ~mutex ~rule:Audit.Batch_wait
+          ~candidates:t.round_members ()
+      end
+    end
+    else begin
+      check_round t;
+      (* Still waiting for the batch to complete or the round to decide. *)
+      if observing t && Hashtbl.mem t.arrived tid then begin
+        Recorder.incr t.actions.obs "sched.pds.deferrals";
+        audit t ~tid ~action:Audit.Defer ~mutex ~rule:Audit.Batch_wait
+          ~candidates:t.slots ()
+      end
+    end
   end
 
 let on_wakeup t tid ~mutex =

@@ -26,6 +26,8 @@
    per-mutex acquisitions nondeterministically. *)
 
 open Detmt_runtime
+module Recorder = Detmt_obs.Recorder
+module Audit = Detmt_obs.Audit
 
 type pending = Plock of int | Preacquire of int
 
@@ -55,13 +57,30 @@ let eligible t ~preceding th =
            predicted t u.tid && not (may_conflict t u.tid ~mutex))
          preceding
 
-let grant t th =
+let audit t ~tid ~action ?mutex ~rule ?candidates () =
+  Recorder.decision t.actions.obs ~at:(t.actions.now ())
+    ~replica:t.actions.replica_id ~scheduler:"pmat" ~tid ~action ?mutex ~rule
+    ?candidates ()
+
+let observing t = Recorder.enabled t.actions.obs
+
+let grant t ~preceding th =
+  let rec_grant action mutex =
+    if observing t then begin
+      Recorder.incr t.actions.obs "sched.pmat.grants";
+      audit t ~tid:th.tid ~action ~mutex ~rule:Audit.Predicted_no_conflict
+        ~candidates:(List.map (fun u -> u.tid) preceding)
+        ()
+    end
+  in
   match th.pending with
-  | Some (Plock _) ->
+  | Some (Plock mutex) ->
     th.pending <- None;
+    rec_grant Audit.Grant_lock mutex;
     t.actions.grant_lock th.tid
-  | Some (Preacquire _) ->
+  | Some (Preacquire mutex) ->
     th.pending <- None;
+    rec_grant Audit.Grant_reacquire mutex;
     t.actions.grant_reacquire th.tid
   | None -> assert false
 
@@ -73,7 +92,7 @@ let rec rescan t =
     | [] -> false
     | th :: rest ->
       if eligible t ~preceding th then begin
-        grant t th;
+        grant t ~preceding th;
         true
       end
       else scan (preceding @ [ th ]) rest
@@ -88,7 +107,27 @@ let on_request t tid =
 
 let on_lock t tid ~syncid:_ ~mutex =
   (find t tid).pending <- Some (Plock mutex);
-  rescan t
+  rescan t;
+  (* If the request is still pending, explain why it was deferred: either
+     the mutex is genuinely held, or an unpredicted / conflicting queue
+     predecessor gates it (the crossover cost the paper's section 4.3
+     analyses). *)
+  if observing t then
+    match List.find_opt (fun th -> th.tid = tid) t.order with
+    | Some th when th.pending <> None ->
+      Recorder.incr t.actions.obs "sched.pmat.deferrals";
+      audit t ~tid ~action:Audit.Defer ~mutex
+        ~rule:
+          (if not (t.actions.mutex_free_for ~tid ~mutex) then Audit.Mutex_held
+           else Audit.Predecessor_unpredicted)
+        ~candidates:
+          (List.filter_map
+             (fun u ->
+               if u.tid <> tid && not (predicted t u.tid) then Some u.tid
+               else None)
+             t.order)
+        ()
+    | _ -> ()
 
 let on_unlock t _tid ~syncid:_ ~mutex:_ ~freed = if freed then rescan t
 

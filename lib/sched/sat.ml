@@ -9,6 +9,8 @@
    supports condition variables, but never keeps more than one CPU busy. *)
 
 open Detmt_runtime
+module Recorder = Detmt_obs.Recorder
+module Audit = Detmt_obs.Audit
 
 type item =
   | Start of int
@@ -24,39 +26,72 @@ type t = {
   mutable active : int option;
 }
 
-let enqueue t item = t.queue <- t.queue @ [ item ]
+let audit t ~tid ~action ?mutex ~rule ?candidates () =
+  Recorder.decision t.actions.obs ~at:(t.actions.now ())
+    ~replica:t.actions.replica_id ~scheduler:"sat" ~tid ~action ?mutex ~rule
+    ?candidates ()
+
+let observing t = Recorder.enabled t.actions.obs
+
+let item_tid = function
+  | Start tid | Grant (tid, _) | Reacquire (tid, _) | Resume tid -> tid
+
+let enqueue t item =
+  t.queue <- t.queue @ [ item ];
+  if observing t then
+    Recorder.observe t.actions.obs "sched.sat.queue_depth"
+      (float_of_int (List.length t.queue))
 
 let rec activate_next t =
   match t.queue with
   | [] -> t.active <- None
   | item :: rest -> (
     t.queue <- rest;
+    let fifo_audit ~tid ~action ?mutex () =
+      if observing t then begin
+        Recorder.incr t.actions.obs "sched.sat.activations";
+        audit t ~tid ~action ?mutex ~rule:Audit.Fifo_head
+          ~candidates:(List.map item_tid rest) ()
+      end
+    in
     match item with
     | Start tid ->
       t.active <- Some tid;
+      fifo_audit ~tid ~action:Audit.Start_thread ();
       t.actions.start_thread tid
     | Grant (tid, mutex) ->
       if t.actions.mutex_free_for ~tid ~mutex then begin
         t.active <- Some tid;
+        fifo_audit ~tid ~action:Audit.Grant_lock ~mutex ();
         t.actions.grant_lock tid
       end
       else begin
         (* The mutex was re-taken since this thread was queued: block again
            until the next release. *)
+        if observing t then begin
+          Recorder.incr t.actions.obs "sched.sat.deferrals";
+          audit t ~tid ~action:Audit.Defer ~mutex ~rule:Audit.Mutex_held ()
+        end;
         t.blocked_locks <- t.blocked_locks @ [ (tid, mutex) ];
         activate_next t
       end
     | Reacquire (tid, mutex) ->
       if t.actions.mutex_free_for ~tid ~mutex then begin
         t.active <- Some tid;
+        fifo_audit ~tid ~action:Audit.Grant_reacquire ~mutex ();
         t.actions.grant_reacquire tid
       end
       else begin
+        if observing t then begin
+          Recorder.incr t.actions.obs "sched.sat.deferrals";
+          audit t ~tid ~action:Audit.Defer ~mutex ~rule:Audit.Mutex_held ()
+        end;
         t.blocked_reacquires <- t.blocked_reacquires @ [ (tid, mutex) ];
         activate_next t
       end
     | Resume tid ->
       t.active <- Some tid;
+      fifo_audit ~tid ~action:Audit.Resume_nested ();
       t.actions.resume_nested tid)
 
 let suspend_active t tid =
@@ -70,9 +105,21 @@ let on_request t tid =
   if t.active = None then activate_next t
 
 let on_lock t tid ~syncid:_ ~mutex =
-  if t.actions.mutex_free_for ~tid ~mutex then t.actions.grant_lock tid
+  if t.actions.mutex_free_for ~tid ~mutex then begin
+    if observing t then begin
+      Recorder.incr t.actions.obs "sched.sat.grants";
+      audit t ~tid ~action:Audit.Grant_lock ~mutex ~rule:Audit.Mutex_free ()
+    end;
+    t.actions.grant_lock tid
+  end
   else begin
     (* The holder must be a suspended thread; block until it releases. *)
+    if observing t then begin
+      Recorder.incr t.actions.obs "sched.sat.deferrals";
+      audit t ~tid ~action:Audit.Defer ~mutex ~rule:Audit.Mutex_held
+        ~candidates:(Option.to_list (t.actions.mutex_owner mutex))
+        ()
+    end;
     t.blocked_locks <- t.blocked_locks @ [ (tid, mutex) ];
     suspend_active t tid
   end

@@ -7,6 +7,8 @@
    invocation chains and on any condition-variable wait. *)
 
 open Detmt_runtime
+module Recorder = Detmt_obs.Recorder
+module Audit = Detmt_obs.Audit
 
 type t = {
   actions : Sched_iface.actions;
@@ -14,22 +16,47 @@ type t = {
   mutable active : int option;
 }
 
+let audit t ~tid ~action ?mutex ~rule ?candidates () =
+  Recorder.decision t.actions.obs ~at:(t.actions.now ())
+    ~replica:t.actions.replica_id ~scheduler:"seq" ~tid ~action ?mutex ~rule
+    ?candidates ()
+
+let observing t = Recorder.enabled t.actions.obs
+
 let activate_next t =
   match Queue.take_opt t.pending with
   | None -> t.active <- None
   | Some tid ->
     t.active <- Some tid;
+    if observing t then begin
+      Recorder.incr t.actions.obs "sched.seq.starts";
+      audit t ~tid ~action:Audit.Start_thread ~rule:Audit.Sequential_turn
+        ~candidates:(List.of_seq (Queue.to_seq t.pending))
+        ()
+    end;
     t.actions.start_thread tid
 
 let on_request t tid =
   Queue.add tid t.pending;
   if t.active = None then activate_next t
+  else if observing t then begin
+    Recorder.incr t.actions.obs "sched.seq.deferrals";
+    Recorder.observe t.actions.obs "sched.seq.queue_depth"
+      (float_of_int (Queue.length t.pending));
+    audit t ~tid ~action:Audit.Defer ~rule:Audit.Queue_wait
+      ~candidates:(Option.to_list t.active)
+      ()
+  end
 
 let on_lock t tid ~syncid:_ ~mutex =
   (* Only one thread ever runs, so every mutex is free (re-entrant entries
      are short-circuited by the replica). *)
   assert (t.active = Some tid);
   assert (t.actions.mutex_free_for ~tid ~mutex);
+  if observing t then begin
+    Recorder.incr t.actions.obs "sched.seq.grants";
+    audit t ~tid ~action:Audit.Grant_lock ~mutex ~rule:Audit.Mutex_free ()
+  end;
   t.actions.grant_lock tid
 
 let on_wakeup t tid ~mutex:_ =

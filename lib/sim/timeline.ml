@@ -73,7 +73,7 @@ let of_trace events =
     | Trace.Nested_end { tid; _ } ->
       let l = line lines tid in
       push l time (base_state l)
-    | Trace.Notify _ | Trace.Custom _ -> ()
+    | Trace.Notify _ | Trace.Control_delivered _ | Trace.View_change _ -> ()
   in
   List.iter on events;
   let lo = if !lo = infinity then 0.0 else !lo in

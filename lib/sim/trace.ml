@@ -9,7 +9,8 @@ type event =
   | Nested_end of { tid : int; service : int }
   | Thread_start of { tid : int; method_name : string }
   | Thread_end of { tid : int }
-  | Custom of string
+  | Control_delivered of { sender : int; grant_seq : int; mutex : int; tid : int }
+  | View_change of { sender : int }
 
 type t = {
   mutable events : (float * event) list; (* reverse order *)
@@ -51,7 +52,9 @@ let hash_event h = function
   | Thread_start { tid; method_name } ->
     hash_string (mix (mix h 8) tid) method_name
   | Thread_end { tid } -> mix (mix h 9) tid
-  | Custom s -> hash_string (mix h 10) s
+  | Control_delivered { sender; grant_seq; mutex; tid } ->
+    mix (mix (mix (mix (mix h 10) sender) grant_seq) mutex) tid
+  | View_change { sender } -> mix (mix h 12) sender
 
 let record_at t ~time e =
   if t.enabled then begin
@@ -88,7 +91,10 @@ let pp_event ppf = function
   | Thread_start { tid; method_name } ->
     Format.fprintf ppf "start   t%d %s" tid method_name
   | Thread_end { tid } -> Format.fprintf ppf "end     t%d" tid
-  | Custom s -> Format.fprintf ppf "note    %s" s
+  | Control_delivered { sender; grant_seq; mutex; tid } ->
+    Format.fprintf ppf "ctrl    t%d m%d grant#%d from r%d" tid mutex grant_seq
+      sender
+  | View_change { sender } -> Format.fprintf ppf "view    from r%d" sender
 
 let pp ppf t =
   List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t)

@@ -16,7 +16,11 @@ type event =
   | Nested_end of { tid : int; service : int }
   | Thread_start of { tid : int; method_name : string }
   | Thread_end of { tid : int }
-  | Custom of string
+  | Control_delivered of { sender : int; grant_seq : int; mutex : int; tid : int }
+      (** A scheduler control message (an LSA grant) arrived in total order.
+          Typed, not a formatted string, so the fingerprint depends only on
+          the decision itself. *)
+  | View_change of { sender : int }
 
 type t
 

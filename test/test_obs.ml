@@ -1,0 +1,302 @@
+(* Flight-recorder tests.
+
+   The load-bearing property is the determinism contract: observability is
+   strictly read-only, so running with the recorder on must leave the reply
+   table and every replica's trace fingerprint bit-identical to a run with
+   recording off.  The rest checks the exporters: per-request latency
+   breakdowns sum exactly to the measured response time, the Chrome
+   trace-event JSON parses and follows the schema (golden file), and the
+   metrics registry covers every scheduler, Totem and the chaos layer. *)
+
+open Detmt_sim
+open Detmt_replication
+module Recorder = Detmt_obs.Recorder
+module Metrics = Detmt_obs.Metrics
+module Json = Detmt_obs.Json
+module Chrome = Detmt_obs.Chrome
+
+let figure1_cls = Detmt_workload.Figure1.cls Detmt_workload.Figure1.default
+
+let figure1_gen = Detmt_workload.Figure1.gen Detmt_workload.Figure1.default
+
+let prodcons_cls = Detmt_workload.Prodcons.cls Detmt_workload.Prodcons.default
+
+let prodcons_gen = Detmt_workload.Prodcons.gen
+
+let run ?(scheduler = "mat") ?(clients = 4) ?(requests = 3)
+    ?(cls = figure1_cls) ?(gen = figure1_gen) ?(obs = Recorder.disabled) () =
+  let engine = Engine.create () in
+  let params = { Active.default_params with Active.scheduler } in
+  let system = Active.create ~obs ~engine ~cls ~params () in
+  Client.run_clients ~engine ~system ~clients ~requests_per_client:requests
+    ~gen ();
+  system
+
+type witness = {
+  w_replies : int;
+  w_reply_times : float list;
+  w_mean : float;
+  w_traces : (int * int64) list; (* per-replica trace fingerprints *)
+  w_states : (int * int64) list;
+}
+
+let witness system =
+  { w_replies = Active.replies_received system;
+    w_reply_times = Active.reply_times system;
+    w_mean = Detmt_stats.Summary.mean (Active.response_times system);
+    w_traces =
+      List.map
+        (fun r ->
+          ( Detmt_runtime.Replica.id r,
+            Trace.fingerprint (Detmt_runtime.Replica.trace r) ))
+        (Active.live_replicas system);
+    w_states =
+      List.map
+        (fun r ->
+          ( Detmt_runtime.Replica.id r,
+            Detmt_runtime.Replica.state_fingerprint r ))
+        (Active.live_replicas system) }
+
+let fp = Alcotest.testable (Fmt.fmt "%Lx") Int64.equal
+
+(* All schedulers; seq deadlocks on prodcons (a consumer that waits blocks
+   the whole one-at-a-time pipeline), so the prodcons matrix skips it. *)
+let all_schedulers =
+  [ "seq"; "sat"; "lsa"; "pds"; "mat"; "mat-ll"; "pmat"; "freefall" ]
+
+let test_on_off_identical ~scheduler ~cls ~gen () =
+  let off = witness (run ~scheduler ~cls ~gen ()) in
+  let obs = Recorder.create () in
+  let on = witness (run ~scheduler ~cls ~gen ~obs ()) in
+  Alcotest.(check int) "replies" off.w_replies on.w_replies;
+  Alcotest.(check (list (float 0.0))) "reply times" off.w_reply_times
+    on.w_reply_times;
+  Alcotest.(check (float 0.0)) "mean response" off.w_mean on.w_mean;
+  Alcotest.(check (list (pair int fp))) "trace fingerprints" off.w_traces
+    on.w_traces;
+  Alcotest.(check (list (pair int fp))) "state fingerprints" off.w_states
+    on.w_states;
+  (* The recorder did record: spans and metrics are non-empty. *)
+  Alcotest.(check bool) "recorded spans" true (Recorder.spans obs <> []);
+  Alcotest.(check bool) "recorded metrics" true
+    (Metrics.names (Recorder.metrics obs) <> [])
+
+let determinism_tests =
+  List.map
+    (fun s ->
+      Alcotest.test_case (Printf.sprintf "obs on/off identical: %s/figure1" s)
+        `Quick
+        (test_on_off_identical ~scheduler:s ~cls:figure1_cls ~gen:figure1_gen))
+    all_schedulers
+  @ List.map
+      (fun s ->
+        Alcotest.test_case
+          (Printf.sprintf "obs on/off identical: %s/prodcons" s)
+          `Quick
+          (test_on_off_identical ~scheduler:s ~cls:prodcons_cls
+             ~gen:prodcons_gen))
+      (List.filter (fun s -> s <> "seq") all_schedulers)
+
+(* ------------------------- latency breakdowns ----------------------- *)
+
+let sum_columns (b : Recorder.breakdown) =
+  b.client_queue +. b.broadcast +. b.sched_start +. b.lock_wait
+  +. b.policy_wait +. b.reacquire_wait +. b.condvar_wait +. b.nested_idle
+  +. b.resume_hold +. b.exec +. b.reply_net
+
+let test_breakdown_sums scheduler () =
+  let obs = Recorder.create () in
+  let system = run ~scheduler ~obs () in
+  let bs = Recorder.breakdowns obs in
+  Alcotest.(check int)
+    "one breakdown per answered request"
+    (Active.replies_received system)
+    (List.length bs);
+  List.iter
+    (fun (b : Recorder.breakdown) ->
+      if Float.abs (sum_columns b -. b.total) > 1e-6 then
+        Alcotest.failf "req %d: columns sum to %.9f, total %.9f" b.uid
+          (sum_columns b) b.total;
+      List.iter
+        (fun (what, v) ->
+          if v < -.1e-9 then
+            Alcotest.failf "req %d: negative %s (%.9f)" b.uid what v)
+        [ ("client_queue", b.client_queue); ("broadcast", b.broadcast);
+          ("sched_start", b.sched_start); ("lock_wait", b.lock_wait);
+          ("policy_wait", b.policy_wait);
+          ("reacquire_wait", b.reacquire_wait);
+          ("condvar_wait", b.condvar_wait); ("nested_idle", b.nested_idle);
+          ("resume_hold", b.resume_hold); ("exec", b.exec);
+          ("reply_net", b.reply_net) ])
+    bs
+
+let breakdown_tests =
+  List.map
+    (fun s ->
+      Alcotest.test_case (Printf.sprintf "breakdowns sum to total: %s" s)
+        `Quick (test_breakdown_sums s))
+    [ "seq"; "sat"; "lsa"; "pds"; "mat"; "mat-ll"; "pmat" ]
+
+(* --------------------------- Chrome export -------------------------- *)
+
+let export_json () =
+  let obs = Recorder.create () in
+  let _system = run ~scheduler:"mat" ~clients:2 ~requests:2 ~obs () in
+  match Json.parse (Chrome.to_string obs) with
+  | Error msg -> Alcotest.failf "chrome export does not parse: %s" msg
+  | Ok json -> json
+
+let test_chrome_schema () =
+  let json = export_json () in
+  let events =
+    match Json.member "traceEvents" json with
+    | Some (Json.List evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  Alcotest.(check bool) "has events" true (events <> []);
+  let phases = ref [] in
+  List.iter
+    (fun ev ->
+      let str name =
+        match Json.member name ev with
+        | Some (Json.String s) -> s
+        | _ -> Alcotest.failf "event without string %S" name
+      in
+      let num name =
+        match Json.member name ev with
+        | Some (Json.Int n) -> n
+        | _ -> Alcotest.failf "event without int %S" name
+      in
+      let ph = str "ph" in
+      if not (List.mem ph !phases) then phases := ph :: !phases;
+      ignore (str "name");
+      match ph with
+      | "M" -> ignore (Json.member "args" ev)
+      | "X" ->
+        ignore (num "ts");
+        ignore (num "dur");
+        ignore (num "pid");
+        ignore (num "tid")
+      | "i" | "C" -> ignore (num "ts")
+      | other -> Alcotest.failf "unexpected phase %S" other)
+    events;
+  (* Request spans ("X") and per-process metadata ("M") are always there. *)
+  Alcotest.(check bool) "has X events" true (List.mem "X" !phases);
+  Alcotest.(check bool) "has M events" true (List.mem "M" !phases)
+
+let test_chrome_golden () =
+  (* Chrome exporter output for a fixed small run, compared byte for byte
+     against the committed golden file.  Regenerate after an intentional
+     schema change with:
+       dune exec bin/detmt_cli.exe -- trace -s mat -w figure1 -c 2 -n 1 \
+         --format chrome -o test/chrome_golden.json *)
+  let obs = Recorder.create () in
+  let _system = run ~scheduler:"mat" ~clients:2 ~requests:1 ~obs () in
+  let got = Chrome.to_string obs in
+  let ic = open_in "chrome_golden.json" in
+  let want = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "golden chrome trace" (String.trim want)
+    (String.trim got)
+
+(* ---------------------------- metrics ------------------------------- *)
+
+let test_metrics_coverage () =
+  let names_for scheduler =
+    let obs = Recorder.create () in
+    ignore (run ~scheduler ~clients:2 ~requests:2 ~obs ());
+    Metrics.names (Recorder.metrics obs)
+  in
+  let expect scheduler needles =
+    let names = names_for scheduler in
+    List.iter
+      (fun n ->
+        if not (List.mem n names) then
+          Alcotest.failf "%s: metric %S missing (have: %s)" scheduler n
+            (String.concat ", " names))
+      needles
+  in
+  expect "seq" [ "sched.seq.grants"; "sched.seq.starts"; "totem.broadcasts";
+                 "totem.deliveries"; "replica.requests_completed" ];
+  expect "sat" [ "sched.sat.grants"; "sched.sat.activations" ];
+  expect "lsa" [ "sched.lsa.grant_broadcasts"; "sched.lsa.follower_grants" ];
+  expect "pds" [ "sched.pds.grants"; "sched.pds.rounds" ];
+  expect "mat" [ "sched.mat.grants"; "sched.mat.promotions" ];
+  expect "mat-ll" [ "sched.mat-ll.grants"; "sched.mat-ll.handoffs" ];
+  expect "pmat" [ "sched.pmat.grants" ]
+
+let test_metrics_render () =
+  let obs = Recorder.create () in
+  ignore (run ~scheduler:"mat" ~clients:2 ~requests:2 ~obs ());
+  let table = Metrics.to_table (Recorder.metrics obs) in
+  let csv = Detmt_stats.Table.to_csv table in
+  Alcotest.(check bool) "csv has header" true
+    (String.length csv > 0
+    && String.sub csv 0 6 = "metric");
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "csv mentions totem" true
+    (contains csv "totem.broadcasts")
+
+let test_chaos_metrics () =
+  (* The chaos layer folds the transport's fault counters into the recorder
+     after a degraded run. *)
+  let scenario =
+    match Chaos.find_scenario "lossy" with
+    | Some s -> s
+    | None -> Alcotest.fail "no lossy scenario"
+  in
+  let obs = Recorder.create () in
+  let o =
+    Chaos.run ~clients:2 ~requests_per_client:2 ~obs ~scenario
+      ~scheduler:"mat" ~cls:figure1_cls ~gen:figure1_gen ()
+  in
+  Alcotest.(check bool) "run ok" true (Chaos.ok o);
+  let m = Recorder.metrics obs in
+  let names = Metrics.names m in
+  List.iter
+    (fun n ->
+      if not (List.mem n names) then Alcotest.failf "metric %S missing" n)
+    [ "faults.transmissions"; "faults.losses"; "chaos.client_retries";
+      "totem.retransmits" ];
+  Alcotest.(check bool) "losses counted" true
+    (Metrics.counter_value m "faults.losses" > 0)
+
+(* ----------------------- audit + forensics window ------------------- *)
+
+let test_audit_window () =
+  let obs = Recorder.create () in
+  let decide ~at ~tid =
+    Recorder.decision obs ~at ~replica:0 ~scheduler:"mat" ~tid
+      ~action:Detmt_obs.Audit.Grant_lock ~mutex:7
+      ~rule:Detmt_obs.Audit.Primary_continue ()
+  in
+  decide ~at:1.0 ~tid:0;
+  decide ~at:10.0 ~tid:1;
+  decide ~at:11.0 ~tid:2;
+  decide ~at:30.0 ~tid:3;
+  Recorder.checkpoint obs ~replica:0 ~seq:5 ~at:10.5;
+  (match Recorder.checkpoint_time obs ~replica:0 ~seq:5 with
+  | Some at ->
+    let window = Recorder.audit_window obs ~around:at ~margin:2.0 in
+    Alcotest.(check (list int)) "window tids" [ 1; 2 ]
+      (List.map (fun e -> e.Detmt_obs.Audit.tid) window)
+  | None -> Alcotest.fail "checkpoint time not recorded");
+  Alcotest.(check int) "audit count" 4 (Recorder.audit_count obs)
+
+let () =
+  Alcotest.run "obs"
+    [ ("determinism", determinism_tests);
+      ("breakdowns", breakdown_tests);
+      ( "chrome",
+        [ Alcotest.test_case "schema" `Quick test_chrome_schema;
+          Alcotest.test_case "golden" `Quick test_chrome_golden ] );
+      ( "metrics",
+        [ Alcotest.test_case "coverage" `Quick test_metrics_coverage;
+          Alcotest.test_case "render" `Quick test_metrics_render;
+          Alcotest.test_case "chaos counters" `Quick test_chaos_metrics ] );
+      ( "audit",
+        [ Alcotest.test_case "window" `Quick test_audit_window ] ) ]
