@@ -74,20 +74,23 @@ let report name t =
   print_table t;
   emit_json name (table_json t)
 
-(* Key per-scheduler metrics from one recorded canonical run (8 clients of
-   the Figure 1 workload): scheduler activity next to the response-time
-   medians.  LSA splits its grants between leader broadcasts and follower
-   enforcement, so the grant counter sums the three names. *)
-let scheduler_metrics scheduler =
+(* Key per-scheduler metrics from one recorded canonical run of the
+   Figure 1 workload: scheduler activity next to the response-time medians.
+   LSA splits its grants between leader broadcasts and follower
+   enforcement, so the grant counter sums the three names.  The adaptive
+   meta-scheduler books its activity under its children's names, so its
+   grant counters read zero here. *)
+let scheduler_metrics ?(clients = 8) scheduler =
   let wl = Figure1.default in
   let cls = Figure1.cls wl and gen = Figure1.gen wl in
   let obs = Recorder.create () in
-  let r =
-    Experiment.run_workload ~obs ~scheduler ~clients:8 ~cls ~gen ()
-  in
+  let r = Experiment.run_workload ~obs ~scheduler ~clients ~cls ~gen () in
   let m = Recorder.metrics obs in
   let c suffix = Metrics.counter_value m ("sched." ^ scheduler ^ "." ^ suffix) in
-  let grants = c "grants" + c "grant_broadcasts" + c "follower_grants" in
+  let grants =
+    c "grants" + c "grant_broadcasts" + c "follower_grants"
+    + c "independent_grants"
+  in
   ( scheduler,
     Json.Obj
       [ ("mean_response_ms", Json.Float r.Experiment.mean_response_ms);
@@ -99,6 +102,27 @@ let scheduler_metrics scheduler =
         ("totem_deliveries",
          Json.Int (Metrics.counter_value m "totem.deliveries")) ] )
 
+(* Every registered decision module must produce a metrics row — the CI
+   bench smoke step asserts exactly that against `detmt-cli sched`. *)
+let all_scheduler_names = List.map (fun s -> s.Registry.name) Registry.all
+
+(* The ≥64-concurrent-requests scaling column: one canonical high-fan-in
+   point per scheduler, recording how the indexed grant paths hold up when
+   the candidate sets are an order of magnitude larger than Figure 1's. *)
+let scaling_clients = 64
+
+let scaling_json () =
+  let rows =
+    List.map
+      (fun scheduler ->
+        let (_, json) = scheduler_metrics ~clients:scaling_clients scheduler in
+        (scheduler, json))
+      all_scheduler_names
+  in
+  Json.Obj
+    [ ("clients", Json.Int scaling_clients);
+      ("schedulers", Json.Obj rows) ]
+
 (* ------------------------- figure experiments ---------------------- *)
 
 let fig1 () =
@@ -106,11 +130,16 @@ let fig1 () =
   let table, series = Experiment.figure1 () in
   print_table table;
   if !json_mode then begin
-    let metrics = List.map scheduler_metrics Registry.paper_figure1 in
+    let metrics =
+      List.map (fun s -> scheduler_metrics s) all_scheduler_names
+    in
     match table_json table with
     | Json.Obj fields ->
       emit_json "fig1"
-        (Json.Obj (fields @ [ ("scheduler_metrics", Json.Obj metrics) ]))
+        (Json.Obj
+           (fields
+           @ [ ("scheduler_metrics", Json.Obj metrics);
+               ("scaling", scaling_json ()) ]))
     | _ -> ()
   end;
   Series.chart Format.std_formatter series;
@@ -241,6 +270,31 @@ let micro () =
       Test.make ~name:"rng:int64"
         (let rng = Rng.create 1L in
          Staged.stage (fun () -> ignore (Rng.int64 rng)));
+      (* The indexed grant path against the scan it replaced: 256 resident
+         candidates, one add + min + remove per run.  The ordered set pays
+         O(log n); the reference pays a full fold + sort on every [min]. *)
+      Test.make ~name:"index:candidate(add+min+remove,n=256)"
+        (let idx = Candidate_index.create () in
+         List.iter (fun k -> Candidate_index.add idx ~key:k k) (List.init 256 Fun.id);
+         let k = ref 0 in
+         Staged.stage (fun () ->
+             incr k;
+             let key = 256 + (!k land 255) in
+             Candidate_index.add idx ~key key;
+             ignore (Candidate_index.min idx);
+             Candidate_index.remove idx key));
+      Test.make ~name:"index:reference-scan(add+min+remove,n=256)"
+        (let idx = Candidate_index.Reference.create () in
+         List.iter
+           (fun k -> Candidate_index.Reference.add idx ~key:k k)
+           (List.init 256 Fun.id);
+         let k = ref 0 in
+         Staged.stage (fun () ->
+             incr k;
+             let key = 256 + (!k land 255) in
+             Candidate_index.Reference.add idx ~key key;
+             ignore (Candidate_index.Reference.min idx);
+             Candidate_index.Reference.remove idx key));
       Test.make ~name:"pqueue:push+pop"
         (let q = Pqueue.create () in
          Staged.stage (fun () ->

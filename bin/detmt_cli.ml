@@ -184,6 +184,28 @@ let schedulers_cmd =
     (Cmd.info "schedulers" ~doc:"List the available decision modules.")
     Term.(const show $ const ())
 
+(* Machine-checkable registry listing: one row per decision module with its
+   determinism and prediction flags.  CI greps this to assert the registry
+   is complete. *)
+let sched_cmd =
+  let show () =
+    Format.printf "%-9s %-13s %-10s %s@." "NAME" "DETERMINISTIC"
+      "PREDICTION" "DESCRIPTION";
+    List.iter
+      (fun s ->
+        Format.printf "%-9s %-13s %-10s %s@." s.Detmt.Registry.name
+          (if s.Detmt.Registry.deterministic then "yes" else "no")
+          (if s.Detmt.Registry.needs_prediction then "yes" else "no")
+          s.Detmt.Registry.description)
+      Detmt.Registry.all
+  in
+  Cmd.v
+    (Cmd.info "sched"
+       ~doc:
+         "List every registered scheduler with its determinism and \
+          prediction flags.")
+    Term.(const show $ const ())
+
 let transform_cmd =
   let show workload file predictive =
     let cls =
@@ -626,6 +648,6 @@ let () =
         (fun () -> Detmt.Experiment.saturation ());
       trace_cmd; metrics_cmd; chaos_cmd; fingerprint_cmd; timeline_cmd;
       analyse_cmd;
-      schedulers_cmd; transform_cmd ]
+      schedulers_cmd; sched_cmd; transform_cmd ]
   in
   exit (Cmd.eval (Cmd.group ~default info cmds))

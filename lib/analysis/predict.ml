@@ -21,6 +21,9 @@ type method_summary = {
   fallback_reason : string option;
   sids : sid_info list;
   loops : loop_info list;
+  uses_condvars : bool;
+      (* the method body may execute a condvar wait/notify; conservative
+         [true] for fallback and non-inlinable methods *)
 }
 [@@deriving show { with_path = false }, eq]
 
@@ -51,4 +54,22 @@ let announceable_sids ms =
 
 let fallback_summary ~mname ~reason =
   { mname; fallback = true; fallback_reason = Some reason; sids = [];
-    loops = [] }
+    loops = []; uses_condvars = true }
+
+(* Syntactic scan for condition-variable use, run on the inlined body.  A
+   remaining call (repository method, opaque region) is conservatively
+   assumed to wait/notify. *)
+let rec block_uses_condvars (b : Detmt_lang.Ast.block) =
+  List.exists stmt_uses_condvars b
+
+and stmt_uses_condvars (s : Detmt_lang.Ast.stmt) =
+  match s with
+  | Wait _ | Wait_until _ | Notify _ -> true
+  | Sync (_, body) -> block_uses_condvars body
+  | If (_, a, b) -> block_uses_condvars a || block_uses_condvars b
+  | Loop { body; _ } -> block_uses_condvars body
+  | Call _ | Virtual_call _ -> true
+  | Compute _ | Assign _ | Assign_field _ | Lock_acquire _ | Lock_release _
+  | Nested _ | State_update _ | Sched_lock _ | Sched_unlock _ | Lockinfo _
+  | Ignore_sync _ | Loop_enter _ | Loop_exit _ ->
+    false

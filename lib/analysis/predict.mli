@@ -35,6 +35,9 @@ type method_summary = {
   fallback_reason : string option;
   sids : sid_info list;
   loops : loop_info list;
+  uses_condvars : bool;
+      (** the method body may execute a condvar wait/notify; conservatively
+          [true] for fallback and non-inlinable methods *)
 }
 [@@deriving show, eq]
 
@@ -55,3 +58,7 @@ val spontaneous_sids : method_summary -> int list
 val announceable_sids : method_summary -> int list
 
 val fallback_summary : mname:string -> reason:string -> method_summary
+
+val block_uses_condvars : Detmt_lang.Ast.block -> bool
+(** Syntactic scan for condition-variable use ([Wait]/[Wait_until]/[Notify]),
+    run on an inlined body; remaining opaque calls count as using them. *)

@@ -80,8 +80,14 @@ module Interp = Detmt_runtime.Interp
 module Sched_iface = Detmt_runtime.Sched_iface
 module Replica = Detmt_runtime.Replica
 
-(* schedulers *)
+(* schedulers: the shared substrate (two-module architecture) and the
+   decision modules *)
 module Bookkeeping = Detmt_sched.Bookkeeping
+module Substrate = Detmt_sched.Substrate
+module Decision = Detmt_sched.Decision
+module Candidate_index = Detmt_sched.Candidate_index
+module Fqueue = Detmt_sched.Fqueue
+module Waitq = Detmt_sched.Waitq
 module Registry = Detmt_sched.Registry
 module Seq_sched = Detmt_sched.Seq_sched
 module Sat = Detmt_sched.Sat

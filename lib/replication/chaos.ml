@@ -65,7 +65,8 @@ let find_scenario name = List.find_opt (fun s -> s.name = name) scenarios
 (* The deterministic schedulers under test.  Freefall is excluded on
    purpose: it is the nondeterminism baseline and fails the divergence
    invariants by design. *)
-let default_schedulers = [ "seq"; "sat"; "lsa"; "pds"; "mat"; "pmat" ]
+let default_schedulers =
+  [ "seq"; "sat"; "psat"; "lsa"; "pds"; "ppds"; "mat"; "pmat" ]
 
 type outcome = {
   o_scenario : string;

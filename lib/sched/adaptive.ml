@@ -10,21 +10,35 @@ let fully_predictable = function
 
 let recommend ~summary ~avg_concurrency =
   if avg_concurrency <= 1.05 then "seq"
-  else if fully_predictable summary then "pmat"
+  else if fully_predictable summary then
+    if avg_concurrency < 2.0 then "psat"
+      (* barely-overlapping clients: the single token almost never blocks
+         anybody, and prediction releases it early when it would *)
+    else if avg_concurrency <= 48.0 then "pmat"
+    else "ppds"
+      (* heavy fan-in: batched rounds amortise the decision cost that
+         pMAT's per-event queue scan pays on every delivery *)
   else "mat"
 
 (* The children the analyser can pick.  (Not routed through {!Registry} to
-   keep the module dependency one-way.) *)
+   keep the module dependency one-way.)  Prediction-based children degrade
+   to their pessimistic base module when no summary is available. *)
 let make_child name ~config ~summary actions =
-  ignore config;
-  match name with
-  | "seq" -> Seq_sched.make actions
-  | "mat" -> Mat.make actions
-  | "pmat" -> (
-    match summary with
-    | Some s -> Pmat.make ~summary:s actions
-    | None -> Mat.make actions)
-  | other -> invalid_arg ("Adaptive: unknown child scheduler " ^ other)
+  let inst (module D : Decision.S) =
+    Decision.instantiate (module D) ~config ~summary actions
+  in
+  match (name, summary) with
+  | "seq", _ -> inst (module Seq_sched.Base)
+  | "sat", _ -> inst (module Sat.Base)
+  | "psat", Some _ -> inst (module Sat.Predicted)
+  | "psat", None -> inst (module Sat.Base)
+  | "mat", _ -> inst (module Mat.Base)
+  | "pmat", Some _ -> inst (module Pmat.Base)
+  | "pmat", None -> inst (module Mat.Base)
+  | "pds", _ -> inst (module Pds.Base)
+  | "ppds", Some _ -> inst (module Pds.Predicted)
+  | "ppds", None -> inst (module Pds.Base)
+  | other, _ -> invalid_arg ("Adaptive: unknown child scheduler " ^ other)
 
 type t = {
   actions : Sched_iface.actions;
@@ -75,7 +89,9 @@ let on_terminate t tid =
 
 let make ?(window = 20) ?(on_switch = fun _ -> ()) ~config ~summary actions :
     Sched_iface.sched =
-  let initial = recommend ~summary ~avg_concurrency:infinity in
+  (* Prior before anything has been measured: assume moderate concurrency
+     (the first window corrects it at the first quiescent point). *)
+  let initial = recommend ~summary ~avg_concurrency:4.0 in
   let t =
     { actions; config; summary; window; on_switch;
       child = make_child initial ~config ~summary actions;

@@ -11,8 +11,14 @@
       parallelism to exploit, and the simplest discipline has the lowest
       overhead;
     - a fully predictable lock pattern (every start method analysable, no
-      fallback): predicted MAT — concurrency without broadcast traffic;
+      fallback): predicted SAT when the overlap is marginal (the token
+      rarely blocks and prediction releases it early), predicted MAT in the
+      common concurrent range, and predicted PDS under heavy fan-in where
+      batched rounds amortise the per-event decision cost;
     - otherwise: MAT, the most flexible pessimistic algorithm.
+
+    Prediction-based children fall back to their pessimistic base module
+    (psat→sat, pmat→mat, ppds→pds) when no summary is available.
 
     Every input to the decision (delivery and termination order, the static
     summary) is identical on all replicas, and switches happen only when no

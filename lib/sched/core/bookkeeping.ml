@@ -1,4 +1,5 @@
 open Detmt_analysis
+module Iset = Set.Make (Int)
 
 type entry_state = Pending | Announced of int | Passed | Ignored
 
@@ -7,6 +8,12 @@ type table = {
   entries : (int, entry_state) Hashtbl.t; (* syncid -> state *)
   mutable active_loops : int list; (* innermost first *)
   mutable exited_loops : int list;
+  (* Incrementally maintained views of [entries], so the hot decision-module
+     queries ([predicted], [future_may_lock]) are O(1)/O(log n) instead of a
+     full fold per call (pMAT's rescan issues O(n²) of them per event). *)
+  mutable pending_left : int; (* # entries still [Pending] *)
+  announced : (int, int) Hashtbl.t; (* mutex -> # [Announced _] entries *)
+  mutable future : Iset.t; (* mutexes with announced count > 0, sorted *)
 }
 
 type thread_info =
@@ -33,7 +40,10 @@ let register t ~tid ~meth =
         List.iter
           (fun (i : Predict.sid_info) -> Hashtbl.replace entries i.sid Pending)
           ms.sids;
-        Tracked { ms; entries; active_loops = []; exited_loops = [] })
+        Tracked
+          { ms; entries; active_loops = []; exited_loops = [];
+            pending_left = List.length ms.sids;
+            announced = Hashtbl.create 16; future = Iset.empty })
   in
   Hashtbl.replace t.threads tid info
 
@@ -44,8 +54,33 @@ let tracked t tid =
   | Some (Tracked tab) -> Some tab
   | Some Pessimistic | None -> None
 
+(* The single mutation point: updates the pending counter and the announced
+   multiset / sorted future set along with the entry itself. *)
 let set_entry tab sid state =
-  if Hashtbl.mem tab.entries sid then Hashtbl.replace tab.entries sid state
+  match Hashtbl.find_opt tab.entries sid with
+  | None -> ()
+  | Some old ->
+    (match old with
+    | Pending -> (
+      match state with
+      | Pending -> ()
+      | Announced _ | Passed | Ignored ->
+        tab.pending_left <- tab.pending_left - 1)
+    | Announced m ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt tab.announced m) in
+      if n <= 1 then begin
+        Hashtbl.remove tab.announced m;
+        tab.future <- Iset.remove m tab.future
+      end
+      else Hashtbl.replace tab.announced m (n - 1)
+    | Passed | Ignored -> ());
+    (match state with
+    | Announced m ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt tab.announced m) in
+      Hashtbl.replace tab.announced m (n + 1);
+      tab.future <- Iset.add m tab.future
+    | Pending | Passed | Ignored -> ());
+    Hashtbl.replace tab.entries sid state
 
 let on_lockinfo t ~tid ~syncid ~mutex =
   match tracked t tid with
@@ -125,35 +160,29 @@ let predicted_tab tab =
          || List.mem l.lid tab.exited_loops
          || List.mem l.lid tab.active_loops (* excluded by 1 if changing *))
        tab.ms.loops
-  (* 3. every entry is resolved *)
-  && Hashtbl.fold
-       (fun _ state acc ->
-         acc && match state with Pending -> false | _ -> true)
-       tab.entries true
+  (* 3. every entry is resolved — maintained incrementally by [set_entry] *)
+  && tab.pending_left = 0
 
 let predicted t ~tid =
   match tracked t tid with None -> false | Some tab -> predicted_tab tab
 
-let future_of_tab tab =
-  Hashtbl.fold
-    (fun _ state acc ->
-      match state with
-      | Announced m -> m :: acc
-      | Pending | Passed | Ignored -> acc)
-    tab.entries []
-  |> List.sort_uniq compare
-
 let future_mutexes t ~tid =
   match tracked t tid with
   | None -> None
-  | Some tab -> if predicted_tab tab then Some (future_of_tab tab) else None
+  | Some tab ->
+    if predicted_tab tab then Some (Iset.elements tab.future) else None
 
 let future_may_lock t ~tid ~mutex =
-  match future_mutexes t ~tid with
+  match tracked t tid with
   | None -> true
-  | Some future -> List.mem mutex future
+  | Some tab -> if predicted_tab tab then Iset.mem mutex tab.future else true
 
 let no_future_locks t ~tid =
-  match future_mutexes t ~tid with
+  match tracked t tid with
   | None -> false
-  | Some future -> future = []
+  | Some tab -> predicted_tab tab && Iset.is_empty tab.future
+
+let uses_condvars t ~tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some (Tracked tab) -> tab.ms.uses_condvars
+  | Some Pessimistic | None -> true (* unknown method: assume the worst *)

@@ -55,4 +55,14 @@ val no_future_locks : t -> tid:int -> bool
     again" (the MAT weakness fixed in Figure 2). *)
 
 val future_mutexes : t -> tid:int -> int list option
-(** The exact future lock set, or [None] when not predicted. *)
+(** The exact future lock set (ascending, duplicate-free), or [None] when
+    not predicted.  Maintained incrementally: O(n) only in the size of the
+    set itself, never in the number of table entries. *)
+
+val uses_condvars : t -> tid:int -> bool
+(** Whether the thread's start method may execute a condition-variable
+    [wait]/[notify] (from the static summary).  [true] when unknown.
+    Decision modules that let predicted threads run outside their normal
+    serialisation discipline (pPDS independence) must exclude such threads:
+    a wait re-enters the grant machinery at a timing-dependent point, and a
+    notify wakes third parties at one. *)

@@ -1,0 +1,107 @@
+(* Deterministic sorted candidate index.
+
+   Every decision module needs some flavour of "the least key satisfying a
+   predicate": the oldest runnable secondary (MAT), the lowest-tid waiter
+   (freefall), the tid-ordered drain of enforced decisions (LSA promotion).
+   The original modules answered it with [Hashtbl.fold … |> List.sort] on
+   every decision — O(n log n) per grant, and nondeterministic fold order
+   hidden only by the sort.  This index keeps the candidates in a balanced
+   map keyed by an integer (arrival sequence or tid), so insert/remove/min
+   are O(log n) and iteration is ascending by construction.
+
+   The [Reference] sub-module preserves the replaced scan-based
+   implementation behind the same signature: the unit suite checks the two
+   agree operation-for-operation, and the bench compares their dispatch
+   cost at high thread counts. *)
+
+module M = Map.Make (Int)
+
+type 'a t = { mutable map : 'a M.t; mutable count : int }
+
+let create () = { map = M.empty; count = 0 }
+
+let clear t =
+  t.map <- M.empty;
+  t.count <- 0
+
+let cardinal t = t.count
+
+let is_empty t = t.count = 0
+
+let mem t key = M.mem key t.map
+
+let add t ~key v =
+  if not (M.mem key t.map) then t.count <- t.count + 1;
+  t.map <- M.add key v t.map
+
+let remove t key =
+  if M.mem key t.map then begin
+    t.map <- M.remove key t.map;
+    t.count <- t.count - 1
+  end
+
+let find t key = M.find_opt key t.map
+
+let min t = M.min_binding_opt t.map
+
+(* Least key whose binding satisfies [f]; ascending scan with early exit. *)
+let find_first t ~f =
+  let result = ref None in
+  (try
+     M.iter
+       (fun k v ->
+         if f k v then begin
+           result := Some (k, v);
+           raise Exit
+         end)
+       t.map
+   with Exit -> ());
+  !result
+
+let iter t ~f = M.iter f t.map
+
+let fold t ~init ~f = M.fold f t.map init
+
+let to_list t = M.bindings t.map
+
+let keys t = List.map fst (M.bindings t.map)
+
+(* The pre-refactor grant path, kept verbatim in spirit: candidates in a
+   hash table, every query folds and sorts.  Only tests and the bench use
+   it. *)
+module Reference = struct
+  type 'a t = (int, 'a) Hashtbl.t
+
+  let create () : 'a t = Hashtbl.create 64
+
+  let clear = Hashtbl.reset
+
+  let cardinal = Hashtbl.length
+
+  let is_empty t = Hashtbl.length t = 0
+
+  let mem = Hashtbl.mem
+
+  let add t ~key v = Hashtbl.replace t key v
+
+  let remove = Hashtbl.remove
+
+  let find t key = Hashtbl.find_opt t key
+
+  let sorted t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let min t = match sorted t with [] -> None | kv :: _ -> Some kv
+
+  let find_first t ~f = List.find_opt (fun (k, v) -> f k v) (sorted t)
+
+  let iter t ~f = List.iter (fun (k, v) -> f k v) (sorted t)
+
+  let fold t ~init ~f =
+    List.fold_left (fun acc (k, v) -> f k v acc) init (sorted t)
+
+  let to_list = sorted
+
+  let keys t = List.map fst (sorted t)
+end

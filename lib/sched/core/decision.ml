@@ -1,0 +1,39 @@
+(* The decision-module signature of the two-module scheduler architecture.
+
+   "The scheduler is split into a generic bookkeeping module and an
+   algorithm-specific decision module" (section 5).  A decision module is a
+   policy over a prepared {!Substrate}: it receives the substrate (which
+   already carries the replica actions, the configuration and — for
+   prediction-aware variants — a bookkeeping instance) and returns the
+   scheduler callback record.
+
+   Each variant is one first-class module: [Sat.Decision] and
+   [Sat.Predicted] share their implementation but differ in [name] and
+   [needs_prediction], which selects whether [instantiate] equips the
+   substrate with a bookkeeping module. *)
+
+open Detmt_runtime
+
+module type S = sig
+  val name : string
+
+  val needs_prediction : bool
+  (** Whether [instantiate] must build a {!Bookkeeping} from the class
+      summary (and fail without one). *)
+
+  val policy : Substrate.t -> Sched_iface.sched
+end
+
+let instantiate (module D : S) ~config
+    ~(summary : Detmt_analysis.Predict.class_summary option) actions =
+  let bookkeeping =
+    if D.needs_prediction then
+      match summary with
+      | Some _ -> Some (Bookkeeping.create ~summary ())
+      | None ->
+        invalid_arg
+          (Printf.sprintf
+             "%s needs a prediction summary (run Transform.predictive)" D.name)
+    else None
+  in
+  D.policy (Substrate.create ?bookkeeping ~name:D.name ~config actions)

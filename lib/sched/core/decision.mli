@@ -1,0 +1,23 @@
+(** Decision modules: the policy half of the two-module architecture.  One
+    first-class module per scheduler variant; {!instantiate} prepares the
+    {!Substrate} (with a {!Bookkeeping} when the variant needs prediction)
+    and applies the policy. *)
+
+open Detmt_runtime
+
+module type S = sig
+  val name : string
+
+  val needs_prediction : bool
+
+  val policy : Substrate.t -> Sched_iface.sched
+end
+
+val instantiate :
+  (module S) ->
+  config:Config.t ->
+  summary:Detmt_analysis.Predict.class_summary option ->
+  Sched_iface.actions ->
+  Sched_iface.sched
+(** @raise Invalid_argument when the variant needs prediction and no summary
+    is given. *)

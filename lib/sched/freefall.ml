@@ -9,27 +9,28 @@
 open Detmt_sim
 open Detmt_runtime
 
-type pending = Plock | Preacquire
+type kind = Plock | Preacquire
 
 type t = {
-  actions : Sched_iface.actions;
+  sub : Substrate.t;
   rng : Rng.t;
-  waiting : (int, int * pending) Hashtbl.t; (* tid -> (mutex, kind) *)
+  waiting : (int * kind) Candidate_index.t; (* tid -> (mutex, kind) *)
 }
 
 let grant t tid kind =
-  Hashtbl.remove t.waiting tid;
-  if Detmt_obs.Recorder.enabled t.actions.obs then
-    Detmt_obs.Recorder.incr t.actions.obs "sched.freefall.grants";
+  Candidate_index.remove t.waiting tid;
+  if Substrate.observing t.sub then Substrate.incr t.sub "grants";
+  let actions = Substrate.actions t.sub in
   match kind with
-  | Plock -> t.actions.grant_lock tid
-  | Preacquire -> t.actions.grant_reacquire tid
+  | Plock -> actions.grant_lock tid
+  | Preacquire -> actions.grant_reacquire tid
 
+(* Ascending tid by construction — the same order the replaced fold+sort
+   produced, so the random pick consumes the rng stream identically. *)
 let candidates t ~mutex =
-  Hashtbl.fold
-    (fun tid (m, kind) acc -> if m = mutex then (tid, kind) :: acc else acc)
-    t.waiting []
-  |> List.sort compare
+  Candidate_index.fold t.waiting ~init:[] ~f:(fun tid (m, kind) acc ->
+      if m = mutex then (tid, kind) :: acc else acc)
+  |> List.rev
 
 let wake_random t ~mutex =
   match candidates t ~mutex with
@@ -40,28 +41,44 @@ let wake_random t ~mutex =
     grant t tid kind
 
 let on_lock t tid ~syncid:_ ~mutex =
-  if t.actions.mutex_free_for ~tid ~mutex then t.actions.grant_lock tid
-  else Hashtbl.replace t.waiting tid (mutex, Plock)
+  let actions = Substrate.actions t.sub in
+  if actions.mutex_free_for ~tid ~mutex then actions.grant_lock tid
+  else Candidate_index.add t.waiting ~key:tid (mutex, Plock)
 
 let on_wakeup t tid ~mutex =
-  if t.actions.mutex_free_for ~tid ~mutex then t.actions.grant_reacquire tid
-  else Hashtbl.replace t.waiting tid (mutex, Preacquire)
+  let actions = Substrate.actions t.sub in
+  if actions.mutex_free_for ~tid ~mutex then actions.grant_reacquire tid
+  else Candidate_index.add t.waiting ~key:tid (mutex, Preacquire)
 
-let make (actions : Sched_iface.actions) : Sched_iface.sched =
+let policy sub : Sched_iface.sched =
+  let actions = Substrate.actions sub in
   let t =
-    { actions;
+    { sub;
       rng = Rng.create (Int64.of_int (0x5EED + actions.replica_id));
-      waiting = Hashtbl.create 32 }
+      waiting = Candidate_index.create () }
   in
   let base =
-    Sched_iface.no_op_sched ~name:"freefall"
-      ~on_request:(fun tid -> t.actions.start_thread tid)
-      ~on_lock:(on_lock t)
-      ~on_wakeup:(on_wakeup t)
-      ~on_nested_reply:(fun tid -> t.actions.resume_nested tid)
+    Sched_iface.no_op_sched ~name:(Substrate.name sub)
+      ~on_request:(fun tid ->
+        ignore (Substrate.admit sub ~tid);
+        actions.start_thread tid)
+      ~on_lock:(on_lock t) ~on_wakeup:(on_wakeup t)
+      ~on_nested_reply:(fun tid -> actions.resume_nested tid)
   in
   { base with
     on_unlock =
-      (fun _tid ~syncid:_ ~mutex ~freed ->
-        if freed then wake_random t ~mutex);
-    on_wait = (fun _tid ~mutex -> wake_random t ~mutex) }
+      (fun _tid ~syncid:_ ~mutex ~freed -> if freed then wake_random t ~mutex);
+    on_wait = (fun _tid ~mutex -> wake_random t ~mutex);
+    on_terminate = (fun tid -> Substrate.retire sub ~tid) }
+
+module Base : Decision.S = struct
+  let name = "freefall"
+
+  let needs_prediction = false
+
+  let policy = policy
+end
+
+let make (actions : Sched_iface.actions) : Sched_iface.sched =
+  Decision.instantiate (module Base) ~config:Config.default ~summary:None
+    actions

@@ -1,9 +1,10 @@
-(** Freefall — the deliberately NON-deterministic baseline.
+(** Freefall — the deliberately non-deterministic baseline (native JVM
+    behaviour): first-come first-served grants with random tie-breaks from a
+    per-replica generator.  Replicas diverge; the consistency checker must
+    catch it (motivation experiment E10). *)
 
-    Locks are granted first-come first-served with wake-ups randomised per
-    replica, the way free-running JVM threads would behave.  Exists so the
-    consistency checker has something to catch (experiment E10): replicas
-    diverge in acquisition order, which is the paper's motivation in one
-    module. *)
+module Base : Decision.S
+(** ["freefall"], no prediction, not deterministic. *)
 
 val make : Detmt_runtime.Sched_iface.actions -> Detmt_runtime.Sched_iface.sched
+(** [Base] with the default configuration and no summary. *)

@@ -9,86 +9,76 @@
 
    Condition variables (added in the FTflex variant): a monitor
    re-acquisition after notify is just another acquisition decision, so the
-   same grant messages cover it. *)
+   same grant messages cover it.
+
+   Decision-module state: the grant counter, the follower's enforced order
+   and its local-request index, and the promotion drain flag.  The leader's
+   per-mutex wait queues and the pending-operation records live in the
+   substrate. *)
 
 open Detmt_runtime
-module Recorder = Detmt_obs.Recorder
 module Audit = Detmt_obs.Audit
 
-type pending = Plock of int (* tid *) | Preacquire of int
-
 type t = {
-  actions : Sched_iface.actions;
-  (* --- leader state --- *)
-  waitq : Waitq.t; (* admitted, waiting for the mutex, FIFO *)
-  kinds : (int, pending) Hashtbl.t; (* tid -> kind of pending operation *)
+  sub : Substrate.t;
+  (* --- leader state (waiting threads queue in the substrate waitq) --- *)
   mutable grant_seq : int;
   (* --- follower state --- *)
   enforced : Waitq.t; (* per mutex: leader-ordered tids *)
-  requested : (int, int) Hashtbl.t; (* tid -> mutex it locally requested *)
+  requested : int Candidate_index.t; (* tid -> mutex it locally requested *)
   mutable draining : bool;
       (* a promoted leader first drains already-received decisions *)
 }
 
-let is_leader t = t.actions.is_leader ()
-
-let audit t ~tid ~action ?mutex ~rule ?candidates () =
-  Recorder.decision t.actions.obs ~at:(t.actions.now ())
-    ~replica:t.actions.replica_id ~scheduler:"lsa" ~tid ~action ?mutex ~rule
-    ?candidates ()
-
-let observing t = Recorder.enabled t.actions.obs
+let is_leader t = (Substrate.actions t.sub).is_leader ()
 
 (* The action a grant of [tid] will perform, for the audit log. *)
 let pending_action t tid =
-  match Hashtbl.find_opt t.kinds tid with
-  | Some (Preacquire _) -> Audit.Grant_reacquire
-  | Some (Plock _) | None -> Audit.Grant_lock
+  match Substrate.find_thread t.sub tid with
+  | Some { Substrate.pending = Some (Substrate.Reacquire _); _ } ->
+    Audit.Grant_reacquire
+  | Some _ | None -> Audit.Grant_lock
 
-let perform t tid =
-  match Hashtbl.find_opt t.kinds tid with
-  | Some (Plock _) ->
-    Hashtbl.remove t.kinds tid;
-    t.actions.grant_lock tid
-  | Some (Preacquire _) ->
-    Hashtbl.remove t.kinds tid;
-    t.actions.grant_reacquire tid
-  | None -> invalid_arg (Printf.sprintf "Lsa: no pending op for t%d" tid)
+let perform t tid = Substrate.perform t.sub (Substrate.thread t.sub tid)
 
 (* Leader: grant greedily, broadcasting each decision. *)
 let leader_grant t tid ~mutex =
   t.grant_seq <- t.grant_seq + 1;
-  if observing t then begin
-    Recorder.incr t.actions.obs "sched.lsa.grant_broadcasts";
-    audit t ~tid ~action:(pending_action t tid) ~mutex ~rule:Audit.Leader_greedy
-      ~candidates:(Waitq.waiting t.waitq ~mutex)
+  if Substrate.observing t.sub then begin
+    Substrate.incr t.sub "grant_broadcasts";
+    Substrate.audit t.sub ~tid ~action:(pending_action t tid) ~mutex
+      ~rule:Audit.Leader_greedy
+      ~candidates:(Waitq.waiting (Substrate.waitq t.sub) ~mutex)
       ()
   end;
-  t.actions.broadcast_control
+  (Substrate.actions t.sub).broadcast_control
     (Sched_iface.Lsa_grant { grant_seq = t.grant_seq; mutex; tid });
   perform t tid
 
 let leader_request t tid ~mutex pending =
-  Hashtbl.replace t.kinds tid pending;
-  if t.actions.mutex_free_for ~tid ~mutex && Waitq.is_empty t.waitq ~mutex
-  then leader_grant t tid ~mutex
+  let actions = Substrate.actions t.sub in
+  let waitq = Substrate.waitq t.sub in
+  (Substrate.thread t.sub tid).pending <- Some pending;
+  if actions.mutex_free_for ~tid ~mutex && Waitq.is_empty waitq ~mutex then
+    leader_grant t tid ~mutex
   else begin
-    if observing t then begin
-      Recorder.incr t.actions.obs "sched.lsa.deferrals";
-      audit t ~tid ~action:Audit.Defer ~mutex
+    if Substrate.observing t.sub then begin
+      Substrate.incr t.sub "deferrals";
+      Substrate.audit t.sub ~tid ~action:Audit.Defer ~mutex
         ~rule:
-          (if t.actions.mutex_free_for ~tid ~mutex then Audit.Queue_wait
+          (if actions.mutex_free_for ~tid ~mutex then Audit.Queue_wait
            else Audit.Mutex_held)
-        ~candidates:(Waitq.waiting t.waitq ~mutex)
+        ~candidates:(Waitq.waiting waitq ~mutex)
         ()
     end;
-    Waitq.push t.waitq ~mutex tid
+    Waitq.push waitq ~mutex tid
   end
 
 let leader_on_unlock t ~mutex =
-  match Waitq.head t.waitq ~mutex with
-  | Some tid when t.actions.mutex_free_for ~tid ~mutex ->
-    ignore (Waitq.pop t.waitq ~mutex);
+  let waitq = Substrate.waitq t.sub in
+  match Waitq.head waitq ~mutex with
+  | Some tid when (Substrate.actions t.sub).mutex_free_for ~tid ~mutex ->
+    ignore (Waitq.pop waitq ~mutex);
     leader_grant t tid ~mutex
   | Some _ | None -> ()
 
@@ -97,13 +87,13 @@ let leader_on_unlock t ~mutex =
 let follower_try t ~mutex =
   match Waitq.head t.enforced ~mutex with
   | Some tid
-    when Hashtbl.find_opt t.requested tid = Some mutex
-         && t.actions.mutex_free_for ~tid ~mutex ->
+    when Candidate_index.find t.requested tid = Some mutex
+         && (Substrate.actions t.sub).mutex_free_for ~tid ~mutex ->
     ignore (Waitq.pop t.enforced ~mutex);
-    Hashtbl.remove t.requested tid;
-    if observing t then begin
-      Recorder.incr t.actions.obs "sched.lsa.follower_grants";
-      audit t ~tid ~action:(pending_action t tid) ~mutex
+    Candidate_index.remove t.requested tid;
+    if Substrate.observing t.sub then begin
+      Substrate.incr t.sub "follower_grants";
+      Substrate.audit t.sub ~tid ~action:(pending_action t tid) ~mutex
         ~rule:Audit.Follower_enforced
         ~candidates:(Waitq.waiting t.enforced ~mutex)
         ()
@@ -112,11 +102,13 @@ let follower_try t ~mutex =
   | Some _ | None -> ()
 
 let follower_request t tid ~mutex pending =
-  Hashtbl.replace t.kinds tid pending;
-  Hashtbl.replace t.requested tid mutex;
-  (if observing t && Waitq.head t.enforced ~mutex <> Some tid then begin
-     Recorder.incr t.actions.obs "sched.lsa.deferrals";
-     audit t ~tid ~action:Audit.Defer ~mutex ~rule:Audit.Enforced_order_wait
+  (Substrate.thread t.sub tid).pending <- Some pending;
+  Candidate_index.add t.requested ~key:tid mutex;
+  (if Substrate.observing t.sub && Waitq.head t.enforced ~mutex <> Some tid
+   then begin
+     Substrate.incr t.sub "deferrals";
+     Substrate.audit t.sub ~tid ~action:Audit.Defer ~mutex
+       ~rule:Audit.Enforced_order_wait
        ~candidates:(Waitq.waiting t.enforced ~mutex)
        ()
    end);
@@ -124,27 +116,23 @@ let follower_request t tid ~mutex pending =
 
 (* A follower promoted to leader finishes the dead leader's published
    decisions first (all survivors received the same prefix, in total order),
-   then switches to greedy mode. *)
+   then switches to greedy mode.  The drain order is ascending tid — the
+   index iterates sorted by construction. *)
 let drain_done t =
-  Hashtbl.fold (fun tid mutex acc -> (tid, mutex) :: acc) t.requested []
-  |> List.sort compare
-  |> List.iter (fun (tid, mutex) ->
-         Hashtbl.remove t.requested tid;
-         match Hashtbl.find_opt t.kinds tid with
-         | Some (Plock _) -> leader_request t tid ~mutex (Plock tid)
-         | Some (Preacquire _) -> leader_request t tid ~mutex (Preacquire tid)
-         | None -> ())
+  List.iter
+    (fun (tid, mutex) ->
+      Candidate_index.remove t.requested tid;
+      match Substrate.find_thread t.sub tid with
+      | Some { Substrate.pending = Some p; _ } -> leader_request t tid ~mutex p
+      | Some _ | None -> ())
+    (Candidate_index.to_list t.requested)
 
 let check_promotion t =
   if is_leader t && t.draining then begin
-    let any_enforced = Hashtbl.length t.requested > 0 in
-    ignore any_enforced;
     (* Drained when no enforced decisions remain unconsumed. *)
     let remaining =
-      Hashtbl.fold
-        (fun tid mutex acc ->
+      Candidate_index.fold t.requested ~init:0 ~f:(fun tid mutex acc ->
           if Waitq.mem t.enforced ~mutex ~tid then acc + 1 else acc)
-        t.requested 0
     in
     if remaining = 0 then begin
       t.draining <- false;
@@ -153,21 +141,22 @@ let check_promotion t =
   end
 
 let on_request t tid =
-  ignore tid;
-  t.actions.start_thread tid
+  ignore (Substrate.admit t.sub ~tid);
+  (Substrate.actions t.sub).start_thread tid
 
 let on_lock t tid ~syncid:_ ~mutex =
-  if is_leader t && not t.draining then leader_request t tid ~mutex (Plock tid)
+  if is_leader t && not t.draining then
+    leader_request t tid ~mutex (Substrate.Lock mutex)
   else begin
-    follower_request t tid ~mutex (Plock tid);
+    follower_request t tid ~mutex (Substrate.Lock mutex);
     check_promotion t
   end
 
 let on_wakeup t tid ~mutex =
   if is_leader t && not t.draining then
-    leader_request t tid ~mutex (Preacquire tid)
+    leader_request t tid ~mutex (Substrate.Reacquire mutex)
   else begin
-    follower_request t tid ~mutex (Preacquire tid);
+    follower_request t tid ~mutex (Substrate.Reacquire mutex);
     check_promotion t
   end
 
@@ -181,12 +170,14 @@ let on_wait t tid ~mutex =
   if is_leader t && not t.draining then leader_on_unlock t ~mutex
   else follower_try t ~mutex
 
-let on_nested_reply t tid = t.actions.resume_nested tid
+let on_nested_reply t tid = (Substrate.actions t.sub).resume_nested tid
+
+let on_terminate t tid = Substrate.retire t.sub ~tid
 
 let on_control t ~sender:_ control =
   match control with
   | Sched_iface.Lsa_grant { grant_seq = _; mutex; tid } ->
-    if not (is_leader t) || t.draining then begin
+    if (not (is_leader t)) || t.draining then begin
       (* Our own broadcasts also self-deliver on the leader; ignore them
          there — decisions were applied synchronously. *)
       Waitq.push t.enforced ~mutex tid;
@@ -198,23 +189,22 @@ let on_control t ~sender:_ control =
        published decisions and then schedules greedily. *)
     check_promotion t
 
-let make (actions : Sched_iface.actions) : Sched_iface.sched =
+let policy sub : Sched_iface.sched =
   let t =
-    { actions; waitq = Waitq.create (); kinds = Hashtbl.create 64;
-      grant_seq = 0; enforced = Waitq.create (); requested = Hashtbl.create 64;
-      draining = not (actions.is_leader ()) }
+    { sub; grant_seq = 0; enforced = Waitq.create ();
+      requested = Candidate_index.create ();
+      draining = not ((Substrate.actions sub).is_leader ()) }
   in
   let base =
-    Sched_iface.no_op_sched ~name:"lsa"
-      ~on_request:(on_request t)
-      ~on_lock:(on_lock t)
-      ~on_wakeup:(on_wakeup t)
+    Sched_iface.no_op_sched ~name:(Substrate.name sub)
+      ~on_request:(on_request t) ~on_lock:(on_lock t) ~on_wakeup:(on_wakeup t)
       ~on_nested_reply:(on_nested_reply t)
   in
   { base with
-    on_unlock = (fun tid ~syncid ~mutex ~freed ->
-        on_unlock t tid ~syncid ~mutex ~freed);
+    on_unlock =
+      (fun tid ~syncid ~mutex ~freed -> on_unlock t tid ~syncid ~mutex ~freed);
     on_wait = (fun tid ~mutex -> on_wait t tid ~mutex);
+    on_terminate = on_terminate t;
     on_control = (fun ~sender c -> on_control t ~sender c);
     (* The grant counter orders every future leader grant; a recovered
        follower must resume it at the donor's value or it would enforce
@@ -222,6 +212,17 @@ let make (actions : Sched_iface.actions) : Sched_iface.sched =
     snapshot = (fun () -> [ ("grant_seq", t.grant_seq) ]);
     restore =
       (fun kv ->
-        List.iter
-          (fun (k, v) -> if k = "grant_seq" then t.grant_seq <- v)
-          kv) }
+        List.iter (fun (k, v) -> if k = "grant_seq" then t.grant_seq <- v) kv)
+  }
+
+module Base : Decision.S = struct
+  let name = "lsa"
+
+  let needs_prediction = false
+
+  let policy = policy
+end
+
+let make (actions : Sched_iface.actions) : Sched_iface.sched =
+  Decision.instantiate (module Base) ~config:Config.default ~summary:None
+    actions

@@ -11,4 +11,8 @@
     already-published decisions (identical on all survivors thanks to total
     order) and then switches to greedy mode. *)
 
+module Base : Decision.S
+(** ["lsa"], no prediction. *)
+
 val make : Detmt_runtime.Sched_iface.actions -> Detmt_runtime.Sched_iface.sched
+(** [Base] with the default configuration and no summary. *)

@@ -13,110 +13,63 @@
    that has released its last lock keeps delaying everybody until it
    terminates.
 
-   [~bookkeeping] turns this module into the Figure 2 variant (MAT+LL): when
-   the bookkeeping proves the primary will never lock again, primacy is
-   handed over immediately, and lock-free threads are skipped during
-   promotion. *)
+   The {!Last_lock} variant (MAT+LL, Figure 2) equips the substrate with the
+   bookkeeping module: when it proves the primary will never lock again,
+   primacy is handed over immediately, and lock-free threads are skipped
+   during promotion.
+
+   Decision-module state is only the primary designation; the thread records
+   (role flags, pending operations, arrival order) live in the substrate. *)
 
 open Detmt_runtime
-module Recorder = Detmt_obs.Recorder
 module Audit = Detmt_obs.Audit
 
-type thread = {
-  tid : int;
-  mutable is_primary : bool;
-  mutable ex_primary : bool; (* suspended while primary; resumes as primary *)
-  mutable suspended : bool;
-  mutable pending : pending option;
-}
-
-and pending =
-  | Plock of int (* mutex *)
-  | Preacquire of int
-  | Presume (* nested reply waiting for primacy (ex-primaries only) *)
-
 type t = {
-  actions : Sched_iface.actions;
-  name : string; (* "mat" or "mat-ll", for metrics and the audit log *)
-  bookkeeping : Bookkeeping.t option;
-  mutable order : thread list; (* arrival order, non-terminated *)
+  sub : Substrate.t;
   mutable primary : int option;
   mutable primary_wants : int option; (* mutex the primary waits on *)
 }
 
-let find t tid = List.find (fun th -> th.tid = tid) t.order
-
-let audit t ~tid ~action ?mutex ~rule ?candidates () =
-  Recorder.decision t.actions.obs ~at:(t.actions.now ())
-    ~replica:t.actions.replica_id ~scheduler:t.name ~tid ~action ?mutex ~rule
-    ?candidates ()
-
-let observing t = Recorder.enabled t.actions.obs
-
-let metric t suffix = "sched." ^ t.name ^ "." ^ suffix
-
-let never_locks_again t tid =
-  match t.bookkeeping with
-  | None -> false
-  | Some bk -> Bookkeeping.no_future_locks bk ~tid
+let never_locks_again t tid = Substrate.no_future_locks t.sub ~tid
 
 (* Execute the primary's pending operation, waiting for the mutex via
    [primary_wants] when it is still held (necessarily by a suspended
    thread or a running secondary that acquired it earlier as primary). *)
-let rec run_primary t th =
+let rec run_primary t (th : Substrate.thread) =
+  let actions = Substrate.actions t.sub in
+  let try_grant ~mutex ~action =
+    if actions.mutex_free_for ~tid:th.tid ~mutex then begin
+      t.primary_wants <- None;
+      if Substrate.observing t.sub then begin
+        Substrate.incr t.sub "grants";
+        Substrate.audit t.sub ~tid:th.tid ~action ~mutex
+          ~rule:Audit.Primary_continue ()
+      end;
+      Substrate.perform t.sub th
+    end
+    else begin
+      if Substrate.observing t.sub then begin
+        Substrate.incr t.sub "deferrals";
+        Substrate.audit t.sub ~tid:th.tid ~action:Audit.Defer ~mutex
+          ~rule:Audit.Mutex_held
+          ~candidates:(Option.to_list (actions.mutex_owner mutex))
+          ()
+      end;
+      t.primary_wants <- Some mutex
+    end
+  in
   match th.pending with
   | None -> ()
-  | Some Presume ->
-    th.pending <- None;
-    t.actions.resume_nested th.tid
-  | Some (Plock mutex) ->
-    if t.actions.mutex_free_for ~tid:th.tid ~mutex then begin
-      th.pending <- None;
-      t.primary_wants <- None;
-      if observing t then begin
-        Recorder.incr t.actions.obs (metric t "grants");
-        audit t ~tid:th.tid ~action:Audit.Grant_lock ~mutex
-          ~rule:Audit.Primary_continue ()
-      end;
-      t.actions.grant_lock th.tid
-    end
-    else begin
-      if observing t then begin
-        Recorder.incr t.actions.obs (metric t "deferrals");
-        audit t ~tid:th.tid ~action:Audit.Defer ~mutex ~rule:Audit.Mutex_held
-          ~candidates:(Option.to_list (t.actions.mutex_owner mutex))
-          ()
-      end;
-      t.primary_wants <- Some mutex
-    end
-  | Some (Preacquire mutex) ->
-    if t.actions.mutex_free_for ~tid:th.tid ~mutex then begin
-      th.pending <- None;
-      t.primary_wants <- None;
-      if observing t then begin
-        Recorder.incr t.actions.obs (metric t "grants");
-        audit t ~tid:th.tid ~action:Audit.Grant_reacquire ~mutex
-          ~rule:Audit.Primary_continue ()
-      end;
-      t.actions.grant_reacquire th.tid
-    end
-    else begin
-      if observing t then begin
-        Recorder.incr t.actions.obs (metric t "deferrals");
-        audit t ~tid:th.tid ~action:Audit.Defer ~mutex ~rule:Audit.Mutex_held
-          ~candidates:(Option.to_list (t.actions.mutex_owner mutex))
-          ()
-      end;
-      t.primary_wants <- Some mutex
-    end
+  | Some Substrate.Resume -> Substrate.perform t.sub th
+  | Some (Substrate.Lock mutex) -> try_grant ~mutex ~action:Audit.Grant_lock
+  | Some (Substrate.Reacquire mutex) ->
+    try_grant ~mutex ~action:Audit.Grant_reacquire
 
 and promote t =
   if t.primary = None then begin
     (* 1. A blocked (ex-)primary that can continue takes priority. *)
     let ready_ex =
-      List.find_opt
-        (fun th -> th.ex_primary && not th.suspended)
-        t.order
+      Substrate.first t.sub ~f:(fun th -> th.ex_primary && not th.suspended)
     in
     let candidate =
       match ready_ex with
@@ -124,27 +77,25 @@ and promote t =
       | None ->
         (* 2. The oldest secondary — skipping, in the bookkeeping variant,
            threads that provably never lock again. *)
-        List.find_opt
-          (fun th ->
+        Substrate.first t.sub ~f:(fun th ->
             (not th.suspended) && (not th.ex_primary)
             && not (never_locks_again t th.tid))
-          t.order
     in
     match candidate with
     | None -> ()
     | Some th ->
-      if observing t then begin
-        Recorder.incr t.actions.obs (metric t "promotions");
-        audit t ~tid:th.tid ~action:Audit.Promote
+      if Substrate.observing t.sub then begin
+        Substrate.incr t.sub "promotions";
+        Substrate.audit t.sub ~tid:th.tid ~action:Audit.Promote
           ~rule:
             (if th.ex_primary then Audit.Promote_ex_primary
              else Audit.Promote_oldest)
           ~candidates:
             (List.filter_map
-               (fun o ->
+               (fun (o : Substrate.thread) ->
                  if o.tid <> th.tid && not o.suspended then Some o.tid
                  else None)
-               t.order)
+               (Substrate.threads t.sub))
           ()
       end;
       th.is_primary <- true;
@@ -153,7 +104,7 @@ and promote t =
       run_primary t th
   end
 
-let demote t th =
+let demote t (th : Substrate.thread) =
   if th.is_primary then begin
     th.is_primary <- false;
     t.primary <- None;
@@ -170,149 +121,149 @@ let check_last_lock t ~tid =
   match t.primary with
   | Some p
     when p = tid && never_locks_again t tid
-         && not (t.actions.holds_any_mutex tid) ->
-    let th = find t tid in
+         && not ((Substrate.actions t.sub).holds_any_mutex tid) ->
+    let th = Substrate.thread t.sub tid in
     if th.pending = None then begin
-      if observing t then begin
-        Recorder.incr t.actions.obs (metric t "handoffs");
-        audit t ~tid ~action:Audit.Handoff ~rule:Audit.Last_lock_handoff ()
+      if Substrate.observing t.sub then begin
+        Substrate.incr t.sub "handoffs";
+        Substrate.audit t.sub ~tid ~action:Audit.Handoff
+          ~rule:Audit.Last_lock_handoff ()
       end;
       demote t th
     end
   | Some _ | None -> ()
 
-let register_bk t tid =
-  Option.iter
-    (fun bk ->
-      Bookkeeping.register bk ~tid ~meth:(t.actions.request_method tid))
-    t.bookkeeping
-
 let on_request t tid =
-  register_bk t tid;
-  t.order <-
-    t.order
-    @ [ { tid; is_primary = false; ex_primary = false; suspended = false;
-          pending = None } ];
-  t.actions.start_thread tid;
+  ignore (Substrate.admit t.sub ~tid);
+  (Substrate.actions t.sub).start_thread tid;
   promote t
 
 let on_lock t tid ~syncid:_ ~mutex =
-  let th = find t tid in
-  th.pending <- Some (Plock mutex);
+  let th = Substrate.thread t.sub tid in
+  th.pending <- Some (Substrate.Lock mutex);
   if th.is_primary then run_primary t th
   else begin
     (* A secondary blocks on its lock no matter whether it conflicts with
        the primary — the paper's criticism, visible in the audit log. *)
-    if observing t then begin
-      Recorder.incr t.actions.obs (metric t "deferrals");
-      audit t ~tid ~action:Audit.Defer ~mutex ~rule:Audit.Not_primary
+    if Substrate.observing t.sub then begin
+      Substrate.incr t.sub "deferrals";
+      Substrate.audit t.sub ~tid ~action:Audit.Defer ~mutex
+        ~rule:Audit.Not_primary
         ~candidates:(Option.to_list t.primary)
         ()
     end;
     promote t
   end
 
+let retry_primary_want t ~mutex =
+  match (t.primary, t.primary_wants) with
+  | Some ptid, Some m when m = mutex -> run_primary t (Substrate.thread t.sub ptid)
+  | _ -> ()
+
 let on_unlock t tid ~syncid:_ ~mutex ~freed =
   if freed then begin
-    (match (t.primary, t.primary_wants) with
-    | Some ptid, Some m when m = mutex -> run_primary t (find t ptid)
-    | _ -> ());
+    retry_primary_want t ~mutex;
     check_last_lock t ~tid
   end
 
 let on_wait t tid ~mutex =
   (* Suspension: the primary loses primacy.  The wait also released the
      monitor, which the primary-in-waiting may need. *)
-  let th = find t tid in
+  let th = Substrate.thread t.sub tid in
   th.suspended <- true;
   if th.is_primary then begin
     th.ex_primary <- true;
     demote t th
   end;
-  match (t.primary, t.primary_wants) with
-  | Some ptid, Some m when m = mutex -> run_primary t (find t ptid)
-  | _ -> ()
+  retry_primary_want t ~mutex
 
 let on_wakeup t tid ~mutex =
-  let th = find t tid in
+  let th = Substrate.thread t.sub tid in
   th.suspended <- false;
-  th.pending <- Some (Preacquire mutex);
+  th.pending <- Some (Substrate.Reacquire mutex);
   (* Every waiter once held the monitor, so it was primary when it locked and
      suspended as primary: resume with ex-primary priority. *)
   th.ex_primary <- true;
   promote t
 
 let on_nested_begin t tid =
-  let th = find t tid in
+  let th = Substrate.thread t.sub tid in
   th.suspended <- true;
   if th.is_primary then begin
     th.ex_primary <- true;
-    th.pending <- Some Presume;
+    th.pending <- Some Substrate.Resume;
     demote t th
   end
 
 let on_nested_reply t tid =
-  let th = find t tid in
+  let th = Substrate.thread t.sub tid in
   th.suspended <- false;
   if th.ex_primary then
     (* A blocked primary that can continue running: waits for promotion. *)
     promote t
   else
     (* A secondary may run without restrictions. *)
-    t.actions.resume_nested tid
+    (Substrate.actions t.sub).resume_nested tid
 
 let on_terminate t tid =
-  let th = find t tid in
-  t.order <- List.filter (fun o -> o.tid <> tid) t.order;
-  Option.iter (fun bk -> Bookkeeping.release bk ~tid) t.bookkeeping;
+  let th = Substrate.thread t.sub tid in
+  Substrate.retire t.sub ~tid;
   if th.is_primary then begin
     t.primary <- None;
     t.primary_wants <- None
   end;
   promote t
 
-let make_with ?bookkeeping ~name (actions : Sched_iface.actions) :
-    Sched_iface.sched =
-  let t =
-    { actions; name; bookkeeping; order = []; primary = None;
-      primary_wants = None }
-  in
-  let bk f = Option.iter f t.bookkeeping in
+let policy sub : Sched_iface.sched =
+  let t = { sub; primary = None; primary_wants = None } in
   let base =
-    Sched_iface.no_op_sched ~name
-      ~on_request:(on_request t)
-      ~on_lock:(on_lock t)
-      ~on_wakeup:(on_wakeup t)
+    Sched_iface.no_op_sched ~name:(Substrate.name sub)
+      ~on_request:(on_request t) ~on_lock:(on_lock t) ~on_wakeup:(on_wakeup t)
       ~on_nested_reply:(on_nested_reply t)
   in
   { base with
     on_unlock =
-      (fun tid ~syncid ~mutex ~freed ->
-        on_unlock t tid ~syncid ~mutex ~freed);
+      (fun tid ~syncid ~mutex ~freed -> on_unlock t tid ~syncid ~mutex ~freed);
     on_wait = (fun tid ~mutex -> on_wait t tid ~mutex);
     on_nested_begin = on_nested_begin t;
     on_terminate = on_terminate t;
     on_acquired =
-      (fun tid ~syncid ~mutex ->
-        bk (fun b -> Bookkeeping.on_acquired b ~tid ~syncid ~mutex));
+      (fun tid ~syncid ~mutex -> Substrate.bk_acquired sub ~tid ~syncid ~mutex);
     on_lockinfo =
       (fun tid ~syncid ~mutex ->
-        bk (fun b -> Bookkeeping.on_lockinfo b ~tid ~syncid ~mutex);
+        Substrate.bk_lockinfo sub ~tid ~syncid ~mutex;
         check_last_lock t ~tid);
     on_ignore =
       (fun tid ~syncid ->
-        bk (fun b -> Bookkeeping.on_ignore b ~tid ~syncid);
+        Substrate.bk_ignore sub ~tid ~syncid;
         check_last_lock t ~tid);
-    on_loop_enter =
-      (fun tid ~loopid ->
-        bk (fun b -> Bookkeeping.on_loop_enter b ~tid ~loopid));
+    on_loop_enter = (fun tid ~loopid -> Substrate.bk_loop_enter sub ~tid ~loopid);
     on_loop_exit =
       (fun tid ~loopid ->
-        bk (fun b -> Bookkeeping.on_loop_exit b ~tid ~loopid);
+        Substrate.bk_loop_exit sub ~tid ~loopid;
         check_last_lock t ~tid) }
 
-let make actions = make_with ~name:"mat" actions
+module Base : Decision.S = struct
+  let name = "mat"
 
-let make_last_lock ~summary actions =
-  let bookkeeping = Bookkeeping.create ~summary:(Some summary) () in
-  make_with ~bookkeeping ~name:"mat-ll" actions
+  let needs_prediction = false
+
+  let policy = policy
+end
+
+module Last_lock : Decision.S = struct
+  let name = "mat-ll"
+
+  let needs_prediction = true
+
+  let policy = policy
+end
+
+let make (actions : Sched_iface.actions) : Sched_iface.sched =
+  Decision.instantiate (module Base) ~config:Config.default ~summary:None
+    actions
+
+let make_last_lock ~summary (actions : Sched_iface.actions) :
+    Sched_iface.sched =
+  Decision.instantiate (module Last_lock) ~config:Config.default
+    ~summary:(Some summary) actions

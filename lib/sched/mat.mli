@@ -4,17 +4,23 @@
     number of secondary threads that may compute and issue nested
     invocations freely.  The oldest secondary becomes primary when the
     current primary suspends or terminates; resumable ex-primaries take
-    priority.  [make_last_lock] is the Figure 2 variant: with a bookkeeping
+    priority.  {!Last_lock} is the Figure 2 variant: with the bookkeeping
     module attached, primacy is handed over as soon as the primary has
     provably released its last lock, and lock-free threads are skipped at
     promotion. *)
 
+module Base : Decision.S
+(** ["mat"], no prediction. *)
+
+module Last_lock : Decision.S
+(** ["mat-ll"]: MAT + last-lock analysis (Figure 2). *)
+
 val make : Detmt_runtime.Sched_iface.actions -> Detmt_runtime.Sched_iface.sched
-(** Plain pessimistic MAT. *)
+(** [Base] with the default configuration and no summary. *)
 
 val make_last_lock :
   summary:Detmt_analysis.Predict.class_summary ->
   Detmt_runtime.Sched_iface.actions ->
   Detmt_runtime.Sched_iface.sched
-(** MAT + last-lock analysis ("mat-ll"): requires the predictive
+(** [Last_lock] with the default configuration: requires the predictive
     transformation's summary. *)

@@ -1,4 +1,5 @@
-(* PDS — preemptive deterministic scheduling (Basile et al. [1]).
+(* PDS — preemptive deterministic scheduling (Basile et al. [1]) — and pPDS,
+   its prediction-aware refinement.
 
    A pool of [pds_batch] worker slots executes requests concurrently; each
    thread runs until it requests its first lock.  Locks are granted only when
@@ -28,10 +29,25 @@
    Condition variables (the FTflex addition the paper calls "even more
    complicated"): a wait counts as a suspension for round accounting, and the
    re-acquisition after notify competes like a normal lock request in a later
-   round. *)
+   round.
+
+   pPDS shrinks round membership with the bookkeeping module.  At the
+   decision point, a member whose lock set is exactly known (predicted), is
+   condvar-free, and provably cannot interact with any other live member —
+   its closure (requested mutex plus future lock set) is untouched by every
+   other slot member's possible future and currently unheld — is released
+   from the round entirely: all its locks are granted on demand and the
+   round does not wait for its releases.  Crucially the independent KEEPS
+   its slot until it terminates, like a terminated member keeps its slot
+   until the next decision.  No round decision can therefore happen while an
+   independent runs, which keeps every eligibility input (bookkeeping state
+   of stopped members, mutex owners) a deterministic function of the
+   delivered prefix — the slot is the synchronisation point that replaces a
+   timing-dependent liveness test.  Round grants can never touch an
+   independent's closure (disjointness was checked against every member's
+   future), so per-mutex acquisition orders are replica-invariant. *)
 
 open Detmt_runtime
-module Recorder = Detmt_obs.Recorder
 module Audit = Detmt_obs.Audit
 
 type arrival =
@@ -39,10 +55,10 @@ type arrival =
   | A_suspended (* condvar waits count as arrived; see [on_nested_begin] *)
 
 type t = {
-  actions : Sched_iface.actions;
+  sub : Substrate.t;
   batch : int;
   dummy_timeout_ms : float;
-  mutable backlog : int list; (* delivered, not yet started, FIFO *)
+  mutable backlog : int Fqueue.t; (* delivered, not yet started, FIFO *)
   mutable slots : int list;
       (* current batch members in age (= delivery) order, terminated members
          included until the next round decision *)
@@ -55,6 +71,12 @@ type t = {
          survive, or a recovered replica's batches would fill differently *)
   arrived : (int, arrival) Hashtbl.t;
   reacquire : (int, unit) Hashtbl.t; (* pending op is a re-acquisition *)
+  independent : (int, unit) Hashtbl.t;
+      (* pPDS: members released from round discipline, running free until
+         termination (their slot stays occupied, see above) *)
+  indep_deferred : Waitq.t;
+      (* pPDS: an independent's lock found its mutex held (defensive only —
+         the launch conditions make the closure unreachable for others) *)
   mutable round_open : bool;
   mutable round_members : int list; (* threads whose lock this round decides *)
   round_grants : (int, int) Hashtbl.t; (* grants per member this round *)
@@ -69,34 +91,32 @@ type t = {
 
 let occupancy t = t.ghost_slots + List.length t.slots
 
-let audit t ~tid ~action ?mutex ~rule ?candidates () =
-  Recorder.decision t.actions.obs ~at:(t.actions.now ())
-    ~replica:t.actions.replica_id ~scheduler:"pds" ~tid ~action ?mutex ~rule
-    ?candidates ()
-
-let observing t = Recorder.enabled t.actions.obs
+let observing t = Substrate.observing t.sub
 
 let fill_slots t =
-  while occupancy t < t.batch && t.backlog <> [] do
-    match t.backlog with
-    | [] -> ()
-    | tid :: rest ->
+  while occupancy t < t.batch && not (Fqueue.is_empty t.backlog) do
+    match Fqueue.pop t.backlog with
+    | None -> ()
+    | Some (tid, rest) ->
       t.backlog <- rest;
       t.slots <- t.slots @ [ tid ];
       if observing t then begin
-        Recorder.incr t.actions.obs "sched.pds.starts";
-        audit t ~tid ~action:Audit.Start_thread ~rule:Audit.Fifo_head
-          ~candidates:rest ()
+        Substrate.incr t.sub "starts";
+        Substrate.audit t.sub ~tid ~action:Audit.Start_thread
+          ~rule:Audit.Fifo_head
+          ~candidates:(Fqueue.to_list rest)
+          ()
       end;
-      t.actions.start_thread tid
+      (Substrate.actions t.sub).start_thread tid
   done
 
 let grant t tid =
+  let actions = Substrate.actions t.sub in
   if Hashtbl.mem t.reacquire tid then begin
     Hashtbl.remove t.reacquire tid;
-    t.actions.grant_reacquire tid
+    actions.grant_reacquire tid
   end
-  else t.actions.grant_lock tid
+  else actions.grant_lock tid
 
 (* Grant every still-waiting round member whose mutex is currently free.
    Decided requests go first, in age order; a second-in-round request is
@@ -106,13 +126,14 @@ let grant t tid =
    mutex — a local-time race that delivery skew resolves differently on
    different replicas. *)
 let grant_eligible t =
+  let actions = Substrate.actions t.sub in
   let issue rule (tid, mutex) =
     t.round_unreleased <- t.round_unreleased @ [ (tid, mutex) ];
     Hashtbl.replace t.round_grants tid
       (1 + Option.value ~default:0 (Hashtbl.find_opt t.round_grants tid));
     if observing t then begin
-      Recorder.incr t.actions.obs "sched.pds.grants";
-      audit t ~tid
+      Substrate.incr t.sub "grants";
+      Substrate.audit t.sub ~tid
         ~action:
           (if Hashtbl.mem t.reacquire tid then Audit.Grant_reacquire
            else Audit.Grant_lock)
@@ -125,7 +146,7 @@ let grant_eligible t =
   let rec go () =
     let decided =
       List.find_opt
-        (fun (tid, mutex) -> t.actions.mutex_free_for ~tid ~mutex)
+        (fun (tid, mutex) -> actions.mutex_free_for ~tid ~mutex)
         t.round_waiting
     in
     match decided with
@@ -137,7 +158,7 @@ let grant_eligible t =
       let second =
         List.find_opt
           (fun (tid, mutex) ->
-            t.actions.mutex_free_for ~tid ~mutex
+            actions.mutex_free_for ~tid ~mutex
             && not (List.exists (fun (_, m) -> m = mutex) t.round_waiting))
           t.second_waiting
       in
@@ -150,6 +171,83 @@ let grant_eligible t =
         go ())
   in
   go ()
+
+(* --------------------------- pPDS independence ------------------------- *)
+
+(* The closure an independent may still touch: its requested mutex plus its
+   exactly-known future lock set.  Only meaningful for predicted threads. *)
+let closure t ~tid ~mutex =
+  match Substrate.future_mutexes t.sub ~tid with
+  | Some fs -> mutex :: fs
+  | None -> [ mutex ]
+
+(* Decision-point test: may [tid] leave the round discipline?  Every input
+   is deterministic here — members are stopped, no independent is alive (its
+   occupied slot would have blocked the decision), and every held mutex was
+   acquired through an already-ended round. *)
+let independence_eligible t ~requests:_ (tid, mutex) =
+  Substrate.bookkeeping t.sub <> None
+  && Substrate.predicted t.sub ~tid
+  && (not (Substrate.uses_condvars t.sub ~tid))
+  &&
+  let actions = Substrate.actions t.sub in
+  let c = closure t ~tid ~mutex in
+  actions.mutex_free_for ~tid ~mutex
+  (* Nothing in the closure may be held (a suspended holder could only
+     release after a future round — which cannot happen while the
+     independent lives — a guaranteed deadlock). *)
+  && List.for_all
+       (fun m ->
+         match actions.mutex_owner m with
+         | None -> true
+         | Some owner -> owner = tid)
+       c
+  (* No other live member may ever touch the closure.  Unpredicted members
+     answer [future_may_lock] with true and veto the launch; this also
+     rejects overlapping independence candidates symmetrically. *)
+  && List.for_all
+       (fun u ->
+         u = tid
+         || List.for_all
+              (fun m -> not (Substrate.future_may_lock t.sub ~tid:u ~mutex:m))
+              c)
+       t.slots
+
+let launch_independent t (tid, mutex) =
+  Hashtbl.replace t.independent tid ();
+  Hashtbl.remove t.arrived tid;
+  if observing t then begin
+    Substrate.incr t.sub "independent_grants";
+    Substrate.audit t.sub ~tid
+      ~action:
+        (if Hashtbl.mem t.reacquire tid then Audit.Grant_reacquire
+         else Audit.Grant_lock)
+      ~mutex ~rule:Audit.Predicted_no_conflict
+      ~candidates:(List.filter (fun u -> u <> tid) t.slots)
+      ()
+  end;
+  grant t tid
+
+(* An independent's later lock requests are granted on sight: its closure is
+   unreachable for every other thread until it terminates. *)
+let independent_lock t tid ~mutex =
+  if (Substrate.actions t.sub).mutex_free_for ~tid ~mutex then begin
+    if observing t then begin
+      Substrate.incr t.sub "grants";
+      Substrate.audit t.sub ~tid ~action:Audit.Grant_lock ~mutex
+        ~rule:Audit.Predicted_no_conflict ()
+    end;
+    grant t tid
+  end
+  else Waitq.push t.indep_deferred ~mutex tid
+
+let drain_independent t ~mutex =
+  if Hashtbl.length t.independent > 0 then
+    match Waitq.pop t.indep_deferred ~mutex with
+    | Some tid -> independent_lock t tid ~mutex
+    | None -> ()
+
+(* ------------------------------- rounds -------------------------------- *)
 
 let rec end_round_if_done t =
   if
@@ -179,9 +277,8 @@ and check_round t =
          live member is at a deterministic stop.  The decision consumes the
          terminated occupants and frees their slots. *)
       if observing t then begin
-        Recorder.incr t.actions.obs "sched.pds.rounds";
-        Recorder.observe t.actions.obs "sched.pds.occupancy"
-          (float_of_int (occupancy t))
+        Substrate.incr t.sub "rounds";
+        Substrate.observe t.sub "occupancy" (float_of_int (occupancy t))
       end;
       t.ghost_slots <- 0;
       t.slots <-
@@ -196,6 +293,15 @@ and check_round t =
             | Some A_suspended | None -> None)
           t.slots
       in
+      (* pPDS: release provably independent members from the round before it
+         opens; they keep their slot (blocking the next decision) but the
+         round neither orders nor awaits them. *)
+      let independents, requests =
+        if Substrate.bookkeeping t.sub = None then ([], requests)
+        else
+          List.partition (independence_eligible t ~requests) requests
+      in
+      List.iter (launch_independent t) independents;
       if requests = [] then fill_slots t
       else begin
         t.round_open <- true;
@@ -216,66 +322,71 @@ and check_round t =
 and arm_timer t =
   let missing = t.batch - occupancy t in
   let stalled_on_arrivals =
-    missing > 0 && t.backlog = [] && Hashtbl.length t.arrived > 0
+    missing > 0 && Fqueue.is_empty t.backlog && Hashtbl.length t.arrived > 0
   in
   if stalled_on_arrivals && not t.timer_armed then begin
     t.timer_armed <- true;
-    t.actions.schedule ~delay:t.dummy_timeout_ms (fun () ->
+    (Substrate.actions t.sub).schedule ~delay:t.dummy_timeout_ms (fun () ->
         t.timer_armed <- false;
         let missing_now = t.batch - occupancy t in
         if
-          (not t.round_open) && missing_now > 0 && t.backlog = []
+          (not t.round_open) && missing_now > 0
+          && Fqueue.is_empty t.backlog
           && Hashtbl.length t.arrived > 0
         then begin
           t.dummies_requested <- t.dummies_requested + missing_now;
           if observing t then
-            Recorder.incr t.actions.obs ~by:missing_now "sched.pds.dummies";
+            Substrate.incr t.sub ~by:missing_now "dummies";
           for _ = 1 to missing_now do
-            t.actions.inject_dummy ()
+            (Substrate.actions t.sub).inject_dummy ()
           done
         end)
   end
 
 let on_request t tid =
-  t.backlog <- t.backlog @ [ tid ];
+  ignore (Substrate.admit t.sub ~tid);
+  t.backlog <- Fqueue.push t.backlog tid;
   fill_slots t;
   check_round t
 
 let on_lock t tid ~syncid:_ ~mutex =
-  let second_in_round =
-    t.round_open
-    && List.exists (fun (w, _) -> w = tid) t.round_unreleased
-    && Option.value ~default:0 (Hashtbl.find_opt t.round_grants tid) < 2
-  in
-  if second_in_round then begin
-    (* The optimised variant: a member still holding its round grant may
-       request one more lock within the same round (nested synchronized
-       blocks would otherwise deadlock the round).  It queues behind every
-       decided request for the same mutex, in tid order among seconds. *)
-    t.second_waiting <- List.sort compare (t.second_waiting @ [ (tid, mutex) ]);
-    grant_eligible t;
-    end_round_if_done t
-  end
-  else begin
-    Hashtbl.replace t.arrived tid (A_lock mutex);
-    if t.round_open then begin
-      (* Arrived after the round was decided: wait for the next one. *)
-      if observing t then begin
-        Recorder.incr t.actions.obs "sched.pds.deferrals";
-        audit t ~tid ~action:Audit.Defer ~mutex ~rule:Audit.Batch_wait
-          ~candidates:t.round_members ()
-      end
+  if Hashtbl.mem t.independent tid then independent_lock t tid ~mutex
+  else
+    let second_in_round =
+      t.round_open
+      && List.exists (fun (w, _) -> w = tid) t.round_unreleased
+      && Option.value ~default:0 (Hashtbl.find_opt t.round_grants tid) < 2
+    in
+    if second_in_round then begin
+      (* The optimised variant: a member still holding its round grant may
+         request one more lock within the same round (nested synchronized
+         blocks would otherwise deadlock the round).  It queues behind every
+         decided request for the same mutex, in tid order among seconds. *)
+      t.second_waiting <-
+        List.sort compare (t.second_waiting @ [ (tid, mutex) ]);
+      grant_eligible t;
+      end_round_if_done t
     end
     else begin
-      check_round t;
-      (* Still waiting for the batch to complete or the round to decide. *)
-      if observing t && Hashtbl.mem t.arrived tid then begin
-        Recorder.incr t.actions.obs "sched.pds.deferrals";
-        audit t ~tid ~action:Audit.Defer ~mutex ~rule:Audit.Batch_wait
-          ~candidates:t.slots ()
+      Hashtbl.replace t.arrived tid (A_lock mutex);
+      if t.round_open then begin
+        (* Arrived after the round was decided: wait for the next one. *)
+        if observing t then begin
+          Substrate.incr t.sub "deferrals";
+          Substrate.audit t.sub ~tid ~action:Audit.Defer ~mutex
+            ~rule:Audit.Batch_wait ~candidates:t.round_members ()
+        end
+      end
+      else begin
+        check_round t;
+        (* Still waiting for the batch to complete or the round to decide. *)
+        if observing t && Hashtbl.mem t.arrived tid then begin
+          Substrate.incr t.sub "deferrals";
+          Substrate.audit t.sub ~tid ~action:Audit.Defer ~mutex
+            ~rule:Audit.Batch_wait ~candidates:t.slots ()
+        end
       end
     end
-  end
 
 let on_wakeup t tid ~mutex =
   Hashtbl.replace t.reacquire tid ();
@@ -283,18 +394,19 @@ let on_wakeup t tid ~mutex =
   if not t.round_open then check_round t
 
 let on_unlock t tid ~syncid:_ ~mutex ~freed =
-  if freed && t.round_open then begin
-    (match
-       List.find_opt
-         (fun (w, m) -> w = tid && m = mutex)
-         t.round_unreleased
-     with
-    | Some entry ->
-      t.round_unreleased <-
-        List.filter (fun e -> e != entry) t.round_unreleased
-    | None -> ());
-    grant_eligible t;
-    end_round_if_done t
+  if freed then begin
+    drain_independent t ~mutex;
+    if t.round_open then begin
+      (match
+         List.find_opt (fun (w, m) -> w = tid && m = mutex) t.round_unreleased
+       with
+      | Some entry ->
+        t.round_unreleased <-
+          List.filter (fun e -> e != entry) t.round_unreleased
+      | None -> ());
+      grant_eligible t;
+      end_round_if_done t
+    end
   end
 
 let on_wait t tid ~mutex =
@@ -328,15 +440,18 @@ let on_nested_begin t tid =
 let on_nested_reply t tid =
   (* Resume immediately: the thread free-runs to its next lock request. *)
   Hashtbl.remove t.arrived tid;
-  t.actions.resume_nested tid;
+  (Substrate.actions t.sub).resume_nested tid;
   if not t.round_open then check_round t
 
 let on_terminate t tid =
+  Hashtbl.remove t.independent tid;
+  Substrate.retire t.sub ~tid;
   if List.mem tid t.slots then
     (* The slot stays occupied (and counts as arrived) until the next round
        decision — emptying it now would make the batch composition depend on
        local termination timing, which delivery skew de-synchronises across
-       replicas. *)
+       replicas.  Independents rely on the same rule: their occupied slot is
+       what delays the next decision past their lifetime. *)
     Hashtbl.replace t.terminated tid ();
   Hashtbl.remove t.arrived tid;
   if t.round_open then begin
@@ -349,46 +464,63 @@ let on_terminate t tid =
   end
   else check_round t
 
-let dummies_requested t = t.dummies_requested
-
-let make_with ~batch ~dummy_timeout_ms (actions : Sched_iface.actions) :
-    Sched_iface.sched * t =
+let policy sub : Sched_iface.sched =
+  let config = Substrate.config sub in
   let t =
-    { actions; batch; dummy_timeout_ms; backlog = []; slots = [];
-      terminated = Hashtbl.create 16; ghost_slots = 0;
-      arrived = Hashtbl.create 64; reacquire = Hashtbl.create 16;
-      round_open = false; round_members = [];
-      round_grants = Hashtbl.create 16; round_waiting = [];
-      second_waiting = []; round_unreleased = []; timer_armed = false;
-      dummies_requested = 0 }
+    { sub; batch = config.Config.pds_batch;
+      dummy_timeout_ms = config.Config.pds_dummy_timeout_ms;
+      backlog = Fqueue.empty; slots = []; terminated = Hashtbl.create 16;
+      ghost_slots = 0; arrived = Hashtbl.create 64;
+      reacquire = Hashtbl.create 16; independent = Hashtbl.create 16;
+      indep_deferred = Waitq.create (); round_open = false;
+      round_members = []; round_grants = Hashtbl.create 16;
+      round_waiting = []; second_waiting = []; round_unreleased = [];
+      timer_armed = false; dummies_requested = 0 }
   in
   let base =
-    Sched_iface.no_op_sched ~name:"pds"
-      ~on_request:(on_request t)
-      ~on_lock:(on_lock t)
-      ~on_wakeup:(on_wakeup t)
+    Sched_iface.no_op_sched ~name:(Substrate.name sub)
+      ~on_request:(on_request t) ~on_lock:(on_lock t) ~on_wakeup:(on_wakeup t)
       ~on_nested_reply:(on_nested_reply t)
   in
-  ( { base with
-      on_unlock = (fun tid ~syncid ~mutex ~freed ->
-          on_unlock t tid ~syncid ~mutex ~freed);
-      on_wait = (fun tid ~mutex -> on_wait t tid ~mutex);
-      on_nested_begin = on_nested_begin t;
-      on_terminate = on_terminate t;
-      (* At donor quiescence every member left in the slots has terminated;
-         their occupancy pads the next batch and must transfer, or a
-         recovered replica's rounds would open at different fill levels. *)
-      snapshot =
-        (fun () ->
-          [ ("occupied_slots", t.ghost_slots + List.length t.slots) ]);
-      restore =
-        (fun kv ->
-          List.iter
-            (fun (k, v) -> if k = "occupied_slots" then t.ghost_slots <- v)
-            kv) },
-    t )
+  { base with
+    on_unlock =
+      (fun tid ~syncid ~mutex ~freed -> on_unlock t tid ~syncid ~mutex ~freed);
+    on_wait = (fun tid ~mutex -> on_wait t tid ~mutex);
+    on_nested_begin = on_nested_begin t;
+    on_terminate = on_terminate t;
+    on_acquired =
+      (fun tid ~syncid ~mutex -> Substrate.bk_acquired sub ~tid ~syncid ~mutex);
+    on_lockinfo =
+      (fun tid ~syncid ~mutex -> Substrate.bk_lockinfo sub ~tid ~syncid ~mutex);
+    on_ignore = (fun tid ~syncid -> Substrate.bk_ignore sub ~tid ~syncid);
+    on_loop_enter = (fun tid ~loopid -> Substrate.bk_loop_enter sub ~tid ~loopid);
+    on_loop_exit = (fun tid ~loopid -> Substrate.bk_loop_exit sub ~tid ~loopid);
+    (* At donor quiescence every member left in the slots has terminated;
+       their occupancy pads the next batch and must transfer, or a
+       recovered replica's rounds would open at different fill levels. *)
+    snapshot =
+      (fun () -> [ ("occupied_slots", t.ghost_slots + List.length t.slots) ]);
+    restore =
+      (fun kv ->
+        List.iter
+          (fun (k, v) -> if k = "occupied_slots" then t.ghost_slots <- v)
+          kv) }
+
+module Base : Decision.S = struct
+  let name = "pds"
+
+  let needs_prediction = false
+
+  let policy = policy
+end
+
+module Predicted : Decision.S = struct
+  let name = "ppds"
+
+  let needs_prediction = true
+
+  let policy = policy
+end
 
 let make ~config (actions : Sched_iface.actions) : Sched_iface.sched =
-  fst
-    (make_with ~batch:config.Config.pds_batch
-       ~dummy_timeout_ms:config.Config.pds_dummy_timeout_ms actions)
+  Decision.instantiate (module Base) ~config ~summary:None actions

@@ -6,20 +6,24 @@
     variant (up to two lock requests per round, which keeps nested
     synchronized blocks and lock coupling live) and the FTflex dummy-message
     mechanism that unblocks incomplete batches at the price of extra
-    group-communication traffic (section 3.3). *)
+    group-communication traffic (section 3.3).
 
-type t
-(** Scheduler state, exposed for white-box tests. *)
+    {!Predicted} (pPDS) shrinks round membership with the bookkeeping
+    module: a member whose exact lock set is known, condvar-free and
+    provably disjoint from every other live member leaves the round
+    discipline entirely — its locks are granted on demand and the round does
+    not wait for it.  It keeps its batch slot until termination, which
+    delays the next round decision past its lifetime and keeps every
+    decision input deterministic. *)
 
-val dummies_requested : t -> int
+module Base : Decision.S
+(** ["pds"], no prediction. *)
 
-val make_with :
-  batch:int ->
-  dummy_timeout_ms:float ->
-  Detmt_runtime.Sched_iface.actions ->
-  Detmt_runtime.Sched_iface.sched * t
+module Predicted : Decision.S
+(** ["ppds"]: PDS with prediction-shrunk rounds. *)
 
 val make :
   config:Detmt_runtime.Config.t ->
   Detmt_runtime.Sched_iface.actions ->
   Detmt_runtime.Sched_iface.sched
+(** [Base] with the given configuration. *)

@@ -5,8 +5,8 @@
    when all threads preceding it in the queue are already predicted and none
    of them conflicts with the lock requested by t."
 
-   The queue is the arrival order.  A pending lock request of thread t on
-   mutex m is granted when:
+   The queue is the arrival order — the substrate's admission index.  A
+   pending lock request of thread t on mutex m is granted when:
    - m is free (or t already owns it — handled by the replica), and
    - every thread before t in the queue is predicted, and its future lock
      set (from the bookkeeping module) does not contain m.
@@ -26,63 +26,39 @@
    per-mutex acquisitions nondeterministically. *)
 
 open Detmt_runtime
-module Recorder = Detmt_obs.Recorder
 module Audit = Detmt_obs.Audit
 
-type pending = Plock of int | Preacquire of int
+type t = { sub : Substrate.t }
 
-type thread = { tid : int; mutable pending : pending option }
+let predicted t tid = Substrate.predicted t.sub ~tid
 
-type t = {
-  actions : Sched_iface.actions;
-  bookkeeping : Bookkeeping.t;
-  mutable order : thread list; (* the queue: arrival order *)
-}
-
-let find t tid = List.find (fun th -> th.tid = tid) t.order
-
-let predicted t tid = Bookkeeping.predicted t.bookkeeping ~tid
-
-let may_conflict t tid ~mutex =
-  Bookkeeping.future_may_lock t.bookkeeping ~tid ~mutex
+let may_conflict t tid ~mutex = Substrate.future_may_lock t.sub ~tid ~mutex
 
 (* Is the pending request of [th] grantable given all queue predecessors? *)
-let eligible t ~preceding th =
+let eligible t ~preceding (th : Substrate.thread) =
   match th.pending with
-  | None -> false
-  | Some (Plock mutex | Preacquire mutex) ->
-    t.actions.mutex_free_for ~tid:th.tid ~mutex
+  | None | Some Substrate.Resume -> false
+  | Some (Substrate.Lock mutex | Substrate.Reacquire mutex) ->
+    (Substrate.actions t.sub).mutex_free_for ~tid:th.tid ~mutex
     && List.for_all
-         (fun u ->
+         (fun (u : Substrate.thread) ->
            predicted t u.tid && not (may_conflict t u.tid ~mutex))
          preceding
 
-let audit t ~tid ~action ?mutex ~rule ?candidates () =
-  Recorder.decision t.actions.obs ~at:(t.actions.now ())
-    ~replica:t.actions.replica_id ~scheduler:"pmat" ~tid ~action ?mutex ~rule
-    ?candidates ()
-
-let observing t = Recorder.enabled t.actions.obs
-
-let grant t ~preceding th =
-  let rec_grant action mutex =
-    if observing t then begin
-      Recorder.incr t.actions.obs "sched.pmat.grants";
-      audit t ~tid:th.tid ~action ~mutex ~rule:Audit.Predicted_no_conflict
-        ~candidates:(List.map (fun u -> u.tid) preceding)
-        ()
-    end
-  in
-  match th.pending with
-  | Some (Plock mutex) ->
-    th.pending <- None;
-    rec_grant Audit.Grant_lock mutex;
-    t.actions.grant_lock th.tid
-  | Some (Preacquire mutex) ->
-    th.pending <- None;
-    rec_grant Audit.Grant_reacquire mutex;
-    t.actions.grant_reacquire th.tid
-  | None -> assert false
+let grant t ~preceding (th : Substrate.thread) =
+  (if Substrate.observing t.sub then
+     let action, mutex =
+       match th.pending with
+       | Some (Substrate.Lock mutex) -> (Audit.Grant_lock, mutex)
+       | Some (Substrate.Reacquire mutex) -> (Audit.Grant_reacquire, mutex)
+       | Some Substrate.Resume | None -> assert false
+     in
+     Substrate.incr t.sub "grants";
+     Substrate.audit t.sub ~tid:th.tid ~action ~mutex
+       ~rule:Audit.Predicted_no_conflict
+       ~candidates:(List.map (fun (u : Substrate.thread) -> u.tid) preceding)
+       ());
+  Substrate.perform t.sub th
 
 (* Scan the queue in order and grant every request that has become
    grantable; granting can cascade (the resumed thread may unlock, announce,
@@ -97,96 +73,99 @@ let rec rescan t =
       end
       else scan (preceding @ [ th ]) rest
   in
-  if scan [] t.order then rescan t
+  if scan [] (Substrate.threads t.sub) then rescan t
 
 let on_request t tid =
-  Bookkeeping.register t.bookkeeping ~tid
-    ~meth:(t.actions.request_method tid);
-  t.order <- t.order @ [ { tid; pending = None } ];
-  t.actions.start_thread tid
+  ignore (Substrate.admit t.sub ~tid);
+  (Substrate.actions t.sub).start_thread tid
 
 let on_lock t tid ~syncid:_ ~mutex =
-  (find t tid).pending <- Some (Plock mutex);
+  (Substrate.thread t.sub tid).pending <- Some (Substrate.Lock mutex);
   rescan t;
   (* If the request is still pending, explain why it was deferred: either
      the mutex is genuinely held, or an unpredicted / conflicting queue
      predecessor gates it (the crossover cost the paper's section 4.3
      analyses). *)
-  if observing t then
-    match List.find_opt (fun th -> th.tid = tid) t.order with
+  if Substrate.observing t.sub then
+    match Substrate.find_thread t.sub tid with
     | Some th when th.pending <> None ->
-      Recorder.incr t.actions.obs "sched.pmat.deferrals";
-      audit t ~tid ~action:Audit.Defer ~mutex
+      Substrate.incr t.sub "deferrals";
+      Substrate.audit t.sub ~tid ~action:Audit.Defer ~mutex
         ~rule:
-          (if not (t.actions.mutex_free_for ~tid ~mutex) then Audit.Mutex_held
+          (if not ((Substrate.actions t.sub).mutex_free_for ~tid ~mutex) then
+             Audit.Mutex_held
            else Audit.Predecessor_unpredicted)
         ~candidates:
           (List.filter_map
-             (fun u ->
+             (fun (u : Substrate.thread) ->
                if u.tid <> tid && not (predicted t u.tid) then Some u.tid
                else None)
-             t.order)
+             (Substrate.threads t.sub))
         ()
     | _ -> ()
 
 let on_unlock t _tid ~syncid:_ ~mutex:_ ~freed = if freed then rescan t
 
 let on_wait t tid ~mutex:_ =
-  (* Leave the queue; the monitor was released by the wait. *)
-  t.order <- List.filter (fun th -> th.tid <> tid) t.order;
+  (* Leave the queue (the bookkeeping table survives); the monitor was
+     released by the wait. *)
+  Substrate.remove t.sub ~tid;
   rescan t
 
 let on_wakeup t tid ~mutex =
   (* Re-enter at the tail, pending the monitor re-acquisition.  The position
      is deterministic: notifications are ordered by the deterministic
      execution. *)
-  t.order <- t.order @ [ { tid; pending = Some (Preacquire mutex) } ];
+  (Substrate.enqueue t.sub ~tid).pending <- Some (Substrate.Reacquire mutex);
   rescan t
 
 let on_nested_reply t tid =
   (* The thread kept its queue position; it resumes freely (only lock
      acquisitions are gated). *)
-  t.actions.resume_nested tid
+  (Substrate.actions t.sub).resume_nested tid
 
 let on_terminate t tid =
-  t.order <- List.filter (fun th -> th.tid <> tid) t.order;
-  Bookkeeping.release t.bookkeeping ~tid;
+  Substrate.retire t.sub ~tid;
   rescan t
 
-let make ~summary (actions : Sched_iface.actions) : Sched_iface.sched =
-  let t =
-    { actions; bookkeeping = Bookkeeping.create ~summary:(Some summary) ();
-      order = [] }
-  in
-  let bk = t.bookkeeping in
+let policy sub : Sched_iface.sched =
+  let t = { sub } in
   let base =
-    Sched_iface.no_op_sched ~name:"pmat"
-      ~on_request:(on_request t)
-      ~on_lock:(on_lock t)
-      ~on_wakeup:(on_wakeup t)
+    Sched_iface.no_op_sched ~name:(Substrate.name sub)
+      ~on_request:(on_request t) ~on_lock:(on_lock t) ~on_wakeup:(on_wakeup t)
       ~on_nested_reply:(on_nested_reply t)
   in
   { base with
     on_unlock =
-      (fun tid ~syncid ~mutex ~freed ->
-        on_unlock t tid ~syncid ~mutex ~freed);
+      (fun tid ~syncid ~mutex ~freed -> on_unlock t tid ~syncid ~mutex ~freed);
     on_wait = (fun tid ~mutex -> on_wait t tid ~mutex);
     on_terminate = on_terminate t;
     on_acquired =
       (fun tid ~syncid ~mutex ->
-        Bookkeeping.on_acquired bk ~tid ~syncid ~mutex;
+        Substrate.bk_acquired sub ~tid ~syncid ~mutex;
         rescan t);
     on_lockinfo =
       (fun tid ~syncid ~mutex ->
-        Bookkeeping.on_lockinfo bk ~tid ~syncid ~mutex;
+        Substrate.bk_lockinfo sub ~tid ~syncid ~mutex;
         rescan t);
     on_ignore =
       (fun tid ~syncid ->
-        Bookkeeping.on_ignore bk ~tid ~syncid;
+        Substrate.bk_ignore sub ~tid ~syncid;
         rescan t);
-    on_loop_enter =
-      (fun tid ~loopid -> Bookkeeping.on_loop_enter bk ~tid ~loopid);
+    on_loop_enter = (fun tid ~loopid -> Substrate.bk_loop_enter sub ~tid ~loopid);
     on_loop_exit =
       (fun tid ~loopid ->
-        Bookkeeping.on_loop_exit bk ~tid ~loopid;
+        Substrate.bk_loop_exit sub ~tid ~loopid;
         rescan t) }
+
+module Base : Decision.S = struct
+  let name = "pmat"
+
+  let needs_prediction = true
+
+  let policy = policy
+end
+
+let make ~summary (actions : Sched_iface.actions) : Sched_iface.sched =
+  Decision.instantiate (module Base) ~config:Config.default
+    ~summary:(Some summary) actions

@@ -1,19 +1,13 @@
-(** PMAT — predicted MAT, the extension proposed in section 4.3.
+(** PMAT — predicted MAT (section 4.3): a queue of equal active threads; a
+    lock is granted when every queue predecessor is predicted and provably
+    does not conflict.  Requires the predictive transformation's summary
+    (the substrate's bookkeeping module answers the conflict queries). *)
 
-    A queue of equal threads in arrival order; a thread's lock request is
-    granted as soon as the mutex is free and every preceding thread is
-    predicted with a future lock set that does not contain the mutex.
-    Wake-up events are exactly the paper's: a conflicting mutex is
-    released, a thread leaves the list, or a preceding thread becomes
-    predicted.
-
-    The questions the paper leaves open are resolved as documented in
-    DESIGN.md: a thread suspended in [wait] leaves the queue (else its
-    notifier could deadlock behind it) and re-enters at the tail on its
-    notification; a thread suspended in a nested invocation keeps its
-    place. *)
+module Base : Decision.S
+(** ["pmat"], needs prediction. *)
 
 val make :
   summary:Detmt_analysis.Predict.class_summary ->
   Detmt_runtime.Sched_iface.actions ->
   Detmt_runtime.Sched_iface.sched
+(** [Base] with the default configuration. *)

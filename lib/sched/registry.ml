@@ -12,46 +12,45 @@ type spec = {
     Sched_iface.sched;
 }
 
-let require_summary name = function
-  | Some s -> s
-  | None ->
-    invalid_arg
-      (Printf.sprintf
-         "%s needs a prediction summary (run Transform.predictive)" name)
-
+(* Every entry except the adaptive meta-scheduler is a thin decision module
+   behind {!Decision.S}; [Decision.instantiate] attaches the shared
+   bookkeeping substrate (and the prediction table when the module asks for
+   one). *)
 let all =
   [ { name = "seq"; needs_prediction = false; deterministic = true;
       description = "sequential request execution in total order";
-      make = (fun ~config:_ ~summary:_ a -> Seq_sched.make a) };
+      make = Decision.instantiate (module Seq_sched.Base) };
     { name = "sat"; needs_prediction = false; deterministic = true;
       description = "single active thread [Jimenez-Peris et al.]";
-      make = (fun ~config:_ ~summary:_ a -> Sat.make a) };
+      make = Decision.instantiate (module Sat.Base) };
+    { name = "psat"; needs_prediction = true; deterministic = true;
+      description = "predicted SAT: early token release by lock prediction";
+      make = Decision.instantiate (module Sat.Predicted) };
     { name = "lsa"; needs_prediction = false; deterministic = true;
       description = "loose synchronisation, leader/follower [Basile et al.]";
-      make = (fun ~config:_ ~summary:_ a -> Lsa.make a) };
+      make = Decision.instantiate (module Lsa.Base) };
     { name = "pds"; needs_prediction = false; deterministic = true;
       description = "preemptive deterministic scheduling [Basile et al.]";
-      make = (fun ~config ~summary:_ a -> Pds.make ~config a) };
+      make = Decision.instantiate (module Pds.Base) };
+    { name = "ppds"; needs_prediction = true; deterministic = true;
+      description = "predicted PDS: prediction-shrunk rounds";
+      make = Decision.instantiate (module Pds.Predicted) };
     { name = "mat"; needs_prediction = false; deterministic = true;
       description = "multiple active threads [Reiser et al.]";
-      make = (fun ~config:_ ~summary:_ a -> Mat.make a) };
+      make = Decision.instantiate (module Mat.Base) };
     { name = "mat-ll"; needs_prediction = true; deterministic = true;
       description = "MAT + last-lock analysis (Figure 2)";
-      make =
-        (fun ~config:_ ~summary a ->
-          Mat.make_last_lock ~summary:(require_summary "mat-ll" summary) a) };
+      make = Decision.instantiate (module Mat.Last_lock) };
     { name = "pmat"; needs_prediction = true; deterministic = true;
       description = "predicted MAT: lock prediction by code analysis (4.3)";
-      make =
-        (fun ~config:_ ~summary a ->
-          Pmat.make ~summary:(require_summary "pmat" summary) a) };
+      make = Decision.instantiate (module Pmat.Base) };
     { name = "adaptive"; needs_prediction = true; deterministic = true;
       description =
-        "request analyser choosing seq/mat/pmat at run time (section 5)";
+        "request analyser choosing the child scheduler at run time (5)";
       make = (fun ~config ~summary a -> Adaptive.make ~config ~summary a) };
     { name = "freefall"; needs_prediction = false; deterministic = false;
       description = "non-deterministic baseline (native JVM behaviour)";
-      make = (fun ~config:_ ~summary:_ a -> Freefall.make a) };
+      make = Decision.instantiate (module Freefall.Base) };
   ]
 
 let paper_figure1 = [ "seq"; "sat"; "lsa"; "pds"; "mat" ]

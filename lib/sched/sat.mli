@@ -7,6 +7,19 @@
     held by a suspended thread) or terminates.  Threads whose suspension
     reason has resolved queue FIFO and are activated one at a time.  Uses
     the idle time of nested invocations but never keeps more than one CPU
-    busy (section 3.1). *)
+    busy (section 3.1).
+
+    {!Predicted} (pSAT) adds the bookkeeping module: the activation token is
+    released early once the active thread is past its last lock acquisition
+    and holds no mutex, and such lock-free threads resume nested replies
+    without queueing.  Per-mutex acquisition orders are untouched — a
+    lock-free thread can no longer appear in one. *)
+
+module Base : Decision.S
+(** ["sat"], no prediction. *)
+
+module Predicted : Decision.S
+(** ["psat"]: SAT with early token release via lock prediction. *)
 
 val make : Detmt_runtime.Sched_iface.actions -> Detmt_runtime.Sched_iface.sched
+(** [Base] with the default configuration and no summary. *)

@@ -7,43 +7,37 @@
    invocation chains and on any condition-variable wait. *)
 
 open Detmt_runtime
-module Recorder = Detmt_obs.Recorder
 module Audit = Detmt_obs.Audit
 
 type t = {
-  actions : Sched_iface.actions;
+  sub : Substrate.t;
   pending : int Queue.t; (* delivered, not yet started *)
   mutable active : int option;
 }
-
-let audit t ~tid ~action ?mutex ~rule ?candidates () =
-  Recorder.decision t.actions.obs ~at:(t.actions.now ())
-    ~replica:t.actions.replica_id ~scheduler:"seq" ~tid ~action ?mutex ~rule
-    ?candidates ()
-
-let observing t = Recorder.enabled t.actions.obs
 
 let activate_next t =
   match Queue.take_opt t.pending with
   | None -> t.active <- None
   | Some tid ->
     t.active <- Some tid;
-    if observing t then begin
-      Recorder.incr t.actions.obs "sched.seq.starts";
-      audit t ~tid ~action:Audit.Start_thread ~rule:Audit.Sequential_turn
+    if Substrate.observing t.sub then begin
+      Substrate.incr t.sub "starts";
+      Substrate.audit t.sub ~tid ~action:Audit.Start_thread
+        ~rule:Audit.Sequential_turn
         ~candidates:(List.of_seq (Queue.to_seq t.pending))
         ()
     end;
-    t.actions.start_thread tid
+    (Substrate.actions t.sub).start_thread tid
 
 let on_request t tid =
+  ignore (Substrate.admit t.sub ~tid);
   Queue.add tid t.pending;
   if t.active = None then activate_next t
-  else if observing t then begin
-    Recorder.incr t.actions.obs "sched.seq.deferrals";
-    Recorder.observe t.actions.obs "sched.seq.queue_depth"
+  else if Substrate.observing t.sub then begin
+    Substrate.incr t.sub "deferrals";
+    Substrate.observe t.sub "queue_depth"
       (float_of_int (Queue.length t.pending));
-    audit t ~tid ~action:Audit.Defer ~rule:Audit.Queue_wait
+    Substrate.audit t.sub ~tid ~action:Audit.Defer ~rule:Audit.Queue_wait
       ~candidates:(Option.to_list t.active)
       ()
   end
@@ -52,33 +46,45 @@ let on_lock t tid ~syncid:_ ~mutex =
   (* Only one thread ever runs, so every mutex is free (re-entrant entries
      are short-circuited by the replica). *)
   assert (t.active = Some tid);
-  assert (t.actions.mutex_free_for ~tid ~mutex);
-  if observing t then begin
-    Recorder.incr t.actions.obs "sched.seq.grants";
-    audit t ~tid ~action:Audit.Grant_lock ~mutex ~rule:Audit.Mutex_free ()
+  assert ((Substrate.actions t.sub).mutex_free_for ~tid ~mutex);
+  if Substrate.observing t.sub then begin
+    Substrate.incr t.sub "grants";
+    Substrate.audit t.sub ~tid ~action:Audit.Grant_lock ~mutex
+      ~rule:Audit.Mutex_free ()
   end;
-  t.actions.grant_lock tid
+  (Substrate.actions t.sub).grant_lock tid
 
 let on_wakeup t tid ~mutex:_ =
   (* A wait under SEQ can only be woken by the same request chain; resume
      immediately.  (In practice waits deadlock under SEQ — see the paper's
      argument for multithreading.) *)
-  t.actions.grant_reacquire tid
+  (Substrate.actions t.sub).grant_reacquire tid
 
 let on_nested_reply t tid =
   (* SEQ does not use the idle time: the active thread simply continues. *)
-  t.actions.resume_nested tid
+  (Substrate.actions t.sub).resume_nested tid
 
-let make (actions : Sched_iface.actions) : Sched_iface.sched =
-  let t = { actions; pending = Queue.create (); active = None } in
+let policy sub : Sched_iface.sched =
+  let t = { sub; pending = Queue.create (); active = None } in
   let base =
-    Sched_iface.no_op_sched ~name:"seq"
-      ~on_request:(on_request t)
-      ~on_lock:(on_lock t)
-      ~on_wakeup:(on_wakeup t)
+    Sched_iface.no_op_sched ~name:(Substrate.name sub)
+      ~on_request:(on_request t) ~on_lock:(on_lock t) ~on_wakeup:(on_wakeup t)
       ~on_nested_reply:(on_nested_reply t)
   in
   { base with
     on_terminate =
       (fun tid ->
+        Substrate.retire t.sub ~tid;
         if t.active = Some tid then activate_next t) }
+
+module Base : Decision.S = struct
+  let name = "seq"
+
+  let needs_prediction = false
+
+  let policy = policy
+end
+
+let make (actions : Sched_iface.actions) : Sched_iface.sched =
+  Decision.instantiate (module Base) ~config:Config.default ~summary:None
+    actions

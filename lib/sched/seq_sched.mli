@@ -1,10 +1,10 @@
-(** SEQ — strictly sequential request execution in total order.
+(** SEQ — strictly sequential request execution in total order: one request
+    runs from start to finish before the next starts.  Trivially
+    deterministic, single-CPU, wastes nested-invocation idle time
+    (section 3.1). *)
 
-    The baseline most object replication systems use: one request runs from
-    start to finish (nested invocations included) before the next starts.
-    Trivially deterministic; never uses more than one CPU; does not reuse
-    the idle time of nested invocations; deadlocks on re-entrant nested
-    invocation chains and on condition-variable waits — the paper's
-    motivation for everything else in this library. *)
+module Base : Decision.S
+(** ["seq"], no prediction. *)
 
 val make : Detmt_runtime.Sched_iface.actions -> Detmt_runtime.Sched_iface.sched
+(** [Base] with the default configuration and no summary. *)

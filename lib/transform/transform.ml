@@ -38,7 +38,8 @@ let predictive ?(repository = false) cls =
         in
         summaries :=
           { Predict.mname = m.name; fallback = false; fallback_reason = None;
-            sids; loops }
+            sids; loops;
+            uses_condvars = Predict.block_uses_condvars inlined }
           :: !summaries;
         { m with body }
   in

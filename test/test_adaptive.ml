@@ -12,7 +12,8 @@ let test_recommend () =
       { Detmt_analysis.Predict.class_name = "C";
         methods =
           [ { Detmt_analysis.Predict.mname = "m"; fallback = false;
-              fallback_reason = None; sids = []; loops = [] } ] }
+              fallback_reason = None; sids = []; loops = [];
+              uses_condvars = false } ] }
   in
   let fallback =
     Some
@@ -24,9 +25,17 @@ let test_recommend () =
   Alcotest.(check string) "sequential clients -> seq" "seq"
     (Detmt_sched.Adaptive.recommend ~summary:predictable
        ~avg_concurrency:1.0);
+  Alcotest.(check string) "predictable + marginal overlap -> psat" "psat"
+    (Detmt_sched.Adaptive.recommend ~summary:predictable
+       ~avg_concurrency:1.5);
   Alcotest.(check string) "predictable + concurrent -> pmat" "pmat"
     (Detmt_sched.Adaptive.recommend ~summary:predictable
        ~avg_concurrency:4.0);
+  Alcotest.(check string) "predictable + heavy fan-in -> ppds" "ppds"
+    (Detmt_sched.Adaptive.recommend ~summary:predictable
+       ~avg_concurrency:64.0);
+  Alcotest.(check string) "unpredictable + marginal overlap -> mat" "mat"
+    (Detmt_sched.Adaptive.recommend ~summary:fallback ~avg_concurrency:1.5);
   Alcotest.(check string) "unpredictable + concurrent -> mat" "mat"
     (Detmt_sched.Adaptive.recommend ~summary:fallback ~avg_concurrency:4.0);
   Alcotest.(check string) "no summary -> mat" "mat"

@@ -62,7 +62,8 @@ let fp = Alcotest.testable (Fmt.fmt "%Lx") Int64.equal
 (* All schedulers; seq deadlocks on prodcons (a consumer that waits blocks
    the whole one-at-a-time pipeline), so the prodcons matrix skips it. *)
 let all_schedulers =
-  [ "seq"; "sat"; "lsa"; "pds"; "mat"; "mat-ll"; "pmat"; "freefall" ]
+  [ "seq"; "sat"; "psat"; "lsa"; "pds"; "ppds"; "mat"; "mat-ll"; "pmat";
+    "freefall" ]
 
 let test_on_off_identical ~scheduler ~cls ~gen () =
   let off = witness (run ~scheduler ~cls ~gen ()) in

@@ -75,6 +75,19 @@ let prop_interp_lock_discipline =
         ops;
       !ok && !stack = [])
 
+(* All deterministic decision modules, derived from the registry so new
+   variants (psat, ppds, ...) are covered automatically.  The adaptive
+   meta-scheduler is driven separately in test_adaptive. *)
+let deterministic_schedulers =
+  List.filter_map
+    (fun s ->
+      if
+        s.Detmt_sched.Registry.deterministic
+        && s.Detmt_sched.Registry.name <> "adaptive"
+      then Some s.Detmt_sched.Registry.name
+      else None)
+    Detmt_sched.Registry.all
+
 (* End-to-end property: for random programs and request streams, replicas
    stay consistent under every deterministic scheduler, and — because all
    state updates are commutative increments — every scheduler produces the
@@ -119,7 +132,43 @@ let prop_random_programs_consistent =
             | Some s -> s = state
           in
           consistent && same_state)
-        [ "seq"; "sat"; "lsa"; "pds"; "mat"; "mat-ll"; "pmat" ])
+        deterministic_schedulers)
+
+(* Seeded cross-scheduler determinism fuzz: for every deterministic
+   scheduler, two runs of the same seeded workload must produce the same
+   reply table — reply count, client-side reply times, and per-replica
+   final state and trace fingerprint.  This is the refactoring contract of
+   the two-module architecture applied to random programs rather than the
+   fixed fingerprint matrix. *)
+let reply_table (cls, seed) ~scheduler =
+  let engine = Detmt_sim.Engine.create () in
+  let params =
+    { Detmt_replication.Active.default_params with scheduler; replicas = 3 }
+  in
+  let system = Detmt_replication.Active.create ~engine ~cls ~params () in
+  let gen ~client:_ ~seq:_ rng =
+    let m () = Ast.Vmutex (Detmt_sim.Rng.int rng 4) in
+    ("m", [| m (); m (); Ast.Vbool (Detmt_sim.Rng.bool rng 0.5) |])
+  in
+  Detmt_replication.Client.run_clients ~engine ~system ~clients:4
+    ~requests_per_client:3 ~gen ~seed ();
+  ( Detmt_replication.Active.replies_received system,
+    Detmt_replication.Active.reply_times system,
+    List.map
+      (fun r ->
+        ( Detmt_runtime.Replica.state_snapshot r,
+          Detmt_sim.Trace.fingerprint (Detmt_runtime.Replica.trace r) ))
+      (Detmt_replication.Active.live_replicas system) )
+
+let prop_cross_scheduler_fuzz =
+  QCheck.Test.make ~count:15
+    ~name:"seeded workload fuzz: reply tables reproducible per scheduler"
+    Testgen.arbitrary_workload
+    (fun workload ->
+      List.for_all
+        (fun scheduler ->
+          reply_table workload ~scheduler = reply_table workload ~scheduler)
+        deterministic_schedulers)
 
 let prop_runs_reproducible =
   QCheck.Test.make ~count:20 ~name:"same seed, bit-identical run"
@@ -156,6 +205,7 @@ let suite =
       prop_basic_transform_balanced;
       prop_interp_lock_discipline;
       prop_random_programs_consistent;
+      prop_cross_scheduler_fuzz;
       prop_runs_reproducible;
     ]
 

@@ -236,7 +236,7 @@ let test_freefall_completes () =
 (* ------------------------------ Registry ---------------------------- *)
 
 let test_registry () =
-  Alcotest.(check int) "nine schedulers" 9
+  Alcotest.(check int) "eleven schedulers" 11
     (List.length Detmt_sched.Registry.all);
   Alcotest.(check (list string)) "figure 1 set"
     [ "seq"; "sat"; "lsa"; "pds"; "mat" ]
@@ -245,7 +245,14 @@ let test_registry () =
     (let spec name = Detmt_sched.Registry.find_exn name in
      (spec "pmat").needs_prediction
      && (spec "mat-ll").needs_prediction
-     && not (spec "mat").needs_prediction);
+     && (spec "psat").needs_prediction
+     && (spec "ppds").needs_prediction
+     && (not (spec "mat").needs_prediction)
+     && (not (spec "sat").needs_prediction)
+     && not (spec "pds").needs_prediction);
+  Alcotest.check b "predicted variants are deterministic" true
+    ((Detmt_sched.Registry.find_exn "psat").deterministic
+    && (Detmt_sched.Registry.find_exn "ppds").deterministic);
   Alcotest.check b "freefall flagged nondeterministic" false
     (Detmt_sched.Registry.find_exn "freefall").deterministic;
   Alcotest.check b "unknown name raises" true

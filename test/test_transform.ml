@@ -252,7 +252,7 @@ let test_verify_catches_missing_ignore () =
         [ { Detmt_analysis.Predict.sid = 1; param = Ast.Sp_arg 1;
             classification = Detmt_analysis.Param_class.Announce_at_entry;
             in_loops = [] } ];
-      loops = [] }
+      loops = []; uses_condvars = false }
   in
   let issues = Verify.check_method ~summary cls ~meth:"go" in
   Alcotest.check b "missing ignore detected" true (issues <> [])

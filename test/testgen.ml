@@ -89,3 +89,15 @@ let gen_args : Ast.value array QCheck.Gen.t =
   let* m1 = int_bound 3 in
   let* b = bool in
   return [| Ast.Vmutex m0; Ast.Vmutex m1; Ast.Vbool b |]
+
+(* A seeded workload: a random class plus the client-stream seed that
+   drives request arguments and think times.  Input to the cross-scheduler
+   determinism fuzz. *)
+let gen_workload : (Class_def.t * int64) QCheck.Gen.t =
+  QCheck.Gen.(pair gen_class (map Int64.of_int (int_bound 0xffff)))
+
+let arbitrary_workload =
+  QCheck.make
+    ~print:(fun (c, seed) ->
+      Printf.sprintf "seed %Ld:\n%s" seed (Class_def.show c))
+    gen_workload
