@@ -229,6 +229,15 @@ let model () =
        captures@.SEQ's slope, the single-active-thread bound, MAT's \
        pre-lock overlap and LSA's@.core-bound plateau.@."
 
+let shard () =
+  heading "E14 — sharded multi-group replication: throughput scaling";
+  let rows = Experiment.shard_sweep () in
+  print_table (Experiment.shard_table rows);
+  emit_json "shard" (Experiment.shard_json rows);
+  say "Expected shape: near-linear scaling at 0%% cross (disjoint closures \
+       never@.coordinate across groups); the two-phase path erodes the gain \
+       as the@.transfer ratio grows.@."
+
 let interference () =
   heading "E12 — static interference analysis (section 5)";
   Interference.pp_report Format.std_formatter (Experiment.interference ());
@@ -342,7 +351,7 @@ let experiments =
     ("fig4", fig4); ("wan", wan); ("failover", failover); ("pds", pds);
     ("overhead", overhead); ("prodcons", prodcons);
     ("determinism", determinism); ("saturation", saturation);
-    ("model", model);
+    ("model", model); ("shard", shard);
     ("interference", interference); ("micro", micro) ]
 
 let () =

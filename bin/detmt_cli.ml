@@ -3,61 +3,36 @@
 
    Every figure of the paper is a subcommand; [run] executes a single
    configuration with full control over the parameters, and [schedulers]
-   lists the available decision modules. *)
+   lists the available decision modules.  All subcommands share the flag
+   vocabulary of {!Cli_args}: [--scheduler], [--workload], [--seed],
+   [--shards], [-o]. *)
 
 open Cmdliner
 
 let print_table t = Format.printf "%a@." Detmt.Table.pp t
 
-let csv_flag =
-  let doc = "Emit the table as CSV instead of aligned text." in
-  Arg.(value & flag & info [ "csv" ] ~doc)
+let csv_flag = Cli_args.csv
 
 let emit csv t =
   if csv then print_string (Detmt.Table.to_csv t) else print_table t
 
 (* ------------------------------ run --------------------------------- *)
 
-let scheduler_arg =
-  let names = List.map (fun s -> s.Detmt.Registry.name) Detmt.Registry.all in
-  let doc =
-    "Scheduler to use: " ^ String.concat ", " names ^ "."
-  in
-  Arg.(value & opt string "mat" & info [ "s"; "scheduler" ] ~docv:"NAME" ~doc)
+let scheduler_arg = Cli_args.scheduler
 
-let clients_arg =
-  Arg.(value & opt int 8 & info [ "c"; "clients" ] ~docv:"N"
-         ~doc:"Number of closed-loop clients.")
+let clients_arg = Cli_args.clients
 
-let requests_arg =
-  Arg.(value & opt int 10 & info [ "n"; "requests" ] ~docv:"N"
-         ~doc:"Requests per client.")
+let requests_arg = Cli_args.requests
 
-let replicas_arg =
-  Arg.(value & opt int 3 & info [ "r"; "replicas" ] ~docv:"N"
-         ~doc:"Replica-group size.")
+let replicas_arg = Cli_args.replicas
 
-let seed_arg =
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
-         ~doc:"Master random seed for the client decision streams.")
+let seed_arg = Cli_args.seed
 
-let workload_arg =
-  let doc =
-    "Workload: figure1 (the paper's benchmark), compute-heavy, disjoint, \
-     tail, prodcons."
-  in
-  Arg.(value & opt string "figure1" & info [ "w"; "workload" ] ~docv:"NAME"
-         ~doc)
+let workload_arg = Cli_args.workload
 
-let latency_arg =
-  Arg.(value & opt float 0.5 & info [ "latency" ] ~docv:"MS"
-         ~doc:"One-way network latency between replicas, in virtual ms.")
+let latency_arg = Cli_args.latency
 
-let file_arg =
-  Arg.(value & opt (some file) None
-       & info [ "f"; "file" ] ~docv:"PATH"
-           ~doc:"Load the replicated class from a DML source file instead \
-                 of a built-in workload (see examples/counter.dml).")
+let file_arg = Cli_args.file
 
 let load_dml path =
   let ic = open_in path in
@@ -84,6 +59,9 @@ let resolve_workload = function
       Detmt.Tail_compute.gen Detmt.Tail_compute.default )
   | "prodcons" ->
     (Detmt.Prodcons.cls Detmt.Prodcons.default, Detmt.Prodcons.gen)
+  | "sharded" ->
+    ( Detmt.Sharded.cls Detmt.Sharded.default,
+      Detmt.Sharded.gen Detmt.Sharded.default )
   | other -> failwith (Printf.sprintf "unknown workload %S" other)
 
 let histogram_flag =
@@ -298,10 +276,7 @@ let analyse_cmd =
 
 (* ------------------------- flight recorder -------------------------- *)
 
-let output_arg =
-  Arg.(value & opt (some string) None
-       & info [ "o"; "output" ] ~docv:"PATH"
-           ~doc:"Write the export to a file instead of stdout.")
+let output_arg = Cli_args.output
 
 let write_out out s =
   match out with
@@ -314,20 +289,37 @@ let write_out out s =
 
 (* Run one configuration with the flight recorder on.  Determinism contract:
    this is the exact run [detmt-cli run] performs with the same flags — the
-   recorder is read-only. *)
+   recorder is read-only.  [shards > 1] records the sharded system instead
+   (shard 0's metric names are the unsharded ones, so the single-shard
+   recording is unchanged). *)
 let record_run ~scheduler ~clients ~requests ~replicas ~seed ~workload
-    ~latency =
+    ~latency ~shards =
   let cls, gen = resolve_workload workload in
   let params =
     { Detmt.Active.default_params with
       scheduler; replicas; net_latency_ms = latency }
   in
   let obs = Detmt.Recorder.create () in
-  let result =
-    Detmt.Experiment.run_workload ~seed:(Int64.of_int seed) ~params
-      ~requests_per_client:requests ~obs ~scheduler ~clients ~cls ~gen ()
-  in
-  (obs, result)
+  if shards <= 1 then
+    ignore
+      (Detmt.Experiment.run_workload ~seed:(Int64.of_int seed) ~params
+         ~requests_per_client:requests ~obs ~scheduler ~clients ~cls ~gen ())
+  else begin
+    let engine = Detmt.Engine.create () in
+    let system =
+      Detmt.Shard.create ~obs ~engine ~cls
+        ~params:{ Detmt.Shard.shards; base = params } ()
+    in
+    Detmt.Shard.run_clients system ~clients ~requests_per_client:requests
+      ~gen ~seed:(Int64.of_int seed) ()
+  end;
+  obs
+
+let trace_shards_arg =
+  Cli_args.shards ~default:1
+    ~doc:
+      "Record the sharded system with this many groups instead of the \
+       single-group one (1 = the unsharded path)."
 
 let trace_format_arg =
   let doc =
@@ -338,11 +330,11 @@ let trace_format_arg =
   Arg.(value & opt string "breakdown" & info [ "format" ] ~docv:"FMT" ~doc)
 
 let trace_cmd =
-  let run scheduler clients requests replicas seed workload latency format
-      csv out =
-    let obs, _result =
+  let run scheduler clients requests replicas seed workload latency shards
+      format csv out =
+    let obs =
       record_run ~scheduler ~clients ~requests ~replicas ~seed ~workload
-        ~latency
+        ~latency ~shards
     in
     match format with
     | "breakdown" ->
@@ -382,15 +374,15 @@ let trace_cmd =
           scheduler decision audit log.")
     Term.(
       const run $ scheduler_arg $ clients_arg $ requests_arg $ replicas_arg
-      $ seed_arg $ workload_arg $ latency_arg $ trace_format_arg $ csv_flag
-      $ output_arg)
+      $ seed_arg $ workload_arg $ latency_arg $ trace_shards_arg
+      $ trace_format_arg $ csv_flag $ output_arg)
 
 let metrics_cmd =
-  let run scheduler clients requests replicas seed workload latency csv json
-      out =
-    let obs, _result =
+  let run scheduler clients requests replicas seed workload latency shards
+      csv json out =
+    let obs =
       record_run ~scheduler ~clients ~requests ~replicas ~seed ~workload
-        ~latency
+        ~latency ~shards
     in
     let m = Detmt.Recorder.metrics obs in
     if json then write_out out (Detmt.Json.to_string (Detmt.Metrics.to_json m))
@@ -418,8 +410,8 @@ let metrics_cmd =
           broadcast/retransmit/dedup counters, replica request counters.")
     Term.(
       const run $ scheduler_arg $ clients_arg $ requests_arg $ replicas_arg
-      $ seed_arg $ workload_arg $ latency_arg $ csv_flag $ json_flag
-      $ output_arg)
+      $ seed_arg $ workload_arg $ latency_arg $ trace_shards_arg $ csv_flag
+      $ json_flag $ output_arg)
 
 (* --------------------------- fingerprint ---------------------------- *)
 
@@ -429,17 +421,16 @@ let metrics_cmd =
    identical exactly when this output is bit-identical — the refactoring
    contract of the two-module scheduler architecture. *)
 
+let replica_fp r =
+  Printf.sprintf "%d:%Lx/%Lx" (Detmt.Replica.id r)
+    (Detmt.Trace.fingerprint (Detmt.Replica.trace r))
+    (Detmt.Replica.state_fingerprint r)
+
 let fingerprint_cmd =
-  let run seed clients requests schedulers workloads =
+  let run seed clients requests shards schedulers workloads =
     let schedulers =
       if schedulers <> [] then schedulers
-      else
-        List.filter_map
-          (fun s ->
-            if s.Detmt.Registry.deterministic && s.Detmt.Registry.name <> "adaptive"
-            then Some s.Detmt.Registry.name
-            else None)
-          Detmt.Registry.all
+      else Detmt.Registry.deterministic_decisions
     in
     let workloads =
       if workloads <> [] then workloads else [ "figure1"; "prodcons" ]
@@ -453,35 +444,54 @@ let fingerprint_cmd =
                has a deterministic prefix, which is what we fingerprint. *)
             let engine = Detmt.Engine.create () in
             let params = { Detmt.Active.default_params with scheduler } in
-            let system = Detmt.Active.create ~engine ~cls ~params () in
-            Detmt.Client.run_clients ~engine ~system ~clients
-              ~requests_per_client:requests ~gen ~seed:(Int64.of_int seed) ();
-            let fps =
-              List.map
-                (fun r ->
-                  Printf.sprintf "%d:%Lx/%Lx"
-                    (Detmt.Replica.id r)
-                    (Detmt.Trace.fingerprint (Detmt.Replica.trace r))
-                    (Detmt.Replica.state_fingerprint r))
-                (Detmt.Active.live_replicas system)
+            let replies, fps =
+              if shards = 0 then begin
+                (* legacy unsharded path — [--shards 1] must print the same
+                   lines through {!Detmt.Shard} *)
+                let system = Detmt.Active.create ~engine ~cls ~params () in
+                Detmt.Client.run_clients ~engine ~system ~clients
+                  ~requests_per_client:requests ~gen
+                  ~seed:(Int64.of_int seed) ();
+                ( Detmt.Active.replies_received system,
+                  List.map replica_fp (Detmt.Active.live_replicas system) )
+              end
+              else begin
+                let system =
+                  Detmt.Shard.create ~engine ~cls
+                    ~params:{ Detmt.Shard.shards; base = params } ()
+                in
+                Detmt.Shard.run_clients system ~clients
+                  ~requests_per_client:requests ~gen
+                  ~seed:(Int64.of_int seed) ();
+                ( Detmt.Shard.replies_received system,
+                  List.concat_map
+                    (fun g -> List.map replica_fp (Detmt.Active.live_replicas g))
+                    (Array.to_list (Detmt.Shard.groups system)) )
+              end
             in
             Format.printf "%-13s %-9s replies=%-3d %s@." workload scheduler
-              (Detmt.Active.replies_received system)
-              (String.concat " " fps))
+              replies (String.concat " " fps))
           schedulers)
       workloads
   in
   let schedulers_arg =
-    Arg.(value & opt_all string []
-         & info [ "s"; "scheduler" ] ~docv:"NAME"
-             ~doc:"Scheduler to fingerprint (repeatable; default: all \
-                   deterministic ones).")
+    Cli_args.schedulers_all
+      ~doc:
+        "Scheduler to fingerprint (repeatable; default: all deterministic \
+         ones)."
   in
   let workloads_arg =
-    Arg.(value & opt_all string []
-         & info [ "w"; "workload" ] ~docv:"NAME"
-             ~doc:"Workload to fingerprint (repeatable; default: figure1 \
-                   and prodcons).")
+    Cli_args.workloads_all
+      ~doc:
+        "Workload to fingerprint (repeatable; default: figure1 and \
+         prodcons)."
+  in
+  let shards_arg =
+    Cli_args.shards ~default:0
+      ~doc:
+        "Fingerprint the sharded system with this many groups.  0 (the \
+         default) is the legacy unsharded path; 1 prints bit-identical \
+         output through the sharded one — the refactoring contract."
   in
   Cmd.v
     (Cmd.info "fingerprint"
@@ -491,8 +501,8 @@ let fingerprint_cmd =
           Bit-identical output across two builds proves the scheduler \
           refactoring preserved every grant decision.")
     Term.(
-      const run $ seed_arg $ clients_arg $ requests_arg $ schedulers_arg
-      $ workloads_arg)
+      const run $ seed_arg $ clients_arg $ requests_arg $ shards_arg
+      $ schedulers_arg $ workloads_arg)
 
 (* ------------------------------ chaos ------------------------------- *)
 
@@ -506,11 +516,17 @@ let chaos_cmd =
     Arg.(value & opt_all string [] & info [ "scenario" ] ~docv:"NAME" ~doc)
   in
   let chaos_scheduler_arg =
-    let doc =
-      "Scheduler to sweep (repeatable).  Default: "
-      ^ String.concat ", " Detmt.Chaos.default_schedulers ^ "."
-    in
-    Arg.(value & opt_all string [] & info [ "s"; "scheduler" ] ~docv:"NAME" ~doc)
+    Cli_args.schedulers_all
+      ~doc:
+        ("Scheduler to sweep (repeatable).  Default: "
+        ^ String.concat ", " Detmt.Chaos.default_schedulers ^ ".")
+  in
+  let chaos_shards_arg =
+    Cli_args.shards ~default:1
+      ~doc:
+        "Run the sweep over the sharded system with this many groups; every \
+         invariant (exactly-once, divergence, recovery) is checked per \
+         group and aggregated."
   in
   let quick_flag =
     Arg.(value & flag
@@ -533,7 +549,8 @@ let chaos_cmd =
     | Some scenario ->
       let obs = Detmt.Recorder.create () in
       ignore
-        (Detmt.Chaos.run ~seed ~clients ~requests_per_client ~obs ~scenario
+        (Detmt.Chaos.run ~seed ~shards:o.Detmt.Chaos.o_shards ~clients
+           ~requests_per_client ~obs ~scenario
            ~scheduler:o.Detmt.Chaos.o_scheduler ~cls ~gen ());
       Format.printf
         "@.forensics: %s/%s first divergence at checkpoint seq %d \
@@ -562,7 +579,7 @@ let chaos_cmd =
           (fun e -> Format.printf "  %a@." Detmt.Audit.pp_entry e)
           window)
   in
-  let run csv seed scenario_names scheduler_names quick with_forensics
+  let run csv seed shards scenario_names scheduler_names quick with_forensics
       workload =
     let cls, gen = resolve_workload workload in
     let scenario_names =
@@ -575,7 +592,7 @@ let chaos_cmd =
     let clients, requests_per_client = if quick then (2, 3) else (4, 5) in
     let seed = Int64.of_int seed in
     let outcomes =
-      Detmt.Chaos.sweep ~seed ~schedulers ~scenario_names ~clients
+      Detmt.Chaos.sweep ~seed ~shards ~schedulers ~scenario_names ~clients
         ~requests_per_client ~cls ~gen ()
     in
     emit csv (Detmt.Chaos.table outcomes);
@@ -600,8 +617,139 @@ let chaos_cmd =
           crash+recovery) across the deterministic schedulers and check the \
           robustness invariants; exits 1 on any violation.")
     Term.(
-      const run $ csv_flag $ seed_arg $ scenario_arg $ chaos_scheduler_arg
-      $ quick_flag $ forensics_flag $ workload_arg)
+      const run $ csv_flag $ seed_arg $ chaos_shards_arg $ scenario_arg
+      $ chaos_scheduler_arg $ quick_flag $ forensics_flag $ workload_arg)
+
+(* ------------------------------ shard ------------------------------- *)
+
+let cross_arg =
+  Arg.(
+    value & opt float 0.1
+    & info [ "cross" ] ~docv:"RATIO"
+        ~doc:
+          "Fraction of requests whose lock closure spans two objects (the \
+           cross-shard two-phase path when they land on different shards).")
+
+let batch_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "batch" ] ~docv:"K"
+        ~doc:
+          "Coalesce up to K ordered requests per wire batch inside each \
+           group (1 = batching off).")
+
+let batch_delay_arg =
+  Arg.(
+    value & opt float 0.2
+    & info [ "batch-delay" ] ~docv:"MS"
+        ~doc:"Flush an under-filled batch after this many virtual ms.")
+
+let shard_cmd =
+  let run shards clients requests seed scheduler cross batch batch_delay =
+    let workload =
+      { Detmt.Sharded.default with Detmt.Sharded.cross_ratio = cross }
+    in
+    let batching =
+      if batch > 1 then
+        Some { Detmt.Totem.max_batch = batch; delay_ms = batch_delay }
+      else None
+    in
+    let row =
+      Detmt.Experiment.run_shard ~seed:(Int64.of_int seed) ~scheduler
+        ~requests_per_client:requests ?batching ~workload ~shards ~clients ()
+    in
+    let open Detmt.Experiment in
+    Format.printf "shards:       %d (%s in every group)@." shards scheduler;
+    Format.printf "clients:      %d x %d requests, %.0f%% transfers@." clients
+      requests (100.0 *. cross);
+    Format.printf "replies:      %d/%d@." row.s_replies row.s_expected;
+    Format.printf "routing:      %d fast-path, %d cross-shard@."
+      row.s_fast_path row.s_cross_shard;
+    Format.printf "mean:         %.2f ms@." row.s_mean_response_ms;
+    Format.printf "p95:          %.2f ms@." row.s_p95_response_ms;
+    Format.printf "throughput:   %.1f req/s@." row.s_throughput_per_s;
+    Format.printf "makespan:     %.1f virtual ms@." row.s_duration_ms;
+    Format.printf "broadcasts:   %d (%d wire batches)@." row.s_broadcasts
+      row.s_wire_batches;
+    Format.printf "consistent:   %b@." row.s_consistent;
+    Format.printf "fingerprint:  %Lx@." row.s_fingerprint
+  in
+  let shards_arg =
+    Cli_args.shards ~default:2
+      ~doc:"Number of independent replica groups the object space is split \
+            across."
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Run the sharded workload once across N replica groups and report \
+          routing, latency, throughput and the determinism fingerprint.")
+    Term.(
+      const run $ shards_arg $ clients_arg $ requests_arg $ seed_arg
+      $ scheduler_arg $ cross_arg $ batch_arg $ batch_delay_arg)
+
+(* ------------------------------ bench ------------------------------- *)
+
+let bench_cmd =
+  let run name shards clients seed scheduler json csv out =
+    match name with
+    | "shard" ->
+      let shards_list =
+        List.sort_uniq compare
+          (max 1 shards :: List.filter (fun s -> s < shards) [ 1; 2; 4; 8 ])
+      in
+      let rows =
+        Detmt.Experiment.shard_sweep ~seed:(Int64.of_int seed) ~shards_list
+          ?clients_list:(Option.map (fun c -> [ c ]) clients)
+          ~scheduler ()
+      in
+      emit csv (Detmt.Experiment.shard_table rows);
+      if json then begin
+        let path = Option.value out ~default:"BENCH_shard.json" in
+        write_out (Some path)
+          (Detmt.Json.to_string (Detmt.Experiment.shard_json rows) ^ "\n")
+      end
+    | other ->
+      Format.eprintf "unknown bench experiment %S (available: shard)@." other;
+      exit 2
+  in
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"Benchmark experiment to run: shard (the scaling grid).")
+  in
+  let shards_arg =
+    Cli_args.shards ~default:8
+      ~doc:
+        "Highest shard count to sweep; the grid runs the powers of two up \
+         to N (plus N itself)."
+  in
+  let bench_clients_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "clients" ] ~docv:"N"
+          ~doc:
+            "Restrict the sweep to one client count (default: 64, 256 and \
+             1024).")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Also write the rows to BENCH_shard.json (or the $(b,-o) path).")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run a benchmark experiment grid and print its table; with \
+          $(b,--json), write the machine-readable rows next to it.")
+    Term.(
+      const run $ name_arg $ shards_arg $ bench_clients_arg $ seed_arg
+      $ scheduler_arg $ json_flag $ csv_flag $ output_arg)
 
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
@@ -646,8 +794,8 @@ let () =
           $ const ());
       table_cmd "saturation" "Open-loop load sweep (saturation points)."
         (fun () -> Detmt.Experiment.saturation ());
-      trace_cmd; metrics_cmd; chaos_cmd; fingerprint_cmd; timeline_cmd;
-      analyse_cmd;
+      trace_cmd; metrics_cmd; chaos_cmd; fingerprint_cmd; shard_cmd;
+      bench_cmd; timeline_cmd; analyse_cmd;
       schedulers_cmd; sched_cmd; transform_cmd ]
   in
   exit (Cmd.eval (Cmd.group ~default info cmds))

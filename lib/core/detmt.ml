@@ -83,6 +83,7 @@ module Replica = Detmt_runtime.Replica
 (* schedulers: the shared substrate (two-module architecture) and the
    decision modules *)
 module Bookkeeping = Detmt_sched.Bookkeeping
+module Sched_config = Detmt_sched.Sched_config
 module Substrate = Detmt_sched.Substrate
 module Decision = Detmt_sched.Decision
 module Candidate_index = Detmt_sched.Candidate_index
@@ -100,6 +101,7 @@ module Adaptive = Detmt_sched.Adaptive
 
 (* replication *)
 module Active = Detmt_replication.Active
+module Shard = Detmt_replication.Shard
 module Passive = Detmt_replication.Passive
 module Client = Detmt_replication.Client
 module Consistency = Detmt_replication.Consistency
@@ -108,6 +110,7 @@ module Chaos = Detmt_replication.Chaos
 
 (* workloads *)
 module Figure1 = Detmt_workload.Figure1
+module Sharded = Detmt_workload.Sharded
 module Disjoint = Detmt_workload.Disjoint
 module Tail_compute = Detmt_workload.Tail_compute
 module Prodcons = Detmt_workload.Prodcons

@@ -557,6 +557,151 @@ let prodcons ?(schedulers = [ "sat"; "lsa"; "pds"; "mat"; "mat-ll"; "pmat" ])
   table
 
 (* ------------------------------------------------------------------ *)
+(* E14 — sharded multi-group replication: throughput scaling           *)
+
+type shard_row = {
+  s_shards : int;
+  s_clients : int;
+  s_cross_ratio : float;
+  s_expected : int;
+  s_replies : int;
+  s_fast_path : int;
+  s_cross_shard : int;
+  s_mean_response_ms : float;
+  s_p95_response_ms : float;
+  s_throughput_per_s : float;
+  s_broadcasts : int;
+  s_wire_batches : int;
+  s_consistent : bool;
+  s_fingerprint : int64;
+  s_duration_ms : float;
+}
+
+let run_shard ?(seed = 42L) ?(scheduler = "mat") ?(requests_per_client = 4)
+    ?batching ?(obs = Detmt_obs.Recorder.disabled)
+    ?(workload = Detmt_workload.Sharded.default) ~shards ~clients () =
+  let cls = Detmt_workload.Sharded.cls workload in
+  let gen = Detmt_workload.Sharded.gen workload in
+  let engine = Engine.create () in
+  let base = { Active.default_params with Active.scheduler; batching } in
+  let system =
+    Shard.create ~obs ~engine ~cls ~params:{ Shard.shards; base } ()
+  in
+  ignore
+    (Shard.run_clients_stats system ~clients ~requests_per_client ~gen ~seed
+       ());
+  let times = Shard.response_times system in
+  let duration_ms = Engine.now engine in
+  let replies = Shard.replies_received system in
+  { s_shards = shards; s_clients = clients;
+    s_cross_ratio = workload.Detmt_workload.Sharded.cross_ratio;
+    s_expected = clients * requests_per_client;
+    s_replies = replies;
+    s_fast_path = Shard.fast_path_requests system;
+    s_cross_shard = Shard.cross_shard_requests system;
+    s_mean_response_ms = Summary.mean times;
+    s_p95_response_ms = Summary.quantile times 0.95;
+    s_throughput_per_s =
+      (if duration_ms > 0.0 then 1000.0 *. float_of_int replies /. duration_ms
+       else 0.0);
+    s_broadcasts = Shard.broadcasts system;
+    s_wire_batches = Shard.wire_batches system;
+    s_consistent = Shard.consistent system;
+    s_fingerprint = Shard.fingerprint system;
+    s_duration_ms = duration_ms }
+
+let shard_sweep ?seed ?(shards_list = [ 1; 2; 4; 8 ])
+    ?(clients_list = [ 64; 256; 1024 ]) ?(cross_ratios = [ 0.0; 0.1 ])
+    ?(scheduler = "mat") ?(requests_per_client = 4) ?batching () =
+  List.concat_map
+    (fun clients ->
+      List.concat_map
+        (fun cross_ratio ->
+          let workload =
+            { Detmt_workload.Sharded.default with
+              Detmt_workload.Sharded.cross_ratio }
+          in
+          List.map
+            (fun shards ->
+              run_shard ?seed ~scheduler ~requests_per_client ?batching
+                ~workload ~shards ~clients ())
+            shards_list)
+        cross_ratios)
+    clients_list
+
+(* Speedup is reported against the 1-shard run of the same (clients,
+   cross_ratio) cell — the sharding gain net of everything else. *)
+let shard_speedup rows r =
+  List.find_opt
+    (fun b ->
+      b.s_shards = 1 && b.s_clients = r.s_clients
+      && b.s_cross_ratio = r.s_cross_ratio)
+    rows
+  |> Option.map (fun b ->
+         if b.s_throughput_per_s > 0.0 then
+           r.s_throughput_per_s /. b.s_throughput_per_s
+         else 0.0)
+
+let shard_table rows =
+  let t =
+    Table.create
+      ~title:
+        "E14: sharded multi-group replication — throughput vs shard count \
+         (speedup relative to the 1-shard run of the same row group)"
+      ~columns:
+        [ "shards"; "clients"; "cross"; "replies"; "fast/cross";
+          "mean_ms"; "p95_ms"; "req/s"; "speedup"; "consistent" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [ string_of_int r.s_shards;
+          string_of_int r.s_clients;
+          Printf.sprintf "%.0f%%" (100.0 *. r.s_cross_ratio);
+          Printf.sprintf "%d/%d" r.s_replies r.s_expected;
+          Printf.sprintf "%d/%d" r.s_fast_path r.s_cross_shard;
+          Printf.sprintf "%.2f" r.s_mean_response_ms;
+          Printf.sprintf "%.2f" r.s_p95_response_ms;
+          Printf.sprintf "%.0f" r.s_throughput_per_s;
+          (match shard_speedup rows r with
+          | Some x -> Printf.sprintf "%.2fx" x
+          | None -> "-");
+          string_of_bool r.s_consistent ])
+    rows;
+  t
+
+let shard_json rows =
+  let module Json = Detmt_obs.Json in
+  Json.Obj
+    [ ("experiment", Json.String "shard");
+      ("workload", Json.String "sharded");
+      ("rows",
+       Json.List
+         (List.map
+            (fun r ->
+              Json.Obj
+                [ ("shards", Json.Int r.s_shards);
+                  ("clients", Json.Int r.s_clients);
+                  ("cross_ratio", Json.Float r.s_cross_ratio);
+                  ("expected", Json.Int r.s_expected);
+                  ("replies", Json.Int r.s_replies);
+                  ("fast_path", Json.Int r.s_fast_path);
+                  ("cross_shard", Json.Int r.s_cross_shard);
+                  ("mean_response_ms", Json.Float r.s_mean_response_ms);
+                  ("p95_response_ms", Json.Float r.s_p95_response_ms);
+                  ("throughput_per_s", Json.Float r.s_throughput_per_s);
+                  ("speedup_vs_1shard",
+                   match shard_speedup rows r with
+                   | Some x -> Json.Float x
+                   | None -> Json.Null);
+                  ("broadcasts", Json.Int r.s_broadcasts);
+                  ("wire_batches", Json.Int r.s_wire_batches);
+                  ("consistent", Json.Bool r.s_consistent);
+                  ("fingerprint", Json.String (Printf.sprintf "%Lx" r.s_fingerprint));
+                  ("duration_ms", Json.Float r.s_duration_ms) ])
+            rows)) ]
+
+(* ------------------------------------------------------------------ *)
 (* E10 — determinism matrix                                            *)
 
 let determinism

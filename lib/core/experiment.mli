@@ -121,3 +121,58 @@ val prodcons :
 val determinism :
   ?schedulers:string list -> unit -> Detmt_stats.Table.t
 (** E10: replica-consistency matrix; the freefall baseline must diverge. *)
+
+type shard_row = {
+  s_shards : int;
+  s_clients : int;
+  s_cross_ratio : float;
+  s_expected : int;
+  s_replies : int;
+  s_fast_path : int;
+  s_cross_shard : int;
+  s_mean_response_ms : float;
+  s_p95_response_ms : float;
+  s_throughput_per_s : float;
+  s_broadcasts : int;
+  s_wire_batches : int;
+  s_consistent : bool;
+  s_fingerprint : int64;  (** {!Detmt_replication.Shard.fingerprint} *)
+  s_duration_ms : float;
+}
+
+val run_shard :
+  ?seed:int64 ->
+  ?scheduler:string ->
+  ?requests_per_client:int ->
+  ?batching:Detmt_gcs.Totem.batching ->
+  ?obs:Detmt_obs.Recorder.t ->
+  ?workload:Detmt_workload.Sharded.params ->
+  shards:int ->
+  clients:int ->
+  unit ->
+  shard_row
+(** One sharded run of the {!Detmt_workload.Sharded} workload to
+    completion. *)
+
+val shard_sweep :
+  ?seed:int64 ->
+  ?shards_list:int list ->
+  ?clients_list:int list ->
+  ?cross_ratios:float list ->
+  ?scheduler:string ->
+  ?requests_per_client:int ->
+  ?batching:Detmt_gcs.Totem.batching ->
+  unit ->
+  shard_row list
+(** E14: the scaling grid — shard count x client count x cross-shard
+    ratio (defaults: shards 1/2/4/8, 64/256/1024 clients, 0%% and 10%%
+    transfers, MAT inside each group).  Row order is clients-major, then
+    cross ratio, then shard count. *)
+
+val shard_table : shard_row list -> Detmt_stats.Table.t
+(** Printable form; the speedup column is relative to the 1-shard row with
+    the same clients and cross ratio. *)
+
+val shard_json : shard_row list -> Detmt_obs.Json.t
+(** The BENCH_shard.json payload: one object per row, with the speedup and
+    the run fingerprint included. *)

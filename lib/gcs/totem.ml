@@ -13,26 +13,38 @@ type 'a subscriber = {
          exactly once even when the transport duplicates a packet *)
 }
 
+type batching = { max_batch : int; delay_ms : float }
+
 type 'a t = {
   engine : Engine.t;
   latency : sender:int -> dest:int -> float;
   faults : Faults.t option;
   obs : Recorder.t;
+  batching : batching option;
   mutable subscribers : 'a subscriber list; (* in subscription order *)
   mutable next_seq : int;
   mutable broadcasts : int;
   mutable deliveries : int;
   mutable suppressed_duplicates : int;
+  mutable pending : 'a Message.t list; (* batched, not yet on the wire;
+                                          newest first *)
+  mutable flush_epoch : int; (* invalidates stale delay timers *)
+  mutable wire_batches : int;
   kinds : (string, int) Hashtbl.t;
 }
 
 let default_latency ~sender:_ ~dest:_ = 0.5
 
 let create ?(latency = default_latency) ?faults ?(obs = Recorder.disabled)
-    engine =
-  { engine; latency; faults; obs; subscribers = []; next_seq = 0;
-    broadcasts = 0; deliveries = 0; suppressed_duplicates = 0;
-    kinds = Hashtbl.create 8 }
+    ?batching engine =
+  (match batching with
+  | Some b ->
+    if b.max_batch < 1 then invalid_arg "Totem.create: max_batch < 1";
+    if b.delay_ms < 0.0 then invalid_arg "Totem.create: delay_ms < 0"
+  | None -> ());
+  { engine; latency; faults; obs; batching; subscribers = []; next_seq = 0;
+    broadcasts = 0; deliveries = 0; suppressed_duplicates = 0; pending = [];
+    flush_epoch = 0; wire_batches = 0; kinds = Hashtbl.create 8 }
 
 let find t id = List.find_opt (fun s -> s.id = id) t.subscribers
 
@@ -56,13 +68,13 @@ let resubscribe t ~id handler =
     s.alive <- true;
     s.last_delivery <- Engine.now t.engine
 
-let broadcast t ~sender payload =
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
-  t.broadcasts <- t.broadcasts + 1;
-  if Recorder.enabled t.obs then Recorder.incr t.obs "totem.broadcasts";
+(* Put one sequenced message on the wire: schedule its per-subscriber
+   deliveries (fault plans, FIFO floors, watermarks).  With batching, this
+   runs at flush time rather than broadcast time, so arrival times are
+   computed from the instant the batch actually hits the network. *)
+let transmit t (msg : 'a Message.t) =
   let now = Engine.now t.engine in
-  let msg = { Message.seq; sender; sent_at = now; payload } in
+  let seq = msg.Message.seq and sender = msg.Message.sender in
   let deliver_to sub =
     if sub.alive then begin
       t.deliveries <- t.deliveries + 1;
@@ -112,7 +124,44 @@ let broadcast t ~sender payload =
         dup_extra
     end
   in
-  List.iter deliver_to t.subscribers;
+  List.iter deliver_to t.subscribers
+
+(* Flush the pending batch onto the wire in sequence order.  Bumping the
+   epoch cancels the delay timer armed when the batch opened (a timer that
+   fires after a size-triggered flush must not prematurely flush the batch
+   that opened afterwards). *)
+let flush t =
+  match List.rev t.pending with
+  | [] -> ()
+  | batch ->
+    t.pending <- [];
+    t.flush_epoch <- t.flush_epoch + 1;
+    t.wire_batches <- t.wire_batches + 1;
+    if Recorder.enabled t.obs then begin
+      Recorder.incr t.obs "totem.wire_batches";
+      Recorder.observe t.obs "totem.batch_size"
+        (float_of_int (List.length batch))
+    end;
+    List.iter (transmit t) batch
+
+let broadcast t ~sender payload =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.broadcasts <- t.broadcasts + 1;
+  if Recorder.enabled t.obs then Recorder.incr t.obs "totem.broadcasts";
+  let msg = { Message.seq; sender; sent_at = Engine.now t.engine; payload } in
+  (match t.batching with
+  | None -> transmit t msg
+  | Some b ->
+    t.pending <- msg :: t.pending;
+    let held = List.length t.pending in
+    if held >= b.max_batch then flush t
+    else if held = 1 then begin
+      (* First message of a fresh batch arms the flush timer. *)
+      let epoch = t.flush_epoch in
+      Engine.schedule t.engine ~delay:b.delay_ms (fun () ->
+          if t.flush_epoch = epoch then flush t)
+    end);
   seq
 
 (* After an out-of-band state transfer the replication layer owns every
@@ -136,6 +185,12 @@ let is_alive t id =
 let broadcasts t = t.broadcasts
 
 let deliveries t = t.deliveries
+
+let batching t = t.batching
+
+let wire_batches t = t.wire_batches
+
+let pending_batched t = List.length t.pending
 
 let suppressed_duplicates t = t.suppressed_duplicates
 

@@ -16,19 +16,38 @@
     partitions.  The GCS contract survives all of them — per-subscriber
     deliveries stay in sequence order (a FIFO floor) and every message is
     handed to the application exactly once (a per-subscriber sequence
-    watermark suppresses transport duplicates). *)
+    watermark suppresses transport duplicates).
+
+    Optional {e batched delivery} models the paper's §3 batching-delay
+    phenomenon at the transport: sequence numbers are still assigned at
+    broadcast time (the total order is unchanged), but messages are held back
+    and put on the wire together — when [max_batch] messages have
+    accumulated, or [delay_ms] after the batch opened, whichever comes
+    first.  Per-subscriber arrival times are then computed from the flush
+    instant, so a batch amortizes broadcast overhead at the cost of added
+    delivery latency for the messages that waited. *)
 
 type 'a t
+
+type batching = {
+  max_batch : int;  (** flush when this many messages are pending (>= 1) *)
+  delay_ms : float;  (** flush this long after a batch opens (>= 0) *)
+}
 
 val create :
   ?latency:(sender:int -> dest:int -> float) ->
   ?faults:Faults.t ->
   ?obs:Detmt_obs.Recorder.t ->
+  ?batching:batching ->
   Detmt_sim.Engine.t ->
   'a t
-(** Default latency: 0.5 ms for every pair; no faults.  [obs] (default
+(** Default latency: 0.5 ms for every pair; no faults; no batching (every
+    broadcast goes on the wire immediately — [batching = Some {max_batch =
+    1; _}] is behaviourally identical).  [obs] (default
     {!Detmt_obs.Recorder.disabled}) receives broadcast/delivery/dedup
-    counters and the per-delivery watermark lag. *)
+    counters, the per-delivery watermark lag and — with batching — wire-batch
+    counts and a batch-size histogram.
+    @raise Invalid_argument when [max_batch < 1] or [delay_ms < 0]. *)
 
 val subscribe : 'a t -> id:int -> ('a Message.t -> unit) -> unit
 (** Register a destination.  Ids must be unique.
@@ -61,6 +80,17 @@ val broadcasts : 'a t -> int
 
 val deliveries : 'a t -> int
 (** Number of point-to-point deliveries performed. *)
+
+val batching : 'a t -> batching option
+(** The batching policy the bus was created with. *)
+
+val wire_batches : 'a t -> int
+(** Number of batches flushed onto the wire; [0] when batching is
+    disabled. *)
+
+val pending_batched : 'a t -> int
+(** Messages currently held back in the open batch ([0] when batching is
+    disabled). *)
 
 val suppressed_duplicates : 'a t -> int
 (** Transport duplicates the sequence watermark kept from the application. *)

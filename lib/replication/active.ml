@@ -24,12 +24,16 @@ type params = {
   detection_timeout_ms : float;
   faults : Faults.spec option;
   recovery_poll_ms : float;
+  shard : int; (* which shard this group serialises; 0 when unsharded *)
+  replica_base : int; (* replica ids are [base, base + replicas) *)
+  batching : Totem.batching option;
 }
 
 let default_params =
   { replicas = 3; scheduler = "mat"; config = Config.default;
     net_latency_ms = 0.5; client_latency_ms = 0.5;
-    detection_timeout_ms = 50.0; faults = None; recovery_poll_ms = 1.0 }
+    detection_timeout_ms = 50.0; faults = None; recovery_poll_ms = 1.0;
+    shard = 0; replica_base = 0; batching = None }
 
 type checkpoint_sink =
   replica:int -> seq:int -> hash:int64 -> state:(string * int) list -> unit
@@ -72,6 +76,10 @@ type t = {
 let leader_id t = Group.leader t.grp
 
 let is_leader t id = leader_id t = id
+
+(* Replica ids live in [base, base + replicas); per-replica arrays are
+   indexed by the id's offset into that window. *)
+let slot t id = id - t.params.replica_base
 
 (* Every broadcast goes through here so recovery can replay the suffix a
    rejoining replica missed. *)
@@ -161,7 +169,11 @@ let make_replica t ~engine ~cls ~id =
       is_leader = (fun () -> is_leader t id) }
   in
   let make_sched actions =
-    t.scheduler.make ~config:t.params.config ~summary:t.summary actions
+    Detmt_sched.Registry.instantiate
+      (Detmt_sched.Sched_config.make ~runtime:t.params.config
+         ?summary:t.summary ~obs:t.obs ~shard:t.params.shard
+         t.scheduler.name)
+      actions
   in
   let r =
     Replica.create ~engine ~id ~cls ~config:t.params.config ~callbacks
@@ -173,7 +185,7 @@ let make_replica t ~engine ~cls ~id =
      recovered one, whose base absorbs the donor's completed count. *)
   Replica.set_quiescent_hook r (fun ~completed ->
       if Replica.alive r then begin
-        let seq = t.completed_base.(id) + completed in
+        let seq = t.completed_base.(slot t id) + completed in
         if Recorder.enabled t.obs then
           Recorder.checkpoint t.obs ~replica:id ~seq
             ~at:(Engine.now t.engine);
@@ -188,10 +200,11 @@ let make_replica t ~engine ~cls ~id =
 
 let deliver t replica (msg : payload Message.t) =
   let id = Replica.id replica in
-  t.last_delivered.(id) <- msg.seq;
+  t.last_delivered.(slot t id) <- msg.seq;
   match msg.payload with
   | P_request { client; client_req; meth; args; sent_at; dummy } ->
-    if not (Dedup.mark t.dedups.(id) ~client ~request:client_req) then begin
+    if not (Dedup.mark t.dedups.(slot t id) ~client ~request:client_req)
+    then begin
       let req =
         { Request.uid = msg.seq; client; client_req; meth; args; sent_at;
           dummy }
@@ -211,10 +224,16 @@ let create ?(obs = Recorder.disabled) ~engine ~cls ~(params : params) () =
       (c, Some s)
     else (Detmt_transform.Transform.basic cls, None)
   in
+  if params.replica_base < 0 then
+    invalid_arg "Active.create: replica_base < 0";
   let latency ~sender:_ ~dest:_ = params.net_latency_ms in
   let faults = Option.map Faults.create params.faults in
-  let bus = Totem.create ~latency ?faults ~obs engine in
-  let members = List.init params.replicas (fun i -> i) in
+  let bus =
+    Totem.create ~latency ?faults ~obs ?batching:params.batching engine
+  in
+  let members =
+    List.init params.replicas (fun i -> params.replica_base + i)
+  in
   let grp =
     Group.create engine ~members
       ~detection_timeout_ms:params.detection_timeout_ms
@@ -268,7 +287,7 @@ let create ?(obs = Recorder.disabled) ~engine ~cls ~(params : params) () =
           pending);
   t
 
-let submit t ~client ~client_req ~meth ~args ~on_reply =
+let submit ?on_ordered t ~client ~client_req ~meth ~args ~on_reply =
   let key = (client, client_req) in
   (* A retry that raced with its own answer must not re-register a waiter:
      the next replica reply would fire the callback a second time. *)
@@ -280,10 +299,14 @@ let submit t ~client ~client_req ~meth ~args ~on_reply =
         if Recorder.enabled t.obs then
           Recorder.request_broadcast t.obs ~client ~client_req
             ~at:(Engine.now t.engine);
-        ignore
-          (bcast t ~sender:(1000 + client) ~kind:"request"
-             (P_request { client; client_req; meth; args; sent_at;
-                          dummy = false })))
+        let seq =
+          bcast t ~sender:(1000 + client) ~kind:"request"
+            (P_request { client; client_req; meth; args; sent_at;
+                         dummy = false })
+        in
+        (* Fires once the request holds a slot in this group's total order —
+           the hook cross-shard coordination hangs its second phase on. *)
+        match on_ordered with Some f -> f ~seq | None -> ())
   end
 
 let engine t = t.engine
@@ -321,14 +344,14 @@ let recover_replica t ?at id =
   let begin_at = Option.value ~default:(Engine.now t.engine) at in
   let perform donor =
     let donor_id = Replica.id donor in
-    let watermark = t.last_delivered.(donor_id) in
+    let watermark = t.last_delivered.(slot t donor_id) in
     let state = Replica.state_snapshot donor in
     let mutex_fields =
       Object_state.mutex_field_snapshot (Replica.object_state donor)
     in
     let sched_state = Replica.sched_snapshot donor in
     let completed =
-      t.completed_base.(donor_id) + Replica.completed_requests donor
+      t.completed_base.(slot t donor_id) + Replica.completed_requests donor
     in
     (* Fresh incarnation; the old Replica.t stays dead and inert. *)
     let r' = make_replica t ~engine:t.engine ~cls:t.cls_instr ~id in
@@ -338,9 +361,9 @@ let recover_replica t ?at id =
     Replica.sched_restore r' sched_state;
     t.members <-
       List.map (fun r -> if Replica.id r = id then r' else r) t.members;
-    t.dedups.(id) <- Dedup.copy t.dedups.(donor_id);
-    t.completed_base.(id) <- completed;
-    t.last_delivered.(id) <- watermark;
+    t.dedups.(slot t id) <- Dedup.copy t.dedups.(slot t donor_id);
+    t.completed_base.(slot t id) <- completed;
+    t.last_delivered.(slot t id) <- watermark;
     Totem.resubscribe t.bus ~id (fun msg -> deliver t r' msg);
     (* Everything broadcast so far is covered by snapshot + replay; stale
        in-flight copies addressed to the old incarnation must not leak in. *)
@@ -412,6 +435,12 @@ let reply_times t = List.rev t.reply_times
 let message_stats t = Totem.kind_counts t.bus
 
 let broadcasts t = Totem.broadcasts t.bus
+
+let wire_batches t = Totem.wire_batches t.bus
+
+let shard t = t.params.shard
+
+let params t = t.params
 
 let summary t = t.summary
 

@@ -29,6 +29,16 @@ type params = {
       (** degrade the transport under the bus; [None] = perfect network *)
   recovery_poll_ms : float;
       (** how often a recovery waiting for donor quiescence re-checks *)
+  shard : int;
+      (** which shard this group serialises, [0] when unsharded — a metrics /
+          diagnostics namespace, never a behavioural input *)
+  replica_base : int;
+      (** first replica id of this group; ids are [base, base + replicas).
+          {!Shard} gives each group a disjoint id window so flight-recorder
+          spans and checkpoints never collide across groups. *)
+  batching : Detmt_gcs.Totem.batching option;
+      (** batched total-order delivery on the bus; [None] (the default)
+          puts every broadcast on the wire immediately *)
 }
 
 val default_params : params
@@ -52,6 +62,7 @@ val create :
     replica and every scheduler; recording is strictly read-only. *)
 
 val submit :
+  ?on_ordered:(seq:int -> unit) ->
   t ->
   client:int ->
   client_req:int ->
@@ -62,7 +73,11 @@ val submit :
 (** Broadcast one request; [on_reply] fires at the client when the first
     replica reply arrives, with the end-to-end response time.  Resubmitting
     an already-answered [(client, client_req)] is a no-op, so client-side
-    retries keep exactly-once semantics. *)
+    retries keep exactly-once semantics.  [on_ordered] fires the moment the
+    request is stamped into this group's total order (at broadcast, after
+    the client->sequencer latency), with its sequence number — the anchor
+    for the cross-shard two-phase protocol ({!Shard}); a retry that
+    re-broadcasts fires it again. *)
 
 val engine : t -> Detmt_sim.Engine.t
 
@@ -119,6 +134,14 @@ val message_stats : t -> (string * int) list
     dummies). *)
 
 val broadcasts : t -> int
+
+val wire_batches : t -> int
+(** Batches the bus flushed onto the wire; [0] when batching is disabled. *)
+
+val shard : t -> int
+(** The shard id this group was created with. *)
+
+val params : t -> params
 
 val summary : t -> Detmt_analysis.Predict.class_summary option
 (** The prediction summary, when the scheduler required the predictive

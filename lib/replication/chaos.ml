@@ -62,15 +62,15 @@ let scenarios =
 
 let find_scenario name = List.find_opt (fun s -> s.name = name) scenarios
 
-(* The deterministic schedulers under test.  Freefall is excluded on
-   purpose: it is the nondeterminism baseline and fails the divergence
-   invariants by design. *)
-let default_schedulers =
-  [ "seq"; "sat"; "psat"; "lsa"; "pds"; "ppds"; "mat"; "pmat" ]
+(* The deterministic schedulers under test, straight from the registry.
+   Freefall is excluded (it is the nondeterminism baseline and fails the
+   divergence invariants by design), as is the adaptive meta-scheduler. *)
+let default_schedulers = Detmt_sched.Registry.deterministic_decisions
 
 type outcome = {
   o_scenario : string;
   o_scheduler : string;
+  o_shards : int;
   o_expected : int; (* requests submitted *)
   o_replies : int;
   o_duplicate_replies : int;
@@ -100,56 +100,86 @@ let ok o =
      recovery-free runs. *)
   && (o.o_recoveries_wanted > 0 || o.o_acquisitions_agree)
 
-let run ?(seed = 42L) ?(clients = 4) ?(requests_per_client = 5)
+let run ?(seed = 42L) ?(shards = 1) ?(clients = 4) ?(requests_per_client = 5)
     ?(timeout_ms = 60.0) ?(obs = Detmt_obs.Recorder.disabled) ~scenario
     ~scheduler ~cls ~gen () =
   let module Recorder = Detmt_obs.Recorder in
   let engine = Engine.create () in
-  let params =
+  let base =
     { Active.default_params with
       scheduler; faults = scenario.faults ~seed;
       (* generous detection so a lossy transport is not mistaken for a
          failure while retransmits are still in flight *)
       detection_timeout_ms = 50.0 }
   in
-  let system = Active.create ~obs ~engine ~cls ~params () in
-  let monitor = Consistency.create_monitor () in
-  Active.set_checkpoint_sink system (fun ~replica ~seq ~hash ~state ->
-      Consistency.observe monitor ~replica ~seq ~hash ~state);
+  (* Always through {!Shard}: a 1-shard system is byte-for-byte the
+     unsharded path, and N shards stress the same invariants across
+     independently-faulted groups. *)
+  let system = Shard.create ~obs ~engine ~cls ~params:{ Shard.shards; base } () in
+  let groups = Shard.groups system in
+  let monitors =
+    Array.map
+      (fun g ->
+        let monitor = Consistency.create_monitor () in
+        Active.set_checkpoint_sink g (fun ~replica ~seq ~hash ~state ->
+            Consistency.observe monitor ~replica ~seq ~hash ~state);
+        monitor)
+      groups
+  in
+  (* Scenario kills/recoveries name a replica offset; every group loses (and
+     recovers) the replica at that offset into its own id window. *)
   Option.iter
-    (fun (at, id) ->
+    (fun (at, k) ->
       Engine.schedule_at engine ~time:at (fun () ->
-          Active.kill_replica system id))
+          Array.iter
+            (fun g ->
+              Active.kill_replica g ((Active.params g).Active.replica_base + k))
+            groups))
     scenario.kill;
   (match (scenario.recover_at, scenario.kill) with
-  | Some at, Some (_, id) -> Active.recover_replica system ~at id
+  | Some at, Some (_, k) ->
+    Array.iter
+      (fun g ->
+        Active.recover_replica g ~at ((Active.params g).Active.replica_base + k))
+      groups
   | Some _, None ->
     invalid_arg "Chaos.run: recover_at without a kill makes no sense"
   | None, _ -> ());
   let stats =
-    Client.run_clients_stats ~engine ~system ~clients ~requests_per_client
-      ~gen ~seed ~timeout_ms ()
+    Shard.run_clients_stats system ~clients ~requests_per_client ~gen ~seed
+      ~timeout_ms ()
   in
-  let report = Consistency.check (Active.live_replicas system) in
-  let fault_counters =
-    match Active.faults system with
-    | None -> (0, 0, 0)
-    | Some f ->
-      (Faults.losses f, Faults.duplicates_injected f, Faults.partition_holds f)
+  let reports =
+    Array.map (fun g -> Consistency.check (Active.live_replicas g)) groups
   in
-  let losses, dups, holds = fault_counters in
+  let sum f = Array.fold_left (fun n g -> n + f g) 0 groups in
+  let losses, dups, holds =
+    Array.fold_left
+      (fun (l, d, h) g ->
+        match Active.faults g with
+        | None -> (l, d, h)
+        | Some f ->
+          ( l + Faults.losses f,
+            d + Faults.duplicates_injected f,
+            h + Faults.partition_holds f ))
+      (0, 0, 0) groups
+  in
   (* Fold the transport's fault counters into the metrics registry so a
      post-mortem sees injected faults next to scheduler behaviour. *)
   if Recorder.enabled obs then begin
-    Option.iter
-      (fun f ->
-        Recorder.incr obs ~by:(Faults.transmissions f) "faults.transmissions";
-        Recorder.incr obs ~by:(Faults.losses f) "faults.losses";
-        Recorder.incr obs ~by:(Faults.duplicates_injected f)
-          "faults.duplicates_injected";
-        Recorder.incr obs ~by:(Faults.partition_holds f)
-          "faults.partition_holds")
-      (Active.faults system);
+    Array.iter
+      (fun g ->
+        Option.iter
+          (fun f ->
+            Recorder.incr obs ~by:(Faults.transmissions f)
+              "faults.transmissions";
+            Recorder.incr obs ~by:(Faults.losses f) "faults.losses";
+            Recorder.incr obs ~by:(Faults.duplicates_injected f)
+              "faults.duplicates_injected";
+            Recorder.incr obs ~by:(Faults.partition_holds f)
+              "faults.partition_holds")
+          (Active.faults g))
+      groups;
     Recorder.incr obs ~by:stats.Client.run_retries "chaos.client_retries"
   end;
   (* One number that must be bit-identical across two runs with the same
@@ -157,31 +187,48 @@ let run ?(seed = 42L) ?(clients = 4) ?(requests_per_client = 5)
   let fingerprint =
     let mix h x = Int64.mul (Int64.logxor h x) 0x100000001B3L in
     let h = ref 0xCBF29CE484222325L in
-    List.iter
-      (fun (_, x) -> h := mix !h x)
-      (report.Consistency.state_hashes @ report.Consistency.trace_hashes);
-    h := mix !h (Int64.of_int (Active.replies_received system));
+    Array.iter
+      (fun (report : Consistency.report) ->
+        List.iter
+          (fun (_, x) -> h := mix !h x)
+          (report.Consistency.state_hashes @ report.Consistency.trace_hashes))
+      reports;
+    h := mix !h (Int64.of_int (Shard.replies_received system));
     h := mix !h (Int64.bits_of_float (Engine.now engine));
     !h
   in
-  { o_scenario = scenario.name; o_scheduler = scheduler;
+  let first_divergence =
+    Array.fold_left
+      (fun acc m ->
+        match acc with Some _ -> acc | None -> Consistency.first_divergence m)
+      None monitors
+  in
+  { o_scenario = scenario.name; o_scheduler = scheduler; o_shards = shards;
     o_expected = clients * requests_per_client;
-    o_replies = Active.replies_received system;
-    o_duplicate_replies = Active.duplicate_client_replies system;
+    o_replies = Shard.replies_received system;
+    o_duplicate_replies = sum Active.duplicate_client_replies;
     o_retries = stats.Client.run_retries;
-    o_checkpoints = Consistency.checkpoints_compared monitor;
-    o_divergence = Consistency.first_divergence monitor;
-    o_recoveries = Active.recoveries system;
-    o_recoveries_wanted = (match scenario.recover_at with Some _ -> 1 | None -> 0);
-    o_states_agree = report.Consistency.states_agree;
-    o_acquisitions_agree = report.Consistency.acquisitions_agree;
-    o_suppressed_duplicates = Active.suppressed_duplicates system;
+    o_checkpoints =
+      Array.fold_left
+        (fun n m -> n + Consistency.checkpoints_compared m)
+        0 monitors;
+    o_divergence = first_divergence;
+    o_recoveries = sum Active.recoveries;
+    o_recoveries_wanted =
+      (match scenario.recover_at with Some _ -> shards | None -> 0);
+    o_states_agree =
+      Array.for_all (fun (r : Consistency.report) -> r.states_agree) reports;
+    o_acquisitions_agree =
+      Array.for_all
+        (fun (r : Consistency.report) -> r.acquisitions_agree)
+        reports;
+    o_suppressed_duplicates = sum Active.suppressed_duplicates;
     o_losses = losses; o_duplicates_injected = dups;
     o_partition_holds = holds;
     o_duration_ms = Engine.now engine;
     o_fingerprint = fingerprint }
 
-let sweep ?(seed = 42L) ?(schedulers = default_schedulers)
+let sweep ?(seed = 42L) ?shards ?(schedulers = default_schedulers)
     ?(scenario_names = List.map (fun s -> s.name) scenarios) ?clients
     ?requests_per_client ~cls ~gen () =
   List.concat_map
@@ -191,8 +238,8 @@ let sweep ?(seed = 42L) ?(schedulers = default_schedulers)
       | Some scenario ->
         List.map
           (fun scheduler ->
-            run ~seed ?clients ?requests_per_client ~scenario ~scheduler ~cls
-              ~gen ())
+            run ~seed ?shards ?clients ?requests_per_client ~scenario
+              ~scheduler ~cls ~gen ())
           schedulers)
     scenario_names
 

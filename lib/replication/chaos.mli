@@ -1,8 +1,10 @@
 (** Chaos harness: fault scenarios x deterministic schedulers.
 
-    Each run wires a workload through {!Active} on a degraded transport
-    ({!Detmt_gcs.Faults}), optionally kills and recovers a replica, and
-    checks the robustness invariants:
+    Each run wires a workload through {!Shard} (one {!Active} group per
+    shard; the default single shard is byte-for-byte the unsharded path) on
+    a degraded transport ({!Detmt_gcs.Faults}), optionally kills and
+    recovers a replica in every group, and checks the robustness
+    invariants:
 
     - every submitted request is answered exactly once (retries included),
     - the runtime divergence detector never fires,
@@ -17,7 +19,9 @@ type scenario = {
   name : string;
   descr : string;
   faults : seed:int64 -> Detmt_gcs.Faults.spec option;
-  kill : (float * int) option;  (** [(time_ms, replica)] *)
+  kill : (float * int) option;
+      (** [(time_ms, replica)] — the replica is an offset into each group's
+          id window, so every shard loses its [k]-th replica. *)
   recover_at : float option;
 }
 
@@ -28,12 +32,14 @@ val scenarios : scenario list
 val find_scenario : string -> scenario option
 
 val default_schedulers : string list
-(** The deterministic schedulers swept by default: seq, sat, lsa, pds, mat,
-    pmat.  The freefall baseline is excluded — it diverges by design. *)
+(** The deterministic schedulers swept by default —
+    {!Detmt_sched.Registry.deterministic_decisions}.  The freefall baseline
+    is excluded: it diverges by design. *)
 
 type outcome = {
   o_scenario : string;
   o_scheduler : string;
+  o_shards : int;
   o_expected : int;
   o_replies : int;
   o_duplicate_replies : int;
@@ -57,6 +63,7 @@ val ok : outcome -> bool
 
 val run :
   ?seed:int64 ->
+  ?shards:int ->
   ?clients:int ->
   ?requests_per_client:int ->
   ?timeout_ms:float ->
@@ -67,7 +74,15 @@ val run :
   gen:Client.request_gen ->
   unit ->
   outcome
-(** One (scenario, scheduler) combination.  [timeout_ms] arms the clients'
+(** One (scenario, scheduler) combination.  [shards] (default 1) partitions
+    the object space into that many independent Totem groups; each group
+    gets its own fault stream (salted from [seed]), its own kill/recovery
+    when the scenario schedules one, and its own consistency monitor.  The
+    outcome aggregates across groups: counters sum, agreement flags AND,
+    [o_recoveries_wanted] scales with the shard count, and
+    {!outcome.o_fingerprint} folds every group's replica hashes in shard
+    order — for [shards = 1] it is the same value the unsharded harness
+    produced.  [timeout_ms] arms the clients'
     retry timers (default 60 virtual ms).  [obs] (default disabled) records
     the run; the transport's fault counters are folded into its metrics,
     and its checkpoint times and audit log support the forensics mode
@@ -78,6 +93,7 @@ val run :
 
 val sweep :
   ?seed:int64 ->
+  ?shards:int ->
   ?schedulers:string list ->
   ?scenario_names:string list ->
   ?clients:int ->

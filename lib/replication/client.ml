@@ -4,8 +4,21 @@ open Detmt_runtime
 type request_gen =
   client:int -> seq:int -> Rng.t -> string * Detmt_lang.Ast.value array
 
+type submit_fn =
+  client:int ->
+  client_req:int ->
+  meth:string ->
+  args:Detmt_lang.Ast.value array ->
+  on_reply:(response_ms:float -> unit) ->
+  unit
+
+(* A client drives any replicated system through a [submit_fn]; the closed
+   loop below draws from the client's own stream in exactly the same order
+   whatever stands behind the function, which is what makes a 1-shard
+   sharded run bit-identical to the unsharded path. *)
 type t = {
-  system : Active.t;
+  engine : Engine.t;
+  submit : submit_fn;
   id : int;
   rng : Rng.t;
   gen : request_gen;
@@ -20,15 +33,23 @@ type t = {
   mutable retries : int;
 }
 
-let create system ~id ~rng ~gen ?(think_time_ms = 0.0) ?(max_requests = 10)
-    ?timeout_ms ?(max_retries = 5) () =
+let create_on ~engine ~submit ~id ~rng ~gen ?(think_time_ms = 0.0)
+    ?(max_requests = 10) ?timeout_ms ?(max_retries = 5) () =
   (match timeout_ms with
   | Some ms when ms <= 0.0 -> invalid_arg "Client.create: timeout_ms <= 0"
   | _ -> ());
   if max_retries < 0 then invalid_arg "Client.create: max_retries < 0";
-  { system; id; rng; gen; think_time_ms; max_requests; timeout_ms;
+  { engine; submit; id; rng; gen; think_time_ms; max_requests; timeout_ms;
     max_retries; sent = 0; completed = 0; waiting = false; current = -1;
     retries = 0 }
+
+let active_submit system ~client ~client_req ~meth ~args ~on_reply =
+  Active.submit system ~client ~client_req ~meth ~args ~on_reply
+
+let create system ~id ~rng ~gen ?think_time_ms ?max_requests ?timeout_ms
+    ?max_retries () =
+  create_on ~engine:(Active.engine system) ~submit:(active_submit system) ~id
+    ~rng ~gen ?think_time_ms ?max_requests ?timeout_ms ?max_retries ()
 
 (* Retry [attempt] of request [seq] after timeout * 2^attempt — deterministic
    exponential backoff, no randomness, so runs replay exactly.  The
@@ -40,10 +61,10 @@ let rec arm_timeout t ~seq ~meth ~args ~attempt =
   | None -> ()
   | Some timeout ->
     let delay = timeout *. Float.pow 2.0 (float_of_int attempt) in
-    Engine.schedule (Active.engine t.system) ~delay (fun () ->
+    Engine.schedule t.engine ~delay (fun () ->
         if t.waiting && t.current = seq && attempt < t.max_retries then begin
           t.retries <- t.retries + 1;
-          Active.submit t.system ~client:t.id ~client_req:seq ~meth ~args
+          t.submit ~client:t.id ~client_req:seq ~meth ~args
             ~on_reply:(reply_handler t ~seq);
           arm_timeout t ~seq ~meth ~args ~attempt:(attempt + 1)
         end)
@@ -64,7 +85,7 @@ and send_next t =
     t.waiting <- true;
     t.current <- seq;
     let meth, args = t.gen ~client:t.id ~seq t.rng in
-    Active.submit t.system ~client:t.id ~client_req:seq ~meth ~args
+    t.submit ~client:t.id ~client_req:seq ~meth ~args
       ~on_reply:(reply_handler t ~seq);
     arm_timeout t ~seq ~meth ~args ~attempt:0
   end
@@ -75,8 +96,7 @@ and on_reply t =
       (* Think times are drawn exponentially around the configured mean,
          from the client's own stream. *)
       let think = Rng.exponential t.rng t.think_time_ms in
-      Engine.schedule (Active.engine t.system) ~delay:think (fun () ->
-          send_next t)
+      Engine.schedule t.engine ~delay:think (fun () -> send_next t)
     else send_next t
 
 and start t = send_next t
@@ -130,19 +150,11 @@ let status_to_string = function
     Printf.sprintf "nested-ready(call %d)" call_index
   | Terminated -> "terminated"
 
-(* When the event queue drains with clients still waiting, a bare "deadlock?"
-   helps nobody: name the requests nobody answered, where every replica's
-   threads are stuck, and who holds the locks they want. *)
-let deadlock_message ~system ~stuck =
+(* One replicated group's contribution to a deadlock report: the requests
+   nobody answered, where every replica's threads are stuck, and who holds
+   the locks they want. *)
+let active_diagnostics system =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf
-    (Printf.sprintf
-       "simulation drained with %d client(s) still waiting (deadlock?)"
-       (List.length stuck));
-  Buffer.add_string buf
-    (Printf.sprintf "\n  stuck clients: %s"
-       (String.concat ", "
-          (List.map (fun c -> Printf.sprintf "client %d" c.id) stuck)));
   let outstanding = Active.outstanding_requests system in
   Buffer.add_string buf
     (Printf.sprintf "\n  unanswered requests: %s"
@@ -175,23 +187,44 @@ let deadlock_message ~system ~stuck =
     (Active.live_replicas system);
   Buffer.contents buf
 
-let run_clients_stats ~engine ~system ~clients ~requests_per_client ~gen
-    ?(think_time_ms = 0.0) ?(seed = 42L) ?until_ms ?timeout_ms ?max_retries
-    () =
+(* When the event queue drains with clients still waiting, a bare "deadlock?"
+   helps nobody: name the stuck clients and append per-system forensics. *)
+let stuck_header ~stuck =
+  Printf.sprintf
+    "simulation drained with %d client(s) still waiting (deadlock?)\n\
+    \  stuck clients: %s"
+    (List.length stuck)
+    (String.concat ", "
+       (List.map (fun id -> Printf.sprintf "client %d" id) stuck))
+
+let run_clients_stats_on ~engine ~submit
+    ?(diagnose = fun ~stuck -> stuck_header ~stuck) ~clients
+    ~requests_per_client ~gen ?(think_time_ms = 0.0) ?(seed = 42L) ?until_ms
+    ?timeout_ms ?max_retries () =
   let master = Rng.create seed in
   let all =
     List.init clients (fun id ->
-        create system ~id ~rng:(Rng.split master) ~gen ~think_time_ms
-          ~max_requests:requests_per_client ?timeout_ms ?max_retries ())
+        create_on ~engine ~submit ~id ~rng:(Rng.split master) ~gen
+          ~think_time_ms ~max_requests:requests_per_client ?timeout_ms
+          ?max_retries ())
   in
   List.iter start all;
   Engine.run ?until:until_ms engine;
   let stuck = List.filter in_flight all in
   if stuck <> [] && until_ms = None then
-    failwith (deadlock_message ~system ~stuck);
+    failwith (diagnose ~stuck:(List.map (fun c -> c.id) stuck));
   { run_completed = List.fold_left (fun n c -> n + completed c) 0 all;
     run_retries = List.fold_left (fun n c -> n + retries c) 0 all;
     run_outstanding = List.length stuck }
+
+let run_clients_stats ~engine ~system ~clients ~requests_per_client ~gen
+    ?(think_time_ms = 0.0) ?(seed = 42L) ?until_ms ?timeout_ms ?max_retries
+    () =
+  run_clients_stats_on ~engine ~submit:(active_submit system)
+    ~diagnose:(fun ~stuck ->
+      stuck_header ~stuck ^ active_diagnostics system)
+    ~clients ~requests_per_client ~gen ~think_time_ms ~seed ?until_ms
+    ?timeout_ms ?max_retries ()
 
 let run_clients ~engine ~system ~clients ~requests_per_client ~gen
     ?(think_time_ms = 0.0) ?(seed = 42L) ?until_ms () =

@@ -13,7 +13,34 @@ type request_gen =
   client:int -> seq:int -> Detmt_sim.Rng.t -> string * Detmt_lang.Ast.value array
 (** Produce (start method, arguments) for a client's [seq]-th request. *)
 
+type submit_fn =
+  client:int ->
+  client_req:int ->
+  meth:string ->
+  args:Detmt_lang.Ast.value array ->
+  on_reply:(response_ms:float -> unit) ->
+  unit
+(** What a client needs from a replicated system: submit one request, hear
+    back once.  {!Active.submit} and [Shard.submit] both have this shape, so
+    the {e same} client code (and hence the same per-client random streams,
+    in the same draw order) drives the unsharded and the sharded paths. *)
+
 type t
+
+val create_on :
+  engine:Detmt_sim.Engine.t ->
+  submit:submit_fn ->
+  id:int ->
+  rng:Detmt_sim.Rng.t ->
+  gen:request_gen ->
+  ?think_time_ms:float ->
+  ?max_requests:int ->
+  ?timeout_ms:float ->
+  ?max_retries:int ->
+  unit ->
+  t
+(** [timeout_ms] arms the retry timer (off by default); [max_retries]
+    (default 5) caps resubmissions per request. *)
 
 val create :
   Active.t ->
@@ -26,8 +53,7 @@ val create :
   ?max_retries:int ->
   unit ->
   t
-(** [timeout_ms] arms the retry timer (off by default); [max_retries]
-    (default 5) caps resubmissions per request. *)
+(** {!create_on} against one {!Active} group. *)
 
 val start : t -> unit
 (** Send the first request. *)
@@ -45,6 +71,26 @@ type run_stats = {
   run_outstanding : int;  (** clients still waiting when the run stopped *)
 }
 
+val run_clients_stats_on :
+  engine:Detmt_sim.Engine.t ->
+  submit:submit_fn ->
+  ?diagnose:(stuck:int list -> string) ->
+  clients:int ->
+  requests_per_client:int ->
+  gen:request_gen ->
+  ?think_time_ms:float ->
+  ?seed:int64 ->
+  ?until_ms:float ->
+  ?timeout_ms:float ->
+  ?max_retries:int ->
+  unit ->
+  run_stats
+(** Create [clients] closed-loop clients against an arbitrary [submit]
+    target, run the simulation until every client finished its quota (or
+    [until_ms] virtual time elapsed).  Raises [Failure] if the simulation
+    deadlocks with requests outstanding; [diagnose] (given the stuck client
+    ids) produces the failure message. *)
+
 val run_clients_stats :
   engine:Detmt_sim.Engine.t ->
   system:Active.t ->
@@ -58,11 +104,14 @@ val run_clients_stats :
   ?max_retries:int ->
   unit ->
   run_stats
-(** Create [clients] closed-loop clients, run the simulation until every
-    client finished its quota (or [until_ms] virtual time elapsed).  Raises
-    [Failure] if the simulation deadlocks with requests outstanding; the
-    message lists the unanswered requests, every live replica's blocked
-    threads and the current lock holders. *)
+(** {!run_clients_stats_on} against one {!Active} group, with the full
+    deadlock report: the message lists the unanswered requests, every live
+    replica's blocked threads and the current lock holders. *)
+
+val active_diagnostics : Active.t -> string
+(** One group's deadlock forensics (unanswered requests, blocked threads,
+    lock holders), newline-prefixed — {!Shard} stitches these into its
+    per-group report. *)
 
 val run_clients :
   engine:Detmt_sim.Engine.t ->

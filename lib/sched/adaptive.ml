@@ -87,18 +87,7 @@ let on_terminate t tid =
   t.child.on_terminate tid;
   reconsider t
 
-let make ?(window = 20) ?(on_switch = fun _ -> ()) ~config ~summary actions :
-    Sched_iface.sched =
-  (* Prior before anything has been measured: assume moderate concurrency
-     (the first window corrects it at the first quiescent point). *)
-  let initial = recommend ~summary ~avg_concurrency:4.0 in
-  let t =
-    { actions; config; summary; window; on_switch;
-      child = make_child initial ~config ~summary actions;
-      child_name = initial; alive_threads = 0; window_requests = 0;
-      concurrency_sum = 0 }
-  in
-  t.on_switch initial;
+let iface t =
   { Sched_iface.name = "adaptive";
     on_request = on_request t;
     on_lock = (fun tid ~syncid ~mutex -> t.child.on_lock tid ~syncid ~mutex);
@@ -121,3 +110,21 @@ let make ?(window = 20) ?(on_switch = fun _ -> ()) ~config ~summary actions :
     on_control = (fun ~sender c -> t.child.on_control ~sender c);
     snapshot = (fun () -> t.child.snapshot ());
     restore = (fun kv -> t.child.restore kv) }
+
+let make ?(window = 20) ?(on_switch = fun _ -> ()) ~config ~summary actions :
+    Sched_iface.sched =
+  (* Prior before anything has been measured: assume moderate concurrency
+     (the first window corrects it at the first quiescent point). *)
+  let initial = recommend ~summary ~avg_concurrency:4.0 in
+  let t =
+    { actions; config; summary; window; on_switch;
+      child = make_child initial ~config ~summary actions;
+      child_name = initial; alive_threads = 0; window_requests = 0;
+      concurrency_sum = 0 }
+  in
+  t.on_switch initial;
+  iface t
+
+let of_config ?window ?on_switch (cfg : Sched_config.t) actions =
+  make ?window ?on_switch ~config:cfg.Sched_config.runtime
+    ~summary:cfg.Sched_config.summary actions

@@ -30,6 +30,18 @@ val recommend :
   string
 (** The pure decision function, exposed for tests. *)
 
+val of_config :
+  ?window:int ->
+  ?on_switch:(string -> unit) ->
+  Sched_config.t ->
+  Detmt_runtime.Sched_iface.actions ->
+  Detmt_runtime.Sched_iface.sched
+(** Build the meta-scheduler from the unified {!Sched_config.t} record
+    (the [scheduler] field is ignored — this {e is} the adaptive scheduler).
+    [window] (default 20) is the number of requests observed between
+    re-evaluations; [on_switch] fires with the new child's name whenever the
+    delegate changes (including the initial choice). *)
+
 val make :
   ?window:int ->
   ?on_switch:(string -> unit) ->
@@ -37,6 +49,7 @@ val make :
   summary:Detmt_analysis.Predict.class_summary option ->
   Detmt_runtime.Sched_iface.actions ->
   Detmt_runtime.Sched_iface.sched
-(** [window] (default 20) is the number of requests observed between
-    re-evaluations; [on_switch] fires with the new child's name whenever the
-    delegate changes (including the initial choice). *)
+(** Low-level constructor behind {!of_config}.  {b Deprecated as a call-site
+    API} — in-tree callers use {!of_config} (or {!Registry.instantiate} with
+    scheduler ["adaptive"]); kept as the registry's plumbing and for
+    out-of-tree users, see DESIGN.md. *)

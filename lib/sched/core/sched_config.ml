@@ -1,0 +1,16 @@
+type t = {
+  scheduler : string;
+  runtime : Detmt_runtime.Config.t;
+  summary : Detmt_analysis.Predict.class_summary option;
+  obs : Detmt_obs.Recorder.t;
+  shard : int;
+}
+
+let make ?(runtime = Detmt_runtime.Config.default) ?summary
+    ?(obs = Detmt_obs.Recorder.disabled) ?(shard = 0) scheduler =
+  if shard < 0 then invalid_arg "Sched_config.make: shard < 0";
+  { scheduler; runtime; summary; obs; shard }
+
+let with_scheduler t scheduler = { t with scheduler }
+
+let with_summary t summary = { t with summary }

@@ -1,0 +1,48 @@
+(** The one scheduler-construction record.
+
+    Every scheduler in the registry is instantiated from this single record
+    via {!Registry.instantiate}; the previous ad-hoc per-module construction
+    signatures ([spec.make ~config ~summary], [Adaptive.make ~config
+    ~summary], direct [Decision.instantiate] at call sites) are retained
+    only as low-level plumbing underneath it — see DESIGN.md, "Sharding and
+    batching / configuration API".
+
+    The record carries everything a decision module may need at birth:
+
+    - [scheduler]: registry name ("mat", "psat", ...) to instantiate;
+    - [runtime]: the simulated runtime cost model ({!Detmt_runtime.Config});
+    - [summary]: the §4.3 prediction tables, required when the named
+      scheduler has [needs_prediction] set;
+    - [obs]: the flight recorder the instantiating layer runs under (decision
+      modules themselves receive the recorder again through
+      {!Detmt_runtime.Sched_iface.actions}; the handle here lets wrappers
+      and meta-schedulers record without an [actions] in hand);
+    - [shard]: which shard's group this instance serialises ([0] for the
+      unsharded single-group configuration) — per-shard metric namespaces
+      and diagnostics key off it. *)
+
+type t = {
+  scheduler : string;
+  runtime : Detmt_runtime.Config.t;
+  summary : Detmt_analysis.Predict.class_summary option;
+  obs : Detmt_obs.Recorder.t;
+  shard : int;
+}
+
+val make :
+  ?runtime:Detmt_runtime.Config.t ->
+  ?summary:Detmt_analysis.Predict.class_summary ->
+  ?obs:Detmt_obs.Recorder.t ->
+  ?shard:int ->
+  string ->
+  t
+(** [make name] builds a config for scheduler [name] with the default
+    runtime cost model, no prediction summary, the disabled recorder and
+    shard [0].
+    @raise Invalid_argument when [shard < 0]. *)
+
+val with_scheduler : t -> string -> t
+(** Same configuration, different decision policy (the adaptive
+    meta-scheduler swaps children this way). *)
+
+val with_summary : t -> Detmt_analysis.Predict.class_summary option -> t

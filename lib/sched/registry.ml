@@ -55,6 +55,12 @@ let all =
 
 let paper_figure1 = [ "seq"; "sat"; "lsa"; "pds"; "mat" ]
 
+let deterministic_decisions =
+  List.filter_map
+    (fun s ->
+      if s.deterministic && s.name <> "adaptive" then Some s.name else None)
+    all
+
 let find name = List.find_opt (fun s -> String.equal s.name name) all
 
 let find_exn name =
@@ -64,3 +70,15 @@ let find_exn name =
     invalid_arg
       (Printf.sprintf "unknown scheduler %S (valid: %s)" name
          (String.concat ", " (List.map (fun s -> s.name) all)))
+
+let instantiate (cfg : Sched_config.t) actions =
+  let spec = find_exn cfg.Sched_config.scheduler in
+  (match (spec.needs_prediction, cfg.Sched_config.summary) with
+  | true, None ->
+    invalid_arg
+      (Printf.sprintf
+         "Registry.instantiate: scheduler %S needs a prediction summary"
+         spec.name)
+  | _ -> ());
+  spec.make ~config:cfg.Sched_config.runtime
+    ~summary:cfg.Sched_config.summary actions

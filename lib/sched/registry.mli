@@ -15,6 +15,10 @@ type spec = {
     summary:Detmt_analysis.Predict.class_summary option ->
     Detmt_runtime.Sched_iface.actions ->
     Detmt_runtime.Sched_iface.sched;
+      (** Low-level per-spec constructor.  {b Deprecated as a call-site API}:
+          in-tree callers construct schedulers through {!instantiate} with a
+          {!Sched_config.t}; the field remains as the registry's internal
+          plumbing (see DESIGN.md). *)
 }
 
 val all : spec list
@@ -23,7 +27,22 @@ val all : spec list
 val paper_figure1 : string list
 (** The five algorithms of Figure 1: seq, sat, lsa, pds, mat. *)
 
+val deterministic_decisions : string list
+(** Names of the deterministic decision modules — every registered
+    deterministic scheduler except the adaptive meta-scheduler (which is a
+    chooser over these, driven separately).  This is the set the fingerprint
+    oracle and the cross-scheduler fuzz quantify over. *)
+
 val find : string -> spec option
 
 val find_exn : string -> spec
 (** @raise Invalid_argument on unknown names, listing the valid ones. *)
+
+val instantiate :
+  Sched_config.t ->
+  Detmt_runtime.Sched_iface.actions ->
+  Detmt_runtime.Sched_iface.sched
+(** The one scheduler-construction entry point: look the named scheduler up
+    and build it from the unified {!Sched_config.t} record.
+    @raise Invalid_argument on an unknown scheduler name, or when the named
+    scheduler requires prediction and [cfg.summary] is [None]. *)

@@ -42,10 +42,7 @@ let run ?until t =
   in
   while continue () do
     ignore (step t)
-  done;
-  match until with
-  | Some limit when t.clock < limit && Pqueue.is_empty t.queue -> ()
-  | _ -> ()
+  done
 
 let pending t = Pqueue.length t.queue
 

@@ -22,8 +22,13 @@ val schedule_at : t -> time:float -> (unit -> unit) -> unit
     must not lie in the past. *)
 
 val run : ?until:float -> t -> unit
-(** Execute events until the queue drains, or until the clock would pass
-    [until] if given (events strictly after [until] remain queued). *)
+(** Execute events until the queue drains, or — when [until] is given — until
+    the next queued event lies strictly after [until].  The boundary is
+    inclusive: an event scheduled exactly at [until] runs, and so does
+    anything it schedules at a time [<= until] (including same-instant
+    cascades at the boundary itself).  Events strictly after [until] remain
+    queued, and the clock is left at the last executed event's time — it is
+    {e not} advanced to [until], so a later [run] continues seamlessly. *)
 
 val step : t -> bool
 (** Execute the single next event.  Returns [false] when the queue is empty. *)

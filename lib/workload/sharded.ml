@@ -1,0 +1,43 @@
+open Detmt_lang
+
+type params = {
+  objects : int;
+  cross_ratio : float;
+  hold_ms : float;
+  tail_ms : float;
+}
+
+let default =
+  { objects = 64; cross_ratio = 0.1; hold_ms = 1.0; tail_ms = 0.0 }
+
+let update_method = "update"
+
+let transfer_method = "transfer"
+
+let locked p =
+  let open Builder in
+  (if p.hold_ms > 0.0 then [ compute p.hold_ms ] else [])
+  @ [ state_incr "state" 1 ]
+
+let cls p =
+  let open Builder in
+  if p.objects < 1 then invalid_arg "Sharded.cls: objects < 1";
+  let tail = if p.tail_ms > 0.0 then [ compute p.tail_ms ] else [] in
+  cls ~cname:"Sharded" ~state_fields:[ "state" ]
+    [ meth update_method ~params:1 (sync (arg 0) (locked p) :: tail);
+      meth transfer_method ~params:2
+        ([ sync (arg 0) (locked p); sync (arg 1) (locked p) ] @ tail);
+    ]
+
+(* Client-drawn decisions, as everywhere in the paper's setup: whether this
+   request crosses objects, and which object(s) it touches.  The two
+   transfer endpoints are forced distinct (when possible) so a cross-shard
+   ratio > 0 actually produces multi-object closures. *)
+let gen p ~client:_ ~seq:_ rng =
+  if Detmt_sim.Rng.bool rng p.cross_ratio then begin
+    let a = Detmt_sim.Rng.int rng p.objects in
+    let d = 1 + Detmt_sim.Rng.int rng (max 1 (p.objects - 1)) in
+    let b = (a + d) mod p.objects in
+    (transfer_method, [| Ast.Vmutex a; Ast.Vmutex b |])
+  end
+  else (update_method, [| Ast.Vmutex (Detmt_sim.Rng.int rng p.objects) |])

@@ -173,6 +173,70 @@ let test_group_kill_idempotent () =
   Engine.run engine;
   Alcotest.(check int) "one view change" 1 !changes
 
+(* ---------------------------- batching ------------------------------ *)
+
+let test_batch_size_flush () =
+  (* Three same-instant broadcasts with max_batch = 3: one wire batch, all
+     deliveries in sequence order, nothing left pending. *)
+  let engine = Engine.create () in
+  let bus =
+    Totem.create ~batching:{ Totem.max_batch = 3; delay_ms = 50.0 } engine
+  in
+  let got = collector bus ~id:0 in
+  List.iter (fun p -> ignore (Totem.broadcast bus ~sender:9 p))
+    [ "a"; "b"; "c" ];
+  Alcotest.(check int) "size flush drained the batch" 0
+    (Totem.pending_batched bus);
+  Engine.run engine;
+  Alcotest.(check int) "one wire batch" 1 (Totem.wire_batches bus);
+  Alcotest.(check (list string)) "order preserved" [ "a"; "b"; "c" ]
+    (payloads (got ()));
+  Alcotest.(check (list int)) "seqs assigned at broadcast" [ 0; 1; 2 ]
+    (seqs (got ()))
+
+let test_batch_delay_flush () =
+  (* An under-filled batch flushes delay_ms after it opened; arrival is the
+     flush instant plus the per-hop latency. *)
+  let engine = Engine.create () in
+  let bus =
+    Totem.create
+      ~latency:(fun ~sender:_ ~dest:_ -> 1.0)
+      ~batching:{ Totem.max_batch = 8; delay_ms = 5.0 }
+      engine
+  in
+  let arrival = ref 0.0 in
+  Totem.subscribe bus ~id:0 (fun _ -> arrival := Engine.now engine);
+  ignore (Totem.broadcast bus ~sender:9 "x");
+  Alcotest.(check int) "held" 1 (Totem.pending_batched bus);
+  Engine.run engine;
+  Alcotest.(check int) "one wire batch" 1 (Totem.wire_batches bus);
+  Alcotest.(check (float 1e-9)) "arrival = delay + latency" 6.0 !arrival
+
+let test_batch_of_one_identical () =
+  (* max_batch = 1 is behaviourally identical to batching disabled. *)
+  let run batching =
+    let engine = Engine.create () in
+    let bus = Totem.create ?batching engine in
+    let got = collector bus ~id:0 in
+    let arrivals = ref [] in
+    Totem.subscribe bus ~id:1 (fun _ ->
+        arrivals := Engine.now engine :: !arrivals);
+    List.iter (fun p -> ignore (Totem.broadcast bus ~sender:9 p))
+      [ "a"; "b" ];
+    Engine.run engine;
+    (payloads (got ()), !arrivals)
+  in
+  Alcotest.check b "same payloads and arrival times" true
+    (run None = run (Some { Totem.max_batch = 1; delay_ms = 3.0 }))
+
+let test_batch_validation () =
+  let engine = Engine.create () in
+  Alcotest.check_raises "max_batch < 1"
+    (Invalid_argument "Totem.create: max_batch < 1") (fun () ->
+      ignore
+        (Totem.create ~batching:{ Totem.max_batch = 0; delay_ms = 1.0 }
+           engine : unit Totem.t))
+
 let suite =
   [ ("total order", `Quick, test_total_order);
     ("latency applied", `Quick, test_latency_applied);
@@ -190,6 +254,10 @@ let suite =
      test_group_failure_detection_delay);
     ("group double failure", `Quick, test_group_double_failure);
     ("group kill idempotent", `Quick, test_group_kill_idempotent);
+    ("batch flush on size", `Quick, test_batch_size_flush);
+    ("batch flush on delay", `Quick, test_batch_delay_flush);
+    ("batch of one identical", `Quick, test_batch_of_one_identical);
+    ("batch validation", `Quick, test_batch_validation);
   ]
 
 let () = Alcotest.run "gcs" [ ("gcs", suite) ]

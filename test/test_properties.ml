@@ -78,15 +78,7 @@ let prop_interp_lock_discipline =
 (* All deterministic decision modules, derived from the registry so new
    variants (psat, ppds, ...) are covered automatically.  The adaptive
    meta-scheduler is driven separately in test_adaptive. *)
-let deterministic_schedulers =
-  List.filter_map
-    (fun s ->
-      if
-        s.Detmt_sched.Registry.deterministic
-        && s.Detmt_sched.Registry.name <> "adaptive"
-      then Some s.Detmt_sched.Registry.name
-      else None)
-    Detmt_sched.Registry.all
+let deterministic_schedulers = Detmt_sched.Registry.deterministic_decisions
 
 (* End-to-end property: for random programs and request streams, replicas
    stay consistent under every deterministic scheduler, and — because all
@@ -140,18 +132,18 @@ let prop_random_programs_consistent =
    final state and trace fingerprint.  This is the refactoring contract of
    the two-module architecture applied to random programs rather than the
    fixed fingerprint matrix. *)
+let fuzz_gen ~client:_ ~seq:_ rng =
+  let m () = Ast.Vmutex (Detmt_sim.Rng.int rng 4) in
+  ("m", [| m (); m (); Ast.Vbool (Detmt_sim.Rng.bool rng 0.5) |])
+
 let reply_table (cls, seed) ~scheduler =
   let engine = Detmt_sim.Engine.create () in
   let params =
     { Detmt_replication.Active.default_params with scheduler; replicas = 3 }
   in
   let system = Detmt_replication.Active.create ~engine ~cls ~params () in
-  let gen ~client:_ ~seq:_ rng =
-    let m () = Ast.Vmutex (Detmt_sim.Rng.int rng 4) in
-    ("m", [| m (); m (); Ast.Vbool (Detmt_sim.Rng.bool rng 0.5) |])
-  in
   Detmt_replication.Client.run_clients ~engine ~system ~clients:4
-    ~requests_per_client:3 ~gen ~seed ();
+    ~requests_per_client:3 ~gen:fuzz_gen ~seed ();
   ( Detmt_replication.Active.replies_received system,
     Detmt_replication.Active.reply_times system,
     List.map
@@ -168,6 +160,41 @@ let prop_cross_scheduler_fuzz =
       List.for_all
         (fun scheduler ->
           reply_table workload ~scheduler = reply_table workload ~scheduler)
+        deterministic_schedulers)
+
+(* The sharding refactoring contract, fuzzed: a 1-shard {!Shard} system
+   must produce the exact reply table — counts, client-side reply times,
+   per-replica states and trace fingerprints — of the unsharded {!Active}
+   path, for random programs and every deterministic scheduler. *)
+let sharded_reply_table (cls, seed) ~scheduler =
+  let engine = Detmt_sim.Engine.create () in
+  let base =
+    { Detmt_replication.Active.default_params with scheduler; replicas = 3 }
+  in
+  let system =
+    Detmt_replication.Shard.create ~engine ~cls
+      ~params:{ Detmt_replication.Shard.shards = 1; base } ()
+  in
+  Detmt_replication.Shard.run_clients system ~clients:4
+    ~requests_per_client:3 ~gen:fuzz_gen ~seed ();
+  ( Detmt_replication.Shard.replies_received system,
+    Detmt_replication.Shard.reply_times system,
+    List.map
+      (fun r ->
+        ( Detmt_runtime.Replica.state_snapshot r,
+          Detmt_sim.Trace.fingerprint (Detmt_runtime.Replica.trace r) ))
+      (Detmt_replication.Active.live_replicas
+         (Detmt_replication.Shard.groups system).(0)) )
+
+let prop_one_shard_equals_unsharded =
+  QCheck.Test.make ~count:10
+    ~name:"1-shard sharded run is bit-identical to unsharded, per scheduler"
+    Testgen.arbitrary_workload
+    (fun workload ->
+      List.for_all
+        (fun scheduler ->
+          reply_table workload ~scheduler
+          = sharded_reply_table workload ~scheduler)
         deterministic_schedulers)
 
 let prop_runs_reproducible =
@@ -206,6 +233,7 @@ let suite =
       prop_interp_lock_discipline;
       prop_random_programs_consistent;
       prop_cross_scheduler_fuzz;
+      prop_one_shard_equals_unsharded;
       prop_runs_reproducible;
     ]
 

@@ -261,6 +261,58 @@ let test_registry () =
        false
      with Invalid_argument _ -> true)
 
+(* The unified construction API: Sched_config.make defaults and validation,
+   the deterministic_decisions set, and Registry.instantiate's up-front
+   checks (unknown name; predictive scheduler without a summary). *)
+let test_config_api () =
+  let cfg = Detmt_sched.Sched_config.make "mat" in
+  Alcotest.(check string) "name carried" "mat"
+    cfg.Detmt_sched.Sched_config.scheduler;
+  Alcotest.(check int) "default shard" 0 cfg.Detmt_sched.Sched_config.shard;
+  Alcotest.check b "default summary empty" true
+    (cfg.Detmt_sched.Sched_config.summary = None);
+  Alcotest.(check string) "with_scheduler swaps the policy" "pds"
+    (Detmt_sched.Sched_config.with_scheduler cfg "pds")
+      .Detmt_sched.Sched_config.scheduler;
+  Alcotest.check_raises "negative shard rejected"
+    (Invalid_argument "Sched_config.make: shard < 0") (fun () ->
+      ignore (Detmt_sched.Sched_config.make ~shard:(-1) "mat"));
+  Alcotest.(check (list string)) "deterministic decision modules"
+    [ "seq"; "sat"; "psat"; "lsa"; "pds"; "ppds"; "mat"; "mat-ll"; "pmat" ]
+    Detmt_sched.Registry.deterministic_decisions;
+  let raises_invalid f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  (* instantiate validates before touching the actions, so inert stubs do *)
+  let dummy_actions =
+    { Detmt_runtime.Sched_iface.replica_id = 0;
+      start_thread = ignore; grant_lock = ignore; grant_reacquire = ignore;
+      resume_nested = ignore;
+      mutex_owner = (fun _ -> None);
+      mutex_free_for = (fun ~tid:_ ~mutex:_ -> true);
+      holds_any_mutex = (fun _ -> false);
+      request_method = (fun _ -> "m");
+      broadcast_control = ignore;
+      inject_dummy = (fun () -> ());
+      schedule = (fun ~delay:_ _ -> ());
+      now = (fun () -> 0.0);
+      is_leader = (fun () -> true);
+      obs = Detmt_obs.Recorder.disabled }
+  in
+  Alcotest.check b "instantiate rejects unknown names" true
+    (raises_invalid (fun () ->
+         Detmt_sched.Registry.instantiate
+           (Detmt_sched.Sched_config.make "nope")
+           dummy_actions));
+  Alcotest.check b "predictive scheduler without summary rejected" true
+    (raises_invalid (fun () ->
+         Detmt_sched.Registry.instantiate
+           (Detmt_sched.Sched_config.make "pmat")
+           dummy_actions))
+
 let suite =
   [ ("seq serialises everything", `Quick, test_seq_serialises_everything);
     ("seq wastes nested idle", `Quick, test_seq_wastes_nested_idle);
@@ -291,6 +343,7 @@ let suite =
      test_lsa_greedy_beats_mat_on_disjoint);
     ("freefall completes", `Quick, test_freefall_completes);
     ("registry", `Quick, test_registry);
+    ("config api", `Quick, test_config_api);
   ]
 
 let () = Alcotest.run "sched" [ ("sched", suite) ]

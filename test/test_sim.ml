@@ -186,6 +186,42 @@ let test_engine_until () =
     (List.rev !ran);
   Alcotest.(check int) "rest still pending" 2 (Engine.pending e)
 
+(* Boundary regression: an event scheduled exactly at [until] runs, and so
+   does a same-instant cascade it triggers at the boundary; only events
+   strictly after [until] stay queued.  The clock rests on the last executed
+   event and a later [run] resumes the remainder. *)
+let test_engine_until_boundary_inclusive () =
+  let e = Engine.create () in
+  let ran = ref [] in
+  Engine.schedule e ~delay:1.0 (fun () -> ran := "early" :: !ran);
+  Engine.schedule e ~delay:2.0 (fun () ->
+      ran := "at" :: !ran;
+      Engine.schedule e ~delay:0.0 (fun () -> ran := "cascade" :: !ran);
+      Engine.schedule e ~delay:0.5 (fun () -> ran := "after" :: !ran));
+  Engine.run ~until:2.0 e;
+  Alcotest.(check (list string)) "boundary event and its cascade run"
+    [ "early"; "at"; "cascade" ]
+    (List.rev !ran);
+  Alcotest.(check int) "strictly-later event stays queued" 1
+    (Engine.pending e);
+  Alcotest.(check (float 1e-9)) "clock rests on the last executed event" 2.0
+    (Engine.now e);
+  Engine.run e;
+  Alcotest.(check (list string)) "resuming drains the remainder"
+    [ "early"; "at"; "cascade"; "after" ]
+    (List.rev !ran)
+
+let test_engine_until_empty_queue () =
+  let e = Engine.create () in
+  Engine.run ~until:10.0 e;
+  Alcotest.(check (float 1e-9)) "clock untouched on an empty queue" 0.0
+    (Engine.now e);
+  Engine.schedule e ~delay:3.0 (fun () -> ());
+  Engine.run ~until:1.0 e;
+  Alcotest.(check int) "future event untouched below the bound" 1
+    (Engine.pending e);
+  Alcotest.(check (float 1e-9)) "clock still untouched" 0.0 (Engine.now e)
+
 (* ------------------------------- Cpu ------------------------------- *)
 
 let test_cpu_parallel_cores () =
@@ -296,6 +332,10 @@ let suite =
     ("engine zero-delay fifo", `Quick, test_engine_zero_delay_fifo);
     ("engine rejects past", `Quick, test_engine_rejects_past);
     ("engine until", `Quick, test_engine_until);
+    ( "engine until boundary inclusive",
+      `Quick,
+      test_engine_until_boundary_inclusive );
+    ("engine until empty queue", `Quick, test_engine_until_empty_queue);
     ("cpu parallel cores", `Quick, test_cpu_parallel_cores);
     ("cpu queueing", `Quick, test_cpu_queueing);
     ("cpu fifo", `Quick, test_cpu_fifo);
