@@ -504,6 +504,204 @@ let fingerprint_cmd =
       const run $ seed_arg $ clients_arg $ requests_arg $ shards_arg
       $ schedulers_arg $ workloads_arg)
 
+(* ------------------------------ explore ------------------------------ *)
+
+(* Bounded schedule-space model checking.  Two modes:
+   - enumeration: split --budget across a scheduler x workload matrix and
+     search the delivery-interleaving envelope for divergences; any found
+     counterexample is ddmin-shrunk and (with -o) written as a replayable
+     witness.  Exit 1 when a divergence survives.
+   - --replay FILE: re-execute one checked-in schedule and report its
+     verdict; --expect makes the exit code assert it (the CI hooks). *)
+
+let explore_cmd =
+  let run replay expect do_shrink budget max_depth max_width skews seed
+      clients requests schedulers workloads output =
+    match replay with
+    | Some path ->
+      let sched = Detmt.Schedule.load path in
+      let verdict, canonical, outcome = Detmt.Explore.replay sched in
+      Format.printf "schedule:   %s (%d entries)@." path
+        (Detmt.Schedule.size sched);
+      Format.printf "scheduler:  %s  workload: %s  seed: %d@."
+        sched.Detmt.Schedule.scheduler sched.Detmt.Schedule.workload
+        sched.Detmt.Schedule.seed;
+      Format.printf "canonical:  replies=%d/%d outstanding=%d order=%Lx@."
+        canonical.Detmt.Explore.o_replies canonical.Detmt.Explore.o_expected
+        canonical.Detmt.Explore.o_outstanding
+        canonical.Detmt.Explore.o_order_fp;
+      Format.printf "perturbed:  replies=%d/%d outstanding=%d order=%Lx@."
+        outcome.Detmt.Explore.o_replies outcome.Detmt.Explore.o_expected
+        outcome.Detmt.Explore.o_outstanding outcome.Detmt.Explore.o_order_fp;
+      (match outcome.Detmt.Explore.o_divergence with
+      | Some d ->
+        Format.printf "divergence: %a@." Detmt.Consistency.pp_divergence d
+      | None -> ());
+      Format.printf "verdict:    %s@."
+        (Detmt.Explore.verdict_to_string verdict);
+      let divergent =
+        match verdict with Detmt.Explore.Divergent _ -> true | _ -> false
+      in
+      (match expect with
+      | Some "divergent" when not divergent ->
+        Format.printf "FAIL: expected a divergence, got none@.";
+        exit 1
+      | Some "clean" when divergent ->
+        Format.printf "FAIL: expected a clean replay, got a divergence@.";
+        exit 1
+      | Some "divergent" | Some "clean" | None -> ()
+      | Some other ->
+        Format.printf "unknown --expect value %S (divergent|clean)@." other;
+        exit 2)
+    | None ->
+      let schedulers =
+        if schedulers <> [] then schedulers
+        else Detmt.Registry.deterministic_decisions
+      in
+      let workloads =
+        if workloads <> [] then workloads else [ "figure1"; "prodcons" ]
+      in
+      let combos =
+        List.concat_map
+          (fun w -> List.map (fun s -> (s, w)) schedulers)
+          workloads
+      in
+      let per_combo = max 2 (budget / max 1 (List.length combos)) in
+      let skews = if skews = [] then Detmt.Explore.default_skews else skews in
+      let found = ref [] in
+      List.iter
+        (fun (scheduler, workload) ->
+          let base =
+            Detmt.Schedule.make ~seed ~clients ~requests ~scheduler ~workload
+              []
+          in
+          let result =
+            Detmt.Explore.explore ~skews ?max_depth ?max_width
+              ~budget:per_combo base
+          in
+          let st = result.Detmt.Explore.stats in
+          Format.printf
+            "%-13s %-9s explored=%-4d pruned=%-4d order-shifted=%-4d \
+             depth<=%d %s@."
+            workload scheduler st.Detmt.Explore.explored
+            st.Detmt.Explore.pruned st.Detmt.Explore.order_shifted
+            st.Detmt.Explore.max_frontier_depth
+            (match result.Detmt.Explore.divergent with
+            | [] -> "ok"
+            | (_, reason) :: _ -> "DIVERGENT: " ^ reason);
+          found := !found @ result.Detmt.Explore.divergent)
+        combos;
+      (match !found with
+      | [] ->
+        Format.printf
+          "certified: no divergence in the explored envelope \
+           (%d schedules/combination)@."
+          per_combo
+      | (sched, reason) :: _ ->
+        Format.printf "@.divergence (%s), %d entries before shrinking@."
+          reason (Detmt.Schedule.size sched);
+        let final =
+          if do_shrink then begin
+            let minimal, probes, reproduced = Detmt.Explore.shrink sched in
+            if reproduced then
+              Format.printf "shrunk to %d entries in %d probes@."
+                (Detmt.Schedule.size minimal) probes
+            else Format.printf "shrink probe did not reproduce; keeping@.";
+            minimal
+          end
+          else sched
+        in
+        (match output with
+        | Some path ->
+          Detmt.Schedule.save final path;
+          Format.printf "witness written to %s@." path
+        | None -> print_string (Detmt.Schedule.to_string final));
+        exit 1)
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay a schedule file instead of exploring.")
+  in
+  let expect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "expect" ] ~docv:"VERDICT"
+          ~doc:
+            "With $(b,--replay): exit non-zero unless the verdict matches \
+             ($(b,divergent) or $(b,clean); order-shifted counts as clean).")
+  in
+  let shrink_arg =
+    Arg.(
+      value & opt bool true
+      & info [ "shrink" ] ~docv:"BOOL"
+          ~doc:"Delta-debug a found divergence to a minimal witness.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Total number of schedules to run, split evenly across the \
+             scheduler x workload matrix.")
+  in
+  let depth_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-depth" ] ~docv:"N"
+          ~doc:"Maximum perturbation entries per schedule (default 2).")
+  in
+  let width_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-width" ] ~docv:"N"
+          ~doc:"Maximum children pushed per search node (default 32).")
+  in
+  let skew_arg =
+    Arg.(
+      value & opt_all float []
+      & info [ "skew" ] ~docv:"MS"
+          ~doc:
+            "Delivery-delay magnitude to try (repeatable; default the \
+             jitter-scale envelope).  Large values reach failure-detection \
+             and recovery races the default envelope deliberately avoids.")
+  in
+  let explore_clients_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"N" ~doc:"Closed-loop clients per run.")
+  in
+  let explore_requests_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per client.")
+  in
+  let schedulers_arg =
+    Cli_args.schedulers_all
+      ~doc:
+        "Scheduler to explore (repeatable; default: all deterministic ones)."
+  in
+  let workloads_arg =
+    Cli_args.workloads_all
+      ~doc:"Workload to explore (repeatable; default: figure1 and prodcons)."
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Bounded model checking over admissible delivery interleavings: \
+          enumerate latency skews, same-instant orderings and batch-flush \
+          timings, check every schedule for replica divergence, and shrink \
+          any counterexample to a minimal replayable witness.")
+    Term.(
+      const run $ replay_arg $ expect_arg $ shrink_arg $ budget_arg
+      $ depth_arg $ width_arg $ skew_arg $ seed_arg $ explore_clients_arg
+      $ explore_requests_arg $ schedulers_arg $ workloads_arg $ output_arg)
+
 (* ------------------------------ chaos ------------------------------- *)
 
 let chaos_cmd =
@@ -794,7 +992,8 @@ let () =
           $ const ());
       table_cmd "saturation" "Open-loop load sweep (saturation points)."
         (fun () -> Detmt.Experiment.saturation ());
-      trace_cmd; metrics_cmd; chaos_cmd; fingerprint_cmd; shard_cmd;
+      trace_cmd; metrics_cmd; chaos_cmd; fingerprint_cmd; explore_cmd;
+      shard_cmd;
       bench_cmd; timeline_cmd; analyse_cmd;
       schedulers_cmd; sched_cmd; transform_cmd ]
   in

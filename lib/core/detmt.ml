@@ -14,6 +14,7 @@
    - {!Replica}/{!Interp}/{!Mutex_table}/{!Condvar}: the replica runtime
    - {!Registry}/{!Bookkeeping} and the decision modules: the schedulers
    - {!Active}/{!Passive}/{!Client}/{!Consistency}/{!Failover}: replication
+   - {!Schedule}/{!Explore}: bounded schedule-space model checking
    - {!Figure1}/{!Disjoint}/{!Tail_compute}/{!Prodcons}: paper workloads
    - {!Experiment}: one-call reproduction of every table and figure *)
 
@@ -107,6 +108,10 @@ module Client = Detmt_replication.Client
 module Consistency = Detmt_replication.Consistency
 module Failover = Detmt_replication.Failover
 module Chaos = Detmt_replication.Chaos
+
+(* schedule-space exploration *)
+module Schedule = Detmt_explore.Schedule
+module Explore = Detmt_explore.Explore
 
 (* workloads *)
 module Figure1 = Detmt_workload.Figure1

@@ -11,6 +11,17 @@ type 'a subscriber = {
   mutable last_seq : int;
       (* highest sequence number handed to the application: the GCS delivers
          exactly once even when the transport duplicates a packet *)
+  mutable watermark_floor : int;
+      (* highest seq covered by an out-of-band [advance_watermark]: stale
+         copies at or below it were replayed by the replication layer, so
+         suppressing them is bookkeeping, not transport duplication *)
+  mutable inbox : (float * 'a Message.t) list;
+      (* (due, msg) in arrival-scheduling order, which is sequence order for
+         first copies.  Delivery events drain every due entry in this order,
+         so two deliveries landing at the same instant reach the handler in
+         sequence order no matter which engine event runs first — the GCS
+         contract survives tie-break flips (the explorer's reorder oracle
+         exercises exactly those). *)
 }
 
 type batching = { max_batch : int; delay_ms : float }
@@ -25,7 +36,14 @@ type 'a t = {
   mutable next_seq : int;
   mutable broadcasts : int;
   mutable deliveries : int;
-  mutable suppressed_duplicates : int;
+  mutable suppressed_duplicates : int; (* true transport duplicates *)
+  mutable watermark_suppressed : int;
+      (* stale copies covered by [advance_watermark] (state transfer) *)
+  mutable delivery_oracle :
+    (seq:int -> sender:int -> dest:int -> planned_ms:float -> float) option;
+      (* explorer hook: extra per-delivery latency, after faults *)
+  mutable flush_oracle : (seq:int -> pending:int -> bool) option;
+      (* explorer hook: force an early wire flush after a broadcast *)
   mutable pending : 'a Message.t list; (* batched, not yet on the wire;
                                           newest first *)
   mutable flush_epoch : int; (* invalidates stale delay timers *)
@@ -43,8 +61,10 @@ let create ?(latency = default_latency) ?faults ?(obs = Recorder.disabled)
     if b.delay_ms < 0.0 then invalid_arg "Totem.create: delay_ms < 0"
   | None -> ());
   { engine; latency; faults; obs; batching; subscribers = []; next_seq = 0;
-    broadcasts = 0; deliveries = 0; suppressed_duplicates = 0; pending = [];
-    flush_epoch = 0; wire_batches = 0; kinds = Hashtbl.create 8 }
+    broadcasts = 0; deliveries = 0; suppressed_duplicates = 0;
+    watermark_suppressed = 0; delivery_oracle = None; flush_oracle = None;
+    pending = []; flush_epoch = 0; wire_batches = 0;
+    kinds = Hashtbl.create 8 }
 
 let find t id = List.find_opt (fun s -> s.id = id) t.subscribers
 
@@ -53,7 +73,12 @@ let subscribe t ~id handler =
     invalid_arg (Printf.sprintf "Totem.subscribe: duplicate id %d" id);
   t.subscribers <-
     t.subscribers
-    @ [ { id; handler; alive = true; last_delivery = 0.0; last_seq = -1 } ]
+    @ [ { id; handler; alive = true; last_delivery = 0.0; last_seq = -1;
+          watermark_floor = -1; inbox = [] } ]
+
+let set_delivery_oracle t oracle = t.delivery_oracle <- oracle
+
+let set_flush_oracle t oracle = t.flush_oracle <- oracle
 
 (* A rejoining member takes over its old slot: fresh handler, alive again,
    FIFO floor reset to now so stale floors cannot delay new traffic.  The
@@ -67,6 +92,42 @@ let resubscribe t ~id handler =
     s.handler <- handler;
     s.alive <- true;
     s.last_delivery <- Engine.now t.engine
+
+(* Hand one message to the application, or suppress it (exactly-once
+   watermark; transport duplicates vs replay-covered stale copies). *)
+let deliver_one t sub (msg : 'a Message.t) =
+  if msg.Message.seq > sub.last_seq then begin
+    if Recorder.enabled t.obs then begin
+      Recorder.incr t.obs "totem.deliveries";
+      (* How far behind the newest broadcast this subscriber was just
+         before the delivery closed the gap. *)
+      Recorder.observe t.obs "totem.watermark_lag"
+        (float_of_int (t.next_seq - 1 - sub.last_seq))
+    end;
+    sub.last_seq <- msg.Message.seq;
+    sub.handler msg
+  end
+  else if msg.Message.seq <= sub.watermark_floor then begin
+    (* Covered by an out-of-band state transfer: the replication layer
+       already replayed this message, so suppressing the stale copy is
+       watermark bookkeeping, not transport deduplication. *)
+    t.watermark_suppressed <- t.watermark_suppressed + 1;
+    if Recorder.enabled t.obs then
+      Recorder.incr t.obs "totem.watermark_suppressed"
+  end
+  else begin
+    t.suppressed_duplicates <- t.suppressed_duplicates + 1;
+    if Recorder.enabled t.obs then Recorder.incr t.obs "totem.dedup_hits"
+  end
+
+(* Remove every due inbox entry; deliver them (in inbox = sequence order)
+   only while the subscriber lives — a dead subscriber's due messages vanish
+   exactly as the old per-message events did. *)
+let drain t sub =
+  let now = Engine.now t.engine in
+  let due, rest = List.partition (fun (d, _) -> d <= now) sub.inbox in
+  sub.inbox <- rest;
+  if sub.alive then List.iter (fun (_, msg) -> deliver_one t sub msg) due
 
 (* Put one sequenced message on the wire: schedule its per-subscriber
    deliveries (fault plans, FIFO floors, watermarks).  With batching, this
@@ -94,33 +155,28 @@ let transmit t (msg : 'a Message.t) =
         if retransmits > 0 then
           Recorder.incr t.obs ~by:retransmits "totem.retransmits"
       end;
+      (* Explorer hook: perturb this one delivery.  The FIFO floor below
+         still applies, so per-subscriber sequence order — the GCS contract
+         — survives any oracle. *)
+      let arrival =
+        match t.delivery_oracle with
+        | None -> arrival
+        | Some oracle ->
+          arrival
+          +. Float.max 0.0
+               (oracle ~seq ~sender ~dest:sub.id ~planned_ms:arrival)
+      in
       let time = Float.max arrival sub.last_delivery in
       sub.last_delivery <- time;
-      let fire () =
-        if sub.alive then
-          if msg.Message.seq > sub.last_seq then begin
-            if Recorder.enabled t.obs then begin
-              Recorder.incr t.obs "totem.deliveries";
-              (* How far behind the newest broadcast this subscriber was
-                 just before the delivery closed the gap. *)
-              Recorder.observe t.obs "totem.watermark_lag"
-                (float_of_int (t.next_seq - 1 - sub.last_seq))
-            end;
-            sub.last_seq <- msg.Message.seq;
-            sub.handler msg
-          end
-          else begin
-            t.suppressed_duplicates <- t.suppressed_duplicates + 1;
-            if Recorder.enabled t.obs then
-              Recorder.incr t.obs "totem.dedup_hits"
-          end
-      in
-      Engine.schedule_at t.engine ~time fire;
+      sub.inbox <- sub.inbox @ [ (time, msg) ];
+      Engine.schedule_at t.engine ~time (fun () -> drain t sub);
       (* The duplicate copy trails the (floored) first delivery, so it can
          never deliver out of order; the watermark suppresses it. *)
       Option.iter
         (fun extra ->
-          Engine.schedule_at t.engine ~time:(time +. extra) fire)
+          let dup_time = time +. extra in
+          sub.inbox <- sub.inbox @ [ (dup_time, msg) ];
+          Engine.schedule_at t.engine ~time:dup_time (fun () -> drain t sub))
         dup_extra
     end
   in
@@ -155,7 +211,12 @@ let broadcast t ~sender payload =
   | Some b ->
     t.pending <- msg :: t.pending;
     let held = List.length t.pending in
-    if held >= b.max_batch then flush t
+    let forced =
+      match t.flush_oracle with
+      | Some oracle -> oracle ~seq ~pending:held
+      | None -> false
+    in
+    if held >= b.max_batch || forced then flush t
     else if held = 1 then begin
       (* First message of a fresh batch arms the flush timer. *)
       let epoch = t.flush_epoch in
@@ -170,7 +231,9 @@ let broadcast t ~sender payload =
    new handler. *)
 let advance_watermark t ~id ~seq =
   match find t id with
-  | Some s -> if seq > s.last_seq then s.last_seq <- seq
+  | Some s ->
+    if seq > s.last_seq then s.last_seq <- seq;
+    if seq > s.watermark_floor then s.watermark_floor <- seq
   | None ->
     invalid_arg (Printf.sprintf "Totem.advance_watermark: unknown id %d" id)
 
@@ -193,6 +256,8 @@ let wire_batches t = t.wire_batches
 let pending_batched t = List.length t.pending
 
 let suppressed_duplicates t = t.suppressed_duplicates
+
+let watermark_suppressed t = t.watermark_suppressed
 
 let faults t = t.faults
 

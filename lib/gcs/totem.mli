@@ -68,7 +68,23 @@ val advance_watermark : 'a t -> id:int -> seq:int -> unit
 (** Raise the subscriber's exactly-once watermark to [seq] (no-op when
     already past it).  Called after an out-of-band state transfer so stale
     in-flight copies addressed to the old incarnation are suppressed.
+    Suppressions at or below [seq] are counted as {!watermark_suppressed},
+    not {!suppressed_duplicates} — they are replay bookkeeping, not
+    transport pathology.
     @raise Invalid_argument on an unknown id. *)
+
+(** {2 Dead-sender batch semantics}
+
+    A message sitting in the open batch when its {e sender} dies still
+    flushes and delivers to every live subscriber.  This is deliberate: the
+    sequence number was assigned at [broadcast] time, so the message owns a
+    slot in the total order, and {!val:broadcast}'s caller (the replication
+    layer) has already logged it for suffix replay.  Dropping it on sender
+    death would leave a permanent gap for live replicas while a later
+    recovery replays it from the log — two replicas would then disagree on
+    the delivery prefix, which is exactly the divergence the GCS exists to
+    prevent.  Sender liveness gates {e new} broadcasts, never sequenced
+    ones. *)
 
 val set_alive : 'a t -> int -> bool -> unit
 (** Failure injection: a dead subscriber receives nothing until revived. *)
@@ -93,7 +109,34 @@ val pending_batched : 'a t -> int
     disabled). *)
 
 val suppressed_duplicates : 'a t -> int
-(** Transport duplicates the sequence watermark kept from the application. *)
+(** True transport duplicates the sequence watermark kept from the
+    application.  Stale copies already covered by an out-of-band
+    {!advance_watermark} are excluded — see {!watermark_suppressed}. *)
+
+val watermark_suppressed : 'a t -> int
+(** Stale in-flight copies suppressed because {!advance_watermark} marked
+    them replay-covered (post-recovery state transfer).  Previously folded
+    into {!suppressed_duplicates}, which made recovery flushes look like
+    transport duplication in the chaos summaries. *)
+
+val set_delivery_oracle :
+  'a t ->
+  (seq:int -> sender:int -> dest:int -> planned_ms:float -> float) option ->
+  unit
+(** Explorer hook: extra non-negative latency added to one point-to-point
+    delivery, consulted after the fault plan computes the arrival time
+    ([planned_ms]).  The per-subscriber FIFO floor still applies afterwards,
+    so the GCS ordering contract is preserved under any oracle; negative
+    answers are clamped to [0].  The oracle is also a convenient observation
+    tap: it sees every (seq, sender, dest, planned arrival) tuple of the
+    run.  [None] (default) removes the hook. *)
+
+val set_flush_oracle : 'a t -> (seq:int -> pending:int -> bool) option -> unit
+(** Explorer hook: consulted after each broadcast is added to the open batch
+    (batching mode only) with the new message's [seq] and the number of
+    [pending] messages; answering [true] forces an immediate wire flush, as
+    if the size trigger had fired.  This perturbs only {e when} batches hit
+    the wire, never the total order.  [None] (default) removes the hook. *)
 
 val faults : 'a t -> Faults.t option
 (** The attached fault plan, for its counters. *)

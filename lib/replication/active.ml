@@ -419,6 +419,31 @@ let faults t = Totem.faults t.bus
 
 let suppressed_duplicates t = Totem.suppressed_duplicates t.bus
 
+let watermark_suppressed t = Totem.watermark_suppressed t.bus
+
+let set_delivery_oracle t oracle = Totem.set_delivery_oracle t.bus oracle
+
+let set_flush_oracle t oracle = Totem.set_flush_oracle t.bus oracle
+
+(* Order-sensitive hash of the broadcast log: seq, sender and payload
+   identity of every message, in total order.  Two runs with equal order
+   fingerprints delivered the same messages in the same order, so any reply
+   or state difference between them is a scheduler-determinism bug rather
+   than a shifted total order. *)
+let order_fingerprint t =
+  let mix h v = Int64.add (Int64.mul h 1000003L) (Int64.of_int v) in
+  let payload_id = function
+    | P_request r -> Hashtbl.hash (0, r.client, r.client_req, r.meth, r.dummy)
+    | P_nested_reply r -> Hashtbl.hash (1, r.tid, r.call_index)
+    | P_control c -> Hashtbl.hash (2, c)
+  in
+  List.fold_left
+    (fun h (m : payload Message.t) ->
+      mix
+        (mix (mix h m.Message.seq) m.Message.sender)
+        (payload_id m.Message.payload))
+    0x2545F4914F6CDD1DL (List.rev t.log)
+
 let response_times t = t.response_times
 
 let replies_received t = t.replies

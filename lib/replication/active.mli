@@ -111,7 +111,31 @@ val faults : t -> Detmt_gcs.Faults.t option
 (** The fault plan attached to the bus, for its counters. *)
 
 val suppressed_duplicates : t -> int
-(** Transport duplicates the bus kept from the replicas. *)
+(** True transport duplicates the bus kept from the replicas (stale
+    replay-covered copies excluded — see {!watermark_suppressed}). *)
+
+val watermark_suppressed : t -> int
+(** Stale in-flight copies suppressed as replay-covered after a recovery's
+    state transfer advanced the bus watermark. *)
+
+val set_delivery_oracle :
+  t ->
+  (seq:int -> sender:int -> dest:int -> planned_ms:float -> float) option ->
+  unit
+(** Forwarded to {!Detmt_gcs.Totem.set_delivery_oracle} on the group's bus:
+    the schedule-space explorer's per-delivery latency perturbation hook. *)
+
+val set_flush_oracle : t -> (seq:int -> pending:int -> bool) option -> unit
+(** Forwarded to {!Detmt_gcs.Totem.set_flush_oracle}: the explorer's forced
+    early batch-flush hook (no-op without batching). *)
+
+val order_fingerprint : t -> int64
+(** Order-sensitive hash of the broadcast log (seq, sender, payload identity
+    in total order).  Equal fingerprints mean two runs saw the same total
+    order, so reply/state differences between them indict the scheduler;
+    unequal fingerprints mean the perturbation shifted the total order
+    itself, and per-run internal replica agreement is the only meaningful
+    check. *)
 
 val response_times : t -> Detmt_stats.Summary.t
 

@@ -81,7 +81,11 @@ type outcome = {
   o_recoveries_wanted : int;
   o_states_agree : bool;
   o_acquisitions_agree : bool;
-  o_suppressed_duplicates : int;
+  o_suppressed_duplicates : int; (* true transport duplicates only *)
+  o_watermark_suppressed : int;
+      (* replay-covered stale copies after recovery state transfer —
+         formerly folded into o_suppressed_duplicates, which made recovery
+         flushes read as transport duplication *)
   o_losses : int;
   o_duplicates_injected : int;
   o_partition_holds : int;
@@ -223,6 +227,7 @@ let run ?(seed = 42L) ?(shards = 1) ?(clients = 4) ?(requests_per_client = 5)
         (fun (r : Consistency.report) -> r.acquisitions_agree)
         reports;
     o_suppressed_duplicates = sum Active.suppressed_duplicates;
+    o_watermark_suppressed = sum Active.watermark_suppressed;
     o_losses = losses; o_duplicates_injected = dups;
     o_partition_holds = holds;
     o_duration_ms = Engine.now engine;

@@ -51,6 +51,10 @@ type outcome = {
   o_states_agree : bool;
   o_acquisitions_agree : bool;
   o_suppressed_duplicates : int;
+      (** true transport duplicates suppressed by the bus watermark *)
+  o_watermark_suppressed : int;
+      (** stale replay-covered copies suppressed after a recovery's state
+          transfer (previously miscounted as transport duplicates) *)
   o_losses : int;
   o_duplicates_injected : int;
   o_partition_holds : int;

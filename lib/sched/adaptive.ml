@@ -111,8 +111,10 @@ let iface t =
     snapshot = (fun () -> t.child.snapshot ());
     restore = (fun kv -> t.child.restore kv) }
 
-let make ?(window = 20) ?(on_switch = fun _ -> ()) ~config ~summary actions :
-    Sched_iface.sched =
+let of_config ?(window = 20) ?(on_switch = fun _ -> ())
+    (cfg : Sched_config.t) actions : Sched_iface.sched =
+  let config = cfg.Sched_config.runtime
+  and summary = cfg.Sched_config.summary in
   (* Prior before anything has been measured: assume moderate concurrency
      (the first window corrects it at the first quiescent point). *)
   let initial = recommend ~summary ~avg_concurrency:4.0 in
@@ -124,7 +126,3 @@ let make ?(window = 20) ?(on_switch = fun _ -> ()) ~config ~summary actions :
   in
   t.on_switch initial;
   iface t
-
-let of_config ?window ?on_switch (cfg : Sched_config.t) actions =
-  make ?window ?on_switch ~config:cfg.Sched_config.runtime
-    ~summary:cfg.Sched_config.summary actions

@@ -40,16 +40,7 @@ val of_config :
     (the [scheduler] field is ignored — this {e is} the adaptive scheduler).
     [window] (default 20) is the number of requests observed between
     re-evaluations; [on_switch] fires with the new child's name whenever the
-    delegate changes (including the initial choice). *)
-
-val make :
-  ?window:int ->
-  ?on_switch:(string -> unit) ->
-  config:Detmt_runtime.Config.t ->
-  summary:Detmt_analysis.Predict.class_summary option ->
-  Detmt_runtime.Sched_iface.actions ->
-  Detmt_runtime.Sched_iface.sched
-(** Low-level constructor behind {!of_config}.  {b Deprecated as a call-site
-    API} — in-tree callers use {!of_config} (or {!Registry.instantiate} with
-    scheduler ["adaptive"]); kept as the registry's plumbing and for
-    out-of-tree users, see DESIGN.md. *)
+    delegate changes (including the initial choice).  This is the only
+    constructor: the deprecated [make ~config ~summary] entry point was
+    removed once {!Registry.instantiate} became the single construction
+    path. *)

@@ -13,6 +13,3 @@
 
 module Base : Decision.S
 (** ["lsa"], no prediction. *)
-
-val make : Detmt_runtime.Sched_iface.actions -> Detmt_runtime.Sched_iface.sched
-(** [Base] with the default configuration and no summary. *)

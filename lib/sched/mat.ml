@@ -258,12 +258,3 @@ module Last_lock : Decision.S = struct
 
   let policy = policy
 end
-
-let make (actions : Sched_iface.actions) : Sched_iface.sched =
-  Decision.instantiate (module Base) ~config:Config.default ~summary:None
-    actions
-
-let make_last_lock ~summary (actions : Sched_iface.actions) :
-    Sched_iface.sched =
-  Decision.instantiate (module Last_lock) ~config:Config.default
-    ~summary:(Some summary) actions

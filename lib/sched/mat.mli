@@ -14,13 +14,3 @@ module Base : Decision.S
 
 module Last_lock : Decision.S
 (** ["mat-ll"]: MAT + last-lock analysis (Figure 2). *)
-
-val make : Detmt_runtime.Sched_iface.actions -> Detmt_runtime.Sched_iface.sched
-(** [Base] with the default configuration and no summary. *)
-
-val make_last_lock :
-  summary:Detmt_analysis.Predict.class_summary ->
-  Detmt_runtime.Sched_iface.actions ->
-  Detmt_runtime.Sched_iface.sched
-(** [Last_lock] with the default configuration: requires the predictive
-    transformation's summary. *)

@@ -521,6 +521,3 @@ module Predicted : Decision.S = struct
 
   let policy = policy
 end
-
-let make ~config (actions : Sched_iface.actions) : Sched_iface.sched =
-  Decision.instantiate (module Base) ~config ~summary:None actions

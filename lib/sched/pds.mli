@@ -21,9 +21,3 @@ module Base : Decision.S
 
 module Predicted : Decision.S
 (** ["ppds"]: PDS with prediction-shrunk rounds. *)
-
-val make :
-  config:Detmt_runtime.Config.t ->
-  Detmt_runtime.Sched_iface.actions ->
-  Detmt_runtime.Sched_iface.sched
-(** [Base] with the given configuration. *)

@@ -165,7 +165,3 @@ module Base : Decision.S = struct
 
   let policy = policy
 end
-
-let make ~summary (actions : Sched_iface.actions) : Sched_iface.sched =
-  Decision.instantiate (module Base) ~config:Config.default
-    ~summary:(Some summary) actions

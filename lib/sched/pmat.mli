@@ -5,9 +5,3 @@
 
 module Base : Decision.S
 (** ["pmat"], needs prediction. *)
-
-val make :
-  summary:Detmt_analysis.Predict.class_summary ->
-  Detmt_runtime.Sched_iface.actions ->
-  Detmt_runtime.Sched_iface.sched
-(** [Base] with the default configuration. *)

@@ -47,7 +47,11 @@ let all =
     { name = "adaptive"; needs_prediction = true; deterministic = true;
       description =
         "request analyser choosing the child scheduler at run time (5)";
-      make = (fun ~config ~summary a -> Adaptive.make ~config ~summary a) };
+      make =
+        (fun ~config ~summary a ->
+          Adaptive.of_config
+            (Sched_config.make ?summary ~runtime:config "adaptive")
+            a) };
     { name = "freefall"; needs_prediction = false; deterministic = false;
       description = "non-deterministic baseline (native JVM behaviour)";
       make = Decision.instantiate (module Freefall.Base) };

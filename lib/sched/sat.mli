@@ -20,6 +20,3 @@ module Base : Decision.S
 
 module Predicted : Decision.S
 (** ["psat"]: SAT with early token release via lock prediction. *)
-
-val make : Detmt_runtime.Sched_iface.actions -> Detmt_runtime.Sched_iface.sched
-(** [Base] with the default configuration and no summary. *)

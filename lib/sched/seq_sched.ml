@@ -84,7 +84,3 @@ module Base : Decision.S = struct
 
   let policy = policy
 end
-
-let make (actions : Sched_iface.actions) : Sched_iface.sched =
-  Decision.instantiate (module Base) ~config:Config.default ~summary:None
-    actions

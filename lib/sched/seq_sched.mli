@@ -5,6 +5,3 @@
 
 module Base : Decision.S
 (** ["seq"], no prediction. *)
-
-val make : Detmt_runtime.Sched_iface.actions -> Detmt_runtime.Sched_iface.sched
-(** [Base] with the default configuration and no summary. *)

@@ -3,10 +3,14 @@ type t = {
   mutable clock : float;
   mutable next_seq : int;
   mutable executed : int;
+  mutable order_oracle : (count:int -> int) option;
+  mutable journaling : bool;
+  mutable journal : float list; (* executed event times, newest first *)
 }
 
 let create () =
-  { queue = Pqueue.create (); clock = 0.0; next_seq = 0; executed = 0 }
+  { queue = Pqueue.create (); clock = 0.0; next_seq = 0; executed = 0;
+    order_oracle = None; journaling = false; journal = [] }
 
 let now t = t.clock
 
@@ -22,14 +26,58 @@ let schedule t ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.clock +. delay) f
 
+let set_order_oracle t oracle = t.order_oracle <- oracle
+
+let set_journaling t on =
+  t.journaling <- on;
+  if not on then t.journal <- []
+
+let journal t = Array.of_list (List.rev t.journal)
+
+let fire t ~time f =
+  t.clock <- time;
+  t.executed <- t.executed + 1;
+  if t.journaling then t.journal <- time :: t.journal;
+  f ();
+  true
+
+(* With an ordering oracle installed, all events eligible at the same instant
+   are popped and the oracle picks which one runs; the rest are re-queued
+   under their original sequence numbers, so a pick of 0 (or an absent
+   oracle) is exactly the canonical lowest-seq order. *)
 let step t =
-  match Pqueue.pop t.queue with
-  | None -> false
-  | Some (time, _seq, f) ->
-    t.clock <- time;
-    t.executed <- t.executed + 1;
-    f ();
-    true
+  match t.order_oracle with
+  | None -> (
+    match Pqueue.pop t.queue with
+    | None -> false
+    | Some (time, _seq, f) -> fire t ~time f)
+  | Some pick -> (
+    match Pqueue.pop t.queue with
+    | None -> false
+    | Some (time, seq, f) ->
+      let rec drain acc =
+        match Pqueue.peek t.queue with
+        | Some (time', _, _) when time' = time -> (
+          match Pqueue.pop t.queue with
+          | Some (_, seq', f') -> drain ((seq', f') :: acc)
+          | None -> List.rev acc)
+        | _ -> List.rev acc
+      in
+      let ties = (seq, f) :: drain [] in
+      let count = List.length ties in
+      if count = 1 then fire t ~time f
+      else begin
+        let i =
+          let i = pick ~count in
+          if i < 0 || i >= count then 0 else i
+        in
+        let chosen = List.nth ties i in
+        List.iteri
+          (fun j (seq', f') ->
+            if j <> i then Pqueue.push t.queue ~time ~seq:seq' f')
+          ties;
+        fire t ~time (snd chosen)
+      end)
 
 let run ?until t =
   let continue () =

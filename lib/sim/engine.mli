@@ -33,6 +33,25 @@ val run : ?until:float -> t -> unit
 val step : t -> bool
 (** Execute the single next event.  Returns [false] when the queue is empty. *)
 
+val set_order_oracle : t -> (count:int -> int) option -> unit
+(** Schedule-injection hook for the schedule-space explorer: when several
+    events are eligible at the same instant, the oracle is consulted with
+    their [count] and returns the index (in canonical scheduling order) of
+    the one to run next; the others are re-queued unchanged.  Returning [0]
+    — or any out-of-range index — reproduces the canonical lowest-seq order,
+    so an installed oracle that always answers [0] is behaviourally
+    invisible.  Every pick is still an {e admissible} execution: only the
+    tie-break among simultaneous events changes, never event times.
+    [None] (the default) removes the hook and its overhead. *)
+
+val set_journaling : t -> bool -> unit
+(** Record the virtual time of every executed event (off by default;
+    switching off clears the journal).  The explorer's pruning rule reads
+    the journal to find perturbation windows no event could observe. *)
+
+val journal : t -> float array
+(** Times of the events executed while journaling, in execution order. *)
+
 val pending : t -> int
 (** Number of events currently queued. *)
 

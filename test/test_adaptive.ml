@@ -102,9 +102,10 @@ let test_on_switch_fires () =
       is_leader = (fun () -> true) }
   in
   let make_sched actions =
-    Detmt_sched.Adaptive.make ~window:4
+    Detmt_sched.Adaptive.of_config ~window:4
       ~on_switch:(fun name -> switches := name :: !switches)
-      ~config:Detmt_runtime.Config.default ~summary:(Some summary) actions
+      (Detmt_sched.Sched_config.make ~summary "adaptive")
+      actions
   in
   let replica =
     Detmt_runtime.Replica.create ~engine ~id:0 ~cls:instrumented

@@ -229,6 +229,91 @@ let test_batch_of_one_identical () =
   Alcotest.check b "same payloads and arrival times" true
     (run None = run (Some { Totem.max_batch = 1; delay_ms = 3.0 }))
 
+let test_suppression_counters_split () =
+  (* Stale copies covered by advance_watermark are counted separately from
+     true transport duplicates. *)
+  let engine, bus = setup ~latency:(fun ~sender:_ ~dest:_ -> 5.0) () in
+  let got = collector bus ~id:0 in
+  ignore (Totem.broadcast bus ~sender:9 "a");
+  ignore (Totem.broadcast bus ~sender:9 "b");
+  (* State transfer covers both while they are still on the wire. *)
+  Totem.advance_watermark bus ~id:0 ~seq:1;
+  Engine.run engine;
+  Alcotest.(check int) "replay-covered copies suppressed" 0
+    (List.length (got ()));
+  Alcotest.(check int) "watermark-suppressed" 2
+    (Totem.watermark_suppressed bus);
+  Alcotest.(check int) "no transport duplicates" 0
+    (Totem.suppressed_duplicates bus)
+
+let test_transport_duplicates_not_watermark () =
+  (* A fault-injected duplicate packet is a transport duplicate, never a
+     watermark suppression. *)
+  let engine = Engine.create () in
+  let faults =
+    Faults.create
+      { Faults.none with seed = 42L; dup_prob = 0.99; dup_extra_ms = 1.0 }
+  in
+  let bus = Totem.create ~faults engine in
+  let got = collector bus ~id:0 in
+  List.iter (fun p -> ignore (Totem.broadcast bus ~sender:9 p))
+    [ "a"; "b"; "c"; "d" ];
+  Engine.run engine;
+  Alcotest.(check int) "exactly-once delivery" 4 (List.length (got ()));
+  Alcotest.(check int) "dedup counts the injected duplicates"
+    (Faults.duplicates_injected faults)
+    (Totem.suppressed_duplicates bus);
+  Alcotest.check b "at least one duplicate was injected" true
+    (Faults.duplicates_injected faults > 0);
+  Alcotest.(check int) "no watermark suppressions" 0
+    (Totem.watermark_suppressed bus)
+
+let test_dead_sender_batch_still_flushes () =
+  (* A message in the open batch when its sender dies owns a total-order
+     slot and must still deliver to live subscribers (see totem.mli,
+     "Dead-sender batch semantics"). *)
+  let engine = Engine.create () in
+  let bus =
+    Totem.create
+      ~latency:(fun ~sender:_ ~dest:_ -> 1.0)
+      ~batching:{ Totem.max_batch = 8; delay_ms = 5.0 }
+      engine
+  in
+  let got0 = collector bus ~id:0 in
+  let got1 = collector bus ~id:1 in
+  ignore (Totem.broadcast bus ~sender:1 "doomed-sender");
+  Alcotest.(check int) "held in the open batch" 1 (Totem.pending_batched bus);
+  (* Sender dies before the delay flush. *)
+  Totem.set_alive bus 1 false;
+  Engine.run engine;
+  Alcotest.(check int) "batch flushed" 1 (Totem.wire_batches bus);
+  Alcotest.(check (list string)) "live subscriber got the message"
+    [ "doomed-sender" ] (payloads (got0 ()));
+  Alcotest.(check (list string)) "dead sender got nothing" []
+    (payloads (got1 ()))
+
+let test_batch_flush_timer_on_until_boundary () =
+  (* A flush timer landing exactly on the run ~until boundary must fire
+     (the boundary is inclusive); the deliveries it schedules lie after the
+     boundary and stay queued for the next run. *)
+  let engine = Engine.create () in
+  let bus =
+    Totem.create
+      ~latency:(fun ~sender:_ ~dest:_ -> 1.0)
+      ~batching:{ Totem.max_batch = 8; delay_ms = 5.0 }
+      engine
+  in
+  let got = collector bus ~id:0 in
+  ignore (Totem.broadcast bus ~sender:9 "x");
+  Engine.run ~until:5.0 engine;
+  Alcotest.(check int) "timer on the boundary flushed" 1
+    (Totem.wire_batches bus);
+  Alcotest.(check int) "nothing held back" 0 (Totem.pending_batched bus);
+  Alcotest.(check int) "delivery still in flight" 0 (List.length (got ()));
+  Engine.run engine;
+  Alcotest.(check (list string)) "delivered after the boundary" [ "x" ]
+    (payloads (got ()))
+
 let test_batch_validation () =
   let engine = Engine.create () in
   Alcotest.check_raises "max_batch < 1"
@@ -257,6 +342,13 @@ let suite =
     ("batch flush on size", `Quick, test_batch_size_flush);
     ("batch flush on delay", `Quick, test_batch_delay_flush);
     ("batch of one identical", `Quick, test_batch_of_one_identical);
+    ("suppression counters split", `Quick, test_suppression_counters_split);
+    ("transport duplicates not watermark", `Quick,
+     test_transport_duplicates_not_watermark);
+    ("dead-sender batch still flushes", `Quick,
+     test_dead_sender_batch_still_flushes);
+    ("batch flush timer on until boundary", `Quick,
+     test_batch_flush_timer_on_until_boundary);
     ("batch validation", `Quick, test_batch_validation);
   ]
 

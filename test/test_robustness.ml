@@ -103,7 +103,9 @@ let test_duplicate_request_uid_rejected () =
   let replica =
     Detmt_runtime.Replica.create ~engine ~id:0 ~cls:instrumented
       ~config:Detmt_runtime.Config.default ~callbacks
-      ~make_sched:Detmt_sched.Seq_sched.make ()
+      ~make_sched:
+        (Detmt_sched.Registry.instantiate (Detmt_sched.Sched_config.make "seq"))
+      ()
   in
   let req =
     Detmt_runtime.Request.make ~uid:1 ~client:0 ~client_req:0

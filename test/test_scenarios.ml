@@ -189,9 +189,11 @@ let test_adaptive_phase_switch () =
       is_leader = (fun () -> true) }
   in
   let make_sched actions =
-    Detmt_sched.Adaptive.make ~window:6
+    Detmt_sched.Adaptive.of_config ~window:6
       ~on_switch:(fun name -> switches := name :: !switches)
-      ~config:zero_overhead ~summary:(Some summary) actions
+      (Detmt_sched.Sched_config.make ~runtime:zero_overhead ~summary
+         "adaptive")
+      actions
   in
   let replica =
     Detmt_runtime.Replica.create ~engine ~id:0 ~cls:instrumented

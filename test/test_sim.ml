@@ -211,6 +211,58 @@ let test_engine_until_boundary_inclusive () =
     [ "early"; "at"; "cascade"; "after" ]
     (List.rev !ran)
 
+(* The explorer's schedule-injection hook: the oracle permutes same-instant
+   events; pick 0 (or out-of-range) is the canonical order, and re-queued
+   losers keep their original tie-break seq. *)
+let test_engine_order_oracle () =
+  let canonical oracle =
+    let e = Engine.create () in
+    let ran = ref [] in
+    Engine.set_order_oracle e oracle;
+    List.iteri
+      (fun i d ->
+        Engine.schedule e ~delay:d (fun () -> ran := (i, d) :: !ran))
+      [ 1.0; 2.0; 2.0; 2.0; 3.0 ];
+    Engine.run e;
+    List.rev !ran
+  in
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "always-0 oracle is the canonical order" (canonical None)
+    (canonical (Some (fun ~count:_ -> 0)));
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "out-of-range pick falls back to canonical" (canonical None)
+    (canonical (Some (fun ~count -> count)));
+  (* Pick the last eligible event at the first 3-way tie, canonical after. *)
+  let first = ref true in
+  let flipped =
+    canonical
+      (Some
+         (fun ~count ->
+           if count = 3 && !first then begin
+             first := false;
+             2
+           end
+           else 0))
+  in
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "oracle reorders the tied instant only"
+    [ (0, 1.0); (3, 2.0); (1, 2.0); (2, 2.0); (4, 3.0) ]
+    flipped
+
+let test_engine_journal () =
+  let e = Engine.create () in
+  Engine.set_journaling e true;
+  List.iter
+    (fun d -> Engine.schedule e ~delay:d (fun () -> ()))
+    [ 2.0; 1.0; 2.0 ];
+  Engine.run e;
+  Alcotest.(check (array (float 1e-9)))
+    "journal records executed times in order" [| 1.0; 2.0; 2.0 |]
+    (Engine.journal e);
+  Engine.set_journaling e false;
+  Alcotest.(check int) "switching off clears the journal" 0
+    (Array.length (Engine.journal e))
+
 let test_engine_until_empty_queue () =
   let e = Engine.create () in
   Engine.run ~until:10.0 e;
@@ -336,6 +388,8 @@ let suite =
       `Quick,
       test_engine_until_boundary_inclusive );
     ("engine until empty queue", `Quick, test_engine_until_empty_queue);
+    ("engine order oracle", `Quick, test_engine_order_oracle);
+    ("engine journal", `Quick, test_engine_journal);
     ("cpu parallel cores", `Quick, test_cpu_parallel_cores);
     ("cpu queueing", `Quick, test_cpu_queueing);
     ("cpu fifo", `Quick, test_cpu_fifo);
