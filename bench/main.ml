@@ -238,6 +238,17 @@ let shard () =
        never@.coordinate across groups); the two-phase path erodes the gain \
        as the@.transfer ratio grows.@."
 
+let elastic () =
+  heading "E16 — elastic reconfiguration: autoscaling vs static shard counts";
+  let rows = Experiment.elastic_sweep () in
+  print_table (Experiment.elastic_table rows);
+  emit_json "elastic" (Experiment.elastic_json rows);
+  say "Expected shape: every static count leaves the drifting hotspot's \
+       p95 near the@.single-group figure (the hot group is the tail); the \
+       autoscaler splits past the@.static ceiling and lands above 1.00x \
+       against the best static at every client@.count — the split drains \
+       are a one-time cost the run length amortises.@."
+
 let interference () =
   heading "E12 — static interference analysis (section 5)";
   Interference.pp_report Format.std_formatter (Experiment.interference ());
@@ -351,7 +362,7 @@ let experiments =
     ("fig4", fig4); ("wan", wan); ("failover", failover); ("pds", pds);
     ("overhead", overhead); ("prodcons", prodcons);
     ("determinism", determinism); ("saturation", saturation);
-    ("model", model); ("shard", shard);
+    ("model", model); ("shard", shard); ("elastic", elastic);
     ("interference", interference); ("micro", micro) ]
 
 let () =

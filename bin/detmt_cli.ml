@@ -62,6 +62,9 @@ let resolve_workload = function
   | "sharded" ->
     ( Detmt.Sharded.cls Detmt.Sharded.default,
       Detmt.Sharded.gen Detmt.Sharded.default )
+  | "hotspot" ->
+    ( Detmt.Hotspot.cls Detmt.Hotspot.default,
+      Detmt.Hotspot.gen Detmt.Hotspot.default )
   | other -> failwith (Printf.sprintf "unknown workload %S" other)
 
 let histogram_flag =
@@ -516,7 +519,7 @@ let fingerprint_cmd =
 
 let explore_cmd =
   let run replay expect do_shrink budget max_depth max_width skews seed
-      clients requests schedulers workloads output =
+      clients requests elastic schedulers workloads output =
     match replay with
     | Some path ->
       let sched = Detmt.Schedule.load path in
@@ -559,7 +562,9 @@ let explore_cmd =
         else Detmt.Registry.deterministic_decisions
       in
       let workloads =
-        if workloads <> [] then workloads else [ "figure1"; "prodcons" ]
+        if workloads <> [] then workloads
+        else if elastic then [ "hotspot" ]
+        else [ "figure1"; "prodcons" ]
       in
       let combos =
         List.concat_map
@@ -572,8 +577,8 @@ let explore_cmd =
       List.iter
         (fun (scheduler, workload) ->
           let base =
-            Detmt.Schedule.make ~seed ~clients ~requests ~scheduler ~workload
-              []
+            Detmt.Schedule.make ~seed ~clients ~requests ~elastic ~scheduler
+              ~workload []
           in
           let result =
             Detmt.Explore.explore ~skews ?max_depth ?max_width
@@ -681,6 +686,18 @@ let explore_cmd =
       value & opt int 5
       & info [ "requests" ] ~docv:"N" ~doc:"Requests per client.")
   in
+  let elastic_flag =
+    Arg.(
+      value & flag
+      & info [ "elastic" ]
+          ~doc:
+            "Explore the elastic substrate: every schedule runs through a \
+             live split/merge cycle (split at 6ms, merge at 20ms), the \
+             oracles additionally check that each epoch transition applies \
+             and agrees bit-identically across every incarnation, and \
+             crash/recovery candidates land inside the reconfiguration \
+             window.  Default workload: hotspot.")
+  in
   let schedulers_arg =
     Cli_args.schedulers_all
       ~doc:
@@ -700,7 +717,8 @@ let explore_cmd =
     Term.(
       const run $ replay_arg $ expect_arg $ shrink_arg $ budget_arg
       $ depth_arg $ width_arg $ skew_arg $ seed_arg $ explore_clients_arg
-      $ explore_requests_arg $ schedulers_arg $ workloads_arg $ output_arg)
+      $ explore_requests_arg $ elastic_flag $ schedulers_arg $ workloads_arg
+      $ output_arg)
 
 (* ------------------------------ chaos ------------------------------- *)
 
@@ -886,6 +904,118 @@ let shard_cmd =
       const run $ shards_arg $ clients_arg $ requests_arg $ seed_arg
       $ scheduler_arg $ cross_arg $ batch_arg $ batch_delay_arg)
 
+(* ------------------------------ reshard ------------------------------ *)
+
+(* One elastic run, end to end: split / (optional hot-swap) / merge at
+   fixed virtual times — or the autoscaling controller — over the hotspot
+   workload, then print the transition log and check every elastic
+   invariant.  Exit 1 on any violation: the CI smoke hook. *)
+
+let reshard_cmd =
+  let run clients requests seed scheduler autoscale swap_to =
+    let workload = Detmt.Experiment.elastic_bench_workload in
+    let cls = Detmt.Hotspot.cls workload in
+    let gen = Detmt.Hotspot.gen workload in
+    let engine = Detmt.Engine.create () in
+    let system =
+      Detmt.Reconfig.create ~engine ~cls
+        ~params:
+          { Detmt.Reconfig.default_params with
+            Detmt.Reconfig.base =
+              { Detmt.Active.default_params with scheduler } }
+        ()
+    in
+    if autoscale then
+      Detmt.Reconfig.set_autoscale system Detmt.Experiment.elastic_bench_policy
+    else begin
+      Detmt.Reconfig.request_at system ~at:6.0 (Detmt.Reconfig.Split 0);
+      (match swap_to with
+      | Some s ->
+        Detmt.Reconfig.request_at system ~at:12.0
+          (Detmt.Reconfig.Hot_swap { group = 0; scheduler = s })
+      | None -> ());
+      Detmt.Reconfig.request_at system ~at:20.0
+        (Detmt.Reconfig.Merge { from_g = 1; into = 0 })
+    end;
+    ignore
+      (Detmt.Reconfig.run_clients_stats system ~clients
+         ~requests_per_client:requests ~gen ~seed:(Int64.of_int seed) ());
+    let expected = clients * requests in
+    let replies = Detmt.Reconfig.replies_received system in
+    Format.printf "mode:         %s (%s)@."
+      (if autoscale then "autoscale" else "split/merge cycle")
+      scheduler;
+    Format.printf "clients:      %d x %d requests@." clients requests;
+    Format.printf "replies:      %d/%d (%d held behind barriers)@." replies
+      expected
+      (Detmt.Reconfig.held_requests system);
+    List.iter
+      (fun tr ->
+        Format.printf
+          "transition:   epoch %d at %.1fms (barrier seq %d) %s -> %d \
+           groups@."
+          tr.Detmt.Reconfig.tr_epoch tr.Detmt.Reconfig.tr_at_ms
+          tr.Detmt.Reconfig.tr_barrier_seq
+          (Detmt.Reconfig.command_to_string tr.Detmt.Reconfig.tr_command)
+          tr.Detmt.Reconfig.tr_groups)
+      (Detmt.Reconfig.transitions system);
+    let states = Detmt.Reconfig.states_agree system in
+    let epochs = Detmt.Reconfig.epochs_agree system in
+    let dups = Detmt.Reconfig.duplicate_client_replies system in
+    Format.printf "epoch:        %d (%d live groups)@."
+      (Detmt.Reconfig.epoch system)
+      (Detmt.Reconfig.group_count system);
+    Format.printf "states agree: %b   epochs agree: %b   duplicates: %d@."
+      states epochs dups;
+    Format.printf "fingerprint:  %Lx@." (Detmt.Reconfig.fingerprint system);
+    let expected_transitions = if autoscale then 1 else 2 in
+    if
+      replies <> expected || dups <> 0 || (not states) || (not epochs)
+      || Detmt.Reconfig.epoch system < expected_transitions
+    then begin
+      Format.printf "FAIL: an elastic invariant was violated@.";
+      exit 1
+    end
+  in
+  let reshard_clients_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "clients" ] ~docv:"N" ~doc:"Closed-loop clients.")
+  in
+  let reshard_requests_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per client.")
+  in
+  let autoscale_flag =
+    Arg.(
+      value & flag
+      & info [ "autoscale" ]
+          ~doc:
+            "Hand control to the deterministic autoscaling controller \
+             instead of the fixed split/merge cycle.")
+  in
+  let swap_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "swap-to" ] ~docv:"SCHEDULER"
+          ~doc:
+            "Also hot-swap group 0 to this scheduler at 12ms, between the \
+             split and the merge (cycle mode only).")
+  in
+  Cmd.v
+    (Cmd.info "reshard"
+       ~doc:
+         "Run one live reconfiguration cycle — split, optional scheduler \
+          hot-swap, merge (or $(b,--autoscale)) — over the hotspot \
+          workload, print the transition log, and verify every elastic \
+          invariant: exactly-once replies, state and epoch agreement \
+          across all incarnations.  Non-zero exit on any violation.")
+    Term.(
+      const run $ reshard_clients_arg $ reshard_requests_arg $ seed_arg
+      $ scheduler_arg $ autoscale_flag $ swap_arg)
+
 (* ------------------------------ bench ------------------------------- *)
 
 let bench_cmd =
@@ -907,8 +1037,21 @@ let bench_cmd =
         write_out (Some path)
           (Detmt.Json.to_string (Detmt.Experiment.shard_json rows) ^ "\n")
       end
+    | "elastic" ->
+      let rows =
+        Detmt.Experiment.elastic_sweep ~seed:(Int64.of_int seed)
+          ?clients_list:(Option.map (fun c -> [ c ]) clients)
+          ~scheduler ()
+      in
+      emit csv (Detmt.Experiment.elastic_table rows);
+      if json then begin
+        let path = Option.value out ~default:"BENCH_elastic.json" in
+        write_out (Some path)
+          (Detmt.Json.to_string (Detmt.Experiment.elastic_json rows) ^ "\n")
+      end
     | other ->
-      Format.eprintf "unknown bench experiment %S (available: shard)@." other;
+      Format.eprintf
+        "unknown bench experiment %S (available: shard, elastic)@." other;
       exit 2
   in
   let name_arg =
@@ -916,7 +1059,9 @@ let bench_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT"
-          ~doc:"Benchmark experiment to run: shard (the scaling grid).")
+          ~doc:
+            "Benchmark experiment to run: shard (the scaling grid) or \
+             elastic (autoscaling vs static shard counts).")
   in
   let shards_arg =
     Cli_args.shards ~default:8
@@ -938,7 +1083,8 @@ let bench_cmd =
       value & flag
       & info [ "json" ]
           ~doc:
-            "Also write the rows to BENCH_shard.json (or the $(b,-o) path).")
+            "Also write the rows to BENCH_<experiment>.json (or the \
+             $(b,-o) path).")
   in
   Cmd.v
     (Cmd.info "bench"
@@ -993,7 +1139,7 @@ let () =
       table_cmd "saturation" "Open-loop load sweep (saturation points)."
         (fun () -> Detmt.Experiment.saturation ());
       trace_cmd; metrics_cmd; chaos_cmd; fingerprint_cmd; explore_cmd;
-      shard_cmd;
+      shard_cmd; reshard_cmd;
       bench_cmd; timeline_cmd; analyse_cmd;
       schedulers_cmd; sched_cmd; transform_cmd ]
   in

@@ -103,6 +103,7 @@ module Adaptive = Detmt_sched.Adaptive
 (* replication *)
 module Active = Detmt_replication.Active
 module Shard = Detmt_replication.Shard
+module Reconfig = Detmt_replication.Reconfig
 module Passive = Detmt_replication.Passive
 module Client = Detmt_replication.Client
 module Consistency = Detmt_replication.Consistency
@@ -116,6 +117,7 @@ module Explore = Detmt_explore.Explore
 (* workloads *)
 module Figure1 = Detmt_workload.Figure1
 module Sharded = Detmt_workload.Sharded
+module Hotspot = Detmt_workload.Hotspot
 module Disjoint = Detmt_workload.Disjoint
 module Tail_compute = Detmt_workload.Tail_compute
 module Prodcons = Detmt_workload.Prodcons

@@ -702,6 +702,200 @@ let shard_json rows =
             rows)) ]
 
 (* ------------------------------------------------------------------ *)
+(* E16 — elastic reconfiguration: autoscaling vs static shard counts   *)
+
+type elastic_mode = Static of int | Autoscale of Reconfig.policy
+
+let elastic_mode_label = function
+  | Static n -> Printf.sprintf "static-%d" n
+  | Autoscale _ -> "autoscale"
+
+type elastic_row = {
+  e_mode : string;
+  e_clients : int;
+  e_expected : int;
+  e_replies : int;
+  e_groups_final : int;
+  e_epoch : int;
+  e_splits : int;
+  e_merges : int;
+  e_swaps : int;
+  e_held : int;
+  e_cross_group : int;
+  e_mean_response_ms : float;
+  e_p95_response_ms : float;
+  e_throughput_per_s : float;
+  e_states_agree : bool;
+  e_epochs_agree : bool;
+  e_fingerprint : int64;
+  e_duration_ms : float;
+}
+
+(* One run of the Zipf-hotspot workload over the elastic substrate.  Static
+   modes fix the group count for the whole run (epoch 0 of an N-group
+   Reconfig is byte-identical to the N-shard {!Shard} system); autoscale
+   starts at one group and lets the controller split, merge and (when the
+   policy allows) hot-swap against the drifting hotspot. *)
+let run_elastic ?(seed = 42L) ?(scheduler = "mat") ?(requests_per_client = 4)
+    ?(obs = Detmt_obs.Recorder.disabled)
+    ?(workload = Detmt_workload.Hotspot.default) ~mode ~clients () =
+  let cls = Detmt_workload.Hotspot.cls workload in
+  let gen = Detmt_workload.Hotspot.gen workload in
+  let engine = Engine.create () in
+  let base = { Active.default_params with Active.scheduler } in
+  let initial_groups = match mode with Static n -> n | Autoscale _ -> 1 in
+  let system =
+    Reconfig.create ~obs ~engine ~cls
+      ~params:{ Reconfig.default_params with Reconfig.initial_groups; base }
+      ()
+  in
+  (match mode with
+  | Autoscale policy -> Reconfig.set_autoscale system policy
+  | Static _ -> ());
+  ignore
+    (Reconfig.run_clients_stats system ~clients ~requests_per_client ~gen
+       ~seed ());
+  let times = Reconfig.response_times system in
+  let duration_ms = Engine.now engine in
+  let replies = Reconfig.replies_received system in
+  { e_mode = elastic_mode_label mode;
+    e_clients = clients;
+    e_expected = clients * requests_per_client;
+    e_replies = replies;
+    e_groups_final = Reconfig.group_count system;
+    e_epoch = Reconfig.epoch system;
+    e_splits = Reconfig.splits system;
+    e_merges = Reconfig.merges system;
+    e_swaps = Reconfig.swaps system;
+    e_held = Reconfig.held_requests system;
+    e_cross_group = Reconfig.cross_group_requests system;
+    e_mean_response_ms = Summary.mean times;
+    e_p95_response_ms = Summary.quantile times 0.95;
+    e_throughput_per_s =
+      (if duration_ms > 0.0 then 1000.0 *. float_of_int replies /. duration_ms
+       else 0.0);
+    e_states_agree = Reconfig.states_agree system;
+    e_epochs_agree = Reconfig.epochs_agree system;
+    e_fingerprint = Reconfig.fingerprint system;
+    e_duration_ms = duration_ms }
+
+(* The grid's controller setting: tick fast, split eagerly, never merge
+   (mid-run merges only pay off on workloads that go cold, and this one
+   never does), and grow past the static grid's ceiling — the statics stop
+   at 8 groups, the autoscaler may reach 16.  The split drains are a fixed
+   up-front cost, so the sweep runs long enough (16 requests per client)
+   to amortise them; the hotspot drifts twice over those 16 requests. *)
+let elastic_bench_policy =
+  { Reconfig.default_policy with
+    Reconfig.interval_ms = 0.5; split_above = 4; merge_below = -1;
+    max_live = 16 }
+
+let elastic_bench_workload =
+  { Detmt_workload.Hotspot.default with Detmt_workload.Hotspot.drift_every = 8 }
+
+let elastic_sweep ?seed ?(static_shards = [ 1; 2; 4; 8 ])
+    ?(clients_list = [ 256; 1024 ]) ?(scheduler = "mat")
+    ?(requests_per_client = 16) ?policy
+    ?(workload = elastic_bench_workload) () =
+  let policy = Option.value policy ~default:elastic_bench_policy in
+  List.concat_map
+    (fun clients ->
+      List.map
+        (fun n ->
+          run_elastic ?seed ~workload ~scheduler ~requests_per_client
+            ~mode:(Static n) ~clients ())
+        static_shards
+      @ [ run_elastic ?seed ~workload ~scheduler ~requests_per_client
+            ~mode:(Autoscale policy) ~clients () ])
+    clients_list
+
+(* The autoscaler's p95 against the best static configuration of the same
+   client count — the headline the elastic experiment argues. *)
+let elastic_vs_best_static rows r =
+  if r.e_mode <> "autoscale" then None
+  else
+    let statics =
+      List.filter
+        (fun b -> b.e_clients = r.e_clients && b.e_mode <> "autoscale")
+        rows
+    in
+    match statics with
+    | [] -> None
+    | _ ->
+      Some
+        (List.fold_left
+           (fun acc b -> min acc b.e_p95_response_ms)
+           Float.infinity statics)
+
+let elastic_table rows =
+  let t =
+    Table.create
+      ~title:
+        "E16: elastic reconfiguration — autoscaling vs static shard counts \
+         on the drifting Zipf-hotspot workload"
+      ~columns:
+        [ "mode"; "clients"; "replies"; "groups"; "epochs";
+          "split/merge/swap"; "held"; "mean_ms"; "p95_ms"; "req/s";
+          "vs best static"; "agree" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [ r.e_mode;
+          string_of_int r.e_clients;
+          Printf.sprintf "%d/%d" r.e_replies r.e_expected;
+          string_of_int r.e_groups_final;
+          string_of_int r.e_epoch;
+          Printf.sprintf "%d/%d/%d" r.e_splits r.e_merges r.e_swaps;
+          string_of_int r.e_held;
+          Printf.sprintf "%.2f" r.e_mean_response_ms;
+          Printf.sprintf "%.2f" r.e_p95_response_ms;
+          Printf.sprintf "%.0f" r.e_throughput_per_s;
+          (match elastic_vs_best_static rows r with
+          | Some best when best > 0.0 ->
+            Printf.sprintf "%.2fx" (best /. r.e_p95_response_ms)
+          | _ -> "-");
+          string_of_bool (r.e_states_agree && r.e_epochs_agree) ])
+    rows;
+  t
+
+let elastic_json rows =
+  let module Json = Detmt_obs.Json in
+  Json.Obj
+    [ ("experiment", Json.String "elastic");
+      ("workload", Json.String "hotspot");
+      ("rows",
+       Json.List
+         (List.map
+            (fun r ->
+              Json.Obj
+                [ ("mode", Json.String r.e_mode);
+                  ("clients", Json.Int r.e_clients);
+                  ("expected", Json.Int r.e_expected);
+                  ("replies", Json.Int r.e_replies);
+                  ("groups_final", Json.Int r.e_groups_final);
+                  ("epoch", Json.Int r.e_epoch);
+                  ("splits", Json.Int r.e_splits);
+                  ("merges", Json.Int r.e_merges);
+                  ("swaps", Json.Int r.e_swaps);
+                  ("held", Json.Int r.e_held);
+                  ("cross_group", Json.Int r.e_cross_group);
+                  ("mean_response_ms", Json.Float r.e_mean_response_ms);
+                  ("p95_response_ms", Json.Float r.e_p95_response_ms);
+                  ("throughput_per_s", Json.Float r.e_throughput_per_s);
+                  ("p95_speedup_vs_best_static",
+                   match elastic_vs_best_static rows r with
+                   | Some best when r.e_p95_response_ms > 0.0 ->
+                     Json.Float (best /. r.e_p95_response_ms)
+                   | _ -> Json.Null);
+                  ("states_agree", Json.Bool r.e_states_agree);
+                  ("epochs_agree", Json.Bool r.e_epochs_agree);
+                  ("fingerprint",
+                   Json.String (Printf.sprintf "%Lx" r.e_fingerprint));
+                  ("duration_ms", Json.Float r.e_duration_ms) ])
+            rows)) ]
+
+(* ------------------------------------------------------------------ *)
 (* E10 — determinism matrix                                            *)
 
 let determinism

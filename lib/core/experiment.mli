@@ -176,3 +176,76 @@ val shard_table : shard_row list -> Detmt_stats.Table.t
 val shard_json : shard_row list -> Detmt_obs.Json.t
 (** The BENCH_shard.json payload: one object per row, with the speedup and
     the run fingerprint included. *)
+
+(** {2 E16 — elastic reconfiguration} *)
+
+type elastic_mode =
+  | Static of int  (** a fixed group count for the whole run *)
+  | Autoscale of Detmt_replication.Reconfig.policy
+      (** start at one group; the controller splits / merges / hot-swaps *)
+
+type elastic_row = {
+  e_mode : string;  (** ["static-N"] or ["autoscale"] *)
+  e_clients : int;
+  e_expected : int;
+  e_replies : int;
+  e_groups_final : int;
+  e_epoch : int;  (** reconfiguration transitions applied *)
+  e_splits : int;
+  e_merges : int;
+  e_swaps : int;
+  e_held : int;  (** submissions held behind a reconfiguration barrier *)
+  e_cross_group : int;
+  e_mean_response_ms : float;
+  e_p95_response_ms : float;
+  e_throughput_per_s : float;
+  e_states_agree : bool;
+  e_epochs_agree : bool;
+  e_fingerprint : int64;  (** {!Detmt_replication.Reconfig.fingerprint} *)
+  e_duration_ms : float;
+}
+
+val run_elastic :
+  ?seed:int64 ->
+  ?scheduler:string ->
+  ?requests_per_client:int ->
+  ?obs:Detmt_obs.Recorder.t ->
+  ?workload:Detmt_workload.Hotspot.params ->
+  mode:elastic_mode ->
+  clients:int ->
+  unit ->
+  elastic_row
+(** One run of the Zipf-hotspot workload over {!Detmt_replication.Reconfig}
+    to completion. *)
+
+val elastic_bench_policy : Detmt_replication.Reconfig.policy
+(** The grid's controller setting: 0.5 ms ticks, split above queue depth 4,
+    never merge, up to 16 live groups — twice the static grid's ceiling. *)
+
+val elastic_bench_workload : Detmt_workload.Hotspot.params
+(** {!Detmt_workload.Hotspot.default} with the hotspot drifting every 8
+    requests, so a 16-request run sees the zone move twice. *)
+
+val elastic_sweep :
+  ?seed:int64 ->
+  ?static_shards:int list ->
+  ?clients_list:int list ->
+  ?scheduler:string ->
+  ?requests_per_client:int ->
+  ?policy:Detmt_replication.Reconfig.policy ->
+  ?workload:Detmt_workload.Hotspot.params ->
+  unit ->
+  elastic_row list
+(** E16: per client count (default 256 and 1024), every static shard count
+    (default 1/2/4/8) followed by the autoscaling run under [policy]
+    (default {!elastic_bench_policy}; 16 requests per client over
+    {!elastic_bench_workload}). *)
+
+val elastic_table : elastic_row list -> Detmt_stats.Table.t
+(** Printable form; the [vs best static] column is the best static p95 of
+    the same client count divided by the autoscaler's p95 (above 1.00x the
+    autoscaler wins). *)
+
+val elastic_json : elastic_row list -> Detmt_obs.Json.t
+(** The BENCH_elastic.json payload: one object per row, including
+    [p95_speedup_vs_best_static] on the autoscale rows. *)

@@ -20,7 +20,7 @@ open Detmt_replication
 (* ------------------------------ workloads ----------------------------- *)
 
 let workload_names =
-  [ "figure1"; "compute-heavy"; "disjoint"; "tail"; "prodcons" ]
+  [ "figure1"; "compute-heavy"; "disjoint"; "tail"; "prodcons"; "hotspot" ]
 
 let resolve_workload = function
   | "figure1" ->
@@ -38,6 +38,9 @@ let resolve_workload = function
   | "prodcons" ->
     ( Detmt_workload.Prodcons.cls Detmt_workload.Prodcons.default,
       Detmt_workload.Prodcons.gen )
+  | "hotspot" ->
+    ( Detmt_workload.Hotspot.cls Detmt_workload.Hotspot.default,
+      Detmt_workload.Hotspot.gen Detmt_workload.Hotspot.default )
   | other ->
     invalid_arg
       (Printf.sprintf "Explore: unknown workload %S (valid: %s)" other
@@ -55,6 +58,8 @@ type outcome = {
   o_acquisitions_agree : bool;
   o_state_fps : (int * int64) list;
   o_recoveries : int;
+  o_transitions : int; (* reconfiguration epochs applied; 0 on static runs *)
+  o_epochs_agree : bool; (* vacuously true on static runs *)
   o_order_fp : int64;
   o_events : int;
   o_duration_ms : float;
@@ -71,17 +76,17 @@ type observation = {
   obs_broadcasts : int;
 }
 
-let run_one ?(replicas = 3) ?(observe = false) ~cls ~gen (s : Schedule.t) =
-  let engine = Engine.create () in
-  let params =
-    { Active.default_params with
-      scheduler = s.Schedule.scheduler; replicas;
-      batching = s.Schedule.batching }
-  in
-  let system = Active.create ~engine ~cls ~params () in
-  let monitor = Consistency.create_monitor () in
-  Active.set_checkpoint_sink system (fun ~replica ~seq ~hash ~state ->
-      Consistency.observe monitor ~replica ~seq ~hash ~state);
+(* The fixed reconfiguration cycle an elastic schedule certifies: split the
+   single group mid-run, merge it back while traffic is still flowing.  The
+   window between the two commands (and the merge drain itself) is where
+   crash candidates land. *)
+let elastic_cycle =
+  [ (6.0, Reconfig.Split 0);
+    (20.0, Reconfig.Merge { from_g = 1; into = 0 }) ]
+
+let elastic_window = (6.0, 20.0)
+
+let entry_tables (s : Schedule.t) =
   let delays = Hashtbl.create 16
   and reorders = Hashtbl.create 16
   and flushes = Hashtbl.create 16 in
@@ -92,11 +97,44 @@ let run_one ?(replicas = 3) ?(observe = false) ~cls ~gen (s : Schedule.t) =
       | Schedule.Reorder { at_index; pick } ->
         Hashtbl.replace reorders at_index pick
       | Schedule.Flush { after_seq } -> Hashtbl.replace flushes after_seq ()
+      | Schedule.Crash _ -> ())
+    s.Schedule.entries;
+  (delays, reorders, flushes)
+
+let tie_oracle engine ~observe ~reorders =
+  let ties = ref [] and tie_index = ref 0 in
+  if Hashtbl.length reorders > 0 || observe then
+    Engine.set_order_oracle engine
+      (Some
+         (fun ~count ->
+           let i = !tie_index in
+           incr tie_index;
+           if observe then ties := count :: !ties;
+           match Hashtbl.find_opt reorders i with
+           | Some pick when pick >= 0 && pick < count -> pick
+           | _ -> 0));
+  ties
+
+let run_one_static ~replicas ~observe ~cls ~gen (s : Schedule.t) =
+  let engine = Engine.create () in
+  let params =
+    { Active.default_params with
+      scheduler = s.Schedule.scheduler; replicas;
+      batching = s.Schedule.batching }
+  in
+  let system = Active.create ~engine ~cls ~params () in
+  let monitor = Consistency.create_monitor () in
+  Active.set_checkpoint_sink system (fun ~replica ~seq ~hash ~state ->
+      Consistency.observe monitor ~replica ~seq ~hash ~state);
+  let delays, reorders, flushes = entry_tables s in
+  List.iter
+    (function
       | Schedule.Crash { replica; at_ms; recover_at_ms } ->
         Engine.schedule_at engine ~time:at_ms (fun () ->
             Active.kill_replica system replica);
         if recover_at_ms > at_ms then
-          Active.recover_replica system ~at:recover_at_ms replica)
+          Active.recover_replica system ~at:recover_at_ms replica
+      | _ -> ())
     s.Schedule.entries;
   let deliveries = ref [] in
   if Hashtbl.length delays > 0 || observe then
@@ -110,17 +148,7 @@ let run_one ?(replicas = 3) ?(observe = false) ~cls ~gen (s : Schedule.t) =
   if Hashtbl.length flushes > 0 then
     Active.set_flush_oracle system
       (Some (fun ~seq ~pending:_ -> Hashtbl.mem flushes seq));
-  let ties = ref [] and tie_index = ref 0 in
-  if Hashtbl.length reorders > 0 || observe then
-    Engine.set_order_oracle engine
-      (Some
-         (fun ~count ->
-           let i = !tie_index in
-           incr tie_index;
-           if observe then ties := count :: !ties;
-           match Hashtbl.find_opt reorders i with
-           | Some pick when pick >= 0 && pick < count -> pick
-           | _ -> 0));
+  let ties = tie_oracle engine ~observe ~reorders in
   if observe then Engine.set_journaling engine true;
   (* [until_ms = infinity] runs to queue drain but reports a stall through
      [run_outstanding] instead of raising: an introduced deadlock is a
@@ -141,6 +169,8 @@ let run_one ?(replicas = 3) ?(observe = false) ~cls ~gen (s : Schedule.t) =
       o_acquisitions_agree = report.Consistency.acquisitions_agree;
       o_state_fps = report.Consistency.state_hashes;
       o_recoveries = Active.recoveries system;
+      o_transitions = 0;
+      o_epochs_agree = true;
       o_order_fp = Active.order_fingerprint system;
       o_events = Engine.events_executed engine;
       o_duration_ms = Engine.now engine }
@@ -152,6 +182,97 @@ let run_one ?(replicas = 3) ?(observe = false) ~cls ~gen (s : Schedule.t) =
       obs_broadcasts = Active.broadcasts system }
   in
   (outcome, observation)
+
+(* Elastic runs go through {!Reconfig} with the canonical split/merge cycle.
+   Oracles and consistency monitors attach to every incarnation the run
+   creates ([on_group]); delivery keys stay unambiguous across buses because
+   each incarnation owns a distinct replica-id window.  Crash entries name
+   offsets into group 0, which the cycle never retires. *)
+let run_one_elastic ~replicas ~observe ~cls ~gen (s : Schedule.t) =
+  let engine = Engine.create () in
+  let delays, reorders, flushes = entry_tables s in
+  let deliveries = ref [] and monitors = ref [] in
+  let on_group ~index:_ sys =
+    let monitor = Consistency.create_monitor () in
+    monitors := !monitors @ [ monitor ];
+    Active.set_checkpoint_sink sys (fun ~replica ~seq ~hash ~state ->
+        Consistency.observe monitor ~replica ~seq ~hash ~state);
+    if Hashtbl.length delays > 0 || observe then
+      Active.set_delivery_oracle sys
+        (Some
+           (fun ~seq ~sender:_ ~dest ~planned_ms ->
+             if observe then
+               deliveries := (seq, dest, planned_ms) :: !deliveries;
+             match Hashtbl.find_opt delays (seq, dest) with
+             | Some extra -> extra
+             | None -> 0.0));
+    if Hashtbl.length flushes > 0 then
+      Active.set_flush_oracle sys
+        (Some (fun ~seq ~pending:_ -> Hashtbl.mem flushes seq))
+  in
+  let base =
+    { Active.default_params with
+      scheduler = s.Schedule.scheduler; replicas;
+      batching = s.Schedule.batching }
+  in
+  let system =
+    Reconfig.create ~on_group ~engine ~cls
+      ~params:{ Reconfig.default_params with base }
+      ()
+  in
+  List.iter (fun (at, c) -> Reconfig.request_at system ~at c) elastic_cycle;
+  List.iter
+    (function
+      | Schedule.Crash { replica; at_ms; recover_at_ms } ->
+        Engine.schedule_at engine ~time:at_ms (fun () ->
+            Reconfig.kill_replica system ~group:0 ~offset:replica);
+        if recover_at_ms > at_ms then
+          Reconfig.recover_replica system ~group:0 ~offset:replica
+            ~at:recover_at_ms
+      | _ -> ())
+    s.Schedule.entries;
+  let ties = tie_oracle engine ~observe ~reorders in
+  if observe then Engine.set_journaling engine true;
+  let stats =
+    Reconfig.run_clients_stats system ~clients:s.Schedule.clients
+      ~requests_per_client:s.Schedule.requests ~gen
+      ~seed:(Int64.of_int s.Schedule.seed) ~until_ms:Float.infinity ()
+  in
+  let reports =
+    List.map
+      (fun sys -> Consistency.check (Active.live_replicas sys))
+      (Reconfig.groups_ever system)
+  in
+  let outcome =
+    { o_replies = Reconfig.replies_received system;
+      o_expected = s.Schedule.clients * s.Schedule.requests;
+      o_outstanding = stats.Client.run_outstanding;
+      o_duplicate_replies = Reconfig.duplicate_client_replies system;
+      o_divergence = List.find_map Consistency.first_divergence !monitors;
+      o_states_agree =
+        List.for_all (fun r -> r.Consistency.states_agree) reports;
+      o_acquisitions_agree =
+        List.for_all (fun r -> r.Consistency.acquisitions_agree) reports;
+      o_state_fps =
+        List.concat_map (fun r -> r.Consistency.state_hashes) reports;
+      o_recoveries = Reconfig.recoveries system;
+      o_transitions = Reconfig.epoch system;
+      o_epochs_agree = Reconfig.epochs_agree system;
+      o_order_fp = Reconfig.fingerprint system;
+      o_events = Engine.events_executed engine;
+      o_duration_ms = Engine.now engine }
+  in
+  let observation =
+    { obs_deliveries = List.rev !deliveries;
+      obs_ties = List.rev !ties;
+      obs_journal = Engine.journal engine;
+      obs_broadcasts = Reconfig.broadcasts system }
+  in
+  (outcome, observation)
+
+let run_one ?(replicas = 3) ?(observe = false) ~cls ~gen (s : Schedule.t) =
+  if s.Schedule.elastic then run_one_elastic ~replicas ~observe ~cls ~gen s
+  else run_one_static ~replicas ~observe ~cls ~gen s
 
 (* ------------------------------ verdicts ------------------------------ *)
 
@@ -171,6 +292,10 @@ let classify ~canonical (o : outcome) =
   else if not o.o_states_agree then Divergent "final replica states diverge"
   else if o.o_recoveries = 0 && not o.o_acquisitions_agree then
     Divergent "per-mutex acquisition orders diverge"
+  else if not o.o_epochs_agree then
+    Divergent "epoch transitions diverge across replicas"
+  else if o.o_transitions <> canonical.o_transitions then
+    Divergent "reconfiguration did not apply"
   else if o.o_duplicate_replies > 0 then Divergent "duplicate client replies"
   else if o.o_outstanding > canonical.o_outstanding then
     Divergent "introduced client stall"
@@ -272,6 +397,31 @@ let candidates ?(skews = default_skews) ~pruned obs (s : Schedule.t) =
       if not (Hashtbl.mem flushed seq) then
         cands := (1, Schedule.Flush { after_seq = seq }) :: !cands
     done);
+  (* Elastic runs also enumerate crash points inside the reconfiguration
+     window — right after the split command lands, mid-epoch, and during
+     the merge drain — each with a post-merge recovery.  One crash per
+     schedule: a second one would leave group 0 without a live majority of
+     history to transfer from. *)
+  if
+    s.Schedule.elastic
+    && not
+         (List.exists
+            (function Schedule.Crash _ -> true | _ -> false)
+            s.Schedule.entries)
+  then begin
+    let w_open, w_close = elastic_window in
+    List.iter
+      (fun at_ms ->
+        List.iter
+          (fun offset ->
+            cands :=
+              (2,
+               Schedule.Crash
+                 { replica = offset; at_ms; recover_at_ms = w_close +. 20.0 })
+              :: !cands)
+          [ 1; 2 ])
+      [ w_open +. 1.0; (w_open +. w_close) /. 2.0; w_close -. 1.0 ]
+  end;
   List.stable_sort (fun (a, _) (b, _) -> compare b a) !cands
 
 let explore ?(skews = default_skews) ?(max_depth = 2) ?(max_width = 32)

@@ -15,7 +15,15 @@
     Search is budget-bounded DFS with per-node candidate regeneration and
     sleep-set-style pruning of perturbations whose window no other event
     shares (they commute with the whole run).  Divergences shrink to
-    1-minimal replayable witnesses via ddmin. *)
+    1-minimal replayable witnesses via ddmin.
+
+    A schedule marked [elastic] runs through
+    {!Detmt_replication.Reconfig} with a canonical split/merge cycle
+    (split at 6 ms, merge back at 20 ms of virtual time); the oracle set
+    then additionally demands that every epoch transition applies and is
+    observed bit-identically by every replica of every incarnation, and
+    candidate generation enumerates crash/recovery points {e inside} the
+    reconfiguration window. *)
 
 val workload_names : string list
 
@@ -40,7 +48,15 @@ type outcome = {
   o_acquisitions_agree : bool;
   o_state_fps : (int * int64) list;
   o_recoveries : int;
-  o_order_fp : int64;  (** broadcast total-order fingerprint *)
+  o_transitions : int;
+      (** reconfiguration epochs applied; 0 on static schedules *)
+  o_epochs_agree : bool;
+      (** every replica of every incarnation saw each epoch transition at
+          the same total-order slot; vacuously true on static schedules *)
+  o_order_fp : int64;
+      (** broadcast total-order fingerprint (on elastic schedules:
+          {!Detmt_replication.Reconfig.fingerprint}, which also folds the
+          transition log) *)
   o_events : int;
   o_duration_ms : float;
 }

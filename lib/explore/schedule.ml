@@ -27,12 +27,15 @@ type t = {
   clients : int;
   requests : int;
   batching : Detmt_gcs.Totem.batching option;
+  elastic : bool;
+      (* run through Reconfig with the canonical split/merge cycle instead
+         of a static Active group; crash entries name group-0 offsets *)
   entries : entry list;
 }
 
-let make ?(seed = 42) ?(clients = 4) ?(requests = 5) ?batching ~scheduler
-    ~workload entries =
-  { scheduler; workload; seed; clients; requests; batching; entries }
+let make ?(seed = 42) ?(clients = 4) ?(requests = 5) ?batching
+    ?(elastic = false) ~scheduler ~workload entries =
+  { scheduler; workload; seed; clients; requests; batching; elastic; entries }
 
 let size t = List.length t.entries
 
@@ -58,6 +61,8 @@ let to_string t =
   Buffer.add_string b (Printf.sprintf "seed %d\n" t.seed);
   Buffer.add_string b (Printf.sprintf "clients %d\n" t.clients);
   Buffer.add_string b (Printf.sprintf "requests %d\n" t.requests);
+  (* emitted only when set, so pre-elastic witnesses round-trip unchanged *)
+  if t.elastic then Buffer.add_string b "elastic true\n";
   Option.iter
     (fun { Detmt_gcs.Totem.max_batch; delay_ms } ->
       Buffer.add_string b
@@ -81,6 +86,7 @@ let of_string s =
   and clients = ref 4
   and requests = ref 5
   and batching = ref None
+  and elastic = ref false
   and entries = ref [] in
   let parse_line n line =
     let line = String.trim line in
@@ -98,6 +104,7 @@ let of_string s =
           | "seed" -> seed := int_of_string rest
           | "clients" -> clients := int_of_string rest
           | "requests" -> requests := int_of_string rest
+          | "elastic" -> elastic := bool_of_string rest
           | "batching" ->
             Scanf.sscanf rest "max_batch=%d delay_ms=%f" (fun m d ->
                 batching := Some { Detmt_gcs.Totem.max_batch = m; delay_ms = d })
@@ -122,7 +129,7 @@ let of_string s =
   match (!scheduler, !workload) with
   | Some scheduler, Some workload ->
     { scheduler; workload; seed = !seed; clients = !clients;
-      requests = !requests; batching = !batching;
+      requests = !requests; batching = !batching; elastic = !elastic;
       entries = List.rev !entries }
   | None, _ -> failwith "Schedule.of_string: missing scheduler line"
   | _, None -> failwith "Schedule.of_string: missing workload line"

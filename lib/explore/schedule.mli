@@ -32,6 +32,11 @@ type t = {
   clients : int;
   requests : int;  (** requests per client *)
   batching : Detmt_gcs.Totem.batching option;
+  elastic : bool;
+      (** run through {!Detmt_replication.Reconfig} with the canonical
+          split/merge cycle instead of a static group; [Crash] entries then
+          name offsets into group 0.  Serialized as an [elastic true] header
+          line only when set, so pre-elastic witnesses parse unchanged. *)
   entries : entry list;
 }
 
@@ -40,11 +45,12 @@ val make :
   ?clients:int ->
   ?requests:int ->
   ?batching:Detmt_gcs.Totem.batching ->
+  ?elastic:bool ->
   scheduler:string ->
   workload:string ->
   entry list ->
   t
-(** Defaults: seed 42, 4 clients x 5 requests, no batching. *)
+(** Defaults: seed 42, 4 clients x 5 requests, no batching, not elastic. *)
 
 val size : t -> int
 (** Number of perturbation entries. *)

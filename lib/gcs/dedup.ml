@@ -24,3 +24,11 @@ let duplicates t = t.duplicates
 (* State transfer: the rejoining replica inherits the donor's seen-set so a
    client retry of an already-executed request stays suppressed. *)
 let copy t = { table = Hashtbl.copy t.table; duplicates = 0 }
+
+(* Shard merge: the surviving group absorbs the retiring group's ledger so a
+   retry of a request the retired group executed stays suppressed after its
+   objects were re-routed. *)
+let merge ~into t =
+  Hashtbl.iter
+    (fun k () -> if not (Hashtbl.mem into.table k) then Hashtbl.add into.table k ())
+    t.table

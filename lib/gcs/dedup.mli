@@ -24,3 +24,8 @@ val duplicates : t -> int
 val copy : t -> t
 (** A fresh table with the same seen-set and a zeroed duplicate counter —
     state transfer to a rejoining replica. *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into t] unions [t]'s seen-set into [into] (duplicate counters
+    untouched) — a shard merge folds the retiring group's ledger into the
+    survivor so re-routed retries stay suppressed. *)

@@ -2,13 +2,22 @@ open Detmt_sim
 
 type cause = Initial | Failure of int list | Join of int
 
-type view = { number : int; members : int list; leader : int; cause : cause }
+type view = {
+  number : int;
+  members : int list;
+  leader : int;
+  cause : cause;
+  epoch : int; (* routing epoch the membership is tagged with *)
+}
 
 type t = {
   engine : Engine.t;
   detection_timeout_ms : float;
   mutable view : view;
   mutable dead : int list;
+  mutable epoch : int;
+      (* the elastic routing epoch this group currently serves; stamped into
+         every view so membership changes are attributable to an epoch *)
   mutable seniority : int list;
       (* membership age order: the leader is the most senior live member.
          Initially the sorted member list (leader = lowest id, as in the
@@ -17,7 +26,7 @@ type t = {
   mutable callbacks : (view -> unit) list; (* reverse registration order *)
 }
 
-let make_view ~seniority number members cause =
+let make_view ~seniority ~epoch number members cause =
   match members with
   | [] -> invalid_arg "Group: view with no members"
   | _ ->
@@ -26,14 +35,14 @@ let make_view ~seniority number members cause =
       | Some l -> l
       | None -> List.fold_left min max_int members
     in
-    { number; members; leader; cause }
+    { number; members; leader; cause; epoch }
 
-let create engine ~members ~detection_timeout_ms =
+let create ?(epoch = 0) engine ~members ~detection_timeout_ms =
   if members = [] then invalid_arg "Group.create: empty member list";
   let seniority = List.sort compare members in
   { engine; detection_timeout_ms;
-    view = make_view ~seniority 0 seniority Initial;
-    dead = []; seniority; callbacks = [] }
+    view = make_view ~seniority ~epoch 0 seniority Initial;
+    dead = []; epoch; seniority; callbacks = [] }
 
 let current_view t = t.view
 
@@ -44,8 +53,20 @@ let leader t = t.view.leader
 let on_view_change t f = t.callbacks <- f :: t.callbacks
 
 let install_view t members cause =
-  t.view <- make_view ~seniority:t.seniority (t.view.number + 1) members cause;
+  t.view <-
+    make_view ~seniority:t.seniority ~epoch:t.epoch (t.view.number + 1)
+      members cause;
   List.iter (fun f -> f t.view) (List.rev t.callbacks)
+
+let epoch t = t.epoch
+
+(* An epoch bump is not itself a membership change: the new tag shows up on
+   the next installed view.  The replication layer anchors the transition on
+   a total-order barrier, so every replica tags at the same logical slot. *)
+let set_epoch t epoch =
+  if epoch < t.epoch then
+    invalid_arg "Group.set_epoch: epochs are monotone";
+  t.epoch <- epoch
 
 let kill t id =
   if not (List.mem id t.dead) then begin

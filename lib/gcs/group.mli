@@ -14,13 +14,36 @@ type cause =
   | Failure of int list  (** members removed by failure detection *)
   | Join of int  (** a (re)joining member was added *)
 
-type view = { number : int; members : int list; leader : int; cause : cause }
+type view = {
+  number : int;
+  members : int list;
+  leader : int;
+  cause : cause;
+  epoch : int;
+      (** the elastic routing epoch the membership was installed under
+          ({!set_epoch}); [0] for a group that never reconfigured *)
+}
 
 type t
 
 val create :
-  Detmt_sim.Engine.t -> members:int list -> detection_timeout_ms:float -> t
-(** @raise Invalid_argument on an empty member list. *)
+  ?epoch:int ->
+  Detmt_sim.Engine.t ->
+  members:int list ->
+  detection_timeout_ms:float ->
+  t
+(** [epoch] (default 0) tags the initial view — a group created mid-run by an
+    elastic reconfiguration starts at the epoch that created it.
+    @raise Invalid_argument on an empty member list. *)
+
+val epoch : t -> int
+(** The epoch subsequent views will be tagged with. *)
+
+val set_epoch : t -> int -> unit
+(** Advance the epoch tag (monotone).  Installed by the replication layer at
+    a total-order barrier; the current view is left untouched — the tag shows
+    up on the next membership change.
+    @raise Invalid_argument when the epoch would move backwards. *)
 
 val current_view : t -> view
 

@@ -14,6 +14,10 @@ type payload =
     }
   | P_nested_reply of { tid : int; call_index : int }
   | P_control of Sched_iface.control
+  | P_barrier of { epoch : int; label : string }
+      (* an elastic reconfiguration barrier: totally ordered like any
+         request, a no-op for the interpreter — its slot is the agreed point
+         every replica transitions the routing epoch at *)
 
 type params = {
   replicas : int;
@@ -71,6 +75,11 @@ type t = {
          counter restarts at zero) *)
   mutable checkpoint_sink : checkpoint_sink option;
   mutable recoveries : int;
+  (* elastic reconfiguration: per-replica fold of every delivered barrier
+     (seq, epoch, label) — bit-identical across replicas iff every replica
+     saw every epoch transition at the same total-order slot *)
+  barrier_fp : int64 array;
+  barrier_seen : int array;
 }
 
 let leader_id t = Group.leader t.grp
@@ -215,6 +224,12 @@ let deliver t replica (msg : payload Message.t) =
     Hashtbl.remove t.outstanding_nested (tid, call_index);
     Replica.nested_reply replica ~tid ~call_index
   | P_control control -> Replica.deliver_control replica ~sender:msg.sender control
+  | P_barrier { epoch; label } ->
+    let s = slot t id in
+    t.barrier_seen.(s) <- t.barrier_seen.(s) + 1;
+    let mix h v = Int64.add (Int64.mul h 1000003L) (Int64.of_int v) in
+    t.barrier_fp.(s) <-
+      mix (mix (mix t.barrier_fp.(s) msg.seq) epoch) (Hashtbl.hash label)
 
 let create ?(obs = Recorder.disabled) ~engine ~cls ~(params : params) () =
   let scheduler = Detmt_sched.Registry.find_exn params.scheduler in
@@ -248,7 +263,9 @@ let create ?(obs = Recorder.disabled) ~engine ~cls ~(params : params) () =
       outstanding_nested = Hashtbl.create 64; dummy_seq = 0;
       log = []; last_delivered = Array.make params.replicas (-1);
       completed_base = Array.make params.replicas 0;
-      checkpoint_sink = None; recoveries = 0 }
+      checkpoint_sink = None; recoveries = 0;
+      barrier_fp = Array.make params.replicas 0x9E3779B97F4A7C15L;
+      barrier_seen = Array.make params.replicas 0 }
   in
   let replicas =
     List.map (fun id -> make_replica t ~engine ~cls:cls' ~id) members
@@ -364,6 +381,10 @@ let recover_replica t ?at id =
     t.dedups.(slot t id) <- Dedup.copy t.dedups.(slot t donor_id);
     t.completed_base.(slot t id) <- completed;
     t.last_delivered.(slot t id) <- watermark;
+    (* the donor's delivered prefix includes its barriers; the suffix replay
+       below redelivers any past the watermark *)
+    t.barrier_fp.(slot t id) <- t.barrier_fp.(slot t donor_id);
+    t.barrier_seen.(slot t id) <- t.barrier_seen.(slot t donor_id);
     Totem.resubscribe t.bus ~id (fun msg -> deliver t r' msg);
     (* Everything broadcast so far is covered by snapshot + replay; stale
        in-flight copies addressed to the old incarnation must not leak in. *)
@@ -415,6 +436,109 @@ let set_checkpoint_sink t sink = t.checkpoint_sink <- Some sink
 
 let recoveries t = t.recoveries
 
+(* ------------------------------------------------------------------ *)
+(* Elastic reconfiguration support ({!Reconfig}).
+
+   A barrier is a totally-ordered no-op: its slot is the agreed point of an
+   epoch transition, and every replica folds (seq, epoch, label) into a
+   per-replica fingerprint so tests can assert the transition was observed
+   bit-identically.  The state-transfer helpers below reuse the recovery
+   invariant: they may only run when the donor group is quiescent, i.e. its
+   whole state is a pure function of the delivered prefix. *)
+
+let order_barrier t ~epoch ~label ~on_ordered =
+  let seq =
+    bcast t ~sender:(-3) ~kind:"barrier" (P_barrier { epoch; label })
+  in
+  if Recorder.enabled t.obs then Recorder.incr t.obs "active.barriers";
+  on_ordered ~seq
+
+let barrier_fingerprints t =
+  List.filter_map
+    (fun r ->
+      if Replica.alive r then
+        Some (Replica.id r, t.barrier_fp.(slot t (Replica.id r)),
+              t.barrier_seen.(slot t (Replica.id r)))
+      else None)
+    t.members
+
+let quiescent t =
+  List.for_all
+    (fun r -> (not (Replica.alive r)) || Replica.active_threads r = 0)
+    t.members
+  && List.exists Replica.alive t.members
+
+let lowest_live_donor t =
+  match List.find_opt Replica.alive t.members with
+  | Some r -> r
+  | None -> failwith "Active: no live replica to donate state"
+
+let donor_state t = Replica.state_snapshot (lowest_live_donor t)
+
+(* Fold a retiring group's final state fields into every live replica —
+   deterministic because it runs at a drained barrier, between any two
+   delivered requests, identically on all replicas. *)
+let absorb_state t ~delta =
+  List.iter
+    (fun r ->
+      if Replica.alive r then
+        let obj = Replica.object_state r in
+        List.iter (fun (f, v) -> Object_state.update_state obj f v) delta)
+    t.members
+
+let merge_dedups t ~from =
+  let donor = from.dedups.(slot from (Replica.id (lowest_live_donor from))) in
+  Array.iter (fun d -> Dedup.merge ~into:d donor) t.dedups;
+  (* The ledger now covers the retiree's dummy fillers (client -1); the
+     survivor's own counter must clear them or its future fillers would be
+     suppressed as duplicates and PDS rounds could never refill. *)
+  t.dummy_seq <- max t.dummy_seq from.dummy_seq
+
+(* Bootstrap a freshly created, traffic-free group from a quiescent donor
+   group — the split / hot-swap state transfer.  Always carried: the
+   duplicate-suppression ledger (a re-routed retry of an executed request
+   must stay suppressed) and the mutex-reference fields.  [carry_state]
+   additionally clones the object state fields and the donor's completed
+   count (a hot swap continues the same logical group; a split starts its
+   own per-group counters at zero and folds them back at merge).  Replica
+   aliveness is mirrored so a swap cannot resurrect a crashed replica. *)
+let bootstrap t ~from ~carry_state =
+  if t.log <> [] || t.replies > 0 then
+    invalid_arg "Active.bootstrap: target group already carried traffic";
+  let donor = lowest_live_donor from in
+  let donor_slot = slot from (Replica.id donor) in
+  let state = Replica.state_snapshot donor in
+  let mutex_fields =
+    Object_state.mutex_field_snapshot (Replica.object_state donor)
+  in
+  let completed =
+    from.completed_base.(donor_slot) + Replica.completed_requests donor
+  in
+  List.iter
+    (fun r ->
+      let obj = Replica.object_state r in
+      List.iter (fun (f, v) -> Object_state.set_mutex_field obj f v)
+        mutex_fields;
+      if carry_state then begin
+        List.iter (fun (f, v) -> Object_state.set_state obj f v) state;
+        t.completed_base.(slot t (Replica.id r)) <- completed
+      end)
+    t.members;
+  Array.iteri
+    (fun i _ -> t.dedups.(i) <- Dedup.copy from.dedups.(donor_slot))
+    t.dedups;
+  (* The inherited ledger covers the donor's dummy fillers (client -1), so
+     the filler counter must continue past them — restarting at zero would
+     get every new filler dropped as a duplicate, wedging PDS rounds. *)
+  t.dummy_seq <- from.dummy_seq;
+  (* mirror crashes offset-for-offset so the group views line up *)
+  List.iteri
+    (fun i r ->
+      match List.nth_opt from.members i with
+      | Some old when not (Replica.alive old) -> kill_replica t (Replica.id r)
+      | _ -> ())
+    t.members
+
 let faults t = Totem.faults t.bus
 
 let suppressed_duplicates t = Totem.suppressed_duplicates t.bus
@@ -436,6 +560,7 @@ let order_fingerprint t =
     | P_request r -> Hashtbl.hash (0, r.client, r.client_req, r.meth, r.dummy)
     | P_nested_reply r -> Hashtbl.hash (1, r.tid, r.call_index)
     | P_control c -> Hashtbl.hash (2, c)
+    | P_barrier b -> Hashtbl.hash (3, b.epoch, b.label)
   in
   List.fold_left
     (fun h (m : payload Message.t) ->

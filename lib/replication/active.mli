@@ -104,6 +104,60 @@ val set_checkpoint_sink : t -> checkpoint_sink -> unit
 (** Install the divergence-detector observer; each replica reports at every
     local quiescence point. *)
 
+(** {2 Elastic reconfiguration support}
+
+    The {!Reconfig} layer anchors every epoch transition on a totally-ordered
+    barrier and moves state between groups with the same quiescent-donor
+    invariant {!recover_replica} relies on: a group's state is a pure
+    function of its delivered prefix only while no thread is running. *)
+
+val order_barrier :
+  t -> epoch:int -> label:string -> on_ordered:(seq:int -> unit) -> unit
+(** Broadcast a reconfiguration barrier: a no-op for the interpreter, but it
+    occupies a slot in this group's total order — the agreed point of an
+    epoch transition.  [on_ordered] fires with the slot's sequence number.
+    Every replica folds the delivered barrier into a per-replica fingerprint
+    ({!barrier_fingerprints}). *)
+
+val barrier_fingerprints : t -> (int * int64 * int) list
+(** Per live replica: [(id, fold of every delivered (seq, epoch, label),
+    barriers seen)].  Equal folds across replicas mean every epoch
+    transition was observed at the same total-order slot — the
+    bit-identical-transition oracle.  A recovered replica inherits its
+    donor's fold with the snapshot. *)
+
+val quiescent : t -> bool
+(** No live replica is executing a thread (and at least one is live) — the
+    drained-barrier condition under which snapshots and transplants are pure
+    functions of the delivered prefix. *)
+
+val donor_state : t -> (string * int) list
+(** The state-field snapshot of the lowest-id live replica — the merge
+    delta a retiring group hands to its survivor.  Only meaningful at
+    {!quiescent}.
+    @raise Failure when no replica is live. *)
+
+val absorb_state : t -> delta:(string * int) list -> unit
+(** Add [delta] to every live replica's state fields — the merge fold.
+    Deterministic when run at a drained barrier (between any two delivered
+    requests, identically on all replicas). *)
+
+val merge_dedups : t -> from:t -> unit
+(** Union [from]'s duplicate-suppression ledger into every replica of [t]:
+    after a merge re-routes the retired group's objects, a retry of a
+    request the retired group executed must stay suppressed. *)
+
+val bootstrap : t -> from:t -> carry_state:bool -> unit
+(** Bootstrap a freshly created, traffic-free group from a quiescent donor
+    group — the split / hot-swap state transfer.  Always carried: the dedup
+    ledger, the mutex-reference fields, and per-offset replica aliveness (a
+    swap cannot resurrect a crashed replica).  [carry_state] additionally
+    clones the object state fields and completed counts (hot swap: the same
+    logical group continues under a new scheduler; split: the new group
+    starts its own per-group counters at zero).
+    @raise Invalid_argument if [t] already carried traffic.
+    @raise Failure when [from] has no live replica. *)
+
 val recoveries : t -> int
 (** Completed recoveries. *)
 

@@ -12,10 +12,17 @@ type scenario = {
   faults : seed:int64 -> Faults.spec option;
   kill : (float * int) option; (* (time_ms, replica) *)
   recover_at : float option;
+  reconfig :
+    (initial:int -> scheduler:string -> (float * Reconfig.command) list)
+    option;
+      (* elastic scenarios: timed reconfiguration commands, parameterised by
+         the initial group count and the scheduler under test (a hot-swap
+         target must differ from the current scheduler to apply) *)
 }
 
-let mk ?(faults = fun ~seed:_ -> None) ?kill ?recover_at name descr =
-  { name; descr; faults; kill; recover_at }
+let mk ?(faults = fun ~seed:_ -> None) ?kill ?recover_at ?reconfig name descr
+    =
+  { name; descr; faults; kill; recover_at; reconfig }
 
 (* Faults are seeded from the sweep seed so two sweeps with the same seed
    see the same network weather, and different scenarios draw from
@@ -58,6 +65,26 @@ let scenarios =
             jitter_ms = 0.2; loss_prob = 0.10; rto_ms = 2.0;
             max_retransmits = 4 })
       ~kill:(60.0, 2) ~recover_at:180.0;
+    mk "reshard-partition-heal"
+      "shard split at 45ms inside a 40-80ms partition of replica 2, merged \
+       back at 110ms after the heal"
+      ~faults:(fun ~seed ->
+        Some
+          { Faults.none with seed = fault_seed ~seed ~salt:6;
+            jitter_ms = 0.1;
+            partitions =
+              [ { Faults.src = None; dst = Some 2; from_ms = 40.0;
+                  until_ms = 80.0 } ] })
+      ~reconfig:(fun ~initial ~scheduler:_ ->
+        [ (45.0, Reconfig.Split 0);
+          (110.0, Reconfig.Merge { from_g = initial; into = 0 }) ]);
+    mk "hotswap-crash"
+      "replica 2 killed at 30ms, scheduler hot-swapped at 50ms with the \
+       replica still down, rejoin at 120ms into the new incarnation"
+      ~kill:(30.0, 2) ~recover_at:120.0
+      ~reconfig:(fun ~initial:_ ~scheduler ->
+        let target = if scheduler = "pds" then "mat" else "pds" in
+        [ (50.0, Reconfig.Hot_swap { group = 0; scheduler = target }) ]);
   ]
 
 let find_scenario name = List.find_opt (fun s -> s.name = name) scenarios
@@ -89,6 +116,11 @@ type outcome = {
   o_losses : int;
   o_duplicates_injected : int;
   o_partition_holds : int;
+  o_transitions : int; (* reconfiguration epochs applied *)
+  o_transitions_wanted : int;
+  o_epochs_agree : bool;
+      (* every replica of every incarnation observed every epoch transition
+         at the same total-order slot; vacuously true for static runs *)
   o_duration_ms : float;
   o_fingerprint : int64; (* whole-run hash: determinism witness *)
 }
@@ -99,6 +131,8 @@ let ok o =
   && o.o_divergence = None
   && o.o_recoveries = o.o_recoveries_wanted
   && o.o_states_agree
+  && o.o_transitions = o.o_transitions_wanted
+  && o.o_epochs_agree
   (* A recovered replica's acquisition fingerprint only covers its second
      incarnation, so the cross-incarnation comparison is meaningful only in
      recovery-free runs. *)
@@ -116,49 +150,93 @@ let run ?(seed = 42L) ?(shards = 1) ?(clients = 4) ?(requests_per_client = 5)
          failure while retransmits are still in flight *)
       detection_timeout_ms = 50.0 }
   in
-  (* Always through {!Shard}: a 1-shard system is byte-for-byte the
-     unsharded path, and N shards stress the same invariants across
-     independently-faulted groups. *)
-  let system = Shard.create ~obs ~engine ~cls ~params:{ Shard.shards; base } () in
-  let groups = Shard.groups system in
-  let monitors =
-    Array.map
-      (fun g ->
-        let monitor = Consistency.create_monitor () in
-        Active.set_checkpoint_sink g (fun ~replica ~seq ~hash ~state ->
-            Consistency.observe monitor ~replica ~seq ~hash ~state);
-        monitor)
-      groups
+  let monitors = ref [] in
+  let attach g =
+    let monitor = Consistency.create_monitor () in
+    Active.set_checkpoint_sink g (fun ~replica ~seq ~hash ~state ->
+        Consistency.observe monitor ~replica ~seq ~hash ~state);
+    monitors := monitor :: !monitors
   in
-  (* Scenario kills/recoveries name a replica offset; every group loses (and
-     recovers) the replica at that offset into its own id window. *)
-  Option.iter
-    (fun (at, k) ->
-      Engine.schedule_at engine ~time:at (fun () ->
-          Array.iter
-            (fun g ->
-              Active.kill_replica g ((Active.params g).Active.replica_base + k))
-            groups))
-    scenario.kill;
-  (match (scenario.recover_at, scenario.kill) with
-  | Some at, Some (_, k) ->
-    Array.iter
-      (fun g ->
-        Active.recover_replica g ~at ((Active.params g).Active.replica_base + k))
-      groups
-  | Some _, None ->
-    invalid_arg "Chaos.run: recover_at without a kill makes no sense"
-  | None, _ -> ());
-  let stats =
-    Shard.run_clients_stats system ~clients ~requests_per_client ~gen ~seed
-      ~timeout_ms ()
+  (* Static scenarios always run through {!Shard} (a 1-shard system is
+     byte-for-byte the unsharded path); elastic scenarios run through
+     {!Reconfig} with [shards] initial groups, with monitors attached to
+     every incarnation the run ever creates. *)
+  let groups, stats, replies, transitions, transitions_wanted, epochs_agree =
+    match scenario.reconfig with
+    | None ->
+      let system =
+        Shard.create ~obs ~engine ~cls ~params:{ Shard.shards; base } ()
+      in
+      let groups = Array.to_list (Shard.groups system) in
+      List.iter attach groups;
+      (* Scenario kills/recoveries name a replica offset; every group loses
+         (and recovers) the replica at that offset into its own id
+         window. *)
+      Option.iter
+        (fun (at, k) ->
+          Engine.schedule_at engine ~time:at (fun () ->
+              List.iter
+                (fun g ->
+                  Active.kill_replica g
+                    ((Active.params g).Active.replica_base + k))
+                groups))
+        scenario.kill;
+      (match (scenario.recover_at, scenario.kill) with
+      | Some at, Some (_, k) ->
+        List.iter
+          (fun g ->
+            Active.recover_replica g ~at
+              ((Active.params g).Active.replica_base + k))
+          groups
+      | Some _, None ->
+        invalid_arg "Chaos.run: recover_at without a kill makes no sense"
+      | None, _ -> ());
+      let stats =
+        Shard.run_clients_stats system ~clients ~requests_per_client ~gen
+          ~seed ~timeout_ms ()
+      in
+      (groups, stats, Shard.replies_received system, 0, 0, true)
+    | Some commands ->
+      let system =
+        Reconfig.create ~obs ~engine ~cls
+          ~on_group:(fun ~index:_ g -> attach g)
+          ~params:
+            { Reconfig.default_params with
+              Reconfig.initial_groups = shards; base }
+          ()
+      in
+      let cmds = commands ~initial:shards ~scheduler in
+      List.iter (fun (at, cmd) -> Reconfig.request_at system ~at cmd) cmds;
+      Option.iter
+        (fun (at, k) ->
+          Engine.schedule_at engine ~time:at (fun () ->
+              for g = 0 to shards - 1 do
+                Reconfig.kill_replica system ~group:g ~offset:k
+              done))
+        scenario.kill;
+      (match (scenario.recover_at, scenario.kill) with
+      | Some at, Some (_, k) ->
+        for g = 0 to shards - 1 do
+          Reconfig.recover_replica system ~group:g ~offset:k ~at
+        done
+      | Some _, None ->
+        invalid_arg "Chaos.run: recover_at without a kill makes no sense"
+      | None, _ -> ());
+      let stats =
+        Reconfig.run_clients_stats system ~clients ~requests_per_client ~gen
+          ~seed ~timeout_ms ()
+      in
+      ( Reconfig.groups_ever system, stats,
+        Reconfig.replies_received system, Reconfig.epoch system,
+        List.length cmds, Reconfig.epochs_agree system )
   in
+  let monitors = List.rev !monitors in
   let reports =
-    Array.map (fun g -> Consistency.check (Active.live_replicas g)) groups
+    List.map (fun g -> Consistency.check (Active.live_replicas g)) groups
   in
-  let sum f = Array.fold_left (fun n g -> n + f g) 0 groups in
+  let sum f = List.fold_left (fun n g -> n + f g) 0 groups in
   let losses, dups, holds =
-    Array.fold_left
+    List.fold_left
       (fun (l, d, h) g ->
         match Active.faults g with
         | None -> (l, d, h)
@@ -171,7 +249,7 @@ let run ?(seed = 42L) ?(shards = 1) ?(clients = 4) ?(requests_per_client = 5)
   (* Fold the transport's fault counters into the metrics registry so a
      post-mortem sees injected faults next to scheduler behaviour. *)
   if Recorder.enabled obs then begin
-    Array.iter
+    List.iter
       (fun g ->
         Option.iter
           (fun f ->
@@ -191,29 +269,29 @@ let run ?(seed = 42L) ?(shards = 1) ?(clients = 4) ?(requests_per_client = 5)
   let fingerprint =
     let mix h x = Int64.mul (Int64.logxor h x) 0x100000001B3L in
     let h = ref 0xCBF29CE484222325L in
-    Array.iter
+    List.iter
       (fun (report : Consistency.report) ->
         List.iter
           (fun (_, x) -> h := mix !h x)
           (report.Consistency.state_hashes @ report.Consistency.trace_hashes))
       reports;
-    h := mix !h (Int64.of_int (Shard.replies_received system));
+    h := mix !h (Int64.of_int replies);
     h := mix !h (Int64.bits_of_float (Engine.now engine));
     !h
   in
   let first_divergence =
-    Array.fold_left
+    List.fold_left
       (fun acc m ->
         match acc with Some _ -> acc | None -> Consistency.first_divergence m)
       None monitors
   in
   { o_scenario = scenario.name; o_scheduler = scheduler; o_shards = shards;
     o_expected = clients * requests_per_client;
-    o_replies = Shard.replies_received system;
+    o_replies = replies;
     o_duplicate_replies = sum Active.duplicate_client_replies;
     o_retries = stats.Client.run_retries;
     o_checkpoints =
-      Array.fold_left
+      List.fold_left
         (fun n m -> n + Consistency.checkpoints_compared m)
         0 monitors;
     o_divergence = first_divergence;
@@ -221,15 +299,17 @@ let run ?(seed = 42L) ?(shards = 1) ?(clients = 4) ?(requests_per_client = 5)
     o_recoveries_wanted =
       (match scenario.recover_at with Some _ -> shards | None -> 0);
     o_states_agree =
-      Array.for_all (fun (r : Consistency.report) -> r.states_agree) reports;
+      List.for_all (fun (r : Consistency.report) -> r.states_agree) reports;
     o_acquisitions_agree =
-      Array.for_all
+      List.for_all
         (fun (r : Consistency.report) -> r.acquisitions_agree)
         reports;
     o_suppressed_duplicates = sum Active.suppressed_duplicates;
     o_watermark_suppressed = sum Active.watermark_suppressed;
     o_losses = losses; o_duplicates_injected = dups;
     o_partition_holds = holds;
+    o_transitions = transitions; o_transitions_wanted = transitions_wanted;
+    o_epochs_agree = epochs_agree;
     o_duration_ms = Engine.now engine;
     o_fingerprint = fingerprint }
 
@@ -256,7 +336,7 @@ let table outcomes =
          recovery convergence"
       ~columns:
         [ "scenario"; "scheduler"; "replies"; "retries"; "checkpoints";
-          "recovered"; "faults (loss/dup/cut)"; "verdict" ]
+          "recovered"; "epochs"; "faults (loss/dup/cut)"; "verdict" ]
   in
   List.iter
     (fun o ->
@@ -267,6 +347,9 @@ let table outcomes =
           string_of_int o.o_checkpoints;
           (if o.o_recoveries_wanted = 0 then "-"
            else Printf.sprintf "%d/%d" o.o_recoveries o.o_recoveries_wanted);
+          (if o.o_transitions_wanted = 0 then "-"
+           else
+             Printf.sprintf "%d/%d" o.o_transitions o.o_transitions_wanted);
           Printf.sprintf "%d/%d/%d" o.o_losses o.o_duplicates_injected
             o.o_partition_holds;
           (if ok o then "ok"
@@ -279,6 +362,10 @@ let table outcomes =
                else if not o.o_states_agree then "final states diverge"
                else if o.o_recoveries <> o.o_recoveries_wanted then
                  "recovery did not converge"
+               else if o.o_transitions <> o.o_transitions_wanted then
+                 "reconfiguration did not apply"
+               else if not o.o_epochs_agree then
+                 "epoch transitions diverge"
                else "acquisition orders diverge") ])
     outcomes;
   t

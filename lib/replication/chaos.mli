@@ -10,10 +10,16 @@
     - the runtime divergence detector never fires,
     - survivors (and a recovered replica) agree on the final state,
     - the simulation drains without deadlock,
-    - scheduled recoveries complete.
+    - scheduled recoveries complete,
+    - scheduled reconfigurations apply, with every replica of every
+      incarnation observing every epoch transition at the same total-order
+      slot.
 
-    Everything is seeded — the same seed replays the same run bit for bit,
-    which {!outcome.o_fingerprint} witnesses. *)
+    Scenarios carrying reconfiguration commands run through {!Reconfig}
+    (elastic: live shard split/merge and scheduler hot swap under the same
+    fault injection); the rest run through {!Shard} unchanged.  Everything
+    is seeded — the same seed replays the same run bit for bit, which
+    {!outcome.o_fingerprint} witnesses. *)
 
 type scenario = {
   name : string;
@@ -23,11 +29,20 @@ type scenario = {
       (** [(time_ms, replica)] — the replica is an offset into each group's
           id window, so every shard loses its [k]-th replica. *)
   recover_at : float option;
+  reconfig :
+    (initial:int -> scheduler:string -> (float * Reconfig.command) list)
+    option;
+      (** elastic scenarios: timed reconfiguration commands, given the
+          initial group count and the scheduler under test (so a hot-swap
+          target can be chosen to differ from it) *)
 }
 
 val scenarios : scenario list
 (** The built-in scenarios: [baseline], [jitter], [lossy], [dup-storm],
-    [partition-heal], [crash-recover], [lossy-crash-recover]. *)
+    [partition-heal], [crash-recover], [lossy-crash-recover], plus the
+    elastic pair [reshard-partition-heal] (a shard split ordered inside a
+    healing partition, merged back after) and [hotswap-crash] (a scheduler
+    hot swap racing a crashed replica's scheduled recovery). *)
 
 val find_scenario : string -> scenario option
 
@@ -58,6 +73,10 @@ type outcome = {
   o_losses : int;
   o_duplicates_injected : int;
   o_partition_holds : int;
+  o_transitions : int;  (** reconfiguration epochs applied *)
+  o_transitions_wanted : int;
+  o_epochs_agree : bool;
+      (** {!Reconfig.epochs_agree}; vacuously true for static runs *)
   o_duration_ms : float;
   o_fingerprint : int64;
 }

@@ -113,6 +113,11 @@ val active_diagnostics : Active.t -> string
     lock holders), newline-prefixed — {!Shard} stitches these into its
     per-group report. *)
 
+val stuck_header : stuck:int list -> string
+(** The first lines of a deadlock report: how many clients are still waiting
+    and which — multi-group layers ({!Shard}, {!Reconfig}) prepend this to
+    their stitched per-group forensics. *)
+
 val run_clients :
   engine:Detmt_sim.Engine.t ->
   system:Active.t ->

@@ -1,0 +1,786 @@
+open Detmt_sim
+open Detmt_gcs
+module Recorder = Detmt_obs.Recorder
+
+(* Elastic reconfiguration over the {!Shard} substrate: a dynamic set of
+   {!Active} groups behind an epoch-versioned routing table, with three
+   totally-ordered operations — shard split, shard merge, scheduler hot
+   swap — and a deterministic autoscaling controller.
+
+   The object (mutex) space is hashed onto a fixed set of SLOTS
+   ({!Shard.route} over [slots], not over the group count), and an epoch is
+   an assignment slot -> group.  Splits and merges move slots between
+   groups, so the hash placement of an object never changes — only its
+   slot's owner does.  Every transition runs the same protocol:
+
+   1. a barrier is stamped into the coordinator group's total order
+      ({!Active.order_barrier}), then spread to every other live group, so
+      each replica observes the epoch change at a slot of its own order;
+   2. admission freezes: new submissions (including client retries) queue;
+   3. the in-flight window drains — every pending request (cross-group
+      two-phase deliveries included) is answered and every live group
+      reaches quiescence, the same invariant {!Active.recover_replica}'s
+      donor sampling relies on;
+   4. the command applies (groups created / retired / rebuilt, state moved
+      via {!Active.bootstrap} / {!Active.absorb_state} /
+      {!Active.merge_dedups}), the epoch increments, and every live group's
+      membership is re-tagged ({!Detmt_gcs.Group.set_epoch});
+   5. admission thaws and the held queue flushes in FIFO order, re-resolving
+      every route under the new epoch.
+
+   Every step is driven by seeded simulation events, so two runs of the same
+   configuration transition at identical virtual times with identical
+   barrier sequence numbers — which {!Active.barrier_fingerprints} and
+   {!fingerprint} witness. *)
+
+type command =
+  | Split of int
+  | Merge of { from_g : int; into : int }
+  | Hot_swap of { group : int; scheduler : string }
+
+let command_to_string = function
+  | Split g -> Printf.sprintf "split(%d)" g
+  | Merge { from_g; into } -> Printf.sprintf "merge(%d->%d)" from_g into
+  | Hot_swap { group; scheduler } ->
+    Printf.sprintf "hot-swap(%d:%s)" group scheduler
+
+type transition = {
+  tr_epoch : int;
+  tr_at_ms : float;
+  tr_barrier_seq : int;
+  tr_command : command;
+  tr_groups : int; (* live groups after the transition *)
+}
+
+type params = {
+  initial_groups : int;
+  slots : int;
+  max_groups : int;
+  base : Active.params;
+  drain_poll_ms : float;
+  drain_timeout_ms : float;
+}
+
+let default_params =
+  { initial_groups = 1; slots = 64; max_groups = 16;
+    base = Active.default_params; drain_poll_ms = 0.5;
+    drain_timeout_ms = 2000.0 }
+
+type policy = {
+  interval_ms : float;
+  split_above : int;
+  merge_below : int;
+  max_live : int;
+  min_live : int;
+  hot_swap : bool;
+}
+
+let default_policy =
+  { interval_ms = 5.0; split_above = 24; merge_below = 2; max_live = 8;
+    min_live = 1; hot_swap = false }
+
+type group = {
+  index : int; (* stable group id; never reused *)
+  mutable sys : Active.t; (* current incarnation (hot swap replaces it) *)
+  mutable live : bool;
+  mutable inflight : int; (* requests latched on this group right now *)
+}
+
+(* A cross-group request waits for every involved group to answer; the
+   latch fires the client callback exactly once (same protocol as
+   {!Shard}).  [l_sent_at] is the original submission (or hold-queue entry)
+   time, so response times honestly include reconfiguration stalls. *)
+type latch = {
+  mutable remaining : int;
+  l_sent_at : float;
+  l_on_reply : response_ms:float -> unit;
+}
+
+type held = {
+  h_client : int;
+  h_client_req : int;
+  h_meth : string;
+  h_args : Detmt_lang.Ast.value array;
+  h_on_reply : response_ms:float -> unit;
+  h_at : float; (* admission time: queue delay counts into the response *)
+}
+
+type t = {
+  engine : Engine.t;
+  params : params;
+  obs : Recorder.t;
+  cls : Detmt_lang.Class_def.t;
+  plans : (string, Shard.plan) Hashtbl.t;
+  owner : int array; (* slot -> live group index; the epoch's routing table *)
+  mutable groups : group array; (* by index; retired entries stay in place *)
+  mutable retired : Active.t list; (* merged-away + pre-swap incarnations *)
+  mutable incarnations : int; (* disjoint replica-id windows, never reused *)
+  mutable epoch : int;
+  mutable transitions : transition list; (* newest first *)
+  (* transition machinery *)
+  mutable frozen : bool;
+  mutable busy : bool;
+  held : held Queue.t;
+  commands : command Queue.t;
+  mutable aborted : int; (* drains that timed out; command dropped *)
+  (* client-side bookkeeping *)
+  pending : (int * int, latch) Hashtbl.t;
+  answered : (int * int, unit) Hashtbl.t;
+  response_times : Detmt_stats.Summary.t;
+  mutable replies : int;
+  mutable reply_times : float list; (* newest first *)
+  mutable fast_path : int;
+  mutable cross_path : int;
+  mutable held_total : int; (* submissions that queued behind a barrier *)
+  (* autoscaling *)
+  mutable policy : policy option;
+  mutable armed : bool;
+  adaptive_summary : Detmt_analysis.Predict.class_summary option Lazy.t;
+  on_group : (index:int -> Active.t -> unit) option;
+}
+
+let live_groups t =
+  Array.to_list t.groups |> List.filter (fun g -> g.live)
+
+let live_count t = List.length (live_groups t)
+
+let coordinator t =
+  match live_groups t with
+  | g :: _ -> g
+  | [] -> assert false (* at least one group is always live *)
+
+let slots_of t index =
+  let acc = ref [] in
+  for s = Array.length t.owner - 1 downto 0 do
+    if t.owner.(s) = index then acc := s :: !acc
+  done;
+  !acc
+
+(* Group [index]'s current incarnation gets a fresh disjoint replica-id
+   window and its own fault seed; incarnation 0 (the initial group 0) keeps
+   the base seed and ids untouched, so a 1-group epoch-0 system is
+   byte-for-byte the unsharded {!Active} path. *)
+let fresh_active t ~index ~scheduler =
+  let inc = t.incarnations in
+  t.incarnations <- inc + 1;
+  let base =
+    { t.params.base with
+      Active.shard = index; scheduler;
+      replica_base = inc * t.params.base.Active.replicas;
+      faults = Option.map (Shard.salt_faults inc) t.params.base.Active.faults }
+  in
+  let sys = Active.create ~obs:t.obs ~engine:t.engine ~cls:t.cls ~params:base () in
+  Group.set_epoch (Active.group sys) t.epoch;
+  (match t.on_group with Some f -> f ~index sys | None -> ());
+  sys
+
+let create ?(obs = Recorder.disabled) ?on_group ~engine ~cls
+    ~(params : params) () =
+  if params.slots < 1 then invalid_arg "Reconfig.create: slots < 1";
+  if params.initial_groups < 1 then
+    invalid_arg "Reconfig.create: initial_groups < 1";
+  if params.initial_groups > params.max_groups then
+    invalid_arg "Reconfig.create: initial_groups > max_groups";
+  if params.initial_groups > params.slots then
+    invalid_arg "Reconfig.create: more initial groups than slots";
+  if params.base.Active.replica_base <> 0 then
+    invalid_arg "Reconfig.create: base.replica_base must be 0";
+  let scheduler = params.base.Active.scheduler in
+  let t =
+    { engine; params; obs; cls; plans = Hashtbl.create 8;
+      owner = Array.init params.slots (fun s -> s mod params.initial_groups);
+      groups = [||]; retired = []; incarnations = 0; epoch = 0;
+      transitions = []; frozen = false; busy = false; held = Queue.create ();
+      commands = Queue.create (); aborted = 0;
+      pending = Hashtbl.create 256; answered = Hashtbl.create 256;
+      response_times = Detmt_stats.Summary.create (); replies = 0;
+      reply_times = []; fast_path = 0; cross_path = 0; held_total = 0;
+      policy = None; armed = false;
+      adaptive_summary =
+        lazy (Some (snd (Detmt_transform.Transform.predictive cls)));
+      on_group }
+  in
+  t.groups <-
+    Array.init params.initial_groups (fun index ->
+        { index; sys = fresh_active t ~index ~scheduler; live = true;
+          inflight = 0 });
+  (* Deterministic transformation: every group computed the same summary;
+     group 0's copy drives the routing plans (as in {!Shard}). *)
+  let plan_src = Shard.plan_table ~summary:(Active.summary t.groups.(0).sys) cls in
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.plans k v) plan_src;
+  t
+
+(* ------------------------------- routing ----------------------------- *)
+
+let find_group t index =
+  if index < 0 || index >= Array.length t.groups then None
+  else Some t.groups.(index)
+
+let group_of t index =
+  match find_group t index with
+  | Some g -> g
+  | None -> invalid_arg (Printf.sprintf "Reconfig: no group %d" index)
+
+let route_of t m = t.owner.(Shard.route ~shards:t.params.slots m)
+
+(* The live group indices a request involves under the current epoch —
+   a pure function of (plan, arguments, owner table). *)
+let group_set t ~meth ~args =
+  match live_groups t with
+  | [ g ] -> [ g.index ]
+  | live -> (
+    match Shard.plan_mutexes t.plans ~meth ~args with
+    | None -> List.map (fun g -> g.index) live
+    | Some [] -> [ (coordinator t).index ]
+    | Some ms -> List.sort_uniq compare (List.map (route_of t) ms))
+
+let client_arrival t =
+  Engine.now t.engine +. t.params.base.Active.client_latency_ms
+
+let note_reply t ~response_ms =
+  t.replies <- t.replies + 1;
+  Detmt_stats.Summary.add t.response_times response_ms;
+  t.reply_times <- client_arrival t :: t.reply_times;
+  if Recorder.enabled t.obs then begin
+    Recorder.incr t.obs "reconfig.replies";
+    Recorder.observe t.obs "reconfig.response_ms" response_ms
+  end
+
+(* ---------------------- submission & transitions --------------------- *)
+
+let rec dispatch t ~sent_at ~client ~client_req ~meth ~args ~on_reply =
+  let key = (client, client_req) in
+  match group_set t ~meth ~args with
+  | [] -> assert false
+  | coordinator :: followers as involved ->
+    (* The latch survives client retries: a resubmission reuses it (each
+       group answers a key exactly once, so a second latch could never
+       drain).  Pending latches never straddle an epoch — the drain step
+       empties [pending] before any transition applies — so the involved
+       set resolved here is stable for the latch's whole lifetime. *)
+    let latch =
+      match Hashtbl.find_opt t.pending key with
+      | Some l -> l
+      | None ->
+        let l =
+          { remaining = List.length involved; l_sent_at = sent_at;
+            l_on_reply = on_reply }
+        in
+        Hashtbl.replace t.pending key l;
+        List.iter
+          (fun gi ->
+            let g = group_of t gi in
+            g.inflight <- g.inflight + 1;
+            if Recorder.enabled t.obs then
+              Recorder.incr t.obs (Printf.sprintf "reconfig.%d.requests" gi))
+          involved;
+        if followers = [] then t.fast_path <- t.fast_path + 1
+        else t.cross_path <- t.cross_path + 1;
+        l
+    in
+    let group_reply g ~response_ms:_ =
+      g.inflight <- g.inflight - 1;
+      latch.remaining <- latch.remaining - 1;
+      if latch.remaining = 0 then begin
+        Hashtbl.remove t.pending key;
+        Hashtbl.replace t.answered key ();
+        let response_ms = client_arrival t -. latch.l_sent_at in
+        note_reply t ~response_ms;
+        latch.l_on_reply ~response_ms
+      end
+    in
+    (* Phase 1 orders the request on the coordinator (smallest involved
+       group); phase 2 submits to the rest the moment it holds a slot in
+       the coordinator's total order — {!Shard}'s two-phase protocol over
+       the epoch's group set. *)
+    let co = group_of t coordinator in
+    Active.submit co.sys ~client ~client_req ~meth ~args
+      ~on_reply:(group_reply co)
+      ~on_ordered:(fun ~seq:_ ->
+        List.iter
+          (fun gi ->
+            let g = group_of t gi in
+            Active.submit g.sys ~client ~client_req ~meth ~args
+              ~on_reply:(group_reply g))
+          followers)
+
+and submit t ~client ~client_req ~meth ~args ~on_reply =
+  let key = (client, client_req) in
+  if not (Hashtbl.mem t.answered key) then begin
+    if t.frozen then begin
+      (* Admission is frozen behind a reconfiguration barrier: hold the
+         submission (retries included) and re-resolve its route under the
+         new epoch at flush time. *)
+      Queue.add
+        { h_client = client; h_client_req = client_req; h_meth = meth;
+          h_args = args; h_on_reply = on_reply;
+          h_at = Engine.now t.engine }
+        t.held;
+      t.held_total <- t.held_total + 1;
+      if Recorder.enabled t.obs then Recorder.incr t.obs "reconfig.held"
+    end
+    else
+      dispatch t ~sent_at:(Engine.now t.engine) ~client ~client_req ~meth
+        ~args ~on_reply;
+    maybe_arm t
+  end
+
+(* ----- the transition protocol: barrier, freeze, drain, apply, thaw ----- *)
+
+and begin_transition t cmd =
+  t.busy <- true;
+  let epoch' = t.epoch + 1 in
+  let label = command_to_string cmd in
+  let co = coordinator t in
+  Active.order_barrier co.sys ~epoch:epoch' ~label
+    ~on_ordered:(fun ~seq ->
+      (* Spread the barrier so every replica of every live group observes
+         the transition at a slot of its own total order. *)
+      List.iter
+        (fun g ->
+          if g.index <> co.index then
+            Active.order_barrier g.sys ~epoch:epoch' ~label
+              ~on_ordered:(fun ~seq:_ -> ()))
+        (live_groups t);
+      t.frozen <- true;
+      let deadline = Engine.now t.engine +. t.params.drain_timeout_ms in
+      drain t ~deadline ~cmd ~barrier_seq:seq)
+
+and drain t ~deadline ~cmd ~barrier_seq =
+  if
+    Hashtbl.length t.pending = 0
+    && List.for_all (fun g -> Active.quiescent g.sys) (live_groups t)
+  then apply t ~cmd ~barrier_seq
+  else if Engine.now t.engine >= deadline then begin
+    (* The in-flight window would not drain (a stuck workload): drop the
+       command rather than wedge the run.  Deterministic — the deadline is
+       virtual time. *)
+    t.aborted <- t.aborted + 1;
+    Logs.warn (fun m ->
+        m "reconfig: drain for %s timed out; command dropped"
+          (command_to_string cmd));
+    finish t
+  end
+  else
+    Engine.schedule t.engine ~delay:t.params.drain_poll_ms (fun () ->
+        drain t ~deadline ~cmd ~barrier_seq)
+
+and apply t ~cmd ~barrier_seq =
+  let applied =
+    match cmd with
+    | Split gi -> apply_split t gi
+    | Merge { from_g; into } -> apply_merge t ~from_g ~into
+    | Hot_swap { group; scheduler } -> apply_swap t ~gi:group ~scheduler
+  in
+  if applied then begin
+    t.epoch <- t.epoch + 1;
+    List.iter
+      (fun g -> Group.set_epoch (Active.group g.sys) t.epoch)
+      (live_groups t);
+    t.transitions <-
+      { tr_epoch = t.epoch; tr_at_ms = Engine.now t.engine;
+        tr_barrier_seq = barrier_seq; tr_command = cmd;
+        tr_groups = live_count t }
+      :: t.transitions;
+    if Recorder.enabled t.obs then begin
+      Recorder.incr t.obs "reconfig.transitions";
+      Recorder.set_gauge t.obs "reconfig.epoch" (float_of_int t.epoch);
+      Recorder.set_gauge t.obs "reconfig.groups"
+        (float_of_int (live_count t));
+      Recorder.series t.obs ~name:"reconfig.epoch"
+        ~at:(Engine.now t.engine) ~value:(float_of_int t.epoch)
+    end
+  end
+  else t.aborted <- t.aborted + 1;
+  finish t
+
+(* Split: the donor keeps every even-positioned slot it owns, a brand-new
+   group takes the odd ones.  The new group bootstraps from the donor's
+   quiescent snapshot — dedup ledger, mutex fields, per-offset aliveness —
+   and starts its own per-group counters at zero (folded back at merge). *)
+and apply_split t gi =
+  match find_group t gi with
+  | None -> false
+  | Some g ->
+  let owned = slots_of t gi in
+  if (not g.live) || List.length owned < 2 || live_count t >= t.params.max_groups
+  then false
+  else begin
+    let index = Array.length t.groups in
+    let sys =
+      fresh_active t ~index ~scheduler:(Active.scheduler_name g.sys)
+    in
+    Active.bootstrap sys ~from:g.sys ~carry_state:false;
+    t.groups <-
+      Array.append t.groups [| { index; sys; live = true; inflight = 0 } |];
+    List.iteri (fun k s -> if k mod 2 = 1 then t.owner.(s) <- index) owned;
+    if Recorder.enabled t.obs then Recorder.incr t.obs "reconfig.splits";
+    true
+  end
+
+(* Merge: the survivor absorbs the retiring group's state-field totals and
+   its dedup ledger, then inherits its slots; the retired group stays in
+   place, quiescent, for post-run consistency checks. *)
+and apply_merge t ~from_g ~into =
+  if from_g = into then false
+  else
+    match (find_group t from_g, find_group t into) with
+    | None, _ | _, None -> false
+    | Some d, Some s ->
+    if (not d.live) || not s.live then false
+    else begin
+      Active.absorb_state s.sys ~delta:(Active.donor_state d.sys);
+      Active.merge_dedups s.sys ~from:d.sys;
+      Array.iteri
+        (fun slot o -> if o = from_g then t.owner.(slot) <- into)
+        t.owner;
+      d.live <- false;
+      t.retired <- d.sys :: t.retired;
+      if Recorder.enabled t.obs then Recorder.incr t.obs "reconfig.merges";
+      true
+    end
+
+(* Hot swap: rebuild the group's decision module by reincarnating the whole
+   group under the new scheduler, transplanting the quiescent substrate
+   state (object fields, mutex fields, dedup ledger, completed counts,
+   aliveness).  At quiescence no scheduler bookkeeping is live, so a fresh
+   decision module is the carried-over state — identically on every
+   replica. *)
+and apply_swap t ~gi ~scheduler =
+  match (find_group t gi, Detmt_sched.Registry.find scheduler) with
+  | None, _ | _, None -> false
+  | Some g, Some _ ->
+  if (not g.live) || Active.scheduler_name g.sys = scheduler then false
+  else begin
+    let sys = fresh_active t ~index:gi ~scheduler in
+    Active.bootstrap sys ~from:g.sys ~carry_state:true;
+    t.retired <- g.sys :: t.retired;
+    g.sys <- sys;
+    if Recorder.enabled t.obs then Recorder.incr t.obs "reconfig.swaps";
+    true
+  end
+
+and finish t =
+  t.frozen <- false;
+  t.busy <- false;
+  (* Thaw: flush the held queue in FIFO order; every entry re-resolves its
+     route under the new epoch, and entries answered in the meantime (a
+     retry whose original was in the drained window) are dropped by the
+     answered check. *)
+  let flush = Queue.create () in
+  Queue.transfer t.held flush;
+  Queue.iter
+    (fun h ->
+      if not (Hashtbl.mem t.answered (h.h_client, h.h_client_req)) then
+        dispatch t ~sent_at:h.h_at ~client:h.h_client
+          ~client_req:h.h_client_req ~meth:h.h_meth ~args:h.h_args
+          ~on_reply:h.h_on_reply)
+    flush;
+  match Queue.take_opt t.commands with
+  | Some cmd -> begin_transition t cmd
+  | None -> ()
+
+(* ------------------------------ commands ----------------------------- *)
+
+and validate t = function
+  | Split gi ->
+    let g = group_of t gi in
+    if not g.live then invalid_arg "Reconfig: split of a retired group";
+    if live_count t >= t.params.max_groups then
+      invalid_arg "Reconfig: split would exceed max_groups";
+    if List.length (slots_of t gi) < 2 then
+      invalid_arg "Reconfig: split of a single-slot group"
+  | Merge { from_g; into } ->
+    if from_g = into then invalid_arg "Reconfig: merge of a group into itself";
+    if not (group_of t from_g).live then
+      invalid_arg "Reconfig: merge from a retired group";
+    if not (group_of t into).live then
+      invalid_arg "Reconfig: merge into a retired group"
+  | Hot_swap { group; scheduler } ->
+    if not (group_of t group).live then
+      invalid_arg "Reconfig: hot swap of a retired group";
+    ignore (Detmt_sched.Registry.find_exn scheduler)
+
+and request t cmd =
+  (* Commands queued behind a running transition are validated only when
+     they reach the front (inside [apply], which treats a command the world
+     has outrun as an aborted no-op) — the requester cannot know what the
+     group set will look like by then. *)
+  if t.busy then Queue.add cmd t.commands
+  else begin
+    validate t cmd;
+    begin_transition t cmd
+  end
+
+(* ---------------------------- autoscaling ---------------------------- *)
+
+(* A deterministic controller over the per-group queue depths the router
+   already maintains (and exports as detmt.obs gauges): split the hottest
+   group above the high watermark, merge cold groups below the low one,
+   and consult the {!Detmt_sched.Adaptive} recommendation table to hot-swap
+   the hottest group's scheduler mid-run.  Ticks re-arm only while work is
+   in flight, so the controller never keeps the simulation alive. *)
+
+and decide t p =
+  let live = live_groups t in
+  let hottest =
+    List.fold_left
+      (fun best g ->
+        match best with
+        | Some b when b.inflight >= g.inflight -> best
+        | _ -> Some g)
+      None live
+  in
+  match hottest with
+  | None -> None
+  | Some hot ->
+    if
+      hot.inflight >= p.split_above
+      && live_count t < min p.max_live t.params.max_groups
+      && List.length (slots_of t hot.index) >= 2
+    then Some (Split hot.index)
+    else begin
+      let cold = List.filter (fun g -> g.inflight <= p.merge_below) live in
+      match (cold, live_count t > p.min_live) with
+      | c0 :: _ :: _, true ->
+        (* fold the highest-indexed cold group into the lowest-indexed one *)
+        let from_g =
+          List.fold_left (fun acc g -> max acc g.index) c0.index cold
+        in
+        if from_g <> c0.index then
+          Some (Merge { from_g; into = c0.index })
+        else None
+      | _ ->
+        if
+          p.hot_swap && hot.inflight > p.merge_below
+          && Lazy.force t.adaptive_summary <> None
+        then begin
+          let want =
+            Detmt_sched.Adaptive.recommend
+              ~summary:(Lazy.force t.adaptive_summary)
+              ~avg_concurrency:(float_of_int hot.inflight)
+          in
+          if want <> Active.scheduler_name hot.sys then
+            Some (Hot_swap { group = hot.index; scheduler = want })
+          else None
+        end
+        else None
+    end
+
+and tick t p =
+  if Recorder.enabled t.obs then begin
+    List.iter
+      (fun g ->
+        Recorder.set_gauge t.obs
+          (Printf.sprintf "reconfig.%d.queue_depth" g.index)
+          (float_of_int g.inflight))
+      (live_groups t);
+    Recorder.set_gauge t.obs "reconfig.groups" (float_of_int (live_count t))
+  end;
+  if (not t.busy) && not t.frozen then begin
+    match decide t p with Some cmd -> request t cmd | None -> ()
+  end;
+  let inflight_total =
+    List.fold_left (fun n g -> n + g.inflight) 0 (live_groups t)
+  in
+  if
+    inflight_total > 0 || t.busy || t.frozen
+    || Queue.length t.held > 0
+    || Queue.length t.commands > 0
+  then Engine.schedule t.engine ~delay:p.interval_ms (fun () -> tick t p)
+  else t.armed <- false
+
+and maybe_arm t =
+  match t.policy with
+  | Some p when not t.armed ->
+    t.armed <- true;
+    Engine.schedule t.engine ~delay:p.interval_ms (fun () -> tick t p)
+  | _ -> ()
+
+let request_at t ~at cmd =
+  (* A time-scheduled command races every transition before it: by [at] the
+     group it names may not exist yet (a split still draining) or may be
+     gone.  Like a queued command, it aborts instead of raising. *)
+  Engine.schedule_at t.engine ~time:at (fun () ->
+      match request t cmd with
+      | () -> ()
+      | exception Invalid_argument reason ->
+        t.aborted <- t.aborted + 1;
+        Logs.warn (fun m ->
+            m "reconfig: scheduled %s dropped: %s" (command_to_string cmd)
+              reason))
+
+let set_autoscale t p =
+  if p.interval_ms <= 0.0 then invalid_arg "Reconfig: interval_ms <= 0";
+  t.policy <- Some p
+
+(* -------------------------- faults & recovery ------------------------ *)
+
+(* Kills and recoveries address (group, offset) and resolve the group's
+   {e current} incarnation at fire time, so a recovery scheduled before a
+   hot swap lands on whichever incarnation serves the group when it fires —
+   the swap-racing-recovery chaos scenario. *)
+
+let kill_replica t ~group ~offset =
+  let g = group_of t group in
+  Active.kill_replica g.sys
+    ((Active.params g.sys).Active.replica_base + offset)
+
+let recover_replica t ~group ~offset ~at =
+  Engine.schedule_at t.engine ~time:at (fun () ->
+      let g = group_of t group in
+      Active.recover_replica g.sys
+        ((Active.params g.sys).Active.replica_base + offset))
+
+(* ------------------------------ clients ------------------------------ *)
+
+let diagnose t ~stuck =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Client.stuck_header ~stuck);
+  Buffer.add_string buf
+    (Printf.sprintf "\n epoch %d%s" t.epoch
+       (if t.frozen then " (frozen behind a reconfiguration barrier)" else ""));
+  List.iter
+    (fun g ->
+      Buffer.add_string buf
+        (Printf.sprintf "\n group %d (%s):" g.index
+           (Active.scheduler_name g.sys));
+      Buffer.add_string buf (Client.active_diagnostics g.sys))
+    (live_groups t);
+  Buffer.contents buf
+
+let run_clients_stats t ~clients ~requests_per_client ~gen ?think_time_ms
+    ?seed ?until_ms ?timeout_ms ?max_retries () =
+  Client.run_clients_stats_on ~engine:t.engine
+    ~submit:(fun ~client ~client_req ~meth ~args ~on_reply ->
+      submit t ~client ~client_req ~meth ~args ~on_reply)
+    ~diagnose:(fun ~stuck -> diagnose t ~stuck)
+    ~clients ~requests_per_client ~gen ?think_time_ms ?seed ?until_ms
+    ?timeout_ms ?max_retries ()
+
+let run_clients t ~clients ~requests_per_client ~gen ?think_time_ms ?seed
+    ?until_ms () =
+  ignore
+    (run_clients_stats t ~clients ~requests_per_client ~gen ?think_time_ms
+       ?seed ?until_ms ())
+
+(* ----------------------------- accessors ----------------------------- *)
+
+let engine t = t.engine
+
+let epoch t = t.epoch
+
+let transitions t = List.rev t.transitions
+
+let live_systems t = List.map (fun g -> g.sys) (live_groups t)
+
+let group_count t = live_count t
+
+let groups_ever t = live_systems t @ List.rev t.retired
+
+let replies_received t = t.replies
+
+let reply_times t = List.rev t.reply_times
+
+let response_times t = t.response_times
+
+let fast_path_requests t = t.fast_path
+
+let cross_group_requests t = t.cross_path
+
+let held_requests t = t.held_total
+
+let aborted_transitions t = t.aborted
+
+let splits t =
+  List.length
+    (List.filter (fun tr -> match tr.tr_command with Split _ -> true | _ -> false)
+       t.transitions)
+
+let merges t =
+  List.length
+    (List.filter (fun tr -> match tr.tr_command with Merge _ -> true | _ -> false)
+       t.transitions)
+
+let swaps t =
+  List.length
+    (List.filter
+       (fun tr -> match tr.tr_command with Hot_swap _ -> true | _ -> false)
+       t.transitions)
+
+let recoveries t =
+  List.fold_left (fun n g -> n + Active.recoveries g) 0 (groups_ever t)
+
+let broadcasts t =
+  List.fold_left (fun n g -> n + Active.broadcasts g) 0 (groups_ever t)
+
+let duplicate_client_replies t =
+  List.fold_left
+    (fun n g -> n + Active.duplicate_client_replies g)
+    0 (groups_ever t)
+
+(* Aggregate state across live groups: with per-group commutative counters,
+   the slot-preserving invariant — a split-then-merge cycle leaves the
+   aggregate exactly where the static run put it. *)
+let aggregate_state t =
+  let acc = Hashtbl.create 8 in
+  List.iter
+    (fun sys ->
+      List.iter
+        (fun (f, v) ->
+          Hashtbl.replace acc f
+            (v + Option.value ~default:0 (Hashtbl.find_opt acc f)))
+        (Active.donor_state sys))
+    (live_systems t);
+  Hashtbl.fold (fun f v l -> (f, v) :: l) acc [] |> List.sort compare
+
+let consistent t =
+  List.for_all
+    (fun sys ->
+      Consistency.consistent (Consistency.check (Active.live_replicas sys)))
+    (groups_ever t)
+
+(* The recovery-tolerant oracle: a recovered replica's trace covers only
+   its post-recovery suffix, so after crash-recovery only state (and
+   acquisition order going forward) is comparable — the same contract
+   {!Chaos} checks. *)
+let states_agree t =
+  List.for_all
+    (fun sys ->
+      (Consistency.check (Active.live_replicas sys)).Consistency.states_agree)
+    (groups_ever t)
+
+(* Bit-identical epoch observation: within each group, every live replica
+   folded the same barriers at the same total-order slots. *)
+let epochs_agree t =
+  List.for_all
+    (fun sys ->
+      match Active.barrier_fingerprints sys with
+      | [] -> true
+      | (_, fp0, n0) :: rest ->
+        List.for_all (fun (_, fp, n) -> Int64.equal fp fp0 && n = n0) rest)
+    (groups_ever t)
+
+(* Whole-run hash: every group's live replica traces and states, the reply
+   count, and the transition log (epoch, barrier slot, time, command). *)
+let fingerprint t =
+  let h = ref 0xcbf29ce484222325L in
+  let mix v = h := Int64.mul (Int64.logxor !h v) 0x100000001b3L in
+  List.iter
+    (fun sys ->
+      List.iter
+        (fun r ->
+          mix (Int64.of_int (Detmt_runtime.Replica.id r));
+          mix (Detmt_sim.Trace.fingerprint (Detmt_runtime.Replica.trace r));
+          mix (Detmt_runtime.Replica.state_fingerprint r))
+        (Active.live_replicas sys))
+    (groups_ever t);
+  mix (Int64.of_int t.replies);
+  List.iter
+    (fun tr ->
+      mix (Int64.of_int tr.tr_epoch);
+      mix (Int64.of_int tr.tr_barrier_seq);
+      mix (Int64.bits_of_float tr.tr_at_ms);
+      mix (Int64.of_int (Hashtbl.hash tr.tr_command)))
+    (List.rev t.transitions);
+  !h

@@ -100,6 +100,25 @@ let summary_plan (m : Detmt_analysis.Predict.method_summary) =
     | ps -> Args (List.sort_uniq compare ps)
     | exception Opaque -> Everywhere
 
+(* The mutex ids a request's routing depends on, straight from the plan:
+   [None] when the closure is opaque or the arguments malformed (order
+   everywhere), [Some []] when the request locks nothing. *)
+let plan_mutexes plans ~meth ~args =
+  match Hashtbl.find_opt plans meth with
+  | None | Some Everywhere -> None
+  | Some (Args positions) ->
+    List.fold_left
+      (fun acc i ->
+        match acc with
+        | None -> None
+        | Some ms ->
+          if i < Array.length args then
+            match args.(i) with
+            | Ast.Vmutex m -> Some (m :: ms)
+            | _ -> None
+          else None)
+      (Some []) positions
+
 let plan_table ~summary cls =
   let plans = Hashtbl.create 8 in
   List.iter
@@ -186,28 +205,12 @@ let all_shards t = List.init t.params.shards (fun s -> s)
 let shard_set t ~meth ~args =
   if t.params.shards = 1 then [ 0 ]
   else
-    match Hashtbl.find_opt t.plans meth with
-    | None | Some Everywhere -> all_shards t
-    | Some (Args positions) -> (
-      let mutexes =
-        List.fold_left
-          (fun acc i ->
-            match acc with
-            | None -> None
-            | Some ms ->
-              if i < Array.length args then
-                match args.(i) with
-                | Ast.Vmutex m -> Some (m :: ms)
-                | _ -> None
-              else None)
-          (Some []) positions
-      in
-      match mutexes with
-      | None -> all_shards t
-      | Some [] -> [ 0 ]
-      | Some ms ->
-        List.sort_uniq compare
-          (List.map (fun m -> route ~shards:t.params.shards m) ms))
+    match plan_mutexes t.plans ~meth ~args with
+    | None -> all_shards t
+    | Some [] -> [ 0 ]
+    | Some ms ->
+      List.sort_uniq compare
+        (List.map (fun m -> route ~shards:t.params.shards m) ms)
 
 (* Arrival at the client is one client hop after the group's reply event —
    the same convention as [Active.reply_times], so a 1-shard run records

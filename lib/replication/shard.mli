@@ -51,6 +51,37 @@ val route : shards:int -> int -> int
     hash of [m] alone — no state, no seed — so every participant agrees on
     the placement without communicating. *)
 
+(** {2 Routing plans (shared with {!Reconfig})}
+
+    Per start method: either the lock closure is exactly the mutexes carried
+    in the listed argument positions, or it is opaque and the request must be
+    ordered on every shard. *)
+
+type plan =
+  | Args of int list  (** argument positions carrying the closure's mutexes *)
+  | Everywhere  (** opaque closure: order on every shard *)
+
+val plan_table :
+  summary:Detmt_analysis.Predict.class_summary option ->
+  Detmt_lang.Class_def.t ->
+  (string, plan) Hashtbl.t
+(** One plan per start method: from the §4.3 prediction summary when
+    available, otherwise a conservative syntactic scan of the source body
+    (through same-class calls). *)
+
+val plan_mutexes :
+  (string, plan) Hashtbl.t ->
+  meth:string ->
+  args:Detmt_lang.Ast.value array ->
+  int list option
+(** The mutex ids a request's routing depends on: [None] when the closure is
+    opaque or the arguments malformed (order everywhere), [Some []] when the
+    request locks nothing. *)
+
+val salt_faults : int -> Detmt_gcs.Faults.spec -> Detmt_gcs.Faults.spec
+(** Derive group [i]'s fault seed from the base spec; [0] keeps the base
+    seed untouched so a 1-group system is byte-for-byte the unsharded one. *)
+
 val create :
   ?obs:Detmt_obs.Recorder.t ->
   engine:Detmt_sim.Engine.t ->

@@ -1,0 +1,92 @@
+open Detmt_lang
+
+type params = {
+  objects : int;
+  skew : float;
+  drift_every : int;
+  drift_step : int;
+  cross_ratio : float;
+  hold_ms : float;
+  tail_ms : float;
+}
+
+let default =
+  { objects = 64; skew = 1.1; drift_every = 32; drift_step = 7;
+    cross_ratio = 0.05; hold_ms = 1.0; tail_ms = 0.0 }
+
+let update_method = "update"
+
+let transfer_method = "transfer"
+
+let locked p =
+  let open Builder in
+  (if p.hold_ms > 0.0 then [ compute p.hold_ms ] else [])
+  @ [ state_incr "state" 1 ]
+
+(* Same replicated object as {!Sharded} — one- and two-object closures over
+   a partitionable mutex space — only the client-side draw differs.  The
+   class is what the schedulers see; the skew lives entirely in which
+   arguments clients ship. *)
+let cls p =
+  let open Builder in
+  if p.objects < 1 then invalid_arg "Hotspot.cls: objects < 1";
+  let tail = if p.tail_ms > 0.0 then [ compute p.tail_ms ] else [] in
+  cls ~cname:"Hotspot" ~state_fields:[ "state" ]
+    [ meth update_method ~params:1 (sync (arg 0) (locked p) :: tail);
+      meth transfer_method ~params:2
+        ([ sync (arg 0) (locked p); sync (arg 1) (locked p) ] @ tail);
+    ]
+
+(* Zipf(s) over ranks 0..n-1 by inversion of the precomputed CDF: rank r
+   has mass (r+1)^-s / H.  The table depends only on (objects, skew), so we
+   memoise the last one — sweeps rebuild it once per grid point. *)
+let cdf_cache : (int * float, float array) Hashtbl.t = Hashtbl.create 4
+
+let zipf_cdf p =
+  match Hashtbl.find_opt cdf_cache (p.objects, p.skew) with
+  | Some c -> c
+  | None ->
+    let w = Array.init p.objects (fun r -> (float_of_int (r + 1)) ** -.p.skew) in
+    let total = Array.fold_left ( +. ) 0.0 w in
+    let acc = ref 0.0 in
+    let c =
+      Array.map
+        (fun x ->
+          acc := !acc +. (x /. total);
+          !acc)
+        w
+    in
+    c.(p.objects - 1) <- 1.0;
+    Hashtbl.replace cdf_cache (p.objects, p.skew) c;
+    c
+
+let rank_of_draw cdf u =
+  (* first rank whose cumulative mass covers u *)
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* The hotspot drifts with the {e request sequence number}, not with time:
+   every client agrees on where the hot zone sits for its k-th request
+   without any shared state, and equal-seed runs draw identical objects. *)
+let center p ~seq =
+  if p.drift_every <= 0 then 0
+  else seq / p.drift_every * p.drift_step mod p.objects
+
+let draw p cdf ~seq rng =
+  let u = Detmt_sim.Rng.float rng 1.0 in
+  let rank = rank_of_draw cdf u in
+  (center p ~seq + rank) mod p.objects
+
+let gen p ~client:_ ~seq rng =
+  let cdf = zipf_cdf p in
+  if Detmt_sim.Rng.bool rng p.cross_ratio then begin
+    let a = draw p cdf ~seq rng in
+    let d = 1 + Detmt_sim.Rng.int rng (max 1 (p.objects - 1)) in
+    let b = (a + d) mod p.objects in
+    (transfer_method, [| Ast.Vmutex a; Ast.Vmutex b |])
+  end
+  else (update_method, [| Ast.Vmutex (draw p cdf ~seq rng) |])

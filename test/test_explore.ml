@@ -45,6 +45,21 @@ let test_schedule_comments_ignored () =
   Alcotest.check i "one entry" 1 (Schedule.size s);
   Alcotest.check b "defaults kept" true (s.Schedule.seed = 42)
 
+let test_schedule_elastic_roundtrip () =
+  let s =
+    Schedule.make ~elastic:true ~scheduler:"pds" ~workload:"hotspot"
+      [ Schedule.Crash { replica = 1; at_ms = 13.0; recover_at_ms = 40.0 } ]
+  in
+  let s' = Schedule.of_string (Schedule.to_string s) in
+  Alcotest.check b "round-trip" true (s = s');
+  Alcotest.check b "elastic survives" true s'.Schedule.elastic;
+  (* A pre-elastic witness (no [elastic] header line) parses as static. *)
+  let legacy =
+    Schedule.of_string
+      "# detmt explore schedule v1\nscheduler mat\nworkload figure1\n"
+  in
+  Alcotest.check b "legacy static" false legacy.Schedule.elastic
+
 (* ----------------------------- canonical runs ----------------------------- *)
 
 let base scheduler =
@@ -88,6 +103,21 @@ let test_classify_tiers () =
   | Explore.Divergent _ -> ()
   | v -> Alcotest.failf "expected Divergent, got %s" (Explore.verdict_to_string v)
 
+let elastic_base scheduler =
+  Schedule.make ~clients:3 ~requests:3 ~elastic:true ~scheduler
+    ~workload:"hotspot" []
+
+let test_elastic_canonical_baseline () =
+  let s = elastic_base "mat" in
+  let cls, gen = Explore.resolve_workload s.Schedule.workload in
+  let outcome, _ = Explore.run_one ~cls ~gen s in
+  Alcotest.check i "all replies" outcome.Explore.o_expected
+    outcome.Explore.o_replies;
+  Alcotest.check i "split and merge applied" 2 outcome.Explore.o_transitions;
+  Alcotest.check b "epochs agree" true outcome.Explore.o_epochs_agree;
+  Alcotest.check b "states agree" true outcome.Explore.o_states_agree;
+  Alcotest.check b "no divergence" true (outcome.Explore.o_divergence = None)
+
 (* -------------------------------- search -------------------------------- *)
 
 let test_explore_certifies_seq () =
@@ -100,6 +130,12 @@ let freefall_base =
   (* the full 4x5 matrix: freefall grants at raw local arrival order, and
      this workload exhibits a divergence within a couple dozen runs *)
   Schedule.make ~scheduler:"freefall" ~workload:"figure1" []
+
+let test_explore_certifies_elastic () =
+  let r = Explore.explore ~budget:25 (elastic_base "mat") in
+  Alcotest.check b "no divergence" true (r.Explore.divergent = []);
+  Alcotest.check b "spent the budget" true
+    (r.Explore.stats.Explore.explored > 1)
 
 let test_explore_finds_freefall_divergence () =
   let r = Explore.explore ~budget:40 freefall_base in
@@ -152,6 +188,14 @@ let test_pds_regressions_clean () =
     [ "pds_batch_skew_regression.sched";
       "pds_round_reply_race_regression.sched" ]
 
+let test_elastic_crash_witness_clean () =
+  (* crash inside the reconfiguration window, recovery after the merge:
+     order may shift (recovery traffic), but no divergence is admissible *)
+  match replay_witness "elastic_crash_in_window.sched" with
+  | Explore.Divergent d ->
+    Alcotest.failf "elastic crash witness diverged: %s" d
+  | _ -> ()
+
 let test_witness_sizes_bounded () =
   (* The ISSUE bounds the promotion-race witness at 25 events; ours are
      1-minimal. *)
@@ -167,14 +211,20 @@ let () =
   Alcotest.run "explore"
     [ ( "schedule",
         [ Alcotest.test_case "round-trip" `Quick test_schedule_roundtrip;
+          Alcotest.test_case "elastic round-trip" `Quick
+            test_schedule_elastic_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_schedule_parse_errors;
           Alcotest.test_case "comments ignored" `Quick
             test_schedule_comments_ignored ] );
       ( "runs",
         [ Alcotest.test_case "canonical baseline" `Quick test_canonical_baseline;
+          Alcotest.test_case "elastic canonical baseline" `Quick
+            test_elastic_canonical_baseline;
           Alcotest.test_case "verdict tiers" `Quick test_classify_tiers ] );
       ( "search",
         [ Alcotest.test_case "certifies seq" `Quick test_explore_certifies_seq;
+          Alcotest.test_case "certifies elastic mat" `Quick
+            test_explore_certifies_elastic;
           Alcotest.test_case "finds freefall divergence" `Quick
             test_explore_finds_freefall_divergence;
           Alcotest.test_case "shrinks witness" `Quick
@@ -186,5 +236,7 @@ let () =
             test_sat_witness_diverges;
           Alcotest.test_case "PDS regressions clean" `Quick
             test_pds_regressions_clean;
+          Alcotest.test_case "elastic crash-in-window clean" `Quick
+            test_elastic_crash_witness_clean;
           Alcotest.test_case "witnesses bounded" `Quick
             test_witness_sizes_bounded ] ) ]
