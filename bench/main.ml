@@ -60,8 +60,20 @@ let table_json t =
             rows));
       ("median_by_column", Json.Obj medians) ]
 
+(* Every BENCH_*.json carries a schema version at the top level; bump it
+   whenever the field set changes so dashboards fail loudly instead of
+   reading stale columns.  v2 added wall_ms / minor_words / major_words /
+   series_points / peak_pending cost columns. *)
+let schema_version = 2
+
 let emit_json name json =
   if !json_mode then begin
+    let json =
+      match json with
+      | Json.Obj fields when not (List.mem_assoc "schema_version" fields) ->
+        Json.Obj (("schema_version", Json.Int schema_version) :: fields)
+      | j -> j
+    in
     let path = Printf.sprintf "BENCH_%s.json" name in
     let oc = open_out path in
     output_string oc (Json.to_string json);
@@ -84,7 +96,15 @@ let scheduler_metrics ?(clients = 8) scheduler =
   let wl = Figure1.default in
   let cls = Figure1.cls wl and gen = Figure1.gen wl in
   let obs = Recorder.create () in
-  let r = Experiment.run_workload ~obs ~scheduler ~clients ~cls ~gen () in
+  let r, wall_ms, minor_words, major_words =
+    Experiment.costed (fun () ->
+        Experiment.run_workload ~obs ~scheduler ~clients ~cls ~gen ())
+  in
+  let ts = Recorder.timeseries obs in
+  let peak_pending =
+    let v = Timeseries.peak ts "engine.pending" in
+    if Float.is_nan v then 0.0 else v
+  in
   let m = Recorder.metrics obs in
   let c suffix = Metrics.counter_value m ("sched." ^ scheduler ^ "." ^ suffix) in
   let grants =
@@ -100,7 +120,12 @@ let scheduler_metrics ?(clients = 8) scheduler =
         ("grants", Json.Int grants);
         ("deferrals", Json.Int (c "deferrals"));
         ("totem_deliveries",
-         Json.Int (Metrics.counter_value m "totem.deliveries")) ] )
+         Json.Int (Metrics.counter_value m "totem.deliveries"));
+        ("wall_ms", Json.Float wall_ms);
+        ("minor_words", Json.Float minor_words);
+        ("major_words", Json.Float major_words);
+        ("series_points", Json.Int (Timeseries.point_count ts));
+        ("peak_pending", Json.Float peak_pending) ] )
 
 (* Every registered decision module must produce a metrics row — the CI
    bench smoke step asserts exactly that against `detmt-cli sched`. *)

@@ -295,14 +295,14 @@ let write_out out s =
    recorder is read-only.  [shards > 1] records the sharded system instead
    (shard 0's metric names are the unsharded ones, so the single-shard
    recording is unchanged). *)
-let record_run ~scheduler ~clients ~requests ~replicas ~seed ~workload
-    ~latency ~shards =
+let record_run ?obs ~scheduler ~clients ~requests ~replicas ~seed ~workload
+    ~latency ~shards () =
   let cls, gen = resolve_workload workload in
   let params =
     { Detmt.Active.default_params with
       scheduler; replicas; net_latency_ms = latency }
   in
-  let obs = Detmt.Recorder.create () in
+  let obs = match obs with Some o -> o | None -> Detmt.Recorder.create () in
   if shards <= 1 then
     ignore
       (Detmt.Experiment.run_workload ~seed:(Int64.of_int seed) ~params
@@ -328,7 +328,8 @@ let trace_format_arg =
   let doc =
     "Export format: breakdown (per-request latency table), chrome \
      (trace-event JSON for Perfetto / chrome://tracing), audit (scheduler \
-     decision log)."
+     decision log), critical (dominant latency component per request, \
+     aggregated overall / per shard / per epoch)."
   in
   Arg.(value & opt string "breakdown" & info [ "format" ] ~docv:"FMT" ~doc)
 
@@ -337,7 +338,7 @@ let trace_cmd =
       format csv out =
     let obs =
       record_run ~scheduler ~clients ~requests ~replicas ~seed ~workload
-        ~latency ~shards
+        ~latency ~shards ()
     in
     match format with
     | "breakdown" ->
@@ -355,6 +356,20 @@ let trace_cmd =
           (if csv then Detmt.Table.to_csv t
            else Format.asprintf "%a@." Detmt.Table.pp t))
     | "chrome" -> write_out out (Detmt.Chrome.to_string obs)
+    | "critical" ->
+      let report = Detmt.Critical_path.analyse ~replicas obs in
+      let title =
+        Printf.sprintf
+          "Critical path: %s on %s, %d clients x %d requests" scheduler
+          workload clients requests
+      in
+      let t = Detmt.Critical_path.table ~title report in
+      (match out with
+      | None -> emit csv t
+      | Some _ ->
+        write_out out
+          (if csv then Detmt.Table.to_csv t
+           else Format.asprintf "%a@." Detmt.Table.pp t))
     | "audit" ->
       let buf = Buffer.create 4096 in
       let ppf = Format.formatter_of_buffer buf in
@@ -380,41 +395,386 @@ let trace_cmd =
       $ seed_arg $ workload_arg $ latency_arg $ trace_shards_arg
       $ trace_format_arg $ csv_flag $ output_arg)
 
+(* Render the windowed time series as extra CSV-safe table rows: one row
+   per track with the per-window headline values joined by commas — label
+   cells containing commas exercise the CSV quoting path. *)
+let series_table ~title ts =
+  let t =
+    Detmt.Table.create ~title
+      ~columns:[ "series"; "kind"; "windows"; "peak"; "values" ]
+  in
+  List.iter
+    (fun name ->
+      match Detmt.Timeseries.kind ts name with
+      | None -> ()
+      | Some kind ->
+        let wins = Detmt.Timeseries.windows ts name in
+        Detmt.Table.add_row t
+          [ name;
+            (match kind with
+            | Detmt.Timeseries.Rate -> "rate"
+            | Detmt.Timeseries.Sample -> "sample");
+            string_of_int (List.length wins);
+            Printf.sprintf "%g" (Detmt.Timeseries.peak ts name);
+            String.concat ","
+              (List.map
+                 (fun w ->
+                   Printf.sprintf "%g" (Detmt.Timeseries.window_value kind w))
+                 wins) ])
+    (Detmt.Timeseries.names ts);
+  t
+
 let metrics_cmd =
   let run scheduler clients requests replicas seed workload latency shards
-      csv json out =
+      csv json format series out =
     let obs =
       record_run ~scheduler ~clients ~requests ~replicas ~seed ~workload
-        ~latency ~shards
+        ~latency ~shards ()
     in
     let m = Detmt.Recorder.metrics obs in
-    if json then write_out out (Detmt.Json.to_string (Detmt.Metrics.to_json m))
-    else
-      let title =
-        Printf.sprintf "Metrics: %s on %s, %d clients x %d requests"
-          scheduler workload clients requests
-      in
-      let t = Detmt.Metrics.to_table ~title m in
-      match out with
-      | None -> emit csv t
-      | Some _ ->
-        write_out out
-          (if csv then Detmt.Table.to_csv t
-           else Format.asprintf "%a@." Detmt.Table.pp t)
+    match format with
+    | "openmetrics" -> write_out out (Detmt.Openmetrics.export m)
+    | "table" ->
+      if json then
+        write_out out (Detmt.Json.to_string (Detmt.Metrics.to_json m))
+      else
+        let title =
+          Printf.sprintf "Metrics: %s on %s, %d clients x %d requests"
+            scheduler workload clients requests
+        in
+        let t = Detmt.Metrics.to_table ~title m in
+        let render t =
+          if csv then Detmt.Table.to_csv t
+          else Format.asprintf "%a@." Detmt.Table.pp t
+        in
+        let body =
+          render t
+          ^
+          if series then
+            render
+              (series_table ~title:"Windowed series (virtual time)"
+                 (Detmt.Recorder.timeseries obs))
+          else ""
+        in
+        (match out with None -> print_string body | Some _ -> write_out out body)
+    | other ->
+      Format.eprintf "unknown metrics format %S (table, openmetrics)@." other;
+      exit 2
   in
   let json_flag =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the registry as JSON.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt string "table"
+      & info [ "f"; "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: table (default; honours $(b,--csv)/$(b,--json)) \
+             or openmetrics (OpenMetrics text exposition).")
+  in
+  let series_flag =
+    Arg.(
+      value & flag
+      & info [ "series" ]
+          ~doc:
+            "Also print the virtual-time-windowed series (one row per \
+             track, per-window values).")
   in
   Cmd.v
     (Cmd.info "metrics"
        ~doc:
          "Run one workload with the flight recorder on and print the \
           metrics registry: scheduler grants/deferrals/queue depths, Totem \
-          broadcast/retransmit/dedup counters, replica request counters.")
+          broadcast/retransmit/dedup counters, replica request counters.  \
+          $(b,-f openmetrics) emits the OpenMetrics text exposition; \
+          $(b,--series) appends the windowed virtual-time series.")
     Term.(
       const run $ scheduler_arg $ clients_arg $ requests_arg $ replicas_arg
       $ seed_arg $ workload_arg $ latency_arg $ trace_shards_arg $ csv_flag
-      $ json_flag $ output_arg)
+      $ json_flag $ format_arg $ series_flag $ output_arg)
+
+(* ----------------------------- profile ------------------------------ *)
+
+(* Hot-path profile of one configuration: wall-clock phase timers
+   (pop/dispatch/grant/flush), per-decision-module cost, and allocation
+   accounting.  The baseline is the identical run with observability fully
+   off; the profiled run uses [Recorder.profile_only], whose metric/span
+   sites stay no-ops, so the reported overhead is the cost of the timers
+   alone.  Both sides take the best of [repeats] runs to shave scheduler
+   noise off the comparison. *)
+let profile_cmd =
+  let run scheduler clients requests replicas seed workload latency shards
+      repeats check_overhead json out =
+    if repeats < 1 then begin
+      Format.eprintf "profile: --repeats must be >= 1@.";
+      exit 2
+    end;
+    let timed obs =
+      Gc.compact ();
+      let t0 = Unix.gettimeofday () in
+      ignore
+        (record_run ~obs ~scheduler ~clients ~requests ~replicas ~seed
+           ~workload ~latency ~shards ());
+      Unix.gettimeofday () -. t0
+    in
+    let best f =
+      List.fold_left Stdlib.min infinity (List.init repeats (fun _ -> f ()))
+    in
+    let wall_baseline = best (fun () -> timed Detmt.Recorder.disabled) in
+    let p = Detmt.Profile.create () in
+    let wall_profiled =
+      best (fun () ->
+          Detmt.Profile.reset p;
+          timed (Detmt.Recorder.profile_only p))
+    in
+    let overhead_pct =
+      if wall_baseline <= 0.0 then 0.0
+      else (wall_profiled -. wall_baseline) /. wall_baseline *. 100.0
+    in
+    if json then begin
+      let doc =
+        Detmt.Json.Obj
+          [ ("scheduler", Detmt.Json.String scheduler);
+            ("workload", Detmt.Json.String workload);
+            ("clients", Detmt.Json.Int clients);
+            ("requests", Detmt.Json.Int requests);
+            ("shards", Detmt.Json.Int shards);
+            ("repeats", Detmt.Json.Int repeats);
+            ("profile", Detmt.Profile.to_json p);
+            ("wall_baseline_s", Detmt.Json.Float wall_baseline);
+            ("wall_profiled_s", Detmt.Json.Float wall_profiled);
+            ("overhead_pct", Detmt.Json.Float overhead_pct) ]
+      in
+      write_out out (Detmt.Json.to_string doc ^ "\n")
+    end
+    else begin
+      let title =
+        Printf.sprintf "Hot-path profile: %s on %s, %d clients x %d requests"
+          scheduler workload clients requests
+      in
+      print_table (Detmt.Profile.to_table ~title p);
+      let a = Detmt.Profile.alloc p in
+      Format.printf "allocation:    %.0f minor + %.0f major words (%.0f \
+                     promoted)@."
+        a.Detmt.Profile.minor_words a.major_words a.promoted_words;
+      Format.printf "wall baseline: %.4f s (best of %d, obs off)@."
+        wall_baseline repeats;
+      Format.printf "wall profiled: %.4f s (best of %d)@." wall_profiled
+        repeats;
+      Format.printf "overhead:      %+.2f%%@." overhead_pct
+    end;
+    match check_overhead with
+    | Some bound when overhead_pct > bound ->
+      Format.eprintf "profiler overhead %.2f%% exceeds the %.2f%% bound@."
+        overhead_pct bound;
+      exit 1
+    | _ -> ()
+  in
+  let repeats_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "repeats" ] ~docv:"N"
+          ~doc:"Best-of-N wall-clock runs per side (default 3).")
+  in
+  let check_overhead_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "check-overhead" ] ~docv:"PCT"
+          ~doc:
+            "Exit non-zero when the profiler's wall-clock overhead vs the \
+             obs-off baseline exceeds PCT percent (the CI gate).")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the profile as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile the hot path of one run: wall-clock time per engine phase \
+          (pop/dispatch/grant/flush), per-decision-module callback cost, \
+          and allocation (Gc.quick_stat deltas) — plus the profiler's own \
+          overhead against an observability-off baseline.")
+    Term.(
+      const run $ scheduler_arg $ clients_arg $ requests_arg $ replicas_arg
+      $ seed_arg $ workload_arg $ latency_arg $ trace_shards_arg
+      $ repeats_arg $ check_overhead_arg $ json_flag $ output_arg)
+
+(* ------------------------------- top --------------------------------- *)
+
+let sparkline values =
+  let levels = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                  "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                  "\xe2\x96\x87"; "\xe2\x96\x88" |] in
+  let peak = List.fold_left Stdlib.max 0.0 values in
+  if peak <= 0.0 then String.concat "" (List.map (fun _ -> " ") values)
+  else
+    String.concat ""
+      (List.map
+         (fun v ->
+           if v <= 0.0 then " "
+           else
+             let i = int_of_float (v /. peak *. 7.0) in
+             levels.(Stdlib.max 0 (Stdlib.min 7 i)))
+         values)
+
+let default_top_tracks =
+  [ "active.inflight"; "active.replies"; "active.response_ms";
+    "engine.pending"; "totem.deliveries"; "totem.wire_batches";
+    "shard.replies"; "shard.cross_inflight"; "reconfig.epoch";
+    "reconfig.held_backlog" ]
+
+(* Live terminal view of a run: the engine is driven one virtual-time
+   window at a time ([Engine.run ~until] leaves the queue intact between
+   frames), and each frame renders the recorder's windowed series, the
+   queue depth and epoch events.  Stepping the engine in slices executes
+   exactly the same events at the same virtual times as one uninterrupted
+   run, so the displayed run is the run every other command reproduces. *)
+let top_cmd =
+  let run scheduler clients requests replicas seed workload latency shards
+      frame_ms delay frames no_ansi tracks =
+    if frame_ms <= 0.0 then begin
+      Format.eprintf "top: --frame-ms must be positive@.";
+      exit 2
+    end;
+    let cls, gen = resolve_workload workload in
+    let params =
+      { Detmt.Active.default_params with
+        scheduler; replicas; net_latency_ms = latency }
+    in
+    let engine = Detmt.Engine.create () in
+    let obs = Detmt.Recorder.create ~width_ms:frame_ms () in
+    let submit, replies =
+      if shards <= 1 then begin
+        let sys = Detmt.Active.create ~obs ~engine ~cls ~params () in
+        ( (fun ~client ~client_req ~meth ~args ~on_reply ->
+            Detmt.Active.submit sys ~client ~client_req ~meth ~args ~on_reply),
+          fun () -> Detmt.Active.replies_received sys )
+      end
+      else begin
+        let sys =
+          Detmt.Shard.create ~obs ~engine ~cls
+            ~params:{ Detmt.Shard.shards; base = params } ()
+        in
+        ( (fun ~client ~client_req ~meth ~args ~on_reply ->
+            Detmt.Shard.submit sys ~client ~client_req ~meth ~args ~on_reply),
+          fun () -> Detmt.Shard.replies_received sys )
+      end
+    in
+    let master = Detmt.Rng.create (Int64.of_int seed) in
+    let all =
+      List.init clients (fun id ->
+          Detmt.Client.create_on ~engine ~submit ~id
+            ~rng:(Detmt.Rng.split master) ~gen ~max_requests:requests ())
+    in
+    List.iter Detmt.Client.start all;
+    let expected = clients * requests in
+    let ts = Detmt.Recorder.timeseries obs in
+    let frame = ref 0 in
+    let render () =
+      if not no_ansi then print_string "\027[2J\027[H";
+      Printf.printf "detmt top — %s on %s  vt=%.1f ms  frame %d\n" scheduler
+        workload (Detmt.Engine.now engine) !frame;
+      Printf.printf
+        "events=%d  queue=%d  replies=%d/%d\n\n"
+        (Detmt.Engine.events_executed engine)
+        (Detmt.Engine.pending engine) (replies ()) expected;
+      let names = Detmt.Timeseries.names ts in
+      let shown =
+        match tracks with
+        | [] -> List.filter (fun n -> List.mem n names) default_top_tracks
+        | picks -> List.filter (fun n -> List.mem n names) picks
+      in
+      List.iter
+        (fun name ->
+          match Detmt.Timeseries.kind ts name with
+          | None -> ()
+          | Some kind ->
+            let wins = Detmt.Timeseries.windows ts name in
+            let values =
+              List.map (Detmt.Timeseries.window_value kind) wins
+            in
+            let tail =
+              let n = List.length values in
+              if n > 48 then List.filteri (fun i _ -> i >= n - 48) values
+              else values
+            in
+            Printf.printf "%-24s %8g |%s|\n" name
+              (Detmt.Timeseries.peak ts name)
+              (sparkline tail))
+        shown;
+      flush stdout
+    in
+    let rec loop until =
+      if
+        Detmt.Engine.pending engine > 0 && (frames = 0 || !frame < frames)
+      then begin
+        Detmt.Engine.run ~until engine;
+        incr frame;
+        render ();
+        if delay > 0.0 then Unix.sleepf delay;
+        loop (until +. frame_ms)
+      end
+    in
+    loop frame_ms;
+    Printf.printf
+      "\nrun %s: %d/%d replies in %.1f virtual ms (%d events, %d frames)\n"
+      (if replies () = expected then "complete" else "stopped")
+      (replies ()) expected
+      (Detmt.Engine.now engine)
+      (Detmt.Engine.events_executed engine)
+      !frame
+  in
+  let frame_ms_arg =
+    Arg.(
+      value & opt float 20.0
+      & info [ "frame-ms" ] ~docv:"MS"
+          ~doc:
+            "Virtual milliseconds per frame (also the series window \
+             width; default 20).")
+  in
+  let delay_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "delay" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock pause between frames for a live feel (default 0: \
+             render as fast as the run executes).")
+  in
+  let frames_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "frames" ] ~docv:"N"
+          ~doc:"Stop after N frames (0 = run to completion).")
+  in
+  let no_ansi_flag =
+    Arg.(
+      value & flag
+      & info [ "no-ansi" ]
+          ~doc:
+            "Print frames sequentially instead of redrawing the screen \
+             (for logs and CI).")
+  in
+  let track_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "track" ] ~docv:"NAME"
+          ~doc:"Series track to display (repeatable; default: a curated \
+                set of the tracks present).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live-refreshing terminal view of a run: windowed virtual-time \
+          series, event-queue depth, reply progress and epoch events, one \
+          frame per virtual-time window.  The sliced run executes exactly \
+          the events of an uninterrupted one, so what you watch is the run \
+          every other command reproduces.")
+    Term.(
+      const run $ scheduler_arg $ clients_arg $ requests_arg $ replicas_arg
+      $ seed_arg $ workload_arg $ latency_arg $ trace_shards_arg
+      $ frame_ms_arg $ delay_arg $ frames_arg $ no_ansi_flag $ track_arg)
 
 (* --------------------------- fingerprint ---------------------------- *)
 
@@ -430,7 +790,7 @@ let replica_fp r =
     (Detmt.Replica.state_fingerprint r)
 
 let fingerprint_cmd =
-  let run seed clients requests shards schedulers workloads =
+  let run seed clients requests shards with_obs schedulers workloads =
     let schedulers =
       if schedulers <> [] then schedulers
       else Detmt.Registry.deterministic_decisions
@@ -446,12 +806,22 @@ let fingerprint_cmd =
             (* seq deadlocks on prodcons (section 1); the stalled run still
                has a deterministic prefix, which is what we fingerprint. *)
             let engine = Detmt.Engine.create () in
+            (* --obs turns the full telemetry stack on (metrics, windowed
+               series, spans, profiler); the output must stay bit-identical
+               — the read-only contract, diffable from CI. *)
+            let obs =
+              if with_obs then
+                Detmt.Recorder.create ~profile:(Detmt.Profile.create ()) ()
+              else Detmt.Recorder.disabled
+            in
             let params = { Detmt.Active.default_params with scheduler } in
             let replies, fps =
               if shards = 0 then begin
                 (* legacy unsharded path — [--shards 1] must print the same
                    lines through {!Detmt.Shard} *)
-                let system = Detmt.Active.create ~engine ~cls ~params () in
+                let system =
+                  Detmt.Active.create ~obs ~engine ~cls ~params ()
+                in
                 Detmt.Client.run_clients ~engine ~system ~clients
                   ~requests_per_client:requests ~gen
                   ~seed:(Int64.of_int seed) ();
@@ -460,7 +830,7 @@ let fingerprint_cmd =
               end
               else begin
                 let system =
-                  Detmt.Shard.create ~engine ~cls
+                  Detmt.Shard.create ~obs ~engine ~cls
                     ~params:{ Detmt.Shard.shards; base = params } ()
                 in
                 Detmt.Shard.run_clients system ~clients
@@ -496,6 +866,16 @@ let fingerprint_cmd =
          default) is the legacy unsharded path; 1 prints bit-identical \
          output through the sharded one — the refactoring contract."
   in
+  let obs_flag =
+    Arg.(
+      value & flag
+      & info [ "obs" ]
+          ~doc:
+            "Run with the full telemetry stack enabled (metrics, windowed \
+             series, spans, hot-path profiler).  The output must be \
+             bit-identical to a run without it — the recorder's read-only \
+             contract.")
+  in
   Cmd.v
     (Cmd.info "fingerprint"
        ~doc:
@@ -505,7 +885,7 @@ let fingerprint_cmd =
           refactoring preserved every grant decision.")
     Term.(
       const run $ seed_arg $ clients_arg $ requests_arg $ shards_arg
-      $ schedulers_arg $ workloads_arg)
+      $ obs_flag $ schedulers_arg $ workloads_arg)
 
 (* ------------------------------ explore ------------------------------ *)
 
@@ -1138,7 +1518,8 @@ let () =
           $ const ());
       table_cmd "saturation" "Open-loop load sweep (saturation points)."
         (fun () -> Detmt.Experiment.saturation ());
-      trace_cmd; metrics_cmd; chaos_cmd; fingerprint_cmd; explore_cmd;
+      trace_cmd; metrics_cmd; profile_cmd; top_cmd; chaos_cmd;
+      fingerprint_cmd; explore_cmd;
       shard_cmd; reshard_cmd;
       bench_cmd; timeline_cmd; analyse_cmd;
       schedulers_cmd; sched_cmd; transform_cmd ]

@@ -56,9 +56,18 @@ module Inject = Detmt_transform.Inject
 module Transform = Detmt_transform.Transform
 module Verify = Detmt_transform.Verify
 
-(* observability — the flight recorder (strictly read-only) *)
+(* observability — the flight recorder (strictly read-only) and the
+   continuous-telemetry layer (windowed series, hot-path profiler,
+   critical-path analysis, OpenMetrics exposition).  [Timeseries] is the
+   obs window store; the plain [Series] name stays with the stats chart
+   module it has always meant. *)
 module Json = Detmt_obs.Json
 module Metrics = Detmt_obs.Metrics
+module Hdr = Detmt_obs.Hdr
+module Timeseries = Detmt_obs.Timeseries
+module Profile = Detmt_obs.Profile
+module Critical_path = Detmt_obs.Critical_path
+module Openmetrics = Detmt_obs.Openmetrics
 module Audit = Detmt_obs.Audit
 module Recorder = Detmt_obs.Recorder
 module Chrome = Detmt_obs.Chrome

@@ -559,6 +559,23 @@ let prodcons ?(schedulers = [ "sat"; "lsa"; "pds"; "mat"; "mat-ll"; "pmat" ])
 (* ------------------------------------------------------------------ *)
 (* E14 — sharded multi-group replication: throughput scaling           *)
 
+(* Host-side cost columns for the bench JSON: wall-clock milliseconds and
+   GC-allocated words around one run.  These are host-machine measurements,
+   never virtual-time inputs, so recording them cannot perturb the run. *)
+let costed f =
+  let minor0 = Gc.minor_words () in
+  let s0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let t1 = Unix.gettimeofday () in
+  let s1 = Gc.quick_stat () in
+  ( r,
+    (t1 -. t0) *. 1000.0,
+    Gc.minor_words () -. minor0,
+    s1.Gc.major_words -. s0.Gc.major_words )
+
+let finite v = if Float.is_nan v then 0.0 else v
+
 type shard_row = {
   s_shards : int;
   s_clients : int;
@@ -575,11 +592,23 @@ type shard_row = {
   s_consistent : bool;
   s_fingerprint : int64;
   s_duration_ms : float;
+  s_wall_ms : float;
+  s_minor_words : float;
+  s_major_words : float;
+  s_series_points : int;
+  s_peak_pending : float;
 }
 
+(* [obs] defaults to a fresh enabled recorder (not [disabled]): the bench
+   JSON carries the windowed-series columns, and the recorder's read-only
+   contract (tested against every scheduler) keeps the run bit-identical
+   either way. *)
 let run_shard ?(seed = 42L) ?(scheduler = "mat") ?(requests_per_client = 4)
-    ?batching ?(obs = Detmt_obs.Recorder.disabled)
-    ?(workload = Detmt_workload.Sharded.default) ~shards ~clients () =
+    ?batching ?obs ?(workload = Detmt_workload.Sharded.default) ~shards
+    ~clients () =
+  let obs =
+    match obs with Some o -> o | None -> Detmt_obs.Recorder.create ()
+  in
   let cls = Detmt_workload.Sharded.cls workload in
   let gen = Detmt_workload.Sharded.gen workload in
   let engine = Engine.create () in
@@ -587,9 +616,13 @@ let run_shard ?(seed = 42L) ?(scheduler = "mat") ?(requests_per_client = 4)
   let system =
     Shard.create ~obs ~engine ~cls ~params:{ Shard.shards; base } ()
   in
-  ignore
-    (Shard.run_clients_stats system ~clients ~requests_per_client ~gen ~seed
-       ());
+  let (), wall_ms, minor_words, major_words =
+    costed (fun () ->
+        ignore
+          (Shard.run_clients_stats system ~clients ~requests_per_client ~gen
+             ~seed ()))
+  in
+  let ts = Detmt_obs.Recorder.timeseries obs in
   let times = Shard.response_times system in
   let duration_ms = Engine.now engine in
   let replies = Shard.replies_received system in
@@ -608,7 +641,12 @@ let run_shard ?(seed = 42L) ?(scheduler = "mat") ?(requests_per_client = 4)
     s_wire_batches = Shard.wire_batches system;
     s_consistent = Shard.consistent system;
     s_fingerprint = Shard.fingerprint system;
-    s_duration_ms = duration_ms }
+    s_duration_ms = duration_ms;
+    s_wall_ms = wall_ms;
+    s_minor_words = minor_words;
+    s_major_words = major_words;
+    s_series_points = Detmt_obs.Timeseries.point_count ts;
+    s_peak_pending = finite (Detmt_obs.Timeseries.peak ts "engine.pending") }
 
 let shard_sweep ?seed ?(shards_list = [ 1; 2; 4; 8 ])
     ?(clients_list = [ 64; 256; 1024 ]) ?(cross_ratios = [ 0.0; 0.1 ])
@@ -670,10 +708,13 @@ let shard_table rows =
     rows;
   t
 
+(* schema_version 2: v2 added the wall_ms / minor_words / major_words /
+   series_points / peak_pending cost columns to every row. *)
 let shard_json rows =
   let module Json = Detmt_obs.Json in
   Json.Obj
-    [ ("experiment", Json.String "shard");
+    [ ("schema_version", Json.Int 2);
+      ("experiment", Json.String "shard");
       ("workload", Json.String "sharded");
       ("rows",
        Json.List
@@ -698,7 +739,12 @@ let shard_json rows =
                   ("wire_batches", Json.Int r.s_wire_batches);
                   ("consistent", Json.Bool r.s_consistent);
                   ("fingerprint", Json.String (Printf.sprintf "%Lx" r.s_fingerprint));
-                  ("duration_ms", Json.Float r.s_duration_ms) ])
+                  ("duration_ms", Json.Float r.s_duration_ms);
+                  ("wall_ms", Json.Float r.s_wall_ms);
+                  ("minor_words", Json.Float r.s_minor_words);
+                  ("major_words", Json.Float r.s_major_words);
+                  ("series_points", Json.Int r.s_series_points);
+                  ("peak_pending", Json.Float r.s_peak_pending) ])
             rows)) ]
 
 (* ------------------------------------------------------------------ *)
@@ -729,6 +775,11 @@ type elastic_row = {
   e_epochs_agree : bool;
   e_fingerprint : int64;
   e_duration_ms : float;
+  e_wall_ms : float;
+  e_minor_words : float;
+  e_major_words : float;
+  e_series_points : int;
+  e_peak_pending : float;
 }
 
 (* One run of the Zipf-hotspot workload over the elastic substrate.  Static
@@ -737,8 +788,10 @@ type elastic_row = {
    starts at one group and lets the controller split, merge and (when the
    policy allows) hot-swap against the drifting hotspot. *)
 let run_elastic ?(seed = 42L) ?(scheduler = "mat") ?(requests_per_client = 4)
-    ?(obs = Detmt_obs.Recorder.disabled)
-    ?(workload = Detmt_workload.Hotspot.default) ~mode ~clients () =
+    ?obs ?(workload = Detmt_workload.Hotspot.default) ~mode ~clients () =
+  let obs =
+    match obs with Some o -> o | None -> Detmt_obs.Recorder.create ()
+  in
   let cls = Detmt_workload.Hotspot.cls workload in
   let gen = Detmt_workload.Hotspot.gen workload in
   let engine = Engine.create () in
@@ -752,9 +805,13 @@ let run_elastic ?(seed = 42L) ?(scheduler = "mat") ?(requests_per_client = 4)
   (match mode with
   | Autoscale policy -> Reconfig.set_autoscale system policy
   | Static _ -> ());
-  ignore
-    (Reconfig.run_clients_stats system ~clients ~requests_per_client ~gen
-       ~seed ());
+  let (), wall_ms, minor_words, major_words =
+    costed (fun () ->
+        ignore
+          (Reconfig.run_clients_stats system ~clients ~requests_per_client
+             ~gen ~seed ()))
+  in
+  let ts = Detmt_obs.Recorder.timeseries obs in
   let times = Reconfig.response_times system in
   let duration_ms = Engine.now engine in
   let replies = Reconfig.replies_received system in
@@ -777,7 +834,12 @@ let run_elastic ?(seed = 42L) ?(scheduler = "mat") ?(requests_per_client = 4)
     e_states_agree = Reconfig.states_agree system;
     e_epochs_agree = Reconfig.epochs_agree system;
     e_fingerprint = Reconfig.fingerprint system;
-    e_duration_ms = duration_ms }
+    e_duration_ms = duration_ms;
+    e_wall_ms = wall_ms;
+    e_minor_words = minor_words;
+    e_major_words = major_words;
+    e_series_points = Detmt_obs.Timeseries.point_count ts;
+    e_peak_pending = finite (Detmt_obs.Timeseries.peak ts "engine.pending") }
 
 (* The grid's controller setting: tick fast, split eagerly, never merge
    (mid-run merges only pay off on workloads that go cold, and this one
@@ -862,7 +924,8 @@ let elastic_table rows =
 let elastic_json rows =
   let module Json = Detmt_obs.Json in
   Json.Obj
-    [ ("experiment", Json.String "elastic");
+    [ ("schema_version", Json.Int 2);
+      ("experiment", Json.String "elastic");
       ("workload", Json.String "hotspot");
       ("rows",
        Json.List
@@ -892,7 +955,12 @@ let elastic_json rows =
                   ("epochs_agree", Json.Bool r.e_epochs_agree);
                   ("fingerprint",
                    Json.String (Printf.sprintf "%Lx" r.e_fingerprint));
-                  ("duration_ms", Json.Float r.e_duration_ms) ])
+                  ("duration_ms", Json.Float r.e_duration_ms);
+                  ("wall_ms", Json.Float r.e_wall_ms);
+                  ("minor_words", Json.Float r.e_minor_words);
+                  ("major_words", Json.Float r.e_major_words);
+                  ("series_points", Json.Int r.e_series_points);
+                  ("peak_pending", Json.Float r.e_peak_pending) ])
             rows)) ]
 
 (* ------------------------------------------------------------------ *)

@@ -122,6 +122,12 @@ val determinism :
   ?schedulers:string list -> unit -> Detmt_stats.Table.t
 (** E10: replica-consistency matrix; the freefall baseline must diverge. *)
 
+val costed : (unit -> 'a) -> 'a * float * float * float
+(** [costed f] runs [f] and returns [(result, wall_ms, minor_words,
+    major_words)] — host wall clock and {!Gc.quick_stat} allocation deltas
+    around the call.  Host-side measurements only; never a virtual-time
+    input. *)
+
 type shard_row = {
   s_shards : int;
   s_clients : int;
@@ -138,6 +144,11 @@ type shard_row = {
   s_consistent : bool;
   s_fingerprint : int64;  (** {!Detmt_replication.Shard.fingerprint} *)
   s_duration_ms : float;
+  s_wall_ms : float;  (** host wall clock around the run *)
+  s_minor_words : float;  (** GC words allocated by the run *)
+  s_major_words : float;
+  s_series_points : int;  (** windowed-series samples recorded *)
+  s_peak_pending : float;  (** peak engine queue depth observed *)
 }
 
 val run_shard :
@@ -203,6 +214,11 @@ type elastic_row = {
   e_epochs_agree : bool;
   e_fingerprint : int64;  (** {!Detmt_replication.Reconfig.fingerprint} *)
   e_duration_ms : float;
+  e_wall_ms : float;  (** host wall clock around the run *)
+  e_minor_words : float;  (** GC words allocated by the run *)
+  e_major_words : float;
+  e_series_points : int;  (** windowed-series samples recorded *)
+  e_peak_pending : float;  (** peak engine queue depth observed *)
 }
 
 val run_elastic :

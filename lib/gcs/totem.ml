@@ -186,7 +186,7 @@ let transmit t (msg : 'a Message.t) =
    epoch cancels the delay timer armed when the batch opened (a timer that
    fires after a size-triggered flush must not prematurely flush the batch
    that opened afterwards). *)
-let flush t =
+let flush_batch t =
   match List.rev t.pending with
   | [] -> ()
   | batch ->
@@ -199,6 +199,16 @@ let flush t =
         (float_of_int (List.length batch))
     end;
     List.iter (transmit t) batch
+
+(* Batch transmission is the profiler's Flush phase: the cost of turning a
+   pending batch into per-subscriber deliveries. *)
+let flush t =
+  match Recorder.profiler t.obs with
+  | None -> flush_batch t
+  | Some p ->
+    Detmt_obs.Profile.phase_begin p Detmt_obs.Profile.Flush;
+    flush_batch t;
+    Detmt_obs.Profile.phase_end p Detmt_obs.Profile.Flush
 
 let broadcast t ~sender payload =
   let seq = t.next_seq in

@@ -1,0 +1,116 @@
+(* Log-linear bucketed histogram (the HdrHistogram layout).
+
+   Values are assigned to buckets that grow geometrically octave by octave
+   and linearly within an octave: each power of two is cut into [sub]
+   equal-width slices, so the worst-case relative error of a bucket bound
+   is 1/(2*sub) (~3.1% at sub=16).  Memory is O(occupied buckets) — a
+   sparse int-keyed table — instead of O(samples), which is what lets the
+   metrics registry survive 16k-client grids where the old exact
+   [Summary]-backed histograms kept every response time ever observed.
+
+   Count, sum, min and max are tracked exactly; only quantiles are
+   bucket-approximate (reported as the bucket's upper bound, clamped to the
+   exact observed range).  Everything is deterministic: bucket indices are
+   a pure function of the value, and iteration sorts by index. *)
+
+let sub = 16
+let sub_f = float_of_int sub
+
+type t = {
+  buckets : (int, int ref) Hashtbl.t;
+  mutable zero : int; (* samples <= 0.0 (virtual-ms metrics are >= 0) *)
+  mutable count : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let create () =
+  { buckets = Hashtbl.create 16; zero = 0; count = 0; sum = 0.0;
+    vmin = infinity; vmax = neg_infinity }
+
+(* v > 0: frexp v = (m, e) with m in [0.5, 1); the sub-bucket is the linear
+   slice of [0.5, 1) that m falls in. *)
+let index_of v =
+  let m, e = Float.frexp v in
+  let s = int_of_float ((m -. 0.5) *. 2.0 *. sub_f) in
+  let s = if s >= sub then sub - 1 else s in
+  (e * sub) + s
+
+(* Upper bound of bucket [i]: the start of the next linear slice. *)
+let upper_bound i =
+  let e = if i >= 0 then i / sub else ((i + 1) / sub) - 1 in
+  let s = i - (e * sub) in
+  Float.ldexp (0.5 +. (float_of_int (s + 1) /. (2.0 *. sub_f))) e
+
+let add t v =
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v;
+  if v <= 0.0 || not (Float.is_finite v) then t.zero <- t.zero + 1
+  else
+    let i = index_of v in
+    match Hashtbl.find_opt t.buckets i with
+    | Some r -> incr r
+    | None -> Hashtbl.add t.buckets i (ref 1)
+
+let count t = t.count
+
+let total t = t.sum
+
+let mean t = if t.count = 0 then nan else t.sum /. float_of_int t.count
+
+let min t = if t.count = 0 then nan else t.vmin
+
+let max t = if t.count = 0 then nan else t.vmax
+
+let sorted_buckets t =
+  Hashtbl.fold (fun i r acc -> (i, !r) :: acc) t.buckets []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let quantile t q =
+  if t.count = 0 then nan
+  else begin
+    if q < 0.0 || q > 1.0 then invalid_arg "Hdr.quantile";
+    (* Same rank convention as [Detmt_stats.Summary.quantile]. *)
+    let rank = int_of_float (ceil (q *. float_of_int t.count)) in
+    let rank = Stdlib.max 1 (Stdlib.min t.count rank) in
+    if rank <= t.zero then t.vmin
+    else begin
+      let seen = ref t.zero in
+      let answer = ref t.vmax in
+      (try
+         List.iter
+           (fun (i, n) ->
+             seen := !seen + n;
+             if !seen >= rank then begin
+               answer := upper_bound i;
+               raise Exit
+             end)
+           (sorted_buckets t)
+       with Exit -> ());
+      Stdlib.min (Stdlib.max !answer t.vmin) t.vmax
+    end
+  end
+
+let median t = quantile t 0.5
+
+(* Cumulative (upper_bound, count_at_or_below) pairs over occupied buckets,
+   for an OpenMetrics [_bucket{le=...}] exposition; the caller adds the
+   final [+Inf] sample from [count]. *)
+let cumulative t =
+  let acc = ref t.zero in
+  List.map
+    (fun (i, n) ->
+      acc := !acc + n;
+      (upper_bound i, !acc))
+    (sorted_buckets t)
+
+let bucket_count t = Hashtbl.length t.buckets + if t.zero > 0 then 1 else 0
+
+let pp ppf t =
+  if t.count = 0 then Format.fprintf ppf "(empty)"
+  else
+    Format.fprintf ppf "n=%d mean=%.3f min=%.3f p50=%.3f p95=%.3f max=%.3f"
+      t.count (mean t) (min t) (median t) (quantile t 0.95) (max t)

@@ -2,16 +2,17 @@
 
    Metric names are dotted paths ("sched.pds.rounds", "totem.dedup_hits").
    The registry is a plain hashtable; rendering sorts by name so the output
-   is independent of insertion order.  Histograms reuse [Detmt_stats.Summary]
-   so quantiles match the rest of the repository. *)
+   is independent of insertion order.  Histograms are log-linear bucketed
+   [Hdr]s, so a high-volume path (every response time at 16k clients) costs
+   O(buckets) memory instead of one float per request; count/sum/min/max
+   stay exact and only quantiles are bucket-approximate. *)
 
-module Summary = Detmt_stats.Summary
 module Table = Detmt_stats.Table
 
 type metric =
   | Counter of int ref
   | Gauge of { mutable last : float; mutable peak : float; mutable set : bool }
-  | Hist of Summary.t
+  | Hist of Hdr.t
 
 type t = { metrics : (string, metric) Hashtbl.t }
 
@@ -42,8 +43,8 @@ let set_gauge t name v =
     invalid_arg ("Metrics.set_gauge: " ^ name ^ " is not a gauge")
 
 let observe t name v =
-  match find_or_add t name (fun () -> Hist (Summary.create ())) with
-  | Hist s -> Summary.add s v
+  match find_or_add t name (fun () -> Hist (Hdr.create ())) with
+  | Hist s -> Hdr.add s v
   | Counter _ | Gauge _ ->
     invalid_arg ("Metrics.observe: " ^ name ^ " is not a histogram")
 
@@ -51,6 +52,19 @@ let counter_value t name =
   match Hashtbl.find_opt t.metrics name with
   | Some (Counter r) -> !r
   | _ -> 0
+
+(* Read-only view of one metric, for exporters (OpenMetrics). *)
+type view =
+  | Counter_view of int
+  | Gauge_view of { last : float; peak : float }
+  | Hist_view of Hdr.t
+
+let view t name =
+  match Hashtbl.find_opt t.metrics name with
+  | None -> None
+  | Some (Counter r) -> Some (Counter_view !r)
+  | Some (Gauge g) -> Some (Gauge_view { last = g.last; peak = g.peak })
+  | Some (Hist h) -> Some (Hist_view h)
 
 let names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.metrics []
@@ -81,11 +95,11 @@ let to_table ?(title = "metrics") t =
         Table.add_row table
           [ name;
             "hist";
-            string_of_int (Summary.count s);
-            fmt_num (Summary.total s);
-            fmt_num (Summary.mean s);
-            fmt_num (Summary.quantile s 0.95);
-            fmt_num (Summary.max s) ])
+            string_of_int (Hdr.count s);
+            fmt_num (Hdr.total s);
+            fmt_num (Hdr.mean s);
+            fmt_num (Hdr.quantile s 0.95);
+            fmt_num (Hdr.max s) ])
     (names t);
   table
 
@@ -99,10 +113,10 @@ let to_json t =
     | Some (Hist s) ->
       let f v = if Float.is_nan v then Json.Null else Json.Float v in
       Json.Obj
-        [ ("count", Json.Int (Summary.count s));
-          ("total", f (Summary.total s));
-          ("mean", f (Summary.mean s));
-          ("p95", f (Summary.quantile s 0.95));
-          ("max", f (Summary.max s)) ]
+        [ ("count", Json.Int (Hdr.count s));
+          ("total", f (Hdr.total s));
+          ("mean", f (Hdr.mean s));
+          ("p95", f (Hdr.quantile s 0.95));
+          ("max", f (Hdr.max s)) ]
   in
   Json.Obj (List.map (fun name -> (name, field name)) (names t))

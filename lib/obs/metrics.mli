@@ -15,10 +15,18 @@ val set_gauge : t -> string -> float -> unit
 (** Records the last value and the peak. *)
 
 val observe : t -> string -> float -> unit
-(** Adds a sample to a histogram (a [Detmt_stats.Summary]). *)
+(** Adds a sample to a histogram (a log-linear bucketed {!Hdr}). *)
 
 val counter_value : t -> string -> int
 (** Current value of a counter; [0] when absent. *)
+
+(** Read-only view of one metric, for exporters. *)
+type view =
+  | Counter_view of int
+  | Gauge_view of { last : float; peak : float }
+  | Hist_view of Hdr.t
+
+val view : t -> string -> view option
 
 val names : t -> string list
 (** All registered names, sorted. *)

@@ -1,0 +1,14 @@
+(** OpenMetrics text exposition of the metrics registry.
+
+    Deterministic: families sorted by name, dotted names sanitised with a
+    ["detmt_"] prefix, counters suffixed [_total], gauges paired with a
+    [<name>_peak] family, histograms exposed as cumulative
+    [_bucket{le=...}] series from the {!Hdr} buckets plus [_sum]/[_count],
+    terminated by [# EOF]. *)
+
+val export : Metrics.t -> string
+
+val parse : string -> (Json.t, string) result
+(** Parse an exposition back into a Json document mapping each family name
+    to [{"type": ..., "samples": [{"name"; "labels"; "value"}]}] — the
+    parse-back half of the golden-file round-trip test. *)

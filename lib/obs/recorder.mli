@@ -11,16 +11,38 @@
 
 type t
 
-val create : unit -> t
+val create : ?width_ms:float -> ?retain:int -> ?profile:Profile.t -> unit -> t
+(** [width_ms]/[retain] size the {!Timeseries} windows (defaults 10 ms /
+    256 windows per track); [profile] attaches a hot-path profiler. *)
 
 val disabled : t
 (** The no-op recorder; every layer defaults to it. *)
 
+val profile_only : Profile.t -> t
+(** A recorder whose metric/span/audit sites are no-ops ({!enabled} is
+    [false]) but whose profiler taps are live — the low-overhead mode
+    behind [detmt-cli profile] and the CI overhead bound. *)
+
 val enabled : t -> bool
+
+val profiler : t -> Profile.t option
+
+val profiling : t -> bool
 
 (** {1 Metrics} *)
 
 val metrics : t -> Metrics.t
+
+val timeseries : t -> Timeseries.t
+(** The virtual-time-windowed series every metric update folds into. *)
+
+val set_clock : t -> (unit -> float) -> unit
+(** Install the virtual-clock source used to window metrics (installed by
+    the replication layer at system construction; read-only). *)
+
+val set_depth_probe : t -> (unit -> int) option -> unit
+(** Install a passive engine-queue-depth probe, sampled once per window
+    roll into the ["engine.pending"] track — no events are scheduled. *)
 
 val incr : ?by:int -> t -> string -> unit
 

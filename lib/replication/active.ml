@@ -155,7 +155,9 @@ let on_first_reply t ~from_replica (req : Request.t) =
           ~uid:req.Request.uid ~client:req.client ~client_req:req.client_req
           ~response_ms;
         Recorder.incr t.obs "active.replies";
-        Recorder.observe t.obs "active.response_ms" response_ms
+        Recorder.observe t.obs "active.response_ms" response_ms;
+        Recorder.set_gauge t.obs "active.inflight"
+          (float_of_int (Hashtbl.length t.reply_waiters))
       end;
       callback ~response_ms
     end
@@ -232,6 +234,16 @@ let deliver t replica (msg : payload Message.t) =
       mix (mix (mix t.barrier_fp.(s) msg.seq) epoch) (Hashtbl.hash label)
 
 let create ?(obs = Recorder.disabled) ~engine ~cls ~(params : params) () =
+  (* Continuous telemetry: window metrics by the virtual clock, snapshot
+     the event-queue depth once per window, and (with a profiler attached)
+     time the engine's pop/dispatch phases.  All observation-only. *)
+  if Recorder.enabled obs then begin
+    Recorder.set_clock obs (fun () -> Engine.now engine);
+    Recorder.set_depth_probe obs (Some (fun () -> Engine.pending engine))
+  end;
+  (match Recorder.profiler obs with
+  | Some p -> Detmt_obs.Profile.attach_engine p engine
+  | None -> ());
   let scheduler = Detmt_sched.Registry.find_exn params.scheduler in
   let cls', summary =
     if scheduler.needs_prediction then
@@ -311,6 +323,9 @@ let submit ?on_ordered t ~client ~client_req ~meth ~args ~on_reply =
   if not (Hashtbl.mem t.answered key) then begin
     let sent_at = Engine.now t.engine in
     Hashtbl.replace t.reply_waiters key (sent_at, on_reply);
+    if Recorder.enabled t.obs then
+      Recorder.set_gauge t.obs "active.inflight"
+        (float_of_int (Hashtbl.length t.reply_waiters));
     (* client -> sequencer latency before the totally-ordered broadcast *)
     Engine.schedule t.engine ~delay:t.params.client_latency_ms (fun () ->
         if Recorder.enabled t.obs then

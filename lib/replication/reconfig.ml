@@ -317,7 +317,11 @@ and submit t ~client ~client_req ~meth ~args ~on_reply =
           h_at = Engine.now t.engine }
         t.held;
       t.held_total <- t.held_total + 1;
-      if Recorder.enabled t.obs then Recorder.incr t.obs "reconfig.held"
+      if Recorder.enabled t.obs then begin
+        Recorder.incr t.obs "reconfig.held";
+        Recorder.set_gauge t.obs "reconfig.held_backlog"
+          (float_of_int (Queue.length t.held))
+      end
     end
     else
       dispatch t ~sent_at:(Engine.now t.engine) ~client ~client_req ~meth
@@ -388,7 +392,9 @@ and apply t ~cmd ~barrier_seq =
       Recorder.set_gauge t.obs "reconfig.groups"
         (float_of_int (live_count t));
       Recorder.series t.obs ~name:"reconfig.epoch"
-        ~at:(Engine.now t.engine) ~value:(float_of_int t.epoch)
+        ~at:(Engine.now t.engine) ~value:(float_of_int t.epoch);
+      Recorder.series t.obs ~name:"reconfig.groups"
+        ~at:(Engine.now t.engine) ~value:(float_of_int (live_count t))
     end
   end
   else t.aborted <- t.aborted + 1;

@@ -224,7 +224,9 @@ let note_reply t ~response_ms =
   t.reply_times <- client_arrival t :: t.reply_times;
   if Recorder.enabled t.obs then begin
     Recorder.incr t.obs "shard.replies";
-    Recorder.observe t.obs "shard.response_ms" response_ms
+    Recorder.observe t.obs "shard.response_ms" response_ms;
+    Recorder.set_gauge t.obs "shard.cross_inflight"
+      (float_of_int (Hashtbl.length t.pending))
   end
 
 let submit t ~client ~client_req ~meth ~args ~on_reply =
@@ -276,6 +278,8 @@ let submit t ~client ~client_req ~meth ~args ~on_reply =
             Recorder.incr t.obs "shard.cross_path";
             Recorder.observe t.obs "shard.cross_set_size"
               (float_of_int (List.length involved));
+            Recorder.set_gauge t.obs "shard.cross_inflight"
+              (float_of_int (Hashtbl.length t.pending));
             List.iter
               (fun s ->
                 Recorder.incr t.obs (Printf.sprintf "shard.%d.requests" s))

@@ -339,7 +339,15 @@ let create ~engine ~id ~cls ~config ?(oracle = Interp.default_oracle)
       is_leader = (fun () -> callbacks.is_leader ());
       obs }
   in
-  t.sched <- Some (make_sched actions);
+  let sched = make_sched actions in
+  (* With a profiler attached, wrap the decision module so every callback
+     is counted and timed under its registry name (observation-only). *)
+  let sched =
+    match Recorder.profiler obs with
+    | Some p -> Sched_iface.profiled p sched
+    | None -> sched
+  in
+  t.sched <- Some sched;
   t
 
 let id t = t.id

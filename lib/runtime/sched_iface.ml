@@ -96,3 +96,44 @@ let no_op_sched ~name ~on_request ~on_lock ~on_wakeup ~on_nested_reply =
        do (LSA's grant counter, PDS's phantom slots) override these. *)
     snapshot = (fun () -> []);
     restore = (fun _ -> ()) }
+
+(* Decision-cost instrumentation: wrap every scheduler callback so the
+   profiler counts and wall-clock-times it, attributed to the decision
+   module's registry name.  Applied by [Replica.create] only when a
+   profiler is attached, so unprofiled runs pay nothing.  The wrapper is
+   observation-only — it calls straight through, and re-entrant callbacks
+   (a grant cascading into [on_acquired]) time the outermost frame only
+   (handled inside [Profile]). *)
+let profiled p (s : sched) : sched =
+  let h = Detmt_obs.Profile.decision_handle p s.name in
+  (* Callbacks run ~100k+ times per run; each wrapper calls straight
+     through (no closure built per call) so the tap stays cheap enough to
+     hold the documented <5% overhead bound. *)
+  let b () = Detmt_obs.Profile.handle_begin h
+  and e () = Detmt_obs.Profile.handle_end h in
+  { s with
+    on_request = (fun tid -> b (); s.on_request tid; e ());
+    on_lock =
+      (fun tid ~syncid ~mutex -> b (); s.on_lock tid ~syncid ~mutex; e ());
+    on_acquired =
+      (fun tid ~syncid ~mutex ->
+        b (); s.on_acquired tid ~syncid ~mutex; e ());
+    on_unlock =
+      (fun tid ~syncid ~mutex ~freed ->
+        b (); s.on_unlock tid ~syncid ~mutex ~freed; e ());
+    on_wait = (fun tid ~mutex -> b (); s.on_wait tid ~mutex; e ());
+    on_wakeup = (fun tid ~mutex -> b (); s.on_wakeup tid ~mutex; e ());
+    on_reacquired =
+      (fun tid ~mutex -> b (); s.on_reacquired tid ~mutex; e ());
+    on_nested_begin = (fun tid -> b (); s.on_nested_begin tid; e ());
+    on_nested_reply = (fun tid -> b (); s.on_nested_reply tid; e ());
+    on_terminate = (fun tid -> b (); s.on_terminate tid; e ());
+    on_lockinfo =
+      (fun tid ~syncid ~mutex ->
+        b (); s.on_lockinfo tid ~syncid ~mutex; e ());
+    on_ignore = (fun tid ~syncid -> b (); s.on_ignore tid ~syncid; e ());
+    on_loop_enter =
+      (fun tid ~loopid -> b (); s.on_loop_enter tid ~loopid; e ());
+    on_loop_exit =
+      (fun tid ~loopid -> b (); s.on_loop_exit tid ~loopid; e ());
+    on_control = (fun ~sender c -> b (); s.on_control ~sender c; e ()) }

@@ -193,7 +193,7 @@ let audit t ~tid ~action ?mutex ~rule ?candidates () =
 
 (* Execute a thread's pending operation.  The caller has decided the grant;
    audit emission stays with the caller (rules differ per policy). *)
-let perform t th =
+let perform_pending t th =
   match th.pending with
   | Some (Lock _) ->
     th.pending <- None;
@@ -206,3 +206,16 @@ let perform t th =
     t.actions.resume_nested th.tid
   | None ->
     invalid_arg (Printf.sprintf "%s: no pending op for t%d" t.name th.tid)
+
+(* Every grant a decision module performs flows through here, so this is
+   the one place the profiler's Grant phase is timed.  Grants can cascade
+   (a grant unblocks the interpreter, which reports the next operation,
+   which may grant again synchronously); the profiler times the outermost
+   activation only. *)
+let perform t th =
+  match Recorder.profiler t.actions.obs with
+  | None -> perform_pending t th
+  | Some p ->
+    Detmt_obs.Profile.phase_begin p Detmt_obs.Profile.Grant;
+    perform_pending t th;
+    Detmt_obs.Profile.phase_end p Detmt_obs.Profile.Grant

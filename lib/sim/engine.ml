@@ -1,3 +1,16 @@
+(* Observation-only hooks around the two halves of event processing: the
+   queue operation that selects the next event (pop) and the execution of
+   its callback (fire).  Installed by the hot-path profiler; [None] (the
+   default) costs one option match per event.  Probes must not touch the
+   engine — they exist so a profiler can attribute wall-clock time to
+   phases without perturbing virtual time. *)
+type probe = {
+  pop_begin : unit -> unit;
+  pop_end : unit -> unit;
+  fire_begin : unit -> unit;
+  fire_end : unit -> unit;
+}
+
 type t = {
   queue : (unit -> unit) Pqueue.t;
   mutable clock : float;
@@ -6,11 +19,14 @@ type t = {
   mutable order_oracle : (count:int -> int) option;
   mutable journaling : bool;
   mutable journal : float list; (* executed event times, newest first *)
+  mutable probe : probe option;
 }
 
 let create () =
   { queue = Pqueue.create (); clock = 0.0; next_seq = 0; executed = 0;
-    order_oracle = None; journaling = false; journal = [] }
+    order_oracle = None; journaling = false; journal = []; probe = None }
+
+let set_probe t p = t.probe <- p
 
 let now t = t.clock
 
@@ -38,21 +54,35 @@ let fire t ~time f =
   t.clock <- time;
   t.executed <- t.executed + 1;
   if t.journaling then t.journal <- time :: t.journal;
-  f ();
+  (match t.probe with
+  | None -> f ()
+  | Some p ->
+    p.fire_begin ();
+    f ();
+    p.fire_end ());
   true
 
 (* With an ordering oracle installed, all events eligible at the same instant
    are popped and the oracle picks which one runs; the rest are re-queued
    under their original sequence numbers, so a pick of 0 (or an absent
    oracle) is exactly the canonical lowest-seq order. *)
+let pop t =
+  match t.probe with
+  | None -> Pqueue.pop t.queue
+  | Some p ->
+    p.pop_begin ();
+    let r = Pqueue.pop t.queue in
+    p.pop_end ();
+    r
+
 let step t =
   match t.order_oracle with
   | None -> (
-    match Pqueue.pop t.queue with
+    match pop t with
     | None -> false
     | Some (time, _seq, f) -> fire t ~time f)
   | Some pick -> (
-    match Pqueue.pop t.queue with
+    match pop t with
     | None -> false
     | Some (time, seq, f) ->
       let rec drain acc =

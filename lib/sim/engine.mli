@@ -52,6 +52,22 @@ val set_journaling : t -> bool -> unit
 val journal : t -> float array
 (** Times of the events executed while journaling, in execution order. *)
 
+(** {1 Observation probes} *)
+
+type probe = {
+  pop_begin : unit -> unit;
+  pop_end : unit -> unit;
+  fire_begin : unit -> unit;
+  fire_end : unit -> unit;
+}
+(** Observation-only hooks around event selection ([pop_*], the priority
+    queue operation) and event execution ([fire_*], the callback itself).
+    Probes must not interact with the engine; they let a profiler attribute
+    wall-clock time to phases without perturbing virtual time.  [None]
+    (the default) costs one option match per event. *)
+
+val set_probe : t -> probe option -> unit
+
 val pending : t -> int
 (** Number of events currently queued. *)
 

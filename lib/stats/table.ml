@@ -48,9 +48,13 @@ let pp ppf t =
   Format.fprintf ppf "%s@." (String.make (String.length header) '-');
   List.iter (fun row -> Format.fprintf ppf "%s@." (render row)) (rows t)
 
+(* RFC 4180: a cell containing a separator, a quote or a line break (LF or
+   CR — bare carriage returns split rows in most readers too) is wrapped in
+   double quotes, with embedded quotes doubled. *)
 let csv_escape cell =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
-    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  if
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') cell
+  then "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
   else cell
 
 let to_csv t =

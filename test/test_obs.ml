@@ -14,6 +14,11 @@ module Recorder = Detmt_obs.Recorder
 module Metrics = Detmt_obs.Metrics
 module Json = Detmt_obs.Json
 module Chrome = Detmt_obs.Chrome
+module Hdr = Detmt_obs.Hdr
+module Timeseries = Detmt_obs.Timeseries
+module Profile = Detmt_obs.Profile
+module Critical_path = Detmt_obs.Critical_path
+module Openmetrics = Detmt_obs.Openmetrics
 
 let figure1_cls = Detmt_workload.Figure1.cls Detmt_workload.Figure1.default
 
@@ -67,7 +72,9 @@ let all_schedulers =
 
 let test_on_off_identical ~scheduler ~cls ~gen () =
   let off = witness (run ~scheduler ~cls ~gen ()) in
-  let obs = Recorder.create () in
+  (* Full telemetry stack: metrics, windowed series (the clock installs in
+     [Active.create]) and the hot-path profiler — the strongest on-side. *)
+  let obs = Recorder.create ~profile:(Profile.create ()) () in
   let on = witness (run ~scheduler ~cls ~gen ~obs ()) in
   Alcotest.(check int) "replies" off.w_replies on.w_replies;
   Alcotest.(check (list (float 0.0))) "reply times" off.w_reply_times
@@ -77,10 +84,23 @@ let test_on_off_identical ~scheduler ~cls ~gen () =
     on.w_traces;
   Alcotest.(check (list (pair int fp))) "state fingerprints" off.w_states
     on.w_states;
-  (* The recorder did record: spans and metrics are non-empty. *)
+  (* The recorder did record: spans, metrics, windowed series and the
+     profiler's phase timers are all non-empty. *)
   Alcotest.(check bool) "recorded spans" true (Recorder.spans obs <> []);
   Alcotest.(check bool) "recorded metrics" true
-    (Metrics.names (Recorder.metrics obs) <> [])
+    (Metrics.names (Recorder.metrics obs) <> []);
+  Alcotest.(check bool) "recorded series windows" true
+    (Timeseries.point_count (Recorder.timeseries obs) > 0);
+  (match Recorder.profiler obs with
+  | None -> Alcotest.fail "profiler not attached"
+  | Some p ->
+    let dispatch =
+      List.find
+        (fun r -> r.Profile.p_phase = "dispatch")
+        (Profile.phase_rows p)
+    in
+    Alcotest.(check bool) "profiler timed dispatches" true
+      (dispatch.Profile.p_calls > 0))
 
 let determinism_tests =
   List.map
@@ -288,6 +308,202 @@ let test_audit_window () =
   | None -> Alcotest.fail "checkpoint time not recorded");
   Alcotest.(check int) "audit count" 4 (Recorder.audit_count obs)
 
+(* ------------------------ windowed time series ----------------------- *)
+
+(* Virtual-time windows are part of the deterministic surface: two runs
+   with the same seed must produce byte-identical window stores. *)
+let test_series_seed_reproducible () =
+  let series_json () =
+    let obs = Recorder.create () in
+    ignore (run ~scheduler:"mat" ~obs ());
+    Json.to_string (Timeseries.to_json (Recorder.timeseries obs))
+  in
+  let a = series_json () and b = series_json () in
+  Alcotest.(check string) "windows reproduce" a b;
+  Alcotest.(check bool) "windows non-trivial" true (String.length a > 64)
+
+let test_series_windowing () =
+  let ts = Timeseries.create ~width_ms:10.0 ~retain:4 () in
+  (* a counter folds into per-window sums... *)
+  Timeseries.bump ts ~name:"c" ~at:1.0 ~by:1.0;
+  Timeseries.bump ts ~name:"c" ~at:9.0 ~by:2.0;
+  Timeseries.bump ts ~name:"c" ~at:12.0 ~by:5.0;
+  (* ...a gauge keeps n/min/max/last per window... *)
+  Timeseries.sample ts ~name:"g" ~at:3.0 ~value:7.0;
+  Timeseries.sample ts ~name:"g" ~at:4.0 ~value:3.0;
+  let sums name =
+    List.map
+      (fun w -> w.Timeseries.w_sum)
+      (Timeseries.windows ts name)
+  in
+  Alcotest.(check (list (float 0.0))) "counter window sums" [ 3.0; 5.0 ]
+    (sums "c");
+  (match Timeseries.windows ts "g" with
+  | [ w ] ->
+    Alcotest.(check int) "gauge samples" 2 w.Timeseries.w_n;
+    Alcotest.(check (float 0.0)) "gauge min" 3.0 w.Timeseries.w_min;
+    Alcotest.(check (float 0.0)) "gauge max" 7.0 w.Timeseries.w_max;
+    Alcotest.(check (float 0.0)) "gauge last" 3.0 w.Timeseries.w_last
+  | ws -> Alcotest.failf "expected one gauge window, got %d" (List.length ws));
+  (* ...and the ring keeps only the newest [retain] windows. *)
+  List.iter
+    (fun at -> Timeseries.bump ts ~name:"c" ~at ~by:1.0)
+    [ 25.0; 35.0; 45.0; 55.0 ];
+  Alcotest.(check int) "ring truncates" 4
+    (List.length (Timeseries.windows ts "c"));
+  (* peak is over the retained ring only: the early 3.0/5.0 windows fell off *)
+  Alcotest.(check (float 0.0)) "peak over retained windows" 1.0
+    (Timeseries.peak ts "c")
+
+(* ----------------------------- Hdr ----------------------------------- *)
+
+let test_hdr_exact_moments () =
+  let h = Hdr.create () in
+  for i = 1 to 1000 do
+    Hdr.add h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 1000 (Hdr.count h);
+  Alcotest.(check (float 0.0)) "sum" 500500.0 (Hdr.total h);
+  Alcotest.(check (float 0.0)) "min" 1.0 (Hdr.min h);
+  Alcotest.(check (float 0.0)) "max" 1000.0 (Hdr.max h);
+  (* log-linear buckets: 16 per octave, so any quantile lands within one
+     bucket — a few percent — of the exact answer. *)
+  let p50 = Hdr.quantile h 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 %.1f near 500" p50)
+    true
+    (Float.abs (p50 -. 500.0) /. 500.0 < 0.10);
+  let p99 = Hdr.quantile h 0.99 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p99 %.1f near 990" p99)
+    true
+    (Float.abs (p99 -. 990.0) /. 990.0 < 0.10);
+  (* memory stays O(buckets), not O(values) *)
+  Alcotest.(check bool) "bounded buckets" true (Hdr.bucket_count h < 200);
+  (* cumulative counts are monotone and end at the total *)
+  let cum = Hdr.cumulative h in
+  let rec monotone = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "cumulative monotone" true (monotone cum);
+  (match List.rev cum with
+  | (_, last) :: _ -> Alcotest.(check int) "cumulative total" 1000 last
+  | [] -> Alcotest.fail "empty cumulative")
+
+let test_hdr_edge_values () =
+  let h = Hdr.create () in
+  List.iter (Hdr.add h) [ 0.0; -3.0; Float.nan; 42.0 ];
+  (* non-positive and non-finite values land in the zero bucket; quantiles
+     that fall inside it answer the observed minimum *)
+  Alcotest.(check int) "count" 4 (Hdr.count h);
+  Alcotest.(check (float 0.0)) "p25 is the observed min" (Hdr.min h)
+    (Hdr.quantile h 0.25);
+  Alcotest.(check (float 0.0)) "min tracks negatives" (-3.0) (Hdr.min h);
+  Alcotest.(check (float 0.0)) "max" 42.0 (Hdr.max h)
+
+(* --------------------------- profiler -------------------------------- *)
+
+let test_profile_phases () =
+  let p = Profile.create () in
+  let obs = Recorder.profile_only p in
+  ignore (run ~scheduler:"mat" ~obs ());
+  let row phase =
+    List.find (fun r -> r.Profile.p_phase = phase) (Profile.phase_rows p)
+  in
+  Alcotest.(check bool) "pops timed" true ((row "pop").Profile.p_calls > 0);
+  Alcotest.(check bool) "dispatches timed" true
+    ((row "dispatch").Profile.p_calls > 0);
+  Alcotest.(check bool) "grants timed" true
+    ((row "grant").Profile.p_calls > 0);
+  (match Profile.decision_rows p with
+  | [ d ] ->
+    Alcotest.(check string) "decision module" "mat" d.Profile.d_module;
+    Alcotest.(check bool) "decision calls" true (d.Profile.d_calls > 0)
+  | rows -> Alcotest.failf "expected one decision row, got %d"
+              (List.length rows));
+  let a = Profile.alloc p in
+  if not (a.Profile.minor_words > 0.0) then
+    Alcotest.failf "alloc: minor=%f major=%f promoted=%f wall=%f"
+      a.Profile.minor_words a.major_words a.promoted_words
+      (Profile.wall_seconds p);
+  (* profile-only mode keeps the metric/span sites off *)
+  Alcotest.(check bool) "no spans in profile-only mode" true
+    (Recorder.spans obs = []);
+  (* reset clears every cell *)
+  Profile.reset p;
+  Alcotest.(check int) "reset clears calls" 0 (row "dispatch").Profile.p_calls
+
+(* ------------------------- critical path ----------------------------- *)
+
+let test_critical_path () =
+  let obs = Recorder.create () in
+  let system = run ~scheduler:"mat" ~obs () in
+  let report = Critical_path.analyse obs in
+  Alcotest.(check int) "one item per answered request"
+    (Active.replies_received system)
+    (List.length report.Critical_path.items);
+  List.iter
+    (fun it ->
+      Alcotest.(check bool)
+        (Printf.sprintf "dominant %S is a known component"
+           it.Critical_path.cp_dominant)
+        true
+        (List.mem it.Critical_path.cp_dominant Critical_path.components);
+      Alcotest.(check bool) "dominant <= total" true
+        (it.Critical_path.cp_dominant_ms <= it.Critical_path.cp_total_ms +. 1e-9))
+    report.Critical_path.items;
+  let by_component_count =
+    List.fold_left
+      (fun acc (_, s) -> acc + s.Critical_path.s_count)
+      0 report.Critical_path.by_component
+  in
+  Alcotest.(check int) "component slices partition the requests"
+    (List.length report.Critical_path.items)
+    by_component_count
+
+(* --------------------------- OpenMetrics ----------------------------- *)
+
+let test_openmetrics_golden () =
+  (* Fixed small run against the committed exposition.  Regenerate after an
+     intentional schema change with:
+       dune exec bin/detmt_cli.exe -- metrics -s mat -w figure1 -c 2 -n 1 \
+         -f openmetrics -o test/openmetrics_golden.txt *)
+  let obs = Recorder.create () in
+  ignore (run ~scheduler:"mat" ~clients:2 ~requests:1 ~obs ());
+  let got = Openmetrics.export (Recorder.metrics obs) in
+  let ic = open_in "openmetrics_golden.txt" in
+  let want = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "golden openmetrics exposition" (String.trim want)
+    (String.trim got)
+
+let test_openmetrics_roundtrip () =
+  let obs = Recorder.create () in
+  ignore (run ~scheduler:"mat" ~obs ());
+  let text = Openmetrics.export (Recorder.metrics obs) in
+  match Openmetrics.parse text with
+  | Error msg -> Alcotest.failf "exposition does not parse back: %s" msg
+  | Ok doc ->
+    (* the parse is an Obs.Json value: it must survive a print/parse cycle *)
+    (match Json.parse (Json.to_string doc) with
+    | Error msg -> Alcotest.failf "parsed doc not valid Json: %s" msg
+    | Ok doc' ->
+      Alcotest.(check string) "json round-trip" (Json.to_string doc)
+        (Json.to_string doc'));
+    let family name =
+      match Json.member name doc with
+      | Some (Json.Obj _ as f) -> f
+      | _ -> Alcotest.failf "family %S missing" name
+    in
+    let fam = family "detmt_active_replies" in
+    (match Json.member "type" fam with
+    | Some (Json.String "counter") -> ()
+    | _ -> Alcotest.fail "reply family is not a counter");
+    (match Json.member "samples" fam with
+    | Some (Json.List (_ :: _)) -> ()
+    | _ -> Alcotest.fail "reply family has no samples")
+
 let () =
   Alcotest.run "obs"
     [ ("determinism", determinism_tests);
@@ -299,5 +515,23 @@ let () =
         [ Alcotest.test_case "coverage" `Quick test_metrics_coverage;
           Alcotest.test_case "render" `Quick test_metrics_render;
           Alcotest.test_case "chaos counters" `Quick test_chaos_metrics ] );
+      ( "series",
+        [ Alcotest.test_case "seed-reproducible" `Quick
+            test_series_seed_reproducible;
+          Alcotest.test_case "windowing" `Quick test_series_windowing ] );
+      ( "hdr",
+        [ Alcotest.test_case "exact moments, bounded buckets" `Quick
+            test_hdr_exact_moments;
+          Alcotest.test_case "edge values" `Quick test_hdr_edge_values ] );
+      ( "profile",
+        [ Alcotest.test_case "phases + decisions + alloc" `Quick
+            test_profile_phases ] );
+      ( "critical-path",
+        [ Alcotest.test_case "dominant components" `Quick
+            test_critical_path ] );
+      ( "openmetrics",
+        [ Alcotest.test_case "golden" `Quick test_openmetrics_golden;
+          Alcotest.test_case "parse round-trip" `Quick
+            test_openmetrics_roundtrip ] );
       ( "audit",
         [ Alcotest.test_case "window" `Quick test_audit_window ] ) ]

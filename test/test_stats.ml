@@ -79,6 +79,19 @@ let test_table_csv () =
   Table.add_row t [ "x,y"; "z" ];
   Alcotest.(check string) "csv escaping" "a,b\n\"x,y\",z\n" (Table.to_csv t)
 
+(* RFC 4180 corner cases: label values carrying commas (the windowed-series
+   "values" cells), embedded quotes, and both line-break characters must all
+   be quoted — and embedded quotes doubled. *)
+let test_table_csv_quoting () =
+  let t = Table.create ~title:"T" ~columns:[ "label"; "values" ] in
+  Table.add_row t [ "shard=0,epoch=2"; "1,2,3" ];
+  Table.add_row t [ "say \"hi\""; "a\nb" ];
+  Table.add_row t [ "cr\rhere"; "plain" ];
+  Alcotest.(check string) "quoted csv"
+    ("label,values\n" ^ "\"shard=0,epoch=2\",\"1,2,3\"\n"
+   ^ "\"say \"\"hi\"\"\",\"a\nb\"\n" ^ "\"cr\rhere\",plain\n")
+    (Table.to_csv t)
+
 let test_series () =
   let s = Series.create ~name:"s" in
   Series.add s ~x:1.0 ~y:10.0;
@@ -133,6 +146,7 @@ let suite =
     ("histogram bounds", `Quick, test_histogram_bounds);
     ("table render", `Quick, test_table_render);
     ("table csv", `Quick, test_table_csv);
+    ("table csv quoting", `Quick, test_table_csv_quoting);
     ("series", `Quick, test_series);
     ("series chart renders", `Quick, test_series_chart_renders);
     QCheck_alcotest.to_alcotest prop_summary_mean_bounded;
