@@ -63,8 +63,9 @@ let table_json t =
 (* Every BENCH_*.json carries a schema version at the top level; bump it
    whenever the field set changes so dashboards fail loudly instead of
    reading stale columns.  v2 added wall_ms / minor_words / major_words /
-   series_points / peak_pending cost columns. *)
-let schema_version = 2
+   series_points / peak_pending cost columns; v3 added the engine core
+   suite's events_per_s / words_per_event columns. *)
+let schema_version = 3
 
 let emit_json name json =
   if !json_mode then begin
@@ -280,6 +281,122 @@ let interference () =
   say "@.Methods over fixed, distinct monitors are provably independent; a \
        request-@.supplied lock interferes with everything.@."
 
+(* ------------------------- engine core suite ----------------------- *)
+
+(* E18 gate: raw typed-event throughput plus macro points through the full
+   replication stack.  The two derived columns — events_per_s and
+   words_per_event (minor words allocated per executed event) — are what
+   the CI smoke step asserts; the regression targets live in
+   EXPERIMENTS.md E18. *)
+
+let engine_raw_budget = 200_000
+
+(* A self-sustaining chain of typed events: 64 staggered seeds, each
+   handler re-posts itself while the budget lasts.  Nothing but the engine
+   core runs, so this is the ceiling the macro rows are measured against. *)
+let engine_raw () =
+  let engine = Engine.create () in
+  let budget = ref engine_raw_budget in
+  let h = ref 0 in
+  h :=
+    Engine.register_handler engine (fun x ->
+        if !budget > 0 then begin
+          decr budget;
+          Engine.post engine ~delay:0.01 !h (x + 1)
+        end);
+  for i = 0 to 63 do
+    Engine.post engine ~delay:(0.01 *. float_of_int i) !h i
+  done;
+  let (), wall_ms, minor_words, _major =
+    Experiment.costed (fun () -> Engine.run engine)
+  in
+  (Engine.events_executed engine, wall_ms, minor_words)
+
+(* One full-stack run: clients through Active through Totem through the
+   scheduler, the workload the ISSUE's >=3x / >=5x gates are stated on. *)
+let engine_macro ~scheduler ~clients () =
+  let wl = Figure1.default in
+  let cls = Figure1.cls wl and gen = Figure1.gen wl in
+  let engine = Engine.create () in
+  let system =
+    Active.create ~engine ~cls
+      ~params:{ Active.default_params with scheduler }
+      ()
+  in
+  let (), wall_ms, minor_words, _major =
+    Experiment.costed (fun () ->
+        Client.run_clients ~engine ~system ~clients ~requests_per_client:4
+          ~gen ())
+  in
+  (Engine.events_executed engine, wall_ms, minor_words)
+
+let engine_bench () =
+  heading "E18 — engine core: typed events, timing wheel, fused delivery";
+  (* pMAT is deliberately absent: its decision module's per-grant rescans
+     are quadratic in the candidate set and would swamp the engine signal
+     at 256+ clients.  The E18 macro grid (8192/16384, several minutes of
+     wall time) only runs with DETMT_ENGINE_GRID=1; the CI smoke asserts
+     the columns on the sub-second rows. *)
+  let grid = Sys.getenv_opt "DETMT_ENGINE_GRID" = Some "1" in
+  let runs =
+    [ ("raw-chain", engine_raw);
+      ("seq/figure1@256", engine_macro ~scheduler:"seq" ~clients:256);
+      ("mat/figure1@256", engine_macro ~scheduler:"mat" ~clients:256);
+      ("lsa/figure1@256", engine_macro ~scheduler:"lsa" ~clients:256) ]
+    @
+    if grid then
+      [ ("mat/figure1@8192", engine_macro ~scheduler:"mat" ~clients:8192);
+        ("mat/figure1@16384", engine_macro ~scheduler:"mat" ~clients:16384) ]
+    else []
+  in
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let events, wall_ms, minor_words = f () in
+        let events_per_s =
+          if wall_ms > 0.0 then float_of_int events /. (wall_ms /. 1000.0)
+          else 0.0
+        in
+        let words_per_event =
+          if events > 0 then minor_words /. float_of_int events else 0.0
+        in
+        (name, events, wall_ms, events_per_s, minor_words, words_per_event))
+      runs
+  in
+  let table =
+    Table.create ~title:"E18: engine core throughput"
+      ~columns:
+        [ "run"; "events"; "wall_ms"; "events/s"; "minor_words";
+          "words/event" ]
+  in
+  List.iter
+    (fun (name, events, wall_ms, events_per_s, minor_words, words_per_event) ->
+      Table.add_row table
+        [ name; string_of_int events; Printf.sprintf "%.1f" wall_ms;
+          Printf.sprintf "%.0f" events_per_s;
+          Printf.sprintf "%.0f" minor_words;
+          Printf.sprintf "%.1f" words_per_event ])
+    rows;
+  print_table table;
+  emit_json "engine"
+    (Json.Obj
+       [ ("rows",
+          Json.List
+            (List.map
+               (fun (name, events, wall_ms, events_per_s, minor_words,
+                     words_per_event) ->
+                 Json.Obj
+                   [ ("name", Json.String name);
+                     ("events", Json.Int events);
+                     ("wall_ms", Json.Float wall_ms);
+                     ("events_per_s", Json.Float events_per_s);
+                     ("minor_words", Json.Float minor_words);
+                     ("words_per_event", Json.Float words_per_event) ])
+               rows)) ]);
+  say "Expected shape: the raw chain costs a few words/event (boxed float \
+       timestamps@.only); the macro rows sit well under the pre-wheel \
+       baseline recorded in@.EXPERIMENTS.md E18.@."
+
 (* -------------------------- micro-benchmarks ----------------------- *)
 
 let micro () =
@@ -340,11 +457,17 @@ let micro () =
              Candidate_index.Reference.add idx ~key key;
              ignore (Candidate_index.Reference.min idx);
              Candidate_index.Reference.remove idx key));
-      Test.make ~name:"pqueue:push+pop"
+      (* The timing wheel against the binary heap it replaced. *)
+      Test.make ~name:"pqueue:wheel(push+pop)"
         (let q = Pqueue.create () in
          Staged.stage (fun () ->
-             Pqueue.push q ~time:1.0 ~seq:0 ();
-             ignore (Pqueue.pop q)));
+             Pqueue.push q ~time:1.0 ~seq:0 0;
+             ignore (Pqueue.pop_raw q)));
+      Test.make ~name:"pqueue:reference-heap(push+pop)"
+        (let q = Pqueue.Reference.create () in
+         Staged.stage (fun () ->
+             Pqueue.Reference.push q ~time:1.0 ~seq:0 0;
+             ignore (Pqueue.Reference.pop q)));
     ]
   in
   let benchmark test =
@@ -388,7 +511,8 @@ let experiments =
     ("overhead", overhead); ("prodcons", prodcons);
     ("determinism", determinism); ("saturation", saturation);
     ("model", model); ("shard", shard); ("elastic", elastic);
-    ("interference", interference); ("micro", micro) ]
+    ("interference", interference); ("engine", engine_bench);
+    ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -708,12 +708,14 @@ let shard_table rows =
     rows;
   t
 
-(* schema_version 2: v2 added the wall_ms / minor_words / major_words /
-   series_points / peak_pending cost columns to every row. *)
+(* schema_version history: v2 added the wall_ms / minor_words / major_words /
+   series_points / peak_pending cost columns to every row; v3 is the engine
+   core suite release (events_per_s / words_per_event in BENCH_engine.json)
+   — all bench producers version in lockstep. *)
 let shard_json rows =
   let module Json = Detmt_obs.Json in
   Json.Obj
-    [ ("schema_version", Json.Int 2);
+    [ ("schema_version", Json.Int 3);
       ("experiment", Json.String "shard");
       ("workload", Json.String "sharded");
       ("rows",
@@ -924,7 +926,7 @@ let elastic_table rows =
 let elastic_json rows =
   let module Json = Detmt_obs.Json in
   Json.Obj
-    [ ("schema_version", Json.Int 2);
+    [ ("schema_version", Json.Int 3);
       ("experiment", Json.String "elastic");
       ("workload", Json.String "hotspot");
       ("rows",

@@ -24,6 +24,8 @@ type t = {
          paper's experiments); a rejoining member goes to the back so it
          cannot snatch leadership from a replica that never failed. *)
   mutable callbacks : (view -> unit) list; (* reverse registration order *)
+  mutable detect_h : Engine.handler_id;
+      (* typed detection-timeout event, arg = the suspected member id *)
 }
 
 let make_view ~seniority ~epoch number members cause =
@@ -37,12 +39,34 @@ let make_view ~seniority ~epoch number members cause =
     in
     { number; members; leader; cause; epoch }
 
+let install_view t members cause =
+  t.view <-
+    make_view ~seniority:t.seniority ~epoch:t.epoch (t.view.number + 1)
+      members cause;
+  List.iter (fun f -> f t.view) (List.rev t.callbacks)
+
+(* Detection timeout expiry: recompute survivors at detection time — several
+   members may have failed, or rejoined, while the timeout was running. *)
+let detect t id =
+  if List.mem id t.dead then begin
+    let survivors =
+      List.filter (fun m -> not (List.mem m t.dead)) t.view.members
+    in
+    let removed = List.filter (fun m -> List.mem m t.dead) t.view.members in
+    if List.mem id t.view.members && survivors <> [] then
+      install_view t survivors (Failure removed)
+  end
+
 let create ?(epoch = 0) engine ~members ~detection_timeout_ms =
   if members = [] then invalid_arg "Group.create: empty member list";
   let seniority = List.sort compare members in
-  { engine; detection_timeout_ms;
-    view = make_view ~seniority ~epoch 0 seniority Initial;
-    dead = []; epoch; seniority; callbacks = [] }
+  let t =
+    { engine; detection_timeout_ms;
+      view = make_view ~seniority ~epoch 0 seniority Initial;
+      dead = []; epoch; seniority; callbacks = []; detect_h = 0 }
+  in
+  t.detect_h <- Engine.register_handler engine (fun id -> detect t id);
+  t
 
 let current_view t = t.view
 
@@ -51,12 +75,6 @@ let alive t id = not (List.mem id t.dead)
 let leader t = t.view.leader
 
 let on_view_change t f = t.callbacks <- f :: t.callbacks
-
-let install_view t members cause =
-  t.view <-
-    make_view ~seniority:t.seniority ~epoch:t.epoch (t.view.number + 1)
-      members cause;
-  List.iter (fun f -> f t.view) (List.rev t.callbacks)
 
 let epoch t = t.epoch
 
@@ -71,19 +89,7 @@ let set_epoch t epoch =
 let kill t id =
   if not (List.mem id t.dead) then begin
     t.dead <- id :: t.dead;
-    Engine.schedule t.engine ~delay:t.detection_timeout_ms (fun () ->
-        (* Recompute survivors at detection time: several members may have
-           failed — or rejoined — while the timeout was running. *)
-        if List.mem id t.dead then begin
-          let survivors =
-            List.filter (fun m -> not (List.mem m t.dead)) t.view.members
-          in
-          let removed =
-            List.filter (fun m -> List.mem m t.dead) t.view.members
-          in
-          if List.mem id t.view.members && survivors <> [] then
-            install_view t survivors (Failure removed)
-        end)
+    Engine.post t.engine ~delay:t.detection_timeout_ms t.detect_h id
   end
 
 let kill_at t id ~time =

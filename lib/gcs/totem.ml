@@ -15,13 +15,22 @@ type 'a subscriber = {
       (* highest seq covered by an out-of-band [advance_watermark]: stale
          copies at or below it were replayed by the replication layer, so
          suppressing them is bookkeeping, not transport duplication *)
-  mutable inbox : (float * 'a Message.t) list;
+  mutable ib_due : float array; (* inbox ring: due times ... *)
+  mutable ib_msg : 'a Message.t option array; (* ... and messages *)
+  mutable ib_head : int;
+  mutable ib_len : int;
       (* (due, msg) in arrival-scheduling order, which is sequence order for
          first copies.  Delivery events drain every due entry in this order,
          so two deliveries landing at the same instant reach the handler in
          sequence order no matter which engine event runs first — the GCS
          contract survives tie-break flips (the explorer's reorder oracle
          exercises exactly those). *)
+  mutable dt : float array; (* armed drain instants, sorted ascending *)
+  mutable dt_len : int;
+      (* one drain event per (subscriber, instant): a second message due at
+         an already-armed instant rides the armed event instead of adding a
+         no-op — the old per-message events delivered nothing past the first
+         at each instant, so fusing them changes no delivery *)
 }
 
 type batching = { max_batch : int; delay_ms : float }
@@ -33,6 +42,7 @@ type 'a t = {
   obs : Recorder.t;
   batching : batching option;
   mutable subscribers : 'a subscriber list; (* in subscription order *)
+  mutable by_id : 'a subscriber option array; (* dense id -> subscriber *)
   mutable next_seq : int;
   mutable broadcasts : int;
   mutable deliveries : int;
@@ -49,49 +59,28 @@ type 'a t = {
   mutable flush_epoch : int; (* invalidates stale delay timers *)
   mutable wire_batches : int;
   kinds : (string, int) Hashtbl.t;
+  mutable drain_h : Engine.handler_id; (* typed drain event, arg = sub id *)
+  mutable flush_h : Engine.handler_id; (* typed flush timer, arg = epoch *)
+  mutable sc_msg : 'a Message.t option array;
+      (* drain scratch: due messages are moved here before delivery so
+         handlers appending to the inbox never race the compaction.  Shared
+         across subscribers — drains only ever run from engine events, never
+         reentrantly. *)
 }
 
 let default_latency ~sender:_ ~dest:_ = 0.5
 
-let create ?(latency = default_latency) ?faults ?(obs = Recorder.disabled)
-    ?batching engine =
-  (match batching with
-  | Some b ->
-    if b.max_batch < 1 then invalid_arg "Totem.create: max_batch < 1";
-    if b.delay_ms < 0.0 then invalid_arg "Totem.create: delay_ms < 0"
-  | None -> ());
-  { engine; latency; faults; obs; batching; subscribers = []; next_seq = 0;
-    broadcasts = 0; deliveries = 0; suppressed_duplicates = 0;
-    watermark_suppressed = 0; delivery_oracle = None; flush_oracle = None;
-    pending = []; flush_epoch = 0; wire_batches = 0;
-    kinds = Hashtbl.create 8 }
+let find t id =
+  if id < 0 || id >= Array.length t.by_id then None else t.by_id.(id)
 
-let find t id = List.find_opt (fun s -> s.id = id) t.subscribers
-
-let subscribe t ~id handler =
-  if find t id <> None then
-    invalid_arg (Printf.sprintf "Totem.subscribe: duplicate id %d" id);
-  t.subscribers <-
-    t.subscribers
-    @ [ { id; handler; alive = true; last_delivery = 0.0; last_seq = -1;
-          watermark_floor = -1; inbox = [] } ]
+let sub_by_id t id =
+  match find t id with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Totem: unknown subscriber %d" id)
 
 let set_delivery_oracle t oracle = t.delivery_oracle <- oracle
 
 let set_flush_oracle t oracle = t.flush_oracle <- oracle
-
-(* A rejoining member takes over its old slot: fresh handler, alive again,
-   FIFO floor reset to now so stale floors cannot delay new traffic.  The
-   exactly-once watermark is kept — everything broadcast while the member was
-   dead was never scheduled for it and is the replication layer's job to
-   replay out of band. *)
-let resubscribe t ~id handler =
-  match find t id with
-  | None -> invalid_arg (Printf.sprintf "Totem.resubscribe: unknown id %d" id)
-  | Some s ->
-    s.handler <- handler;
-    s.alive <- true;
-    s.last_delivery <- Engine.now t.engine
 
 (* Hand one message to the application, or suppress it (exactly-once
    watermark; transport duplicates vs replay-covered stale copies). *)
@@ -120,14 +109,101 @@ let deliver_one t sub (msg : 'a Message.t) =
     if Recorder.enabled t.obs then Recorder.incr t.obs "totem.dedup_hits"
   end
 
+let ib_append sub ~due msg =
+  let cap = Array.length sub.ib_due in
+  if sub.ib_len = cap then begin
+    let ncap = max 8 (2 * cap) in
+    let d = Array.make ncap 0.0 and m = Array.make ncap None in
+    for j = 0 to sub.ib_len - 1 do
+      let idx = (sub.ib_head + j) land (cap - 1) in
+      d.(j) <- sub.ib_due.(idx);
+      m.(j) <- sub.ib_msg.(idx)
+    done;
+    sub.ib_due <- d;
+    sub.ib_msg <- m;
+    sub.ib_head <- 0
+  end;
+  let mask = Array.length sub.ib_due - 1 in
+  let idx = (sub.ib_head + sub.ib_len) land mask in
+  sub.ib_due.(idx) <- due;
+  sub.ib_msg.(idx) <- Some msg;
+  sub.ib_len <- sub.ib_len + 1
+
+(* Schedule a drain of [sub] at [time] unless one is already armed for
+   exactly that instant (fused same-instant delivery).  A drain pending at
+   a different instant never covers this one: it would fire at a different
+   virtual time and change when the message reaches the application. *)
+let arm_drain t sub ~time =
+  let n = sub.dt_len in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if sub.dt.(mid) < time then lo := mid + 1 else hi := mid
+  done;
+  let pos = !lo in
+  if not (pos < n && sub.dt.(pos) = time) then begin
+    if n = Array.length sub.dt then begin
+      let a = Array.make (max 4 (2 * n)) infinity in
+      Array.blit sub.dt 0 a 0 n;
+      sub.dt <- a
+    end;
+    Array.blit sub.dt pos sub.dt (pos + 1) (n - pos);
+    sub.dt.(pos) <- time;
+    sub.dt_len <- n + 1;
+    Engine.post_at t.engine ~time t.drain_h sub.id
+  end
+
 (* Remove every due inbox entry; deliver them (in inbox = sequence order)
    only while the subscriber lives — a dead subscriber's due messages vanish
-   exactly as the old per-message events did. *)
+   exactly as per-message events would.  Due entries move to the scratch
+   first and the survivors compact in place, so handlers that broadcast
+   (appending to this very inbox) during delivery see a consistent ring. *)
 let drain t sub =
   let now = Engine.now t.engine in
-  let due, rest = List.partition (fun (d, _) -> d <= now) sub.inbox in
-  sub.inbox <- rest;
-  if sub.alive then List.iter (fun (_, msg) -> deliver_one t sub msg) due
+  (* Retire the armed-instant marks this event (and any earlier one at the
+     same instant) covers, so a later same-instant message arms afresh. *)
+  let r = ref 0 in
+  while !r < sub.dt_len && sub.dt.(!r) <= now do incr r done;
+  if !r > 0 then begin
+    Array.blit sub.dt !r sub.dt 0 (sub.dt_len - !r);
+    sub.dt_len <- sub.dt_len - !r
+  end;
+  let len = sub.ib_len in
+  if len > 0 then begin
+    if Array.length t.sc_msg < len then
+      t.sc_msg <- Array.make (max 8 (2 * len)) None;
+    let mask = Array.length sub.ib_due - 1 in
+    let ndue = ref 0 and w = ref 0 in
+    for j = 0 to len - 1 do
+      let idx = (sub.ib_head + j) land mask in
+      if sub.ib_due.(idx) <= now then begin
+        t.sc_msg.(!ndue) <- sub.ib_msg.(idx);
+        incr ndue
+      end
+      else begin
+        let widx = (sub.ib_head + !w) land mask in
+        sub.ib_due.(widx) <- sub.ib_due.(idx);
+        sub.ib_msg.(widx) <- sub.ib_msg.(idx);
+        incr w
+      end
+    done;
+    (* Vacated tail slots drop their references so delivered messages are
+       collectable immediately. *)
+    for j = !w to len - 1 do
+      sub.ib_msg.((sub.ib_head + j) land mask) <- None
+    done;
+    sub.ib_len <- !w;
+    let n = !ndue in
+    if sub.alive then
+      for k = 0 to n - 1 do
+        match t.sc_msg.(k) with
+        | Some msg -> deliver_one t sub msg
+        | None -> ()
+      done;
+    for k = 0 to n - 1 do
+      t.sc_msg.(k) <- None
+    done
+  end
 
 (* Put one sequenced message on the wire: schedule its per-subscriber
    deliveries (fault plans, FIFO floors, watermarks).  With batching, this
@@ -168,15 +244,15 @@ let transmit t (msg : 'a Message.t) =
       in
       let time = Float.max arrival sub.last_delivery in
       sub.last_delivery <- time;
-      sub.inbox <- sub.inbox @ [ (time, msg) ];
-      Engine.schedule_at t.engine ~time (fun () -> drain t sub);
+      ib_append sub ~due:time msg;
+      arm_drain t sub ~time;
       (* The duplicate copy trails the (floored) first delivery, so it can
          never deliver out of order; the watermark suppresses it. *)
       Option.iter
         (fun extra ->
           let dup_time = time +. extra in
-          sub.inbox <- sub.inbox @ [ (dup_time, msg) ];
-          Engine.schedule_at t.engine ~time:dup_time (fun () -> drain t sub))
+          ib_append sub ~due:dup_time msg;
+          arm_drain t sub ~time:dup_time)
         dup_extra
     end
   in
@@ -210,6 +286,56 @@ let flush t =
     flush_batch t;
     Detmt_obs.Profile.phase_end p Detmt_obs.Profile.Flush
 
+let create ?(latency = default_latency) ?faults ?(obs = Recorder.disabled)
+    ?batching engine =
+  (match batching with
+  | Some b ->
+    if b.max_batch < 1 then invalid_arg "Totem.create: max_batch < 1";
+    if b.delay_ms < 0.0 then invalid_arg "Totem.create: delay_ms < 0"
+  | None -> ());
+  let t =
+    { engine; latency; faults; obs; batching; subscribers = []; by_id = [||];
+      next_seq = 0; broadcasts = 0; deliveries = 0; suppressed_duplicates = 0;
+      watermark_suppressed = 0; delivery_oracle = None; flush_oracle = None;
+      pending = []; flush_epoch = 0; wire_batches = 0;
+      kinds = Hashtbl.create 8; drain_h = 0; flush_h = 0; sc_msg = [||] }
+  in
+  t.drain_h <- Engine.register_handler engine (fun id -> drain t (sub_by_id t id));
+  t.flush_h <-
+    Engine.register_handler engine (fun epoch ->
+        if t.flush_epoch = epoch then flush t);
+  t
+
+let subscribe t ~id handler =
+  if id < 0 then invalid_arg "Totem.subscribe: negative id";
+  if find t id <> None then
+    invalid_arg (Printf.sprintf "Totem.subscribe: duplicate id %d" id);
+  if id >= Array.length t.by_id then begin
+    let by_id = Array.make (max 8 (2 * (id + 1))) None in
+    Array.blit t.by_id 0 by_id 0 (Array.length t.by_id);
+    t.by_id <- by_id
+  end;
+  let sub =
+    { id; handler; alive = true; last_delivery = 0.0; last_seq = -1;
+      watermark_floor = -1; ib_due = [||]; ib_msg = [||]; ib_head = 0;
+      ib_len = 0; dt = [||]; dt_len = 0 }
+  in
+  t.by_id.(id) <- Some sub;
+  t.subscribers <- t.subscribers @ [ sub ]
+
+(* A rejoining member takes over its old slot: fresh handler, alive again,
+   FIFO floor reset to now so stale floors cannot delay new traffic.  The
+   exactly-once watermark is kept — everything broadcast while the member was
+   dead was never scheduled for it and is the replication layer's job to
+   replay out of band. *)
+let resubscribe t ~id handler =
+  match find t id with
+  | None -> invalid_arg (Printf.sprintf "Totem.resubscribe: unknown id %d" id)
+  | Some s ->
+    s.handler <- handler;
+    s.alive <- true;
+    s.last_delivery <- Engine.now t.engine
+
 let broadcast t ~sender payload =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
@@ -227,12 +353,10 @@ let broadcast t ~sender payload =
       | None -> false
     in
     if held >= b.max_batch || forced then flush t
-    else if held = 1 then begin
-      (* First message of a fresh batch arms the flush timer. *)
-      let epoch = t.flush_epoch in
-      Engine.schedule t.engine ~delay:b.delay_ms (fun () ->
-          if t.flush_epoch = epoch then flush t)
-    end);
+    else if held = 1 then
+      (* First message of a fresh batch arms the flush timer; the epoch
+         argument invalidates it if the batch flushes early. *)
+      Engine.post t.engine ~delay:b.delay_ms t.flush_h t.flush_epoch);
   seq
 
 (* After an out-of-band state transfer the replication layer owns every

@@ -80,7 +80,37 @@ type t = {
      saw every epoch transition at the same total-order slot *)
   barrier_fp : int64 array;
   barrier_seen : int array;
+  (* pooled reply-delivery events: a replica's send_reply posts one typed
+     event whose argument is a pool slot holding (from_replica, request),
+     so the per-reply client-latency hop allocates nothing *)
+  mutable rp_from : int array; (* sender replica; freelist link when free *)
+  mutable rp_req : Request.t array;
+  mutable rp_free : int;
+  mutable rp_cap : int;
+  mutable reply_h : Engine.handler_id;
 }
+
+let blank_request = Request.dummy ~uid:(-1) ~sent_at:0.0
+
+let rp_grow t =
+  let cap = max 16 (2 * t.rp_cap) in
+  let from = Array.make cap (-1) and req = Array.make cap blank_request in
+  Array.blit t.rp_from 0 from 0 t.rp_cap;
+  Array.blit t.rp_req 0 req 0 t.rp_cap;
+  for i = t.rp_cap to cap - 2 do
+    from.(i) <- i + 1
+  done;
+  from.(cap - 1) <- -1;
+  t.rp_free <- t.rp_cap;
+  t.rp_from <- from;
+  t.rp_req <- req;
+  t.rp_cap <- cap
+
+let rp_alloc t =
+  if t.rp_free < 0 then rp_grow t;
+  let s = t.rp_free in
+  t.rp_free <- t.rp_from.(s);
+  s
 
 let leader_id t = Group.leader t.grp
 
@@ -166,8 +196,10 @@ let make_replica t ~engine ~cls ~id =
   let callbacks =
     { Replica.send_reply =
         (fun req ->
-          Engine.schedule engine ~delay:t.params.client_latency_ms (fun () ->
-              on_first_reply t ~from_replica:id req));
+          let s = rp_alloc t in
+          t.rp_from.(s) <- id;
+          t.rp_req.(s) <- req;
+          Engine.post engine ~delay:t.params.client_latency_ms t.reply_h s);
       do_nested =
         (fun ~tid ~call_index ~service ~duration ->
           register_nested t ~tid ~call_index ~service ~duration;
@@ -277,8 +309,17 @@ let create ?(obs = Recorder.disabled) ~engine ~cls ~(params : params) () =
       completed_base = Array.make params.replicas 0;
       checkpoint_sink = None; recoveries = 0;
       barrier_fp = Array.make params.replicas 0x9E3779B97F4A7C15L;
-      barrier_seen = Array.make params.replicas 0 }
+      barrier_seen = Array.make params.replicas 0;
+      rp_from = [||]; rp_req = [||]; rp_free = -1; rp_cap = 0; reply_h = 0 }
   in
+  t.reply_h <-
+    Engine.register_handler engine (fun s ->
+        let from = t.rp_from.(s) and req = t.rp_req.(s) in
+        (* clear the slot before dispatch so the request is collectable *)
+        t.rp_req.(s) <- blank_request;
+        t.rp_from.(s) <- t.rp_free;
+        t.rp_free <- s;
+        on_first_reply t ~from_replica:from req);
   let replicas =
     List.map (fun id -> make_replica t ~engine ~cls:cls' ~id) members
   in

@@ -31,43 +31,39 @@ type t = {
   mutable waiting : bool;
   mutable current : int; (* the request seq we are waiting on *)
   mutable retries : int;
+  mutable cur_meth : string; (* request being waited on, kept for retries *)
+  mutable cur_args : Detmt_lang.Ast.value array;
+  mutable think_h : Engine.handler_id; (* typed think-time expiry *)
+  mutable timeout_h : Engine.handler_id;
+      (* typed retry timer; the argument packs (seq, attempt) as
+         [seq * (max_retries + 1) + attempt] *)
 }
-
-let create_on ~engine ~submit ~id ~rng ~gen ?(think_time_ms = 0.0)
-    ?(max_requests = 10) ?timeout_ms ?(max_retries = 5) () =
-  (match timeout_ms with
-  | Some ms when ms <= 0.0 -> invalid_arg "Client.create: timeout_ms <= 0"
-  | _ -> ());
-  if max_retries < 0 then invalid_arg "Client.create: max_retries < 0";
-  { engine; submit; id; rng; gen; think_time_ms; max_requests; timeout_ms;
-    max_retries; sent = 0; completed = 0; waiting = false; current = -1;
-    retries = 0 }
 
 let active_submit system ~client ~client_req ~meth ~args ~on_reply =
   Active.submit system ~client ~client_req ~meth ~args ~on_reply
-
-let create system ~id ~rng ~gen ?think_time_ms ?max_requests ?timeout_ms
-    ?max_retries () =
-  create_on ~engine:(Active.engine system) ~submit:(active_submit system) ~id
-    ~rng ~gen ?think_time_ms ?max_requests ?timeout_ms ?max_retries ()
 
 (* Retry [attempt] of request [seq] after timeout * 2^attempt — deterministic
    exponential backoff, no randomness, so runs replay exactly.  The
    replication layer's duplicate suppression makes resubmission idempotent:
    replicas that already delivered the request drop the copy, and an
    already-answered request is not re-registered. *)
-let rec arm_timeout t ~seq ~meth ~args ~attempt =
+let rec arm_timeout t ~seq ~attempt =
   match t.timeout_ms with
   | None -> ()
   | Some timeout ->
     let delay = timeout *. Float.pow 2.0 (float_of_int attempt) in
-    Engine.schedule t.engine ~delay (fun () ->
-        if t.waiting && t.current = seq && attempt < t.max_retries then begin
-          t.retries <- t.retries + 1;
-          t.submit ~client:t.id ~client_req:seq ~meth ~args
-            ~on_reply:(reply_handler t ~seq);
-          arm_timeout t ~seq ~meth ~args ~attempt:(attempt + 1)
-        end)
+    Engine.post t.engine ~delay t.timeout_h
+      ((seq * (t.max_retries + 1)) + attempt)
+
+and on_timeout t packed =
+  let seq = packed / (t.max_retries + 1)
+  and attempt = packed mod (t.max_retries + 1) in
+  if t.waiting && t.current = seq && attempt < t.max_retries then begin
+    t.retries <- t.retries + 1;
+    t.submit ~client:t.id ~client_req:seq ~meth:t.cur_meth ~args:t.cur_args
+      ~on_reply:(reply_handler t ~seq);
+    arm_timeout t ~seq ~attempt:(attempt + 1)
+  end
 
 and reply_handler t ~seq ~response_ms:_ =
   (* Guarded: a reply for a request we already moved past (late duplicate)
@@ -85,9 +81,11 @@ and send_next t =
     t.waiting <- true;
     t.current <- seq;
     let meth, args = t.gen ~client:t.id ~seq t.rng in
+    t.cur_meth <- meth;
+    t.cur_args <- args;
     t.submit ~client:t.id ~client_req:seq ~meth ~args
       ~on_reply:(reply_handler t ~seq);
-    arm_timeout t ~seq ~meth ~args ~attempt:0
+    arm_timeout t ~seq ~attempt:0
   end
 
 and on_reply t =
@@ -96,10 +94,31 @@ and on_reply t =
       (* Think times are drawn exponentially around the configured mean,
          from the client's own stream. *)
       let think = Rng.exponential t.rng t.think_time_ms in
-      Engine.schedule t.engine ~delay:think (fun () -> send_next t)
+      Engine.post t.engine ~delay:think t.think_h 0
     else send_next t
 
 and start t = send_next t
+
+let create_on ~engine ~submit ~id ~rng ~gen ?(think_time_ms = 0.0)
+    ?(max_requests = 10) ?timeout_ms ?(max_retries = 5) () =
+  (match timeout_ms with
+  | Some ms when ms <= 0.0 -> invalid_arg "Client.create: timeout_ms <= 0"
+  | _ -> ());
+  if max_retries < 0 then invalid_arg "Client.create: max_retries < 0";
+  let t =
+    { engine; submit; id; rng; gen; think_time_ms; max_requests; timeout_ms;
+      max_retries; sent = 0; completed = 0; waiting = false; current = -1;
+      retries = 0; cur_meth = ""; cur_args = [||]; think_h = 0;
+      timeout_h = 0 }
+  in
+  t.think_h <- Engine.register_handler engine (fun _ -> send_next t);
+  t.timeout_h <- Engine.register_handler engine (fun packed -> on_timeout t packed);
+  t
+
+let create system ~id ~rng ~gen ?think_time_ms ?max_requests ?timeout_ms
+    ?max_retries () =
+  create_on ~engine:(Active.engine system) ~submit:(active_submit system) ~id
+    ~rng ~gen ?think_time_ms ?max_requests ?timeout_ms ?max_retries ()
 
 let completed t = t.completed
 
@@ -113,17 +132,20 @@ let run_open_loop ~engine ~system ~rate_per_s ~requests ~gen ?(seed = 42L)
   let rng = Rng.create seed in
   let mean_gap_ms = 1000.0 /. rate_per_s in
   let completed = ref 0 in
-  (* Arrival times are pre-drawn so the schedule is independent of service
-     completions (open loop). *)
-  let rec arrive seq at =
-    if seq < requests then
-      Engine.schedule_at engine ~time:at (fun () ->
-          let meth, args = gen ~client:0 ~seq rng in
-          Active.submit system ~client:0 ~client_req:seq ~meth ~args
-            ~on_reply:(fun ~response_ms:_ -> incr completed);
-          arrive (seq + 1) (at +. Rng.exponential rng mean_gap_ms))
-  in
-  arrive 0 (Rng.exponential rng mean_gap_ms);
+  (* Arrival times are drawn as each arrival fires, so the schedule is
+     independent of service completions (open loop).  One typed handler
+     carries the arrival chain; its argument is the request seq. *)
+  let arrive_h = ref 0 in
+  arrive_h :=
+    Engine.register_handler engine (fun seq ->
+        let meth, args = gen ~client:0 ~seq rng in
+        Active.submit system ~client:0 ~client_req:seq ~meth ~args
+          ~on_reply:(fun ~response_ms:_ -> incr completed);
+        if seq + 1 < requests then
+          Engine.post engine ~delay:(Rng.exponential rng mean_gap_ms)
+            !arrive_h (seq + 1));
+  if requests > 0 then
+    Engine.post engine ~delay:(Rng.exponential rng mean_gap_ms) !arrive_h 0;
   Engine.run ?until:until_ms engine;
   if !completed < requests && until_ms = None then
     failwith

@@ -135,6 +135,8 @@ type t = {
   (* autoscaling *)
   mutable policy : policy option;
   mutable armed : bool;
+  mutable tick_h : Engine.handler_id;
+      (* typed autoscale timer; reads [policy] at fire time *)
   adaptive_summary : Detmt_analysis.Predict.class_summary option Lazy.t;
   on_group : (index:int -> Active.t -> unit) option;
 }
@@ -195,7 +197,7 @@ let create ?(obs = Recorder.disabled) ?on_group ~engine ~cls
       pending = Hashtbl.create 256; answered = Hashtbl.create 256;
       response_times = Detmt_stats.Summary.create (); replies = 0;
       reply_times = []; fast_path = 0; cross_path = 0; held_total = 0;
-      policy = None; armed = false;
+      policy = None; armed = false; tick_h = 0;
       adaptive_summary =
         lazy (Some (snd (Detmt_transform.Transform.predictive cls)));
       on_group }
@@ -593,14 +595,14 @@ and tick t p =
     inflight_total > 0 || t.busy || t.frozen
     || Queue.length t.held > 0
     || Queue.length t.commands > 0
-  then Engine.schedule t.engine ~delay:p.interval_ms (fun () -> tick t p)
+  then Engine.post t.engine ~delay:p.interval_ms t.tick_h 0
   else t.armed <- false
 
 and maybe_arm t =
   match t.policy with
   | Some p when not t.armed ->
     t.armed <- true;
-    Engine.schedule t.engine ~delay:p.interval_ms (fun () -> tick t p)
+    Engine.post t.engine ~delay:p.interval_ms t.tick_h 0
   | _ -> ()
 
 let request_at t ~at cmd =
@@ -618,6 +620,10 @@ let request_at t ~at cmd =
 
 let set_autoscale t p =
   if p.interval_ms <= 0.0 then invalid_arg "Reconfig: interval_ms <= 0";
+  if t.tick_h = 0 then
+    t.tick_h <-
+      Engine.register_handler t.engine (fun _ ->
+          match t.policy with Some p -> tick t p | None -> ());
   t.policy <- Some p
 
 (* -------------------------- faults & recovery ------------------------ *)

@@ -51,6 +51,11 @@ type t = {
   mutable on_quiescent : (completed:int -> unit) option;
       (* fired whenever the last active thread terminates — the replication
          layer hangs divergence checkpoints off this *)
+  mutable advance_h : Engine.handler_id;
+      (* typed continuations for the op-interpreter hot path: cost charging
+         posts (handler, tid) pairs instead of allocating a closure per
+         interpreter step *)
+  mutable finish_h : Engine.handler_id;
 }
 
 let sched t =
@@ -101,10 +106,6 @@ let count_active t =
     (fun _ th n -> match th.status with Terminated -> n | _ -> n + 1)
     t.threads 0
 
-(* Charge CPU time and continue; zero-cost steps continue synchronously. *)
-let after_cost t duration k =
-  if duration <= 0.0 then k () else Cpu.exec t.cpu ~duration k
-
 let rec advance t th =
   if t.live then
     match th.cont with
@@ -116,12 +117,24 @@ let rec advance t th =
       th.status <- Running;
       step t th (k ())
 
+(* Charge CPU time and continue; zero-cost steps continue synchronously.
+   The continuation is a typed (handler, tid) pair, so charging cost never
+   allocates a closure — threads are looked up again at dispatch, which is
+   safe because a replica never removes entries from [t.threads]. *)
+and after_cost_advance t duration th =
+  if duration <= 0.0 then advance t th
+  else Cpu.exec_h t.cpu ~duration t.advance_h th.tid
+
+and after_cost_finish t duration th =
+  if duration <= 0.0 then finish t th
+  else Cpu.exec_h t.cpu ~duration t.finish_h th.tid
+
 and step t th outcome =
   match outcome with
   | Interp.Done ->
     (* Final computation: build the reply message (section 4.1). *)
     let cost = if th.req.Request.dummy then 0.0 else t.config.reply_build_ms in
-    after_cost t cost (fun () -> finish t th)
+    after_cost_finish t cost th
   | Interp.Yield (op, k) ->
     th.cont <- Some k;
     handle_op t th op
@@ -149,7 +162,7 @@ and finish t th =
 and handle_op t th op =
   let s = sched t in
   match op with
-  | Op.Compute { duration } -> Cpu.exec t.cpu ~duration (fun () -> advance t th)
+  | Op.Compute { duration } -> Cpu.exec_h t.cpu ~duration t.advance_h th.tid
   | Op.Lock { syncid; mutex } ->
     if Mutex_table.owner t.mutexes ~mutex = Some th.tid then begin
       (* Re-entrant entry: no scheduling decision needed (section 2: binary,
@@ -159,7 +172,7 @@ and handle_op t th op =
         record t (Trace.Lock_granted { tid = th.tid; syncid; mutex });
       record_acquisition t ~mutex ~tid:th.tid;
       s.on_acquired th.tid ~syncid ~mutex;
-      after_cost t t.config.lock_overhead_ms (fun () -> advance t th)
+      after_cost_advance t t.config.lock_overhead_ms th
     end
     else begin
       th.status <- Lock_blocked { syncid; mutex };
@@ -178,7 +191,7 @@ and handle_op t th op =
     let freed = Mutex_table.release t.mutexes ~mutex ~tid:th.tid in
     if tracing t then record t (Trace.Unlocked { tid = th.tid; syncid; mutex });
     s.on_unlock th.tid ~syncid ~mutex ~freed;
-    after_cost t t.config.lock_overhead_ms (fun () -> advance t th)
+    after_cost_advance t t.config.lock_overhead_ms th
   | Op.Wait { mutex } ->
     let count = Mutex_table.release_all t.mutexes ~mutex ~tid:th.tid in
     th.status <- Wait_parked { mutex; count };
@@ -208,7 +221,7 @@ and handle_op t th op =
             (Printf.sprintf "Replica %d: notified t%d is not waiting" t.id
                wtid))
       woken;
-    after_cost t t.config.lock_overhead_ms (fun () -> advance t th)
+    after_cost_advance t t.config.lock_overhead_ms th
   | Op.Nested { service; duration } ->
     let call_index = th.nested_count in
     th.nested_count <- call_index + 1;
@@ -231,16 +244,16 @@ and handle_op t th op =
     end
   | Op.Lockinfo { syncid; mutex } ->
     s.on_lockinfo th.tid ~syncid ~mutex;
-    after_cost t t.config.bookkeeping_overhead_ms (fun () -> advance t th)
+    after_cost_advance t t.config.bookkeeping_overhead_ms th
   | Op.Ignore { syncid } ->
     s.on_ignore th.tid ~syncid;
-    after_cost t t.config.bookkeeping_overhead_ms (fun () -> advance t th)
+    after_cost_advance t t.config.bookkeeping_overhead_ms th
   | Op.Loop_enter { loopid } ->
     s.on_loop_enter th.tid ~loopid;
-    after_cost t t.config.bookkeeping_overhead_ms (fun () -> advance t th)
+    after_cost_advance t t.config.bookkeeping_overhead_ms th
   | Op.Loop_exit { loopid } ->
     s.on_loop_exit th.tid ~loopid;
-    after_cost t t.config.bookkeeping_overhead_ms (fun () -> advance t th)
+    after_cost_advance t t.config.bookkeeping_overhead_ms th
   | Op.State_update { field; delta } ->
     (* System model (section 2): shared state is accessed under a lock. *)
     if not (Mutex_table.holds_any t.mutexes ~tid:th.tid) then
@@ -276,7 +289,7 @@ let do_grant_lock t tid =
     if observing t then rec_wait_end t th;
     record_acquisition t ~mutex ~tid;
     (sched t).on_acquired tid ~syncid ~mutex;
-    after_cost t t.config.lock_overhead_ms (fun () -> advance t th)
+    after_cost_advance t t.config.lock_overhead_ms th
   | _ ->
     invalid_arg
       (Printf.sprintf "Replica %d: grant_lock for t%d not lock-blocked" t.id
@@ -291,7 +304,7 @@ let do_grant_reacquire t tid =
     if observing t then rec_wait_end t th;
     record_acquisition t ~mutex ~tid;
     (sched t).on_reacquired tid ~mutex;
-    after_cost t t.config.lock_overhead_ms (fun () -> advance t th)
+    after_cost_advance t t.config.lock_overhead_ms th
   | _ ->
     invalid_arg
       (Printf.sprintf "Replica %d: grant_reacquire for t%d not waiting" t.id
@@ -319,8 +332,11 @@ let create ~engine ~id ~cls ~config ?(oracle = Interp.default_oracle)
       condvars = Condvar.create (); trace_rec = Trace.create ();
       threads = Hashtbl.create 64; sched = None; obs; callbacks; oracle;
       live = true; completed = 0; acquisitions = 0;
-      acq_hashes = Hashtbl.create 64; on_quiescent = None }
+      acq_hashes = Hashtbl.create 64; on_quiescent = None; advance_h = 0;
+      finish_h = 0 }
   in
+  t.advance_h <- Engine.register_handler engine (fun tid -> advance t (thread t tid));
+  t.finish_h <- Engine.register_handler engine (fun tid -> finish t (thread t tid));
   let actions =
     { Sched_iface.replica_id = id;
       start_thread = (fun tid -> do_start_thread t tid);

@@ -5,6 +5,8 @@ type entry_state = Pending | Announced of int | Passed | Ignored
 
 type table = {
   ms : Predict.method_summary;
+  sidx : (int, Predict.sid_info) Hashtbl.t; (* sid -> info, shared per method *)
+  lidx : (int, Predict.loop_info) Hashtbl.t; (* lid -> info, shared per method *)
   entries : (int, entry_state) Hashtbl.t; (* syncid -> state *)
   mutable active_loops : int list; (* innermost first *)
   mutable exited_loops : int list;
@@ -14,7 +16,21 @@ type table = {
   mutable pending_left : int; (* # entries still [Pending] *)
   announced : (int, int) Hashtbl.t; (* mutex -> # [Announced _] entries *)
   mutable future : Iset.t; (* mutexes with announced count > 0, sorted *)
+  mutable predicted_cache : int;
+      (* memoised [predicted_tab]: -1 unknown, 0 false, 1 true.  The
+         predicate only reads [active_loops], [exited_loops] and
+         [pending_left], so the three mutation points below reset it;
+         decision modules may probe it many times per grant. *)
 }
+
+(* Per-method registration data, resolved once per method name and reused by
+   every thread running that method: [None] means pessimistic (no summary,
+   unknown method, or fallback). *)
+type minfo =
+  (Predict.method_summary
+  * (int, Predict.sid_info) Hashtbl.t
+  * (int, Predict.loop_info) Hashtbl.t)
+  option
 
 type thread_info =
   | Pessimistic (* no summary, or fallback method: everything unknown *)
@@ -23,27 +39,52 @@ type thread_info =
 type t = {
   summary : Predict.class_summary option;
   threads : (int, thread_info) Hashtbl.t;
+  mcache : (string, minfo) Hashtbl.t;
+      (* method name -> resolved summary + sid/loop indexes; [find_method]
+         is a list scan, so without the cache every registration pays it *)
 }
 
-let create ~summary () = { summary; threads = Hashtbl.create 64 }
+let create ~summary () =
+  { summary; threads = Hashtbl.create 64; mcache = Hashtbl.create 16 }
+
+let resolve t meth : minfo =
+  match Hashtbl.find_opt t.mcache meth with
+  | Some r -> r
+  | None ->
+    let r =
+      match t.summary with
+      | None -> None
+      | Some cs -> (
+        match Predict.find_method cs meth with
+        | None -> None
+        | Some ms when ms.fallback -> None
+        | Some ms ->
+          let sidx = Hashtbl.create 16 and lidx = Hashtbl.create 8 in
+          List.iter
+            (fun (i : Predict.sid_info) -> Hashtbl.replace sidx i.sid i)
+            ms.sids;
+          List.iter
+            (fun (l : Predict.loop_info) -> Hashtbl.replace lidx l.lid l)
+            ms.loops;
+          Some (ms, sidx, lidx))
+    in
+    Hashtbl.replace t.mcache meth r;
+    r
 
 let register t ~tid ~meth =
   let info =
-    match t.summary with
+    match resolve t meth with
     | None -> Pessimistic
-    | Some cs -> (
-      match Predict.find_method cs meth with
-      | None -> Pessimistic
-      | Some ms when ms.fallback -> Pessimistic
-      | Some ms ->
-        let entries = Hashtbl.create 16 in
-        List.iter
-          (fun (i : Predict.sid_info) -> Hashtbl.replace entries i.sid Pending)
-          ms.sids;
-        Tracked
-          { ms; entries; active_loops = []; exited_loops = [];
-            pending_left = List.length ms.sids;
-            announced = Hashtbl.create 16; future = Iset.empty })
+    | Some (ms, sidx, lidx) ->
+      let entries = Hashtbl.create 16 in
+      List.iter
+        (fun (i : Predict.sid_info) -> Hashtbl.replace entries i.sid Pending)
+        ms.sids;
+      Tracked
+        { ms; sidx; lidx; entries; active_loops = []; exited_loops = [];
+          pending_left = List.length ms.sids;
+          announced = Hashtbl.create 16; future = Iset.empty;
+          predicted_cache = -1 }
   in
   Hashtbl.replace t.threads tid info
 
@@ -60,6 +101,7 @@ let set_entry tab sid state =
   match Hashtbl.find_opt tab.entries sid with
   | None -> ()
   | Some old ->
+    tab.predicted_cache <- -1;
     (match old with
     | Pending -> (
       match state with
@@ -105,7 +147,7 @@ let on_acquired t ~tid ~syncid ~mutex =
   match tracked t tid with
   | None -> ()
   | Some tab -> (
-    match Predict.sid_info tab.ms syncid with
+    match Hashtbl.find_opt tab.sidx syncid with
     | None -> () (* a helper-method sid inside an opaque region *)
     | Some info ->
       if loop_still_active tab info then
@@ -118,6 +160,7 @@ let on_loop_enter t ~tid ~loopid =
   match tracked t tid with
   | None -> ()
   | Some tab ->
+    tab.predicted_cache <- -1;
     tab.active_loops <- loopid :: tab.active_loops;
     tab.exited_loops <- List.filter (fun l -> l <> loopid) tab.exited_loops
 
@@ -125,6 +168,7 @@ let on_loop_exit t ~tid ~loopid =
   match tracked t tid with
   | None -> ()
   | Some tab ->
+    tab.predicted_cache <- -1;
     (match tab.active_loops with
     | l :: rest when l = loopid -> tab.active_loops <- rest
     | _ ->
@@ -132,12 +176,12 @@ let on_loop_exit t ~tid ~loopid =
     tab.exited_loops <- loopid :: tab.exited_loops;
     (* Every sid of the scope that cannot run again (no other enclosing
        scope still active) is resolved. *)
-    (match Predict.loop_info tab.ms loopid with
+    (match Hashtbl.find_opt tab.lidx loopid with
     | None -> ()
     | Some linfo ->
       List.iter
         (fun sid ->
-          match Predict.sid_info tab.ms sid with
+          match Hashtbl.find_opt tab.sidx sid with
           | Some info when not (loop_still_active tab info) -> (
             match Hashtbl.find_opt tab.entries sid with
             | Some Pending | Some (Announced _) -> set_entry tab sid Ignored
@@ -146,22 +190,29 @@ let on_loop_exit t ~tid ~loopid =
         linfo.sids)
 
 let changing tab lid =
-  match Predict.loop_info tab.ms lid with
+  match Hashtbl.find_opt tab.lidx lid with
   | Some l -> l.changing
   | None -> true (* unknown scope: be pessimistic *)
 
 let predicted_tab tab =
-  (* 1. no changing scope is currently active *)
-  (not (List.exists (changing tab) tab.active_loops))
-  (* 2. no changing scope lies ahead (neither active nor already exited) *)
-  && List.for_all
-       (fun (l : Predict.loop_info) ->
-         (not l.changing)
-         || List.mem l.lid tab.exited_loops
-         || List.mem l.lid tab.active_loops (* excluded by 1 if changing *))
-       tab.ms.loops
-  (* 3. every entry is resolved — maintained incrementally by [set_entry] *)
-  && tab.pending_left = 0
+  if tab.predicted_cache >= 0 then tab.predicted_cache = 1
+  else begin
+    let v =
+      (* 1. no changing scope is currently active *)
+      (not (List.exists (changing tab) tab.active_loops))
+      (* 2. no changing scope lies ahead (neither active nor already exited) *)
+      && List.for_all
+           (fun (l : Predict.loop_info) ->
+             (not l.changing)
+             || List.mem l.lid tab.exited_loops
+             || List.mem l.lid tab.active_loops (* excluded by 1 if changing *))
+           tab.ms.loops
+      (* 3. every entry is resolved — maintained incrementally by [set_entry] *)
+      && tab.pending_left = 0
+    in
+    tab.predicted_cache <- (if v then 1 else 0);
+    v
+  end
 
 let predicted t ~tid =
   match tracked t tid with None -> false | Some tab -> predicted_tab tab

@@ -23,5 +23,10 @@ val exec : t -> duration:float -> (unit -> unit) -> unit
 (** [exec t ~duration k] occupies a core for [duration] virtual ms (queueing
     FIFO if none is free) and then calls [k]. *)
 
+val exec_h : t -> duration:float -> Engine.handler_id -> int -> unit
+(** [exec_h t ~duration h x] is {!exec} with a typed continuation: when the
+    segment completes, [h] is invoked with [x] (via {!Engine.invoke}).
+    Segments are pooled, so this path allocates nothing per segment. *)
+
 val busy_time : t -> float
 (** Cumulative core-busy virtual time — used to report CPU utilisation. *)

@@ -1,9 +1,15 @@
 (** Discrete-event simulation engine with a virtual clock.
 
-    Time is a [float] in virtual milliseconds.  Events are thunks executed at
-    their scheduled time; simultaneous events run in scheduling order (stable
-    tie-break on a global sequence number), which together with the seeded
-    {!Rng} makes every run bit-reproducible. *)
+    Time is a [float] in virtual milliseconds.  Simultaneous events run in
+    scheduling order (stable tie-break on a global sequence number), which
+    together with the seeded {!Rng} makes every run bit-reproducible.
+
+    Events are typed: a producer {!register_handler}s an [int -> unit]
+    dispatch function once and then {!post}s [(handler, arg)] pairs, which
+    land in a pooled event arena — the steady-state schedule/fire cycle
+    allocates nothing.  {!schedule} / {!schedule_at} remain as the thunk
+    constructor for cold paths (test setup, one-shot fault injections);
+    a thunk event is simply handler 0 with the closure in its slot. *)
 
 type t
 
@@ -11,6 +17,35 @@ val create : unit -> t
 
 val now : t -> float
 (** Current virtual time in milliseconds. *)
+
+(** {1 Typed events} *)
+
+type handler_id = int
+(** Index into the engine's dispatch table.  Obtain one only from
+    {!register_handler}; ids are positive (0 is the internal thunk
+    handler) and never recycled. *)
+
+val register_handler : t -> (int -> unit) -> handler_id
+(** Register a dispatch function and return its id.  Producers register
+    once (capturing their own state) and pass the id to {!post}; the
+    argument is the event's immediate [int] payload. *)
+
+val post : t -> delay:float -> handler_id -> int -> unit
+(** [post t ~delay h x] runs [invoke t h x] at [now t +. delay] without
+    allocating: the event is a pooled arena slot.  [delay] must be
+    non-negative; a zero delay runs after all callbacks already queued for
+    the current instant. *)
+
+val post_at : t -> time:float -> handler_id -> int -> unit
+(** [post_at t ~time h x] is {!post} at absolute virtual time [time],
+    which must not lie in the past. *)
+
+val invoke : t -> handler_id -> int -> unit
+(** Call a registered handler synchronously (no event, no clock movement).
+    Lets a producer that stored a [(handler, arg)] continuation run it
+    inline on a zero-cost path. *)
+
+(** {1 Thunk events (cold path)} *)
 
 val schedule : t -> delay:float -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at [now t +. delay].  [delay] must be
@@ -20,6 +55,8 @@ val schedule : t -> delay:float -> (unit -> unit) -> unit
 val schedule_at : t -> time:float -> (unit -> unit) -> unit
 (** [schedule_at t ~time f] runs [f] at absolute virtual time [time], which
     must not lie in the past. *)
+
+(** {1 Execution} *)
 
 val run : ?until:float -> t -> unit
 (** Execute events until the queue drains, or — when [until] is given — until

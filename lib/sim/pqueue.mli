@@ -1,25 +1,77 @@
-(** Binary min-heap priority queue with stable tie-breaking.
+(** The engine's event queue: a hierarchical timing wheel with a far-future
+    overflow heap.
 
     Keys are [(time, seq)] pairs compared lexicographically; the event engine
-    allocates monotonically increasing sequence numbers, so two events scheduled
-    for the same virtual time are delivered in scheduling order.  This stability
-    is what makes the whole simulation deterministic. *)
+    allocates monotonically increasing sequence numbers, so two events
+    scheduled for the same virtual time are delivered in scheduling order.
+    That stability is what makes the whole simulation deterministic, and the
+    wheel preserves it exactly: ticks only decide bucket {e placement}, each
+    bucket is sorted on the exact key before it is drained, so the pop
+    stream is bit-identical to a binary heap's ({!Reference}, the replaced
+    implementation, is kept as the differential-fuzz oracle).
 
-type 'a t
+    Payloads are non-negative [int]s — the engine's pooled event-slot ids —
+    so the steady-state push/pop cycle allocates nothing.
 
-val create : unit -> 'a t
+    Contract (both guaranteed by the engine, both checked): times are
+    non-negative, and a push never predates the time of the last pop. *)
 
-val is_empty : 'a t -> bool
+type t
 
-val length : 'a t -> int
+val create : ?granularity_ms:float -> unit -> t
+(** [granularity_ms] (default [0.5]) is the width of one wheel tick.  It
+    trades bucket-sort width against cursor-scan length and never affects
+    ordering — only placement. *)
 
-val push : 'a t -> time:float -> seq:int -> 'a -> unit
-(** [push q ~time ~seq v] inserts [v] with priority [(time, seq)]. *)
+val is_empty : t -> bool
 
-val pop : 'a t -> (float * int * 'a) option
-(** Remove and return the minimum element, or [None] when empty. *)
+val length : t -> int
 
-val peek : 'a t -> (float * int * 'a) option
+val push : t -> time:float -> seq:int -> int -> unit
+(** [push q ~time ~seq v] inserts payload [v >= 0] with key [(time, seq)].
+    Raises [Invalid_argument] on a negative payload, a negative time, or a
+    time before the last popped entry's. *)
+
+val pop : t -> (float * int * int) option
+(** Remove and return the minimum element, or [None] when empty.  Allocates
+    the result; the engine's hot path uses {!pop_raw} instead. *)
+
+val peek : t -> (float * int * int) option
 (** Return the minimum element without removing it. *)
 
-val clear : 'a t -> unit
+(** {1 Allocation-free hot path} *)
+
+val pop_raw : t -> int
+(** Remove the minimum element and return its payload, or [-1] when empty.
+    The popped key is readable through {!popped_time} / {!popped_seq} until
+    the next pop. *)
+
+val popped_time : t -> float
+
+val popped_seq : t -> int
+
+val peek_time : t -> float
+(** Time of the minimum element, or [infinity] when empty. *)
+
+val clear : t -> unit
+
+(** The binary min-heap this wheel replaced: polymorphic payloads, no push
+    contract.  Tests fuzz it against the wheel; vacated slots are dropped
+    (the old representation leaked the popped entry in [data.(size)]). *)
+module Reference : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val is_empty : 'a t -> bool
+
+  val length : 'a t -> int
+
+  val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+  val pop : 'a t -> (float * int * 'a) option
+
+  val peek : 'a t -> (float * int * 'a) option
+
+  val clear : 'a t -> unit
+end

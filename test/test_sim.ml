@@ -88,16 +88,14 @@ let test_rng_shuffle_permutation () =
 
 let test_pqueue_ordering () =
   let q = Pqueue.create () in
-  Pqueue.push q ~time:3.0 ~seq:0 "c";
-  Pqueue.push q ~time:1.0 ~seq:1 "a";
-  Pqueue.push q ~time:2.0 ~seq:2 "b";
-  let pop () =
-    match Pqueue.pop q with Some (_, _, v) -> v | None -> "?"
-  in
+  Pqueue.push q ~time:3.0 ~seq:0 2;
+  Pqueue.push q ~time:1.0 ~seq:1 0;
+  Pqueue.push q ~time:2.0 ~seq:2 1;
+  let pop () = match Pqueue.pop q with Some (_, _, v) -> v | None -> -1 in
   let first = pop () in
   let second = pop () in
   let third = pop () in
-  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ]
+  Alcotest.(check (list int)) "time order" [ 0; 1; 2 ]
     [ first; second; third ]
 
 let test_pqueue_stable_ties () =
@@ -135,6 +133,94 @@ let test_pqueue_random_drain_sorted () =
       drain t (n + 1)
   in
   Alcotest.(check int) "all popped" 1000 (drain neg_infinity 0)
+
+let test_pqueue_push_contract () =
+  let q = Pqueue.create () in
+  Alcotest.check_raises "negative payload rejected"
+    (Invalid_argument "Pqueue.push: payload must be >= 0") (fun () ->
+      Pqueue.push q ~time:1.0 ~seq:0 (-1));
+  Alcotest.check_raises "negative time rejected"
+    (Invalid_argument "Pqueue.push: time must be non-negative") (fun () ->
+      Pqueue.push q ~time:(-1.0) ~seq:0 0)
+
+let test_pqueue_reference_ordering () =
+  (* The old polymorphic heap survives as the differential-fuzz oracle. *)
+  let q = Pqueue.Reference.create () in
+  Pqueue.Reference.push q ~time:3.0 ~seq:0 "c";
+  Pqueue.Reference.push q ~time:1.0 ~seq:1 "a";
+  Pqueue.Reference.push q ~time:2.0 ~seq:2 "b";
+  let pop () =
+    match Pqueue.Reference.pop q with Some (_, _, v) -> v | None -> "?"
+  in
+  let p1 = pop () in
+  let p2 = pop () in
+  let p3 = pop () in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] [ p1; p2; p3 ];
+  Alcotest.check b "drained" true (Pqueue.Reference.is_empty q);
+  Pqueue.Reference.push q ~time:5.0 ~seq:3 "d";
+  Pqueue.Reference.clear q;
+  Alcotest.(check int) "clear empties" 0 (Pqueue.Reference.length q)
+
+(* Differential fuzz: the timing wheel must produce a pop/peek stream
+   bit-identical to the reference binary heap under random interleavings of
+   push / pop / peek — including same-instant seq ties, pushes landing at
+   the instant being drained, and far-future times that overflow every wheel
+   level into the heap.  Repeated across granularities, which move bucket
+   boundaries but must never change ordering. *)
+let test_pqueue_differential_fuzz () =
+  List.iter
+    (fun g ->
+      let rng = Rng.create 424242L in
+      let q = Pqueue.create ~granularity_ms:g () in
+      let r = Pqueue.Reference.create () in
+      let seq = ref 0 in
+      let last_pop = ref 0.0 in
+      for _ = 1 to 5000 do
+        let op = Rng.int rng 10 in
+        if op < 6 then begin
+          let t =
+            match Rng.int rng 5 with
+            | 0 -> !last_pop (* exact tie with the pop floor *)
+            | 1 -> !last_pop +. (float_of_int (Rng.int rng 4) *. g)
+            | 2 -> !last_pop +. Rng.float rng 50.0
+            | 3 -> !last_pop +. Rng.float rng 10_000.0
+            | _ -> !last_pop +. 100_000.0 +. Rng.float rng 1e6 (* overflow *)
+          in
+          Pqueue.push q ~time:t ~seq:!seq !seq;
+          Pqueue.Reference.push r ~time:t ~seq:!seq !seq;
+          incr seq
+        end
+        else if op < 9 then begin
+          match (Pqueue.pop q, Pqueue.Reference.pop r) with
+          | None, None -> ()
+          | Some (t1, s1, v1), Some (t2, s2, v2) ->
+            if not (t1 = t2 && s1 = s2 && v1 = v2) then
+              Alcotest.failf "pop mismatch (g=%g): (%g,%d,%d) vs (%g,%d,%d)"
+                g t1 s1 v1 t2 s2 v2;
+            last_pop := t1
+          | Some _, None | None, Some _ ->
+            Alcotest.fail "pop emptiness mismatch"
+        end
+        else begin
+          match (Pqueue.peek q, Pqueue.Reference.peek r) with
+          | None, None -> ()
+          | Some (t1, s1, v1), Some (t2, s2, v2) ->
+            if not (t1 = t2 && s1 = s2 && v1 = v2) then
+              Alcotest.failf "peek mismatch (g=%g)" g
+          | Some _, None | None, Some _ ->
+            Alcotest.fail "peek emptiness mismatch"
+        end
+      done;
+      let rec drain () =
+        match (Pqueue.pop q, Pqueue.Reference.pop r) with
+        | None, None -> ()
+        | Some a, Some b' when a = b' -> drain ()
+        | _ -> Alcotest.failf "drain mismatch (g=%g)" g
+      in
+      drain ();
+      Alcotest.check b "both empty" true
+        (Pqueue.is_empty q && Pqueue.Reference.is_empty r))
+    [ 0.5; 0.05; 7.3 ]
 
 (* ------------------------------ Engine ----------------------------- *)
 
@@ -263,6 +349,31 @@ let test_engine_journal () =
   Alcotest.(check int) "switching off clears the journal" 0
     (Array.length (Engine.journal e))
 
+(* Typed events interleave with thunk events in one (time, seq) order, and
+   handler arguments arrive unchanged. *)
+let test_engine_typed_events () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let h = Engine.register_handler e (fun x -> log := x :: !log) in
+  Engine.post e ~delay:2.0 h 20;
+  Engine.schedule e ~delay:1.0 (fun () -> log := 10 :: !log);
+  Engine.post e ~delay:1.0 h 11;
+  Engine.post_at e ~time:3.0 h 30;
+  Engine.run e;
+  Alcotest.(check (list int)) "typed and thunk events share one order"
+    [ 10; 11; 20; 30 ] (List.rev !log);
+  Alcotest.(check int) "events executed" 4 (Engine.events_executed e);
+  Engine.invoke e h 99;
+  Alcotest.(check (list int)) "invoke dispatches synchronously"
+    [ 10; 11; 20; 30; 99 ] (List.rev !log);
+  Alcotest.(check int) "invoke is not an event" 4 (Engine.events_executed e)
+
+let test_engine_post_rejects_bad_handler () =
+  let e = Engine.create () in
+  Alcotest.check_raises "unregistered handler rejected"
+    (Invalid_argument "Engine.post_at: unknown handler 7") (fun () ->
+      Engine.post_at e ~time:1.0 7 0)
+
 let test_engine_until_empty_queue () =
   let e = Engine.create () in
   Engine.run ~until:10.0 e;
@@ -272,7 +383,14 @@ let test_engine_until_empty_queue () =
   Engine.run ~until:1.0 e;
   Alcotest.(check int) "future event untouched below the bound" 1
     (Engine.pending e);
-  Alcotest.(check (float 1e-9)) "clock still untouched" 0.0 (Engine.now e)
+  Alcotest.(check (float 1e-9)) "clock still untouched" 0.0 (Engine.now e);
+  (* [~until:infinity] means "run to drain" and must terminate on an empty
+     queue (the explorer passes infinity for every unbounded run). *)
+  Engine.run ~until:Float.infinity e;
+  Alcotest.(check int) "infinity bound drains" 0 (Engine.pending e);
+  Engine.run ~until:Float.infinity e;
+  Alcotest.(check (float 1e-9)) "and terminates when already empty" 3.0
+    (Engine.now e)
 
 (* ------------------------------- Cpu ------------------------------- *)
 
@@ -313,6 +431,20 @@ let test_cpu_fifo () =
     [ "a"; "b"; "c" ];
   Engine.run e;
   Alcotest.(check (list string)) "FIFO" [ "a"; "b"; "c" ] (List.rev !order)
+
+(* Typed and thunk segments share one FIFO and one core pool. *)
+let test_cpu_exec_h () =
+  let e = Engine.create () in
+  let cpu = Cpu.create e ~cores:1 in
+  let order = ref [] in
+  let h = Engine.register_handler e (fun x -> order := x :: !order) in
+  Cpu.exec_h cpu ~duration:1.0 h 1;
+  Cpu.exec cpu ~duration:1.0 (fun () -> order := 2 :: !order);
+  Cpu.exec_h cpu ~duration:1.0 h 3;
+  Engine.run e;
+  Alcotest.(check (list int)) "typed segments keep FIFO order" [ 1; 2; 3 ]
+    (List.rev !order);
+  Alcotest.(check (float 1e-9)) "durations charged" 3.0 (Cpu.busy_time cpu)
 
 (* ------------------------------ Trace ------------------------------ *)
 
@@ -379,7 +511,13 @@ let suite =
     ("pqueue stable ties", `Quick, test_pqueue_stable_ties);
     ("pqueue peek", `Quick, test_pqueue_peek);
     ("pqueue random drain", `Quick, test_pqueue_random_drain_sorted);
+    ("pqueue push contract", `Quick, test_pqueue_push_contract);
+    ("pqueue reference ordering", `Quick, test_pqueue_reference_ordering);
+    ("pqueue differential fuzz", `Quick, test_pqueue_differential_fuzz);
     ("engine order", `Quick, test_engine_runs_in_order);
+    ("engine typed events", `Quick, test_engine_typed_events);
+    ("engine post rejects bad handler", `Quick,
+     test_engine_post_rejects_bad_handler);
     ("engine clock", `Quick, test_engine_clock_advances);
     ("engine zero-delay fifo", `Quick, test_engine_zero_delay_fifo);
     ("engine rejects past", `Quick, test_engine_rejects_past);
@@ -393,6 +531,7 @@ let suite =
     ("cpu parallel cores", `Quick, test_cpu_parallel_cores);
     ("cpu queueing", `Quick, test_cpu_queueing);
     ("cpu fifo", `Quick, test_cpu_fifo);
+    ("cpu exec_h", `Quick, test_cpu_exec_h);
     ("trace order-sensitive", `Quick, test_trace_fingerprint_order_sensitive);
     ("trace equal fingerprints", `Quick,
      test_trace_fingerprint_equal_for_equal);
