@@ -85,6 +85,14 @@ let seed =
     & info [ "seed" ] ~docv:"SEED"
         ~doc:"Master random seed for the client decision streams.")
 
+let workers =
+  Arg.(
+    value & opt int 1
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Simulated worker-pool width for the parallel scheduler family \
+           (cgs, pcgs, adaptive); serial schedulers require the default 1.")
+
 let shards ~default ~doc = Arg.(value & opt int default & info [ "shards" ] ~docv:"N" ~doc)
 
 let latency =

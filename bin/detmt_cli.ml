@@ -28,6 +28,8 @@ let replicas_arg = Cli_args.replicas
 
 let seed_arg = Cli_args.seed
 
+let workers_arg = Cli_args.workers
+
 let workload_arg = Cli_args.workload
 
 let latency_arg = Cli_args.latency
@@ -73,11 +75,12 @@ let histogram_flag =
            ~doc:"Also print a response-time histogram.")
 
 let run_cmd =
-  let run scheduler clients requests replicas seed workload latency histogram =
+  let run scheduler workers clients requests replicas seed workload latency
+      histogram =
     let cls, gen = resolve_workload workload in
     let params =
       { Detmt.Active.default_params with
-        scheduler; replicas; net_latency_ms = latency }
+        scheduler; workers; replicas; net_latency_ms = latency }
     in
     let result =
       Detmt.Experiment.run_workload ~seed:(Int64.of_int seed) ~params
@@ -118,8 +121,8 @@ let run_cmd =
   in
   let term =
     Term.(
-      const run $ scheduler_arg $ clients_arg $ requests_arg $ replicas_arg
-      $ seed_arg $ workload_arg $ latency_arg $ histogram_flag)
+      const run $ scheduler_arg $ workers_arg $ clients_arg $ requests_arg
+      $ replicas_arg $ seed_arg $ workload_arg $ latency_arg $ histogram_flag)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one scheduler and report.")
@@ -790,7 +793,8 @@ let replica_fp r =
     (Detmt.Replica.state_fingerprint r)
 
 let fingerprint_cmd =
-  let run seed clients requests shards with_obs schedulers workloads =
+  let run seed workers clients requests shards with_obs schedulers workloads
+      =
     let schedulers =
       if schedulers <> [] then schedulers
       else Detmt.Registry.deterministic_decisions
@@ -814,7 +818,9 @@ let fingerprint_cmd =
                 Detmt.Recorder.create ~profile:(Detmt.Profile.create ()) ()
               else Detmt.Recorder.disabled
             in
-            let params = { Detmt.Active.default_params with scheduler } in
+            let params =
+              { Detmt.Active.default_params with scheduler; workers }
+            in
             let replies, fps =
               if shards = 0 then begin
                 (* legacy unsharded path — [--shards 1] must print the same
@@ -884,8 +890,8 @@ let fingerprint_cmd =
           Bit-identical output across two builds proves the scheduler \
           refactoring preserved every grant decision.")
     Term.(
-      const run $ seed_arg $ clients_arg $ requests_arg $ shards_arg
-      $ obs_flag $ schedulers_arg $ workloads_arg)
+      const run $ seed_arg $ workers_arg $ clients_arg $ requests_arg
+      $ shards_arg $ obs_flag $ schedulers_arg $ workloads_arg)
 
 (* ------------------------------ explore ------------------------------ *)
 
@@ -899,7 +905,7 @@ let fingerprint_cmd =
 
 let explore_cmd =
   let run replay expect do_shrink budget max_depth max_width skews seed
-      clients requests elastic schedulers workloads output =
+      clients requests workers elastic schedulers workloads output =
     match replay with
     | Some path ->
       let sched = Detmt.Schedule.load path in
@@ -957,8 +963,8 @@ let explore_cmd =
       List.iter
         (fun (scheduler, workload) ->
           let base =
-            Detmt.Schedule.make ~seed ~clients ~requests ~elastic ~scheduler
-              ~workload []
+            Detmt.Schedule.make ~seed ~clients ~requests ~workers ~elastic
+              ~scheduler ~workload []
           in
           let result =
             Detmt.Explore.explore ~skews ?max_depth ?max_width
@@ -1097,8 +1103,8 @@ let explore_cmd =
     Term.(
       const run $ replay_arg $ expect_arg $ shrink_arg $ budget_arg
       $ depth_arg $ width_arg $ skew_arg $ seed_arg $ explore_clients_arg
-      $ explore_requests_arg $ elastic_flag $ schedulers_arg $ workloads_arg
-      $ output_arg)
+      $ explore_requests_arg $ workers_arg $ elastic_flag $ schedulers_arg
+      $ workloads_arg $ output_arg)
 
 (* ------------------------------ chaos ------------------------------- *)
 
@@ -1175,8 +1181,8 @@ let chaos_cmd =
           (fun e -> Format.printf "  %a@." Detmt.Audit.pp_entry e)
           window)
   in
-  let run csv seed shards scenario_names scheduler_names quick with_forensics
-      workload =
+  let run csv seed shards workers scenario_names scheduler_names quick
+      with_forensics workload =
     let cls, gen = resolve_workload workload in
     let scenario_names =
       if scenario_names = [] then all_scenarios else scenario_names
@@ -1188,8 +1194,8 @@ let chaos_cmd =
     let clients, requests_per_client = if quick then (2, 3) else (4, 5) in
     let seed = Int64.of_int seed in
     let outcomes =
-      Detmt.Chaos.sweep ~seed ~shards ~schedulers ~scenario_names ~clients
-        ~requests_per_client ~cls ~gen ()
+      Detmt.Chaos.sweep ~seed ~shards ~workers ~schedulers ~scenario_names
+        ~clients ~requests_per_client ~cls ~gen ()
     in
     emit csv (Detmt.Chaos.table outcomes);
     if with_forensics then
@@ -1213,8 +1219,9 @@ let chaos_cmd =
           crash+recovery) across the deterministic schedulers and check the \
           robustness invariants; exits 1 on any violation.")
     Term.(
-      const run $ csv_flag $ seed_arg $ chaos_shards_arg $ scenario_arg
-      $ chaos_scheduler_arg $ quick_flag $ forensics_flag $ workload_arg)
+      const run $ csv_flag $ seed_arg $ chaos_shards_arg $ workers_arg
+      $ scenario_arg $ chaos_scheduler_arg $ quick_flag $ forensics_flag
+      $ workload_arg)
 
 (* ------------------------------ shard ------------------------------- *)
 
@@ -1241,7 +1248,8 @@ let batch_delay_arg =
         ~doc:"Flush an under-filled batch after this many virtual ms.")
 
 let shard_cmd =
-  let run shards clients requests seed scheduler cross batch batch_delay =
+  let run shards clients requests seed scheduler workers cross batch
+      batch_delay =
     let workload =
       { Detmt.Sharded.default with Detmt.Sharded.cross_ratio = cross }
     in
@@ -1252,7 +1260,8 @@ let shard_cmd =
     in
     let row =
       Detmt.Experiment.run_shard ~seed:(Int64.of_int seed) ~scheduler
-        ~requests_per_client:requests ?batching ~workload ~shards ~clients ()
+        ~workers ~requests_per_client:requests ?batching ~workload ~shards
+        ~clients ()
     in
     let open Detmt.Experiment in
     Format.printf "shards:       %d (%s in every group)@." shards scheduler;
@@ -1282,7 +1291,8 @@ let shard_cmd =
           routing, latency, throughput and the determinism fingerprint.")
     Term.(
       const run $ shards_arg $ clients_arg $ requests_arg $ seed_arg
-      $ scheduler_arg $ cross_arg $ batch_arg $ batch_delay_arg)
+      $ scheduler_arg $ workers_arg $ cross_arg $ batch_arg
+      $ batch_delay_arg)
 
 (* ------------------------------ reshard ------------------------------ *)
 
@@ -1399,7 +1409,7 @@ let reshard_cmd =
 (* ------------------------------ bench ------------------------------- *)
 
 let bench_cmd =
-  let run name shards clients seed scheduler json csv out =
+  let run name shards clients seed scheduler workers json csv out =
     match name with
     | "shard" ->
       let shards_list =
@@ -1409,7 +1419,7 @@ let bench_cmd =
       let rows =
         Detmt.Experiment.shard_sweep ~seed:(Int64.of_int seed) ~shards_list
           ?clients_list:(Option.map (fun c -> [ c ]) clients)
-          ~scheduler ()
+          ~scheduler ~workers ()
       in
       emit csv (Detmt.Experiment.shard_table rows);
       if json then begin
@@ -1473,7 +1483,7 @@ let bench_cmd =
           $(b,--json), write the machine-readable rows next to it.")
     Term.(
       const run $ name_arg $ shards_arg $ bench_clients_arg $ seed_arg
-      $ scheduler_arg $ json_flag $ csv_flag $ output_arg)
+      $ scheduler_arg $ workers_arg $ json_flag $ csv_flag $ output_arg)
 
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))

@@ -603,16 +603,18 @@ type shard_row = {
    JSON carries the windowed-series columns, and the recorder's read-only
    contract (tested against every scheduler) keeps the run bit-identical
    either way. *)
-let run_shard ?(seed = 42L) ?(scheduler = "mat") ?(requests_per_client = 4)
-    ?batching ?obs ?(workload = Detmt_workload.Sharded.default) ~shards
-    ~clients () =
+let run_shard ?(seed = 42L) ?(scheduler = "mat") ?(workers = 1)
+    ?(requests_per_client = 4) ?batching ?obs
+    ?(workload = Detmt_workload.Sharded.default) ~shards ~clients () =
   let obs =
     match obs with Some o -> o | None -> Detmt_obs.Recorder.create ()
   in
   let cls = Detmt_workload.Sharded.cls workload in
   let gen = Detmt_workload.Sharded.gen workload in
   let engine = Engine.create () in
-  let base = { Active.default_params with Active.scheduler; batching } in
+  let base =
+    { Active.default_params with Active.scheduler; workers; batching }
+  in
   let system =
     Shard.create ~obs ~engine ~cls ~params:{ Shard.shards; base } ()
   in
@@ -650,7 +652,8 @@ let run_shard ?(seed = 42L) ?(scheduler = "mat") ?(requests_per_client = 4)
 
 let shard_sweep ?seed ?(shards_list = [ 1; 2; 4; 8 ])
     ?(clients_list = [ 64; 256; 1024 ]) ?(cross_ratios = [ 0.0; 0.1 ])
-    ?(scheduler = "mat") ?(requests_per_client = 4) ?batching () =
+    ?(scheduler = "mat") ?(workers = 1) ?(requests_per_client = 4) ?batching
+    () =
   List.concat_map
     (fun clients ->
       List.concat_map
@@ -661,8 +664,8 @@ let shard_sweep ?seed ?(shards_list = [ 1; 2; 4; 8 ])
           in
           List.map
             (fun shards ->
-              run_shard ?seed ~scheduler ~requests_per_client ?batching
-                ~workload ~shards ~clients ())
+              run_shard ?seed ~scheduler ~workers ~requests_per_client
+                ?batching ~workload ~shards ~clients ())
             shards_list)
         cross_ratios)
     clients_list
@@ -1001,3 +1004,99 @@ let determinism
           mark r.traces_agree ])
     schedulers;
   table
+
+(* ------------------------------------------------------------------ *)
+(* E19 — conflict-graph parallel scheduling: cgs/pcgs vs pMAT          *)
+
+type parallel_row = {
+  pl_scheduler : string;
+  pl_workers : int;
+  pl_clients : int;
+  pl_expected : int;
+  pl_replies : int;
+  pl_mean_response_ms : float;
+  pl_p95_response_ms : float;
+  pl_throughput_per_s : float;
+  pl_consistent : bool;
+  pl_duration_ms : float;
+}
+
+let parallel_workload =
+  { Detmt_workload.Figure1.default with
+    Detmt_workload.Figure1.n_mutexes = 4096; p_nested = 0.0 }
+
+let parallel_pool ?(seed = 42L) ?(clients_list = [ 64; 256; 1024 ])
+    ?(workers_list = [ 1; 2; 4; 8 ]) ?(requests_per_client = 2)
+    ?(workload = parallel_workload) () =
+  let cls = Detmt_workload.Figure1.cls workload in
+  let gen = Detmt_workload.Figure1.gen workload in
+  let one ~scheduler ~workers ~clients =
+    let params = { Active.default_params with Active.workers } in
+    let r =
+      run_workload ~seed ~params ~requests_per_client ~scheduler ~clients
+        ~cls ~gen ()
+    in
+    { pl_scheduler = scheduler; pl_workers = workers; pl_clients = clients;
+      pl_expected = clients * requests_per_client;
+      pl_replies = r.replies;
+      pl_mean_response_ms = r.mean_response_ms;
+      pl_p95_response_ms = r.p95_response_ms;
+      pl_throughput_per_s = r.throughput_per_s;
+      pl_consistent = r.consistent;
+      pl_duration_ms = r.duration_ms }
+  in
+  List.concat_map
+    (fun clients ->
+      one ~scheduler:"pmat" ~workers:1 ~clients
+      :: List.concat_map
+           (fun workers ->
+             [ one ~scheduler:"cgs" ~workers ~clients;
+               one ~scheduler:"pcgs" ~workers ~clients ])
+           workers_list)
+    clients_list
+
+let parallel_table rows =
+  let t =
+    Table.create
+      ~title:
+        "E19: conflict-graph scheduling on the low-conflict workload (4096 \
+         mutexes, no nested calls)"
+      ~columns:
+        [ "scheduler"; "workers"; "clients"; "replies"; "mean_ms"; "p95_ms";
+          "req/s"; "consistent" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [ r.pl_scheduler;
+          string_of_int r.pl_workers;
+          string_of_int r.pl_clients;
+          Printf.sprintf "%d/%d" r.pl_replies r.pl_expected;
+          Printf.sprintf "%.2f" r.pl_mean_response_ms;
+          Printf.sprintf "%.2f" r.pl_p95_response_ms;
+          Printf.sprintf "%.0f" r.pl_throughput_per_s;
+          string_of_bool r.pl_consistent ])
+    rows;
+  t
+
+let parallel_json rows =
+  let module Json = Detmt_obs.Json in
+  Json.Obj
+    [ ("experiment", Json.String "parallel");
+      ("workload", Json.String "figure1-low-conflict");
+      ("rows",
+       Json.List
+         (List.map
+            (fun r ->
+              Json.Obj
+                [ ("scheduler", Json.String r.pl_scheduler);
+                  ("workers", Json.Int r.pl_workers);
+                  ("clients", Json.Int r.pl_clients);
+                  ("expected", Json.Int r.pl_expected);
+                  ("replies", Json.Int r.pl_replies);
+                  ("mean_response_ms", Json.Float r.pl_mean_response_ms);
+                  ("p95_response_ms", Json.Float r.pl_p95_response_ms);
+                  ("throughput_per_s", Json.Float r.pl_throughput_per_s);
+                  ("consistent", Json.Bool r.pl_consistent);
+                  ("duration_ms", Json.Float r.pl_duration_ms) ])
+            rows)) ]

@@ -154,6 +154,7 @@ type shard_row = {
 val run_shard :
   ?seed:int64 ->
   ?scheduler:string ->
+  ?workers:int ->
   ?requests_per_client:int ->
   ?batching:Detmt_gcs.Totem.batching ->
   ?obs:Detmt_obs.Recorder.t ->
@@ -163,7 +164,8 @@ val run_shard :
   unit ->
   shard_row
 (** One sharded run of the {!Detmt_workload.Sharded} workload to
-    completion. *)
+    completion.  [workers] (default 1) is the per-group simulated pool
+    width, legal only for parallel schedulers. *)
 
 val shard_sweep :
   ?seed:int64 ->
@@ -171,6 +173,7 @@ val shard_sweep :
   ?clients_list:int list ->
   ?cross_ratios:float list ->
   ?scheduler:string ->
+  ?workers:int ->
   ?requests_per_client:int ->
   ?batching:Detmt_gcs.Totem.batching ->
   unit ->
@@ -265,3 +268,41 @@ val elastic_table : elastic_row list -> Detmt_stats.Table.t
 val elastic_json : elastic_row list -> Detmt_obs.Json.t
 (** The BENCH_elastic.json payload: one object per row, including
     [p95_speedup_vs_best_static] on the autoscale rows. *)
+
+(** {2 E19 — conflict-graph parallel scheduling} *)
+
+type parallel_row = {
+  pl_scheduler : string;
+  pl_workers : int;
+  pl_clients : int;
+  pl_expected : int;
+  pl_replies : int;
+  pl_mean_response_ms : float;
+  pl_p95_response_ms : float;
+  pl_throughput_per_s : float;
+  pl_consistent : bool;
+  pl_duration_ms : float;
+}
+
+val parallel_workload : Detmt_workload.Figure1.params
+(** The low-conflict grid setting: {!Detmt_workload.Figure1.default} with
+    4096 mutexes (so two requests almost never share one) and no nested
+    calls (so pMAT's announcement gating is pure overhead). *)
+
+val parallel_pool :
+  ?seed:int64 ->
+  ?clients_list:int list ->
+  ?workers_list:int list ->
+  ?requests_per_client:int ->
+  ?workload:Detmt_workload.Figure1.params ->
+  unit ->
+  parallel_row list
+(** E19: per client count (default 64/256/1024), the serial pMAT baseline
+    followed by cgs and pcgs at every pool width (default 1/2/4/8).  The
+    reproduction target: on this workload cgs at 4 workers beats pMAT at
+    1024 clients on mean response time. *)
+
+val parallel_table : parallel_row list -> Detmt_stats.Table.t
+
+val parallel_json : parallel_row list -> Detmt_obs.Json.t
+(** The [parallel] section of BENCH_fig1.json: one object per grid row. *)

@@ -119,8 +119,8 @@ let run_one_static ~replicas ~observe ~cls ~gen (s : Schedule.t) =
   let engine = Engine.create () in
   let params =
     { Active.default_params with
-      scheduler = s.Schedule.scheduler; replicas;
-      batching = s.Schedule.batching }
+      scheduler = s.Schedule.scheduler; workers = s.Schedule.workers;
+      replicas; batching = s.Schedule.batching }
   in
   let system = Active.create ~engine ~cls ~params () in
   let monitor = Consistency.create_monitor () in
@@ -212,8 +212,8 @@ let run_one_elastic ~replicas ~observe ~cls ~gen (s : Schedule.t) =
   in
   let base =
     { Active.default_params with
-      scheduler = s.Schedule.scheduler; replicas;
-      batching = s.Schedule.batching }
+      scheduler = s.Schedule.scheduler; workers = s.Schedule.workers;
+      replicas; batching = s.Schedule.batching }
   in
   let system =
     Reconfig.create ~on_group ~engine ~cls

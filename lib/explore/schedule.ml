@@ -26,6 +26,9 @@ type t = {
   seed : int;
   clients : int;
   requests : int;
+  workers : int;
+      (* simulated worker-pool width for the parallel scheduler family;
+         1 everywhere else *)
   batching : Detmt_gcs.Totem.batching option;
   elastic : bool;
       (* run through Reconfig with the canonical split/merge cycle instead
@@ -33,9 +36,10 @@ type t = {
   entries : entry list;
 }
 
-let make ?(seed = 42) ?(clients = 4) ?(requests = 5) ?batching
+let make ?(seed = 42) ?(clients = 4) ?(requests = 5) ?(workers = 1) ?batching
     ?(elastic = false) ~scheduler ~workload entries =
-  { scheduler; workload; seed; clients; requests; batching; elastic; entries }
+  { scheduler; workload; seed; clients; requests; workers; batching; elastic;
+    entries }
 
 let size t = List.length t.entries
 
@@ -62,6 +66,8 @@ let to_string t =
   Buffer.add_string b (Printf.sprintf "clients %d\n" t.clients);
   Buffer.add_string b (Printf.sprintf "requests %d\n" t.requests);
   (* emitted only when set, so pre-elastic witnesses round-trip unchanged *)
+  if t.workers <> 1 then
+    Buffer.add_string b (Printf.sprintf "workers %d\n" t.workers);
   if t.elastic then Buffer.add_string b "elastic true\n";
   Option.iter
     (fun { Detmt_gcs.Totem.max_batch; delay_ms } ->
@@ -85,6 +91,7 @@ let of_string s =
   and seed = ref 42
   and clients = ref 4
   and requests = ref 5
+  and workers = ref 1
   and batching = ref None
   and elastic = ref false
   and entries = ref [] in
@@ -104,6 +111,7 @@ let of_string s =
           | "seed" -> seed := int_of_string rest
           | "clients" -> clients := int_of_string rest
           | "requests" -> requests := int_of_string rest
+          | "workers" -> workers := int_of_string rest
           | "elastic" -> elastic := bool_of_string rest
           | "batching" ->
             Scanf.sscanf rest "max_batch=%d delay_ms=%f" (fun m d ->
@@ -129,8 +137,8 @@ let of_string s =
   match (!scheduler, !workload) with
   | Some scheduler, Some workload ->
     { scheduler; workload; seed = !seed; clients = !clients;
-      requests = !requests; batching = !batching; elastic = !elastic;
-      entries = List.rev !entries }
+      requests = !requests; workers = !workers; batching = !batching;
+      elastic = !elastic; entries = List.rev !entries }
   | None, _ -> failwith "Schedule.of_string: missing scheduler line"
   | _, None -> failwith "Schedule.of_string: missing workload line"
 

@@ -31,6 +31,10 @@ type t = {
   seed : int;
   clients : int;
   requests : int;  (** requests per client *)
+  workers : int;
+      (** simulated worker-pool width (parallel scheduler family only).
+          Serialized as a [workers N] header line only when [<> 1], so
+          pre-parallel witnesses round-trip unchanged. *)
   batching : Detmt_gcs.Totem.batching option;
   elastic : bool;
       (** run through {!Detmt_replication.Reconfig} with the canonical
@@ -44,13 +48,15 @@ val make :
   ?seed:int ->
   ?clients:int ->
   ?requests:int ->
+  ?workers:int ->
   ?batching:Detmt_gcs.Totem.batching ->
   ?elastic:bool ->
   scheduler:string ->
   workload:string ->
   entry list ->
   t
-(** Defaults: seed 42, 4 clients x 5 requests, no batching, not elastic. *)
+(** Defaults: seed 42, 4 clients x 5 requests, 1 worker, no batching, not
+    elastic. *)
 
 val size : t -> int
 (** Number of perturbation entries. *)

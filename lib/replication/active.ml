@@ -22,6 +22,7 @@ type payload =
 type params = {
   replicas : int;
   scheduler : string;
+  workers : int; (* simulated worker-pool width for parallel schedulers *)
   config : Config.t;
   net_latency_ms : float;
   client_latency_ms : float;
@@ -34,7 +35,7 @@ type params = {
 }
 
 let default_params =
-  { replicas = 3; scheduler = "mat"; config = Config.default;
+  { replicas = 3; scheduler = "mat"; workers = 1; config = Config.default;
     net_latency_ms = 0.5; client_latency_ms = 0.5;
     detection_timeout_ms = 50.0; faults = None; recovery_poll_ms = 1.0;
     shard = 0; replica_base = 0; batching = None }
@@ -215,7 +216,7 @@ let make_replica t ~engine ~cls ~id =
     Detmt_sched.Registry.instantiate
       (Detmt_sched.Sched_config.make ~runtime:t.params.config
          ?summary:t.summary ~obs:t.obs ~shard:t.params.shard
-         t.scheduler.name)
+         ~workers:t.params.workers t.scheduler.name)
       actions
   in
   let r =

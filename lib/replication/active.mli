@@ -21,6 +21,10 @@ type t
 type params = {
   replicas : int;
   scheduler : string;  (** a {!Detmt_sched.Registry} name *)
+  workers : int;
+      (** simulated worker-pool width, threaded into
+          [Sched_config.workers]; must be [1] unless the scheduler is in
+          {!Detmt_sched.Registry.parallel_decisions} *)
   config : Detmt_runtime.Config.t;
   net_latency_ms : float;  (** replica <-> replica one-way latency *)
   client_latency_ms : float;  (** client <-> replica one-way latency *)

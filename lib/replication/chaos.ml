@@ -138,14 +138,14 @@ let ok o =
      recovery-free runs. *)
   && (o.o_recoveries_wanted > 0 || o.o_acquisitions_agree)
 
-let run ?(seed = 42L) ?(shards = 1) ?(clients = 4) ?(requests_per_client = 5)
-    ?(timeout_ms = 60.0) ?(obs = Detmt_obs.Recorder.disabled) ~scenario
-    ~scheduler ~cls ~gen () =
+let run ?(seed = 42L) ?(shards = 1) ?(workers = 1) ?(clients = 4)
+    ?(requests_per_client = 5) ?(timeout_ms = 60.0)
+    ?(obs = Detmt_obs.Recorder.disabled) ~scenario ~scheduler ~cls ~gen () =
   let module Recorder = Detmt_obs.Recorder in
   let engine = Engine.create () in
   let base =
     { Active.default_params with
-      scheduler; faults = scenario.faults ~seed;
+      scheduler; workers; faults = scenario.faults ~seed;
       (* generous detection so a lossy transport is not mistaken for a
          failure while retransmits are still in flight *)
       detection_timeout_ms = 50.0 }
@@ -313,7 +313,7 @@ let run ?(seed = 42L) ?(shards = 1) ?(clients = 4) ?(requests_per_client = 5)
     o_duration_ms = Engine.now engine;
     o_fingerprint = fingerprint }
 
-let sweep ?(seed = 42L) ?shards ?(schedulers = default_schedulers)
+let sweep ?(seed = 42L) ?shards ?workers ?(schedulers = default_schedulers)
     ?(scenario_names = List.map (fun s -> s.name) scenarios) ?clients
     ?requests_per_client ~cls ~gen () =
   List.concat_map
@@ -323,8 +323,17 @@ let sweep ?(seed = 42L) ?shards ?(schedulers = default_schedulers)
       | Some scenario ->
         List.map
           (fun scheduler ->
-            run ~seed ?shards ?clients ?requests_per_client ~scenario
-              ~scheduler ~cls ~gen ())
+            (* a sweep-wide pool width only applies where it is legal *)
+            let workers =
+              match workers with
+              | Some w
+                when List.mem scheduler
+                       Detmt_sched.Registry.parallel_decisions ->
+                Some w
+              | _ -> None
+            in
+            run ~seed ?shards ?workers ?clients ?requests_per_client
+              ~scenario ~scheduler ~cls ~gen ())
           schedulers)
     scenario_names
 

@@ -87,6 +87,7 @@ val ok : outcome -> bool
 val run :
   ?seed:int64 ->
   ?shards:int ->
+  ?workers:int ->
   ?clients:int ->
   ?requests_per_client:int ->
   ?timeout_ms:float ->
@@ -97,7 +98,10 @@ val run :
   gen:Client.request_gen ->
   unit ->
   outcome
-(** One (scenario, scheduler) combination.  [shards] (default 1) partitions
+(** One (scenario, scheduler) combination.  [workers] (default 1) is the
+    simulated worker-pool width, legal only for parallel schedulers
+    ({!Detmt_sched.Registry.parallel_decisions}).  [shards] (default 1)
+    partitions
     the object space into that many independent Totem groups; each group
     gets its own fault stream (salted from [seed]), its own kill/recovery
     when the scenario schedules one, and its own consistency monitor.  The
@@ -117,6 +121,7 @@ val run :
 val sweep :
   ?seed:int64 ->
   ?shards:int ->
+  ?workers:int ->
   ?schedulers:string list ->
   ?scenario_names:string list ->
   ?clients:int ->
@@ -125,6 +130,8 @@ val sweep :
   gen:Client.request_gen ->
   unit ->
   outcome list
-(** The full cross product, scenario-major. *)
+(** The full cross product, scenario-major.  A sweep-wide [workers] width is
+    applied to the parallel schedulers only; serial schedulers keep width
+    1. *)
 
 val table : outcome list -> Detmt_stats.Table.t

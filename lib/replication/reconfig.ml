@@ -165,9 +165,17 @@ let slots_of t index =
 let fresh_active t ~index ~scheduler =
   let inc = t.incarnations in
   t.incarnations <- inc + 1;
+  (* The pool width belongs to the scheduler family, not the group: a swap
+     onto a serial scheduler retires the pool (workers = 1), a swap back
+     onto a conflict-graph scheduler restores the configured width. *)
+  let workers =
+    if List.mem scheduler Detmt_sched.Registry.parallel_decisions then
+      t.params.base.Active.workers
+    else 1
+  in
   let base =
     { t.params.base with
-      Active.shard = index; scheduler;
+      Active.shard = index; scheduler; workers;
       replica_base = inc * t.params.base.Active.replicas;
       faults = Option.map (Shard.salt_faults inc) t.params.base.Active.faults }
   in
@@ -563,8 +571,10 @@ and decide t p =
           p.hot_swap && hot.inflight > p.merge_below
           && Lazy.force t.adaptive_summary <> None
         then begin
+          (* Hot-swap targets stay serial: the group keeps its configured
+             pool width of 1, and no contention window has been measured. *)
           let want =
-            Detmt_sched.Adaptive.recommend
+            Detmt_sched.Adaptive.recommend ~workers:1 ~conflict_rate:1.0
               ~summary:(Lazy.force t.adaptive_summary)
               ~avg_concurrency:(float_of_int hot.inflight)
           in

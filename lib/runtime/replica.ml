@@ -56,6 +56,9 @@ type t = {
          posts (handler, tid) pairs instead of allocating a closure per
          interpreter step *)
   mutable finish_h : Engine.handler_id;
+  mutable pool_busy : int;
+      (* pool workers currently running a thread (parallel schedulers only;
+         observation-only series behind [observing]) *)
 }
 
 let sched t =
@@ -333,7 +336,7 @@ let create ~engine ~id ~cls ~config ?(oracle = Interp.default_oracle)
       threads = Hashtbl.create 64; sched = None; obs; callbacks; oracle;
       live = true; completed = 0; acquisitions = 0;
       acq_hashes = Hashtbl.create 64; on_quiescent = None; advance_h = 0;
-      finish_h = 0 }
+      finish_h = 0; pool_busy = 0 }
   in
   t.advance_h <- Engine.register_handler engine (fun tid -> advance t (thread t tid));
   t.finish_h <- Engine.register_handler engine (fun tid -> finish t (thread t tid));
@@ -348,6 +351,32 @@ let create ~engine ~id ~cls ~config ?(oracle = Interp.default_oracle)
         (fun ~tid ~mutex -> Mutex_table.is_free_for t.mutexes ~mutex ~tid);
       holds_any_mutex = (fun tid -> Mutex_table.holds_any t.mutexes ~tid);
       request_method = (fun tid -> (thread t tid).req.Request.meth);
+      request_arg =
+        (fun ~tid i ->
+          let args = (thread t tid).req.Request.args in
+          if i >= 0 && i < Array.length args then Some args.(i) else None);
+      self_mutex = (fun () -> Object_state.self_mutex t.obj);
+      pool_dispatch =
+        (fun ~worker ~tid:_ ->
+          if observing t then begin
+            t.pool_busy <- t.pool_busy + 1;
+            Recorder.incr t.obs "replica.pool.dispatches";
+            Recorder.observe t.obs "replica.pool.busy"
+              (float_of_int t.pool_busy);
+            Recorder.observe t.obs
+              (Printf.sprintf "replica.pool.worker%d" worker)
+              1.0
+          end);
+      pool_complete =
+        (fun ~worker ~tid:_ ->
+          if observing t then begin
+            t.pool_busy <- max 0 (t.pool_busy - 1);
+            Recorder.observe t.obs "replica.pool.busy"
+              (float_of_int t.pool_busy);
+            Recorder.observe t.obs
+              (Printf.sprintf "replica.pool.worker%d" worker)
+              0.0
+          end);
       broadcast_control = (fun c -> callbacks.broadcast_control c);
       inject_dummy = (fun () -> callbacks.inject_dummy ());
       schedule = (fun ~delay f -> Engine.schedule engine ~delay f);

@@ -41,6 +41,16 @@ type actions = {
   holds_any_mutex : int -> bool;
   request_method : int -> string;
       (* start method of a delivered request, for bookkeeping registration *)
+  request_arg : tid:int -> int -> Detmt_lang.Ast.value option;
+      (* argument [i] of a delivered request, for conflict-class resolution
+         of [Sp_arg] sync parameters at delivery time; [None] out of range *)
+  self_mutex : unit -> int;
+      (* the replica object's monitor, resolving [Sp_this] sync parameters *)
+  pool_dispatch : worker:int -> tid:int -> unit;
+      (* a parallel scheduler handed the thread to a pool worker
+         (observation only: per-worker occupancy series for the profiler) *)
+  pool_complete : worker:int -> tid:int -> unit;
+      (* the pool worker finished (or parked) the thread it was running *)
   broadcast_control : control -> unit;
       (* routed via the total-order broadcast to every replica's scheduler *)
   inject_dummy : unit -> unit; (* PDS: ask for a filler request *)

@@ -17,18 +17,31 @@
       batched rounds amortise the per-event decision cost;
     - otherwise: MAT, the most flexible pessimistic algorithm.
 
+    - with a worker pool ([Sched_config.workers > 1]) and a window in which
+      lock requests almost never found the mutex held, the conflict-graph
+      scheduler (CGS): class-disjoint requests run concurrently, the one
+      regime where any serial token costs real throughput.
+
     Prediction-based children fall back to their pessimistic base module
-    (psat→sat, pmat→mat, ppds→pds) when no summary is available.
+    (psat→sat, pmat→mat, ppds→pds, cgs/pcgs→mat) when no summary is
+    available.
 
     Every input to the decision (delivery and termination order, the static
-    summary) is identical on all replicas, and switches happen only when no
-    thread exists, so the hand-over is trivially deterministic. *)
+    summary, the contention counts — deterministic because the child's
+    execution is) is identical on all replicas, and switches happen only
+    when no thread exists, so the hand-over is trivially deterministic. *)
 
 val recommend :
+  workers:int ->
+  conflict_rate:float ->
   summary:Detmt_analysis.Predict.class_summary option ->
   avg_concurrency:float ->
   string
-(** The pure decision function, exposed for tests. *)
+(** The pure decision function, exposed for tests.  [workers] is the
+    configured pool width; [conflict_rate] is the fraction of lock requests
+    that found the mutex held in the observed window ([1.0] when nothing has
+    been measured) — CGS is recommended only when both a pool is available
+    and contention is near zero. *)
 
 val of_config :
   ?window:int ->

@@ -1,0 +1,18 @@
+(** CGS — conflict-graph scheduling ("early scheduling" for parallel
+    state-machine replication).  Requests are assigned conflict classes at
+    delivery time, resolved from the §4.3 prediction summary against their
+    own arguments; class-disjoint requests run concurrently on the simulated
+    worker pool while conflicting requests commit in total-order slot order,
+    so replies, states and per-mutex acquisition fingerprints are
+    independent of the worker count.  Construct via
+    {!Registry.instantiate} with [Sched_config.workers]. *)
+
+module Base : Decision.Parallel
+(** ["cgs"]: static classes — a running request blocks its whole class until
+    it terminates. *)
+
+module Predicted : Decision.Parallel
+(** ["pcgs"]: prediction-shrunk blocksets — once bookkeeping proves the
+    prediction exact, a running request blocks only [held ∪ future] mutexes
+    (early release), letting class successors start before it terminates.
+    Condvar-using methods keep the static class. *)

@@ -19,7 +19,10 @@
       and meta-schedulers record without an [actions] in hand);
     - [shard]: which shard's group this instance serialises ([0] for the
       unsharded single-group configuration) — per-shard metric namespaces
-      and diagnostics key off it. *)
+      and diagnostics key off it;
+    - [workers]: the simulated worker-pool width for the parallel
+      conflict-graph family ([1] everywhere else — serial schedulers reject
+      anything larger at {!Registry.instantiate}). *)
 
 type t = {
   scheduler : string;
@@ -27,6 +30,7 @@ type t = {
   summary : Detmt_analysis.Predict.class_summary option;
   obs : Detmt_obs.Recorder.t;
   shard : int;
+  workers : int;
 }
 
 val make :
@@ -34,15 +38,20 @@ val make :
   ?summary:Detmt_analysis.Predict.class_summary ->
   ?obs:Detmt_obs.Recorder.t ->
   ?shard:int ->
+  ?workers:int ->
   string ->
   t
 (** [make name] builds a config for scheduler [name] with the default
-    runtime cost model, no prediction summary, the disabled recorder and
-    shard [0].
-    @raise Invalid_argument when [shard < 0]. *)
+    runtime cost model, no prediction summary, the disabled recorder,
+    shard [0] and a single worker.
+    @raise Invalid_argument when [shard < 0] or [workers < 1]. *)
 
 val with_scheduler : t -> string -> t
 (** Same configuration, different decision policy (the adaptive
     meta-scheduler swaps children this way). *)
 
 val with_summary : t -> Detmt_analysis.Predict.class_summary option -> t
+
+val with_workers : t -> int -> t
+(** Same configuration, different pool width.
+    @raise Invalid_argument when [workers < 1]. *)

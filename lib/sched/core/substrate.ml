@@ -38,14 +38,19 @@ type t = {
   name : string; (* the variant name, for metrics and the audit log *)
   config : Config.t;
   bookkeeping : Bookkeeping.t option;
+  summary : Detmt_analysis.Predict.class_summary option;
+      (* the raw §4.3 tables, for delivery-time conflict-class resolution
+         (the conflict-graph family reads sync parameters straight from it) *)
+  workers : int; (* pool width; 1 for every serial decision module *)
   mutable next_seq : int;
   by_tid : (int, thread) Hashtbl.t; (* live threads, O(1) lookup *)
   order : thread Candidate_index.t; (* live threads keyed by [seq] *)
   waitq : Waitq.t; (* per-mutex FIFO wait queues *)
 }
 
-let create ?bookkeeping ~name ~config (actions : Sched_iface.actions) =
-  { actions; name; config; bookkeeping; next_seq = 0;
+let create ?bookkeeping ?summary ?(workers = 1) ~name ~config
+    (actions : Sched_iface.actions) =
+  { actions; name; config; bookkeeping; summary; workers; next_seq = 0;
     by_tid = Hashtbl.create 64; order = Candidate_index.create ();
     waitq = Waitq.create () }
 
@@ -56,6 +61,10 @@ let name t = t.name
 let config t = t.config
 
 let bookkeeping t = t.bookkeeping
+
+let summary t = t.summary
+
+let workers t = t.workers
 
 let waitq t = t.waitq
 

@@ -21,6 +21,8 @@ type t
 
 val create :
   ?bookkeeping:Bookkeeping.t ->
+  ?summary:Detmt_analysis.Predict.class_summary ->
+  ?workers:int ->
   name:string ->
   config:Config.t ->
   Sched_iface.actions ->
@@ -33,6 +35,14 @@ val name : t -> string
 val config : t -> Config.t
 
 val bookkeeping : t -> Bookkeeping.t option
+
+val summary : t -> Detmt_analysis.Predict.class_summary option
+(** The raw §4.3 prediction tables, when the construction path supplied
+    them — delivery-time conflict-class resolution reads sync parameters
+    straight from the method summaries. *)
+
+val workers : t -> int
+(** The simulated worker-pool width ([1] for serial decision modules). *)
 
 val waitq : t -> Waitq.t
 

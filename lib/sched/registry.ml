@@ -4,57 +4,83 @@ type spec = {
   name : string;
   needs_prediction : bool;
   deterministic : bool;
+  parallel : bool;
   description : string;
-  make :
-    config:Config.t ->
-    summary:Detmt_analysis.Predict.class_summary option ->
-    Sched_iface.actions ->
-    Sched_iface.sched;
+  make : Sched_config.t -> Sched_iface.actions -> Sched_iface.sched;
 }
 
 (* Every entry except the adaptive meta-scheduler is a thin decision module
-   behind {!Decision.S}; [Decision.instantiate] attaches the shared
+   behind {!Decision.Serial} or {!Decision.Parallel};
+   [Decision.instantiate]/[instantiate_parallel] attach the shared
    bookkeeping substrate (and the prediction table when the module asks for
-   one). *)
+   one).  Parallel entries thread [Sched_config.workers] into the pool;
+   serial entries ignore it (the registry rejects [workers > 1] for them
+   before construction). *)
+
+let serial m (cfg : Sched_config.t) actions =
+  Decision.instantiate m ~config:cfg.Sched_config.runtime
+    ~summary:cfg.Sched_config.summary actions
+
+let parallel m (cfg : Sched_config.t) actions =
+  Decision.instantiate_parallel m ~config:cfg.Sched_config.runtime
+    ~summary:cfg.Sched_config.summary ~workers:cfg.Sched_config.workers
+    actions
+
 let all =
   [ { name = "seq"; needs_prediction = false; deterministic = true;
+      parallel = false;
       description = "sequential request execution in total order";
-      make = Decision.instantiate (module Seq_sched.Base) };
+      make = serial (module Seq_sched.Base) };
     { name = "sat"; needs_prediction = false; deterministic = true;
+      parallel = false;
       description = "single active thread [Jimenez-Peris et al.]";
-      make = Decision.instantiate (module Sat.Base) };
+      make = serial (module Sat.Base) };
     { name = "psat"; needs_prediction = true; deterministic = true;
+      parallel = false;
       description = "predicted SAT: early token release by lock prediction";
-      make = Decision.instantiate (module Sat.Predicted) };
+      make = serial (module Sat.Predicted) };
     { name = "lsa"; needs_prediction = false; deterministic = true;
+      parallel = false;
       description = "loose synchronisation, leader/follower [Basile et al.]";
-      make = Decision.instantiate (module Lsa.Base) };
+      make = serial (module Lsa.Base) };
     { name = "pds"; needs_prediction = false; deterministic = true;
+      parallel = false;
       description = "preemptive deterministic scheduling [Basile et al.]";
-      make = Decision.instantiate (module Pds.Base) };
+      make = serial (module Pds.Base) };
     { name = "ppds"; needs_prediction = true; deterministic = true;
+      parallel = false;
       description = "predicted PDS: prediction-shrunk rounds";
-      make = Decision.instantiate (module Pds.Predicted) };
+      make = serial (module Pds.Predicted) };
     { name = "mat"; needs_prediction = false; deterministic = true;
+      parallel = false;
       description = "multiple active threads [Reiser et al.]";
-      make = Decision.instantiate (module Mat.Base) };
+      make = serial (module Mat.Base) };
     { name = "mat-ll"; needs_prediction = true; deterministic = true;
+      parallel = false;
       description = "MAT + last-lock analysis (Figure 2)";
-      make = Decision.instantiate (module Mat.Last_lock) };
+      make = serial (module Mat.Last_lock) };
     { name = "pmat"; needs_prediction = true; deterministic = true;
+      parallel = false;
       description = "predicted MAT: lock prediction by code analysis (4.3)";
-      make = Decision.instantiate (module Pmat.Base) };
+      make = serial (module Pmat.Base) };
+    { name = "cgs"; needs_prediction = true; deterministic = true;
+      parallel = true;
+      description =
+        "conflict-graph scheduling: delivery-time classes, worker pool";
+      make = parallel (module Cgs.Base) };
+    { name = "pcgs"; needs_prediction = true; deterministic = true;
+      parallel = true;
+      description = "predicted CGS: early release of prediction-exact classes";
+      make = parallel (module Cgs.Predicted) };
     { name = "adaptive"; needs_prediction = true; deterministic = true;
+      parallel = true (* may hand a worker pool to a conflict-graph child *);
       description =
         "request analyser choosing the child scheduler at run time (5)";
-      make =
-        (fun ~config ~summary a ->
-          Adaptive.of_config
-            (Sched_config.make ?summary ~runtime:config "adaptive")
-            a) };
+      make = (fun cfg a -> Adaptive.of_config cfg a) };
     { name = "freefall"; needs_prediction = false; deterministic = false;
+      parallel = false;
       description = "non-deterministic baseline (native JVM behaviour)";
-      make = Decision.instantiate (module Freefall.Base) };
+      make = serial (module Freefall.Base) };
   ]
 
 let paper_figure1 = [ "seq"; "sat"; "lsa"; "pds"; "mat" ]
@@ -63,6 +89,12 @@ let deterministic_decisions =
   List.filter_map
     (fun s ->
       if s.deterministic && s.name <> "adaptive" then Some s.name else None)
+    all
+
+let parallel_decisions =
+  List.filter_map
+    (fun s ->
+      if s.parallel && s.name <> "adaptive" then Some s.name else None)
     all
 
 let find name = List.find_opt (fun s -> String.equal s.name name) all
@@ -84,5 +116,9 @@ let instantiate (cfg : Sched_config.t) actions =
          "Registry.instantiate: scheduler %S needs a prediction summary"
          spec.name)
   | _ -> ());
-  spec.make ~config:cfg.Sched_config.runtime
-    ~summary:cfg.Sched_config.summary actions
+  if cfg.Sched_config.workers > 1 && not spec.parallel then
+    invalid_arg
+      (Printf.sprintf
+         "Registry.instantiate: scheduler %S is serial (workers=%d requested)"
+         spec.name cfg.Sched_config.workers);
+  spec.make cfg actions

@@ -9,10 +9,13 @@ type spec = {
   name : string;
   needs_prediction : bool;
   deterministic : bool;  (** [false] only for the freefall baseline *)
+  parallel : bool;
+      (** Whether the decision module drives a multi-worker pool
+          ([Sched_config.workers]); {!instantiate} rejects [workers > 1]
+          for serial specs. *)
   description : string;
   make :
-    config:Detmt_runtime.Config.t ->
-    summary:Detmt_analysis.Predict.class_summary option ->
+    Sched_config.t ->
     Detmt_runtime.Sched_iface.actions ->
     Detmt_runtime.Sched_iface.sched;
       (** Low-level per-spec constructor.  {b Deprecated as a call-site API}:
@@ -22,7 +25,8 @@ type spec = {
 }
 
 val all : spec list
-(** seq, sat, lsa, pds, mat, mat-ll, pmat, freefall. *)
+(** seq, sat, psat, lsa, pds, ppds, mat, mat-ll, pmat, cgs, pcgs, adaptive,
+    freefall. *)
 
 val paper_figure1 : string list
 (** The five algorithms of Figure 1: seq, sat, lsa, pds, mat. *)
@@ -32,6 +36,10 @@ val deterministic_decisions : string list
     deterministic scheduler except the adaptive meta-scheduler (which is a
     chooser over these, driven separately).  This is the set the fingerprint
     oracle and the cross-scheduler fuzz quantify over. *)
+
+val parallel_decisions : string list
+(** Names of the decision modules that accept [Sched_config.workers > 1]
+    (the conflict-graph family). *)
 
 val find : string -> spec option
 
@@ -44,5 +52,6 @@ val instantiate :
   Detmt_runtime.Sched_iface.sched
 (** The one scheduler-construction entry point: look the named scheduler up
     and build it from the unified {!Sched_config.t} record.
-    @raise Invalid_argument on an unknown scheduler name, or when the named
-    scheduler requires prediction and [cfg.summary] is [None]. *)
+    @raise Invalid_argument on an unknown scheduler name, when the named
+    scheduler requires prediction and [cfg.summary] is [None], or when
+    [cfg.workers > 1] and the scheduler is serial. *)

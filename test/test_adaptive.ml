@@ -23,23 +23,42 @@ let test_recommend () =
               ~reason:"recursion" ] }
   in
   Alcotest.(check string) "sequential clients -> seq" "seq"
-    (Detmt_sched.Adaptive.recommend ~summary:predictable
+    (Detmt_sched.Adaptive.recommend ~workers:1 ~conflict_rate:1.0
+       ~summary:predictable
        ~avg_concurrency:1.0);
   Alcotest.(check string) "predictable + marginal overlap -> psat" "psat"
-    (Detmt_sched.Adaptive.recommend ~summary:predictable
+    (Detmt_sched.Adaptive.recommend ~workers:1 ~conflict_rate:1.0
+       ~summary:predictable
        ~avg_concurrency:1.5);
   Alcotest.(check string) "predictable + concurrent -> pmat" "pmat"
-    (Detmt_sched.Adaptive.recommend ~summary:predictable
+    (Detmt_sched.Adaptive.recommend ~workers:1 ~conflict_rate:1.0
+       ~summary:predictable
        ~avg_concurrency:4.0);
   Alcotest.(check string) "predictable + heavy fan-in -> ppds" "ppds"
-    (Detmt_sched.Adaptive.recommend ~summary:predictable
+    (Detmt_sched.Adaptive.recommend ~workers:1 ~conflict_rate:1.0
+       ~summary:predictable
        ~avg_concurrency:64.0);
   Alcotest.(check string) "unpredictable + marginal overlap -> mat" "mat"
-    (Detmt_sched.Adaptive.recommend ~summary:fallback ~avg_concurrency:1.5);
+    (Detmt_sched.Adaptive.recommend ~workers:1 ~conflict_rate:1.0
+       ~summary:fallback ~avg_concurrency:1.5);
   Alcotest.(check string) "unpredictable + concurrent -> mat" "mat"
-    (Detmt_sched.Adaptive.recommend ~summary:fallback ~avg_concurrency:4.0);
+    (Detmt_sched.Adaptive.recommend ~workers:1 ~conflict_rate:1.0
+       ~summary:fallback ~avg_concurrency:4.0);
   Alcotest.(check string) "no summary -> mat" "mat"
-    (Detmt_sched.Adaptive.recommend ~summary:None ~avg_concurrency:4.0)
+    (Detmt_sched.Adaptive.recommend ~workers:1 ~conflict_rate:1.0
+       ~summary:None ~avg_concurrency:4.0);
+  Alcotest.(check string) "pool + low conflict -> cgs" "cgs"
+    (Detmt_sched.Adaptive.recommend ~workers:4 ~conflict_rate:0.0
+       ~summary:predictable ~avg_concurrency:4.0);
+  Alcotest.(check string) "no pool keeps pmat despite low conflict" "pmat"
+    (Detmt_sched.Adaptive.recommend ~workers:1 ~conflict_rate:0.0
+       ~summary:predictable ~avg_concurrency:4.0);
+  Alcotest.(check string) "pool + contended locks keeps pmat" "pmat"
+    (Detmt_sched.Adaptive.recommend ~workers:4 ~conflict_rate:0.5
+       ~summary:predictable ~avg_concurrency:4.0);
+  Alcotest.(check string) "pool + unpredictable -> mat, never cgs" "mat"
+    (Detmt_sched.Adaptive.recommend ~workers:4 ~conflict_rate:0.0
+       ~summary:fallback ~avg_concurrency:4.0)
 
 let run_adaptive ~clients ~requests =
   let wl = Detmt_workload.Disjoint.default in
@@ -80,7 +99,8 @@ let test_single_client_switches_to_seq () =
   (* Drive the decision function the way the wrapper does: 1 alive thread at
      every delivery. *)
   let name =
-    Detmt_sched.Adaptive.recommend ~summary:(Some summary)
+    Detmt_sched.Adaptive.recommend ~workers:1 ~conflict_rate:1.0
+       ~summary:(Some summary)
       ~avg_concurrency:1.0
   in
   switches := [ name ];

@@ -236,7 +236,7 @@ let test_freefall_completes () =
 (* ------------------------------ Registry ---------------------------- *)
 
 let test_registry () =
-  Alcotest.(check int) "eleven schedulers" 11
+  Alcotest.(check int) "thirteen schedulers" 13
     (List.length Detmt_sched.Registry.all);
   Alcotest.(check (list string)) "figure 1 set"
     [ "seq"; "sat"; "lsa"; "pds"; "mat" ]
@@ -247,9 +247,14 @@ let test_registry () =
      && (spec "mat-ll").needs_prediction
      && (spec "psat").needs_prediction
      && (spec "ppds").needs_prediction
+     && (spec "cgs").needs_prediction
+     && (spec "pcgs").needs_prediction
      && (not (spec "mat").needs_prediction)
      && (not (spec "sat").needs_prediction)
      && not (spec "pds").needs_prediction);
+  Alcotest.(check (list string)) "parallel decision modules"
+    [ "cgs"; "pcgs" ]
+    Detmt_sched.Registry.parallel_decisions;
   Alcotest.check b "predicted variants are deterministic" true
     ((Detmt_sched.Registry.find_exn "psat").deterministic
     && (Detmt_sched.Registry.find_exn "ppds").deterministic);
@@ -278,7 +283,8 @@ let test_config_api () =
     (Invalid_argument "Sched_config.make: shard < 0") (fun () ->
       ignore (Detmt_sched.Sched_config.make ~shard:(-1) "mat"));
   Alcotest.(check (list string)) "deterministic decision modules"
-    [ "seq"; "sat"; "psat"; "lsa"; "pds"; "ppds"; "mat"; "mat-ll"; "pmat" ]
+    [ "seq"; "sat"; "psat"; "lsa"; "pds"; "ppds"; "mat"; "mat-ll"; "pmat";
+      "cgs"; "pcgs" ]
     Detmt_sched.Registry.deterministic_decisions;
   let raises_invalid f =
     try
@@ -295,6 +301,10 @@ let test_config_api () =
       mutex_free_for = (fun ~tid:_ ~mutex:_ -> true);
       holds_any_mutex = (fun _ -> false);
       request_method = (fun _ -> "m");
+      request_arg = (fun ~tid:_ _ -> None);
+      self_mutex = (fun () -> 1_000_000);
+      pool_dispatch = (fun ~worker:_ ~tid:_ -> ());
+      pool_complete = (fun ~worker:_ ~tid:_ -> ());
       broadcast_control = ignore;
       inject_dummy = (fun () -> ());
       schedule = (fun ~delay:_ _ -> ());
@@ -311,7 +321,17 @@ let test_config_api () =
     (raises_invalid (fun () ->
          Detmt_sched.Registry.instantiate
            (Detmt_sched.Sched_config.make "pmat")
-           dummy_actions))
+           dummy_actions));
+  Alcotest.check b "workers > 1 on a serial scheduler rejected" true
+    (raises_invalid (fun () ->
+         Detmt_sched.Registry.instantiate
+           (Detmt_sched.Sched_config.make ~workers:4 "mat")
+           dummy_actions));
+  Alcotest.check_raises "workers < 1 rejected by the config"
+    (Invalid_argument "Sched_config.make: workers < 1") (fun () ->
+      ignore (Detmt_sched.Sched_config.make ~workers:0 "cgs"));
+  Alcotest.(check int) "default workers" 1
+    (Detmt_sched.Sched_config.make "cgs").Detmt_sched.Sched_config.workers
 
 let suite =
   [ ("seq serialises everything", `Quick, test_seq_serialises_everything);
