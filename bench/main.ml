@@ -167,9 +167,23 @@ let fig1 () =
       ()
   in
   print_table (Experiment.parallel_table parallel_rows);
+  (* E20 rider: the workspace grids.  E20a (misprediction safety net) rides
+     inside the [parallel] JSON section as [opaque]; E20b (early-release
+     tail gap) gets its own [tail_release] section. *)
+  let workspace_rows = Experiment.workspace_pool () in
+  print_table (Experiment.workspace_table workspace_rows);
+  let tail_rows = Experiment.tail_release_pool () in
+  print_table (Experiment.tail_release_table tail_rows);
   if !json_mode then begin
     let metrics =
       List.map (fun s -> scheduler_metrics s) all_scheduler_names
+    in
+    let parallel_section =
+      match Experiment.parallel_json parallel_rows with
+      | Json.Obj fields ->
+        Json.Obj
+          (fields @ [ ("opaque", Experiment.workspace_json workspace_rows) ])
+      | j -> j
     in
     match table_json table with
     | Json.Obj fields ->
@@ -178,7 +192,9 @@ let fig1 () =
            (fields
            @ [ ("scheduler_metrics", Json.Obj metrics);
                ("scaling", scaling_json ());
-               ("parallel", Experiment.parallel_json parallel_rows) ]))
+               ("parallel", parallel_section);
+               ("tail_release",
+                Experiment.tail_release_json tail_rows) ]))
     | _ -> ()
   end;
   Series.chart Format.std_formatter series;
@@ -290,6 +306,21 @@ let elastic () =
        autoscaler splits past the@.static ceiling and lands above 1.00x \
        against the best static at every client@.count — the split drains \
        are a one-time cost the run length amortises.@."
+
+let workspace () =
+  heading "E20 — deterministic workspaces: safety net and early release";
+  let rows = Experiment.workspace_pool () in
+  print_table (Experiment.workspace_table rows);
+  let trows = Experiment.tail_release_pool () in
+  print_table (Experiment.tail_release_table trows);
+  emit_json "workspace"
+    (Json.Obj
+       [ ("opaque", Experiment.workspace_json rows);
+         ("tail_release", Experiment.tail_release_json trows) ]);
+  say "Expected shape: cgs+ws at 4 workers beats plain cgs at 4 (the \
+       workspace runs@.Top-class requests off the critical path instead of \
+       draining the pool); pcgs@.beats cgs on the tail workload (early \
+       release overlaps the 20 ms tails).@."
 
 let interference () =
   heading "E12 — static interference analysis (section 5)";
@@ -527,7 +558,8 @@ let experiments =
     ("overhead", overhead); ("prodcons", prodcons);
     ("determinism", determinism); ("saturation", saturation);
     ("model", model); ("shard", shard); ("elastic", elastic);
-    ("interference", interference); ("engine", engine_bench);
+    ("workspace", workspace); ("interference", interference);
+    ("engine", engine_bench);
     ("micro", micro) ]
 
 let () =

@@ -91,7 +91,8 @@ let workers =
     & info [ "workers" ] ~docv:"N"
         ~doc:
           "Simulated worker-pool width for the parallel scheduler family \
-           (cgs, pcgs, adaptive); serial schedulers require the default 1.")
+           (cgs, pcgs, wss, cgs+ws, adaptive); serial schedulers require \
+           the default 1.")
 
 let shards ~default ~doc = Arg.(value & opt int default & info [ "shards" ] ~docv:"N" ~doc)
 

@@ -1025,26 +1025,29 @@ let parallel_workload =
   { Detmt_workload.Figure1.default with
     Detmt_workload.Figure1.n_mutexes = 4096; p_nested = 0.0 }
 
+(* One grid point, shared by the E19 and E20 pools. *)
+let pl_one ~seed ~requests_per_client ~cls ~gen ~scheduler ~workers ~clients
+    =
+  let params = { Active.default_params with Active.workers } in
+  let r =
+    run_workload ~seed ~params ~requests_per_client ~scheduler ~clients ~cls
+      ~gen ()
+  in
+  { pl_scheduler = scheduler; pl_workers = workers; pl_clients = clients;
+    pl_expected = clients * requests_per_client;
+    pl_replies = r.replies;
+    pl_mean_response_ms = r.mean_response_ms;
+    pl_p95_response_ms = r.p95_response_ms;
+    pl_throughput_per_s = r.throughput_per_s;
+    pl_consistent = r.consistent;
+    pl_duration_ms = r.duration_ms }
+
 let parallel_pool ?(seed = 42L) ?(clients_list = [ 64; 256; 1024 ])
     ?(workers_list = [ 1; 2; 4; 8 ]) ?(requests_per_client = 2)
     ?(workload = parallel_workload) () =
   let cls = Detmt_workload.Figure1.cls workload in
   let gen = Detmt_workload.Figure1.gen workload in
-  let one ~scheduler ~workers ~clients =
-    let params = { Active.default_params with Active.workers } in
-    let r =
-      run_workload ~seed ~params ~requests_per_client ~scheduler ~clients
-        ~cls ~gen ()
-    in
-    { pl_scheduler = scheduler; pl_workers = workers; pl_clients = clients;
-      pl_expected = clients * requests_per_client;
-      pl_replies = r.replies;
-      pl_mean_response_ms = r.mean_response_ms;
-      pl_p95_response_ms = r.p95_response_ms;
-      pl_throughput_per_s = r.throughput_per_s;
-      pl_consistent = r.consistent;
-      pl_duration_ms = r.duration_ms }
-  in
+  let one = pl_one ~seed ~requests_per_client ~cls ~gen in
   List.concat_map
     (fun clients ->
       one ~scheduler:"pmat" ~workers:1 ~clients
@@ -1055,12 +1058,9 @@ let parallel_pool ?(seed = 42L) ?(clients_list = [ 64; 256; 1024 ])
            workers_list)
     clients_list
 
-let parallel_table rows =
+let pl_table ~title rows =
   let t =
-    Table.create
-      ~title:
-        "E19: conflict-graph scheduling on the low-conflict workload (4096 \
-         mutexes, no nested calls)"
+    Table.create ~title
       ~columns:
         [ "scheduler"; "workers"; "clients"; "replies"; "mean_ms"; "p95_ms";
           "req/s"; "consistent" ]
@@ -1079,24 +1079,118 @@ let parallel_table rows =
     rows;
   t
 
+let parallel_table rows =
+  pl_table
+    ~title:
+      "E19: conflict-graph scheduling on the low-conflict workload (4096 \
+       mutexes, no nested calls)"
+    rows
+
+let pl_rows_json rows =
+  let module Json = Detmt_obs.Json in
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [ ("scheduler", Json.String r.pl_scheduler);
+             ("workers", Json.Int r.pl_workers);
+             ("clients", Json.Int r.pl_clients);
+             ("expected", Json.Int r.pl_expected);
+             ("replies", Json.Int r.pl_replies);
+             ("mean_response_ms", Json.Float r.pl_mean_response_ms);
+             ("p95_response_ms", Json.Float r.pl_p95_response_ms);
+             ("throughput_per_s", Json.Float r.pl_throughput_per_s);
+             ("consistent", Json.Bool r.pl_consistent);
+             ("duration_ms", Json.Float r.pl_duration_ms) ])
+       rows)
+
 let parallel_json rows =
   let module Json = Detmt_obs.Json in
   Json.Obj
     [ ("experiment", Json.String "parallel");
       ("workload", Json.String "figure1-low-conflict");
-      ("rows",
-       Json.List
-         (List.map
-            (fun r ->
-              Json.Obj
-                [ ("scheduler", Json.String r.pl_scheduler);
-                  ("workers", Json.Int r.pl_workers);
-                  ("clients", Json.Int r.pl_clients);
-                  ("expected", Json.Int r.pl_expected);
-                  ("replies", Json.Int r.pl_replies);
-                  ("mean_response_ms", Json.Float r.pl_mean_response_ms);
-                  ("p95_response_ms", Json.Float r.pl_p95_response_ms);
-                  ("throughput_per_s", Json.Float r.pl_throughput_per_s);
-                  ("consistent", Json.Bool r.pl_consistent);
-                  ("duration_ms", Json.Float r.pl_duration_ms) ])
-            rows)) ]
+      ("rows", pl_rows_json rows) ]
+
+(* ------------------------------------------------------------------ *)
+(* E20 — deterministic workspaces: the misprediction safety net and    *)
+(* the early-release (tail) gap                                        *)
+
+(* E20a setting: every fourth request synchronises through a local the
+   §4.3 analysis cannot resolve, so its conflict class is [Top] even
+   though the dynamic closure is one of 64 mutexes.  Plain cgs serialises
+   each opaque request against everything in flight; cgs+ws speculates it
+   in a workspace off the critical path and merges at its slot barrier. *)
+let workspace_workload =
+  { Detmt_workload.Sharded.default with
+    Detmt_workload.Sharded.cross_ratio = 0.0; opaque_ratio = 0.25 }
+
+let workspace_pool ?(seed = 42L) ?(clients_list = [ 64; 256 ])
+    ?(workers_list = [ 1; 4 ]) ?(requests_per_client = 2)
+    ?(workload = workspace_workload) () =
+  let cls = Detmt_workload.Sharded.cls workload in
+  let gen = Detmt_workload.Sharded.gen workload in
+  let one = pl_one ~seed ~requests_per_client ~cls ~gen in
+  List.concat_map
+    (fun clients ->
+      List.concat_map
+        (fun workers ->
+          [ one ~scheduler:"cgs" ~workers ~clients;
+            one ~scheduler:"cgs+ws" ~workers ~clients;
+            one ~scheduler:"wss" ~workers ~clients ])
+        workers_list)
+    clients_list
+
+let workspace_table rows =
+  pl_table
+    ~title:
+      "E20a: workspace safety net on the misprediction workload (25% \
+       opaque closures over 64 objects)"
+    rows
+
+let workspace_json rows =
+  let module Json = Detmt_obs.Json in
+  Json.Obj
+    [ ("experiment", Json.String "workspace");
+      ("workload", Json.String "sharded-opaque");
+      ("opaque_ratio",
+       Json.Float workspace_workload.Detmt_workload.Sharded.opaque_ratio);
+      ("rows", pl_rows_json rows) ]
+
+(* E20b setting: a 1 ms critical section on one shared mutex followed by a
+   20 ms lock-free tail.  cgs keeps the whole static class blocked until
+   the request terminates, so the tail serialises everything; pcgs's
+   early release shrinks the blockset to [held ∪ future] after the last
+   unlock, overlapping the tails — the Figure 2 gap, measured on the
+   conflict-graph pair. *)
+let tail_release_workload = Detmt_workload.Tail_compute.default
+
+let tail_release_pool ?(seed = 42L) ?(clients_list = [ 16; 64 ])
+    ?(workers_list = [ 1; 4 ]) ?(requests_per_client = 2)
+    ?(workload = tail_release_workload) () =
+  let cls = Detmt_workload.Tail_compute.cls workload in
+  let gen = Detmt_workload.Tail_compute.gen workload in
+  let one = pl_one ~seed ~requests_per_client ~cls ~gen in
+  List.concat_map
+    (fun clients ->
+      List.concat_map
+        (fun workers ->
+          [ one ~scheduler:"cgs" ~workers ~clients;
+            one ~scheduler:"pcgs" ~workers ~clients ])
+        workers_list)
+    clients_list
+
+let tail_release_table rows =
+  pl_table
+    ~title:
+      "E20b: early release on the shared-mutex tail workload (1 ms lock, \
+       20 ms tail)"
+    rows
+
+let tail_release_json rows =
+  let module Json = Detmt_obs.Json in
+  Json.Obj
+    [ ("experiment", Json.String "tail_release");
+      ("workload", Json.String "tail-compute-shared");
+      ("tail_ms",
+       Json.Float tail_release_workload.Detmt_workload.Tail_compute.tail_ms);
+      ("rows", pl_rows_json rows) ]

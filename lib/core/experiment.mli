@@ -306,3 +306,53 @@ val parallel_table : parallel_row list -> Detmt_stats.Table.t
 
 val parallel_json : parallel_row list -> Detmt_obs.Json.t
 (** The [parallel] section of BENCH_fig1.json: one object per grid row. *)
+
+(** {2 E20 — deterministic workspaces} *)
+
+val workspace_workload : Detmt_workload.Sharded.params
+(** The misprediction setting: {!Detmt_workload.Sharded.default} with no
+    transfers and [opaque_ratio = 0.25] — a quarter of the requests
+    synchronise through a local the prediction analysis cannot resolve,
+    so their conflict class is [Top]. *)
+
+val workspace_pool :
+  ?seed:int64 ->
+  ?clients_list:int list ->
+  ?workers_list:int list ->
+  ?requests_per_client:int ->
+  ?workload:Detmt_workload.Sharded.params ->
+  unit ->
+  parallel_row list
+(** E20a: per client count (default 64/256), cgs, cgs+ws and wss at every
+    pool width (default 1/4).  The reproduction target: cgs+ws at 4
+    workers beats plain cgs at 4 workers on mean response time, because
+    the workspace absorbs the [Top]-class serialisation. *)
+
+val workspace_table : parallel_row list -> Detmt_stats.Table.t
+
+val workspace_json : parallel_row list -> Detmt_obs.Json.t
+(** The [parallel.opaque] sub-section of BENCH_fig1.json. *)
+
+val tail_release_workload : Detmt_workload.Tail_compute.params
+(** The early-release setting: {!Detmt_workload.Tail_compute.default} — a
+    1 ms critical section on one shared mutex followed by a 20 ms
+    lock-free tail, so a scheduler that holds the static class until
+    request termination serialises the tails. *)
+
+val tail_release_pool :
+  ?seed:int64 ->
+  ?clients_list:int list ->
+  ?workers_list:int list ->
+  ?requests_per_client:int ->
+  ?workload:Detmt_workload.Tail_compute.params ->
+  unit ->
+  parallel_row list
+(** E20b: per client count (default 16/64), cgs and pcgs at every pool
+    width (default 1/4).  The reproduction target: pcgs at 4 workers
+    beats cgs at 4 workers, demonstrating that early release (not just
+    graph dispatch) is what overlaps the tails. *)
+
+val tail_release_table : parallel_row list -> Detmt_stats.Table.t
+
+val tail_release_json : parallel_row list -> Detmt_obs.Json.t
+(** The [tail_release] section of BENCH_fig1.json. *)

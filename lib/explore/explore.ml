@@ -20,7 +20,15 @@ open Detmt_replication
 (* ------------------------------ workloads ----------------------------- *)
 
 let workload_names =
-  [ "figure1"; "compute-heavy"; "disjoint"; "tail"; "prodcons"; "hotspot" ]
+  [ "figure1"; "compute-heavy"; "disjoint"; "tail"; "prodcons"; "hotspot";
+    "sharded-opaque" ]
+
+(* The workspace stressor: 25% of the requests are Top-class opaque
+   closures, so under wss/cgs+ws the envelope exercises speculative
+   execution, the slot-order commit barrier and the abort/retry path. *)
+let sharded_opaque_params =
+  { Detmt_workload.Sharded.default with
+    Detmt_workload.Sharded.cross_ratio = 0.0; opaque_ratio = 0.25 }
 
 let resolve_workload = function
   | "figure1" ->
@@ -41,6 +49,9 @@ let resolve_workload = function
   | "hotspot" ->
     ( Detmt_workload.Hotspot.cls Detmt_workload.Hotspot.default,
       Detmt_workload.Hotspot.gen Detmt_workload.Hotspot.default )
+  | "sharded-opaque" ->
+    ( Detmt_workload.Sharded.cls sharded_opaque_params,
+      Detmt_workload.Sharded.gen sharded_opaque_params )
   | other ->
     invalid_arg
       (Printf.sprintf "Explore: unknown workload %S (valid: %s)" other

@@ -13,6 +13,8 @@ type action =
   | Defer
   | Promote
   | Handoff
+  | Commit_ws
+  | Abort_ws
 
 type rule =
   (* grants *)
@@ -28,6 +30,8 @@ type rule =
   | Promote_oldest
   | Last_lock_handoff
   | Predicted_no_conflict
+  | Speculative
+  | Slot_barrier
   (* deferrals *)
   | Mutex_held
   | Not_primary
@@ -35,6 +39,8 @@ type rule =
   | Enforced_order_wait
   | Predecessor_unpredicted
   | Queue_wait
+  | Stale_read
+  | Unsafe_op
 
 type entry = {
   at : float; (* virtual ms *)
@@ -55,6 +61,8 @@ let action_name = function
   | Defer -> "defer"
   | Promote -> "promote"
   | Handoff -> "handoff"
+  | Commit_ws -> "commit-ws"
+  | Abort_ws -> "abort-ws"
 
 let rule_name = function
   | Mutex_free -> "mutex-free"
@@ -69,12 +77,16 @@ let rule_name = function
   | Promote_oldest -> "promote-oldest"
   | Last_lock_handoff -> "last-lock-handoff"
   | Predicted_no_conflict -> "predicted-no-conflict"
+  | Speculative -> "speculative"
+  | Slot_barrier -> "slot-barrier"
   | Mutex_held -> "mutex-held"
   | Not_primary -> "not-primary"
   | Batch_wait -> "batch-wait"
   | Enforced_order_wait -> "enforced-order-wait"
   | Predecessor_unpredicted -> "predecessor-unpredicted"
   | Queue_wait -> "queue-wait"
+  | Stale_read -> "stale-read"
+  | Unsafe_op -> "unsafe-op"
 
 let pp_entry ppf e =
   Format.fprintf ppf "%8.2f r%d %-6s t%d %-16s %-22s%s%s" e.at e.replica

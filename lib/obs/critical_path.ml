@@ -21,7 +21,8 @@ let component_values (b : Recorder.breakdown) =
     ("sched-start", b.sched_start); ("lock-contention", b.lock_wait);
     ("lock-policy", b.policy_wait); ("reacquire", b.reacquire_wait);
     ("condvar", b.condvar_wait); ("nested-idle", b.nested_idle);
-    ("resume-hold", b.resume_hold); ("exec", b.exec);
+    ("resume-hold", b.resume_hold); ("commit-hold", b.commit_hold);
+    ("exec", b.exec);
     ("reply-net", b.reply_net) ]
 
 type item = {

@@ -17,6 +17,7 @@ type wait_kind =
   | Condvar (* parked on a condition variable *)
   | Nested (* awaiting a nested invocation's reply *)
   | Resume_hold (* reply arrived, waiting for the scheduler to resume us *)
+  | Commit_hold (* speculation finished, waiting for its slot-order commit *)
 
 let wait_kind_name = function
   | Lock_contention -> "lock-contention"
@@ -25,6 +26,7 @@ let wait_kind_name = function
   | Condvar -> "condvar"
   | Nested -> "nested-idle"
   | Resume_hold -> "resume-hold"
+  | Commit_hold -> "commit-hold"
 
 type span = {
   meth : string;
@@ -265,6 +267,7 @@ type breakdown = {
   condvar_wait : float; (* parked on a condition variable *)
   nested_idle : float; (* awaiting a nested invocation reply *)
   resume_hold : float; (* reply arrived, resume deferred by policy *)
+  commit_hold : float; (* speculation finished, waiting for its commit slot *)
   exec : float; (* remainder of the span: CPU + fixed overheads *)
   reply_net : float; (* reply propagation back to the client *)
   total : float;
@@ -295,9 +298,10 @@ let breakdown_of_reply t (r : reply) =
       let condvar_wait = waited Condvar in
       let nested_idle = waited Nested in
       let resume_hold = waited Resume_hold in
+      let commit_hold = waited Commit_hold in
       let all_waits =
         lock_wait +. policy_wait +. reacquire_wait +. condvar_wait
-        +. nested_idle +. resume_hold
+        +. nested_idle +. resume_hold +. commit_hold
       in
       let client_queue = broadcast_at -. s.sent_at in
       let broadcast = s.delivered_at -. broadcast_at in
@@ -309,7 +313,7 @@ let breakdown_of_reply t (r : reply) =
         { uid = r.r_uid; client = s.client; client_req = s.client_req;
           meth = s.meth; replica = r.r_replica; client_queue; broadcast;
           sched_start; lock_wait; policy_wait; reacquire_wait; condvar_wait;
-          nested_idle; resume_hold; exec; reply_net; total }
+          nested_idle; resume_hold; commit_hold; exec; reply_net; total }
     | _ -> None)
 
 let breakdowns t =
@@ -319,8 +323,8 @@ let breakdowns t =
 
 let breakdown_columns =
   [ "req"; "method"; "client"; "replica"; "client_q"; "bcast"; "sched_start";
-    "lock"; "policy"; "reacq"; "condvar"; "nested"; "resume"; "exec";
-    "reply_net"; "total" ]
+    "lock"; "policy"; "reacq"; "condvar"; "nested"; "resume"; "commit";
+    "exec"; "reply_net"; "total" ]
 
 let breakdown_table ?(title = "per-request latency breakdown (virtual ms)") t =
   let table = Detmt_stats.Table.create ~title ~columns:breakdown_columns in
@@ -331,8 +335,8 @@ let breakdown_table ?(title = "per-request latency breakdown (virtual ms)") t =
         [ string_of_int b.uid; b.meth; string_of_int b.client;
           string_of_int b.replica; f b.client_queue; f b.broadcast;
           f b.sched_start; f b.lock_wait; f b.policy_wait; f b.reacquire_wait;
-          f b.condvar_wait; f b.nested_idle; f b.resume_hold; f b.exec;
-          f b.reply_net; f b.total ])
+          f b.condvar_wait; f b.nested_idle; f b.resume_hold; f b.commit_hold;
+          f b.exec; f b.reply_net; f b.total ])
     (breakdowns t);
   table
 

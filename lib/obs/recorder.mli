@@ -65,6 +65,9 @@ type wait_kind =
   | Condvar (** parked on a condition variable *)
   | Nested (** awaiting a nested invocation's reply *)
   | Resume_hold (** reply arrived, waiting to be resumed *)
+  | Commit_hold
+      (** speculation finished, holding its workspace until the slot-order
+          commit barrier *)
 
 val wait_kind_name : wait_kind -> string
 
@@ -150,6 +153,7 @@ type breakdown = {
   condvar_wait : float;
   nested_idle : float;
   resume_hold : float;
+  commit_hold : float;
   exec : float;
   reply_net : float;
   total : float; (** client-measured response time; the other columns sum

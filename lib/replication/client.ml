@@ -170,6 +170,7 @@ let status_to_string = function
     Printf.sprintf "nested-blocked(call %d)" call_index
   | Nested_ready { call_index } ->
     Printf.sprintf "nested-ready(call %d)" call_index
+  | Commit_pending -> "commit-pending"
   | Terminated -> "terminated"
 
 (* One replicated group's contribution to a deadlock report: the requests

@@ -167,10 +167,13 @@ let fresh_active t ~index ~scheduler =
   t.incarnations <- inc + 1;
   (* The pool width belongs to the scheduler family, not the group: a swap
      onto a serial scheduler retires the pool (workers = 1), a swap back
-     onto a conflict-graph scheduler restores the configured width. *)
+     onto a parallel one restores the originally configured width.  Read
+     the registry spec's [parallel] flag, not [parallel_decisions] — that
+     list deliberately excludes the adaptive meta-scheduler, which would
+     strand a swapped group on a clamped 1-worker pool. *)
   let workers =
-    if List.mem scheduler Detmt_sched.Registry.parallel_decisions then
-      t.params.base.Active.workers
+    if (Detmt_sched.Registry.find_exn scheduler).Detmt_sched.Registry.parallel
+    then t.params.base.Active.workers
     else 1
   in
   let base =

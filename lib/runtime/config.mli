@@ -17,6 +17,10 @@ type t = {
   pds_dummy_timeout_ms : float;
       (** PDS: delay before dummy messages fill an incomplete batch *)
   trace : bool;  (** record the scheduling trace *)
+  ws_precise : bool;
+      (** workspace merge policy ([Precise_error]): [false] resolves
+          write-write overlaps lowest-slot-wins silently, [true] additionally
+          reports each conflicting field through the flight recorder *)
 }
 
 val default : t

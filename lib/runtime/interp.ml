@@ -10,17 +10,43 @@ let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
 
 let default_oracle name (req : Request.t) =
   (* Deterministic across replicas (depends only on the call name and the
-     request), but opaque to static analysis. *)
-  let h = Hashtbl.hash (name, req.uid) in
+     request), but opaque to static analysis.  Keyed by the request's
+     (client, per-client sequence) identity, not its [uid]: the uid is the
+     total-order slot, and nested-invocation messages consume slots, so the
+     slot a given request lands on shifts with scheduler timing — the
+     oracle's answer must survive cross-scheduler differential runs. *)
+  let h = Hashtbl.hash (name, req.client, req.client_req) in
   h mod 97
 
 type env = {
   cls : Class_def.t;
   obj : Object_state.t;
+  ws : Workspace.t option;
+      (* speculative execution: object-state reads and writes go through the
+         thread's copy-on-write workspace instead of the committed state *)
   oracle : oracle;
   req : Request.t;
   locals : (string, int) Hashtbl.t; (* locals hold mutex ids *)
 }
+
+(* Object-state access, routed through the workspace when speculating.
+   Globals and the self monitor are immutable, so they read through either
+   way. *)
+
+let obj_mutex_field env f =
+  match env.ws with
+  | Some w -> Workspace.mutex_field w f
+  | None -> Object_state.mutex_field env.obj f
+
+let obj_set_mutex_field env f v =
+  match env.ws with
+  | Some w -> Workspace.set_mutex_field w f v
+  | None -> Object_state.set_mutex_field env.obj f v
+
+let obj_state_field env f =
+  match env.ws with
+  | Some w -> Workspace.state_field w f
+  | None -> Object_state.state_field env.obj f
 
 let arg env i =
   let args = env.req.args in
@@ -55,7 +81,7 @@ let eval_mexpr env = function
   | Ast.Mconst m -> m
   | Ast.Marg i -> arg_mutex env i
   | Ast.Mlocal v -> local env v
-  | Ast.Mfield f -> Object_state.mutex_field env.obj f
+  | Ast.Mfield f -> obj_mutex_field env f
   | Ast.Mglobal g -> Object_state.global env.obj g
   | Ast.Mcall name -> env.oracle name env.req
 
@@ -63,7 +89,7 @@ let resolve_param env = function
   | Ast.Sp_this -> Object_state.self_mutex env.obj
   | Ast.Sp_arg i -> arg_mutex env i
   | Ast.Sp_local v -> local env v
-  | Ast.Sp_field f -> Object_state.mutex_field env.obj f
+  | Ast.Sp_field f -> obj_mutex_field env f
   | Ast.Sp_global g -> Object_state.global env.obj g
   | Ast.Sp_call name -> env.oracle name env.req
 
@@ -71,8 +97,7 @@ let rec eval_cond env = function
   | Ast.Cconst b -> b
   | Ast.Carg_bool i -> arg_bool env i
   | Ast.Carg_int_eq (i, k) -> arg_int env i = k
-  | Ast.Cfield_eq_arg (f, i) ->
-    Object_state.mutex_field env.obj f = arg_mutex env i
+  | Ast.Cfield_eq_arg (f, i) -> obj_mutex_field env f = arg_mutex env i
   | Ast.Cnot c -> not (eval_cond env c)
 
 let resolve_dur env = function
@@ -96,7 +121,7 @@ and exec_stmt env stmt k =
     Hashtbl.replace env.locals v (eval_mexpr env e);
     k ()
   | Ast.Assign_field (f, e) ->
-    Object_state.set_mutex_field env.obj f (eval_mexpr env e);
+    obj_set_mutex_field env f (eval_mexpr env e);
     k ()
   | Ast.Sync (p, _) | Ast.Lock_acquire p | Ast.Lock_release p ->
     error "%s: raw synchronisation on %s — program was not transformed"
@@ -108,7 +133,7 @@ and exec_stmt env stmt k =
        waiting again while it does not hold. *)
     let mutex = resolve_param env param in
     let rec check () =
-      if Object_state.state_field env.obj field >= min then k ()
+      if obj_state_field env field >= min then k ()
       else Yield (Op.Wait { mutex }, check)
     in
     check ()
@@ -152,10 +177,10 @@ and exec_method env name k =
     let frame = { env with locals = Hashtbl.create 8 } in
     exec frame def.body k
 
-let start ~cls ~obj ?(oracle = default_oracle) ~req () =
+let start ~cls ~obj ?ws ?(oracle = default_oracle) ~req () =
   if req.Request.dummy then Done
   else begin
-    let env = { cls; obj; oracle; req; locals = Hashtbl.create 8 } in
+    let env = { cls; obj; ws; oracle; req; locals = Hashtbl.create 8 } in
     match Class_def.find_method cls req.meth with
     | None -> error "request for undefined method %S" req.meth
     | Some def ->

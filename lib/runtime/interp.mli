@@ -25,11 +25,14 @@ exception Runtime_error of string
 val start :
   cls:Detmt_lang.Class_def.t ->
   obj:Object_state.t ->
+  ?ws:Workspace.t ->
   ?oracle:oracle ->
   req:Request.t ->
   unit ->
   outcome
 (** [start ~cls ~obj ~req ()] begins interpreting the request's start method.
-    Dummy requests complete immediately.
+    Dummy requests complete immediately.  With [?ws], object-state reads and
+    writes are routed through the copy-on-write workspace (speculative
+    execution); [obj] is then only the page-in source behind it.
     @raise Runtime_error on ill-typed programs (bad argument index, raw
     [Sync], undefined method, ...). *)

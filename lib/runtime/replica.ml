@@ -9,6 +9,7 @@ type thread_status =
   | Reacquire_blocked of { mutex : int; count : int }
   | Nested_blocked of { call_index : int }
   | Nested_ready of { call_index : int }
+  | Commit_pending
   | Terminated
 
 type callbacks = {
@@ -27,6 +28,9 @@ type thread = {
   mutable status : thread_status;
   mutable nested_count : int; (* nested invocations issued so far *)
   mutable buffered_replies : int list; (* call indices answered early *)
+  mutable ws : Workspace.t option;
+      (* speculative execution: attached by [ws_begin], merged or discarded
+         at [ws_commit]; [None] for direct execution *)
 }
 
 type t = {
@@ -46,6 +50,8 @@ type t = {
   oracle : Interp.oracle;
   mutable live : bool;
   mutable completed : int;
+  mutable ws_commits : int; (* workspace merges at the slot-order barrier *)
+  mutable ws_aborts : int; (* discarded speculations (stale or unsafe) *)
   mutable acquisitions : int;
   acq_hashes : (int, int64) Hashtbl.t; (* per-mutex acquisition-order hash *)
   mutable on_quiescent : (completed:int -> unit) option;
@@ -92,8 +98,13 @@ let rec_wait_end t th =
 (* Per-mutex ordering is the determinism property the schedulers guarantee:
    LSA's leader/follower pair legitimately interleaves acquisitions of
    *different* mutexes differently, but the sequence of owners of each single
-   mutex must match on every replica. *)
-let record_acquisition t ~mutex ~tid =
+   mutex must match on every replica.  Owners are identified by the
+   request's (client, per-client sequence) pair, not the thread id: tids
+   are total-order slot numbers, and nested-invocation messages consume
+   slots, so the tid a given request lands on shifts with scheduler timing
+   even when the acquisition order is logically identical — the request
+   identity is what cross-scheduler differential comparisons need. *)
+let record_acquisition t ~mutex ~th =
   t.acquisitions <- t.acquisitions + 1;
   let mix h x =
     Int64.mul (Int64.logxor h (Int64.of_int x)) 0x100000001B3L
@@ -102,7 +113,8 @@ let record_acquisition t ~mutex ~tid =
     Option.value ~default:0xCBF29CE484222325L
       (Hashtbl.find_opt t.acq_hashes mutex)
   in
-  Hashtbl.replace t.acq_hashes mutex (mix prev tid)
+  Hashtbl.replace t.acq_hashes mutex
+    (mix (mix prev th.req.Request.client) th.req.Request.client_req)
 
 let count_active t =
   Hashtbl.fold
@@ -134,10 +146,21 @@ and after_cost_finish t duration th =
 
 and step t th outcome =
   match outcome with
-  | Interp.Done ->
-    (* Final computation: build the reply message (section 4.1). *)
-    let cost = if th.req.Request.dummy then 0.0 else t.config.reply_build_ms in
-    after_cost_finish t cost th
+  | Interp.Done -> (
+    match th.ws with
+    | Some _ ->
+      (* Speculation complete: hold the workspace until the scheduler grants
+         the slot-order commit barrier.  The reply is built (and the reply
+         cost charged) only after a successful merge. *)
+      th.status <- Commit_pending;
+      if observing t then rec_wait_begin t th Recorder.Commit_hold;
+      (sched t).on_ws_event th.tid Sched_iface.Ws_ready
+    | None ->
+      (* Final computation: build the reply message (section 4.1). *)
+      let cost =
+        if th.req.Request.dummy then 0.0 else t.config.reply_build_ms
+      in
+      after_cost_finish t cost th)
   | Interp.Yield (op, k) ->
     th.cont <- Some k;
     handle_op t th op
@@ -163,6 +186,57 @@ and finish t th =
   end
 
 and handle_op t th op =
+  match th.ws with
+  | Some w -> handle_spec_op t th w op
+  | None -> handle_direct_op t th op
+
+(* Speculative execution: no committed-state side effects and no grant
+   traffic through the scheduler.  Locks are virtualised into the workspace
+   (same time charge as a direct grant, so a one-worker speculative run
+   costs what SEQ costs); operations that cannot be virtualised abort the
+   speculation — the thread re-executes directly in slot order. *)
+and handle_spec_op t th w op =
+  match op with
+  | Op.Compute { duration } -> Cpu.exec_h t.cpu ~duration t.advance_h th.tid
+  | Op.Lock { syncid = _; mutex } ->
+    Workspace.vlock w ~mutex;
+    after_cost_advance t t.config.lock_overhead_ms th
+  | Op.Unlock { syncid = _; mutex } ->
+    Workspace.vunlock w ~mutex;
+    after_cost_advance t t.config.lock_overhead_ms th
+  | Op.State_update { field; delta } ->
+    (* Same system-model check as direct execution, against the virtual
+       hold set. *)
+    if not (Workspace.holds_any w) then
+      invalid_arg
+        (Printf.sprintf
+           "Replica %d: speculative t%d updates %S without holding a lock"
+           t.id th.tid field);
+    Workspace.update_state w field delta;
+    advance t th
+  | Op.Lockinfo _ | Op.Ignore _ | Op.Loop_enter _ | Op.Loop_exit _ ->
+    (* Announcements are suppressed while speculating: an aborted request
+       re-executes from the top and replays the whole stream, so the
+       bookkeeping module must not consume a partial one.  The injected
+       call still costs its time. *)
+    after_cost_advance t t.config.bookkeeping_overhead_ms th
+  | Op.Wait _ | Op.Notify _ | Op.Nested _ -> ws_unsafe_abort t th
+
+(* An operation the workspace cannot virtualise: discard the speculation and
+   hand the thread back to the scheduler for direct re-execution.  The
+   scheduler re-runs it at its slot-order barrier, so the re-execution reads
+   exactly the slot-serial prefix — the abort changes timing, never
+   observables. *)
+and ws_unsafe_abort t th =
+  t.ws_aborts <- t.ws_aborts + 1;
+  if tracing t then record t (Trace.Ws_abort { tid = th.tid; conflicts = 0 });
+  if observing t then Recorder.incr t.obs "replica.ws.aborts_unsafe";
+  th.ws <- None;
+  th.cont <- None;
+  th.status <- Created;
+  (sched t).on_ws_event th.tid Sched_iface.Ws_unsafe
+
+and handle_direct_op t th op =
   let s = sched t in
   match op with
   | Op.Compute { duration } -> Cpu.exec_h t.cpu ~duration t.advance_h th.tid
@@ -173,7 +247,7 @@ and handle_op t th op =
       Mutex_table.acquire t.mutexes ~mutex ~tid:th.tid;
       if tracing t then
         record t (Trace.Lock_granted { tid = th.tid; syncid; mutex });
-      record_acquisition t ~mutex ~tid:th.tid;
+      record_acquisition t ~mutex ~th;
       s.on_acquired th.tid ~syncid ~mutex;
       after_cost_advance t t.config.lock_overhead_ms th
     end
@@ -280,8 +354,86 @@ let do_start_thread t tid =
     Recorder.request_started t.obs ~replica:t.id ~uid:tid
       ~at:(Engine.now t.engine);
   th.cont <-
-    Some (Interp.start ~cls:t.cls ~obj:t.obj ~oracle:t.oracle ~req:th.req);
+    Some
+      (Interp.start ~cls:t.cls ~obj:t.obj ?ws:th.ws ~oracle:t.oracle
+         ~req:th.req);
   advance t th
+
+(* --------------------------- workspace actions --------------------------- *)
+
+let do_ws_begin t ~tid ~record_acquisitions =
+  let th = thread t tid in
+  (match th.status with
+  | Created -> ()
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Replica %d: ws_begin for t%d not in Created" t.id tid));
+  th.ws <- Some (Workspace.create ~base:t.obj ~record_acquisitions)
+
+(* The slot-order commit barrier.  The scheduler guarantees quiescence for
+   this slot (every older request terminated, no direct execution in
+   flight), so the committed state the read set is validated against is
+   exactly the slot-serial prefix — the verdict, and on failure the direct
+   re-execution, are functions of the total order alone. *)
+let do_ws_commit t tid =
+  let th = thread t tid in
+  match (th.status, th.ws) with
+  | Commit_pending, Some w -> (
+    if observing t then rec_wait_end t th;
+    match Workspace.conflicts w with
+    | [] ->
+      t.ws_commits <- t.ws_commits + 1;
+      if tracing t then
+        record t
+          (Trace.Ws_commit { tid; writes = Workspace.write_set_size w });
+      if observing t then begin
+        Recorder.incr t.obs "replica.ws.commits";
+        Recorder.observe t.obs "replica.ws.write_set"
+          (float_of_int (Workspace.write_set_size w));
+        Recorder.observe t.obs "replica.ws.read_set"
+          (float_of_int (Workspace.read_set_size w))
+      end;
+      Workspace.commit w;
+      (* Replay the virtual acquisitions into the per-mutex order hashes —
+         commits happen in slot order, so the projection matches SEQ's. *)
+      if Workspace.record_acquisitions w then
+        List.iter
+          (fun mutex -> record_acquisition t ~mutex ~th)
+          (Workspace.acquisition_log w);
+      th.ws <- None;
+      th.status <- Running;
+      after_cost_finish t
+        (if th.req.Request.dummy then 0.0 else t.config.reply_build_ms)
+        th;
+      true
+    | conflicts ->
+      (* Stale reads: a lower slot committed first — lowest-slot-wins.  The
+         [Precise_error] policy additionally surfaces each conflicting
+         field through the flight recorder. *)
+      t.ws_aborts <- t.ws_aborts + 1;
+      if tracing t then
+        record t
+          (Trace.Ws_abort { tid; conflicts = List.length conflicts });
+      if observing t then begin
+        Recorder.incr t.obs "replica.ws.aborts_stale";
+        if t.config.Config.ws_precise then
+          List.iter
+            (fun (c : Workspace.conflict) ->
+              Recorder.incr t.obs
+                (Printf.sprintf "replica.ws.conflict.%s" c.field);
+              Logs.warn (fun m ->
+                  m "replica %d: workspace conflict t%d %a" t.id tid
+                    Workspace.pp_conflict c))
+            conflicts
+      end;
+      th.ws <- None;
+      th.cont <- None;
+      th.status <- Created;
+      false)
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Replica %d: ws_commit for t%d not commit-pending" t.id
+         tid)
 
 let do_grant_lock t tid =
   let th = thread t tid in
@@ -290,7 +442,7 @@ let do_grant_lock t tid =
     Mutex_table.acquire t.mutexes ~mutex ~tid;
     if tracing t then record t (Trace.Lock_granted { tid; syncid; mutex });
     if observing t then rec_wait_end t th;
-    record_acquisition t ~mutex ~tid;
+    record_acquisition t ~mutex ~th;
     (sched t).on_acquired tid ~syncid ~mutex;
     after_cost_advance t t.config.lock_overhead_ms th
   | _ ->
@@ -305,7 +457,7 @@ let do_grant_reacquire t tid =
     Mutex_table.restore t.mutexes ~mutex ~tid ~count;
     if tracing t then record t (Trace.Wait_end { tid; mutex });
     if observing t then rec_wait_end t th;
-    record_acquisition t ~mutex ~tid;
+    record_acquisition t ~mutex ~th;
     (sched t).on_reacquired tid ~mutex;
     after_cost_advance t t.config.lock_overhead_ms th
   | _ ->
@@ -334,7 +486,8 @@ let create ~engine ~id ~cls ~config ?(oracle = Interp.default_oracle)
       cls; obj = Object_state.create cls; mutexes = Mutex_table.create ();
       condvars = Condvar.create (); trace_rec = Trace.create ();
       threads = Hashtbl.create 64; sched = None; obs; callbacks; oracle;
-      live = true; completed = 0; acquisitions = 0;
+      live = true; completed = 0; ws_commits = 0; ws_aborts = 0;
+      acquisitions = 0;
       acq_hashes = Hashtbl.create 64; on_quiescent = None; advance_h = 0;
       finish_h = 0; pool_busy = 0 }
   in
@@ -346,6 +499,10 @@ let create ~engine ~id ~cls ~config ?(oracle = Interp.default_oracle)
       grant_lock = (fun tid -> do_grant_lock t tid);
       grant_reacquire = (fun tid -> do_grant_reacquire t tid);
       resume_nested = (fun tid -> do_resume_nested t tid);
+      ws_begin =
+        (fun ~tid ~record_acquisitions ->
+          do_ws_begin t ~tid ~record_acquisitions);
+      ws_commit = (fun ~tid -> do_ws_commit t tid);
       mutex_owner = (fun mutex -> Mutex_table.owner t.mutexes ~mutex);
       mutex_free_for =
         (fun ~tid ~mutex -> Mutex_table.is_free_for t.mutexes ~mutex ~tid);
@@ -404,7 +561,7 @@ let deliver_request t req =
       invalid_arg (Printf.sprintf "Replica %d: duplicate request %d" t.id tid);
     Hashtbl.add t.threads tid
       { tid; req; cont = None; status = Created; nested_count = 0;
-        buffered_replies = [] };
+        buffered_replies = []; ws = None };
     if observing t then begin
       Recorder.request_delivered t.obs ~replica:t.id ~uid:tid
         ~meth:req.Request.meth ~client:req.Request.client
@@ -480,6 +637,10 @@ let sched_restore t kv = (sched t).restore kv
 let cpu_busy_ms t = Cpu.busy_time t.cpu
 
 let lock_acquisitions t = t.acquisitions
+
+let ws_commits t = t.ws_commits
+
+let ws_aborts t = t.ws_aborts
 
 let mutex_acquisition_fingerprint t =
   let entries =

@@ -14,6 +14,10 @@ type thread_status =
   | Reacquire_blocked of { mutex : int; count : int }
   | Nested_blocked of { call_index : int }
   | Nested_ready of { call_index : int }
+  | Commit_pending
+      (** speculation finished, its workspace held until the scheduler
+          grants the slot-order commit barrier ([ws_commit]); still counts
+          as an active thread *)
   | Terminated
 
 type callbacks = {
@@ -98,6 +102,16 @@ val sched_restore : t -> (string * int) list -> unit
 val cpu_busy_ms : t -> float
 
 val lock_acquisitions : t -> int
+
+val ws_commits : t -> int
+(** Speculative workspaces merged at their slot-order barrier. *)
+
+val ws_aborts : t -> int
+(** Discarded speculations — stale reads at the commit barrier or an
+    unvirtualisable operation (wait/notify/nested).  Abort counts are a
+    performance metric, not an observable: they may legitimately differ
+    across replicas and perturbations while replies, states and acquisition
+    fingerprints agree. *)
 
 val mutex_acquisition_fingerprint : t -> int64
 (** Hash of the per-mutex acquisition order (the sequence of owners of every

@@ -23,6 +23,18 @@
    [on_terminate], and the bookkeeping stream [on_lockinfo] / [on_ignore] /
    [on_loop_enter] / [on_loop_exit]. *)
 
+(* Workspace (speculative-execution) events a replica reports to the
+   scheduler for a thread it started under [ws_begin]:
+   - [Ws_ready]: the speculation ran to completion and holds its result in a
+     private workspace; the worker is free, the thread waits in
+     [Commit_pending] until the scheduler calls [ws_commit] at the thread's
+     slot-order barrier.
+   - [Ws_unsafe]: the speculation hit an operation that cannot be virtualised
+     (condvar wait/notify, nested invocation); the replica has already
+     discarded the workspace and reset the thread to [Created] — the
+     scheduler must re-run it directly (in slot order) via [start_thread]. *)
+type ws_event = Ws_ready | Ws_unsafe
+
 type control =
   | Lsa_grant of { grant_seq : int; mutex : int; tid : int }
       (* the LSA leader's lock-acquisition decision, enforced by followers *)
@@ -51,6 +63,18 @@ type actions = {
          (observation only: per-worker occupancy series for the profiler) *)
   pool_complete : worker:int -> tid:int -> unit;
       (* the pool worker finished (or parked) the thread it was running *)
+  ws_begin : tid:int -> record_acquisitions:bool -> unit;
+      (* attach a fresh copy-on-write workspace to a [Created] thread; the
+         next [start_thread] runs it speculatively (virtual locks, private
+         reads/writes, no committed-state side effects) *)
+  ws_commit : tid:int -> bool;
+      (* commit barrier for a [Commit_pending] thread: validate the
+         workspace's read set against the committed state.  [true] — merged;
+         the thread proceeds to build its reply and terminate normally.
+         [false] — stale; the workspace is discarded and the thread is reset
+         to [Created] for direct re-execution (lowest-slot-wins).  Only call
+         at the thread's slot-order barrier: every older request terminated
+         and no direct execution in flight. *)
   broadcast_control : control -> unit;
       (* routed via the total-order broadcast to every replica's scheduler *)
   inject_dummy : unit -> unit; (* PDS: ask for a filler request *)
@@ -80,6 +104,9 @@ type sched = {
   on_loop_enter : int -> loopid:int -> unit;
   on_loop_exit : int -> loopid:int -> unit;
   on_control : sender:int -> control -> unit;
+  on_ws_event : int -> ws_event -> unit;
+      (* speculative-execution lifecycle for threads started under
+         [ws_begin]; never fires for directly executed threads *)
   snapshot : unit -> (string * int) list;
       (* scheduler bookkeeping that outlives quiescence (counters that must
          match across replicas), shipped in a state-transfer snapshot *)
@@ -102,6 +129,7 @@ let no_op_sched ~name ~on_request ~on_lock ~on_wakeup ~on_nested_reply =
     on_loop_enter = (fun _ ~loopid:_ -> ());
     on_loop_exit = (fun _ ~loopid:_ -> ());
     on_control = (fun ~sender:_ _ -> ());
+    on_ws_event = (fun _ _ -> ());
     (* Most decision modules keep no state across quiescence; the ones that
        do (LSA's grant counter, PDS's phantom slots) override these. *)
     snapshot = (fun () -> []);
@@ -146,4 +174,5 @@ let profiled p (s : sched) : sched =
       (fun tid ~loopid -> b (); s.on_loop_enter tid ~loopid; e ());
     on_loop_exit =
       (fun tid ~loopid -> b (); s.on_loop_exit tid ~loopid; e ());
-    on_control = (fun ~sender c -> b (); s.on_control ~sender c; e ()) }
+    on_control = (fun ~sender c -> b (); s.on_control ~sender c; e ());
+    on_ws_event = (fun tid ev -> b (); s.on_ws_event tid ev; e ()) }

@@ -145,6 +145,7 @@ let iface t =
     on_loop_enter = (fun tid ~loopid -> t.child.on_loop_enter tid ~loopid);
     on_loop_exit = (fun tid ~loopid -> t.child.on_loop_exit tid ~loopid);
     on_control = (fun ~sender c -> t.child.on_control ~sender c);
+    on_ws_event = (fun tid ev -> t.child.on_ws_event tid ev);
     snapshot = (fun () -> t.child.snapshot ());
     restore = (fun kv -> t.child.restore kv) }
 

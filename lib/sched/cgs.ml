@@ -50,7 +50,52 @@
    Known limitation, documented like SEQ's wait deadlock: a [Top]-class
    request that executes a condvar wait keeps blocking everything while
    parked, so its notifier can never run.  Every condvar workload in the
-   tree resolves its monitor ([Sp_this]), which keeps the hole open. *)
+   tree resolves its monitor ([Sp_this]), which keeps the hole open.
+
+   Workspace speculation (the {!Workspace} and {!Safety_net} variants).
+   Instead of waiting for the graph to clear, a speculation-eligible request
+   is dispatched immediately against a copy-on-write workspace
+   ({!Detmt_runtime.Workspace}): reads page committed values in, writes stay
+   in a private overlay, lock acquisitions are virtual.  When the
+   speculation finishes it parks in [Spec_ready] (worker released) until its
+   slot-order commit barrier — every older live request terminated or
+   condvar-parked — where the workspace is validated value-by-value against
+   the committed state and either merged ([ws_commit] true) or discarded and
+   re-executed directly at the barrier.  Because the barrier admits exactly
+   the slot-serial prefix, the commit-or-abort verdict and the re-execution
+   are functions of the total order alone: replicas may disagree on abort
+   {e counts} (torn reads depend on worker timing) but never on replies,
+   states or per-mutex acquisition order.  Scan rules that keep this true:
+
+   - a speculative dispatch needs only a free worker — it ignores the
+     conflict graph and the pend prefix (validation subsumes them);
+   - no younger request may start {e directly} (and no woken waiter may
+     reacquire) while an older speculation is live — a direct execution
+     writes committed state with nothing to validate it against, so it must
+     stay behind every older uncommitted slot;
+   - commits happen only at the head: one [Spec_ready] node commits per
+     scan, and only when no older non-parked node is live.  Condvar-parked
+     elders do not block the barrier — in SEQ a parked request's
+     continuation also runs after younger slots complete.
+
+   Requests whose method may touch condition variables never speculate
+   (wait/notify cannot be virtualised; hitting one anyway aborts the
+   speculation defensively), and fallback/unknown methods are classified
+   condvar-capable by the bookkeeping, so only statically analysed methods
+   enter a workspace.  Mirror of the [Top]+wait limitation above: in a
+   workload mixing condvar methods with speculation, a parked waiter whose
+   notifier is younger than a live speculation delays that notifier until
+   the speculation commits — safe, merely slower; no in-tree workload mixes
+   the two.
+
+   [wss] ({!Workspace}) speculates {e every} condvar-free request and
+   replays the virtual acquisition log into the real acquisition
+   fingerprints at commit, so its per-mutex order is the slot-order
+   projection — differentially equal to SEQ.  [cgs+ws] ({!Safety_net})
+   keeps the conflict graph for resolvable classes and speculates only
+   [Top]-class requests (the ones plain CGS would serialise), leaving
+   acquisition fingerprints to the direct executions — differentially equal
+   to CGS whenever predictions resolve every class. *)
 
 open Detmt_runtime
 module Audit = Detmt_obs.Audit
@@ -59,14 +104,32 @@ module Iset = Set.Make (Int)
 
 type cls = Top | Mutexes of Iset.t
 
+(* Which requests execute speculatively inside a copy-on-write workspace:
+   none (cgs/pcgs), only [Top]-class ones (cgs+ws — the safety net for
+   mispredictions), or every condvar-free one (wss). *)
+type spec_mode = No_spec | Spec_top | Spec_all
+
 (* Waiting: delivered, not yet dispatched.  Running: on a pool worker
    (nested invocations keep the worker).  Parked: condvar wait on the
-   monitor, worker released.  Woken: notified, needs the monitor back. *)
-type phase = Waiting | Running | Parked of int | Woken of int
+   monitor, worker released.  Woken: notified, needs the monitor back.
+   Spec: executing against a workspace on a pool worker.  Spec_ready:
+   speculation finished, worker released, workspace held for the
+   slot-order commit barrier.  Committing: workspace merged, reply build
+   in progress until the ordinary terminate. *)
+type phase =
+  | Waiting
+  | Running
+  | Parked of int
+  | Woken of int
+  | Spec
+  | Spec_ready
+  | Committing
 
 type node = {
   tid : int;
   cls : cls; (* static conflict class, fixed at delivery *)
+  mutable spec : bool; (* destined for workspace execution; cleared when an
+                          abort forces the retry onto the direct path *)
   mutable phase : phase;
   mutable held : Iset.t; (* mutexes currently held *)
   mutable contrib : cls option; (* blockset registered in the graph *)
@@ -76,6 +139,9 @@ type t = {
   sub : Substrate.t;
   pool : Decision.Pool.t;
   early : bool; (* pcgs: prediction-shrunk in-flight blocksets *)
+  spec : spec_mode;
+  record_acq : bool; (* replay virtual acquisitions into the fingerprint at
+                        commit (wss differentially matches SEQ) *)
   nodes : (int, node) Hashtbl.t;
   (* The conflict graph's edge information, kept as a multiset: how many
      in-flight nodes block each mutex, plus the count of opaque ([Top])
@@ -84,6 +150,7 @@ type t = {
   mutable top_count : int;
   mutable inflight : int;
   mutable woken : int; (* nodes in [Woken] phase, for the scan fast path *)
+  mutable ready : int; (* nodes in [Spec_ready] phase, same purpose *)
   mutable scanning : bool; (* re-entrancy guard for the grant cascade *)
   mutable again : bool;
 }
@@ -171,6 +238,11 @@ let blockset t n =
       (match n.cls with
       | Top -> Top
       | Mutexes s -> Mutexes (Iset.union n.held s))
+  | Spec | Spec_ready | Committing ->
+    (* Speculations never touch committed state or real mutexes before
+       their commit barrier, so they impose nothing on the graph; the
+       scan's [spec_seen] rule is what holds younger direct starts back. *)
+    None
 
 (* Recompute and re-register a node's blockset; [true] when it changed. *)
 let refresh t n =
@@ -192,7 +264,11 @@ let node t tid =
 
 (* ------------------------------- the scan ------------------------------ *)
 
-type decision = Start of node | Reacquire of node * int
+type decision =
+  | Start of node
+  | Reacquire of node * int
+  | Start_spec of node
+  | Commit of node
 
 exception Decide of decision
 
@@ -202,21 +278,32 @@ exception Decide of decision
    per-mutex acquisition order to the slot order).  Woken nodes are checked
    against the in-flight graph minus their own contribution; they skip the
    pend prefix (their class is disjoint from every older pending class by
-   the dispatch invariant) and the capacity check (rule 3 above). *)
+   the dispatch invariant) and the capacity check (rule 3 above).
+
+   Two more slot-ordered flags carry the workspace rules: [spec_seen] — an
+   older uncommitted speculation has been passed, so no younger node may
+   start directly or reacquire (its committed-state writes would have
+   nothing validating them against the older slot); and [blocking_older] —
+   some older non-parked node is still live, so a [Spec_ready] node is not
+   yet at its commit barrier.  Parked elders set neither: a parked
+   request's continuation runs after younger slots in SEQ too. *)
 exception No_decision
 
 (* The short-circuits below never change which decision a full pass would
    return — they only skip passes (or suffixes) that provably return
    [None], which is what keeps the scan off the O(live-requests) path for
    every event fired while the pool is saturated.  Start needs a free
-   worker; Reacquire needs a [Woken] node; and once an opaque waiter has
-   been passed over, no younger Waiting node can start either. *)
+   worker; Reacquire needs a [Woken] node; Commit needs a [Spec_ready]
+   node; and once an opaque waiter has been passed over, no younger
+   Waiting node can start either (only valid with speculation off:
+   speculative dispatches ignore the pend prefix). *)
 let find_decision t =
   let can_start = not (Decision.Pool.saturated t.pool) in
-  if (not can_start) && t.woken = 0 then None
+  if (not can_start) && t.woken = 0 && t.ready = 0 then None
   else begin
   let woken_unseen = ref t.woken in
   let pend = ref Iset.empty and pend_top = ref false and pend_n = ref 0 in
+  let spec_seen = ref false and blocking_older = ref false in
   let glob_conflict = function
     | Top -> t.inflight > 0
     | Mutexes s -> t.top_count > 0 || Iset.exists (fun m -> count t m > 0) s
@@ -238,22 +325,39 @@ let find_decision t =
     | None -> ()
     | Some n ->
       (match n.phase with
-      | Running | Parked _ -> ()
+      | Running -> blocking_older := true
+      | Parked _ -> ()
+      | Committing -> blocking_older := true
+      | Spec ->
+        blocking_older := true;
+        spec_seen := true
+      | Spec_ready ->
+        if not !blocking_older then raise (Decide (Commit n));
+        blocking_older := true;
+        spec_seen := true
+      | Waiting when n.spec ->
+        if can_start then raise (Decide (Start_spec n));
+        blocking_older := true;
+        spec_seen := true
       | Waiting ->
-        if can_start then
-          if
-            (not !pend_top)
-            && (not (glob_conflict n.cls))
-            && not (pend_conflict n.cls)
-          then raise (Decide (Start n))
-          else begin
-            add_pend n.cls;
-            if !pend_top && !woken_unseen = 0 then raise No_decision
-          end
+        if
+          can_start
+          && (not !spec_seen)
+          && (not !pend_top)
+          && (not (glob_conflict n.cls))
+          && not (pend_conflict n.cls)
+        then raise (Decide (Start n))
+        else begin
+          blocking_older := true;
+          add_pend n.cls;
+          if !pend_top && !woken_unseen = 0 && t.spec = No_spec then
+            raise No_decision
+        end
       | Woken m ->
         decr woken_unseen;
         let eligible =
-          (Substrate.actions t.sub).mutex_free_for ~tid:n.tid ~mutex:m
+          (not !spec_seen)
+          && (Substrate.actions t.sub).mutex_free_for ~tid:n.tid ~mutex:m
           &&
           match n.cls with
           | Top -> t.inflight <= 1 (* only its own contribution *)
@@ -269,7 +373,8 @@ let find_decision t =
                       count t m' > (if Iset.mem m' own then 1 else 0))
                     need)
         in
-        if eligible then raise (Decide (Reacquire (n, m))))
+        if eligible then raise (Decide (Reacquire (n, m)));
+        blocking_older := true)
   in
   match Substrate.iter t.sub ~f:visit with
   | () -> None
@@ -291,6 +396,42 @@ let perform t = function
         ~candidates:[ w ] ()
     end;
     (Substrate.actions t.sub).start_thread n.tid
+  | Start_spec n ->
+    n.phase <- Spec;
+    let w = Decision.Pool.dispatch t.pool ~tid:n.tid in
+    if Substrate.observing t.sub then begin
+      Substrate.incr t.sub "spec_dispatches";
+      Substrate.observe t.sub "pool_busy"
+        (float_of_int (Decision.Pool.busy t.pool));
+      Substrate.audit t.sub ~tid:n.tid ~action:Audit.Start_thread
+        ~rule:Audit.Speculative ~candidates:[ w ] ()
+    end;
+    let a = Substrate.actions t.sub in
+    a.ws_begin ~tid:n.tid ~record_acquisitions:t.record_acq;
+    a.start_thread n.tid
+  | Commit n ->
+    n.phase <- Committing;
+    t.ready <- t.ready - 1;
+    if (Substrate.actions t.sub).ws_commit ~tid:n.tid then begin
+      if Substrate.observing t.sub then begin
+        Substrate.incr t.sub "ws_commits";
+        Substrate.audit t.sub ~tid:n.tid ~action:Audit.Commit_ws
+          ~rule:Audit.Slot_barrier ()
+      end
+    end
+    else begin
+      (* Stale reads: the workspace was discarded and the thread reset.
+         Retry directly — the node sits at its own barrier (nothing older
+         is live except parked elders), so the very next scan starts it
+         against the committed state it just validated against. *)
+      n.spec <- false;
+      n.phase <- Waiting;
+      if Substrate.observing t.sub then begin
+        Substrate.incr t.sub "ws_aborts";
+        Substrate.audit t.sub ~tid:n.tid ~action:Audit.Abort_ws
+          ~rule:Audit.Stale_read ()
+      end
+    end
   | Reacquire (n, m) ->
     n.phase <- Running;
     t.woken <- t.woken - 1;
@@ -334,9 +475,20 @@ and rescan t =
 
 let on_request t tid =
   ignore (Substrate.admit t.sub ~tid);
-  let n =
-    { tid; cls = classify t ~tid; phase = Waiting; held = Iset.empty;
-      contrib = None }
+  let cls = classify t ~tid in
+  (* Speculation eligibility is fixed at delivery: condvar-capable methods
+     (including every fallback/unknown one — the bookkeeping reports those
+     pessimistically) take the direct path, so wait/notify only ever reach
+     a workspace through a prediction bug, where the replica aborts them. *)
+  let spec =
+    (match t.spec with
+    | No_spec -> false
+    | Spec_top -> cls = Top
+    | Spec_all -> true)
+    && not (Substrate.uses_condvars t.sub ~tid)
+  in
+  let n = { tid; cls; spec; phase = Waiting; held = Iset.empty;
+            contrib = None }
   in
   Hashtbl.replace t.nodes tid n;
   rescan t;
@@ -428,6 +580,28 @@ let on_nested_reply t tid =
   (* The thread kept its worker across the nested invocation: resume. *)
   (Substrate.actions t.sub).resume_nested tid
 
+let on_ws_event t tid ev =
+  let n = node t tid in
+  (match (ev : Sched_iface.ws_event) with
+  | Ws_ready ->
+    (* Speculation done; hold the workspace for the commit barrier but
+       give the worker back so younger speculations can run. *)
+    n.phase <- Spec_ready;
+    t.ready <- t.ready + 1
+  | Ws_unsafe ->
+    (* The replica discarded the workspace (wait/notify/nested mid-
+       speculation) and reset the thread; retry on the direct path under
+       the ordinary graph rules. *)
+    n.spec <- false;
+    n.phase <- Waiting;
+    if Substrate.observing t.sub then begin
+      Substrate.incr t.sub "ws_aborts";
+      Substrate.audit t.sub ~tid ~action:Audit.Abort_ws ~rule:Audit.Unsafe_op
+        ()
+    end);
+  Decision.Pool.complete t.pool ~tid;
+  rescan t
+
 let on_terminate t tid =
   (match Hashtbl.find_opt t.nodes tid with
   | None -> ()
@@ -440,11 +614,12 @@ let on_terminate t tid =
   if Substrate.observing t.sub then Substrate.incr t.sub "commits";
   rescan t
 
-let policy ~early sub pool : Sched_iface.sched =
+let policy ?(spec = No_spec) ?(record_acq = false) ~early sub pool :
+    Sched_iface.sched =
   let t =
-    { sub; pool; early; nodes = Hashtbl.create 64;
+    { sub; pool; early; spec; record_acq; nodes = Hashtbl.create 64;
       counts = Hashtbl.create 64; top_count = 0; inflight = 0; woken = 0;
-      scanning = false; again = false }
+      ready = 0; scanning = false; again = false }
   in
   let base =
     Sched_iface.no_op_sched ~name:(Substrate.name sub)
@@ -452,6 +627,7 @@ let policy ~early sub pool : Sched_iface.sched =
       ~on_wakeup:(on_wakeup t) ~on_nested_reply:(on_nested_reply t)
   in
   { base with
+    on_ws_event = (fun tid ev -> on_ws_event t tid ev);
     on_acquired =
       (fun tid ~syncid ~mutex -> on_acquired t tid ~syncid ~mutex);
     on_unlock =
@@ -481,7 +657,7 @@ module Base : Decision.Parallel = struct
 
   let needs_prediction = true
 
-  let policy = policy ~early:false
+  let policy sub pool = policy ~early:false sub pool
 end
 
 module Predicted : Decision.Parallel = struct
@@ -489,5 +665,22 @@ module Predicted : Decision.Parallel = struct
 
   let needs_prediction = true
 
-  let policy = policy ~early:true
+  let policy sub pool = policy ~early:true sub pool
+end
+
+module Workspace : Decision.Parallel = struct
+  let name = "wss"
+
+  let needs_prediction = true
+
+  let policy sub pool =
+    policy ~spec:Spec_all ~record_acq:true ~early:false sub pool
+end
+
+module Safety_net : Decision.Parallel = struct
+  let name = "cgs+ws"
+
+  let needs_prediction = true
+
+  let policy sub pool = policy ~spec:Spec_top ~early:false sub pool
 end

@@ -16,3 +16,19 @@ module Predicted : Decision.Parallel
     prediction exact, a running request blocks only [held ∪ future] mutexes
     (early release), letting class successors start before it terminates.
     Condvar-using methods keep the static class. *)
+
+module Workspace : Decision.Parallel
+(** ["wss"]: workspace speculation — every condvar-free request executes
+    immediately against a copy-on-write workspace
+    ({!Detmt_runtime.Workspace}) and merges at its slot-order commit
+    barrier, where stale reads abort and re-execute directly.  Virtual
+    acquisitions are replayed into the acquisition fingerprints at commit,
+    so observables (replies, states, per-mutex order) match SEQ exactly at
+    any worker count. *)
+
+module Safety_net : Decision.Parallel
+(** ["cgs+ws"]: CGS dispatch for requests whose conflict class resolves,
+    workspace speculation for the opaque ([Top]-class) ones plain CGS would
+    serialise behind everything — the safety net that keeps mispredicted
+    requests off the critical path.  Observables match ["cgs"] whenever
+    predictions resolve every class. *)

@@ -72,6 +72,16 @@ let all =
       parallel = true;
       description = "predicted CGS: early release of prediction-exact classes";
       make = parallel (module Cgs.Predicted) };
+    { name = "wss"; needs_prediction = true; deterministic = true;
+      parallel = true;
+      description =
+        "workspace speculation: copy-on-write execution, slot-order merge";
+      make = parallel (module Cgs.Workspace) };
+    { name = "cgs+ws"; needs_prediction = true; deterministic = true;
+      parallel = true;
+      description =
+        "CGS with a workspace safety net for opaque (Top-class) requests";
+      make = parallel (module Cgs.Safety_net) };
     { name = "adaptive"; needs_prediction = true; deterministic = true;
       parallel = true (* may hand a worker pool to a conflict-graph child *);
       description =

@@ -73,6 +73,10 @@ let of_trace events =
     | Trace.Nested_end { tid; _ } ->
       let l = line lines tid in
       push l time (base_state l)
+    | Trace.Ws_commit { tid; _ } ->
+      (* the merged speculation proceeds to its reply build *)
+      push (line lines tid) time Running
+    | Trace.Ws_abort { tid; _ } -> push (line lines tid) time Blocked
     | Trace.Notify _ | Trace.Control_delivered _ | Trace.View_change _ -> ()
   in
   List.iter on events;

@@ -11,6 +11,10 @@ type event =
   | Thread_end of { tid : int }
   | Control_delivered of { sender : int; grant_seq : int; mutex : int; tid : int }
   | View_change of { sender : int }
+  | Ws_commit of { tid : int; writes : int }
+  | Ws_abort of { tid : int; conflicts : int }
+      (* [conflicts = 0]: aborted on an unsafe op (wait/notify/nested) before
+         reaching the commit barrier; [> 0]: validation failure at commit *)
 
 type t = {
   mutable events : (float * event) list; (* reverse order *)
@@ -55,6 +59,8 @@ let hash_event h = function
   | Control_delivered { sender; grant_seq; mutex; tid } ->
     mix (mix (mix (mix (mix h 10) sender) grant_seq) mutex) tid
   | View_change { sender } -> mix (mix h 12) sender
+  | Ws_commit { tid; writes } -> mix (mix (mix h 13) tid) writes
+  | Ws_abort { tid; conflicts } -> mix (mix (mix h 14) tid) conflicts
 
 let record_at t ~time e =
   if t.enabled then begin
@@ -95,6 +101,10 @@ let pp_event ppf = function
     Format.fprintf ppf "ctrl    t%d m%d grant#%d from r%d" tid mutex grant_seq
       sender
   | View_change { sender } -> Format.fprintf ppf "view    from r%d" sender
+  | Ws_commit { tid; writes } ->
+    Format.fprintf ppf "wscmt   t%d w%d" tid writes
+  | Ws_abort { tid; conflicts } ->
+    Format.fprintf ppf "wsabrt  t%d c%d" tid conflicts
 
 let pp ppf t =
   List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t)

@@ -21,6 +21,13 @@ type event =
           Typed, not a formatted string, so the fingerprint depends only on
           the decision itself. *)
   | View_change of { sender : int }
+  | Ws_commit of { tid : int; writes : int }
+      (** A speculative workspace merged into the committed object state at
+          its slot-order barrier ([writes] = write-set size). *)
+  | Ws_abort of { tid : int; conflicts : int }
+      (** A speculation was discarded: [conflicts = 0] for an abort on an
+          unsafe operation (wait/notify/nested), [> 0] for a validation
+          failure at the commit barrier.  The thread re-executes directly. *)
 
 type t
 

@@ -3,16 +3,20 @@ open Detmt_lang
 type params = {
   objects : int;
   cross_ratio : float;
+  opaque_ratio : float;
   hold_ms : float;
   tail_ms : float;
 }
 
 let default =
-  { objects = 64; cross_ratio = 0.1; hold_ms = 1.0; tail_ms = 0.0 }
+  { objects = 64; cross_ratio = 0.1; opaque_ratio = 0.0; hold_ms = 1.0;
+    tail_ms = 0.0 }
 
 let update_method = "update"
 
 let transfer_method = "transfer"
+
+let opaque_method = "opaque_update"
 
 let locked p =
   let open Builder in
@@ -22,19 +26,47 @@ let locked p =
 let cls p =
   let open Builder in
   if p.objects < 1 then invalid_arg "Sharded.cls: objects < 1";
+  if p.opaque_ratio < 0.0 || p.opaque_ratio > 1.0 then
+    invalid_arg "Sharded.cls: opaque_ratio outside [0,1]";
   let tail = if p.tail_ms > 0.0 then [ compute p.tail_ms ] else [] in
-  cls ~cname:"Sharded" ~state_fields:[ "state" ]
-    [ meth update_method ~params:1 (sync (arg 0) (locked p) :: tail);
-      meth transfer_method ~params:2
-        ([ sync (arg 0) (locked p); sync (arg 1) (locked p) ] @ tail);
-    ]
+  cls ~cname:"Sharded"
+    ~state_fields:
+      ("state" :: (if p.opaque_ratio > 0.0 then [ "opaque" ] else []))
+    ([ meth update_method ~params:1 (sync (arg 0) (locked p) :: tail);
+       meth transfer_method ~params:2
+         ([ sync (arg 0) (locked p); sync (arg 1) (locked p) ] @ tail);
+     ]
+    @
+    (* The misprediction injector: the same single-object shape as [update],
+       but the sync target reaches the lock through a local, which the §4.3
+       analysis cannot resolve to an argument — the class is opaque ([Top])
+       even though the dynamic closure is one mutex.  It bumps its own
+       ["opaque"] counter rather than the hot shared ["state"], so its
+       read/write footprint overlaps only other opaque requests: statically
+       worst-case, dynamically near-disjoint — exactly the gap a workspace
+       safety net can recover.  Only materialised when requested, so
+       default-parameter classes (and their syncids, traces and goldens)
+       are untouched. *)
+    if p.opaque_ratio > 0.0 then
+      [ meth opaque_method ~params:1
+          (assign "x" (marg 0)
+          :: sync (local "x")
+               ((if p.hold_ms > 0.0 then [ compute p.hold_ms ] else [])
+               @ [ state_incr "opaque" 1 ])
+          :: tail) ]
+    else [])
 
 (* Client-drawn decisions, as everywhere in the paper's setup: whether this
    request crosses objects, and which object(s) it touches.  The two
-   transfer endpoints are forced distinct (when possible) so a cross-shard
-   ratio > 0 actually produces multi-object closures. *)
+   transfer endpoints are forced distinct (when possible — with one object
+   a cross draw degenerates to a self-transfer, whose duplicate endpoints
+   the shard router collapses onto the single-shard fast path).  The
+   [opaque_ratio] draw is guarded so a zero ratio consumes no randomness
+   and leaves existing request streams bit-identical. *)
 let gen p ~client:_ ~seq:_ rng =
-  if Detmt_sim.Rng.bool rng p.cross_ratio then begin
+  if p.opaque_ratio > 0.0 && Detmt_sim.Rng.bool rng p.opaque_ratio then
+    (opaque_method, [| Ast.Vmutex (Detmt_sim.Rng.int rng p.objects) |])
+  else if Detmt_sim.Rng.bool rng p.cross_ratio then begin
     let a = Detmt_sim.Rng.int rng p.objects in
     let d = 1 + Detmt_sim.Rng.int rng (max 1 (p.objects - 1)) in
     let b = (a + d) mod p.objects in

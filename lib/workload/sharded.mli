@@ -19,12 +19,22 @@
 type params = {
   objects : int;  (** size of the object (mutex) space *)
   cross_ratio : float;  (** probability of a two-object transfer *)
+  opaque_ratio : float;
+      (** probability of an ["opaque_update"]: the same single-object
+          shape as ["update"], but synchronised through a local variable
+          the prediction analysis cannot resolve — its conflict class is
+          [Top], the misprediction injector for the workspace safety net.
+          It bumps a dedicated ["opaque"] counter (not the hot shared
+          ["state"]), so its dynamic footprint is near-disjoint from the
+          rest of the workload.  A zero ratio (the default) adds neither
+          the method, the field, nor any RNG draw, keeping existing
+          streams bit-identical. *)
   hold_ms : float;  (** computation inside each critical section *)
   tail_ms : float;  (** lock-free computation after the last unlock *)
 }
 
 val default : params
-(** 64 objects, 10% transfers, 1 ms hold, no tail. *)
+(** 64 objects, 10% transfers, no opaque requests, 1 ms hold, no tail. *)
 
 val cls : params -> Detmt_lang.Class_def.t
 (** @raise Invalid_argument when [objects < 1]. *)
@@ -34,3 +44,5 @@ val gen : params -> Detmt_replication.Client.request_gen
 val update_method : string
 
 val transfer_method : string
+
+val opaque_method : string

@@ -333,6 +333,177 @@ let prop_cgs_one_worker_equals_seq =
       parallel_observables workload ~scheduler:"cgs" ~workers:1
       = parallel_observables workload ~scheduler:"seq" ~workers:1)
 
+(* ------------------- workspace speculation (wss, cgs+ws) ------------- *)
+
+(* wss executes every condvar-free request against a copy-on-write
+   workspace but commits — and replies — at slot-order barriers, replaying
+   the virtual acquisition log into the real fingerprints.  Given the same
+   total order, everything a client or a cross-replica audit can see must
+   therefore match the seq baseline at EVERY pool width, including widths
+   where the pool binds: commits are slot-ordered regardless of how many
+   workers speculate.  Closed-loop clients would not pin the total order —
+   wss replies earlier than seq by design, which feeds back into the
+   submission times and hence the order itself — so this driver is
+   open-loop: every request is broadcast at a fixed virtual time. *)
+let open_loop_observables (cls, seed) ~scheduler ~workers =
+  let engine = Detmt_sim.Engine.create () in
+  let params =
+    { Detmt_replication.Active.default_params with
+      scheduler; workers; replicas = 3 }
+  in
+  let system = Detmt_replication.Active.create ~engine ~cls ~params () in
+  let replies = ref 0 in
+  for client = 0 to 3 do
+    let rng = Detmt_sim.Rng.create (Int64.add seed (Int64.of_int client)) in
+    for r = 0 to 2 do
+      let meth, args = fuzz_gen ~client ~seq:r rng in
+      Detmt_sim.Engine.schedule_at engine
+        ~time:((float_of_int r *. 4.0) +. (float_of_int client *. 0.5))
+        (fun () ->
+          Detmt_replication.Active.submit system ~client ~client_req:r ~meth
+            ~args
+            ~on_reply:(fun ~response_ms:_ -> incr replies))
+    done
+  done;
+  Detmt_sim.Engine.run engine;
+  ( !replies,
+    List.map
+      (fun r ->
+        ( Detmt_runtime.Replica.state_snapshot r,
+          Detmt_runtime.Replica.mutex_acquisition_fingerprint r ))
+      (Detmt_replication.Active.live_replicas system) )
+
+let prop_wss_equals_seq =
+  QCheck.Test.make ~count:10
+    ~name:"wss observables match seq at every pool width (open loop)"
+    Testgen.arbitrary_workload
+    (fun workload ->
+      let reference =
+        open_loop_observables workload ~scheduler:"seq" ~workers:1
+      in
+      List.for_all
+        (fun w ->
+          open_loop_observables workload ~scheduler:"wss" ~workers:w
+          = reference)
+        [ 1; 2; 4; 8 ])
+
+(* cgs+ws is a pure safety net: when dispatch-time class resolution covers
+   every method (all sync params reachable from [this] or a mutex-carrying
+   request argument), no request is [Top]-class, no workspace ever opens,
+   and the scheduler must be observationally indistinguishable from plain
+   cgs — including its ws counters staying at zero.  Random classes are
+   made resolvable by rewriting the unresolvable sync params (fields,
+   locals, call results) to argument 0. *)
+let resolve_param = function
+  | (Ast.Sp_this | Ast.Sp_arg _) as p -> p
+  | Ast.Sp_local _ | Ast.Sp_field _ | Ast.Sp_global _ | Ast.Sp_call _ ->
+    Ast.Sp_arg 0
+
+let rec resolve_stmt = function
+  | Ast.Sync (p, b) -> Ast.Sync (resolve_param p, List.map resolve_stmt b)
+  | Ast.Lock_acquire p -> Ast.Lock_acquire (resolve_param p)
+  | Ast.Lock_release p -> Ast.Lock_release (resolve_param p)
+  | Ast.Wait p -> Ast.Wait (resolve_param p)
+  | Ast.Notify n -> Ast.Notify { n with param = resolve_param n.param }
+  | Ast.If (c, a, b) ->
+    Ast.If (c, List.map resolve_stmt a, List.map resolve_stmt b)
+  | Ast.Loop l -> Ast.Loop { l with body = List.map resolve_stmt l.body }
+  | s -> s
+
+let resolve_class (cls : Class_def.t) =
+  { cls with
+    Class_def.methods =
+      List.map
+        (fun (m : Class_def.method_def) ->
+          { m with Class_def.body = List.map resolve_stmt m.body })
+        cls.Class_def.methods }
+
+let ws_observables (cls, seed) ~scheduler ~workers =
+  let engine = Detmt_sim.Engine.create () in
+  let params =
+    { Detmt_replication.Active.default_params with
+      scheduler; workers; replicas = 3 }
+  in
+  let system = Detmt_replication.Active.create ~engine ~cls ~params () in
+  Detmt_replication.Client.run_clients ~engine ~system ~clients:4
+    ~requests_per_client:3 ~gen:fuzz_gen ~seed ();
+  ( Detmt_replication.Active.replies_received system,
+    List.map
+      (fun r ->
+        ( Detmt_runtime.Replica.state_snapshot r,
+          Detmt_runtime.Replica.mutex_acquisition_fingerprint r,
+          Detmt_runtime.Replica.ws_commits r,
+          Detmt_runtime.Replica.ws_aborts r ))
+      (Detmt_replication.Active.live_replicas system) )
+
+let prop_safety_net_transparent =
+  QCheck.Test.make ~count:10
+    ~name:"cgs+ws is bit-identical to cgs when every class resolves"
+    Testgen.arbitrary_workload
+    (fun (cls, seed) ->
+      let workload = (resolve_class cls, seed) in
+      List.for_all
+        (fun w ->
+          ws_observables workload ~scheduler:"cgs+ws" ~workers:w
+          = ws_observables workload ~scheduler:"cgs" ~workers:w)
+        [ 1; 4 ])
+
+(* Abort-path determinism.  The injector class syncs through a local the
+   dispatch-time resolution cannot see ([Top]-class, so cgs+ws speculates
+   it) and read-modify-writes the shared mutex field [f0] inside the
+   critical section, so concurrent speculations genuinely invalidate each
+   other: the younger reader's commit-time validation finds [f0] moved and
+   must abort and re-execute.  The aborts themselves must be deterministic
+   — same seed, bit-identical observables AND abort counters — and the
+   client-visible outcome must still match the serial baseline. *)
+let injector_cls =
+  Class_def.make ~cname:"Inject" ~mutex_fields:[ ("f0", 3) ]
+    ~state_fields:[ "st" ]
+    [ { Class_def.name = "m"; final = true; exported = true; params = 3;
+        body =
+          [ Ast.Assign ("x", Ast.Marg 0);
+            Ast.Sync
+              ( Ast.Sp_local "x",
+                [ Ast.Assign ("y", Ast.Mfield "f0");
+                  Ast.Compute (Ast.Fixed 0.5);
+                  Ast.Assign_field ("f0", Ast.Marg 1);
+                  Ast.State_update ("st", 1) ] ) ]
+      } ]
+
+let test_ws_abort_determinism () =
+  Alcotest.(check (list string)) "injector wellformed" []
+    (Wellformed.errors injector_cls);
+  let totals per_replica =
+    List.fold_left (fun (c, a) (_, _, wc, wa) -> (c + wc, a + wa)) (0, 0)
+      per_replica
+  in
+  List.iter
+    (fun scheduler ->
+      let run () = ws_observables (injector_cls, 5L) ~scheduler ~workers:4 in
+      let ((_, per_replica) as a) = run () in
+      Alcotest.(check bool)
+        (scheduler ^ ": same seed, bit-identical run incl. abort counters")
+        true
+        (a = run ());
+      let commits, aborts = totals per_replica in
+      Alcotest.(check bool) (scheduler ^ ": speculation engaged") true (commits > 0);
+      Alcotest.(check bool) (scheduler ^ ": injector forced aborts") true
+        (aborts > 0))
+    [ "wss"; "cgs+ws" ];
+  (* wss replays its acquisition log, so the full observable tuple matches
+     seq; cgs+ws leaves fingerprints to direct executions (by design), so
+     compare the client-facing subset: replies and final states. *)
+  let strip (replies, per_replica) =
+    (replies, List.map (fun (st, _, _, _) -> st) per_replica)
+  in
+  let seq = ws_observables (injector_cls, 5L) ~scheduler:"seq" ~workers:1 in
+  Alcotest.(check bool) "wss aborts preserve seq observables" true
+    (parallel_observables (injector_cls, 5L) ~scheduler:"wss" ~workers:4
+    = parallel_observables (injector_cls, 5L) ~scheduler:"seq" ~workers:1);
+  Alcotest.(check bool) "cgs+ws aborts preserve seq replies and states" true
+    (strip (ws_observables (injector_cls, 5L) ~scheduler:"cgs+ws" ~workers:4)
+    = strip seq)
+
 (* The same contract on the three fixed paper workloads (figure1, prodcons
    with its condition variables, sharded transfers), across several seeds —
    the deterministic counterpart of the fuzzed property above. *)
@@ -438,8 +609,12 @@ let suite =
       prop_elastic_reproducible;
       prop_cgs_worker_count_independent;
       prop_cgs_one_worker_equals_seq;
+      prop_wss_equals_seq;
+      prop_safety_net_transparent;
       prop_runs_reproducible;
     ]
-  @ [ ("cgs fixed-workload differential", `Quick, test_cgs_fixed_workloads) ]
+  @ [ ("cgs fixed-workload differential", `Quick, test_cgs_fixed_workloads);
+      ("workspace abort-path determinism", `Quick,
+       test_ws_abort_determinism) ]
 
 let () = Alcotest.run "properties" [ ("properties", suite) ]

@@ -190,6 +190,37 @@ let test_hot_swap_mid_run () =
   Alcotest.check b "old and new incarnations consistent" true
     (Reconfig.consistent system)
 
+(* Regression: reincarnating under a serial scheduler clamps the pool to 1
+   worker; swapping back onto a conflict-graph scheduler must restore the
+   originally configured width, not inherit the clamp. *)
+let test_hot_swap_restores_pool_width () =
+  let workload = wl 0.0 in
+  let engine = Engine.create () in
+  let base =
+    { Active.default_params with Active.scheduler = "cgs"; workers = 4 }
+  in
+  let system =
+    Reconfig.create ~engine
+      ~cls:(Detmt_workload.Sharded.cls workload)
+      ~params:{ Reconfig.default_params with Reconfig.base }
+      ()
+  in
+  let gen = Detmt_workload.Sharded.gen workload in
+  Reconfig.request_at system ~at:8.0
+    (Reconfig.Hot_swap { group = 0; scheduler = "seq" });
+  Reconfig.request_at system ~at:60.0
+    (Reconfig.Hot_swap { group = 0; scheduler = "cgs" });
+  let stats = drive ~clients:8 ~requests:8 system gen in
+  Alcotest.check i "all replies" (total ~clients:8 ~requests:8)
+    stats.Client.run_completed;
+  Alcotest.check i "two swaps" 2 (Reconfig.swaps system);
+  let sys = List.hd (Reconfig.live_systems system) in
+  Alcotest.(check string) "back on cgs" "cgs" (Active.scheduler_name sys);
+  Alcotest.check i "configured pool width restored" 4
+    (Active.params sys).Active.workers;
+  Alcotest.check b "all incarnations consistent" true
+    (Reconfig.consistent system)
+
 let test_hot_swap_same_scheduler_is_noop () =
   let _, system, gen = make ~scheduler:"mat" () in
   Reconfig.request_at system ~at:8.0
@@ -357,6 +388,8 @@ let () =
             test_merge_carries_dedup_and_state ] );
       ( "hot-swap",
         [ Alcotest.test_case "swap mid-run" `Quick test_hot_swap_mid_run;
+          Alcotest.test_case "swap back restores pool width" `Quick
+            test_hot_swap_restores_pool_width;
           Alcotest.test_case "same scheduler is a no-op" `Quick
             test_hot_swap_same_scheduler_is_noop;
           Alcotest.test_case "swap races recovery" `Quick

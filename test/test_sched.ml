@@ -236,7 +236,7 @@ let test_freefall_completes () =
 (* ------------------------------ Registry ---------------------------- *)
 
 let test_registry () =
-  Alcotest.(check int) "thirteen schedulers" 13
+  Alcotest.(check int) "fifteen schedulers" 15
     (List.length Detmt_sched.Registry.all);
   Alcotest.(check (list string)) "figure 1 set"
     [ "seq"; "sat"; "lsa"; "pds"; "mat" ]
@@ -249,11 +249,13 @@ let test_registry () =
      && (spec "ppds").needs_prediction
      && (spec "cgs").needs_prediction
      && (spec "pcgs").needs_prediction
+     && (spec "wss").needs_prediction
+     && (spec "cgs+ws").needs_prediction
      && (not (spec "mat").needs_prediction)
      && (not (spec "sat").needs_prediction)
      && not (spec "pds").needs_prediction);
   Alcotest.(check (list string)) "parallel decision modules"
-    [ "cgs"; "pcgs" ]
+    [ "cgs"; "pcgs"; "wss"; "cgs+ws" ]
     Detmt_sched.Registry.parallel_decisions;
   Alcotest.check b "predicted variants are deterministic" true
     ((Detmt_sched.Registry.find_exn "psat").deterministic
@@ -284,7 +286,7 @@ let test_config_api () =
       ignore (Detmt_sched.Sched_config.make ~shard:(-1) "mat"));
   Alcotest.(check (list string)) "deterministic decision modules"
     [ "seq"; "sat"; "psat"; "lsa"; "pds"; "ppds"; "mat"; "mat-ll"; "pmat";
-      "cgs"; "pcgs" ]
+      "cgs"; "pcgs"; "wss"; "cgs+ws" ]
     Detmt_sched.Registry.deterministic_decisions;
   let raises_invalid f =
     try
@@ -297,6 +299,8 @@ let test_config_api () =
     { Detmt_runtime.Sched_iface.replica_id = 0;
       start_thread = ignore; grant_lock = ignore; grant_reacquire = ignore;
       resume_nested = ignore;
+      ws_begin = (fun ~tid:_ ~record_acquisitions:_ -> ());
+      ws_commit = (fun ~tid:_ -> true);
       mutex_owner = (fun _ -> None);
       mutex_free_for = (fun ~tid:_ ~mutex:_ -> true);
       holds_any_mutex = (fun _ -> false);

@@ -166,6 +166,25 @@ let test_cross_shard_forced () =
   Alcotest.(check int) "no fast path" 0 (Shard.fast_path_requests system);
   Alcotest.check b "consistent" true (Shard.consistent system)
 
+let test_self_transfer_fast_path () =
+  (* Degenerate endpoints (the [objects = 1]-per-shard case): a transfer
+     whose two endpoints are the same object has a single-shard lock
+     closure — the router must collapse it onto the fast path, never open
+     a two-phase cross-shard delivery that would wait forever for a
+     second shard that was never involved. *)
+  let engine, system, _ = make ~shards:2 ~cross:1.0 () in
+  let gen ~client:_ ~seq:_ _rng =
+    ("transfer", [| Detmt_lang.Ast.Vmutex 3; Detmt_lang.Ast.Vmutex 3 |])
+  in
+  Shard.run_clients system ~clients:4 ~requests_per_client:3 ~gen ~seed:5L ();
+  ignore engine;
+  Alcotest.(check int) "all replies" 12 (Shard.replies_received system);
+  Alcotest.(check int) "no cross-shard deliveries" 0
+    (Shard.cross_shard_requests system);
+  Alcotest.(check int) "every request on the fast path" 12
+    (Shard.fast_path_requests system);
+  Alcotest.check b "consistent" true (Shard.consistent system)
+
 (* ----------------------------- batching ----------------------------- *)
 
 let test_batching_deterministic () =
@@ -253,6 +272,8 @@ let suite =
      test_one_shard_equals_unsharded "lsa");
     ("n-shard run reproducible", `Quick, test_n_shard_reproducible);
     ("cross-shard path exactly-once", `Quick, test_cross_shard_forced);
+    ("self-transfer takes the fast path", `Quick,
+     test_self_transfer_fast_path);
     ("batching deterministic", `Quick, test_batching_deterministic);
     ("batch of one = disabled", `Quick, test_batch_of_one_equals_disabled);
     ("chaos invariants under 2 shards", `Quick,

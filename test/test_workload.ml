@@ -117,6 +117,93 @@ let test_prodcons_roles () =
   Alcotest.(check string) "even clients produce" "produce" (meth 0);
   Alcotest.(check string) "odd clients consume" "consume" (meth 1)
 
+let test_sharded_degenerate_self_transfer () =
+  (* objects = 1 makes distinct transfer endpoints impossible: the draw
+     degenerates to transfer(0,0), whose duplicate endpoints the shard
+     router collapses onto the single-shard fast path — the request must
+     stay wellformed and generable, not deadlock a two-phase delivery. *)
+  let p =
+    { Detmt_workload.Sharded.default with
+      Detmt_workload.Sharded.objects = 1; cross_ratio = 1.0 }
+  in
+  Alcotest.(check (list string))
+    "degenerate class wellformed" []
+    (Wellformed.errors (Detmt_workload.Sharded.cls p));
+  let rng = Detmt_sim.Rng.create 11L in
+  for seq = 0 to 49 do
+    match Detmt_workload.Sharded.gen p ~client:0 ~seq rng with
+    | meth, [| Ast.Vmutex a; Ast.Vmutex bb |] ->
+      Alcotest.(check string) "all transfers" "transfer" meth;
+      Alcotest.(check int) "endpoint a is the only object" 0 a;
+      Alcotest.(check int) "endpoint b collapses onto it" 0 bb
+    | _ -> Alcotest.fail "transfer arg shape expected"
+  done
+
+let test_sharded_opaque_gating () =
+  (* opaque_ratio = 0 must add neither the method nor any RNG draw, so
+     existing request streams stay bit-identical; > 0 materialises
+     [opaque_method] in the class and in the generated stream. *)
+  let dflt = Detmt_workload.Sharded.default in
+  let stream p seed n =
+    let rng = Detmt_sim.Rng.create seed in
+    List.init n (fun seq -> Detmt_workload.Sharded.gen p ~client:0 ~seq rng)
+  in
+  let has_opaque p =
+    Option.is_some
+      (Class_def.find_method (Detmt_workload.Sharded.cls p)
+         Detmt_workload.Sharded.opaque_method)
+  in
+  Alcotest.check b "default has no opaque method" false (has_opaque dflt);
+  Alcotest.check b "zero ratio leaves the stream bit-identical" true
+    (stream dflt 3L 64
+    = stream { dflt with Detmt_workload.Sharded.opaque_ratio = 0.0 } 3L 64);
+  let inj = { dflt with Detmt_workload.Sharded.opaque_ratio = 0.5 } in
+  Alcotest.check b "injector adds the opaque method" true (has_opaque inj);
+  Alcotest.(check (list string))
+    "injector class wellformed" []
+    (Wellformed.errors (Detmt_workload.Sharded.cls inj));
+  let opaques =
+    List.filter
+      (fun (m, _) -> m = Detmt_workload.Sharded.opaque_method)
+      (stream inj 3L 64)
+  in
+  Alcotest.check b "injector emits opaque requests" true
+    (List.length opaques > 0);
+  List.iter
+    (fun (_, args) ->
+      match args with
+      | [| Ast.Vmutex m |] ->
+        Alcotest.check b "opaque arg in the object space" true
+          (m >= 0 && m < dflt.Detmt_workload.Sharded.objects)
+      | _ -> Alcotest.fail "opaque arg shape expected")
+    opaques
+
+let test_sharded_opaque_prediction_class () =
+  (* The injector's whole point: the method is statically analysable (no
+     fallback, no condvars) yet its sync target reaches the lock through a
+     local, so dispatch-time class resolution — which can only see [this]
+     and request arguments — cannot name the mutex and must classify the
+     request as [Top]. *)
+  let p = { Detmt_workload.Sharded.default with
+            Detmt_workload.Sharded.opaque_ratio = 0.5 } in
+  let _, summary =
+    Detmt_transform.Transform.predictive (Detmt_workload.Sharded.cls p)
+  in
+  let ms =
+    Option.get
+      (Detmt_analysis.Predict.find_method summary
+         Detmt_workload.Sharded.opaque_method)
+  in
+  Alcotest.check b "not fallback" false ms.Detmt_analysis.Predict.fallback;
+  Alcotest.check b "no condvars" false ms.Detmt_analysis.Predict.uses_condvars;
+  Alcotest.check b "some lock is invisible to dispatch-time resolution" true
+    (List.exists
+       (fun (si : Detmt_analysis.Predict.sid_info) ->
+         match si.Detmt_analysis.Predict.param with
+         | Ast.Sp_this | Ast.Sp_arg _ -> false
+         | _ -> true)
+       ms.Detmt_analysis.Predict.sids)
+
 let test_figure1_prediction_quality () =
   (* All mutexes travel as request arguments, so the whole method must be
      announceable: prediction needs no fallback and no spontaneous sids. *)
@@ -140,6 +227,11 @@ let suite =
     ("disjoint private mutexes", `Quick, test_disjoint_private_mutexes);
     ("tail compute shared switch", `Quick, test_tail_compute_shared_switch);
     ("prodcons roles", `Quick, test_prodcons_roles);
+    ("sharded degenerate self transfer", `Quick,
+      test_sharded_degenerate_self_transfer);
+    ("sharded opaque gating", `Quick, test_sharded_opaque_gating);
+    ("sharded opaque is Top-class", `Quick,
+      test_sharded_opaque_prediction_class);
     ("figure1 fully announceable", `Quick, test_figure1_prediction_quality);
   ]
 
